@@ -1,0 +1,55 @@
+/// \file bench_buffer_sweep.cc
+/// \brief Ext-2: buffer-size sweep. The paper motivates benchmarks for
+///        determining "an optimal hardware configuration (memory buffer
+///        size, number of disks...)" (§2); this harness sweeps the buffer
+///        pool across the DB-fits/DB-spills boundary, with and without
+///        DSTC, showing where clustering stops mattering.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "clustering/dstc.h"
+#include "ocb/experiment.h"
+
+int main() {
+  using namespace ocb;
+
+  bench::PrintHeader("Ext-2", "buffer-pool size sweep, with/without DSTC");
+
+  const std::vector<size_t> pool_sizes = {32, 64, 128, 256, 512, 1024,
+                                          2048};
+  TextTable table({"Pool pages", "Pool size", "I/Os (no clustering)",
+                   "I/Os (after DSTC)", "DSTC gain", "Hit ratio before"});
+  for (size_t pages : pool_sizes) {
+    ExperimentConfig config;
+    config.preset = presets::Default();
+    config.preset.database.num_objects = 8000;
+    config.preset.workload.cold_transactions = 150;
+    config.preset.workload.hot_transactions = 600;
+    config.preset.database.seed = 3;
+    config.preset.workload.seed = 5;
+    config.storage.buffer_pool_pages = pages;
+
+    Dstc dstc;
+    auto result = RunBeforeAfterExperiment(config, &dstc);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep failed at %zu pages: %s\n", pages,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {Format("%zu", pages), HumanBytes(pages * 4096),
+         Format("%.2f", result->ios_before()),
+         Format("%.2f", result->ios_after()),
+         Format("%.2f", result->gain_factor()),
+         Format("%.3f", result->before.merged.warm.buffer_hit_ratio())});
+  }
+  bench::PrintTable(table);
+  bench::PrintNote(
+      "expected shape: I/Os fall as the pool grows; DSTC's gain is largest "
+      "when the database spills well past the pool and vanishes once the "
+      "whole database is cached (the paper's 15 MB DB vs 8 MB RAM regime "
+      "sits in the middle of this sweep).");
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file bench_generic_workload.cc
+/// \brief Ext-8: the paper's §5 extension — "extending the transaction
+///        set so that it includes a broader range of operations (namely
+///        operations we discarded in the first place because they
+///        couldn't benefit from clustering)".
+///
+/// Sweeps the share of non-clusterable operations (updates, inserts,
+/// deletes) mixed into the traversal workload and measures how DSTC's
+/// gain erodes: write churn both dilutes the usage statistics and decays
+/// the physical organization the reorganizer built.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "clustering/dstc.h"
+#include "ocb/experiment.h"
+
+namespace {
+
+std::string Gain(double g) {
+  return std::isinf(g) ? "inf" : ocb::Format("%.2f", g);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ocb;
+
+  bench::PrintHeader(
+      "Ext-8", "generic transaction set: DSTC gain vs write-churn share");
+
+  TextTable table({"Write share", "I/Os before", "I/Os after", "Gain",
+                   "Objects after run"});
+  for (double churn : std::vector<double>{0.0, 0.1, 0.2, 0.4}) {
+    ExperimentConfig config;
+    config.preset = presets::DstcClubApprox(/*ref_zone=*/200);
+    config.preset.database.num_objects = 20000;
+    config.preset.database.seed = 41;
+    WorkloadParameters& wl = config.preset.workload;
+    wl.cold_transactions = 150;
+    wl.hot_transactions = 150;
+    wl.seed = 43;
+    wl.root_pool_size = 8;
+    wl.simple_depth = 7;
+    // Traversals take the remaining probability mass; churn is split
+    // between updates, inserts and deletes.
+    wl.p_simple = 1.0 - churn;
+    wl.p_update = churn / 2.0;
+    wl.p_insert = churn / 4.0;
+    wl.p_delete = churn / 4.0;
+    config.storage.buffer_pool_pages = 240;
+
+    DstcOptions options;
+    options.observation_period_transactions = 100;
+    options.selection_threshold = 1.0;
+    Dstc dstc(options);
+    auto result = RunBeforeAfterExperiment(config, &dstc);
+    if (!result.ok()) {
+      std::fprintf(stderr, "churn %.1f failed: %s\n", churn,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({Format("%.0f%%", churn * 100.0),
+                  Format("%.1f", result->ios_before()),
+                  Format("%.1f", result->ios_after()),
+                  Gain(result->gain_factor()),
+                  Format("%llu",
+                         (unsigned long long)
+                             result->generation.objects_created)});
+  }
+  bench::PrintTable(table);
+  bench::PrintNote(
+      "expected shape: the pure-traversal mix reproduces the Table 4 "
+      "regime; as updates/inserts/deletes take over, DSTC's gain erodes — "
+      "the paper's rationale for excluding them from the clustering-"
+      "oriented workload, and the reason its §5 extension matters for "
+      "general-purpose (non-clustering) OODB evaluation.");
+  return 0;
+}

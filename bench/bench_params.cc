@@ -1,0 +1,29 @@
+/// \file bench_params.cc
+/// \brief Reproduces paper Tables 1 and 2: the OCB database and workload
+///        parameter sets with their default values, printed exactly as the
+///        library ships them (asserted against the paper's numbers in
+///        tests/ocb/parameters_test.cc).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ocb/presets.h"
+
+int main() {
+  using namespace ocb;
+
+  bench::PrintHeader("Table 1", "OCB database parameters (defaults)");
+  std::printf("%s", DatabaseParameters{}.ToTableString().c_str());
+
+  bench::PrintHeader("Table 2", "OCB workload parameters (defaults)");
+  std::printf("%s", WorkloadParameters{}.ToTableString().c_str());
+
+  bench::PrintHeader(
+      "Table 3", "OCB database parameters approximating DSTC-CluB");
+  const OcbPreset club = presets::DstcClubApprox();
+  std::printf("%s", club.database.ToTableString().c_str());
+  bench::PrintNote(
+      "paper Table 3: NC=2, MAXNREF=3, BASESIZE=50, NO=20000, NREFT=3, "
+      "DIST1..3 Constant, DIST4 Special (PartId +/- RefZone).");
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_policy_comparison.cc
+/// \brief Ext-1: the paper's stated exploitation goal (§5) — "benchmarking
+///        of several different clustering techniques for the sake of
+///        performance comparison" — on identical OCB databases.
+///
+/// Policies: NoClustering (the Tables 4/5 "before" baseline), DSTC,
+/// Tsangaris–Naughton-style GreedyGraphPartitioning, and the
+/// statistics-free Cactis-style DFS placement.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "clustering/dfs_placement.h"
+#include "clustering/dstc.h"
+#include "clustering/greedy_graph.h"
+#include "ocb/experiment.h"
+
+int main() {
+  using namespace ocb;
+
+  bench::PrintHeader("Ext-1", "clustering policy comparison on OCB");
+
+  auto make_config = [] {
+    ExperimentConfig config;
+    config.preset = presets::Default();
+    config.preset.database.num_objects = 8000;
+    config.preset.workload.cold_transactions = 200;
+    config.preset.workload.hot_transactions = 800;
+    config.preset.database.seed = 7;
+    config.preset.workload.seed = 9;
+    config.storage.buffer_pool_pages = 192;
+    return config;
+  };
+
+  std::vector<std::unique_ptr<ClusteringPolicy>> policies;
+  policies.push_back(std::make_unique<NoClustering>());
+  policies.push_back(std::make_unique<Dstc>());
+  policies.push_back(std::make_unique<GreedyGraphPartitioning>());
+  policies.push_back(std::make_unique<DfsPlacement>());
+
+  TextTable table({"Policy", "I/Os before", "I/Os after", "Gain",
+                   "Overhead I/Os", "Objects moved"});
+  for (auto& policy : policies) {
+    auto result = RunBeforeAfterExperiment(make_config(), policy.get());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", policy->name().c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {result->policy_name, Format("%.1f", result->ios_before()),
+         Format("%.1f", result->ios_after()),
+         Format("%.2f", result->gain_factor()),
+         Format("%llu",
+                (unsigned long long)result->clustering_overhead_io),
+         Format("%llu",
+                (unsigned long long)result->policy_stats.objects_moved)});
+  }
+  bench::PrintTable(table);
+  bench::PrintNote(
+      "expected shape: usage-based policies (DSTC, GreedyGraph) beat the "
+      "statistics-free DFS placement on the diversified workload; "
+      "NoClustering's gain is ~1 by construction. Usage-based policies pay "
+      "for their gain with observation + reorganization overhead I/Os.");
+  return 0;
+}

@@ -1,0 +1,120 @@
+/// \file bench_workload_mix.cc
+/// \brief Ext-4: workload-stereotypy ablation explaining the paper's
+///        Table 4 vs Table 5 contrast.
+///
+/// Stereotypy has two axes, swept separately:
+///   (a) root repetition — how few distinct roots transactions start
+///       from (CluB re-runs its traversal from a handful of roots; OCB's
+///       default draws roots uniformly from all 20000 objects);
+///   (b) transaction-type diversity — pure depth-first traversals vs the
+///       uniform four-type default mix.
+/// DSTC's gain should grow as either axis becomes more stereotyped, with
+/// root repetition the dominant effect.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "clustering/dstc.h"
+#include "ocb/experiment.h"
+
+namespace {
+
+std::string Gain(double g) {
+  return std::isinf(g) ? "inf" : ocb::Format("%.2f", g);
+}
+
+ocb::ExperimentConfig BaseConfig() {
+  ocb::ExperimentConfig config;
+  config.preset = ocb::presets::DstcClubApprox(/*ref_zone=*/200);
+  config.preset.database.num_objects = 20000;
+  config.preset.database.seed = 41;
+  config.preset.workload.cold_transactions = 150;
+  config.preset.workload.hot_transactions = 150;
+  config.preset.workload.seed = 43;
+  config.preset.workload.simple_depth = 7;
+  config.storage.buffer_pool_pages = 240;
+  return config;
+}
+
+ocb::Result<ocb::BeforeAfterResult> Run(ocb::ExperimentConfig config) {
+  ocb::DstcOptions options;
+  options.observation_period_transactions = 100;
+  options.selection_threshold = 1.0;
+  ocb::Dstc dstc(options);
+  return ocb::RunBeforeAfterExperiment(config, &dstc);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ocb;
+
+  bench::PrintHeader("Ext-4a",
+                     "DSTC gain vs root repetition (pure traversals)");
+  TextTable roots_table({"Root pool", "I/Os before", "I/Os after", "Gain"});
+  for (uint64_t roots : std::vector<uint64_t>{0, 512, 64, 16, 8}) {
+    ExperimentConfig config = BaseConfig();
+    config.preset.workload.root_pool_size = roots;
+    auto result = Run(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    roots_table.AddRow({roots == 0 ? "all 20000 (OCB default)"
+                                   : Format("%llu", (unsigned long long)roots),
+                        Format("%.1f", result->ios_before()),
+                        Format("%.1f", result->ios_after()),
+                        Gain(result->gain_factor())});
+  }
+  bench::PrintTable(roots_table);
+  bench::PrintNote(
+      "expected shape: the fewer distinct roots (more repetition, CluB-"
+      "like), the larger DSTC's gain — the working set both concentrates "
+      "and becomes predictable.");
+
+  bench::PrintHeader("Ext-4b",
+                     "DSTC gain vs transaction-type diversity (8 roots)");
+  struct Mix {
+    const char* name;
+    double p_set, p_simple, p_hier, p_stoch;
+  };
+  const std::vector<Mix> mixes = {
+      {"pure simple traversal (CluB-like)", 0.0, 1.0, 0.0, 0.0},
+      {"traversal-heavy", 0.1, 0.7, 0.1, 0.1},
+      {"uniform four-type mix (OCB default)", 0.25, 0.25, 0.25, 0.25},
+      {"stochastic heavy", 0.1, 0.1, 0.1, 0.7},
+  };
+  TextTable mix_table({"Workload mix", "I/Os before", "I/Os after", "Gain"});
+  for (const Mix& mix : mixes) {
+    ExperimentConfig config = BaseConfig();
+    config.preset.workload.root_pool_size = 8;
+    config.preset.workload.p_set = mix.p_set;
+    config.preset.workload.p_simple = mix.p_simple;
+    config.preset.workload.p_hierarchy = mix.p_hier;
+    config.preset.workload.p_stochastic = mix.p_stoch;
+    config.preset.workload.set_depth = 3;
+    config.preset.workload.hierarchy_depth = 5;
+    config.preset.workload.stochastic_depth = 50;
+    auto result = Run(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mix '%s' failed: %s\n", mix.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    mix_table.AddRow({mix.name, Format("%.1f", result->ios_before()),
+                      Format("%.1f", result->ios_after()),
+                      Gain(result->gain_factor())});
+  }
+  bench::PrintTable(mix_table);
+  bench::PrintNote(
+      "measured shape: with roots fixed, the gain varies only mildly with "
+      "the type mix — root repetition (Ext-4a) is the dominant stereotypy "
+      "axis. The paper's Table 5 attenuation (2.58 vs 8.71-13.2) is "
+      "reproduced by axis (a): its default workload draws roots uniformly "
+      "from all NO objects.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file multiuser_session.cpp
+/// \brief OCB's multi-user mode (paper §3.1: supported "in a very simple
+///        way, which is almost unique" among OODB benchmarks).
+///
+/// Several clients share one database, one buffer pool and one disk; each
+/// runs the full cold/warm protocol concurrently. The example contrasts a
+/// single-user run with a four-user run on the same database and shows
+/// the shared-cache effect on per-transaction I/O.
+///
+/// Build & run:
+///   ./build/examples/multiuser_session
+
+#include <cstdio>
+
+#include "ocb/client.h"
+#include "ocb/generator.h"
+#include "util/format.h"
+#include "ocb/presets.h"
+
+int main() {
+  using namespace ocb;
+
+  StorageOptions storage;
+  storage.buffer_pool_pages = 256;
+  Database db(storage);
+
+  OcbPreset preset = presets::Default();
+  preset.database.num_objects = 6000;
+  preset.database.seed = 71;
+  auto generation = GenerateDatabase(preset.database, &db);
+  if (!generation.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shared database: %llu objects on %llu pages\n\n",
+              (unsigned long long)generation->objects_created,
+              (unsigned long long)generation->data_pages);
+
+  TextTable table({"CLIENTN", "Transactions", "Device I/Os / txn",
+                   "Hit ratio", "Throughput (txn/s)"});
+  for (uint32_t clients : {1u, 4u}) {
+    if (!db.ColdRestart().ok()) return 1;
+    db.buffer_pool()->ResetStats();
+
+    WorkloadParameters workload = preset.workload;
+    workload.client_count = clients;
+    workload.cold_transactions = 100;
+    workload.hot_transactions = 300;
+    workload.seed = 73;
+
+    const uint64_t reads_before =
+        db.disk()->counters(IoScope::kTransaction).reads;
+    auto report = RunMultiClient(&db, workload);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t reads =
+        db.disk()->counters(IoScope::kTransaction).reads - reads_before;
+    const uint64_t txns = report->merged.cold.global.transactions +
+                          report->merged.warm.global.transactions;
+    table.AddRow({Format("%u", clients),
+                  Format("%llu", (unsigned long long)txns),
+                  Format("%.2f",
+                         static_cast<double>(reads) /
+                             static_cast<double>(txns)),
+                  Format("%.3f", report->merged.warm.buffer_hit_ratio()),
+                  Format("%.0f", report->throughput_tps())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nFour clients share the cache: pages one client faults in are hits\n"
+      "for the others, so device I/Os per transaction *drop* as CLIENTN\n"
+      "grows, while the big lock bounds wall-clock throughput — exactly\n"
+      "the trade-off a multi-user OODB benchmark exists to expose.\n");
+  return 0;
+}

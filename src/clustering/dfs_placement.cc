@@ -1,0 +1,43 @@
+#include "clustering/dfs_placement.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace ocb {
+
+Status DfsPlacement::Reorganize(Database* db) {
+  std::vector<Oid> sequence;
+  std::unordered_set<Oid> visited;
+  const std::vector<Oid> all = db->object_store()->LiveOids();
+  sequence.reserve(all.size());
+
+  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  // The DFS itself reads every object: clustering overhead I/O.
+  ScopedIoScope scope(db->disk(), IoScope::kClustering);
+  for (Oid root : all) {
+    if (visited.count(root)) continue;
+    std::vector<Oid> stack = {root};
+    while (!stack.empty()) {
+      const Oid current = stack.back();
+      stack.pop_back();
+      if (!visited.insert(current).second) continue;
+      sequence.push_back(current);
+      auto obj = db->PeekObject(current);
+      if (!obj.ok()) continue;
+      // Push in reverse slot order so slot 0 is explored first.
+      for (auto it = obj->orefs.rbegin(); it != obj->orefs.rend(); ++it) {
+        if (*it != kInvalidOid && !visited.count(*it)) {
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  if (sequence.empty()) return Status::OK();
+  OCB_RETURN_NOT_OK(db->object_store()->PlaceSequence(sequence));
+  OCB_RETURN_NOT_OK(db->buffer_pool()->FlushAll());
+  ++stats_.reorganizations;
+  stats_.objects_moved += sequence.size();
+  return Status::OK();
+}
+
+}  // namespace ocb

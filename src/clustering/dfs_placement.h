@@ -1,0 +1,34 @@
+/// \file dfs_placement.h
+/// \brief Static depth-first placement (Cactis-style) — a structural
+///        comparison policy that ignores usage statistics entirely.
+///
+/// Objects are re-placed in the order of a depth-first traversal of the
+/// object graph (ascending-oid roots, ORef slot order), matching the
+/// access order of depth-first navigational workloads. It is the classic
+/// "cluster by structure, not by usage" baseline: cheap, oblivious, good
+/// when the workload is stereotyped depth-first traversals and mediocre
+/// otherwise — exactly the contrast OCB's diversified workload exposes.
+
+#ifndef OCB_CLUSTERING_DFS_PLACEMENT_H_
+#define OCB_CLUSTERING_DFS_PLACEMENT_H_
+
+#include "clustering/policy.h"
+
+namespace ocb {
+
+/// \brief Statistics-free depth-first structural clustering.
+class DfsPlacement : public ClusteringPolicy {
+ public:
+  std::string name() const override { return "DFS-Structural"; }
+
+  /// No observation needed.
+  void OnLinkCross(Oid, Oid, RefTypeId, bool) override {}
+
+  Status Reorganize(Database* db) override;
+
+  void ResetStatistics() override { stats_ = ClusteringStats{}; }
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CLUSTERING_DFS_PLACEMENT_H_

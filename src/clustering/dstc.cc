@@ -1,0 +1,207 @@
+#include "clustering/dstc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ocb {
+
+Dstc::Dstc(DstcOptions options) : options_(options) {}
+
+void Dstc::OnTransactionBegin() {}
+
+void Dstc::OnTransactionEnd() {
+  ++transactions_in_period_;
+  if (transactions_in_period_ >= options_.observation_period_transactions) {
+    CloseObservationPeriod();
+  }
+}
+
+void Dstc::OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) {
+  (void)type;
+  if (reverse && !options_.observe_reverse_crossings) return;
+  if (from == kInvalidOid || to == kInvalidOid || from == to) return;
+  observation_[{from, to}] += 1.0;
+  ++stats_.observed_crossings;
+}
+
+void Dstc::CloseObservationPeriod() {
+  // Phase 2 (Selection): keep significant entries only.
+  // Phase 3 (Consolidation): age old knowledge, fold the new period in.
+  for (auto& [pair, weight] : consolidated_) {
+    weight *= options_.consolidation_decay;
+  }
+  for (const auto& [pair, count] : observation_) {
+    if (count >= options_.selection_threshold) {
+      consolidated_[pair] += count;
+    }
+  }
+  // Drop consolidated entries that decayed into noise; keeps the persistent
+  // matrix bounded over long runs.
+  for (auto it = consolidated_.begin(); it != consolidated_.end();) {
+    if (it->second < 0.25 * options_.unit_link_threshold) {
+      it = consolidated_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  observation_.clear();
+  transactions_in_period_ = 0;
+}
+
+std::vector<std::vector<Oid>> Dstc::BuildClusteringUnits(
+    Database* db) const {
+  // Symmetrize the consolidated matrix into undirected adjacency lists.
+  struct Edge {
+    Oid a, b;
+    double weight;
+  };
+  std::unordered_map<Oid, std::vector<std::pair<Oid, double>>> adjacency;
+  std::vector<Edge> edges;
+  {
+    Matrix undirected;
+    for (const auto& [pair, weight] : consolidated_) {
+      if (weight < options_.unit_link_threshold) continue;
+      auto key = pair.first < pair.second
+                     ? pair
+                     : std::make_pair(pair.second, pair.first);
+      undirected[key] += weight;
+    }
+    edges.reserve(undirected.size());
+    for (const auto& [pair, weight] : undirected) {
+      edges.push_back(Edge{pair.first, pair.second, weight});
+      adjacency[pair.first].push_back({pair.second, weight});
+      adjacency[pair.second].push_back({pair.first, weight});
+    }
+  }
+  // Heaviest edges seed units first (deterministic tie-break on oids).
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  for (auto& [oid, neighbors] : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;
+              });
+  }
+
+  const size_t page_budget = db->object_store()->max_object_size();
+  std::unordered_set<Oid> clustered;
+  std::vector<std::vector<Oid>> units;
+
+  auto object_size = [&](Oid oid) -> size_t {
+    auto obj = db->PeekObject(oid);
+    if (!obj.ok()) return 0;
+    return obj->EncodedSize();
+  };
+
+  for (const Edge& seed : edges) {
+    // A unit grows from every not-yet-clustered endpoint; an edge with one
+    // clustered endpoint still seeds a unit from the free one, so no
+    // significant object is orphaned onto unclustered pages.
+    std::vector<Oid> unit;
+    for (Oid endpoint : {seed.a, seed.b}) {
+      if (!clustered.count(endpoint) &&
+          db->object_store()->Contains(endpoint)) {
+        unit.push_back(endpoint);
+      }
+    }
+    if (unit.empty()) continue;
+    // Grow the unit by best-first expansion along the heaviest links,
+    // bounded by one page's worth of bytes.
+    size_t unit_bytes = 0;
+    for (Oid member : unit) {
+      clustered.insert(member);
+      unit_bytes += object_size(member);
+    }
+    size_t frontier = 0;
+    while (frontier < unit.size()) {
+      if (options_.max_unit_objects > 0 &&
+          unit.size() >= options_.max_unit_objects) {
+        break;
+      }
+      const Oid current = unit[frontier++];
+      auto it = adjacency.find(current);
+      if (it == adjacency.end()) continue;
+      for (const auto& [neighbor, weight] : it->second) {
+        if (clustered.count(neighbor)) continue;
+        if (!db->object_store()->Contains(neighbor)) continue;
+        const size_t size = object_size(neighbor);
+        if (unit_bytes + size > page_budget) continue;
+        unit.push_back(neighbor);
+        clustered.insert(neighbor);
+        unit_bytes += size;
+        if (options_.max_unit_objects > 0 &&
+            unit.size() >= options_.max_unit_objects) {
+          break;
+        }
+      }
+    }
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+Status Dstc::Reorganize(Database* db) {
+  // Close a half-open observation period so fresh statistics count.
+  if (!observation_.empty()) CloseObservationPeriod();
+  if (consolidated_.empty()) return Status::OK();
+
+  // Everything below — including the object-size probes of unit
+  // construction — is clustering overhead I/O.
+  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  ScopedIoScope scope(db->disk(), IoScope::kClustering);
+
+  std::vector<std::vector<Oid>> units = BuildClusteringUnits(db);
+  if (units.empty()) return Status::OK();
+
+  // Phase 5: physical clustering. The clustering units go first, each
+  // page-aligned; every object no unit claimed is then compacted behind
+  // them in its previous physical order. Without this compaction the
+  // database would double in pages (moved objects leave their old pages
+  // three-quarters empty), which *worsens* locality — the physical
+  // organization phase rewrites placement wholesale, as Texas' segment
+  // reorganization does.
+  uint64_t moved = 0;
+  std::unordered_set<Oid> in_units;
+  for (const auto& unit : units) {
+    moved += unit.size();
+    in_units.insert(unit.begin(), unit.end());
+  }
+  std::vector<Oid> leftover;
+  for (Oid oid : db->object_store()->LiveOidsInPhysicalOrder()) {
+    if (!in_units.count(oid)) leftover.push_back(oid);
+  }
+  if (options_.page_align_units) {
+    std::vector<std::vector<Oid>> layout = units;
+    if (!leftover.empty()) layout.push_back(std::move(leftover));
+    OCB_RETURN_NOT_OK(db->object_store()->PlaceUnits(layout));
+  } else {
+    std::vector<Oid> sequence;
+    sequence.reserve(db->object_count());
+    for (const auto& unit : units) {
+      sequence.insert(sequence.end(), unit.begin(), unit.end());
+    }
+    sequence.insert(sequence.end(), leftover.begin(), leftover.end());
+    OCB_RETURN_NOT_OK(db->object_store()->PlaceSequence(sequence));
+  }
+  OCB_RETURN_NOT_OK(db->buffer_pool()->FlushAll());
+
+  ++stats_.reorganizations;
+  stats_.objects_moved += moved;
+  stats_.clustering_units = units.size();
+  last_units_ = std::move(units);
+  return Status::OK();
+}
+
+void Dstc::ResetStatistics() {
+  observation_.clear();
+  consolidated_.clear();
+  transactions_in_period_ = 0;
+  last_units_.clear();
+  stats_ = ClusteringStats{};
+}
+
+}  // namespace ocb

@@ -1,0 +1,124 @@
+/// \file dstc.h
+/// \brief DSTC — the Dynamic, Statistical and Tunable Clustering technique
+///        (Bullat, ECOOP'96) benchmarked by the paper (§4.1).
+///
+/// DSTC observes database usage (inter-object link crossings) and
+/// dynamically reorganizes placement. Five phases:
+///
+///   1. *Observation*: during a fixed Observation Period, link crossings are
+///      counted in a transient Observation Matrix.
+///   2. *Selection*: at period end, only statistically significant entries
+///      (count >= selection_threshold) are kept.
+///   3. *Consolidation*: selected counts are merged into a persistent
+///      Consolidated Matrix, past knowledge being aged by a decay factor.
+///   4. *Dynamic cluster reorganization*: consolidated statistics are used
+///      to build (or rebuild) Clustering Units — ordered groups of objects
+///      that should live together, grown greedily from the heaviest links
+///      up to a page's worth of bytes.
+///   5. *Physical clustering organization*: units are applied to disk, i.e.
+///      objects are rewritten unit-by-unit onto fresh pages. Triggered when
+///      the system is idle — in the harness, via Reorganize().
+///
+/// All thresholds are tunable (the "T" of DSTC); DstcOptions exposes them
+/// and bench_dstc_ablation sweeps them.
+
+#ifndef OCB_CLUSTERING_DSTC_H_
+#define OCB_CLUSTERING_DSTC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/policy.h"
+
+namespace ocb {
+
+/// Tunables of DSTC.
+struct DstcOptions {
+  /// Observation period length, in transactions.
+  uint64_t observation_period_transactions = 100;
+
+  /// Phase 2: minimum crossings for a link to survive selection.
+  double selection_threshold = 2.0;
+
+  /// Phase 3: multiplier applied to existing consolidated weights before
+  /// merging a new period (1.0 = never forget, 0.0 = only last period).
+  double consolidation_decay = 0.8;
+
+  /// Phase 4: minimum consolidated weight for a link to seed/extend a
+  /// clustering unit.
+  double unit_link_threshold = 1.0;
+
+  /// Phase 4: hard cap on objects per clustering unit (0 = page-bytes cap
+  /// only). Prevents one hot hub from swallowing the database.
+  uint64_t max_unit_objects = 0;
+
+  /// Count reverse (BackRef) crossings toward statistics as well.
+  bool observe_reverse_crossings = true;
+
+  /// Phase 5 placement: align each clustering unit to a page boundary
+  /// (no unit straddles two pages, at the cost of internal fragmentation)
+  /// versus packing units back to back (dense pages; a unit may straddle
+  /// a boundary). Dense packing keeps the database page count — and thus
+  /// the cache-resident fraction — unchanged, which dominates when the
+  /// database barely spills out of memory (the paper's regime); ablated
+  /// in bench_dstc_ablation.
+  bool page_align_units = false;
+};
+
+/// \brief DSTC policy implementation.
+class Dstc : public ClusteringPolicy {
+ public:
+  explicit Dstc(DstcOptions options = DstcOptions());
+
+  std::string name() const override { return "DSTC"; }
+
+  // -- AccessObserver (phase 1) --
+  void OnTransactionBegin() override;
+  void OnTransactionEnd() override;
+  void OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) override;
+
+  /// Phases 4 + 5 (phases 2 + 3 run automatically at each period end).
+  /// Safe to call with a partially elapsed period: it is closed first.
+  Status Reorganize(Database* db) override;
+
+  void ResetStatistics() override;
+
+  /// The clustering units built by the last Reorganize (ordered object
+  /// sequences); exposed for tests and reports.
+  const std::vector<std::vector<Oid>>& last_units() const {
+    return last_units_;
+  }
+
+  /// Consolidated matrix size (number of significant links).
+  size_t consolidated_links() const { return consolidated_.size(); }
+
+  const DstcOptions& options() const { return options_; }
+
+ private:
+  /// Canonical undirected pair key: (min << 32-ish) — we keep directed
+  /// counts separately and symmetrize at unit-building time.
+  struct PairHash {
+    size_t operator()(const std::pair<Oid, Oid>& p) const {
+      return std::hash<Oid>()(p.first * 0x9E3779B97F4A7C15ULL ^ p.second);
+    }
+  };
+  using Matrix = std::unordered_map<std::pair<Oid, Oid>, double, PairHash>;
+
+  /// Phases 2 + 3: filter the observation matrix and fold it into the
+  /// consolidated matrix.
+  void CloseObservationPeriod();
+
+  /// Phase 4: greedy unit construction from the consolidated matrix.
+  std::vector<std::vector<Oid>> BuildClusteringUnits(Database* db) const;
+
+  DstcOptions options_;
+  Matrix observation_;
+  Matrix consolidated_;
+  uint64_t transactions_in_period_ = 0;
+  std::vector<std::vector<Oid>> last_units_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CLUSTERING_DSTC_H_

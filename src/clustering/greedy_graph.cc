@@ -1,0 +1,156 @@
+#include "clustering/greedy_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace ocb {
+namespace {
+
+/// Union-find with size caps tracked externally.
+class DisjointSets {
+ public:
+  Oid Find(Oid x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    Oid root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      Oid next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Union(Oid a, Oid b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<Oid, Oid> parent_;
+};
+
+}  // namespace
+
+GreedyGraphPartitioning::GreedyGraphPartitioning(GreedyGraphOptions options)
+    : options_(options) {}
+
+void GreedyGraphPartitioning::OnLinkCross(Oid from, Oid to, RefTypeId type,
+                                          bool reverse) {
+  (void)type;
+  (void)reverse;
+  if (from == kInvalidOid || to == kInvalidOid || from == to) return;
+  auto key =
+      from < to ? std::make_pair(from, to) : std::make_pair(to, from);
+  weights_[key] += 1.0;
+  ++stats_.observed_crossings;
+}
+
+Status GreedyGraphPartitioning::Reorganize(Database* db) {
+  if (weights_.empty()) return Status::OK();
+  // Partitioning probes object sizes through the store: clustering I/O.
+  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  ScopedIoScope scope(db->disk(), IoScope::kClustering);
+  struct Edge {
+    Oid a, b;
+    double weight;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(weights_.size());
+  for (const auto& [pair, weight] : weights_) {
+    if (weight >= options_.min_edge_weight) {
+      edges.push_back(Edge{pair.first, pair.second, weight});
+    }
+  }
+  if (edges.empty()) return Status::OK();
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  const size_t page_budget = db->object_store()->max_object_size();
+  DisjointSets sets;
+  std::unordered_map<Oid, size_t> partition_bytes;
+  auto object_size = [&](Oid oid) -> size_t {
+    auto obj = db->PeekObject(oid);
+    return obj.ok() ? obj->EncodedSize() : 0;
+  };
+  auto bytes_of_root = [&](Oid root, Oid member) -> size_t& {
+    auto [it, inserted] = partition_bytes.try_emplace(root, 0);
+    if (inserted) it->second = object_size(member);
+    return it->second;
+  };
+
+  // Kruskal with a page-size capacity constraint per partition.
+  for (const Edge& edge : edges) {
+    if (!db->object_store()->Contains(edge.a) ||
+        !db->object_store()->Contains(edge.b)) {
+      continue;
+    }
+    const Oid ra = sets.Find(edge.a);
+    const Oid rb = sets.Find(edge.b);
+    if (ra == rb) continue;
+    const size_t bytes_a = bytes_of_root(ra, edge.a);
+    const size_t bytes_b = bytes_of_root(rb, edge.b);
+    if (bytes_a + bytes_b > page_budget) continue;
+    sets.Union(ra, rb);
+    const Oid merged = sets.Find(ra);
+    partition_bytes[merged] = bytes_a + bytes_b;
+  }
+
+  // Emit partitions in order of their heaviest edge (edge scan order),
+  // objects within a partition in first-seen order.
+  std::unordered_map<Oid, std::vector<Oid>> groups;
+  std::vector<Oid> group_order;
+  std::unordered_map<Oid, bool> emitted;
+  auto emit = [&](Oid oid) {
+    if (emitted[oid]) return;
+    emitted[oid] = true;
+    const Oid root = sets.Find(oid);
+    auto [it, inserted] = groups.try_emplace(root);
+    if (inserted) group_order.push_back(root);
+    it->second.push_back(oid);
+  };
+  for (const Edge& edge : edges) {
+    if (!db->object_store()->Contains(edge.a) ||
+        !db->object_store()->Contains(edge.b)) {
+      continue;
+    }
+    emit(edge.a);
+    emit(edge.b);
+  }
+
+  std::vector<std::vector<Oid>> units;
+  units.reserve(group_order.size());
+  uint64_t moved = 0;
+  std::unordered_set<Oid> in_units;
+  for (Oid root : group_order) {
+    units.push_back(std::move(groups[root]));
+    moved += units.back().size();
+    in_units.insert(units.back().begin(), units.back().end());
+  }
+  if (units.empty()) return Status::OK();
+  // Compact unclaimed objects behind the partitions, preserving their
+  // previous physical order (see the DSTC phase-5 comment).
+  std::vector<Oid> leftover;
+  for (Oid oid : db->object_store()->LiveOidsInPhysicalOrder()) {
+    if (!in_units.count(oid)) leftover.push_back(oid);
+  }
+  if (!leftover.empty()) units.push_back(std::move(leftover));
+  OCB_RETURN_NOT_OK(db->object_store()->PlaceUnits(units));
+  OCB_RETURN_NOT_OK(db->buffer_pool()->FlushAll());
+  ++stats_.reorganizations;
+  stats_.objects_moved += moved;
+  stats_.clustering_units = group_order.size();
+  return Status::OK();
+}
+
+void GreedyGraphPartitioning::ResetStatistics() {
+  weights_.clear();
+  stats_ = ClusteringStats{};
+}
+
+}  // namespace ocb

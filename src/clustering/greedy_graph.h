@@ -1,0 +1,60 @@
+/// \file greedy_graph.h
+/// \brief Greedy graph partitioning clustering (Tsangaris & Naughton,
+///        SIGMOD'92 style) — a comparison policy for the paper's
+///        "exploitation" goal (§5: benchmarking several clustering
+///        techniques for the sake of performance comparison).
+///
+/// Unlike DSTC it keeps a single cumulative weighted access graph (no
+/// observation periods, no decay) and, on demand, partitions objects into
+/// page-sized groups by scanning edges in descending weight and merging
+/// partitions greedily (Kruskal-flavoured), then emits partitions in
+/// first-seen order.
+
+#ifndef OCB_CLUSTERING_GREEDY_GRAPH_H_
+#define OCB_CLUSTERING_GREEDY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "clustering/policy.h"
+
+namespace ocb {
+
+/// Tunables of the greedy partitioner.
+struct GreedyGraphOptions {
+  /// Minimum cumulative weight for an edge to participate.
+  double min_edge_weight = 1.0;
+};
+
+/// \brief Kruskal-style greedy partitioning over the cumulative access
+/// graph.
+class GreedyGraphPartitioning : public ClusteringPolicy {
+ public:
+  explicit GreedyGraphPartitioning(
+      GreedyGraphOptions options = GreedyGraphOptions());
+
+  std::string name() const override { return "GreedyGraph"; }
+
+  void OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) override;
+
+  Status Reorganize(Database* db) override;
+
+  void ResetStatistics() override;
+
+  size_t graph_edges() const { return weights_.size(); }
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<Oid, Oid>& p) const {
+      return std::hash<Oid>()(p.first * 0x9E3779B97F4A7C15ULL ^ p.second);
+    }
+  };
+
+  GreedyGraphOptions options_;
+  std::unordered_map<std::pair<Oid, Oid>, double, PairHash> weights_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CLUSTERING_GREEDY_GRAPH_H_

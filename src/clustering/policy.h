@@ -1,0 +1,73 @@
+/// \file policy.h
+/// \brief Abstract interface of an object-clustering policy.
+///
+/// A policy is an AccessObserver (it watches the workload through the
+/// Database's hooks) plus a Reorganize() entry point that may rewrite the
+/// physical placement of objects. The benchmark harness:
+///
+///   1. attaches the policy to the Database,
+///   2. runs the workload (the policy gathers statistics),
+///   3. calls Reorganize() "when the system is idle" (paper §4.1, phase 5),
+///   4. re-runs the workload and compares I/O counts.
+///
+/// Reorganize() must perform its I/O inside IoScope::kClustering so the
+/// paper's "clustering I/O overhead" metric is attributed correctly; the
+/// harness sets that scope around the call.
+
+#ifndef OCB_CLUSTERING_POLICY_H_
+#define OCB_CLUSTERING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "oodb/database.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Bookkeeping a policy reports after reorganizations.
+struct ClusteringStats {
+  uint64_t reorganizations = 0;      ///< Times Reorganize actually rewrote.
+  uint64_t objects_moved = 0;        ///< Total relocations performed.
+  uint64_t clustering_units = 0;     ///< Units built by the last pass.
+  uint64_t observed_crossings = 0;   ///< Link crossings seen so far.
+};
+
+/// \brief Base class of all clustering policies.
+class ClusteringPolicy : public AccessObserver {
+ public:
+  ~ClusteringPolicy() override = default;
+
+  /// Human-readable policy name for reports ("DSTC", "NoClustering"...).
+  virtual std::string name() const = 0;
+
+  /// Rewrites object placement using gathered statistics. May be a no-op
+  /// when statistics do not justify clustering.
+  virtual Status Reorganize(Database* db) = 0;
+
+  /// Drops gathered statistics (fresh benchmark run).
+  virtual void ResetStatistics() = 0;
+
+  virtual const ClusteringStats& stats() const { return stats_; }
+
+ protected:
+  ClusteringStats stats_;
+};
+
+/// \brief Baseline policy: observe nothing, never move anything.
+///
+/// Placement stays whatever the generator produced (creation order), which
+/// is exactly the "before reclustering" configuration of Tables 4 and 5.
+class NoClustering : public ClusteringPolicy {
+ public:
+  std::string name() const override { return "NoClustering"; }
+  Status Reorganize(Database* db) override {
+    (void)db;
+    return Status::OK();
+  }
+  void ResetStatistics() override { stats_ = ClusteringStats{}; }
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CLUSTERING_POLICY_H_

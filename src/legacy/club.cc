@@ -1,0 +1,90 @@
+#include "legacy/club.h"
+
+#include <vector>
+
+namespace ocb {
+namespace {
+
+/// Runs \p count traversals from roots drawn out of \p root_pool; returns
+/// mean page reads per traversal. Transactions are bracketed so
+/// period-based policies advance.
+Result<double> MeasureTraversals(OO1Benchmark* oo1,
+                                 const std::vector<Oid>& root_pool,
+                                 uint32_t count, uint32_t depth) {
+  Database* db = oo1->database();
+  ScopedIoScope scope(db->disk(), IoScope::kTransaction);
+  double total_reads = 0.0;
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t index = static_cast<size_t>(oo1->rng()->UniformInt(
+        0, static_cast<int64_t>(root_pool.size()) - 1));
+    const uint64_t reads_start =
+        db->disk()->counters(IoScope::kTransaction).reads;
+    db->BeginTransaction();
+    auto accessed = oo1->TraverseFrom(root_pool[index], depth,
+                                      /*reverse=*/false);
+    db->EndTransaction();
+    OCB_RETURN_NOT_OK(accessed.status());
+    total_reads += static_cast<double>(
+        db->disk()->counters(IoScope::kTransaction).reads - reads_start);
+  }
+  return count == 0 ? 0.0 : total_reads / count;
+}
+
+}  // namespace
+
+Result<ClubResult> RunDstcClub(const ClubOptions& options, Database* db,
+                               ClusteringPolicy* policy) {
+  OO1Benchmark oo1(options.oo1);
+  OCB_RETURN_NOT_OK(oo1.Build(db));
+  OCB_RETURN_NOT_OK(db->ColdRestart());
+  db->SetObserver(policy);
+
+  // Stereotyped root pool (see ClubOptions::root_pool_size).
+  std::vector<Oid> root_pool;
+  const uint64_t pool_size =
+      options.root_pool_size == 0
+          ? oo1.part_count()
+          : std::min<uint64_t>(options.root_pool_size, oo1.part_count());
+  root_pool.reserve(pool_size);
+  for (uint64_t i = 0; i < pool_size; ++i) {
+    root_pool.push_back(oo1.PartOid(static_cast<uint64_t>(
+        oo1.rng()->UniformInt(0,
+                              static_cast<int64_t>(oo1.part_count()) - 1))));
+  }
+
+  ClubResult result;
+  // Warm-up traversals feed the policy's observation phase, then the
+  // "before reclustering" I/O cost is measured.
+  OCB_ASSIGN_OR_RETURN(
+      double warm_ios,
+      MeasureTraversals(&oo1, root_pool, options.warmup_traversals,
+                        options.traversal_depth));
+  (void)warm_ios;
+  OCB_ASSIGN_OR_RETURN(
+      result.ios_before,
+      MeasureTraversals(&oo1, root_pool, options.measured_traversals,
+                        options.traversal_depth));
+
+  const uint64_t clustering_start =
+      db->disk()->counters(IoScope::kClustering).total();
+  OCB_RETURN_NOT_OK(policy->Reorganize(db));
+  result.clustering_overhead_io =
+      db->disk()->counters(IoScope::kClustering).total() - clustering_start;
+
+  OCB_RETURN_NOT_OK(db->ColdRestart());
+  // Re-warm the cache to the same degree, then measure "after".
+  OCB_ASSIGN_OR_RETURN(
+      double rewarm_ios,
+      MeasureTraversals(&oo1, root_pool, options.warmup_traversals,
+                        options.traversal_depth));
+  (void)rewarm_ios;
+  OCB_ASSIGN_OR_RETURN(
+      result.ios_after,
+      MeasureTraversals(&oo1, root_pool, options.measured_traversals,
+                        options.traversal_depth));
+
+  db->SetObserver(nullptr);
+  return result;
+}
+
+}  // namespace ocb

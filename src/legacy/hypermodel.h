@@ -1,0 +1,104 @@
+/// \file hypermodel.h
+/// \brief Native implementation of the HyperModel (Tektronix) benchmark
+///        (paper §2.2) over the oodb substrate.
+///
+/// Database: an extended hypertext of Node objects related three ways —
+/// *aggregation* (parent/children, fan-out 5, a full tree of `levels`
+/// levels), *partOf/parts* (M-N links between random nodes), and
+/// *association* (refTo/refFrom oriented links). Attribute values
+/// (hundred, thousand) are derived deterministically from the node id.
+///
+/// Workload: seven operation kinds, run under HyperModel's measured
+/// protocol — prepare 50 inputs (not timed), a *cold run* over the 50
+/// inputs, then a *warm run* repeating the same inputs to expose caching:
+///   Name Lookup, Range Lookup, Group Lookup, Reference Lookup (reverse),
+///   Sequential Scan, Closure Traversal, Editing.
+
+#ifndef OCB_LEGACY_HYPERMODEL_H_
+#define OCB_LEGACY_HYPERMODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oodb/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// HyperModel configuration.
+struct HyperModelOptions {
+  uint32_t fanout = 5;        ///< Aggregation children per node.
+  uint32_t levels = 5;        ///< Aggregation tree levels below the root.
+  uint32_t node_payload_bytes = 40;
+  uint64_t seed = 57;
+  uint32_t inputs_per_operation = 50;  ///< HyperModel's 50 setup inputs.
+  uint32_t closure_depth = 5;
+  uint32_t range_width = 10;  ///< Width of the hundred-attribute range.
+};
+
+/// One operation's cold/warm measurement.
+struct HyperModelOpResult {
+  std::string op;
+  double cold_ios = 0.0;        ///< Page reads over the cold run.
+  double warm_ios = 0.0;        ///< Page reads over the warm run.
+  uint64_t cold_nanos = 0;      ///< Simulated time, cold run.
+  uint64_t warm_nanos = 0;      ///< Simulated time, warm run.
+  uint64_t objects_touched = 0; ///< Objects accessed per run (either run).
+};
+
+/// \brief HyperModel database + operations.
+class HyperModelBenchmark {
+ public:
+  static constexpr ClassId kNodeClass = 0;
+  /// Slot layout within a Node: [0, fanout) children, then partOf, refTo.
+  static constexpr RefTypeId kAggregation = 1;
+  static constexpr RefTypeId kAssociation = 2;
+
+  explicit HyperModelBenchmark(HyperModelOptions options = {});
+
+  /// Builds the node hypertext into \p db (must be empty).
+  Status Build(Database* db);
+
+  /// The seven operation kinds. Each runs the cold/warm protocol.
+  Result<HyperModelOpResult> NameLookup();
+  Result<HyperModelOpResult> RangeLookup();
+  Result<HyperModelOpResult> GroupLookup();
+  Result<HyperModelOpResult> ReferenceLookup();
+  Result<HyperModelOpResult> SequentialScan();
+  Result<HyperModelOpResult> ClosureTraversal();
+  Result<HyperModelOpResult> Editing();
+
+  /// Runs all seven and returns their rows.
+  Result<std::vector<HyperModelOpResult>> RunAll();
+
+  uint64_t node_count() const { return nodes_.size(); }
+  Database* database() { return db_; }
+
+  /// Derived "hundred" attribute of a node (0..99).
+  static uint32_t HundredOf(Oid oid) {
+    return static_cast<uint32_t>((oid * 2654435761ULL) % 100);
+  }
+
+ private:
+  /// Runs \p body once per prepared input, cold then warm, measuring I/O.
+  template <typename Body>
+  Result<HyperModelOpResult> RunProtocol(const std::string& name,
+                                         const std::vector<Oid>& inputs,
+                                         Body&& body);
+
+  /// Draws 50 random node inputs.
+  std::vector<Oid> DrawInputs();
+
+  HyperModelOptions options_;
+  Database* db_ = nullptr;
+  LewisPayneRng rng_;
+  std::vector<Oid> nodes_;
+  uint32_t partof_slot_ = 0;
+  uint32_t refto_slot_ = 0;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_LEGACY_HYPERMODEL_H_

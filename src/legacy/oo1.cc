@@ -1,0 +1,200 @@
+#include "legacy/oo1.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+
+namespace ocb {
+
+OO1Benchmark::OO1Benchmark(OO1Options options)
+    : options_(options), rng_(options.seed) {}
+
+uint64_t OO1Benchmark::DrawTargetPart(uint64_t source_id) {
+  const int64_t n = static_cast<int64_t>(parts_.size());
+  const int64_t id = static_cast<int64_t>(source_id);
+  if (rng_.Bernoulli(options_.locality_prob)) {
+    const int64_t lo = std::max<int64_t>(0, id - options_.ref_zone);
+    const int64_t hi = std::min<int64_t>(n - 1, id + options_.ref_zone);
+    return static_cast<uint64_t>(rng_.UniformInt(lo, hi));
+  }
+  return static_cast<uint64_t>(rng_.UniformInt(0, n - 1));
+}
+
+Status OO1Benchmark::WirePart(uint64_t part_index) {
+  const Oid part = parts_[part_index];
+  for (uint32_t k = 0; k < options_.connections_per_part; ++k) {
+    OCB_ASSIGN_OR_RETURN(Oid connection,
+                         db_->CreateObject(kConnectionClass));
+    const uint64_t target_index = DrawTargetPart(part_index);
+    OCB_RETURN_NOT_OK(db_->SetReference(part, k, connection));
+    OCB_RETURN_NOT_OK(db_->SetReference(connection, 0, part));  // From.
+    OCB_RETURN_NOT_OK(
+        db_->SetReference(connection, 1, parts_[target_index]));  // To.
+  }
+  return Status::OK();
+}
+
+Status OO1Benchmark::Build(Database* db) {
+  db_ = db;
+  if (db_->object_count() != 0) {
+    return Status::InvalidArgument("database is not empty");
+  }
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  constexpr RefTypeId kAssoc = 2;  // Cyclic association type.
+
+  ClassDescriptor part;
+  part.id = kPartClass;
+  part.maxnref = options_.connections_per_part;
+  part.basesize = options_.part_payload_bytes;
+  part.instance_size = part.basesize;
+  part.tref.assign(part.maxnref, kAssoc);
+  part.cref.assign(part.maxnref, kConnectionClass);
+  OCB_RETURN_NOT_OK(schema.AddClass(std::move(part)));
+
+  ClassDescriptor connection;
+  connection.id = kConnectionClass;
+  connection.maxnref = 2;  // From, To.
+  connection.basesize = options_.connection_payload_bytes;
+  connection.instance_size = connection.basesize;
+  connection.tref.assign(2, kAssoc);
+  connection.cref.assign(2, kPartClass);
+  OCB_RETURN_NOT_OK(schema.AddClass(std::move(connection)));
+
+  db_->SetSchema(std::move(schema));
+
+  ScopedIoScope scope(db_->disk(), IoScope::kGeneration);
+  // Step 1 (paper): create all Part objects (the "dictionary" is parts_).
+  parts_.reserve(options_.num_parts);
+  for (uint64_t i = 0; i < options_.num_parts; ++i) {
+    OCB_ASSIGN_OR_RETURN(Oid oid, db_->CreateObject(kPartClass));
+    parts_.push_back(oid);
+  }
+  // Step 2: for each part, choose three parts and create the connections.
+  for (uint64_t i = 0; i < options_.num_parts; ++i) {
+    OCB_RETURN_NOT_OK(WirePart(i));
+  }
+  return db_->buffer_pool()->FlushAll();
+}
+
+Result<uint64_t> OO1Benchmark::TraverseFrom(Oid root, uint32_t depth,
+                                            bool reverse) {
+  OCB_ASSIGN_OR_RETURN(Object part, db_->GetObject(root));
+  uint64_t accessed = 1;
+
+  // Recursive lambda: depth-first over Connection/To (or backward over
+  // connections whose To is the current part).
+  auto recurse = [&](auto&& self, const Object& current,
+                     uint32_t remaining) -> Status {
+    if (remaining == 0) return Status::OK();
+    if (!reverse) {
+      for (size_t k = 0; k < current.orefs.size(); ++k) {
+        const Oid conn_oid = current.orefs[k];
+        if (conn_oid == kInvalidOid) continue;
+        OCB_ASSIGN_OR_RETURN(
+            Object conn, db_->CrossLink(current.oid, conn_oid, 2, false));
+        ++accessed;
+        const Oid to = conn.orefs.size() > 1 ? conn.orefs[1] : kInvalidOid;
+        if (to == kInvalidOid) continue;
+        OCB_ASSIGN_OR_RETURN(Object next,
+                             db_->CrossLink(conn.oid, to, 2, false));
+        ++accessed;
+        OCB_RETURN_NOT_OK(self(self, next, remaining - 1));
+      }
+      return Status::OK();
+    }
+    // Reverse: find connections that point *to* the current part, then hop
+    // to their From part — OO1's "swap To and From" direction.
+    for (Oid conn_oid : current.backrefs) {
+      OCB_ASSIGN_OR_RETURN(
+          Object conn, db_->CrossLink(current.oid, conn_oid, 2, true));
+      ++accessed;
+      if (conn.class_id != kConnectionClass || conn.orefs.size() < 2) {
+        continue;
+      }
+      if (conn.orefs[1] != current.oid) continue;  // Part was From, skip.
+      const Oid from = conn.orefs[0];
+      if (from == kInvalidOid) continue;
+      OCB_ASSIGN_OR_RETURN(Object next,
+                           db_->CrossLink(conn.oid, from, 2, true));
+      ++accessed;
+      OCB_RETURN_NOT_OK(self(self, next, remaining - 1));
+    }
+    return Status::OK();
+  };
+  OCB_RETURN_NOT_OK(recurse(recurse, part, depth));
+  return accessed;
+}
+
+Result<OO1OpResult> OO1Benchmark::RunLookups() {
+  OO1OpResult result;
+  result.op = "Lookup";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  for (uint32_t run = 0; run < options_.repetitions; ++run) {
+    const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+    const uint64_t reads_start =
+        db_->disk()->counters(IoScope::kTransaction).reads;
+    for (uint32_t i = 0; i < options_.lookups_per_run; ++i) {
+      const uint64_t index = static_cast<uint64_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(parts_.size()) - 1));
+      OCB_ASSIGN_OR_RETURN(Object part, db_->GetObject(parts_[index]));
+      (void)part;
+    }
+    result.sim_nanos.Add(
+        static_cast<double>(db_->sim_clock()->now_nanos() - nanos_start));
+    result.io_reads.Add(static_cast<double>(
+        db_->disk()->counters(IoScope::kTransaction).reads - reads_start));
+    result.objects_accessed.Add(options_.lookups_per_run);
+    ++result.runs;
+  }
+  return result;
+}
+
+Result<OO1OpResult> OO1Benchmark::RunTraversals(bool reverse) {
+  OO1OpResult result;
+  result.op = reverse ? "ReverseTraversal" : "Traversal";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  for (uint32_t run = 0; run < options_.repetitions; ++run) {
+    const uint64_t index = static_cast<uint64_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(parts_.size()) - 1));
+    const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+    const uint64_t reads_start =
+        db_->disk()->counters(IoScope::kTransaction).reads;
+    OCB_ASSIGN_OR_RETURN(
+        uint64_t accessed,
+        TraverseFrom(parts_[index], options_.traversal_depth, reverse));
+    result.sim_nanos.Add(
+        static_cast<double>(db_->sim_clock()->now_nanos() - nanos_start));
+    result.io_reads.Add(static_cast<double>(
+        db_->disk()->counters(IoScope::kTransaction).reads - reads_start));
+    result.objects_accessed.Add(static_cast<double>(accessed));
+    ++result.runs;
+  }
+  return result;
+}
+
+Result<OO1OpResult> OO1Benchmark::RunInserts() {
+  OO1OpResult result;
+  result.op = "Insert";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  for (uint32_t run = 0; run < options_.repetitions; ++run) {
+    const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+    const uint64_t reads_start =
+        db_->disk()->counters(IoScope::kTransaction).reads;
+    for (uint32_t i = 0; i < options_.inserts_per_run; ++i) {
+      OCB_ASSIGN_OR_RETURN(Oid oid, db_->CreateObject(kPartClass));
+      parts_.push_back(oid);
+      OCB_RETURN_NOT_OK(WirePart(parts_.size() - 1));
+    }
+    OCB_RETURN_NOT_OK(db_->buffer_pool()->FlushAll());  // Commit.
+    result.sim_nanos.Add(
+        static_cast<double>(db_->sim_clock()->now_nanos() - nanos_start));
+    result.io_reads.Add(static_cast<double>(
+        db_->disk()->counters(IoScope::kTransaction).reads - reads_start));
+    result.objects_accessed.Add(options_.inserts_per_run * 4.0);
+    ++result.runs;
+  }
+  return result;
+}
+
+}  // namespace ocb

@@ -1,0 +1,107 @@
+/// \file oo1.h
+/// \brief Native implementation of the OO1 ("Objects Operations 1",
+///        Cattell) benchmark (paper §2.1), built on the oodb substrate.
+///
+/// Database: Part and Connection classes. Each part is connected, through
+/// three Connection objects, to three other parts; each connection
+/// references a source (From) and destination (To) part. Locality: part #i
+/// links to parts with ids in [i - RefZone, i + RefZone] with probability
+/// 0.9, otherwise anywhere.
+///
+/// Workload (each measured over `repetitions` runs):
+///   * Lookup    — access 1000 randomly selected parts.
+///   * Traversal — from a random root part, explore the part tree depth
+///     first through the Connection/To references, up to seven hops (3280
+///     parts, duplicates possible). A reverse traversal swaps To and From
+///     (implemented through BackRefs).
+///   * Insert    — add 100 parts and their connections, commit.
+///
+/// OO1 serves two roles here: the validation baseline OCB is compared to
+/// (through DSTC-CluB, Table 4), and a genericity target OCB approximates.
+
+#ifndef OCB_LEGACY_OO1_H_
+#define OCB_LEGACY_OO1_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oodb/database.h"
+#include "storage/storage_options.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// OO1 configuration.
+struct OO1Options {
+  uint64_t num_parts = 20000;
+  int64_t ref_zone = 100;        ///< Locality half-width.
+  double locality_prob = 0.9;
+  uint32_t connections_per_part = 3;
+  uint32_t part_payload_bytes = 50;        ///< x, y, type, build fields.
+  uint32_t connection_payload_bytes = 30;  ///< type, length fields.
+  uint64_t seed = 41;
+
+  uint32_t lookups_per_run = 1000;
+  uint32_t traversal_depth = 7;
+  uint32_t inserts_per_run = 100;
+  uint32_t repetitions = 10;
+};
+
+/// Per-operation measurement (one benchmark row).
+struct OO1OpResult {
+  std::string op;
+  uint32_t runs = 0;
+  Accumulator sim_nanos;         ///< Simulated response time per run.
+  Accumulator io_reads;          ///< Page reads per run.
+  Accumulator objects_accessed;  ///< Objects touched per run.
+};
+
+/// \brief OO1 database + workload over an oodb Database.
+class OO1Benchmark {
+ public:
+  /// Class ids within the OO1 schema.
+  static constexpr ClassId kPartClass = 0;
+  static constexpr ClassId kConnectionClass = 1;
+
+  explicit OO1Benchmark(OO1Options options = OO1Options());
+
+  /// Builds the Part/Connection database into \p db (must be empty).
+  Status Build(Database* db);
+
+  /// The three OO1 operations. Build() must have succeeded.
+  Result<OO1OpResult> RunLookups();
+  Result<OO1OpResult> RunTraversals(bool reverse = false);
+  Result<OO1OpResult> RunInserts();
+
+  /// One traversal from \p root (returns objects accessed); exposed for
+  /// DSTC-CluB, which reuses OO1's traversal as its only transaction.
+  Result<uint64_t> TraverseFrom(Oid root, uint32_t depth, bool reverse);
+
+  /// Oid of part #index (creation order).
+  Oid PartOid(uint64_t index) const { return parts_[index]; }
+  uint64_t part_count() const { return parts_.size(); }
+
+  Database* database() { return db_; }
+  LewisPayneRng* rng() { return &rng_; }
+  const OO1Options& options() const { return options_; }
+
+ private:
+  /// Draws a target part id near \p source_id per the RefZone rule.
+  uint64_t DrawTargetPart(uint64_t source_id);
+
+  /// Creates one part plus its outgoing connections.
+  Status WirePart(uint64_t part_index);
+
+  OO1Options options_;
+  Database* db_ = nullptr;
+  LewisPayneRng rng_;
+  std::vector<Oid> parts_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_LEGACY_OO1_H_

@@ -1,0 +1,369 @@
+#include "legacy/oo7.h"
+
+#include <algorithm>
+
+namespace ocb {
+
+OO7Benchmark::OO7Benchmark(OO7Options options)
+    : options_(options), rng_(options.seed) {}
+
+Status OO7Benchmark::Build(Database* db) {
+  db_ = db;
+  if (db_->object_count() != 0) {
+    return Status::InvalidArgument("database is not empty");
+  }
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(4));
+  constexpr RefTypeId kComposition = 1;
+  constexpr RefTypeId kAssoc = 2;
+
+  auto add_class = [&](ClassId id, uint32_t maxnref, uint32_t basesize,
+                       RefTypeId type, ClassId target) -> Status {
+    ClassDescriptor cls;
+    cls.id = id;
+    cls.maxnref = maxnref;
+    cls.basesize = basesize;
+    cls.instance_size = basesize;
+    cls.tref.assign(maxnref, type);
+    cls.cref.assign(maxnref, target);
+    return schema.AddClass(std::move(cls));
+  };
+  // Module: manual + root assembly.
+  OCB_RETURN_NOT_OK(add_class(kModule, 2, 100, kComposition, kNullClass));
+  // ComplexAssembly: fan-out children (complex or base; typed at bind
+  // time the slots all carry composition references).
+  OCB_RETURN_NOT_OK(add_class(kComplexAssembly, options_.assembly_fanout,
+                              80, kComposition, kComplexAssembly));
+  // BaseAssembly: composite-part references (shared associations).
+  OCB_RETURN_NOT_OK(add_class(kBaseAssembly, options_.composites_per_base,
+                              80, kAssoc, kCompositePart));
+  // CompositePart: document + root atomic + all atomic parts.
+  OCB_RETURN_NOT_OK(add_class(kCompositePart,
+                              2 + options_.atomic_per_composite, 60,
+                              kComposition, kAtomicPart));
+  // AtomicPart: connections to sibling atomic parts.
+  OCB_RETURN_NOT_OK(add_class(kAtomicPart, options_.connections_per_atomic,
+                              20, kAssoc, kAtomicPart));
+  OCB_RETURN_NOT_OK(add_class(kDocument, 0, options_.document_bytes,
+                              kAssoc, kNullClass));
+  OCB_RETURN_NOT_OK(add_class(kManual, 0, options_.manual_bytes, kAssoc,
+                              kNullClass));
+  db_->SetSchema(std::move(schema));
+
+  ScopedIoScope scope(db_->disk(), IoScope::kGeneration);
+  OCB_RETURN_NOT_OK(BuildCompositeParts());
+  OCB_RETURN_NOT_OK(BuildAssemblyTree());
+  return db_->buffer_pool()->FlushAll();
+}
+
+Result<Oid> OO7Benchmark::BuildOneComposite() {
+  OCB_ASSIGN_OR_RETURN(Oid composite, db_->CreateObject(kCompositePart));
+  composites_.push_back(composite);
+  OCB_ASSIGN_OR_RETURN(Oid document, db_->CreateObject(kDocument));
+  OCB_RETURN_NOT_OK(db_->SetReference(composite, 0, document));
+  // Atomic-part graph: a ring plus random chords keeps it connected with
+  // exactly `connections_per_atomic` outgoing links per part.
+  std::vector<Oid> atoms;
+  atoms.reserve(options_.atomic_per_composite);
+  for (uint32_t a = 0; a < options_.atomic_per_composite; ++a) {
+    OCB_ASSIGN_OR_RETURN(Oid atom, db_->CreateObject(kAtomicPart));
+    atoms.push_back(atom);
+    atomics_.push_back(atom);
+  }
+  const uint32_t n = options_.atomic_per_composite;
+  for (uint32_t a = 0; a < n; ++a) {
+    // Slot 0: ring successor; remaining slots: random chords.
+    OCB_RETURN_NOT_OK(db_->SetReference(atoms[a], 0, atoms[(a + 1) % n]));
+    for (uint32_t k = 1; k < options_.connections_per_atomic; ++k) {
+      const uint32_t target =
+          static_cast<uint32_t>(rng_.UniformInt(0, n - 1));
+      OCB_RETURN_NOT_OK(db_->SetReference(atoms[a], k, atoms[target]));
+    }
+  }
+  OCB_RETURN_NOT_OK(db_->SetReference(composite, 1, atoms[0]));  // Root.
+  for (uint32_t a = 0; a < n; ++a) {
+    OCB_RETURN_NOT_OK(db_->SetReference(composite, 2 + a, atoms[a]));
+  }
+  return composite;
+}
+
+Status OO7Benchmark::BuildCompositeParts() {
+  composites_.reserve(options_.composite_parts);
+  for (uint32_t c = 0; c < options_.composite_parts; ++c) {
+    OCB_ASSIGN_OR_RETURN(Oid composite, BuildOneComposite());
+    (void)composite;
+  }
+  return Status::OK();
+}
+
+Status OO7Benchmark::BuildAssemblyTree() {
+  OCB_ASSIGN_OR_RETURN(Oid module, db_->CreateObject(kModule));
+  module_ = module;
+  OCB_ASSIGN_OR_RETURN(Oid manual, db_->CreateObject(kManual));
+  OCB_RETURN_NOT_OK(db_->SetReference(module_, 0, manual));
+
+  // Recursive construction: levels 1..assembly_levels-1 are complex
+  // assemblies, the last level is base assemblies wired to composites.
+  auto build = [&](auto&& self, uint32_t level) -> Result<Oid> {
+    if (level == options_.assembly_levels) {
+      OCB_ASSIGN_OR_RETURN(Oid base, db_->CreateObject(kBaseAssembly));
+      for (uint32_t k = 0; k < options_.composites_per_base; ++k) {
+        const uint32_t pick = static_cast<uint32_t>(rng_.UniformInt(
+            0, static_cast<int64_t>(composites_.size()) - 1));
+        OCB_RETURN_NOT_OK(db_->SetReference(base, k, composites_[pick]));
+      }
+      return base;
+    }
+    OCB_ASSIGN_OR_RETURN(Oid assembly, db_->CreateObject(kComplexAssembly));
+    for (uint32_t k = 0; k < options_.assembly_fanout; ++k) {
+      OCB_ASSIGN_OR_RETURN(Oid child, self(self, level + 1));
+      OCB_RETURN_NOT_OK(db_->SetReference(assembly, k, child));
+    }
+    return assembly;
+  };
+  OCB_ASSIGN_OR_RETURN(Oid root, build(build, 1));
+  return db_->SetReference(module_, 1, root);
+}
+
+template <typename Visitor>
+Status OO7Benchmark::WalkAssemblies(Oid assembly, uint32_t level,
+                                    Visitor&& visit, uint64_t* accessed) {
+  OCB_ASSIGN_OR_RETURN(Object node, db_->GetObject(assembly));
+  ++*accessed;
+  if (node.class_id == kBaseAssembly) {
+    for (Oid composite : node.orefs) {
+      if (composite == kInvalidOid) continue;
+      OCB_RETURN_NOT_OK(visit(composite, accessed));
+    }
+    return Status::OK();
+  }
+  for (Oid child : node.orefs) {
+    if (child == kInvalidOid) continue;
+    OCB_RETURN_NOT_OK(
+        WalkAssemblies(child, level + 1, visit, accessed));
+  }
+  return Status::OK();
+}
+
+Result<OO7OpResult> OO7Benchmark::TraversalImpl(const char* name,
+                                                int update_mode) {
+  OO7OpResult result;
+  result.op = name;
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+  uint64_t accessed = 0;
+
+  OCB_ASSIGN_OR_RETURN(Object module, db_->GetObject(module_));
+  ++accessed;
+  auto visit_composite = [&](Oid composite, uint64_t* acc) -> Status {
+    OCB_ASSIGN_OR_RETURN(Object comp, db_->GetObject(composite));
+    ++*acc;
+    // DFS over the atomic graph from the root part, bounded by the
+    // composite's own part count (visited set per composite).
+    std::vector<Oid> stack;
+    std::vector<Oid> visited;
+    if (comp.orefs.size() > 1 && comp.orefs[1] != kInvalidOid) {
+      stack.push_back(comp.orefs[1]);
+    }
+    bool updated_root = false;
+    while (!stack.empty()) {
+      const Oid atom_oid = stack.back();
+      stack.pop_back();
+      if (std::find(visited.begin(), visited.end(), atom_oid) !=
+          visited.end()) {
+        continue;
+      }
+      visited.push_back(atom_oid);
+      OCB_ASSIGN_OR_RETURN(Object atom,
+                           db_->CrossLink(composite, atom_oid, 2, false));
+      ++*acc;
+      // T2a: swap the (modeled) x,y of the first atomic part; T2b: of
+      // every atomic part. A rewrite of identical size = the OO7 update.
+      if (update_mode == 2 || (update_mode == 1 && !updated_root)) {
+        OCB_RETURN_NOT_OK(db_->PutObject(atom));
+        updated_root = true;
+      }
+      for (Oid next : atom.orefs) {
+        if (next != kInvalidOid) stack.push_back(next);
+      }
+    }
+    return Status::OK();
+  };
+  const Oid root_assembly = module.orefs[1];
+  OCB_RETURN_NOT_OK(
+      WalkAssemblies(root_assembly, 1, visit_composite, &accessed));
+  if (update_mode != 0) {
+    OCB_RETURN_NOT_OK(db_->buffer_pool()->FlushAll());  // Commit.
+  }
+
+  result.objects_accessed = accessed;
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+Result<OO7OpResult> OO7Benchmark::TraversalT1() {
+  return TraversalImpl("T1", /*update_mode=*/0);
+}
+
+Result<OO7OpResult> OO7Benchmark::TraversalT2a() {
+  return TraversalImpl("T2a", /*update_mode=*/1);
+}
+
+Result<OO7OpResult> OO7Benchmark::TraversalT2b() {
+  return TraversalImpl("T2b", /*update_mode=*/2);
+}
+
+Result<OO7OpResult> OO7Benchmark::StructuralInsert() {
+  OO7OpResult result;
+  result.op = "SM1-insert";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+
+  OCB_ASSIGN_OR_RETURN(Oid composite, BuildOneComposite());
+  // Wire it under a random base assembly, replacing a random slot.
+  const auto& bases =
+      db_->schema().GetClass(kBaseAssembly).iterator;
+  if (!bases.empty()) {
+    const Oid base = bases[static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(bases.size()) - 1))];
+    const uint32_t slot = static_cast<uint32_t>(
+        rng_.UniformInt(0, options_.composites_per_base - 1));
+    OCB_RETURN_NOT_OK(db_->SetReference(base, slot, composite));
+  }
+  OCB_RETURN_NOT_OK(db_->buffer_pool()->FlushAll());  // Commit.
+
+  result.objects_accessed = 2u + options_.atomic_per_composite;
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+Result<OO7OpResult> OO7Benchmark::StructuralDelete() {
+  OO7OpResult result;
+  result.op = "SM2-delete";
+  if (composites_.empty()) {
+    return Status::Aborted("no composite parts left to delete");
+  }
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+
+  const size_t pick = static_cast<size_t>(rng_.UniformInt(
+      0, static_cast<int64_t>(composites_.size()) - 1));
+  const Oid composite = composites_[pick];
+  OCB_ASSIGN_OR_RETURN(Object comp, db_->GetObject(composite));
+  ++result.objects_accessed;
+  // Delete the document and the private atomic parts, then the composite;
+  // DeleteObject unlinks every referer (base assemblies keep running with
+  // a nulled slot, per OO7's delete semantics).
+  std::vector<Oid> members;
+  for (Oid ref : comp.orefs) {
+    if (ref != kInvalidOid) members.push_back(ref);
+  }
+  OCB_RETURN_NOT_OK(db_->DeleteObject(composite));
+  ++result.objects_accessed;
+  for (Oid member : members) {
+    if (!db_->object_store()->Contains(member)) continue;
+    OCB_RETURN_NOT_OK(db_->DeleteObject(member));
+    ++result.objects_accessed;
+    atomics_.erase(std::remove(atomics_.begin(), atomics_.end(), member),
+                   atomics_.end());
+  }
+  composites_.erase(composites_.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+  OCB_RETURN_NOT_OK(db_->buffer_pool()->FlushAll());  // Commit.
+
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+Result<OO7OpResult> OO7Benchmark::TraversalT6() {
+  OO7OpResult result;
+  result.op = "T6";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+  uint64_t accessed = 0;
+
+  OCB_ASSIGN_OR_RETURN(Object module, db_->GetObject(module_));
+  ++accessed;
+  auto visit_composite = [&](Oid composite, uint64_t* acc) -> Status {
+    OCB_ASSIGN_OR_RETURN(Object comp, db_->GetObject(composite));
+    ++*acc;
+    if (comp.orefs.size() > 1 && comp.orefs[1] != kInvalidOid) {
+      OCB_ASSIGN_OR_RETURN(
+          Object root_atom,
+          db_->CrossLink(composite, comp.orefs[1], 2, false));
+      (void)root_atom;
+      ++*acc;
+    }
+    return Status::OK();
+  };
+  OCB_RETURN_NOT_OK(
+      WalkAssemblies(module.orefs[1], 1, visit_composite, &accessed));
+
+  result.objects_accessed = accessed;
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+Result<OO7OpResult> OO7Benchmark::QueryQ1() {
+  OO7OpResult result;
+  result.op = "Q1";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+  for (uint32_t i = 0; i < options_.query_lookups; ++i) {
+    const uint32_t pick = static_cast<uint32_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(composites_.size()) - 1));
+    OCB_ASSIGN_OR_RETURN(Object comp, db_->GetObject(composites_[pick]));
+    (void)comp;
+    ++result.objects_accessed;
+  }
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+Result<OO7OpResult> OO7Benchmark::QueryQ2() {
+  OO7OpResult result;
+  result.op = "Q2";
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+  const uint64_t nanos_start = db_->sim_clock()->now_nanos();
+  // 1% build-date range over the atomic-part extent.
+  for (Oid atom : atomics_) {
+    OCB_ASSIGN_OR_RETURN(Object obj, db_->GetObject(atom));
+    (void)obj;
+    ++result.objects_accessed;
+    if (BuildDateOf(atom) < 1000) {
+      // Qualifies (1% of the 0..99999 date domain).
+    }
+  }
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - nanos_start;
+  return result;
+}
+
+uint64_t OO7Benchmark::object_count() const {
+  return db_ == nullptr ? 0 : db_->object_count();
+}
+
+}  // namespace ocb

@@ -1,0 +1,136 @@
+/// \file oo7.h
+/// \brief Native implementation of the OO7 benchmark's *small*
+///        configuration (paper §2.3; Carey, DeWitt & Naughton), over the
+///        oodb substrate.
+///
+/// Database (small): one Module with a complex-assembly tree (fan-out 3,
+/// 7 assembly levels, the last level being BaseAssemblies), a pool of
+/// CompositeParts each owning a Document and a graph of AtomicParts
+/// (20 per composite, 3 outgoing connections each), and a Manual. Base
+/// assemblies reference 3 composite parts drawn from the shared pool.
+///
+/// Simplification: atomic-part connections are direct references rather
+/// than reified Connection objects (OO7's connection attributes play no
+/// role in I/O-count metrics; see DESIGN.md §5).
+///
+/// Workload: traversals T1 (full DFS touching every atomic part) and T6
+/// (DFS touching composite-part roots only), queries Q1 (random composite
+/// lookups) and Q2 (range over atomic-part build dates).
+
+#ifndef OCB_LEGACY_OO7_H_
+#define OCB_LEGACY_OO7_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oodb/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// OO7 configuration (defaults = the *small* database).
+struct OO7Options {
+  uint32_t assembly_fanout = 3;
+  uint32_t assembly_levels = 7;  ///< Levels of assemblies below the module.
+  uint32_t composite_parts = 500;
+  uint32_t atomic_per_composite = 20;
+  uint32_t connections_per_atomic = 3;
+  uint32_t composites_per_base = 3;
+  uint32_t document_bytes = 2000;
+  uint32_t manual_bytes = 2000;  ///< OO7's 100 KB capped to one page.
+  uint64_t seed = 77;
+  uint32_t query_lookups = 10;
+};
+
+/// One OO7 operation measurement.
+struct OO7OpResult {
+  std::string op;
+  uint64_t objects_accessed = 0;
+  uint64_t io_reads = 0;
+  uint64_t sim_nanos = 0;
+};
+
+/// \brief OO7-small database + core operations.
+class OO7Benchmark {
+ public:
+  static constexpr ClassId kModule = 0;
+  static constexpr ClassId kComplexAssembly = 1;
+  static constexpr ClassId kBaseAssembly = 2;
+  static constexpr ClassId kCompositePart = 3;
+  static constexpr ClassId kAtomicPart = 4;
+  static constexpr ClassId kDocument = 5;
+  static constexpr ClassId kManual = 6;
+
+  explicit OO7Benchmark(OO7Options options = {});
+
+  /// Builds the OO7-small database into \p db (must be empty).
+  Status Build(Database* db);
+
+  /// T1: full traversal — DFS over the assembly tree, then for each
+  /// referenced composite part a DFS over its atomic-part graph.
+  Result<OO7OpResult> TraversalT1();
+
+  /// T6: as T1 but touching only each composite part's root atomic part.
+  Result<OO7OpResult> TraversalT6();
+
+  /// Q1: lookup of `query_lookups` random composite parts.
+  Result<OO7OpResult> QueryQ1();
+
+  /// Q2: select atomic parts in a 1% build-date range (extent scan).
+  Result<OO7OpResult> QueryQ2();
+
+  /// T2a: as T1, but update one atomic part (the root) per composite
+  /// visited. Exercises the read-mostly update path.
+  Result<OO7OpResult> TraversalT2a();
+
+  /// T2b: as T1, but update *every* atomic part visited (write-heavy).
+  Result<OO7OpResult> TraversalT2b();
+
+  /// Structural modification SM1: insert a new composite part (with its
+  /// document and atomic-part graph) and wire it under a random base
+  /// assembly.
+  Result<OO7OpResult> StructuralInsert();
+
+  /// Structural modification SM2: delete a random composite part and its
+  /// private atomic parts / document.
+  Result<OO7OpResult> StructuralDelete();
+
+  Database* database() { return db_; }
+  uint64_t object_count() const;
+
+  /// Derived build date of an atomic part (0..99999).
+  static uint32_t BuildDateOf(Oid oid) {
+    return static_cast<uint32_t>((oid * 1103515245ULL + 12345) % 100000);
+  }
+
+ private:
+  Status BuildAssemblyTree();
+  Status BuildCompositeParts();
+
+  /// Builds one composite part (document + atomic graph); appends it to
+  /// composites_ and returns its oid.
+  Result<Oid> BuildOneComposite();
+
+  /// Shared T1/T2 skeleton: \p update_mode 0 = read-only, 1 = update the
+  /// root atomic part per composite, 2 = update every atomic part.
+  Result<OO7OpResult> TraversalImpl(const char* name, int update_mode);
+
+  /// DFS from an assembly; calls \p visit_composite on base assemblies'
+  /// composite references.
+  template <typename Visitor>
+  Status WalkAssemblies(Oid assembly, uint32_t level, Visitor&& visit,
+                        uint64_t* accessed);
+
+  OO7Options options_;
+  Database* db_ = nullptr;
+  LewisPayneRng rng_;
+  Oid module_ = kInvalidOid;
+  std::vector<Oid> composites_;
+  std::vector<Oid> atomics_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_LEGACY_OO7_H_

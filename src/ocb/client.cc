@@ -1,0 +1,52 @@
+#include "ocb/client.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ocb/protocol.h"
+
+namespace ocb {
+
+Result<MultiClientReport> RunMultiClient(Database* db,
+                                         const WorkloadParameters& params) {
+  OCB_RETURN_NOT_OK(params.Validate());
+  MultiClientReport report;
+  report.clients = params.client_count;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (params.client_count == 1) {
+    ProtocolRunner runner(db, params, /*client_id=*/0);
+    OCB_ASSIGN_OR_RETURN(WorkloadMetrics metrics, runner.Run());
+    report.merged = std::move(metrics);
+  } else {
+    std::vector<std::thread> threads;
+    std::vector<WorkloadMetrics> results(params.client_count);
+    std::vector<Status> statuses(params.client_count, Status::OK());
+    for (uint32_t c = 0; c < params.client_count; ++c) {
+      threads.emplace_back([&, c]() {
+        ProtocolRunner runner(db, params, /*client_id=*/c);
+        auto metrics = runner.Run();
+        if (metrics.ok()) {
+          results[c] = std::move(metrics).value();
+        } else {
+          statuses[c] = metrics.status();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& st : statuses) {
+      OCB_RETURN_NOT_OK(st);
+    }
+    for (WorkloadMetrics& m : results) report.merged.Merge(m);
+  }
+
+  report.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  return report;
+}
+
+}  // namespace ocb

@@ -1,0 +1,48 @@
+/// \file client.h
+/// \brief Multi-user execution (paper §3.1: "the last version of OCB also
+///        supports multiple users, in a very simple way").
+///
+/// CLIENTN clients run the cold/warm protocol concurrently against one
+/// shared Database (threads stand in for the paper's processes; the
+/// contention surface — one shared store, one buffer pool — is the same).
+/// Per-phase metrics from all clients are merged.
+///
+/// Caveat: with more than one client, per-transaction I/O attribution is
+/// approximate (the disk counters are shared), while phase totals remain
+/// exact. Single-client runs are fully exact.
+
+#ifndef OCB_OCB_CLIENT_H_
+#define OCB_OCB_CLIENT_H_
+
+#include <cstdint>
+
+#include "ocb/metrics.h"
+#include "ocb/parameters.h"
+#include "oodb/database.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Result of a multi-client run.
+struct MultiClientReport {
+  WorkloadMetrics merged;       ///< All clients' metrics combined.
+  uint64_t wall_micros = 0;     ///< End-to-end wall time of the run.
+  uint32_t clients = 0;
+
+  /// Transactions per wall-second across all clients.
+  double throughput_tps() const {
+    if (wall_micros == 0) return 0.0;
+    const uint64_t txns =
+        merged.cold.global.transactions + merged.warm.global.transactions;
+    return static_cast<double>(txns) * 1e6 /
+           static_cast<double>(wall_micros);
+  }
+};
+
+/// \brief Runs CLIENTN concurrent ProtocolRunners and merges their metrics.
+Result<MultiClientReport> RunMultiClient(Database* db,
+                                         const WorkloadParameters& params);
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_CLIENT_H_

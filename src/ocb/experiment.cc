@@ -1,0 +1,50 @@
+#include "ocb/experiment.h"
+
+namespace ocb {
+
+Result<BeforeAfterResult> RunBeforeAfterOnDatabase(
+    Database* db, const WorkloadParameters& workload,
+    ClusteringPolicy* policy) {
+  BeforeAfterResult result;
+  result.policy_name = policy->name();
+
+  OCB_RETURN_NOT_OK(db->ColdRestart());
+  db->SetObserver(policy);
+
+  // "Before reclustering": the policy observes but has not reorganized.
+  OCB_ASSIGN_OR_RETURN(MultiClientReport before,
+                       RunMultiClient(db, workload));
+  result.before = std::move(before);
+
+  // Reorganize while idle; measure the clustering overhead I/O.
+  const uint64_t clustering_start =
+      db->disk()->counters(IoScope::kClustering).total();
+  OCB_RETURN_NOT_OK(policy->Reorganize(db));
+  result.clustering_overhead_io =
+      db->disk()->counters(IoScope::kClustering).total() - clustering_start;
+
+  // "After reclustering": cold cache, same workload.
+  OCB_RETURN_NOT_OK(db->ColdRestart());
+  OCB_ASSIGN_OR_RETURN(MultiClientReport after,
+                       RunMultiClient(db, workload));
+  result.after = std::move(after);
+
+  result.policy_stats = policy->stats();
+  db->SetObserver(nullptr);
+  return result;
+}
+
+Result<BeforeAfterResult> RunBeforeAfterExperiment(
+    const ExperimentConfig& config, ClusteringPolicy* policy) {
+  OCB_RETURN_NOT_OK(config.storage.Validate());
+  Database db(config.storage);
+  OCB_ASSIGN_OR_RETURN(GenerationReport generation,
+                       GenerateDatabase(config.preset.database, &db));
+  OCB_ASSIGN_OR_RETURN(
+      BeforeAfterResult result,
+      RunBeforeAfterOnDatabase(&db, config.preset.workload, policy));
+  result.generation = generation;
+  return result;
+}
+
+}  // namespace ocb

@@ -1,0 +1,94 @@
+/// \file experiment.h
+/// \brief The before/after-reclustering experiment harness behind the
+///        paper's Tables 4 and 5.
+///
+/// Protocol (mirrors §4.3):
+///   1. Generate the OCB database (generation-scope I/O).
+///   2. Cold-restart the cache; attach the clustering policy.
+///   3. Run the cold+warm workload — the "before reclustering" measurement;
+///      the policy observes link crossings throughout.
+///   4. Trigger Reorganize() ("when the system is idle") — its I/O is the
+///      clustering overhead.
+///   5. Cold-restart again and re-run the workload — the "after
+///      reclustering" measurement.
+///
+/// The headline number reported by the paper is the mean number of I/Os
+/// per transaction in the warm run, before vs after, and their ratio (the
+/// "gain factor").
+
+#ifndef OCB_OCB_EXPERIMENT_H_
+#define OCB_OCB_EXPERIMENT_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "clustering/policy.h"
+#include "ocb/client.h"
+#include "ocb/generator.h"
+#include "ocb/metrics.h"
+#include "ocb/presets.h"
+#include "oodb/database.h"
+#include "storage/storage_options.h"
+
+namespace ocb {
+
+/// Configuration of one before/after experiment.
+struct ExperimentConfig {
+  OcbPreset preset;
+  StorageOptions storage;
+
+  ExperimentConfig() {
+    // The paper's setup has the database much larger than main memory
+    // (15 MB DB vs 8 MB RAM). Default to a 256-page (1 MB) pool so a
+    // ~20000-object OCB database spills, as in the paper; benches override
+    // as needed.
+    storage.buffer_pool_pages = 256;
+  }
+};
+
+/// All measurements from one before/after experiment.
+struct BeforeAfterResult {
+  std::string policy_name;
+  GenerationReport generation;
+  MultiClientReport before;
+  MultiClientReport after;
+  uint64_t clustering_overhead_io = 0;  ///< Reorganization I/O (scope).
+  ClusteringStats policy_stats;
+
+  /// Mean warm-run I/Os per transaction, before / after reclustering —
+  /// the quantities of paper Tables 4 and 5.
+  double ios_before() const {
+    return before.merged.warm.mean_ios_per_transaction();
+  }
+  double ios_after() const {
+    return after.merged.warm.mean_ios_per_transaction();
+  }
+  /// Paper Tables 4/5 "Gain Factor". A zero after-cost with a non-zero
+  /// before-cost is an unbounded win (the whole warm working set became
+  /// cache-resident) and reports +infinity.
+  double gain_factor() const {
+    if (ios_after() == 0.0) {
+      return ios_before() == 0.0
+                 ? 1.0
+                 : std::numeric_limits<double>::infinity();
+    }
+    return ios_before() / ios_after();
+  }
+};
+
+/// \brief Runs the full generate → before → reorganize → after pipeline
+/// with \p policy attached. The Database is created and owned internally.
+Result<BeforeAfterResult> RunBeforeAfterExperiment(
+    const ExperimentConfig& config, ClusteringPolicy* policy);
+
+/// \brief Variant reusing an already generated database: \p db must hold a
+/// generated OCB database; runs steps 2-5 only. Allows comparing policies
+/// on identical physical layouts (the caller re-generates in between).
+Result<BeforeAfterResult> RunBeforeAfterOnDatabase(
+    Database* db, const WorkloadParameters& workload,
+    ClusteringPolicy* policy);
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_EXPERIMENT_H_

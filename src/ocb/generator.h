@@ -1,0 +1,56 @@
+/// \file generator.h
+/// \brief OCB database generation — the three-step algorithm of paper
+///        Fig. 2.
+///
+///   1. Schema instantiation: NC classes from the CLASS metaclass; each
+///      reference slot gets a type (DIST1, or fixed a priori) and a target
+///      class drawn in [INFCLASS, SUPCLASS] (DIST2, or fixed).
+///   2. Consistency check-up: cycles and discrepancies are suppressed in
+///      graphs that do not allow them (inheritance, composition), then
+///      InstanceSize is accumulated through the inheritance graph.
+///   3. Object instantiation: NO objects are created (class per DIST3),
+///      then each reference slot is bound to an object of the target class
+///      drawn in [INFREF, SUPREF] per DIST4. Reverse references (BackRef)
+///      are instantiated together with the direct links.
+///
+/// All randomness comes from a Lewis–Payne generator seeded from
+/// DatabaseParameters::seed, making generation fully reproducible.
+
+#ifndef OCB_OCB_GENERATOR_H_
+#define OCB_OCB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "oodb/database.h"
+#include "ocb/parameters.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Outcome of a generation run (feeds Fig. 4's creation-time series).
+struct GenerationReport {
+  uint64_t classes_created = 0;
+  uint64_t objects_created = 0;
+  uint64_t references_bound = 0;
+  uint64_t nil_references = 0;       ///< Slots left NIL (cycle removal etc.).
+  uint64_t cycles_removed = 0;       ///< Consistency-pass suppressions.
+  uint64_t backref_overflows = 0;    ///< SetReference refusals (page cap).
+  uint64_t wall_micros = 0;          ///< Real elapsed generation time.
+  uint64_t sim_nanos = 0;            ///< Simulated I/O time charged.
+  uint64_t generation_ios = 0;       ///< Page I/Os in the generation scope.
+  uint64_t data_pages = 0;
+  uint64_t database_bytes = 0;       ///< Payload bytes stored.
+};
+
+/// \brief Generates the OCB database described by \p params into \p db.
+///
+/// The database must be empty. On success the schema is installed and every
+/// object is stored; the caller typically follows with db->ColdRestart() so
+/// the workload starts on a cold cache.
+Result<GenerationReport> GenerateDatabase(const DatabaseParameters& params,
+                                          Database* db);
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_GENERATOR_H_

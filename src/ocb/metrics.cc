@@ -1,0 +1,46 @@
+#include "ocb/metrics.h"
+
+#include "util/format.h"
+
+namespace ocb {
+
+void PhaseMetrics::Merge(const PhaseMetrics& other) {
+  for (int t = 0; t < kNumTransactionTypes; ++t) {
+    per_type[static_cast<size_t>(t)].Merge(
+        other.per_type[static_cast<size_t>(t)]);
+  }
+  global.Merge(other.global);
+  transaction_io_reads += other.transaction_io_reads;
+  transaction_io_writes += other.transaction_io_writes;
+  buffer_hits += other.buffer_hits;
+  buffer_misses += other.buffer_misses;
+  wall_micros += other.wall_micros;
+}
+
+std::string PhaseMetrics::ToTableString(const std::string& title) const {
+  TextTable t({"Transaction type", "Count", "Mean response", "p50", "p99",
+               "Mean objects", "Mean I/Os"});
+  auto row = [&](const std::string& name, const TypeMetrics& m) {
+    t.AddRow({name, Format("%llu", (unsigned long long)m.transactions),
+              HumanDuration(static_cast<uint64_t>(m.response_nanos.mean())),
+              HumanDuration(m.response_histogram.Percentile(50)),
+              HumanDuration(m.response_histogram.Percentile(99)),
+              Format("%.1f", m.objects_accessed.mean()),
+              Format("%.2f", m.io_reads.mean())});
+  };
+  for (int i = 0; i < kNumTransactionTypes; ++i) {
+    const TypeMetrics& m = per_type[static_cast<size_t>(i)];
+    if (m.transactions == 0 && i >= 4) continue;  // Hide unused extension.
+    row(TransactionTypeToString(static_cast<TransactionType>(i)), m);
+  }
+  t.AddSeparator();
+  row("GLOBAL", global);
+  return title + "\n" + t.ToString() +
+         Format("transaction I/O: %llu reads, %llu writes; buffer hit "
+                "ratio %.3f\n",
+                (unsigned long long)transaction_io_reads,
+                (unsigned long long)transaction_io_writes,
+                buffer_hit_ratio());
+}
+
+}  // namespace ocb

@@ -1,0 +1,133 @@
+#include "ocb/presets.h"
+
+namespace ocb {
+namespace presets {
+
+OcbPreset Default() {
+  OcbPreset preset;
+  preset.name = "OCB-default";
+  // Struct defaults are exactly paper Tables 1 + 2.
+  return preset;
+}
+
+OcbPreset DstcClubApprox(int64_t ref_zone) {
+  OcbPreset preset;
+  preset.name = "OCB-as-DSTC-CluB";
+
+  DatabaseParameters& db = preset.database;
+  db.num_classes = 2;      // Part + Connection.
+  db.max_nref = 3;         // Each part connects to three parts.
+  db.base_size = 50;
+  db.num_objects = 20000;
+  db.num_ref_types = 3;
+  db.inf_class = 0;
+  db.sup_class = -1;       // SUPCLASS = NC.
+  // DIST1..DIST3 constant (paper Table 3): every reference slot carries
+  // type 2 (a plain association — the part graph is cyclic), every class
+  // reference targets class 0 (Part), every object instantiates class 0.
+  db.dist1_ref_types = DistributionSpec::Constant(2);
+  db.dist2_class_refs = DistributionSpec::Constant(0);
+  db.dist3_objects_in_classes = DistributionSpec::Constant(0);
+  // DIST4 "Special": INFREF/SUPREF = PartId ± RefZone with OO1's 0.9
+  // locality probability.
+  db.dist4_object_refs = DistributionSpec::SpecialRefZone(ref_zone, 0.9);
+
+  WorkloadParameters& wl = preset.workload;
+  // DSTC-CluB runs a single transaction type: OO1's traversal — depth
+  // first, seven hops, all references — repeatedly from a small root set
+  // (the stereotypy the paper credits for CluB's outsized gain, §4.3).
+  wl.p_set = 0.0;
+  wl.p_simple = 1.0;
+  wl.p_hierarchy = 0.0;
+  wl.p_stochastic = 0.0;
+  wl.simple_depth = 7;
+  wl.root_pool_size = 32;
+  return preset;
+}
+
+OcbPreset OO1Approx(int64_t ref_zone) {
+  OcbPreset preset = DstcClubApprox(ref_zone);
+  preset.name = "OCB-as-OO1";
+  WorkloadParameters& wl = preset.workload;
+  // OO1 runs lookups (random point accesses — set accesses of depth 0)
+  // and traversals in equal parts; inserts are outside OCB's
+  // clustering-oriented transaction set (paper §3.3 excludes updates).
+  wl.p_set = 0.5;
+  wl.p_simple = 0.5;
+  wl.p_hierarchy = 0.0;
+  wl.p_stochastic = 0.0;
+  wl.set_depth = 0;  // A pure lookup: access the root only.
+  wl.simple_depth = 7;
+  return preset;
+}
+
+OcbPreset HyperModelApprox() {
+  OcbPreset preset;
+  preset.name = "OCB-as-HyperModel";
+
+  DatabaseParameters& db = preset.database;
+  // HyperModel: one extended-hypertext Node hierarchy. Relationships:
+  // parent/children aggregation (fan-out 5), partOf/parts M-N, refTo/
+  // refFrom association, plus attribute inheritance. Approximated with 5
+  // node-like classes whose slots carry inheritance (0), aggregation (1)
+  // and association (2) types.
+  db.num_classes = 5;
+  db.max_nref = 7;  // 5 children + 1 partOf + 1 refTo.
+  db.base_size = 40;
+  db.num_objects = 15625;  // HyperModel's five full aggregation levels.
+  db.num_ref_types = 3;
+  db.dist1_ref_types = DistributionSpec::Uniform();
+  db.dist2_class_refs = DistributionSpec::Uniform();
+  db.dist3_objects_in_classes = DistributionSpec::Uniform();
+  // Aggregation links are local (children are created near parents).
+  db.dist4_object_refs = DistributionSpec::SpecialRefZone(50, 0.9);
+
+  WorkloadParameters& wl = preset.workload;
+  // HyperModel operations ≈ group lookups (breadth-first one level),
+  // closure traversals (depth-first to a predefined depth) and reference
+  // lookups (reverse group lookups).
+  wl.p_set = 0.4;
+  wl.p_simple = 0.3;
+  wl.p_hierarchy = 0.3;
+  wl.p_stochastic = 0.0;
+  wl.set_depth = 1;        // Group lookup: one level.
+  wl.simple_depth = 5;     // Closure traversal depth (HyperModel's 25 is
+                           // infeasible with fan-out 7; 5 keeps the shape).
+  wl.hierarchy_depth = 5;
+  wl.p_reverse = 0.25;     // Reference lookup = reverse group lookup.
+  return preset;
+}
+
+OcbPreset OO7SmallApprox() {
+  OcbPreset preset;
+  preset.name = "OCB-as-OO7-small";
+
+  DatabaseParameters& db = preset.database;
+  // OO7-small: Module → 7-level complex assembly tree (fan-out 3) →
+  // base assemblies → 3 composite parts each → graphs of 20 atomic parts
+  // (fan-out 3) + documentation. Ten classes with heterogeneous sizes.
+  db.num_classes = 10;
+  db.per_class_max_nref = {3, 3, 3, 3, 3, 3, 4, 3, 2, 1};
+  db.per_class_base_size = {100, 80, 80, 80, 80, 60, 120, 40, 2000, 200};
+  db.num_objects = 12000;
+  db.num_ref_types = 4;
+  db.dist1_ref_types = DistributionSpec::Uniform();
+  db.dist2_class_refs = DistributionSpec::Uniform();
+  db.dist3_objects_in_classes = DistributionSpec::Uniform();
+  db.dist4_object_refs = DistributionSpec::SpecialRefZone(30, 0.9);
+
+  WorkloadParameters& wl = preset.workload;
+  // OO7's T1 (full traversal) ≈ deep simple traversal; T6 ≈ hierarchy
+  // traversal touching one link type; Q1 (lookup) ≈ depth-0 set access.
+  wl.p_set = 0.25;
+  wl.p_simple = 0.35;
+  wl.p_hierarchy = 0.4;
+  wl.p_stochastic = 0.0;
+  wl.set_depth = 0;
+  wl.simple_depth = 6;
+  wl.hierarchy_depth = 7;
+  return preset;
+}
+
+}  // namespace presets
+}  // namespace ocb

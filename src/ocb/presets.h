@@ -1,0 +1,54 @@
+/// \file presets.h
+/// \brief Canned OCB parameterizations.
+///
+/// OCB's genericity claim (paper §3.1, §5) is that its database can be
+/// tuned to fit the databases of the main existing benchmarks. These
+/// presets encode: the paper's defaults (Tables 1+2), the DSTC-CluB
+/// approximation of paper Table 3 (used for Table 4), and approximations
+/// of OO1, HyperModel and OO7-small used by the genericity bench.
+
+#ifndef OCB_OCB_PRESETS_H_
+#define OCB_OCB_PRESETS_H_
+
+#include "ocb/parameters.h"
+
+namespace ocb {
+
+/// A full OCB configuration: database + workload.
+struct OcbPreset {
+  const char* name;
+  DatabaseParameters database;
+  WorkloadParameters workload;
+};
+
+namespace presets {
+
+/// Paper Tables 1 + 2 defaults.
+OcbPreset Default();
+
+/// Paper Table 3: OCB tuned to approximate DSTC-CluB's database — two
+/// classes, 3 references, constant distributions, OO1-style RefZone
+/// locality — plus DSTC-CluB's workload (pure depth-first traversal of
+/// 7 hops, OO1's traversal).
+///
+/// \param ref_zone OO1 locality half-width (DSTC-CluB inherits OO1's
+///        reference zone; 100 is 0.5% of the 20000-part database).
+OcbPreset DstcClubApprox(int64_t ref_zone = 100);
+
+/// OO1/Cattell approximation: same database as DstcClubApprox, workload
+/// mixing lookups (modeled as depth-0 set accesses) and traversals.
+OcbPreset OO1Approx(int64_t ref_zone = 100);
+
+/// HyperModel approximation: one node hierarchy with aggregation fan-out 5,
+/// M-N partOf links and refTo associations.
+OcbPreset HyperModelApprox();
+
+/// OO7-small approximation: a 10-class design hierarchy (modules,
+/// assemblies, composite parts, atomic parts, documentation).
+OcbPreset OO7SmallApprox();
+
+}  // namespace presets
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_PRESETS_H_

@@ -1,0 +1,104 @@
+#include "ocb/protocol.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ocb {
+
+ProtocolRunner::ProtocolRunner(Database* db, const WorkloadParameters& params,
+                               uint32_t client_id)
+    : db_(db), params_(params), executor_(db, params_),
+      rng_(params.seed + 0x9E3779B9ULL * (client_id + 1)) {
+  root_pool_ = db_->object_store()->LiveOids();
+  if (params_.root_pool_size > 0 &&
+      params_.root_pool_size < root_pool_.size()) {
+    // Deterministic sample shared by all clients: derived from the
+    // workload seed only, not the per-client stream.
+    LewisPayneRng pool_rng(params_.seed);
+    std::shuffle(root_pool_.begin(), root_pool_.end(), pool_rng);
+    root_pool_.resize(params_.root_pool_size);
+  }
+}
+
+Oid ProtocolRunner::DrawRoot() {
+  if (root_pool_.empty()) return kInvalidOid;
+  last_root_index_ = static_cast<size_t>(DrawFromDistribution(
+      params_.dist5_roots, &rng_, 0,
+      static_cast<int64_t>(root_pool_.size()) - 1));
+  return root_pool_[last_root_index_];
+}
+
+void ProtocolRunner::ReplaceLastRoot() {
+  // The drawn root was deleted by a Delete transaction (or a concurrent
+  // client); adopt a random live object in its place so the workload
+  // follows the evolving database instead of starving.
+  const std::vector<Oid> live = db_->object_store()->LiveOids();
+  if (live.empty()) return;
+  root_pool_[last_root_index_] = live[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+}
+
+Status ProtocolRunner::RunPhase(uint64_t count, PhaseMetrics* out) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const IoCounters io_start = db_->disk()->counters(IoScope::kTransaction);
+  const BufferPoolStats pool_start = db_->buffer_pool()->stats();
+
+  ScopedIoScope scope(db_->disk(), IoScope::kTransaction);
+  for (uint64_t i = 0; i < count; ++i) {
+    const TransactionType type = executor_.DrawType(&rng_);
+    const bool reversed =
+        params_.p_reverse > 0.0 && rng_.Bernoulli(params_.p_reverse);
+    const Oid root = DrawRoot();
+    if (root == kInvalidOid) {
+      return Status::Aborted("no live objects to draw a root from");
+    }
+    auto result = executor_.Execute(type, root, reversed, &rng_);
+    if (!result.ok()) {
+      // A deleted root is tolerated: adopt a live replacement into the
+      // pool and move on. Anything else aborts the phase.
+      if (result.status().IsNotFound()) {
+        ReplaceLastRoot();
+        continue;
+      }
+      return result.status();
+    }
+    if (type == TransactionType::kDelete) {
+      // The transaction consumed its root; keep the pool live.
+      ReplaceLastRoot();
+    }
+    out->per_type[static_cast<size_t>(result->type)].Record(
+        result->sim_nanos, result->objects_accessed, result->io_reads);
+    out->global.Record(result->sim_nanos, result->objects_accessed,
+                       result->io_reads);
+
+    if (params_.think_nanos > 0) {
+      db_->sim_clock()->Advance(params_.think_nanos);
+    }
+  }
+
+  const IoCounters io_end = db_->disk()->counters(IoScope::kTransaction);
+  const BufferPoolStats pool_end = db_->buffer_pool()->stats();
+  out->transaction_io_reads += io_end.reads - io_start.reads;
+  out->transaction_io_writes += io_end.writes - io_start.writes;
+  out->buffer_hits += pool_end.hits - pool_start.hits;
+  out->buffer_misses += pool_end.misses - pool_start.misses;
+  out->wall_micros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  return Status::OK();
+}
+
+Result<WorkloadMetrics> ProtocolRunner::Run() {
+  OCB_RETURN_NOT_OK(params_.Validate());
+  WorkloadMetrics metrics;
+  const uint64_t clustering_start =
+      db_->disk()->counters(IoScope::kClustering).total();
+  OCB_RETURN_NOT_OK(RunPhase(params_.cold_transactions, &metrics.cold));
+  OCB_RETURN_NOT_OK(RunPhase(params_.hot_transactions, &metrics.warm));
+  metrics.clustering_io =
+      db_->disk()->counters(IoScope::kClustering).total() - clustering_start;
+  return metrics;
+}
+
+}  // namespace ocb

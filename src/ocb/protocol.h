@@ -1,0 +1,57 @@
+/// \file protocol.h
+/// \brief OCB's execution protocol (paper §3.3): per client, a cold run of
+///        COLDN transactions (to fill the cache and reach the clustering
+///        algorithm's stationary behaviour) followed by a warm run of HOTN
+///        transactions; an optional THINK latency separates transactions.
+///
+/// Transaction types are drawn per PSET..PSTOCH; the root object is drawn
+/// per DIST5 over the live objects. Metrics are recorded separately for the
+/// cold and warm phases.
+
+#ifndef OCB_OCB_PROTOCOL_H_
+#define OCB_OCB_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ocb/metrics.h"
+#include "ocb/parameters.h"
+#include "ocb/transaction.h"
+#include "oodb/database.h"
+#include "util/rng.h"
+
+namespace ocb {
+
+/// \brief Runs the cold/warm protocol for one client.
+class ProtocolRunner {
+ public:
+  /// \param client_id Offsets the RNG stream so concurrent clients draw
+  ///        independent transaction sequences from one WorkloadParameters.
+  ProtocolRunner(Database* db, const WorkloadParameters& params,
+                 uint32_t client_id = 0);
+
+  /// Executes COLDN + HOTN transactions; returns per-phase metrics.
+  Result<WorkloadMetrics> Run();
+
+  /// Runs only \p count transactions into \p out (building block used by
+  /// Run and by ablation benches that want custom phases).
+  Status RunPhase(uint64_t count, PhaseMetrics* out);
+
+ private:
+  Oid DrawRoot();
+
+  /// Swaps the most recently drawn pool entry for a random live object
+  /// (called when a Delete transaction consumed the root).
+  void ReplaceLastRoot();
+
+  Database* db_;
+  WorkloadParameters params_;
+  TransactionExecutor executor_;
+  LewisPayneRng rng_;
+  std::vector<Oid> root_pool_;  ///< Snapshot of live oids for DIST5 draws.
+  size_t last_root_index_ = 0;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_PROTOCOL_H_

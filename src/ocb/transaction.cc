@@ -1,0 +1,232 @@
+#include "ocb/transaction.h"
+
+namespace ocb {
+
+TransactionType TransactionExecutor::DrawType(LewisPayneRng* rng) const {
+  const double u = rng->NextDouble();
+  double cumulative = params_.p_set;
+  if (u < cumulative) return TransactionType::kSetOriented;
+  cumulative += params_.p_simple;
+  if (u < cumulative) return TransactionType::kSimpleTraversal;
+  cumulative += params_.p_hierarchy;
+  if (u < cumulative) return TransactionType::kHierarchyTraversal;
+  cumulative += params_.p_stochastic;
+  if (u < cumulative) return TransactionType::kStochasticTraversal;
+  cumulative += params_.p_update;
+  if (u < cumulative) return TransactionType::kUpdate;
+  cumulative += params_.p_insert;
+  if (u < cumulative) return TransactionType::kInsert;
+  cumulative += params_.p_delete;
+  if (u < cumulative) return TransactionType::kDelete;
+  if (params_.p_scan > 0.0) return TransactionType::kScan;
+  return TransactionType::kStochasticTraversal;  // Rounding fallback.
+}
+
+Result<Object> TransactionExecutor::Follow(const Object& from, size_t index,
+                                           bool reversed) {
+  if (!reversed) {
+    const Oid target = from.orefs[index];
+    const ClassDescriptor& cls = db_->schema().GetClass(from.class_id);
+    const RefTypeId type =
+        index < cls.tref.size() ? cls.tref[index] : RefTypeId{0};
+    return db_->CrossLink(from.oid, target, type, /*reverse=*/false);
+  }
+  const Oid target = from.backrefs[index];
+  return db_->CrossLink(from.oid, target, /*type=*/0, /*reverse=*/true);
+}
+
+uint64_t TransactionExecutor::SetOriented(const Object& root, uint32_t depth,
+                                          bool reversed) {
+  // Breadth-first on all the references, level by level, duplicates kept.
+  uint64_t accessed = 0;
+  std::vector<Object> level = {root};
+  for (uint32_t d = 0; d < depth && !level.empty(); ++d) {
+    std::vector<Object> next;
+    for (const Object& node : level) {
+      const size_t fanout =
+          reversed ? node.backrefs.size() : node.orefs.size();
+      for (size_t i = 0; i < fanout; ++i) {
+        if (!reversed && node.orefs[i] == kInvalidOid) continue;
+        auto child = Follow(node, i, reversed);
+        if (!child.ok()) continue;  // Vanished under a concurrent client.
+        ++accessed;
+        next.push_back(std::move(child).value());
+      }
+    }
+    level = std::move(next);
+  }
+  return accessed;
+}
+
+uint64_t TransactionExecutor::DepthFirst(const Object& node, uint32_t depth,
+                                         bool reversed) {
+  if (depth == 0) return 0;
+  uint64_t accessed = 0;
+  const size_t fanout = reversed ? node.backrefs.size() : node.orefs.size();
+  for (size_t i = 0; i < fanout; ++i) {
+    if (!reversed && node.orefs[i] == kInvalidOid) continue;
+    auto child = Follow(node, i, reversed);
+    if (!child.ok()) continue;
+    ++accessed;
+    accessed += DepthFirst(child.value(), depth - 1, reversed);
+  }
+  return accessed;
+}
+
+uint64_t TransactionExecutor::Hierarchy(const Object& node, uint32_t depth,
+                                        RefTypeId type, bool reversed) {
+  if (depth == 0) return 0;
+  uint64_t accessed = 0;
+  if (!reversed) {
+    const ClassDescriptor& cls = db_->schema().GetClass(node.class_id);
+    for (size_t i = 0; i < node.orefs.size(); ++i) {
+      if (node.orefs[i] == kInvalidOid) continue;
+      if (i >= cls.tref.size() || cls.tref[i] != type) continue;
+      auto child = Follow(node, i, /*reversed=*/false);
+      if (!child.ok()) continue;
+      ++accessed;
+      accessed += Hierarchy(child.value(), depth - 1, type, reversed);
+    }
+    return accessed;
+  }
+  // Reversed hierarchy traversal ascends through BackRefs. BackRefs carry
+  // no slot type, so the reverse direction follows all of them — a
+  // documented approximation (see DESIGN.md §5).
+  for (size_t i = 0; i < node.backrefs.size(); ++i) {
+    auto child = Follow(node, i, /*reversed=*/true);
+    if (!child.ok()) continue;
+    ++accessed;
+    accessed += Hierarchy(child.value(), depth - 1, type, reversed);
+  }
+  return accessed;
+}
+
+uint64_t TransactionExecutor::Stochastic(const Object& node, uint32_t depth,
+                                         bool reversed, LewisPayneRng* rng) {
+  // Random walk: at each step the probability of following reference
+  // number N (1-based) is 1/2^N; failing every coin flip ends the walk, as
+  // does a null or missing link.
+  uint64_t accessed = 0;
+  Object current = node;
+  for (uint32_t step = 0; step < depth; ++step) {
+    const size_t fanout =
+        reversed ? current.backrefs.size() : current.orefs.size();
+    size_t chosen = fanout;  // Sentinel: no link chosen.
+    for (size_t i = 0; i < fanout; ++i) {
+      if (rng->Bernoulli(0.5)) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == fanout) break;
+    if (!reversed && current.orefs[chosen] == kInvalidOid) break;
+    auto next = Follow(current, chosen, reversed);
+    if (!next.ok()) break;
+    ++accessed;
+    current = std::move(next).value();
+  }
+  return accessed;
+}
+
+Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
+                                                       Oid root,
+                                                       bool reversed,
+                                                       LewisPayneRng* rng) {
+  TransactionResult result;
+  result.type = type;
+  result.root = root;
+  result.reversed = reversed;
+
+  const uint64_t sim_start = db_->sim_clock()->now_nanos();
+  const uint64_t reads_start =
+      db_->disk()->counters(IoScope::kTransaction).reads;
+
+  db_->BeginTransaction();
+  auto root_obj = db_->GetObject(root);
+  if (!root_obj.ok()) {
+    db_->EndTransaction();
+    return root_obj.status();
+  }
+  uint64_t accessed = 1;  // The root itself.
+  switch (type) {
+    case TransactionType::kSetOriented:
+      accessed += SetOriented(root_obj.value(), params_.set_depth, reversed);
+      break;
+    case TransactionType::kSimpleTraversal:
+      accessed += DepthFirst(root_obj.value(), params_.simple_depth,
+                             reversed);
+      break;
+    case TransactionType::kHierarchyTraversal:
+      accessed += Hierarchy(root_obj.value(), params_.hierarchy_depth,
+                            params_.hierarchy_ref_type, reversed);
+      break;
+    case TransactionType::kStochasticTraversal:
+      accessed += Stochastic(root_obj.value(), params_.stochastic_depth,
+                             reversed, rng);
+      break;
+    case TransactionType::kUpdate: {
+      // Rewrite the root in place (attribute edit; size unchanged).
+      Status st = db_->PutObject(root_obj.value());
+      if (!st.ok()) {
+        db_->EndTransaction();
+        return st;
+      }
+      break;
+    }
+    case TransactionType::kInsert: {
+      // Create a sibling of the root's class and wire its references to
+      // uniform members of the schema-declared target extents.
+      const ClassId class_id = root_obj->class_id;
+      auto created = db_->CreateObject(class_id);
+      if (!created.ok()) {
+        db_->EndTransaction();
+        return created.status();
+      }
+      ++accessed;
+      const ClassDescriptor& cls = db_->schema().GetClass(class_id);
+      for (uint32_t k = 0; k < cls.maxnref; ++k) {
+        if (cls.cref[k] == kNullClass) continue;
+        const auto& extent = db_->schema().GetClass(cls.cref[k]).iterator;
+        if (extent.empty()) continue;
+        const Oid target = extent[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(extent.size()) - 1))];
+        Status st = db_->SetReference(*created, k, target);
+        if (st.ok()) {
+          ++accessed;
+        } else if (!st.IsNoSpace() && !st.IsNotFound()) {
+          db_->EndTransaction();
+          return st;
+        }
+      }
+      break;
+    }
+    case TransactionType::kDelete: {
+      Status st = db_->DeleteObject(root);
+      if (!st.ok() && !st.IsNotFound()) {
+        db_->EndTransaction();
+        return st;
+      }
+      break;
+    }
+    case TransactionType::kScan: {
+      // Sequential scan of the root's class extent (HyperModel-style);
+      // copy the extent first — a concurrent client may mutate it.
+      const std::vector<Oid> extent =
+          db_->schema().GetClass(root_obj->class_id).iterator;
+      for (Oid member : extent) {
+        auto obj = db_->GetObject(member);
+        if (obj.ok()) ++accessed;
+      }
+      break;
+    }
+  }
+  db_->EndTransaction();
+
+  result.objects_accessed = accessed;
+  result.sim_nanos = db_->sim_clock()->now_nanos() - sim_start;
+  result.io_reads =
+      db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  return result;
+}
+
+}  // namespace ocb

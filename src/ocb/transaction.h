@@ -1,0 +1,79 @@
+/// \file transaction.h
+/// \brief OCB's transaction classes (paper Fig. 3 / §3.3).
+///
+/// Each transaction proceeds from a randomly chosen root object up to a
+/// predefined depth:
+///
+///   * Set-oriented access — breadth-first on all the references
+///     ([McIver & King]'s set-oriented accesses match breadth-first).
+///   * Simple traversal — depth-first on all the references.
+///   * Hierarchy traversal — depth-first, always following the same
+///     reference type.
+///   * Stochastic traversal — selects the next link at random: at each
+///     step the probability to follow reference number N is p(N) = 1/2^N
+///     (approaching Markov-chain access patterns, per Tsangaris &
+///     Naughton).
+///
+/// Every transaction can be reversed, "ascending" the graphs by following
+/// BackRefs instead of ORefs. Duplicates are possible along a traversal
+/// (as in OO1's 3280-part traversal); the executor does not deduplicate.
+
+#ifndef OCB_OCB_TRANSACTION_H_
+#define OCB_OCB_TRANSACTION_H_
+
+#include <cstdint>
+
+#include "oodb/database.h"
+#include "ocb/parameters.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Result of executing one transaction.
+struct TransactionResult {
+  TransactionType type = TransactionType::kSetOriented;
+  Oid root = kInvalidOid;
+  bool reversed = false;
+  uint64_t objects_accessed = 0;
+  uint64_t sim_nanos = 0;   ///< Simulated response time.
+  uint64_t io_reads = 0;    ///< Transaction-scope page reads incurred.
+};
+
+/// \brief Executes OCB transactions against a Database.
+///
+/// Stateless apart from configuration; one executor can be shared per
+/// client thread (each with its own RNG).
+class TransactionExecutor {
+ public:
+  TransactionExecutor(Database* db, const WorkloadParameters& params)
+      : db_(db), params_(params) {}
+
+  /// Runs one transaction of \p type from \p root. \p rng drives the
+  /// stochastic traversal's link choices only.
+  Result<TransactionResult> Execute(TransactionType type, Oid root,
+                                    bool reversed, LewisPayneRng* rng);
+
+  /// Draws a transaction type according to PSET..PSTOCH.
+  TransactionType DrawType(LewisPayneRng* rng) const;
+
+ private:
+  uint64_t SetOriented(const Object& root, uint32_t depth, bool reversed);
+  uint64_t DepthFirst(const Object& node, uint32_t depth, bool reversed);
+  uint64_t Hierarchy(const Object& node, uint32_t depth, RefTypeId type,
+                     bool reversed);
+  uint64_t Stochastic(const Object& node, uint32_t depth, bool reversed,
+                      LewisPayneRng* rng);
+
+  /// Follows one link with observer notification; returns the target or
+  /// nullopt when the target vanished (concurrent delete).
+  Result<Object> Follow(const Object& from, size_t slot_or_backref_index,
+                        bool reversed);
+
+  Database* db_;
+  const WorkloadParameters& params_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_OCB_TRANSACTION_H_

@@ -1,0 +1,187 @@
+#include "oodb/database.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+
+namespace ocb {
+
+Database::Database(const StorageOptions& options) : options_(options) {
+  disk_ = std::make_unique<DiskSim>(options_, &clock_);
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options_);
+  store_ = std::make_unique<ObjectStore>(pool_.get());
+}
+
+void Database::SetSchema(Schema schema) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  schema_ = std::move(schema);
+}
+
+Result<Oid> Database::CreateObject(ClassId class_id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (class_id >= schema_.class_count()) {
+    return Status::InvalidArgument(
+        Format("unknown class %u", class_id));
+  }
+  ClassDescriptor& cls = schema_.GetMutableClass(class_id);
+  Object obj;
+  obj.class_id = class_id;
+  obj.orefs.assign(cls.maxnref, kInvalidOid);
+  obj.filler_size = cls.instance_size;
+  if (obj.EncodedSize() > store_->max_object_size()) {
+    return Status::InvalidArgument(
+        Format("instance of class %u (%zu bytes) exceeds max object size "
+               "%zu; raise page_size",
+               class_id, obj.EncodedSize(), store_->max_object_size()));
+  }
+  std::vector<uint8_t> bytes;
+  obj.EncodeTo(&bytes);
+  OCB_ASSIGN_OR_RETURN(Oid oid, store_->Insert(bytes));
+  cls.iterator.push_back(oid);
+  return oid;
+}
+
+Result<Object> Database::ReadDecode(Oid oid) {
+  std::vector<uint8_t> bytes;
+  OCB_RETURN_NOT_OK(store_->Read(oid, &bytes));
+  OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+  obj.oid = oid;
+  return obj;
+}
+
+Status Database::WriteEncoded(Oid oid, const Object& object) {
+  std::vector<uint8_t> bytes;
+  object.EncodeTo(&bytes);
+  return store_->Update(oid, bytes);
+}
+
+Result<Object> Database::GetObject(Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
+  if (observer_ != nullptr) observer_->OnObjectAccess(oid);
+  return obj;
+}
+
+Result<Object> Database::PeekObject(Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return ReadDecode(oid);
+}
+
+Status Database::SetReference(Oid from, uint32_t slot, Oid to) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  OCB_ASSIGN_OR_RETURN(Object source, ReadDecode(from));
+  if (slot >= source.orefs.size()) {
+    return Status::InvalidArgument(
+        Format("slot %u out of range for class %u", slot, source.class_id));
+  }
+  const Oid previous = source.orefs[slot];
+  if (previous == to) return Status::OK();
+  // Unlink the previous target's backref, if any.
+  if (previous != kInvalidOid) {
+    OCB_ASSIGN_OR_RETURN(Object old_target, ReadDecode(previous));
+    auto it = std::find(old_target.backrefs.begin(),
+                        old_target.backrefs.end(), from);
+    if (it != old_target.backrefs.end()) {
+      old_target.backrefs.erase(it);
+      OCB_RETURN_NOT_OK(WriteEncoded(previous, old_target));
+    }
+  }
+  source.orefs[slot] = to;
+  OCB_RETURN_NOT_OK(WriteEncoded(from, source));
+  if (to != kInvalidOid) {
+    OCB_ASSIGN_OR_RETURN(Object target, ReadDecode(to));
+    target.backrefs.push_back(from);
+    if (target.EncodedSize() > store_->max_object_size()) {
+      // Roll back: the target cannot absorb another backref on one page.
+      source.orefs[slot] = previous;
+      OCB_RETURN_NOT_OK(WriteEncoded(from, source));
+      return Status::NoSpace(
+          Format("backref array of oid %llu would exceed page capacity",
+                 (unsigned long long)to));
+    }
+    OCB_RETURN_NOT_OK(WriteEncoded(to, target));
+  }
+  return Status::OK();
+}
+
+Result<Object> Database::CrossLink(Oid from, Oid to, RefTypeId type,
+                                   bool reverse) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
+  OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(to));
+  if (observer_ != nullptr) observer_->OnObjectAccess(to);
+  return obj;
+}
+
+Status Database::PutObject(const Object& object) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (object.oid == kInvalidOid) {
+    return Status::InvalidArgument("PutObject requires a valid oid");
+  }
+  return WriteEncoded(object.oid, object);
+}
+
+Status Database::DeleteObject(Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
+  // Unlink from targets' backrefs.
+  for (Oid target : obj.orefs) {
+    if (target == kInvalidOid) continue;
+    auto tr = ReadDecode(target);
+    if (!tr.ok()) continue;  // Target already gone.
+    Object t = std::move(tr).value();
+    auto it = std::find(t.backrefs.begin(), t.backrefs.end(), oid);
+    if (it != t.backrefs.end()) {
+      t.backrefs.erase(it);
+      OCB_RETURN_NOT_OK(WriteEncoded(target, t));
+    }
+  }
+  // Null out referers' oref slots.
+  for (Oid referer : obj.backrefs) {
+    auto rr = ReadDecode(referer);
+    if (!rr.ok()) continue;
+    Object r = std::move(rr).value();
+    bool changed = false;
+    for (Oid& slot : r.orefs) {
+      if (slot == oid) {
+        slot = kInvalidOid;
+        changed = true;
+      }
+    }
+    if (changed) OCB_RETURN_NOT_OK(WriteEncoded(referer, r));
+  }
+  // Remove from class extent.
+  if (obj.class_id < schema_.class_count()) {
+    auto& extent = schema_.GetMutableClass(obj.class_id).iterator;
+    extent.erase(std::remove(extent.begin(), extent.end(), oid),
+                 extent.end());
+  }
+  return store_->Delete(oid);
+}
+
+void Database::SetObserver(AccessObserver* observer) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  observer_ = observer;
+}
+
+void Database::BeginTransaction() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (observer_ != nullptr) observer_->OnTransactionBegin();
+}
+
+void Database::EndTransaction() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (observer_ != nullptr) observer_->OnTransactionEnd();
+}
+
+Status Database::ColdRestart() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  OCB_RETURN_NOT_OK(pool_->FlushAll());
+  return pool_->InvalidateAll();
+}
+
+uint64_t Database::object_count() const {
+  return store_->stats().objects;
+}
+
+}  // namespace ocb

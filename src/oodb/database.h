@@ -1,0 +1,140 @@
+/// \file database.h
+/// \brief The object-database facade: schema + object store + access hooks.
+///
+/// Database plays the role Texas plays in the paper: the OODB under test.
+/// It owns the whole storage stack (SimClock → DiskSim → BufferPool →
+/// ObjectStore), exposes typed object operations, and notifies an
+/// AccessObserver (the clustering policy) of every object access and every
+/// inter-object link crossing — the raw signal DSTC's observation phase
+/// consumes.
+///
+/// Thread safety: all public operations take an internal mutex, so CLIENTN
+/// workload clients may share one Database (the paper's multi-user mode).
+
+#ifndef OCB_OODB_DATABASE_H_
+#define OCB_OODB_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "oodb/object.h"
+#include "oodb/schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_sim.h"
+#include "storage/object_store.h"
+#include "storage/storage_options.h"
+#include "util/sim_clock.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// \brief Hook interface fed by the Database on every access; implemented
+/// by clustering policies (and by test spies).
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// A workload transaction is starting / has ended.
+  virtual void OnTransactionBegin() {}
+  virtual void OnTransactionEnd() {}
+
+  /// Object \p oid was read.
+  virtual void OnObjectAccess(Oid oid) { (void)oid; }
+
+  /// The workload dereferenced the link \p from → \p to through a reference
+  /// slot of type \p type (forward) or a backward reference (reverse).
+  virtual void OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) {
+    (void)from;
+    (void)to;
+    (void)type;
+    (void)reverse;
+  }
+};
+
+/// \brief The OODB under benchmark.
+class Database {
+ public:
+  explicit Database(const StorageOptions& options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Installs the schema (generator output). Must precede object creation.
+  void SetSchema(Schema schema);
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Creates an instance of \p class_id with all ORef slots null and the
+  /// class's InstanceSize of filler. Appends it to the class extent.
+  Result<Oid> CreateObject(ClassId class_id);
+
+  /// Reads and decodes an object. Fires OnObjectAccess.
+  Result<Object> GetObject(Oid oid);
+
+  /// Reads an object *silently* (no observer callback, no statistics) —
+  /// used by generators and reorganizers that must not pollute the
+  /// clustering signal.
+  Result<Object> PeekObject(Oid oid);
+
+  /// Sets ORef slot \p slot of \p from to \p to and symmetrically appends
+  /// \p from to the BackRef array of \p to (paper: "Reverse references are
+  /// instanciated at the same time the direct links are"). A previous
+  /// target's backref is unlinked first.
+  Status SetReference(Oid from, uint32_t slot, Oid to);
+
+  /// Follows a reference during a traversal: fires OnLinkCross(from, to)
+  /// then reads and returns the target object.
+  Result<Object> CrossLink(Oid from, Oid to, RefTypeId type, bool reverse);
+
+  /// Rewrites an object's mutable parts (used by update-style workloads).
+  Status PutObject(const Object& object);
+
+  /// Deletes an object and unlinks it from neighbors' ORef/BackRef arrays
+  /// and from its class extent.
+  Status DeleteObject(Oid oid);
+
+  /// Observer management (pass nullptr to detach).
+  void SetObserver(AccessObserver* observer);
+
+  /// Notifies transaction boundaries to the observer.
+  void BeginTransaction();
+  void EndTransaction();
+
+  /// Flushes dirty pages and empties the buffer pool — a cold cache, as
+  /// between the paper's generation and cold-run phases.
+  Status ColdRestart();
+
+  // --- Substrate access (benchmark harness & clustering reorganizers) ---
+  ObjectStore* object_store() { return store_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskSim* disk() { return disk_.get(); }
+  SimClock* sim_clock() { return &clock_; }
+  const StorageOptions& options() const { return options_; }
+
+  /// Number of live objects.
+  uint64_t object_count() const;
+
+  /// Serializes external multi-step operations (used by the multi-client
+  /// runner and by reorganizers to make multi-object sequences atomic).
+  /// Recursive, so holding it while calling Database operations is safe.
+  std::recursive_mutex& big_lock() { return mutex_; }
+
+ private:
+  Result<Object> ReadDecode(Oid oid);
+  Status WriteEncoded(Oid oid, const Object& object);
+
+  StorageOptions options_;
+  SimClock clock_;
+  std::unique_ptr<DiskSim> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<ObjectStore> store_;
+  Schema schema_;
+  AccessObserver* observer_ = nullptr;
+  std::recursive_mutex mutex_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_OODB_DATABASE_H_

@@ -1,0 +1,56 @@
+/// \file object.h
+/// \brief The OBJECT instance layout (paper Fig. 1) and its on-page codec.
+///
+/// An object is: a class pointer, a fixed array of ORef slots (exactly
+/// MAXNREF of its class, null allowed), a variable array of BackRefs
+/// (reverse references, maintained symmetric with ORefs), and Filler —
+/// InstanceSize real bytes that give the object its physical footprint.
+///
+/// Encoding (little-endian, packed):
+///   u32 class_id | u16 oref_count | u16 backref_count | u32 filler_size |
+///   u64 oref[oref_count] | u64 backref[backref_count] | u8 filler[...]
+///
+/// ORef slots are fixed at creation so setting references never changes the
+/// record size; only BackRef growth can (pages handle that via record
+/// update/relocation).
+
+#ifndef OCB_OODB_OBJECT_H_
+#define OCB_OODB_OBJECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "oodb/schema.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// \brief Decoded in-memory object.
+struct Object {
+  Oid oid = kInvalidOid;  ///< Not stored; filled in by Database on read.
+  ClassId class_id = kNullClass;
+  std::vector<Oid> orefs;     ///< Fixed MAXNREF slots; kInvalidOid = null.
+  std::vector<Oid> backrefs;  ///< Objects whose ORefs point here.
+  uint32_t filler_size = 0;   ///< InstanceSize of the class.
+
+  /// Serialized size in bytes for the current ref counts.
+  size_t EncodedSize() const {
+    return 12 + 8 * (orefs.size() + backrefs.size()) + filler_size;
+  }
+
+  /// Serializes into \p out (resized; filler bytes are a deterministic
+  /// pattern so corruption is detectable).
+  void EncodeTo(std::vector<uint8_t>* out) const;
+
+  /// Deserializes from \p bytes; validates framing.
+  static Result<Object> Decode(std::span<const uint8_t> bytes);
+
+  /// Number of non-null ORefs.
+  size_t LiveRefCount() const;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_OODB_OBJECT_H_

@@ -1,0 +1,197 @@
+#include "oodb/schema.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/format.h"
+
+namespace ocb {
+
+void Schema::SetRefTypes(std::vector<RefTypeTraits> traits) {
+  ref_types_ = std::move(traits);
+}
+
+std::vector<RefTypeTraits> Schema::DefaultTraits(size_t nreft) {
+  std::vector<RefTypeTraits> traits;
+  traits.reserve(nreft);
+  for (size_t t = 0; t < nreft; ++t) {
+    RefTypeTraits r;
+    if (t == 0) {
+      r = RefTypeTraits{"inheritance", /*acyclic=*/true,
+                        /*is_inheritance=*/true};
+    } else if (t == 1) {
+      r = RefTypeTraits{"composition", /*acyclic=*/true,
+                        /*is_inheritance=*/false};
+    } else {
+      r = RefTypeTraits{Format("association-%zu", t), /*acyclic=*/false,
+                        /*is_inheritance=*/false};
+    }
+    traits.push_back(std::move(r));
+  }
+  return traits;
+}
+
+Status Schema::AddClass(ClassDescriptor descriptor) {
+  if (descriptor.id != classes_.size()) {
+    return Status::InvalidArgument(
+        Format("class id %u does not match position %zu", descriptor.id,
+               classes_.size()));
+  }
+  if (descriptor.tref.size() != descriptor.maxnref ||
+      descriptor.cref.size() != descriptor.maxnref) {
+    return Status::InvalidArgument("tref/cref size must equal maxnref");
+  }
+  classes_.push_back(std::move(descriptor));
+  return Status::OK();
+}
+
+namespace {
+
+/// DFS over the class graph restricted to references of type \p type,
+/// returning true if \p target is reachable from \p start.
+bool Reaches(const std::vector<ClassDescriptor>& classes, ClassId start,
+             ClassId target, RefTypeId type) {
+  if (start == kNullClass) return false;
+  std::vector<ClassId> stack = {start};
+  std::unordered_set<ClassId> visited;
+  while (!stack.empty()) {
+    const ClassId current = stack.back();
+    stack.pop_back();
+    if (current == target) return true;
+    if (!visited.insert(current).second) continue;
+    const ClassDescriptor& cls = classes[current];
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (cls.tref[j] == type && cls.cref[j] != kNullClass) {
+        stack.push_back(cls.cref[j]);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t Schema::RemoveCycles() {
+  size_t nulled = 0;
+  // Fig. 2: for each class i and slot j whose type forbids cycles, browse
+  // the CRef(j) graph following same-typed references; if class i appears
+  // (i.e. the new edge i->CRef(j) would close a cycle), null the reference.
+  // Scanning in (i, j) order and checking against the *current* graph makes
+  // the pass deterministic and leaves a DAG: an edge is kept only if, at
+  // its turn, it cannot reach back to its source.
+  for (ClassId i = 0; i < classes_.size(); ++i) {
+    ClassDescriptor& cls = classes_[i];
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (cls.cref[j] == kNullClass) continue;
+      const RefTypeId type = cls.tref[j];
+      if (!ref_types_[type].acyclic) continue;
+      if (cls.cref[j] == i || Reaches(classes_, cls.cref[j], i, type)) {
+        cls.cref[j] = kNullClass;
+        ++nulled;
+      }
+    }
+  }
+  return nulled;
+}
+
+void Schema::ComputeInstanceSizes() {
+  // ancestors[c] = set of classes whose BASESIZE flows into c. An edge
+  // i --inheritance--> c means c inherits from i.
+  const size_t nc = classes_.size();
+  std::vector<std::unordered_set<ClassId>> ancestors(nc);
+  std::vector<std::vector<ClassId>> children(nc);  // i -> {c : i inh-> c}
+  std::vector<uint32_t> indegree(nc, 0);
+  for (ClassId i = 0; i < nc; ++i) {
+    const ClassDescriptor& cls = classes_[i];
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (cls.cref[j] == kNullClass) continue;
+      if (!ref_types_[cls.tref[j]].is_inheritance) continue;
+      children[i].push_back(cls.cref[j]);
+      ++indegree[cls.cref[j]];
+    }
+  }
+  // Topological propagation (RemoveCycles guarantees a DAG).
+  std::vector<ClassId> queue;
+  for (ClassId c = 0; c < nc; ++c) {
+    if (indegree[c] == 0) queue.push_back(c);
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const ClassId i = queue[head];
+    for (ClassId c : children[i]) {
+      ancestors[c].insert(i);
+      ancestors[c].insert(ancestors[i].begin(), ancestors[i].end());
+      if (--indegree[c] == 0) queue.push_back(c);
+    }
+  }
+  for (ClassId c = 0; c < nc; ++c) {
+    uint64_t size = classes_[c].basesize;
+    for (ClassId a : ancestors[c]) size += classes_[a].basesize;
+    classes_[c].instance_size = static_cast<uint32_t>(size);
+  }
+}
+
+Status Schema::Validate() const {
+  if (ref_types_.empty()) {
+    return Status::InvalidArgument("schema has no reference types");
+  }
+  for (const ClassDescriptor& cls : classes_) {
+    if (cls.tref.size() != cls.maxnref || cls.cref.size() != cls.maxnref) {
+      return Status::Corruption(
+          Format("class %u slot arrays do not match maxnref", cls.id));
+    }
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (cls.tref[j] >= ref_types_.size()) {
+        return Status::Corruption(
+            Format("class %u slot %u has unknown ref type %u", cls.id, j,
+                   cls.tref[j]));
+      }
+      if (cls.cref[j] != kNullClass && cls.cref[j] >= classes_.size()) {
+        return Status::Corruption(
+            Format("class %u slot %u targets unknown class %u", cls.id, j,
+                   cls.cref[j]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool Schema::HasForbiddenCycle() const {
+  for (RefTypeId t = 0; t < ref_types_.size(); ++t) {
+    if (!ref_types_[t].acyclic) continue;
+    // Kahn's algorithm per acyclic type: leftovers indicate a cycle.
+    const size_t nc = classes_.size();
+    std::vector<uint32_t> indegree(nc, 0);
+    for (ClassId i = 0; i < nc; ++i) {
+      for (uint32_t j = 0; j < classes_[i].maxnref; ++j) {
+        if (classes_[i].tref[j] == t && classes_[i].cref[j] != kNullClass) {
+          ++indegree[classes_[i].cref[j]];
+        }
+      }
+    }
+    std::vector<ClassId> queue;
+    for (ClassId c = 0; c < nc; ++c) {
+      if (indegree[c] == 0) queue.push_back(c);
+    }
+    size_t processed = 0;
+    for (size_t head = 0; head < queue.size(); ++head, ++processed) {
+      const ClassId i = queue[head];
+      for (uint32_t j = 0; j < classes_[i].maxnref; ++j) {
+        if (classes_[i].tref[j] == t && classes_[i].cref[j] != kNullClass) {
+          if (--indegree[classes_[i].cref[j]] == 0) {
+            queue.push_back(classes_[i].cref[j]);
+          }
+        }
+      }
+    }
+    if (processed != nc) return true;
+  }
+  return false;
+}
+
+uint64_t Schema::TotalInstances() const {
+  uint64_t total = 0;
+  for (const ClassDescriptor& cls : classes_) total += cls.iterator.size();
+  return total;
+}
+
+}  // namespace ocb

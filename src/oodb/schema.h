@@ -1,0 +1,115 @@
+/// \file schema.h
+/// \brief OCB's metaclass-instantiated schema (paper Fig. 1) and the
+///        consistency pass of the generation algorithm (paper Fig. 2).
+///
+/// A schema is NC classes, each an instantiation of the CLASS metaclass
+/// with two parameters: MAXNREF (number of inter-class references) and
+/// BASESIZE (increment used to compute InstanceSize once the inheritance
+/// graph is processed). Each reference slot j of class i carries a
+/// reference *type* TRef(j) ∈ [0, NREFT) — modeling inheritance,
+/// aggregation, user association, ... — and a target class CRef(j), which
+/// may be null.
+///
+/// Reference types have traits: *acyclic* types (inheritance, composition)
+/// must form DAGs, enforced by RemoveCycles(); *inheritance* types
+/// additionally propagate BASESIZE down the hierarchy, computed by
+/// ComputeInstanceSizes().
+
+#ifndef OCB_OODB_SCHEMA_H_
+#define OCB_OODB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Class identifier; classes are numbered 0..NC-1.
+using ClassId = uint32_t;
+inline constexpr ClassId kNullClass = 0xFFFFFFFFu;  ///< NIL class reference.
+
+/// Reference type identifier, in [0, NREFT).
+using RefTypeId = uint16_t;
+
+/// Semantic traits of one reference type.
+struct RefTypeTraits {
+  std::string name;          ///< For reports: "inheritance", "aggregation"...
+  bool acyclic = false;      ///< Graphs of this type must be cycle-free.
+  bool is_inheritance = false;  ///< Propagates BASESIZE to subclasses.
+};
+
+/// \brief One instantiation of the CLASS metaclass.
+struct ClassDescriptor {
+  ClassId id = 0;
+  uint32_t maxnref = 0;    ///< Reference slots per instance.
+  uint32_t basesize = 0;   ///< Size increment (bytes).
+  uint32_t instance_size = 0;  ///< Filler bytes; set by ComputeInstanceSizes.
+
+  std::vector<RefTypeId> tref;  ///< Type of each reference slot [maxnref].
+  std::vector<ClassId> cref;    ///< Target class of each slot; kNullClass ok.
+
+  /// Extent: every live instance of the class, in creation order
+  /// (the paper's "Iterator: Array [0..*] of Reference to OBJECT").
+  std::vector<Oid> iterator;
+};
+
+/// \brief The instantiated schema plus reference-type metadata.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Declares NREFT reference types. Index 0 is conventionally inheritance.
+  /// If \p traits is empty, DefaultTraits(nreft) is used.
+  void SetRefTypes(std::vector<RefTypeTraits> traits);
+
+  /// The default trait assignment used by the generator: type 0 =
+  /// inheritance (acyclic), type 1 = composition (acyclic), further types
+  /// are plain associations (cycles allowed).
+  static std::vector<RefTypeTraits> DefaultTraits(size_t nreft);
+
+  /// Appends a class (id must equal the current class_count()).
+  Status AddClass(ClassDescriptor descriptor);
+
+  size_t class_count() const { return classes_.size(); }
+  size_t ref_type_count() const { return ref_types_.size(); }
+
+  const ClassDescriptor& GetClass(ClassId id) const { return classes_[id]; }
+  ClassDescriptor& GetMutableClass(ClassId id) { return classes_[id]; }
+
+  const RefTypeTraits& ref_type(RefTypeId t) const { return ref_types_[t]; }
+
+  /// Fig. 2 consistency step: for every acyclic reference type, nulls out
+  /// class references that would close a cycle or that reach back to the
+  /// referencing class. Deterministic: slots are scanned in (class, slot)
+  /// order. Returns the number of references nulled.
+  size_t RemoveCycles();
+
+  /// Computes InstanceSize for every class: its own BASESIZE plus the
+  /// BASESIZE of every distinct transitive inheritance ancestor. An edge
+  /// i --(inheritance)--> c makes c (and c's inheritance descendants)
+  /// inherit from i, per Fig. 2's "add BASESIZE(i) to InstanceSize for each
+  /// subclass". Requires RemoveCycles() to have run (inheritance is a DAG).
+  void ComputeInstanceSizes();
+
+  /// Validates structural invariants: slot vector sizes match maxnref, all
+  /// cref targets in range, tref values < NREFT.
+  Status Validate() const;
+
+  /// True if any class still participates in a cycle of acyclic-typed
+  /// references (used by tests; RemoveCycles guarantees false).
+  bool HasForbiddenCycle() const;
+
+  /// Sum over classes of instances * size — a size estimate for reports.
+  uint64_t TotalInstances() const;
+
+ private:
+  std::vector<ClassDescriptor> classes_;
+  std::vector<RefTypeTraits> ref_types_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_OODB_SCHEMA_H_

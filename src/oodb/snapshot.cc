@@ -1,0 +1,234 @@
+#include "oodb/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/format.h"
+
+namespace ocb {
+namespace {
+
+constexpr char kMagic[8] = {'O', 'C', 'B', 'S', 'N', 'A', 'P', '1'};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* data, size_t size) {
+    if (ok_ && std::fwrite(data, 1, size, file_) != size) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+
+  uint8_t U8() { return RawInt<uint8_t>(); }
+  uint16_t U16() { return RawInt<uint16_t>(); }
+  uint32_t U32() { return RawInt<uint32_t>(); }
+  uint64_t U64() { return RawInt<uint64_t>(); }
+  std::string Str() {
+    const uint64_t size = U64();
+    if (!ok_ || size > (1u << 20)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(size, '\0');
+    Raw(s.data(), size);
+    return s;
+  }
+  void Raw(void* data, size_t size) {
+    if (ok_ && std::fread(data, 1, size, file_) != size) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  template <typename T>
+  T RawInt() {
+    T v{};
+    Raw(&v, sizeof(T));
+    return v;
+  }
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveSnapshot(Database* db, const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  OCB_RETURN_NOT_OK(db->buffer_pool()->FlushAll());
+
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot create '%s'", path.c_str()));
+  }
+  Writer w(file.get());
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U64(db->options().page_size);
+  w.U64(db->disk()->num_pages());
+
+  // Schema.
+  const Schema& schema = db->schema();
+  w.U64(schema.ref_type_count());
+  for (RefTypeId t = 0; t < schema.ref_type_count(); ++t) {
+    const RefTypeTraits& traits = schema.ref_type(t);
+    w.U8(traits.acyclic ? 1 : 0);
+    w.U8(traits.is_inheritance ? 1 : 0);
+    w.Str(traits.name);
+  }
+  w.U64(schema.class_count());
+  for (ClassId c = 0; c < schema.class_count(); ++c) {
+    const ClassDescriptor& cls = schema.GetClass(c);
+    w.U32(cls.maxnref);
+    w.U32(cls.basesize);
+    w.U32(cls.instance_size);
+    for (uint32_t j = 0; j < cls.maxnref; ++j) w.U16(cls.tref[j]);
+    for (uint32_t j = 0; j < cls.maxnref; ++j) w.U32(cls.cref[j]);
+    w.U64(cls.iterator.size());
+    for (Oid oid : cls.iterator) w.U64(oid);
+  }
+
+  // Object table.
+  const auto& table = db->object_store()->table();
+  w.U64(db->object_store()->max_oid() + 1);  // next_oid.
+  w.U64(table.size());
+  for (const auto& [oid, loc] : table) {
+    w.U64(oid);
+    w.U32(loc.page_id);
+    w.U16(loc.slot_id);
+  }
+
+  // Page images.
+  for (PageId p = 0; p < db->disk()->num_pages(); ++p) {
+    w.Raw(db->disk()->raw_page(p), db->options().page_size);
+  }
+  if (!w.ok()) {
+    return Status::IOError(Format("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(Database* db, const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  if (db->object_count() != 0) {
+    return Status::InvalidArgument("LoadSnapshot requires an empty database");
+  }
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open '%s'", path.c_str()));
+  }
+  Reader r(file.get());
+  char magic[8];
+  r.Raw(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not an OCB snapshot");
+  }
+  const uint64_t page_size = r.U64();
+  if (page_size != db->options().page_size) {
+    return Status::InvalidArgument(
+        Format("snapshot page_size %llu != database page_size %zu",
+               (unsigned long long)page_size, db->options().page_size));
+  }
+  const uint64_t page_count = r.U64();
+
+  // Schema.
+  Schema schema;
+  const uint64_t nreft = r.U64();
+  if (!r.ok() || nreft > 1024) return Status::Corruption("bad nreft");
+  std::vector<RefTypeTraits> traits(nreft);
+  for (auto& t : traits) {
+    t.acyclic = r.U8() != 0;
+    t.is_inheritance = r.U8() != 0;
+    t.name = r.Str();
+  }
+  schema.SetRefTypes(std::move(traits));
+  const uint64_t nclasses = r.U64();
+  if (!r.ok() || nclasses > (1u << 20)) {
+    return Status::Corruption("bad class count");
+  }
+  for (ClassId c = 0; c < nclasses; ++c) {
+    ClassDescriptor cls;
+    cls.id = c;
+    cls.maxnref = r.U32();
+    cls.basesize = r.U32();
+    cls.instance_size = r.U32();
+    if (!r.ok() || cls.maxnref > (1u << 16)) {
+      return Status::Corruption("bad class header");
+    }
+    cls.tref.resize(cls.maxnref);
+    cls.cref.resize(cls.maxnref);
+    for (uint32_t j = 0; j < cls.maxnref; ++j) cls.tref[j] = r.U16();
+    for (uint32_t j = 0; j < cls.maxnref; ++j) cls.cref[j] = r.U32();
+    const uint64_t extent = r.U64();
+    if (!r.ok() || extent > (1ull << 32)) {
+      return Status::Corruption("bad extent size");
+    }
+    cls.iterator.resize(extent);
+    for (uint64_t i = 0; i < extent; ++i) cls.iterator[i] = r.U64();
+    OCB_RETURN_NOT_OK(schema.AddClass(std::move(cls)));
+  }
+  OCB_RETURN_NOT_OK(schema.Validate());
+
+  // Object table.
+  const Oid next_oid = r.U64();
+  const uint64_t entries = r.U64();
+  if (!r.ok() || entries > (1ull << 32)) {
+    return Status::Corruption("bad table size");
+  }
+  std::unordered_map<Oid, ObjectLocation> table;
+  table.reserve(entries);
+  for (uint64_t i = 0; i < entries; ++i) {
+    const Oid oid = r.U64();
+    ObjectLocation loc;
+    loc.page_id = r.U32();
+    loc.slot_id = r.U16();
+    if (loc.page_id >= page_count) {
+      return Status::Corruption("table entry past page count");
+    }
+    table[oid] = loc;
+  }
+
+  // Page images.
+  std::vector<uint8_t> buffer(page_size);
+  for (uint64_t p = 0; p < page_count; ++p) {
+    r.Raw(buffer.data(), buffer.size());
+    const PageId id = db->disk()->AllocatePage();
+    db->disk()->LoadPageImage(id, buffer.data());
+  }
+  if (!r.ok()) {
+    return Status::Corruption(Format("short read from '%s'", path.c_str()));
+  }
+
+  db->SetSchema(std::move(schema));
+  {
+    ScopedIoScope scope(db->disk(), IoScope::kGeneration);
+    OCB_RETURN_NOT_OK(
+        db->object_store()->RestoreTable(std::move(table), next_oid));
+  }
+  return db->ColdRestart();
+}
+
+}  // namespace ocb

@@ -1,0 +1,41 @@
+/// \file snapshot.h
+/// \brief Whole-database snapshot save/load.
+///
+/// OCB's generation phase is the expensive part of a benchmark campaign
+/// (paper Fig. 4: the largest database took hours on the 1998 testbed).
+/// Snapshots let a campaign generate once and re-load for every policy /
+/// parameter variation: the file captures the schema (classes, traits,
+/// extents), the object table, the oid counter and every disk page image.
+///
+/// Format (little-endian, versioned):
+///   magic "OCBSNAP1" | u64 page_size | u64 page_count
+///   schema: u64 nreft | per type {u8 acyclic, u8 inheritance, name}
+///           u64 nclasses | per class {ids, sizes, tref[], cref[], extent}
+///   table:  u64 next_oid | u64 entries | per entry {oid, page, slot}
+///   pages:  page_count raw page images
+///
+/// Loading requires a Database whose StorageOptions use the same
+/// page_size; buffer-pool size and latencies are free to differ (they are
+/// benchmark knobs, not data).
+
+#ifndef OCB_OODB_SNAPSHOT_H_
+#define OCB_OODB_SNAPSHOT_H_
+
+#include <string>
+
+#include "oodb/database.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// \brief Flushes \p db and writes a complete snapshot to \p path.
+Status SaveSnapshot(Database* db, const std::string& path);
+
+/// \brief Loads a snapshot into \p db, which must be freshly constructed
+/// (empty) with a matching page_size. On success the database is
+/// byte-for-byte equivalent to the saved one (cold cache).
+Status LoadSnapshot(Database* db, const std::string& path);
+
+}  // namespace ocb
+
+#endif  // OCB_OODB_SNAPSHOT_H_

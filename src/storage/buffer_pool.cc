@@ -1,0 +1,205 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/format.h"
+
+namespace ocb {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame_index, uint8_t* data,
+                       size_t page_size)
+    : pool_(pool), frame_index_(frame_index), data_(data),
+      page_size_(page_size) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_index_(other.frame_index_),
+      data_(other.data_), page_size_(other.page_size_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    data_ = other.data_;
+    page_size_ = other.page_size_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_index_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskSim* disk, const StorageOptions& options)
+    : disk_(disk), options_(options) {
+  frames_.resize(options.buffer_pool_pages);
+  free_frames_.reserve(frames_.size());
+  for (size_t i = frames_.size(); i > 0; --i) {
+    free_frames_.push_back(i - 1);
+  }
+}
+
+Result<PageHandle> BufferPool::FetchPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    TouchLru(it->second);
+    return PageHandle(this, it->second, frame.data.get(),
+                      options_.page_size);
+  }
+  ++stats_.misses;
+  OCB_ASSIGN_OR_RETURN(size_t frame_index, PickVictim());
+  Frame& frame = frames_[frame_index];
+  if (frame.data == nullptr) {
+    frame.data = std::make_unique<uint8_t[]>(options_.page_size);
+  }
+  OCB_RETURN_NOT_OK(disk_->ReadPage(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.dirty = false;
+  frame.referenced = true;
+  frame.pin_count = 1;
+  page_table_[page_id] = frame_index;
+  lru_.push_front(frame_index);
+  frame.lru_pos = lru_.begin();
+  return PageHandle(this, frame_index, frame.data.get(), options_.page_size);
+}
+
+Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
+  const PageId page_id = disk_->AllocatePage();
+  if (out_page_id != nullptr) *out_page_id = page_id;
+  OCB_ASSIGN_OR_RETURN(size_t frame_index, PickVictim());
+  Frame& frame = frames_[frame_index];
+  if (frame.data == nullptr) {
+    frame.data = std::make_unique<uint8_t[]>(options_.page_size);
+  }
+  std::memset(frame.data.get(), 0, options_.page_size);
+  Page(frame.data.get(), options_.page_size).Init(page_id);
+  frame.page_id = page_id;
+  frame.dirty = true;
+  frame.referenced = true;
+  frame.pin_count = 1;
+  page_table_[page_id] = frame_index;
+  lru_.push_front(frame_index);
+  frame.lru_pos = lru_.begin();
+  return PageHandle(this, frame_index, frame.data.get(), options_.page_size);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      OCB_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
+      ++stats_.dirty_writebacks;
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::InvalidateAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.page_id == kInvalidPageId) continue;
+    if (frame.pin_count > 0) {
+      return Status::Aborted("cannot invalidate pinned frame");
+    }
+    OCB_RETURN_NOT_OK(EvictFrame(i));
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t pinned = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+Result<size_t> BufferPool::PickVictim() {
+  if (!free_frames_.empty()) {
+    const size_t frame_index = free_frames_.back();
+    free_frames_.pop_back();
+    return frame_index;
+  }
+  switch (options_.replacement_policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      // LRU: the back of the list is least recently used. FIFO: TouchLru is
+      // a no-op on hits, so the back is the oldest resident page.
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (frames_[*it].pin_count == 0) {
+          const size_t victim = *it;
+          OCB_RETURN_NOT_OK(EvictFrame(victim));
+          return victim;
+        }
+      }
+      break;
+    }
+    case ReplacementPolicy::kClock: {
+      for (size_t sweep = 0; sweep < 2 * frames_.size(); ++sweep) {
+        Frame& frame = frames_[clock_hand_];
+        const size_t index = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % frames_.size();
+        if (frame.pin_count > 0) continue;
+        if (frame.referenced) {
+          frame.referenced = false;
+          continue;
+        }
+        OCB_RETURN_NOT_OK(EvictFrame(index));
+        return index;
+      }
+      break;
+    }
+  }
+  return Status::NoSpace("all buffer-pool frames are pinned");
+}
+
+Status BufferPool::EvictFrame(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (frame.dirty) {
+    OCB_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.dirty_writebacks;
+  }
+  ++stats_.evictions;
+  page_table_.erase(frame.page_id);
+  lru_.erase(frame.lru_pos);
+  frame.page_id = kInvalidPageId;
+  frame.dirty = false;
+  frame.referenced = false;
+  frame.pin_count = 0;
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  assert(frame.pin_count > 0);
+  --frame.pin_count;
+}
+
+void BufferPool::TouchLru(size_t frame_index) {
+  if (options_.replacement_policy == ReplacementPolicy::kFifo) return;
+  Frame& frame = frames_[frame_index];
+  lru_.erase(frame.lru_pos);
+  lru_.push_front(frame_index);
+  frame.lru_pos = lru_.begin();
+}
+
+}  // namespace ocb

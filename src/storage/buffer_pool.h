@@ -1,0 +1,145 @@
+/// \file buffer_pool.h
+/// \brief Fixed-capacity page cache between the object store and DiskSim.
+///
+/// A buffer-pool *miss* is exactly one disk read; evicting a dirty frame is
+/// one disk write. This is the mechanism by which object clustering shows
+/// up in OCB's metrics: co-locating frequently co-accessed objects on the
+/// same page turns would-be misses into hits.
+///
+/// Replacement is LRU by default (Clock and FIFO are available for
+/// ablations). Frames can be pinned during access; pinned frames are never
+/// evicted.
+
+#ifndef OCB_STORAGE_BUFFER_POOL_H_
+#define OCB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_sim.h"
+#include "storage/page.h"
+#include "storage/storage_options.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+class BufferPool;
+
+/// \brief Pinned reference to a cached page; unpins on destruction.
+///
+/// Handles are movable but not copyable. Mutating the page through the
+/// handle requires calling MarkDirty() so the frame is written back on
+/// eviction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame_index, uint8_t* data,
+             size_t page_size);
+  ~PageHandle();
+
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Typed slotted-page view over the cached frame.
+  Page page() { return Page(data_, page_size_); }
+  const Page page() const { return Page(data_, page_size_); }
+
+  /// Marks the frame dirty (must be called after any mutation).
+  void MarkDirty();
+
+  /// Explicitly unpins; the handle becomes invalid.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  uint8_t* data_ = nullptr;
+  size_t page_size_ = 0;
+};
+
+/// Hit/miss statistics of a buffer pool.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double hit_ratio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief LRU/Clock/FIFO page cache over a DiskSim.
+///
+/// Not thread-safe; callers serialize (see DiskSim note).
+class BufferPool {
+ public:
+  BufferPool(DiskSim* disk, const StorageOptions& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned handle to \p page_id, reading it from disk on a miss.
+  Result<PageHandle> FetchPage(PageId page_id);
+
+  /// Allocates a brand-new page on disk and returns it pinned and dirty.
+  Result<PageHandle> NewPage(PageId* out_page_id = nullptr);
+
+  /// Writes back every dirty frame (e.g. after the generation phase).
+  Status FlushAll();
+
+  /// Drops every unpinned frame (writing dirty ones back first). Used by
+  /// benchmarks to cold-start the cache between runs.
+  Status InvalidateAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t pinned_frames() const;
+  DiskSim* disk() { return disk_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    bool referenced = false;  // Clock bit.
+    uint32_t pin_count = 0;
+    std::list<size_t>::iterator lru_pos;  // Valid iff resident.
+  };
+
+  /// Picks a victim frame (resident and unpinned) according to the policy,
+  /// or an unused frame if one exists. Fails when everything is pinned.
+  Result<size_t> PickVictim();
+
+  /// Evicts the frame (writes back if dirty) and removes map entry.
+  Status EvictFrame(size_t frame_index);
+
+  void Unpin(size_t frame_index);
+  void TouchLru(size_t frame_index);
+
+  DiskSim* disk_;
+  StorageOptions options_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  ///< Front = most recent, back = victim candidate.
+  size_t clock_hand_ = 0;
+  std::unordered_map<PageId, size_t> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,89 @@
+#include "storage/disk_sim.h"
+
+#include <cstring>
+
+#include "util/format.h"
+
+namespace ocb {
+
+const char* IoScopeToString(IoScope scope) {
+  switch (scope) {
+    case IoScope::kGeneration:
+      return "generation";
+    case IoScope::kTransaction:
+      return "transaction";
+    case IoScope::kClustering:
+      return "clustering";
+    case IoScope::kNumScopes:
+      break;
+  }
+  return "unknown";
+}
+
+DiskSim::DiskSim(const StorageOptions& options, SimClock* clock)
+    : options_(options), clock_(clock) {
+  if (!options_.backing_file.empty()) {
+    backing_ = std::fopen(options_.backing_file.c_str(), "wb+");
+  }
+}
+
+DiskSim::~DiskSim() {
+  if (backing_ != nullptr) std::fclose(backing_);
+}
+
+PageId DiskSim::AllocatePage() {
+  auto page = std::make_unique<uint8_t[]>(options_.page_size);
+  std::memset(page.get(), 0, options_.page_size);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskSim::ReadPage(PageId page_id, uint8_t* out) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError(Format("read of unallocated page %u", page_id));
+  }
+  std::memcpy(out, pages_[page_id].get(), options_.page_size);
+  ++counters_[static_cast<size_t>(scope_)].reads;
+  if (clock_ != nullptr) clock_->Advance(options_.read_latency_nanos);
+  return Status::OK();
+}
+
+Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
+  if (page_id >= pages_.size()) {
+    return Status::IOError(Format("write of unallocated page %u", page_id));
+  }
+  std::memcpy(pages_[page_id].get(), data, options_.page_size);
+  if (backing_ != nullptr) {
+    const long offset =
+        static_cast<long>(page_id) * static_cast<long>(options_.page_size);
+    if (std::fseek(backing_, offset, SEEK_SET) != 0 ||
+        std::fwrite(data, 1, options_.page_size, backing_) !=
+            options_.page_size) {
+      return Status::IOError(
+          Format("write-through to backing file failed for page %u",
+                 page_id));
+    }
+  }
+  ++counters_[static_cast<size_t>(scope_)].writes;
+  if (clock_ != nullptr) clock_->Advance(options_.write_latency_nanos);
+  return Status::OK();
+}
+
+void DiskSim::LoadPageImage(PageId page_id, const uint8_t* data) {
+  std::memcpy(pages_[page_id].get(), data, options_.page_size);
+}
+
+IoCounters DiskSim::TotalCounters() const {
+  IoCounters total;
+  for (const IoCounters& c : counters_) {
+    total.reads += c.reads;
+    total.writes += c.writes;
+  }
+  return total;
+}
+
+void DiskSim::ResetCounters() {
+  for (IoCounters& c : counters_) c = IoCounters{};
+}
+
+}  // namespace ocb

@@ -1,0 +1,126 @@
+/// \file disk_sim.h
+/// \brief Simulated disk: the unit of OCB's headline metric (page I/Os).
+///
+/// Pages live in memory (optionally mirrored write-through to a real file);
+/// every read/write increments a counter and charges simulated latency to a
+/// SimClock. The paper distinguishes the I/Os needed to execute transactions
+/// from the clustering overhead I/Os (§3.3, metrics): DiskSim therefore
+/// attributes every I/O to the currently active *accounting scope*.
+
+#ifndef OCB_STORAGE_DISK_SIM_H_
+#define OCB_STORAGE_DISK_SIM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage_options.h"
+#include "storage/types.h"
+#include "util/sim_clock.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Who is performing I/O right now. Mirrors the paper's metric split.
+enum class IoScope {
+  kGeneration = 0,  ///< Database creation / load phase.
+  kTransaction,     ///< Workload transactions (the paper's "I/Os").
+  kClustering,      ///< Clustering overhead (statistics + reorganization).
+  kNumScopes,
+};
+
+const char* IoScopeToString(IoScope scope);
+
+/// Per-scope read/write counters.
+struct IoCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t total() const { return reads + writes; }
+};
+
+/// \brief In-memory page array with I/O accounting and simulated latency.
+///
+/// Not thread-safe; the Database facade serializes access (the paper's
+/// multi-user mode shares one store among CLIENTN clients).
+class DiskSim {
+ public:
+  /// \param clock Simulated clock charged for every I/O; may be nullptr to
+  ///        disable latency accounting.
+  explicit DiskSim(const StorageOptions& options, SimClock* clock = nullptr);
+  ~DiskSim();
+
+  DiskSim(const DiskSim&) = delete;
+  DiskSim& operator=(const DiskSim&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id. No I/O is charged;
+  /// the page is charged when first written back.
+  PageId AllocatePage();
+
+  /// Copies page \p page_id into \p out (page_size bytes). Counts one read.
+  Status ReadPage(PageId page_id, uint8_t* out);
+
+  /// Overwrites page \p page_id from \p data. Counts one write.
+  Status WritePage(PageId page_id, const uint8_t* data);
+
+  /// Number of allocated pages.
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Direct (uncounted, zero-latency) access to a page image — snapshot
+  /// save/load utilities only; all benchmark reads go through ReadPage.
+  const uint8_t* raw_page(PageId page_id) const {
+    return pages_[page_id].get();
+  }
+
+  /// Overwrites a page image without I/O accounting (snapshot load only).
+  void LoadPageImage(PageId page_id, const uint8_t* data);
+
+  size_t page_size() const { return options_.page_size; }
+
+  /// Sets the accounting scope for subsequent I/Os.
+  void set_scope(IoScope scope) { scope_ = scope; }
+  IoScope scope() const { return scope_; }
+
+  /// Counters for one scope.
+  const IoCounters& counters(IoScope scope) const {
+    return counters_[static_cast<size_t>(scope)];
+  }
+
+  /// Sum over all scopes.
+  IoCounters TotalCounters() const;
+
+  /// Zeroes all counters (pages are untouched).
+  void ResetCounters();
+
+ private:
+  StorageOptions options_;
+  SimClock* clock_;
+  IoScope scope_ = IoScope::kGeneration;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::array<IoCounters, static_cast<size_t>(IoScope::kNumScopes)> counters_;
+  std::FILE* backing_ = nullptr;
+};
+
+/// \brief RAII guard that switches the DiskSim accounting scope and restores
+/// the previous scope on destruction.
+class ScopedIoScope {
+ public:
+  ScopedIoScope(DiskSim* disk, IoScope scope)
+      : disk_(disk), previous_(disk->scope()) {
+    disk_->set_scope(scope);
+  }
+  ~ScopedIoScope() { disk_->set_scope(previous_); }
+
+  ScopedIoScope(const ScopedIoScope&) = delete;
+  ScopedIoScope& operator=(const ScopedIoScope&) = delete;
+
+ private:
+  DiskSim* disk_;
+  IoScope previous_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_DISK_SIM_H_

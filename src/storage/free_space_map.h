@@ -1,0 +1,54 @@
+/// \file free_space_map.h
+/// \brief Coarse free-space tracking for object placement.
+///
+/// Maps each data page to its last known free-byte count. Placement is
+/// append-mostly (the generator and the reclusterer both fill pages in
+/// sequence), so lookups first try the current fill page and only fall back
+/// to a scan over known pages.
+
+#ifndef OCB_STORAGE_FREE_SPACE_MAP_H_
+#define OCB_STORAGE_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "storage/types.h"
+
+namespace ocb {
+
+/// \brief Page-id → approximate free bytes. Purely advisory: the object
+/// store re-checks actual page capacity before inserting.
+class FreeSpaceMap {
+ public:
+  /// Records the free-space estimate for a page.
+  void Update(PageId page_id, size_t free_bytes) {
+    spaces_[page_id] = free_bytes;
+  }
+
+  /// Removes a page from consideration (e.g. retired by reclustering).
+  void Remove(PageId page_id) { spaces_.erase(page_id); }
+
+  /// Returns a page believed to have at least \p needed free bytes, or
+  /// kInvalidPageId. Prefers the hinted page when it qualifies.
+  PageId FindPageWithSpace(size_t needed, PageId hint = kInvalidPageId) const {
+    if (hint != kInvalidPageId) {
+      auto it = spaces_.find(hint);
+      if (it != spaces_.end() && it->second >= needed) return hint;
+    }
+    for (const auto& [page_id, free_bytes] : spaces_) {
+      if (free_bytes >= needed) return page_id;
+    }
+    return kInvalidPageId;
+  }
+
+  size_t num_pages() const { return spaces_.size(); }
+
+  void Clear() { spaces_.clear(); }
+
+ private:
+  std::unordered_map<PageId, size_t> spaces_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_FREE_SPACE_MAP_H_

@@ -1,0 +1,312 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/format.h"
+
+namespace ocb {
+
+ObjectStore::ObjectStore(BufferPool* pool) : pool_(pool) {}
+
+Result<ObjectLocation> ObjectStore::Place(std::span<const uint8_t> bytes,
+                                          PageId hint_page) {
+  const size_t needed = bytes.size() + sizeof(Page::Slot);
+  // 1. Hinted page (co-location request).
+  // 2. Current fill page (append fast path).
+  // 3. Any known page with space.
+  // 4. Fresh page.
+  PageId target = kInvalidPageId;
+  if (hint_page != kInvalidPageId) {
+    target = free_space_.FindPageWithSpace(needed, hint_page);
+    if (target != hint_page) target = kInvalidPageId;  // Hint only.
+  }
+  if (target == kInvalidPageId && current_fill_page_ != kInvalidPageId) {
+    target = free_space_.FindPageWithSpace(needed, current_fill_page_);
+    if (target != current_fill_page_) target = kInvalidPageId;
+  }
+  if (target == kInvalidPageId) {
+    target = free_space_.FindPageWithSpace(needed);
+  }
+  if (target != kInvalidPageId) {
+    OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(target));
+    Page page = handle.page();
+    auto slot = page.Insert(bytes);
+    if (slot.ok()) {
+      handle.MarkDirty();
+      free_space_.Update(target, page.FreeSpace());
+      if (hint_page == kInvalidPageId) current_fill_page_ = target;
+      return ObjectLocation{target, slot.value()};
+    }
+    // Advisory estimate was stale; fall through to a fresh page.
+    free_space_.Update(target, page.FreeSpace());
+  }
+  PageId new_page_id = kInvalidPageId;
+  OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage(&new_page_id));
+  Page page = handle.page();
+  OCB_ASSIGN_OR_RETURN(SlotId slot, page.Insert(bytes));
+  handle.MarkDirty();
+  free_space_.Update(new_page_id, page.FreeSpace());
+  current_fill_page_ = new_page_id;
+  ++stats_.data_pages;
+  return ObjectLocation{new_page_id, slot};
+}
+
+Result<Oid> ObjectStore::Insert(std::span<const uint8_t> bytes,
+                                Oid placement_hint) {
+  if (bytes.size() > max_object_size()) {
+    return Status::InvalidArgument(
+        Format("object of %zu bytes exceeds max object size %zu",
+               bytes.size(), max_object_size()));
+  }
+  PageId hint_page = kInvalidPageId;
+  if (placement_hint != kInvalidOid) {
+    auto it = table_.find(placement_hint);
+    if (it != table_.end()) hint_page = it->second.page_id;
+  }
+  OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, hint_page));
+  const Oid oid = next_oid_++;
+  table_[oid] = loc;
+  ++stats_.objects;
+  stats_.bytes_stored += bytes.size();
+  return oid;
+}
+
+Status ObjectStore::Read(Oid oid, std::vector<uint8_t>* out) {
+  auto it = table_.find(oid);
+  if (it == table_.end()) {
+    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  }
+  OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->FetchPage(it->second.page_id));
+  const Page page = handle.page();
+  OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
+                       page.Read(it->second.slot_id));
+  out->assign(record.begin(), record.end());
+  return Status::OK();
+}
+
+Status ObjectStore::Update(Oid oid, std::span<const uint8_t> bytes) {
+  auto it = table_.find(oid);
+  if (it == table_.end()) {
+    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  }
+  if (bytes.size() > max_object_size()) {
+    return Status::InvalidArgument("object exceeds max object size");
+  }
+  {
+    OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->FetchPage(it->second.page_id));
+    Page page = handle.page();
+    OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> old_record,
+                         page.Read(it->second.slot_id));
+    const size_t old_size = old_record.size();
+    Status st = page.Update(it->second.slot_id, bytes);
+    if (st.ok()) {
+      handle.MarkDirty();
+      free_space_.Update(it->second.page_id, page.FreeSpace());
+      stats_.bytes_stored += bytes.size();
+      stats_.bytes_stored -= old_size;
+      return Status::OK();
+    }
+    if (!st.IsNoSpace()) return st;
+    // Does not fit on its page any more: erase here, relocate below.
+    OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
+    handle.MarkDirty();
+    free_space_.Update(it->second.page_id, page.FreeSpace());
+    stats_.bytes_stored -= old_size;
+  }
+  OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, kInvalidPageId));
+  it->second = loc;
+  ++stats_.relocations;
+  stats_.bytes_stored += bytes.size();
+  return Status::OK();
+}
+
+Status ObjectStore::Delete(Oid oid) {
+  auto it = table_.find(oid);
+  if (it == table_.end()) {
+    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  }
+  OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                       pool_->FetchPage(it->second.page_id));
+  Page page = handle.page();
+  OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
+                       page.Read(it->second.slot_id));
+  stats_.bytes_stored -= record.size();
+  OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
+  handle.MarkDirty();
+  free_space_.Update(it->second.page_id, page.FreeSpace());
+  table_.erase(it);
+  --stats_.objects;
+  return Status::OK();
+}
+
+bool ObjectStore::Contains(Oid oid) const { return table_.count(oid) > 0; }
+
+Result<ObjectLocation> ObjectStore::Locate(Oid oid) const {
+  auto it = table_.find(oid);
+  if (it == table_.end()) {
+    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  }
+  return it->second;
+}
+
+Status ObjectStore::Relocate(Oid oid, Oid neighbor) {
+  auto it = table_.find(oid);
+  if (it == table_.end()) {
+    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  }
+  auto nit = table_.find(neighbor);
+  if (nit == table_.end()) {
+    return Status::NotFound(
+        Format("neighbor oid %llu", (unsigned long long)neighbor));
+  }
+  if (it->second.page_id == nit->second.page_id) return Status::OK();
+  std::vector<uint8_t> bytes;
+  OCB_RETURN_NOT_OK(Read(oid, &bytes));
+  {
+    OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->FetchPage(it->second.page_id));
+    Page page = handle.page();
+    OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
+    handle.MarkDirty();
+    free_space_.Update(it->second.page_id, page.FreeSpace());
+  }
+  OCB_ASSIGN_OR_RETURN(ObjectLocation loc,
+                       Place(bytes, nit->second.page_id));
+  it->second = loc;
+  ++stats_.relocations;
+  return Status::OK();
+}
+
+Status ObjectStore::PlaceSequence(const std::vector<Oid>& sequence) {
+  return PlaceUnits({sequence});
+}
+
+Status ObjectStore::PlaceUnits(const std::vector<std::vector<Oid>>& units) {
+  // Erase every listed object from its current page first, then re-place
+  // them unit by unit on fresh pages. Erase-then-place keeps peak space at
+  // one extra page sequence and guarantees the new layout is contiguous.
+  struct Payload {
+    Oid oid;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<std::vector<Payload>> payload_units;
+  payload_units.reserve(units.size());
+  for (const auto& unit : units) {
+    std::vector<Payload>& payloads = payload_units.emplace_back();
+    payloads.reserve(unit.size());
+    for (Oid oid : unit) {
+      auto it = table_.find(oid);
+      if (it == table_.end()) {
+        return Status::NotFound(Format("oid %llu in placement sequence",
+                                       (unsigned long long)oid));
+      }
+      std::vector<uint8_t> bytes;
+      OCB_RETURN_NOT_OK(Read(oid, &bytes));
+      payloads.push_back(Payload{oid, std::move(bytes)});
+      OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                           pool_->FetchPage(it->second.page_id));
+      Page page = handle.page();
+      OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
+      handle.MarkDirty();
+      free_space_.Update(it->second.page_id, page.FreeSpace());
+    }
+  }
+  // Re-place: within a unit objects are packed back to back; a unit that
+  // does not fit in the current page's remainder opens a fresh page so
+  // units never straddle page boundaries (oversized units still spill).
+  PageId fill_page = kInvalidPageId;
+  size_t fill_free = 0;
+  for (const auto& payloads : payload_units) {
+    size_t unit_bytes = 0;
+    for (const Payload& p : payloads) {
+      unit_bytes += p.bytes.size() + sizeof(Page::Slot);
+    }
+    if (fill_page != kInvalidPageId && fill_free < unit_bytes) {
+      fill_page = kInvalidPageId;  // Align the unit to a fresh page.
+    }
+    for (const Payload& p : payloads) {
+      ObjectLocation loc;
+      bool placed = false;
+      if (fill_page != kInvalidPageId) {
+        OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(fill_page));
+        Page page = handle.page();
+        auto slot = page.Insert(p.bytes);
+        if (slot.ok()) {
+          handle.MarkDirty();
+          fill_free = page.FreeSpace();
+          free_space_.Update(fill_page, fill_free);
+          loc = ObjectLocation{fill_page, slot.value()};
+          placed = true;
+        }
+      }
+      if (!placed) {
+        PageId new_page_id = kInvalidPageId;
+        OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage(&new_page_id));
+        Page page = handle.page();
+        OCB_ASSIGN_OR_RETURN(SlotId slot, page.Insert(p.bytes));
+        handle.MarkDirty();
+        fill_free = page.FreeSpace();
+        free_space_.Update(new_page_id, fill_free);
+        ++stats_.data_pages;
+        fill_page = new_page_id;
+        loc = ObjectLocation{new_page_id, slot};
+      }
+      table_[p.oid] = loc;
+      ++stats_.relocations;
+    }
+  }
+  current_fill_page_ = kInvalidPageId;
+  return Status::OK();
+}
+
+std::vector<Oid> ObjectStore::LiveOids() const {
+  std::vector<Oid> oids;
+  oids.reserve(table_.size());
+  for (const auto& [oid, loc] : table_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+Status ObjectStore::RestoreTable(
+    std::unordered_map<Oid, ObjectLocation> table, Oid next_oid) {
+  table_ = std::move(table);
+  next_oid_ = next_oid;
+  current_fill_page_ = kInvalidPageId;
+  free_space_.Clear();
+  stats_ = ObjectStoreStats{};
+  stats_.objects = table_.size();
+  // Scan every referenced page once to rebuild the free-space map and
+  // byte statistics (generation-scope I/O: it is part of loading).
+  std::unordered_set<PageId> pages;
+  for (const auto& [oid, loc] : table_) pages.insert(loc.page_id);
+  for (PageId page_id : pages) {
+    OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(page_id));
+    const Page page = handle.page();
+    free_space_.Update(page_id, page.FreeSpace());
+    stats_.bytes_stored += page.LiveBytes();
+    ++stats_.data_pages;
+  }
+  return Status::OK();
+}
+
+std::vector<Oid> ObjectStore::LiveOidsInPhysicalOrder() const {
+  std::vector<std::pair<ObjectLocation, Oid>> located;
+  located.reserve(table_.size());
+  for (const auto& [oid, loc] : table_) located.push_back({loc, oid});
+  std::sort(located.begin(), located.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.page_id != b.first.page_id) {
+                return a.first.page_id < b.first.page_id;
+              }
+              return a.first.slot_id < b.first.slot_id;
+            });
+  std::vector<Oid> oids;
+  oids.reserve(located.size());
+  for (const auto& [loc, oid] : located) oids.push_back(oid);
+  return oids;
+}
+
+}  // namespace ocb

@@ -1,0 +1,136 @@
+/// \file object_store.h
+/// \brief OID-addressed variable-length record store over the buffer pool.
+///
+/// The object store is the substrate equivalent of the Texas persistent
+/// store: objects are byte strings addressed by a stable Oid through an
+/// object table (Oid → page/slot). Physical placement is fully decoupled
+/// from identity, which is what allows a clustering policy to *relocate*
+/// objects (or rewrite the whole database in a chosen order) without
+/// touching any inter-object reference.
+
+#ifndef OCB_STORAGE_OBJECT_STORE_H_
+#define OCB_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/free_space_map.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Aggregate placement statistics.
+struct ObjectStoreStats {
+  uint64_t objects = 0;
+  uint64_t data_pages = 0;
+  uint64_t relocations = 0;
+  uint64_t bytes_stored = 0;
+};
+
+/// \brief Variable-length object heap with stable logical ids.
+///
+/// Not thread-safe (see DiskSim note); the Database facade serializes.
+class ObjectStore {
+ public:
+  explicit ObjectStore(BufferPool* pool);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Stores \p bytes as a new object and returns its Oid (allocated
+  /// sequentially from 1).
+  ///
+  /// \param placement_hint If valid, try to co-locate the new object on the
+  ///        same page as the hinted object (clustering policies use this).
+  Result<Oid> Insert(std::span<const uint8_t> bytes,
+                     Oid placement_hint = kInvalidOid);
+
+  /// Copies the object's bytes into \p out.
+  Status Read(Oid oid, std::vector<uint8_t>* out);
+
+  /// Replaces the object's bytes (may relocate it if it no longer fits).
+  Status Update(Oid oid, std::span<const uint8_t> bytes);
+
+  /// Deletes the object. Its Oid is never reused.
+  Status Delete(Oid oid);
+
+  /// True if \p oid currently maps to a live object.
+  bool Contains(Oid oid) const;
+
+  /// Physical location (page/slot) of an object; NotFound if deleted.
+  Result<ObjectLocation> Locate(Oid oid) const;
+
+  /// Moves an object next to \p neighbor (same page if it fits, else a
+  /// fresh page). Used by incremental clustering policies.
+  Status Relocate(Oid oid, Oid neighbor);
+
+  /// Rewrites the given objects, in order, onto a fresh sequence of pages;
+  /// objects not listed keep their location. This is the primitive behind
+  /// "physical clustering organization" (DSTC phase 5): the page images the
+  /// sequence produces are exactly the clustering units laid end to end.
+  ///
+  /// Old page space is reclaimed (erased); I/O for the rewrite is charged
+  /// to whatever scope the caller set on the DiskSim.
+  Status PlaceSequence(const std::vector<Oid>& sequence);
+
+  /// Like PlaceSequence, but starts a fresh page whenever the next *unit*
+  /// does not fit entirely in the current page's remaining space, so a
+  /// clustering unit never straddles a page boundary (a unit larger than
+  /// one page still spills). This is how clustering units are "applied to
+  /// consider a new object placement on disk" (DSTC phase 5).
+  Status PlaceUnits(const std::vector<std::vector<Oid>>& units);
+
+  /// Largest object the store accepts.
+  size_t max_object_size() const {
+    return Page::MaxRecordSize(pool_->disk()->page_size());
+  }
+
+  /// Oids of all live objects, ascending.
+  std::vector<Oid> LiveOids() const;
+
+  /// Oids of all live objects in physical order (page, then slot) —
+  /// reorganizers use this to preserve residual locality when compacting
+  /// objects that no clustering unit claimed.
+  std::vector<Oid> LiveOidsInPhysicalOrder() const;
+
+  /// Highest Oid allocated so far (0 if none).
+  Oid max_oid() const { return next_oid_ - 1; }
+
+  const ObjectStoreStats& stats() const { return stats_; }
+
+  BufferPool* buffer_pool() { return pool_; }
+
+  // --- Snapshot support (see oodb/snapshot.h) ---
+
+  /// Read access to the object table for serialization.
+  const std::unordered_map<Oid, ObjectLocation>& table() const {
+    return table_;
+  }
+
+  /// Restores the table and oid counter from a snapshot, then rebuilds
+  /// free-space and statistics by scanning every data page. Requires the
+  /// underlying disk to already hold the snapshot's page images.
+  Status RestoreTable(std::unordered_map<Oid, ObjectLocation> table,
+                      Oid next_oid);
+
+ private:
+  /// Inserts bytes into a page with room (hinted page, any page with space,
+  /// or a fresh page) and returns the location.
+  Result<ObjectLocation> Place(std::span<const uint8_t> bytes,
+                               PageId hint_page);
+
+  BufferPool* pool_;
+  FreeSpaceMap free_space_;
+  std::unordered_map<Oid, ObjectLocation> table_;
+  Oid next_oid_ = 1;
+  PageId current_fill_page_ = kInvalidPageId;
+  ObjectStoreStats stats_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_OBJECT_STORE_H_

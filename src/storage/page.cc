@@ -1,0 +1,176 @@
+#include "storage/page.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/format.h"
+
+namespace ocb {
+
+void Page::Init(PageId page_id) {
+  std::memset(data_, 0, page_size_);
+  Header* h = header();
+  h->page_id = page_id;
+  h->slot_count = 0;
+  h->free_space_end = static_cast<uint16_t>(page_size_);
+  h->flags = 0;
+}
+
+size_t Page::FreeSpace() const {
+  // Contiguous gap plus holes reclaimable by compaction, minus room for a
+  // new slot entry if no free slot exists.
+  const size_t payload_capacity =
+      page_size_ - DirectoryEnd();
+  const size_t live = LiveBytes();
+  const bool has_free_slot = FindFreeSlot() != kInvalidSlotId;
+  const size_t slot_cost = has_free_slot ? 0 : sizeof(Slot);
+  if (payload_capacity < live + slot_cost) return 0;
+  return payload_capacity - live - slot_cost;
+}
+
+bool Page::CanInsert(size_t length) const { return FreeSpace() >= length; }
+
+SlotId Page::FindFreeSlot() const {
+  const Slot* slots = slot_array();
+  for (uint16_t i = 0; i < header()->slot_count; ++i) {
+    if (slots[i].offset == kFreeSlot) return i;
+  }
+  return kInvalidSlotId;
+}
+
+Result<SlotId> Page::Insert(std::span<const uint8_t> record) {
+  if (record.size() > MaxRecordSize(page_size_)) {
+    return Status::InvalidArgument(
+        Format("record of %zu bytes exceeds page capacity %zu", record.size(),
+               MaxRecordSize(page_size_)));
+  }
+  if (!CanInsert(record.size())) {
+    return Status::NoSpace("page full");
+  }
+  SlotId slot = FindFreeSlot();
+  Header* h = header();
+  const bool needs_new_slot = (slot == kInvalidSlotId);
+  const size_t needed =
+      record.size() + (needs_new_slot ? sizeof(Slot) : 0);
+  // Ensure the contiguous gap can hold the record *and* a grown slot
+  // directory; compact first if fragmentation hides the free space
+  // (compaction never moves the directory, so growing it afterwards is
+  // safe).
+  if (static_cast<size_t>(h->free_space_end) - DirectoryEnd() < needed) {
+    Compact();
+  }
+  if (needs_new_slot) {
+    slot = h->slot_count;
+    ++h->slot_count;
+    slot_array()[slot].offset = kFreeSlot;
+    slot_array()[slot].length = 0;
+  }
+  h->free_space_end = static_cast<uint16_t>(h->free_space_end - record.size());
+  std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  slot_array()[slot].offset = h->free_space_end;
+  slot_array()[slot].length = static_cast<uint16_t>(record.size());
+  return slot;
+}
+
+Result<std::span<const uint8_t>> Page::Read(SlotId slot) const {
+  if (slot >= header()->slot_count) {
+    return Status::NotFound(Format("slot %u out of range", slot));
+  }
+  const Slot& s = slot_array()[slot];
+  if (s.offset == kFreeSlot) {
+    return Status::NotFound(Format("slot %u is free", slot));
+  }
+  return std::span<const uint8_t>(data_ + s.offset, s.length);
+}
+
+Status Page::Update(SlotId slot, std::span<const uint8_t> record) {
+  if (slot >= header()->slot_count) {
+    return Status::NotFound(Format("slot %u out of range", slot));
+  }
+  Slot& s = slot_array()[slot];
+  if (s.offset == kFreeSlot) {
+    return Status::NotFound(Format("slot %u is free", slot));
+  }
+  if (record.size() <= s.length) {
+    // Shrink (or equal) in place; trailing bytes become a hole reclaimed by
+    // the next compaction.
+    std::memcpy(data_ + s.offset, record.data(), record.size());
+    s.length = static_cast<uint16_t>(record.size());
+    return Status::OK();
+  }
+  // Grow: erase then reinsert into the same slot id.
+  const uint16_t old_offset = s.offset;
+  const uint16_t old_length = s.length;
+  s.offset = kFreeSlot;
+  s.length = 0;
+  if (!CanInsert(record.size())) {
+    s.offset = old_offset;  // Roll back.
+    s.length = old_length;
+    return Status::NoSpace("record grew beyond page capacity");
+  }
+  Header* h = header();
+  const size_t gap = h->free_space_end - DirectoryEnd();
+  if (gap < record.size()) Compact();
+  h->free_space_end = static_cast<uint16_t>(h->free_space_end - record.size());
+  std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  Slot& s2 = slot_array()[slot];  // Compact() may have moved others, not us.
+  s2.offset = h->free_space_end;
+  s2.length = static_cast<uint16_t>(record.size());
+  return Status::OK();
+}
+
+Status Page::Erase(SlotId slot) {
+  if (slot >= header()->slot_count) {
+    return Status::NotFound(Format("slot %u out of range", slot));
+  }
+  Slot& s = slot_array()[slot];
+  if (s.offset == kFreeSlot) {
+    return Status::NotFound(Format("slot %u already free", slot));
+  }
+  s.offset = kFreeSlot;
+  s.length = 0;
+  return Status::OK();
+}
+
+uint16_t Page::LiveRecords() const {
+  const Slot* slots = slot_array();
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < header()->slot_count; ++i) {
+    if (slots[i].offset != kFreeSlot) ++live;
+  }
+  return live;
+}
+
+size_t Page::LiveBytes() const {
+  const Slot* slots = slot_array();
+  size_t bytes = 0;
+  for (uint16_t i = 0; i < header()->slot_count; ++i) {
+    if (slots[i].offset != kFreeSlot) bytes += slots[i].length;
+  }
+  return bytes;
+}
+
+void Page::Compact() {
+  Header* h = header();
+  Slot* slots = slot_array();
+  // Sort live slots by offset descending so records can be slid toward the
+  // end of the page without overlap.
+  std::vector<uint16_t> live;
+  live.reserve(h->slot_count);
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    if (slots[i].offset != kFreeSlot) live.push_back(i);
+  }
+  std::sort(live.begin(), live.end(), [&](uint16_t a, uint16_t b) {
+    return slots[a].offset > slots[b].offset;
+  });
+  uint16_t cursor = static_cast<uint16_t>(page_size_);
+  for (uint16_t idx : live) {
+    Slot& s = slots[idx];
+    cursor = static_cast<uint16_t>(cursor - s.length);
+    std::memmove(data_ + cursor, data_ + s.offset, s.length);
+    s.offset = cursor;
+  }
+  h->free_space_end = cursor;
+}
+
+}  // namespace ocb

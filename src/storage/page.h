@@ -1,0 +1,115 @@
+/// \file page.h
+/// \brief Slotted-page layout over a raw byte buffer.
+///
+/// Layout (offsets in bytes):
+///
+///   [0..12)   PageHeader { page_id, slot_count, free_space_end, flags }
+///   [12..)    slot directory, growing upward: Slot { offset, length }
+///   ...       free space
+///   [...page) record data, growing downward from the end of the page
+///
+/// A Page does not own memory: it is a typed view over a frame owned by the
+/// buffer pool (or any aligned buffer), so "reading a page" never copies.
+/// Records are variable length; deleting a record frees its slot for reuse
+/// and its bytes are reclaimed by Compact() when insertion needs room.
+
+#ifndef OCB_STORAGE_PAGE_H_
+#define OCB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// \brief Mutable view of one slotted page.
+class Page {
+ public:
+  struct Header {
+    PageId page_id;
+    uint16_t slot_count;      ///< Number of slot directory entries.
+    uint16_t free_space_end;  ///< Records occupy [free_space_end, page_size).
+    uint32_t flags;           ///< Reserved.
+  };
+  static_assert(sizeof(Header) == 12);
+
+  struct Slot {
+    uint16_t offset;  ///< Byte offset of the record; kFreeSlot if unused.
+    uint16_t length;  ///< Record length in bytes.
+  };
+  static constexpr uint16_t kFreeSlot = 0xFFFF;
+
+  /// Wraps \p data (of \p page_size bytes) without taking ownership.
+  Page(uint8_t* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  /// Formats the buffer as an empty page with the given id.
+  void Init(PageId page_id);
+
+  PageId page_id() const { return header()->page_id; }
+  uint16_t slot_count() const { return header()->slot_count; }
+
+  /// Bytes available for one more record *including* a possible new slot
+  /// directory entry (contiguous + reclaimable via compaction).
+  size_t FreeSpace() const;
+
+  /// True if a record of \p length bytes can be inserted.
+  bool CanInsert(size_t length) const;
+
+  /// Inserts a record; returns its slot id. Reuses free slots. Compacts the
+  /// page if fragmented. Fails with NoSpace when the record does not fit.
+  Result<SlotId> Insert(std::span<const uint8_t> record);
+
+  /// Returns a read-only view of the record in \p slot (valid until the
+  /// page is next mutated).
+  Result<std::span<const uint8_t>> Read(SlotId slot) const;
+
+  /// Overwrites the record in \p slot. The new record may have a different
+  /// length; fails with NoSpace when it cannot fit even after compaction.
+  Status Update(SlotId slot, std::span<const uint8_t> record);
+
+  /// Frees \p slot. The slot id may be reused by later insertions.
+  Status Erase(SlotId slot);
+
+  /// Number of live (non-free) records.
+  uint16_t LiveRecords() const;
+
+  /// Total bytes of live record payload.
+  size_t LiveBytes() const;
+
+  /// Rewrites records contiguously at the end of the page, squeezing out
+  /// holes left by Erase/Update. Slot ids are preserved.
+  void Compact();
+
+  /// Page capacity for a single record on an empty page.
+  static size_t MaxRecordSize(size_t page_size) {
+    return page_size - sizeof(Header) - sizeof(Slot);
+  }
+
+ private:
+  Header* header() { return reinterpret_cast<Header*>(data_); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(data_);
+  }
+  Slot* slot_array() {
+    return reinterpret_cast<Slot*>(data_ + sizeof(Header));
+  }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(data_ + sizeof(Header));
+  }
+  size_t DirectoryEnd() const {
+    return sizeof(Header) + sizeof(Slot) * header()->slot_count;
+  }
+  /// Finds a free slot directory entry, or kInvalidSlotId.
+  SlotId FindFreeSlot() const;
+
+  uint8_t* data_;
+  size_t page_size_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_PAGE_H_

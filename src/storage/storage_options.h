@@ -1,0 +1,79 @@
+/// \file storage_options.h
+/// \brief Tunables of the storage substrate (RocksDB-style options struct).
+///
+/// Defaults model the paper's testbed (§4.2): 4 KB pages and an 8 MB main
+/// memory on the Sun SPARC/ELC, i.e. a 2048-page buffer pool. Simulated
+/// latencies approximate a 1998-era disk (~10 ms seek+rotation per page I/O)
+/// so that simulated response times have a realistic I/O-dominated shape.
+
+#ifndef OCB_STORAGE_STORAGE_OPTIONS_H_
+#define OCB_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ocb {
+
+/// Buffer-pool replacement policy.
+enum class ReplacementPolicy {
+  kLru,    ///< Strict least-recently-used (default).
+  kClock,  ///< Second-chance clock; cheaper bookkeeping, near-LRU quality.
+  kFifo,   ///< First-in-first-out; degenerate baseline for ablations.
+};
+
+const char* ReplacementPolicyToString(ReplacementPolicy policy);
+
+/// \brief Configuration of DiskSim + BufferPool + ObjectStore.
+struct StorageOptions {
+  /// Page size in bytes. The paper's Texas setup used 4 KB pages.
+  size_t page_size = 4096;
+
+  /// Number of frames in the buffer pool. Default 2048 frames × 4 KB = 8 MB,
+  /// matching the paper's available main memory.
+  size_t buffer_pool_pages = 2048;
+
+  /// Replacement policy for the buffer pool.
+  ReplacementPolicy replacement_policy = ReplacementPolicy::kLru;
+
+  /// Simulated latency charged per page read, in nanoseconds.
+  /// Default 10 ms: a 1998 commodity disk's seek + rotational delay.
+  uint64_t read_latency_nanos = 10'000'000;
+
+  /// Simulated latency charged per page write, in nanoseconds.
+  uint64_t write_latency_nanos = 10'000'000;
+
+  /// If non-empty, pages are also persisted (write-through) to this file,
+  /// demonstrating durable storage; empty keeps the disk purely in memory.
+  std::string backing_file;
+
+  /// Returns InvalidArgument for nonsensical combinations.
+  Status Validate() const {
+    if (page_size < 128 || (page_size & (page_size - 1)) != 0) {
+      return Status::InvalidArgument(
+          "page_size must be a power of two >= 128");
+    }
+    if (buffer_pool_pages < 1) {
+      return Status::InvalidArgument("buffer_pool_pages must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+inline const char* ReplacementPolicyToString(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kClock:
+      return "Clock";
+    case ReplacementPolicy::kFifo:
+      return "FIFO";
+  }
+  return "Unknown";
+}
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_STORAGE_OPTIONS_H_

@@ -1,0 +1,40 @@
+/// \file types.h
+/// \brief Fundamental identifier types of the storage substrate.
+
+#ifndef OCB_STORAGE_TYPES_H_
+#define OCB_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ocb {
+
+/// Physical page number on the (simulated) disk.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId =
+    std::numeric_limits<PageId>::max();
+
+/// Slot index within a slotted page.
+using SlotId = uint16_t;
+inline constexpr SlotId kInvalidSlotId =
+    std::numeric_limits<SlotId>::max();
+
+/// Logical object identifier. Objects are always addressed by Oid through
+/// the object table, never by physical address, so physical reclustering
+/// can move objects freely (the Texas-swizzling contract at the level that
+/// matters for I/O counting).
+using Oid = uint64_t;
+inline constexpr Oid kInvalidOid = 0;  ///< Oids are allocated from 1.
+
+/// Physical location of an object: page + slot.
+struct ObjectLocation {
+  PageId page_id = kInvalidPageId;
+  SlotId slot_id = kInvalidSlotId;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const ObjectLocation&) const = default;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_TYPES_H_

@@ -1,0 +1,132 @@
+#include "util/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/format.h"
+
+namespace ocb {
+
+const char* DistributionKindToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kConstant:
+      return "Constant";
+    case DistributionKind::kUniform:
+      return "Uniform";
+    case DistributionKind::kZipf:
+      return "Zipf";
+    case DistributionKind::kGaussian:
+      return "Gaussian";
+    case DistributionKind::kSpecialRefZone:
+      return "Special";
+  }
+  return "Unknown";
+}
+
+Status DistributionSpec::Validate() const {
+  switch (kind) {
+    case DistributionKind::kZipf:
+      if (theta <= 0.0 || theta > 10.0) {
+        return Status::InvalidArgument("zipf theta must be in (0, 10]");
+      }
+      break;
+    case DistributionKind::kGaussian:
+      if (stddev_fraction <= 0.0) {
+        return Status::InvalidArgument("gaussian stddev must be positive");
+      }
+      break;
+    case DistributionKind::kSpecialRefZone:
+      if (ref_zone < 0) {
+        return Status::InvalidArgument("ref_zone must be non-negative");
+      }
+      if (locality_prob < 0.0 || locality_prob > 1.0) {
+        return Status::InvalidArgument("locality_prob must be in [0, 1]");
+      }
+      break;
+    case DistributionKind::kConstant:
+    case DistributionKind::kUniform:
+      break;
+  }
+  return Status::OK();
+}
+
+std::string DistributionSpec::ToString() const {
+  switch (kind) {
+    case DistributionKind::kConstant:
+      return Format("Constant(%lld)",
+                    static_cast<long long>(constant_value));
+    case DistributionKind::kUniform:
+      return "Uniform";
+    case DistributionKind::kZipf:
+      return Format("Zipf(theta=%.2f)", theta);
+    case DistributionKind::kGaussian:
+      return Format("Gaussian(sd=%.2f)", stddev_fraction);
+    case DistributionKind::kSpecialRefZone:
+      return Format("Special(zone=%lld, p=%.2f)",
+                    static_cast<long long>(ref_zone), locality_prob);
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Zipf draw over [1, n] by rejection-inversion (Devroye); O(1) per draw,
+/// no per-range precomputation, so it works with OCB's varying domains.
+int64_t ZipfDraw(LewisPayneRng* rng, int64_t n, double theta) {
+  if (n <= 1) return 1;
+  // For theta == 1 the transform below degenerates; nudge it.
+  const double t = (std::abs(theta - 1.0) < 1e-9) ? 1.0 + 1e-9 : theta;
+  const double one_minus_t = 1.0 - t;
+  const double zeta_bound =
+      (std::pow(static_cast<double>(n), one_minus_t) - 1.0) / one_minus_t;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double u = rng->NextDouble();
+    const double x =
+        std::pow(u * one_minus_t * zeta_bound + 1.0, 1.0 / one_minus_t);
+    const int64_t k = std::clamp<int64_t>(static_cast<int64_t>(x), 1, n);
+    // Accept with ratio of the true pmf to the dominating envelope.
+    const double ratio = std::pow(static_cast<double>(k) / x, t);
+    if (rng->NextDouble() <= ratio) return k;
+  }
+  return rng->UniformInt(1, n);  // Fallback; statistically unreachable.
+}
+
+}  // namespace
+
+int64_t DrawFromDistribution(const DistributionSpec& spec, LewisPayneRng* rng,
+                             int64_t lo, int64_t hi, int64_t center) {
+  assert(rng != nullptr);
+  if (lo > hi) std::swap(lo, hi);
+  switch (spec.kind) {
+    case DistributionKind::kConstant:
+      return std::clamp(spec.constant_value, lo, hi);
+    case DistributionKind::kUniform:
+      return rng->UniformInt(lo, hi);
+    case DistributionKind::kZipf:
+      return lo + ZipfDraw(rng, hi - lo + 1, spec.theta) - 1;
+    case DistributionKind::kGaussian: {
+      const double mid = 0.5 * (static_cast<double>(lo) + hi);
+      const double sd =
+          std::max(1e-9, spec.stddev_fraction * (static_cast<double>(hi) - lo));
+      // Box–Muller; one draw per call keeps the stream deterministic.
+      const double u1 = std::max(rng->NextDouble(), 1e-300);
+      const double u2 = rng->NextDouble();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+      const double v = std::round(mid + sd * z);
+      return std::clamp<int64_t>(static_cast<int64_t>(v), lo, hi);
+    }
+    case DistributionKind::kSpecialRefZone: {
+      if (rng->Bernoulli(spec.locality_prob)) {
+        const int64_t zlo = std::max(lo, center - spec.ref_zone);
+        const int64_t zhi = std::min(hi, center + spec.ref_zone);
+        if (zlo <= zhi) return rng->UniformInt(zlo, zhi);
+      }
+      return rng->UniformInt(lo, hi);
+    }
+  }
+  return lo;
+}
+
+}  // namespace ocb

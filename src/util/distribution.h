@@ -1,0 +1,116 @@
+/// \file distribution.h
+/// \brief The random-distribution machinery behind OCB's DIST1..DIST5
+///        parameters (paper Tables 1–3).
+///
+/// OCB parameterizes every random choice in database generation and workload
+/// execution with a distribution:
+///
+///   * DIST1 — reference types            (Table 1 default: Uniform)
+///   * DIST2 — class references           (Uniform)
+///   * DIST3 — objects into classes       (Uniform)
+///   * DIST4 — object references          (Uniform; "Special" in Table 3)
+///   * DIST5 — transaction root objects   (Uniform)
+///
+/// Table 3 ("approximate DSTC-CluB") additionally uses Constant
+/// distributions and the OO1-style "Special" locality distribution, which
+/// draws within [center - RefZone, center + RefZone] with probability 0.9
+/// and uniformly over the whole domain otherwise.
+///
+/// Zipfian and discretized-Gaussian kinds are provided beyond the paper's
+/// defaults so skewed object bases can be modeled (paper §3: "many different
+/// kinds of object bases can be modeled with OCB").
+
+#ifndef OCB_UTIL_DISTRIBUTION_H_
+#define OCB_UTIL_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Supported distribution families.
+enum class DistributionKind {
+  kConstant,        ///< Always returns a fixed value (clamped into range).
+  kUniform,         ///< Uniform over [lo, hi].
+  kZipf,            ///< Zipf-like over [lo, hi], skew parameter `theta`.
+  kGaussian,        ///< Discretized normal centered on the range midpoint.
+  kSpecialRefZone,  ///< OO1 locality: near `center` w.p. `locality_prob`.
+};
+
+/// \brief Returns the canonical name for a distribution kind ("Uniform"...).
+const char* DistributionKindToString(DistributionKind kind);
+
+/// \brief Declarative description of one DISTn parameter.
+///
+/// A spec is range-free: the [lo, hi] domain is supplied at draw time, since
+/// OCB draws the same distribution over per-class or per-object ranges.
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::kUniform;
+
+  /// kConstant: the value to return (clamped to [lo, hi] at draw time).
+  int64_t constant_value = 0;
+
+  /// kZipf: skew in (0, 10]; ~0.99 is the classic "Zipfian" setting.
+  double theta = 0.99;
+
+  /// kGaussian: standard deviation as a fraction of the range width.
+  double stddev_fraction = 0.15;
+
+  /// kSpecialRefZone: half-width of the locality window around `center`.
+  int64_t ref_zone = 100;
+
+  /// kSpecialRefZone: probability of drawing inside the locality window.
+  double locality_prob = 0.9;
+
+  static DistributionSpec Constant(int64_t value) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kConstant;
+    s.constant_value = value;
+    return s;
+  }
+  static DistributionSpec Uniform() {
+    return DistributionSpec{};
+  }
+  static DistributionSpec Zipf(double theta) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kZipf;
+    s.theta = theta;
+    return s;
+  }
+  static DistributionSpec Gaussian(double stddev_fraction) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kGaussian;
+    s.stddev_fraction = stddev_fraction;
+    return s;
+  }
+  static DistributionSpec SpecialRefZone(int64_t ref_zone,
+                                         double locality_prob = 0.9) {
+    DistributionSpec s;
+    s.kind = DistributionKind::kSpecialRefZone;
+    s.ref_zone = ref_zone;
+    s.locality_prob = locality_prob;
+    return s;
+  }
+
+  /// Validates parameter sanity (probabilities in [0,1], positive theta...).
+  Status Validate() const;
+
+  /// One-line description, e.g. "Special(zone=100, p=0.9)".
+  std::string ToString() const;
+};
+
+/// \brief Draws one integer from \p spec over the inclusive domain
+/// [lo, hi].
+///
+/// \param center Context value for kSpecialRefZone (the id of the
+///        referencing entity, per OO1's "Part #i links near #i" rule);
+///        ignored by other kinds.
+int64_t DrawFromDistribution(const DistributionSpec& spec, LewisPayneRng* rng,
+                             int64_t lo, int64_t hi, int64_t center = 0);
+
+}  // namespace ocb
+
+#endif  // OCB_UTIL_DISTRIBUTION_H_

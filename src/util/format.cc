@@ -1,0 +1,88 @@
+#include "util/format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ocb {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes < 1024) return Format("%llu B", (unsigned long long)bytes);
+  const char* units[] = {"KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = -1;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return Format("%.1f %s", v, units[u]);
+}
+
+std::string HumanDuration(uint64_t nanos) {
+  if (nanos < 1000) return Format("%llu ns", (unsigned long long)nanos);
+  double v = static_cast<double>(nanos);
+  if (v < 1e6) return Format("%.2f us", v / 1e3);
+  if (v < 1e9) return Format("%.2f ms", v / 1e6);
+  return Format("%.3f s", v / 1e9);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::AddSeparator() {
+  rows_.push_back(Row{{}, true});
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = hline() + render_row(header_) + hline();
+  for (const Row& row : rows_) {
+    out += row.separator ? hline() : render_row(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace ocb

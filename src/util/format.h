@@ -1,0 +1,57 @@
+/// \file format.h
+/// \brief printf-style string formatting and the ASCII table renderer used
+///        by every benchmark harness to print paper-style tables.
+
+#ifndef OCB_UTIL_FORMAT_H_
+#define OCB_UTIL_FORMAT_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocb {
+
+/// \brief printf into a std::string.
+std::string Format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Renders a byte count as "512 B", "4.0 KB", "15.3 MB"...
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Renders a nanosecond duration as "873 ns", "1.24 ms", "3.5 s"...
+std::string HumanDuration(uint64_t nanos);
+
+/// \brief Column-aligned ASCII table, in the style of the paper's Tables 1-5.
+///
+/// Usage:
+///   TextTable t({"Benchmark", "I/Os before", "I/Os after", "Gain"});
+///   t.AddRow({"OCB", "61", "7", "8.71"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a boxed header and aligned columns.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_UTIL_FORMAT_H_

@@ -1,0 +1,83 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace ocb {
+namespace {
+
+/// SplitMix64 step; used only to expand the user seed into the GFSR state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+LewisPayneRng::LewisPayneRng(uint64_t seed) { Seed(seed); }
+
+void LewisPayneRng::Seed(uint64_t seed) {
+  seed_ = seed;
+  uint64_t sm = seed ^ 0xA5A5A5A55A5A5A5AULL;
+  bool any_nonzero = false;
+  for (int i = 0; i < kP; ++i) {
+    state_[i] = static_cast<uint32_t>(SplitMix64(&sm) >> 16);
+    any_nonzero |= (state_[i] != 0);
+  }
+  if (!any_nonzero) state_[0] = 1u;  // The all-zero state is a fixed point.
+  // Force linear independence of bit columns by setting a diagonal of bits
+  // (Fushimi-style initialization guard), then decorrelate the start-up
+  // transient by discarding a few thousand draws.
+  for (int i = 0; i < 32 && i < kP; ++i) {
+    state_[i] |= (1u << i);
+  }
+  pos_ = 0;
+  for (int i = 0; i < 100 * kP; ++i) {
+    (void)NextUint32();
+  }
+}
+
+uint32_t LewisPayneRng::NextUint32() {
+  // x[n] = x[n-p] ^ x[n-p+q]; with a circular buffer of length p the word at
+  // pos_ is x[n-p] and the word q slots ahead (mod p) is x[n-p+q].
+  int tap = pos_ + kQ;
+  if (tap >= kP) tap -= kP;
+  uint32_t next = state_[pos_] ^ state_[tap];
+  state_[pos_] = next;
+  ++pos_;
+  if (pos_ == kP) pos_ = 0;
+  return next;
+}
+
+uint64_t LewisPayneRng::NextUint64() {
+  uint64_t hi = NextUint32();
+  uint64_t lo = NextUint32();
+  return (hi << 32) | lo;
+}
+
+double LewisPayneRng::NextDouble() {
+  // 53 random bits / 2^53, the standard dense-double construction.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t LewisPayneRng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // Full range.
+  // Unbiased rejection: draw from the largest multiple of `range`.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+bool LewisPayneRng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace ocb

@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/format.h"
+
+namespace ocb {
+
+void Accumulator::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::Reset() { *this = Accumulator(); }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string Accumulator::ToString() const {
+  return Format("n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
+                (unsigned long long)count_, mean(), stddev(), min(), max());
+}
+
+Histogram::Histogram() { buckets_.fill(0); }
+
+int Histogram::BucketFor(uint64_t value) {
+  // Values below kSubBuckets are stored exactly in buckets [0, 16).
+  // A value in [16 << k, 16 << (k+1)) lands in octave k+1, sub-bucket
+  // (value >> k) - 16, i.e. bucket (k+1)*16 + sub.
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int k = msb - kSubBucketBits;
+  const int sub = static_cast<int>((value >> k) - kSubBuckets);
+  return (k + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const int k = bucket / kSubBuckets - 1;
+  const int sub = bucket % kSubBuckets;
+  return ((uint64_t{kSubBuckets} + static_cast<uint64_t>(sub) + 1) << k) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  int b = BucketFor(value);
+  b = std::min(b, kNumBuckets - 1);
+  ++buckets_[static_cast<size_t>(b)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target && buckets_[static_cast<size_t>(i)] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  return Format(
+      "n=%llu mean=%.2f p50=%llu p95=%llu p99=%llu max=%llu",
+      (unsigned long long)count_, mean(), (unsigned long long)Percentile(50),
+      (unsigned long long)Percentile(95), (unsigned long long)Percentile(99),
+      (unsigned long long)max());
+}
+
+}  // namespace ocb

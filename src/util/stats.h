@@ -1,0 +1,91 @@
+/// \file stats.h
+/// \brief Streaming statistics accumulators used by OCB's metrics layer:
+///        Welford mean/variance and a log-bucketed histogram for
+///        approximate percentiles.
+
+#ifndef OCB_UTIL_STATS_H_
+#define OCB_UTIL_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ocb {
+
+/// \brief Numerically stable streaming accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-clients use case).
+  void Merge(const Accumulator& other);
+
+  /// Clears all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// "n=1000 mean=12.3 sd=1.1 min=10 max=17".
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Histogram over non-negative integer values with ~4% relative
+///        bucket error, supporting approximate percentile queries.
+///
+/// Buckets are arranged in powers of two with 16 linear sub-buckets each
+/// (HDR-histogram style, fixed footprint, no allocation on the record path).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+
+  /// Approximate value at percentile \p p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// "n=... mean=... p50=... p95=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 64;
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::array<uint64_t, kNumBuckets> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_UTIL_STATS_H_

@@ -1,0 +1,167 @@
+// Cross-module integration tests: full generate → workload → recluster →
+// re-run pipelines exercising every layer together, plus cross-policy and
+// genericity sanity checks.
+
+#include <gtest/gtest.h>
+
+#include "clustering/dfs_placement.h"
+#include "clustering/dstc.h"
+#include "clustering/greedy_graph.h"
+#include "legacy/club.h"
+#include "legacy/oo1.h"
+#include "ocb/experiment.h"
+#include "ocb/generator.h"
+#include "ocb/protocol.h"
+
+namespace ocb {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.preset = presets::Default();
+  config.preset.database.num_objects = 1200;
+  config.preset.database.num_classes = 8;
+  config.preset.database.max_nref = 5;
+  config.preset.database.seed = 21;
+  config.preset.workload.cold_transactions = 50;
+  config.preset.workload.hot_transactions = 120;
+  config.preset.workload.set_depth = 2;
+  config.preset.workload.simple_depth = 2;
+  config.preset.workload.hierarchy_depth = 3;
+  config.preset.workload.stochastic_depth = 8;
+  config.preset.workload.seed = 23;
+  config.storage.buffer_pool_pages = 16;
+  return config;
+}
+
+TEST(IntegrationTest, EveryPolicyCompletesTheFullPipeline) {
+  Dstc dstc;
+  GreedyGraphPartitioning greedy;
+  DfsPlacement dfs;
+  NoClustering none;
+  std::vector<ClusteringPolicy*> policies = {&dstc, &greedy, &dfs, &none};
+  for (ClusteringPolicy* policy : policies) {
+    auto result = RunBeforeAfterExperiment(SmallConfig(), policy);
+    ASSERT_TRUE(result.ok()) << policy->name() << ": "
+                             << result.status().ToString();
+    EXPECT_GT(result->before.merged.warm.global.transactions, 0u)
+        << policy->name();
+    EXPECT_GT(result->ios_before(), 0.0) << policy->name();
+    EXPECT_GT(result->ios_after(), 0.0) << policy->name();
+  }
+}
+
+TEST(IntegrationTest, DatabaseSurvivesReorganizationIntact) {
+  ExperimentConfig config = SmallConfig();
+  Database db(config.storage);
+  ASSERT_TRUE(GenerateDatabase(config.preset.database, &db).ok());
+
+  // Snapshot the logical graph.
+  struct Snapshot {
+    ClassId class_id;
+    std::vector<Oid> orefs;
+  };
+  std::map<Oid, Snapshot> before;
+  for (Oid oid : db.object_store()->LiveOids()) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    before[oid] = {obj->class_id, obj->orefs};
+  }
+
+  Dstc dstc;
+  auto result = RunBeforeAfterOnDatabase(&db, config.preset.workload, &dstc);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(dstc.stats().reorganizations, 1u);
+
+  // The physical layout moved; the logical graph must be identical.
+  for (const auto& [oid, snapshot] : before) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->class_id, snapshot.class_id);
+    EXPECT_EQ(obj->orefs, snapshot.orefs) << "oid " << oid;
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Same seeds, same config => identical headline numbers.
+  Dstc dstc1, dstc2;
+  auto r1 = RunBeforeAfterExperiment(SmallConfig(), &dstc1);
+  auto r2 = RunBeforeAfterExperiment(SmallConfig(), &dstc2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->ios_before(), r2->ios_before());
+  EXPECT_DOUBLE_EQ(r1->ios_after(), r2->ios_after());
+  EXPECT_EQ(r1->clustering_overhead_io, r2->clustering_overhead_io);
+}
+
+TEST(IntegrationTest, OcbAsClubTracksNativeClubShape) {
+  // The paper's Table 4 argument in miniature: OCB parameterized per
+  // Table 3 must show the same qualitative behaviour (a clustering gain
+  // > 1) as the native DSTC-CluB implementation.
+  StorageOptions storage;
+  storage.page_size = 1024;
+  storage.buffer_pool_pages = 16;
+
+  // Native DSTC-CluB.
+  ClubOptions club;
+  club.oo1.num_parts = 1000;
+  club.oo1.ref_zone = 100;
+  club.traversal_depth = 4;
+  club.warmup_traversals = 60;
+  club.measured_traversals = 25;
+  Database club_db(storage);
+  DstcOptions dstc_options;
+  dstc_options.observation_period_transactions = 30;
+  Dstc club_dstc(dstc_options);
+  auto club_result = RunDstcClub(club, &club_db, &club_dstc);
+  ASSERT_TRUE(club_result.ok());
+
+  // OCB tuned as CluB.
+  ExperimentConfig ocb_config;
+  ocb_config.preset = presets::DstcClubApprox(/*ref_zone=*/100);
+  ocb_config.preset.database.num_objects = 1000;
+  ocb_config.preset.workload.cold_transactions = 60;
+  ocb_config.preset.workload.hot_transactions = 100;
+  ocb_config.preset.workload.simple_depth = 4;
+  ocb_config.storage = storage;
+  Dstc ocb_dstc(dstc_options);
+  auto ocb_result = RunBeforeAfterExperiment(ocb_config, &ocb_dstc);
+  ASSERT_TRUE(ocb_result.ok());
+
+  EXPECT_GT(club_result->gain_factor(), 1.0);
+  EXPECT_GT(ocb_result->gain_factor(), 1.0);
+}
+
+TEST(IntegrationTest, BufferSizeSweepIsMonotoneInMisses) {
+  // More buffer => fewer (or equal) warm-run transaction I/Os.
+  double previous = 1e100;
+  for (size_t frames : {8u, 32u, 128u}) {
+    ExperimentConfig config = SmallConfig();
+    config.storage.buffer_pool_pages = frames;
+    Database db(config.storage);
+    ASSERT_TRUE(GenerateDatabase(config.preset.database, &db).ok());
+    ASSERT_TRUE(db.ColdRestart().ok());
+    ProtocolRunner runner(&db, config.preset.workload);
+    auto metrics = runner.Run();
+    ASSERT_TRUE(metrics.ok());
+    const double ios = metrics->warm.mean_ios_per_transaction();
+    EXPECT_LE(ios, previous * 1.05 + 1e-9) << frames << " frames";
+    previous = ios;
+  }
+}
+
+TEST(IntegrationTest, MultiClientAgreesWithSingleOnTotals) {
+  ExperimentConfig config = SmallConfig();
+  config.preset.workload.client_count = 3;
+  config.preset.workload.cold_transactions = 20;
+  config.preset.workload.hot_transactions = 40;
+  Database db(config.storage);
+  ASSERT_TRUE(GenerateDatabase(config.preset.database, &db).ok());
+  ASSERT_TRUE(db.ColdRestart().ok());
+  auto report = RunMultiClient(&db, config.preset.workload);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->merged.cold.global.transactions, 60u);
+  EXPECT_EQ(report->merged.warm.global.transactions, 120u);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,78 @@
+// Tests for the DSTC-CluB benchmark: before/after reclustering I/O.
+
+#include "legacy/club.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/dstc.h"
+
+namespace ocb {
+namespace {
+
+StorageOptions SmallPool() {
+  StorageOptions opts;
+  opts.page_size = 1024;
+  opts.buffer_pool_pages = 16;  // DB >> cache so clustering matters.
+  return opts;
+}
+
+ClubOptions SmallClub() {
+  ClubOptions c;
+  c.oo1.num_parts = 1200;
+  c.oo1.ref_zone = 100;  // Wide enough to scatter links across many pages.
+  c.traversal_depth = 4;
+  c.warmup_traversals = 80;
+  c.measured_traversals = 30;
+  return c;
+}
+
+DstcOptions FastDstc() {
+  DstcOptions o;
+  o.observation_period_transactions = 40;
+  o.selection_threshold = 1.0;
+  return o;
+}
+
+TEST(ClubTest, DstcShowsGainOnPureTraversals) {
+  Database db(SmallPool());
+  Dstc dstc(FastDstc());
+  auto result = RunDstcClub(SmallClub(), &db, &dstc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->ios_before, 0.0);
+  EXPECT_GT(result->ios_after, 0.0);
+  EXPECT_GT(result->gain_factor(), 1.2)
+      << "before=" << result->ios_before << " after=" << result->ios_after;
+  EXPECT_GT(result->clustering_overhead_io, 0u);
+}
+
+TEST(ClubTest, NoClusteringGainIsNeutral) {
+  Database db(SmallPool());
+  NoClustering none;
+  auto result = RunDstcClub(SmallClub(), &db, &none);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->gain_factor(), 1.0, 0.10);
+  EXPECT_EQ(result->clustering_overhead_io, 0u);
+}
+
+TEST(ClubTest, GainFactorHandlesZeroAfter) {
+  ClubResult r;
+  r.ios_before = 10.0;
+  r.ios_after = 0.0;
+  EXPECT_TRUE(std::isinf(r.gain_factor()));  // Fully cache-resident after.
+  r.ios_before = 0.0;
+  EXPECT_EQ(r.gain_factor(), 1.0);  // Nothing to gain.
+}
+
+TEST(ClubTest, RequiresEmptyDatabase) {
+  Database db(SmallPool());
+  Dstc dstc(FastDstc());
+  ASSERT_TRUE(RunDstcClub(SmallClub(), &db, &dstc).ok());
+  EXPECT_TRUE(RunDstcClub(SmallClub(), &db, &dstc)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,111 @@
+// Tests for the HyperModel benchmark implementation.
+
+#include "legacy/hypermodel.h"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = 64;
+  return opts;
+}
+
+HyperModelOptions SmallModel() {
+  HyperModelOptions o;
+  o.fanout = 3;
+  o.levels = 4;  // 1 + 3 + 9 + 27 + 81 = 121 nodes.
+  o.inputs_per_operation = 10;
+  o.closure_depth = 3;
+  return o;
+}
+
+TEST(HyperModelTest, BuildCreatesFullAggregationTree) {
+  Database db(TestOptions());
+  HyperModelBenchmark hm(SmallModel());
+  ASSERT_TRUE(hm.Build(&db).ok());
+  EXPECT_EQ(hm.node_count(), 121u);
+  EXPECT_EQ(db.object_count(), 121u);
+}
+
+TEST(HyperModelTest, EveryNonLeafHasFanoutChildren) {
+  Database db(TestOptions());
+  HyperModelBenchmark hm(SmallModel());
+  ASSERT_TRUE(hm.Build(&db).ok());
+  uint64_t full = 0, leaves = 0;
+  for (Oid oid : db.object_store()->LiveOids()) {
+    auto node = db.PeekObject(oid);
+    ASSERT_TRUE(node.ok());
+    uint32_t children = 0;
+    for (uint32_t c = 0; c < 3; ++c) {
+      if (node->orefs[c] != kInvalidOid) ++children;
+    }
+    if (children == 3) {
+      ++full;
+    } else if (children == 0) {
+      ++leaves;
+    } else {
+      FAIL() << "partially filled aggregation node";
+    }
+  }
+  EXPECT_EQ(full, 40u);    // 1 + 3 + 9 + 27.
+  EXPECT_EQ(leaves, 81u);  // Last level.
+}
+
+TEST(HyperModelTest, HundredAttributeInRange) {
+  for (Oid oid = 1; oid < 1000; ++oid) {
+    const uint32_t h = HyperModelBenchmark::HundredOf(oid);
+    ASSERT_LT(h, 100u);
+  }
+}
+
+TEST(HyperModelTest, AllOperationsRunAndReport) {
+  Database db(TestOptions());
+  HyperModelBenchmark hm(SmallModel());
+  ASSERT_TRUE(hm.Build(&db).ok());
+  ASSERT_TRUE(db.ColdRestart().ok());
+  auto rows = hm.RunAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 7u);
+  for (const auto& row : *rows) {
+    EXPECT_FALSE(row.op.empty());
+    // Warm runs never cost more I/O than cold runs (same inputs, warmer
+    // cache) — HyperModel's protocol exists to expose exactly this.
+    EXPECT_LE(row.warm_ios, row.cold_ios) << row.op;
+  }
+}
+
+TEST(HyperModelTest, SequentialScanTouchesEveryNode) {
+  Database db(TestOptions());
+  HyperModelBenchmark hm(SmallModel());
+  ASSERT_TRUE(hm.Build(&db).ok());
+  auto row = hm.SequentialScan();
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->objects_touched, hm.node_count());
+}
+
+TEST(HyperModelTest, ClosureTraversalBoundedByDepth) {
+  Database db(TestOptions());
+  HyperModelBenchmark hm(SmallModel());
+  ASSERT_TRUE(hm.Build(&db).ok());
+  auto row = hm.ClosureTraversal();
+  ASSERT_TRUE(row.ok());
+  // From any node, closure depth 3 over fan-out 3 touches at most
+  // 1 + 3 + 9 + 27 = 40 nodes per input.
+  EXPECT_LE(row->objects_touched, 40u * 10u);
+  EXPECT_GE(row->objects_touched, 10u);  // At least each input itself.
+}
+
+TEST(HyperModelTest, BuildRefusesNonEmptyDatabase) {
+  Database db(TestOptions());
+  HyperModelBenchmark first(SmallModel());
+  ASSERT_TRUE(first.Build(&db).ok());
+  HyperModelBenchmark second(SmallModel());
+  EXPECT_TRUE(second.Build(&db).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ocb

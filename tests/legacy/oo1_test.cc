@@ -1,0 +1,155 @@
+// Tests for the native OO1 (Cattell) benchmark implementation.
+
+#include "legacy/oo1.h"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions(size_t frames = 64) {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = frames;
+  return opts;
+}
+
+OO1Options SmallOO1(uint64_t parts = 400) {
+  OO1Options o;
+  o.num_parts = parts;
+  o.ref_zone = 20;
+  o.repetitions = 3;
+  o.lookups_per_run = 50;
+  o.inserts_per_run = 10;
+  o.traversal_depth = 4;
+  return o;
+}
+
+TEST(OO1Test, BuildCreatesPartsAndConnections) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1());
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  // 400 parts + 3 connections each.
+  EXPECT_EQ(oo1.part_count(), 400u);
+  EXPECT_EQ(db.object_count(), 400u + 3u * 400u);
+  EXPECT_EQ(db.schema().GetClass(OO1Benchmark::kPartClass).iterator.size(),
+            400u);
+  EXPECT_EQ(
+      db.schema().GetClass(OO1Benchmark::kConnectionClass).iterator.size(),
+      1200u);
+}
+
+TEST(OO1Test, EveryConnectionHasFromAndTo) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1(100));
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  for (Oid conn :
+       db.schema().GetClass(OO1Benchmark::kConnectionClass).iterator) {
+    auto obj = db.PeekObject(conn);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_NE(obj->orefs[0], kInvalidOid);  // From.
+    EXPECT_NE(obj->orefs[1], kInvalidOid);  // To.
+    // Both ends are parts.
+    EXPECT_EQ(db.PeekObject(obj->orefs[0])->class_id,
+              OO1Benchmark::kPartClass);
+    EXPECT_EQ(db.PeekObject(obj->orefs[1])->class_id,
+              OO1Benchmark::kPartClass);
+  }
+}
+
+TEST(OO1Test, LocalityKeepsMostLinksInRefZone) {
+  Database db(TestOptions());
+  OO1Options options = SmallOO1(1000);
+  options.ref_zone = 10;
+  OO1Benchmark oo1(options);
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  // Map part oid -> index.
+  std::map<Oid, int64_t> index_of;
+  for (uint64_t i = 0; i < oo1.part_count(); ++i) {
+    index_of[oo1.PartOid(i)] = static_cast<int64_t>(i);
+  }
+  uint64_t local = 0, total = 0;
+  for (uint64_t i = 0; i < oo1.part_count(); ++i) {
+    auto part = db.PeekObject(oo1.PartOid(i));
+    ASSERT_TRUE(part.ok());
+    for (Oid conn_oid : part->orefs) {
+      if (conn_oid == kInvalidOid) continue;
+      auto conn = db.PeekObject(conn_oid);
+      ASSERT_TRUE(conn.ok());
+      const int64_t target_index = index_of[conn->orefs[1]];
+      ++total;
+      if (std::abs(target_index - static_cast<int64_t>(i)) <= 10) ++local;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(total), 0.85);
+}
+
+TEST(OO1Test, TraversalTouchesExpectedCount) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1(500));
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  // Depth d over fan-out 3 visits sum_{i=1..d} 3^i parts and as many
+  // connections, plus the root: 1 + 2 * (3 + 9 + 27 + 81) = 241 for d=4.
+  auto accessed = oo1.TraverseFrom(oo1.PartOid(0), 4, /*reverse=*/false);
+  ASSERT_TRUE(accessed.ok());
+  EXPECT_EQ(*accessed, 241u);
+}
+
+TEST(OO1Test, FullDepthTraversalMatchesPaper3280) {
+  Database db(TestOptions(256));
+  OO1Benchmark oo1(SmallOO1(2000));
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  // OO1's classic count: 3280 parts over 7 hops (with duplicates), i.e.
+  // 1 + sum 3^i (i=1..7) = 3280 parts; our count includes the 3279
+  // connection objects crossed as well.
+  auto accessed = oo1.TraverseFrom(oo1.PartOid(7), 7, false);
+  ASSERT_TRUE(accessed.ok());
+  EXPECT_EQ(*accessed, 3280u + 3279u);
+}
+
+TEST(OO1Test, LookupsRunAndMeasure) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1());
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  ASSERT_TRUE(db.ColdRestart().ok());
+  auto result = oo1.RunLookups();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->op, "Lookup");
+  EXPECT_EQ(result->runs, 3u);
+  EXPECT_EQ(result->objects_accessed.mean(), 50.0);
+  EXPECT_GT(result->io_reads.mean(), 0.0);
+}
+
+TEST(OO1Test, ReverseTraversalRuns) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1(300));
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  auto result = oo1.RunTraversals(/*reverse=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->op, "ReverseTraversal");
+  EXPECT_GE(result->objects_accessed.mean(), 1.0);
+}
+
+TEST(OO1Test, InsertGrowsTheDatabase) {
+  Database db(TestOptions());
+  OO1Benchmark oo1(SmallOO1(200));
+  ASSERT_TRUE(oo1.Build(&db).ok());
+  const uint64_t before = db.object_count();
+  auto result = oo1.RunInserts();
+  ASSERT_TRUE(result.ok());
+  // 3 runs x 10 parts, each with 3 connections.
+  EXPECT_EQ(db.object_count(), before + 3u * 10u * 4u);
+  EXPECT_EQ(oo1.part_count(), 230u);
+}
+
+TEST(OO1Test, BuildRefusesNonEmptyDatabase) {
+  Database db(TestOptions());
+  OO1Benchmark first(SmallOO1(50));
+  ASSERT_TRUE(first.Build(&db).ok());
+  OO1Benchmark second(SmallOO1(50));
+  EXPECT_TRUE(second.Build(&db).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ocb

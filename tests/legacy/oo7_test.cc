@@ -1,0 +1,178 @@
+// Tests for the OO7-small benchmark implementation.
+
+#include "legacy/oo7.h"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = 128;
+  return opts;
+}
+
+OO7Options TinyOO7() {
+  OO7Options o;
+  o.assembly_fanout = 2;
+  o.assembly_levels = 3;  // 1 + 2 complex, 4 base assemblies.
+  o.composite_parts = 20;
+  o.atomic_per_composite = 5;
+  o.composites_per_base = 2;
+  o.document_bytes = 100;
+  o.manual_bytes = 100;
+  return o;
+}
+
+TEST(OO7Test, BuildCreatesExpectedPopulation) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  // 20 composites * (1 + 1 doc + 5 atomics) = 140, plus module + manual,
+  // plus assemblies: levels 1..2 complex = 1 + 2 = 3, level 3 base = 4.
+  EXPECT_EQ(db.object_count(), 140u + 2u + 3u + 4u);
+  EXPECT_EQ(db.schema().GetClass(OO7Benchmark::kBaseAssembly)
+                .iterator.size(),
+            4u);
+  EXPECT_EQ(db.schema().GetClass(OO7Benchmark::kAtomicPart).iterator.size(),
+            100u);
+}
+
+TEST(OO7Test, AtomicGraphHasFullOutDegree) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  for (Oid atom :
+       db.schema().GetClass(OO7Benchmark::kAtomicPart).iterator) {
+    auto obj = db.PeekObject(atom);
+    ASSERT_TRUE(obj.ok());
+    for (Oid ref : obj->orefs) {
+      EXPECT_NE(ref, kInvalidOid);
+      EXPECT_EQ(db.PeekObject(ref)->class_id, OO7Benchmark::kAtomicPart);
+    }
+  }
+}
+
+TEST(OO7Test, T1TouchesAllReachableAtomicParts) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  ASSERT_TRUE(db.ColdRestart().ok());
+  auto t1 = oo7.TraversalT1();
+  ASSERT_TRUE(t1.ok());
+  // The assembly walk touches module + 3 complex + 4 base = 8 objects,
+  // plus per base assembly 2 composites each visited with their 5 atomics.
+  // Composites are shared, so the exact count depends on the draw, but it
+  // must exceed T6's and include whole atomic graphs.
+  auto t6 = oo7.TraversalT6();
+  ASSERT_TRUE(t6.ok());
+  EXPECT_GT(t1->objects_accessed, t6->objects_accessed);
+  EXPECT_GE(t1->objects_accessed,
+            8u + 8u * (1u + 5u) / 2u);  // Loose lower bound.
+  EXPECT_GT(t1->io_reads, 0u);
+}
+
+TEST(OO7Test, T6TouchesOnlyCompositeRoots) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  auto t6 = oo7.TraversalT6();
+  ASSERT_TRUE(t6.ok());
+  // Upper bound: 8 assembly-path objects + 8 composite visits * 2 objects.
+  EXPECT_LE(t6->objects_accessed, 8u + 16u);
+}
+
+TEST(OO7Test, QueriesReportCounts) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  auto q1 = oo7.QueryQ1();
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->objects_accessed, 10u);
+  auto q2 = oo7.QueryQ2();
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->objects_accessed, 100u);  // Full atomic extent scan.
+}
+
+TEST(OO7Test, T2UpdatesCommitWrites) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  ASSERT_TRUE(db.ColdRestart().ok());
+  const uint64_t writes_before =
+      db.disk()->counters(IoScope::kTransaction).writes;
+  auto t2a = oo7.TraversalT2a();
+  ASSERT_TRUE(t2a.ok());
+  EXPECT_EQ(t2a->op, "T2a");
+  const uint64_t writes_t2a =
+      db.disk()->counters(IoScope::kTransaction).writes - writes_before;
+  EXPECT_GT(writes_t2a, 0u);  // Updates were flushed.
+  auto t2b = oo7.TraversalT2b();
+  ASSERT_TRUE(t2b.ok());
+  // T2b touches the same object set as T2a (update count differs, not
+  // traversal shape).
+  EXPECT_EQ(t2b->objects_accessed, t2a->objects_accessed);
+}
+
+TEST(OO7Test, StructuralInsertGrowsPopulation) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  const uint64_t before = db.object_count();
+  auto sm1 = oo7.StructuralInsert();
+  ASSERT_TRUE(sm1.ok());
+  // New composite + document + atomics.
+  EXPECT_EQ(db.object_count(), before + 2u + 5u);
+}
+
+TEST(OO7Test, StructuralDeleteShrinksPopulation) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  const uint64_t before = db.object_count();
+  auto sm2 = oo7.StructuralDelete();
+  ASSERT_TRUE(sm2.ok());
+  EXPECT_EQ(db.object_count(), before - (2u + 5u));
+  // Remaining database is still fully traversable.
+  auto t1 = oo7.TraversalT1();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_GT(t1->objects_accessed, 0u);
+}
+
+TEST(OO7Test, InsertThenDeleteIsBalanced) {
+  Database db(TestOptions());
+  OO7Benchmark oo7(TinyOO7());
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  const uint64_t start = db.object_count();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(oo7.StructuralInsert().ok());
+    ASSERT_TRUE(oo7.StructuralDelete().ok());
+  }
+  EXPECT_EQ(db.object_count(), start);
+}
+
+TEST(OO7Test, BuildDateInRange) {
+  for (Oid oid = 1; oid < 500; ++oid) {
+    ASSERT_LT(OO7Benchmark::BuildDateOf(oid), 100000u);
+  }
+}
+
+TEST(OO7Test, DefaultSmallConfigurationBuilds) {
+  Database db(TestOptions());
+  OO7Options defaults;  // The real small config: 500 composites etc.
+  defaults.composite_parts = 100;     // Trimmed for test speed.
+  defaults.assembly_levels = 5;
+  OO7Benchmark oo7(defaults);
+  ASSERT_TRUE(oo7.Build(&db).ok());
+  // 100 * (2 + 20) + module/manual + assemblies (1+3+9+27=40 complex,
+  // 81 base).
+  EXPECT_GT(db.object_count(), 2000u);
+  auto t6 = oo7.TraversalT6();
+  ASSERT_TRUE(t6.ok());
+  EXPECT_GT(t6->objects_accessed, 100u);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,126 @@
+// End-to-end tests of the before/after clustering experiment harness —
+// miniature versions of the paper's Table 4 / Table 5 runs.
+
+#include "ocb/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/dstc.h"
+
+namespace ocb {
+namespace {
+
+/// A miniature CluB-style configuration: small database, tiny buffer pool
+/// (so locality matters), pure depth-first traversals. Geometry matters:
+/// with 1 KB pages (~8 objects each) and a ±60-object reference zone, a
+/// creation-order layout scatters each traversal over many pages, leaving
+/// clustering real headroom — the same DB-vs-cache regime as the paper's
+/// 15 MB database against 8 MB of memory.
+ExperimentConfig MiniClubConfig() {
+  ExperimentConfig config;
+  config.preset = presets::DstcClubApprox(/*ref_zone=*/60);
+  config.preset.database.num_objects = 1500;
+  config.preset.database.seed = 11;
+  config.preset.workload.cold_transactions = 60;
+  config.preset.workload.hot_transactions = 150;
+  config.preset.workload.simple_depth = 4;
+  config.preset.workload.seed = 13;
+  config.storage.page_size = 1024;
+  config.storage.buffer_pool_pages = 16;  // DB >> cache.
+  return config;
+}
+
+DstcOptions FastDstc() {
+  DstcOptions options;
+  options.observation_period_transactions = 50;
+  options.selection_threshold = 1.0;
+  options.unit_link_threshold = 1.0;
+  return options;
+}
+
+TEST(ExperimentTest, DstcImprovesStereotypedTraversals) {
+  Dstc dstc(FastDstc());
+  auto result = RunBeforeAfterExperiment(MiniClubConfig(), &dstc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->policy_name, "DSTC");
+  EXPECT_GT(result->ios_before(), 0.0);
+  EXPECT_GT(result->ios_after(), 0.0);
+  // The paper's headline shape: clustering wins on CluB-style workloads.
+  EXPECT_GT(result->gain_factor(), 1.2)
+      << "before=" << result->ios_before()
+      << " after=" << result->ios_after();
+  EXPECT_GT(result->clustering_overhead_io, 0u);
+  EXPECT_GE(result->policy_stats.reorganizations, 1u);
+}
+
+TEST(ExperimentTest, NoClusteringGainIsNeutral) {
+  NoClustering none;
+  auto result = RunBeforeAfterExperiment(MiniClubConfig(), &none);
+  ASSERT_TRUE(result.ok());
+  // Identical layout, identical deterministic workload: gain == 1.
+  EXPECT_NEAR(result->gain_factor(), 1.0, 0.05);
+  EXPECT_EQ(result->clustering_overhead_io, 0u);
+}
+
+TEST(ExperimentTest, GenerationReportIsFilled) {
+  Dstc dstc(FastDstc());
+  auto result = RunBeforeAfterExperiment(MiniClubConfig(), &dstc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->generation.objects_created, 1500u);
+  EXPECT_GT(result->generation.data_pages, 0u);
+  EXPECT_GT(result->generation.generation_ios, 0u);
+}
+
+TEST(ExperimentTest, ReusableDatabaseVariant) {
+  ExperimentConfig config = MiniClubConfig();
+  Database db(config.storage);
+  ASSERT_TRUE(GenerateDatabase(config.preset.database, &db).ok());
+
+  Dstc dstc(FastDstc());
+  auto result =
+      RunBeforeAfterOnDatabase(&db, config.preset.workload, &dstc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->ios_before(), 0.0);
+  // Observer is detached afterwards.
+  EXPECT_GE(result->gain_factor(), 1.0);
+}
+
+TEST(ExperimentTest, InvalidStorageRejected) {
+  ExperimentConfig config = MiniClubConfig();
+  config.storage.page_size = 100;  // Not a power of two.
+  Dstc dstc;
+  EXPECT_TRUE(RunBeforeAfterExperiment(config, &dstc)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExperimentTest, DiversifiedWorkloadGainIsSmaller) {
+  // Reproduces the Table 4 vs Table 5 *shape* in miniature: the same
+  // database under a stereotyped traversal workload clusters better than
+  // under the diversified four-type workload.
+  ExperimentConfig club = MiniClubConfig();
+
+  ExperimentConfig diversified = MiniClubConfig();
+  diversified.preset.workload.p_set = 0.25;
+  diversified.preset.workload.p_simple = 0.25;
+  diversified.preset.workload.p_hierarchy = 0.25;
+  diversified.preset.workload.p_stochastic = 0.25;
+  diversified.preset.workload.set_depth = 2;
+  diversified.preset.workload.hierarchy_depth = 3;
+  diversified.preset.workload.stochastic_depth = 10;
+
+  Dstc dstc_club(FastDstc());
+  auto club_result = RunBeforeAfterExperiment(club, &dstc_club);
+  ASSERT_TRUE(club_result.ok());
+
+  Dstc dstc_div(FastDstc());
+  auto div_result = RunBeforeAfterExperiment(diversified, &dstc_div);
+  ASSERT_TRUE(div_result.ok());
+
+  EXPECT_GT(club_result->gain_factor(), div_result->gain_factor() * 0.9)
+      << "club gain=" << club_result->gain_factor()
+      << " diversified gain=" << div_result->gain_factor();
+}
+
+}  // namespace
+}  // namespace ocb

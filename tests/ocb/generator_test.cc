@@ -1,0 +1,224 @@
+// Tests for the Fig. 2 database generation algorithm.
+
+#include "ocb/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = 64;
+  return opts;
+}
+
+DatabaseParameters SmallParams(uint64_t objects = 500,
+                               uint32_t classes = 5) {
+  DatabaseParameters p;
+  p.num_classes = classes;
+  p.num_objects = objects;
+  p.max_nref = 4;
+  p.base_size = 30;
+  p.seed = 7;
+  return p;
+}
+
+TEST(GeneratorTest, CreatesRequestedCounts) {
+  Database db(TestOptions());
+  auto report = GenerateDatabase(SmallParams(), &db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->classes_created, 5u);
+  EXPECT_EQ(report->objects_created, 500u);
+  EXPECT_EQ(db.object_count(), 500u);
+  EXPECT_EQ(db.schema().class_count(), 5u);
+  EXPECT_GT(report->data_pages, 0u);
+  EXPECT_GT(report->database_bytes, 0u);
+  // Every slot of every object was considered: bound + nil = NO * MAXNREF.
+  EXPECT_EQ(report->references_bound + report->nil_references,
+            500u * 4u);
+}
+
+TEST(GeneratorTest, ExtentsPartitionTheObjects) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db).ok());
+  uint64_t total = 0;
+  for (ClassId c = 0; c < db.schema().class_count(); ++c) {
+    total += db.schema().GetClass(c).iterator.size();
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(GeneratorTest, RefusesNonEmptyDatabase) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db).ok());
+  EXPECT_TRUE(GenerateDatabase(SmallParams(), &db)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GeneratorTest, RejectsInvalidParameters) {
+  Database db(TestOptions());
+  DatabaseParameters p = SmallParams();
+  p.num_classes = 0;
+  EXPECT_TRUE(GenerateDatabase(p, &db).status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, InheritanceGraphIsAcyclicAndSized) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db).ok());
+  EXPECT_FALSE(db.schema().HasForbiddenCycle());
+  for (ClassId c = 0; c < db.schema().class_count(); ++c) {
+    const ClassDescriptor& cls = db.schema().GetClass(c);
+    EXPECT_GE(cls.instance_size, cls.basesize);
+  }
+}
+
+TEST(GeneratorTest, ReferencesTargetTheDeclaredClass) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db).ok());
+  const Schema& schema = db.schema();
+  for (ClassId c = 0; c < schema.class_count(); ++c) {
+    const ClassDescriptor& cls = schema.GetClass(c);
+    for (Oid oid : cls.iterator) {
+      auto obj = db.PeekObject(oid);
+      ASSERT_TRUE(obj.ok());
+      for (uint32_t k = 0; k < cls.maxnref; ++k) {
+        const Oid target = obj->orefs[k];
+        if (target == kInvalidOid) continue;
+        auto target_obj = db.PeekObject(target);
+        ASSERT_TRUE(target_obj.ok());
+        EXPECT_EQ(target_obj->class_id, cls.cref[k]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, BackRefsAreSymmetric) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db).ok());
+  // Forward edge multiset == reverse edge multiset.
+  std::unordered_map<uint64_t, int> balance;
+  auto key = [](Oid a, Oid b) { return a * 1000003ULL + b; };
+  for (Oid oid : db.object_store()->LiveOids()) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    for (Oid target : obj->orefs) {
+      if (target != kInvalidOid) ++balance[key(oid, target)];
+    }
+    for (Oid referer : obj->backrefs) {
+      --balance[key(referer, oid)];
+    }
+  }
+  for (const auto& [k, v] : balance) {
+    ASSERT_EQ(v, 0) << "unbalanced edge key " << k;
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Database db1(TestOptions()), db2(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db1).ok());
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db2).ok());
+  ASSERT_EQ(db1.object_count(), db2.object_count());
+  for (Oid oid : db1.object_store()->LiveOids()) {
+    auto a = db1.PeekObject(oid);
+    auto b = db2.PeekObject(oid);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->class_id, b->class_id);
+    ASSERT_EQ(a->orefs, b->orefs);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentGraphs) {
+  Database db1(TestOptions()), db2(TestOptions());
+  DatabaseParameters p2 = SmallParams();
+  p2.seed = 999;
+  ASSERT_TRUE(GenerateDatabase(SmallParams(), &db1).ok());
+  ASSERT_TRUE(GenerateDatabase(p2, &db2).ok());
+  int differing = 0;
+  for (Oid oid : db1.object_store()->LiveOids()) {
+    auto a = db1.PeekObject(oid);
+    auto b = db2.PeekObject(oid);
+    if (a.ok() && b.ok() &&
+        (a->class_id != b->class_id || a->orefs != b->orefs)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GeneratorTest, FixedTrefAndCrefAreHonored) {
+  Database db(TestOptions());
+  DatabaseParameters p;
+  p.num_classes = 2;
+  p.num_objects = 50;
+  p.max_nref = 2;
+  p.num_ref_types = 3;
+  p.fixed_tref = {{2, 2}, {2, 2}};
+  p.fixed_cref = {{1, -1}, {0, 0}};  // -1 = NIL.
+  auto report = GenerateDatabase(p, &db);
+  ASSERT_TRUE(report.ok());
+  const Schema& schema = db.schema();
+  EXPECT_EQ(schema.GetClass(0).cref[0], 1u);
+  EXPECT_EQ(schema.GetClass(0).cref[1], kNullClass);
+  EXPECT_EQ(schema.GetClass(1).cref[0], 0u);
+  // NIL schema slots yield NIL object refs.
+  for (Oid oid : schema.GetClass(0).iterator) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->orefs[1], kInvalidOid);
+  }
+}
+
+TEST(GeneratorTest, ConstantDistributionsConcentrateClassMembership) {
+  Database db(TestOptions());
+  DatabaseParameters p = SmallParams();
+  p.dist3_objects_in_classes = DistributionSpec::Constant(2);
+  ASSERT_TRUE(GenerateDatabase(p, &db).ok());
+  EXPECT_EQ(db.schema().GetClass(2).iterator.size(), 500u);
+  EXPECT_TRUE(db.schema().GetClass(0).iterator.empty());
+}
+
+TEST(GeneratorTest, SupRefBoundsTargetIndices) {
+  Database db(TestOptions());
+  DatabaseParameters p = SmallParams(/*objects=*/300, /*classes=*/1);
+  p.sup_ref = 9;  // Only the first ten extent members may be referenced.
+  ASSERT_TRUE(GenerateDatabase(p, &db).ok());
+  const auto& extent = db.schema().GetClass(0).iterator;
+  std::vector<Oid> allowed(extent.begin(), extent.begin() + 10);
+  for (Oid oid : extent) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    for (Oid target : obj->orefs) {
+      if (target == kInvalidOid) continue;
+      EXPECT_NE(std::find(allowed.begin(), allowed.end(), target),
+                allowed.end());
+    }
+  }
+}
+
+// Property over seeds: generation invariants hold for any seed.
+class GeneratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, InvariantsHold) {
+  Database db(TestOptions());
+  DatabaseParameters p = SmallParams(/*objects=*/200, /*classes=*/8);
+  p.seed = GetParam();
+  auto report = GenerateDatabase(p, &db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(db.object_count(), 200u);
+  EXPECT_FALSE(db.schema().HasForbiddenCycle());
+  EXPECT_TRUE(db.schema().Validate().ok());
+  EXPECT_EQ(report->references_bound + report->nil_references,
+            200u * 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1u, 17u, 1998u, 31337u));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,157 @@
+// Tests asserting the paper's Table 1 / Table 2 default values and
+// parameter validation.
+
+#include "ocb/parameters.h"
+
+#include <gtest/gtest.h>
+
+#include "ocb/presets.h"
+
+namespace ocb {
+namespace {
+
+TEST(DatabaseParametersTest, Table1Defaults) {
+  const DatabaseParameters p;
+  EXPECT_EQ(p.num_classes, 20u);          // NC.
+  EXPECT_EQ(p.max_nref, 10u);             // MAXNREF.
+  EXPECT_EQ(p.base_size, 50u);            // BASESIZE (bytes).
+  EXPECT_EQ(p.num_objects, 20000u);       // NO.
+  EXPECT_EQ(p.num_ref_types, 4u);         // NREFT.
+  EXPECT_EQ(p.inf_class, 0);              // INFCLASS (0-based).
+  EXPECT_EQ(p.EffectiveSupClass(), 19);   // SUPCLASS = NC.
+  EXPECT_EQ(p.inf_ref, 0);                // INFREF.
+  EXPECT_EQ(p.sup_ref, -1);               // SUPREF = NO (extent end).
+  EXPECT_EQ(p.dist1_ref_types.kind, DistributionKind::kUniform);
+  EXPECT_EQ(p.dist2_class_refs.kind, DistributionKind::kUniform);
+  EXPECT_EQ(p.dist3_objects_in_classes.kind, DistributionKind::kUniform);
+  EXPECT_EQ(p.dist4_object_refs.kind, DistributionKind::kUniform);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(WorkloadParametersTest, Table2Defaults) {
+  const WorkloadParameters p;
+  EXPECT_EQ(p.set_depth, 3u);             // SETDEPTH.
+  EXPECT_EQ(p.simple_depth, 3u);          // SIMDEPTH.
+  EXPECT_EQ(p.hierarchy_depth, 5u);       // HIEDEPTH.
+  EXPECT_EQ(p.stochastic_depth, 50u);     // STODEPTH.
+  EXPECT_EQ(p.cold_transactions, 1000u);  // COLDN.
+  EXPECT_EQ(p.hot_transactions, 10000u);  // HOTN.
+  EXPECT_EQ(p.think_nanos, 0u);           // THINK.
+  EXPECT_DOUBLE_EQ(p.p_set, 0.25);        // PSET.
+  EXPECT_DOUBLE_EQ(p.p_simple, 0.25);     // PSIMPLE.
+  EXPECT_DOUBLE_EQ(p.p_hierarchy, 0.25);  // PHIER.
+  EXPECT_DOUBLE_EQ(p.p_stochastic, 0.25); // PSTOCH.
+  EXPECT_EQ(p.dist5_roots.kind, DistributionKind::kUniform);  // RAND5.
+  EXPECT_EQ(p.client_count, 1u);          // CLIENTN.
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(DatabaseParametersTest, ValidationCatchesBadValues) {
+  DatabaseParameters p;
+  p.num_classes = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = DatabaseParameters{};
+  p.num_objects = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = DatabaseParameters{};
+  p.num_ref_types = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = DatabaseParameters{};
+  p.sup_class = 100;  // >= NC.
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = DatabaseParameters{};
+  p.inf_class = 10;
+  p.sup_class = 5;  // Inverted interval.
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = DatabaseParameters{};
+  p.per_class_max_nref = {1, 2, 3};  // Wrong arity.
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(DatabaseParametersTest, PerClassOverrides) {
+  DatabaseParameters p;
+  p.num_classes = 3;
+  p.per_class_max_nref = {1, 2, 3};
+  p.per_class_base_size = {10, 20, 30};
+  EXPECT_EQ(p.MaxNrefFor(0), 1u);
+  EXPECT_EQ(p.MaxNrefFor(2), 3u);
+  EXPECT_EQ(p.BaseSizeFor(1), 20u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(WorkloadParametersTest, ProbabilitiesMustSumToOne) {
+  WorkloadParameters p;
+  p.p_set = 0.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = WorkloadParameters{};
+  p.p_set = 1.0;
+  p.p_simple = 0.0;
+  p.p_hierarchy = 0.0;
+  p.p_stochastic = 0.0;
+  EXPECT_TRUE(p.Validate().ok());
+  p.p_set = 1.5;
+  p.p_simple = -0.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(WorkloadParametersTest, ClientCountAndReverseValidation) {
+  WorkloadParameters p;
+  p.client_count = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = WorkloadParameters{};
+  p.p_reverse = 1.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(ParameterTablesTest, RenderMentionsEveryName) {
+  const std::string t1 = DatabaseParameters{}.ToTableString();
+  for (const char* name : {"NC", "MAXNREF", "BASESIZE", "NO", "NREFT",
+                           "INFCLASS", "SUPCLASS", "INFREF", "SUPREF",
+                           "DIST1", "DIST2", "DIST3", "DIST4"}) {
+    EXPECT_NE(t1.find(name), std::string::npos) << name;
+  }
+  const std::string t2 = WorkloadParameters{}.ToTableString();
+  for (const char* name :
+       {"SETDEPTH", "SIMDEPTH", "HIEDEPTH", "STODEPTH", "COLDN", "HOTN",
+        "THINK", "PSET", "PSIMPLE", "PHIER", "PSTOCH", "RAND5", "CLIENTN"}) {
+    EXPECT_NE(t2.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(TransactionTypeTest, Names) {
+  EXPECT_STREQ(TransactionTypeToString(TransactionType::kSetOriented),
+               "SetOriented");
+  EXPECT_STREQ(TransactionTypeToString(TransactionType::kStochasticTraversal),
+               "StochasticTraversal");
+}
+
+TEST(PresetsTest, Table3ClubApproximation) {
+  const OcbPreset preset = presets::DstcClubApprox();
+  const DatabaseParameters& db = preset.database;
+  EXPECT_EQ(db.num_classes, 2u);       // Table 3: NC = 2.
+  EXPECT_EQ(db.max_nref, 3u);          // MAXNREF = 3.
+  EXPECT_EQ(db.base_size, 50u);        // BASESIZE = 50.
+  EXPECT_EQ(db.num_objects, 20000u);   // NO = 20000.
+  EXPECT_EQ(db.num_ref_types, 3u);     // NREFT = 3.
+  EXPECT_EQ(db.dist1_ref_types.kind, DistributionKind::kConstant);
+  EXPECT_EQ(db.dist2_class_refs.kind, DistributionKind::kConstant);
+  EXPECT_EQ(db.dist3_objects_in_classes.kind, DistributionKind::kConstant);
+  EXPECT_EQ(db.dist4_object_refs.kind, DistributionKind::kSpecialRefZone);
+  EXPECT_TRUE(db.Validate().ok());
+  // Workload: pure OO1 traversal at depth 7.
+  EXPECT_DOUBLE_EQ(preset.workload.p_simple, 1.0);
+  EXPECT_EQ(preset.workload.simple_depth, 7u);
+  EXPECT_TRUE(preset.workload.Validate().ok());
+}
+
+TEST(PresetsTest, AllPresetsValidate) {
+  for (const OcbPreset& preset :
+       {presets::Default(), presets::DstcClubApprox(), presets::OO1Approx(),
+        presets::HyperModelApprox(), presets::OO7SmallApprox()}) {
+    EXPECT_TRUE(preset.database.Validate().ok()) << preset.name;
+    EXPECT_TRUE(preset.workload.Validate().ok()) << preset.name;
+  }
+}
+
+}  // namespace
+}  // namespace ocb

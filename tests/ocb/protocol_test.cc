@@ -1,0 +1,204 @@
+// Tests for the cold/warm protocol runner and the multi-client runner.
+
+#include "ocb/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "ocb/client.h"
+#include "ocb/generator.h"
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = 32;
+  return opts;
+}
+
+DatabaseParameters SmallDb() {
+  DatabaseParameters p;
+  p.num_classes = 4;
+  p.num_objects = 300;
+  p.max_nref = 3;
+  p.base_size = 30;
+  p.seed = 3;
+  return p;
+}
+
+WorkloadParameters SmallWorkload() {
+  WorkloadParameters w;
+  w.cold_transactions = 40;
+  w.hot_transactions = 120;
+  w.set_depth = 2;
+  w.simple_depth = 2;
+  w.hierarchy_depth = 3;
+  w.stochastic_depth = 10;
+  w.seed = 5;
+  return w;
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() : db_(TestOptions()) {
+    EXPECT_TRUE(GenerateDatabase(SmallDb(), &db_).ok());
+    EXPECT_TRUE(db_.ColdRestart().ok());
+  }
+  Database db_;
+};
+
+TEST_F(ProtocolTest, RunsExactlyColdnPlusHotn) {
+  ProtocolRunner runner(&db_, SmallWorkload());
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->cold.global.transactions, 40u);
+  EXPECT_EQ(metrics->warm.global.transactions, 120u);
+  uint64_t per_type_total = 0;
+  for (const auto& t : metrics->warm.per_type) {
+    per_type_total += t.transactions;
+  }
+  EXPECT_EQ(per_type_total, 120u);
+}
+
+TEST_F(ProtocolTest, TypeMixTracksProbabilities) {
+  WorkloadParameters w = SmallWorkload();
+  w.hot_transactions = 2000;
+  w.p_set = 1.0;
+  w.p_simple = 0.0;
+  w.p_hierarchy = 0.0;
+  w.p_stochastic = 0.0;
+  ProtocolRunner runner(&db_, w);
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->warm
+                .per_type[static_cast<size_t>(TransactionType::kSetOriented)]
+                .transactions,
+            2000u);
+  EXPECT_EQ(
+      metrics->warm
+          .per_type[static_cast<size_t>(TransactionType::kSimpleTraversal)]
+          .transactions,
+      0u);
+}
+
+TEST_F(ProtocolTest, MetricsAreInternallyConsistent) {
+  ProtocolRunner runner(&db_, SmallWorkload());
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  // Mean objects >= 1 (the root is always accessed).
+  EXPECT_GE(metrics->warm.global.objects_accessed.mean(), 1.0);
+  // Transaction I/O totals equal the per-transaction sums.
+  EXPECT_NEAR(metrics->warm.global.io_reads.sum(),
+              static_cast<double>(metrics->warm.transaction_io_reads), 1e-9);
+  // Buffer accounting: some hits once the cache is warm.
+  EXPECT_GT(metrics->warm.buffer_hits, 0u);
+}
+
+TEST_F(ProtocolTest, WarmRunBenefitsFromCache) {
+  // With a pool large enough to hold the whole small database, the warm
+  // run must do (almost) no I/O compared to the cold run.
+  ProtocolRunner runner(&db_, SmallWorkload());
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(metrics->warm.mean_ios_per_transaction(),
+            metrics->cold.mean_ios_per_transaction() + 1e-9);
+}
+
+TEST_F(ProtocolTest, ThinkTimeAdvancesSimClock) {
+  WorkloadParameters w = SmallWorkload();
+  w.cold_transactions = 10;
+  w.hot_transactions = 10;
+  w.think_nanos = 1'000'000;
+  const uint64_t start = db_.sim_clock()->now_nanos();
+  ProtocolRunner runner(&db_, w);
+  ASSERT_TRUE(runner.Run().ok());
+  EXPECT_GE(db_.sim_clock()->now_nanos() - start, 20u * 1'000'000u);
+}
+
+TEST_F(ProtocolTest, InvalidWorkloadRejected) {
+  WorkloadParameters w = SmallWorkload();
+  w.p_set = 0.9;  // Sum != 1.
+  ProtocolRunner runner(&db_, w);
+  EXPECT_TRUE(runner.Run().status().IsInvalidArgument());
+}
+
+TEST_F(ProtocolTest, RunPhaseAccumulates) {
+  ProtocolRunner runner(&db_, SmallWorkload());
+  PhaseMetrics phase;
+  ASSERT_TRUE(runner.RunPhase(25, &phase).ok());
+  ASSERT_TRUE(runner.RunPhase(25, &phase).ok());
+  EXPECT_EQ(phase.global.transactions, 50u);
+}
+
+TEST_F(ProtocolTest, ResponsePercentilesAreOrdered) {
+  ProtocolRunner runner(&db_, SmallWorkload());
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  const TypeMetrics& g = metrics->warm.global;
+  ASSERT_EQ(g.response_histogram.count(), g.transactions);
+  EXPECT_LE(g.response_histogram.Percentile(50),
+            g.response_histogram.Percentile(99));
+  EXPECT_LE(g.response_histogram.Percentile(99),
+            g.response_histogram.max());
+  const std::string table = metrics->warm.ToTableString("warm");
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, PhaseTableRendersAllTypes) {
+  ProtocolRunner runner(&db_, SmallWorkload());
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  const std::string table = metrics->warm.ToTableString("warm");
+  EXPECT_NE(table.find("SetOriented"), std::string::npos);
+  EXPECT_NE(table.find("StochasticTraversal"), std::string::npos);
+  EXPECT_NE(table.find("GLOBAL"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, MultiClientMergesAllTransactions) {
+  WorkloadParameters w = SmallWorkload();
+  w.client_count = 4;
+  w.cold_transactions = 10;
+  w.hot_transactions = 30;
+  auto report = RunMultiClient(&db_, w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->clients, 4u);
+  EXPECT_EQ(report->merged.cold.global.transactions, 4u * 10u);
+  EXPECT_EQ(report->merged.warm.global.transactions, 4u * 30u);
+  EXPECT_GT(report->throughput_tps(), 0.0);
+}
+
+TEST_F(ProtocolTest, MultiClientSingleDegeneratesToProtocolRunner) {
+  WorkloadParameters w = SmallWorkload();
+  auto multi = RunMultiClient(&db_, w);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->merged.cold.global.transactions, 40u);
+}
+
+TEST_F(ProtocolTest, ClientsDrawIndependentStreams) {
+  // Two clients with the same params must not execute the identical
+  // transaction sequence: their per-type counts should differ somewhere
+  // over a long run (the type draw is the first RNG consumption).
+  WorkloadParameters w = SmallWorkload();
+  w.cold_transactions = 0;
+  w.hot_transactions = 500;
+  PhaseMetrics a, b;
+  {
+    ProtocolRunner r0(&db_, w, /*client_id=*/0);
+    ASSERT_TRUE(r0.RunPhase(500, &a).ok());
+    ProtocolRunner r1(&db_, w, /*client_id=*/1);
+    ASSERT_TRUE(r1.RunPhase(500, &b).ok());
+  }
+  bool any_difference = false;
+  for (int t = 0; t < kNumTransactionTypes; ++t) {
+    if (a.per_type[static_cast<size_t>(t)].transactions !=
+        b.per_type[static_cast<size_t>(t)].transactions) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,241 @@
+// Tests for the four OCB transaction types on hand-built object graphs
+// with known traversal counts.
+
+#include "ocb/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 4096;
+  opts.buffer_pool_pages = 64;
+  return opts;
+}
+
+// One class, maxnref slots all typed `types[i]`, targeting class 0.
+Schema GraphSchema(std::vector<RefTypeId> slot_types) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  ClassDescriptor cls;
+  cls.id = 0;
+  cls.maxnref = static_cast<uint32_t>(slot_types.size());
+  cls.basesize = 20;
+  cls.instance_size = 20;
+  cls.tref = std::move(slot_types);
+  cls.cref.assign(cls.tref.size(), 0);
+  Schema out = std::move(schema);
+  EXPECT_TRUE(out.AddClass(std::move(cls)).ok());
+  return out;
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : db_(TestOptions()) {}
+
+  // Builds a complete binary tree of `levels` levels below the root, both
+  // child slots typed 2 (association). Returns the root.
+  Oid BuildBinaryTree(uint32_t levels) {
+    db_.SetSchema(GraphSchema({2, 2}));
+    auto build = [&](auto&& self, uint32_t remaining) -> Oid {
+      auto oid = db_.CreateObject(0);
+      EXPECT_TRUE(oid.ok());
+      if (remaining > 0) {
+        const Oid left = self(self, remaining - 1);
+        const Oid right = self(self, remaining - 1);
+        EXPECT_TRUE(db_.SetReference(*oid, 0, left).ok());
+        EXPECT_TRUE(db_.SetReference(*oid, 1, right).ok());
+      }
+      return *oid;
+    };
+    return build(build, levels);
+  }
+
+  Database db_;
+  WorkloadParameters params_;
+  LewisPayneRng rng_{12345};
+};
+
+TEST_F(TransactionTest, SetOrientedCountsBfsLevels) {
+  const Oid root = BuildBinaryTree(4);
+  params_.set_depth = 3;
+  TransactionExecutor executor(&db_, params_);
+  auto result = executor.Execute(TransactionType::kSetOriented, root,
+                                 /*reversed=*/false, &rng_);
+  ASSERT_TRUE(result.ok());
+  // Root + 2 + 4 + 8 = 15 objects.
+  EXPECT_EQ(result->objects_accessed, 15u);
+  EXPECT_EQ(result->type, TransactionType::kSetOriented);
+}
+
+TEST_F(TransactionTest, SimpleTraversalCountsDfs) {
+  const Oid root = BuildBinaryTree(4);
+  params_.simple_depth = 2;
+  TransactionExecutor executor(&db_, params_);
+  auto result = executor.Execute(TransactionType::kSimpleTraversal, root,
+                                 false, &rng_);
+  ASSERT_TRUE(result.ok());
+  // Depth-first to depth 2 covers the same node set as BFS: 1 + 2 + 4.
+  EXPECT_EQ(result->objects_accessed, 7u);
+}
+
+TEST_F(TransactionTest, DepthZeroTouchesOnlyRoot) {
+  const Oid root = BuildBinaryTree(2);
+  params_.set_depth = 0;
+  params_.simple_depth = 0;
+  TransactionExecutor executor(&db_, params_);
+  for (auto type : {TransactionType::kSetOriented,
+                    TransactionType::kSimpleTraversal}) {
+    auto result = executor.Execute(type, root, false, &rng_);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->objects_accessed, 1u);
+  }
+}
+
+TEST_F(TransactionTest, HierarchyTraversalFollowsOnlyItsType) {
+  // Slot 0 typed 1 (composition), slot 1 typed 2 (association): a chain
+  // through slot 0 and noise through slot 1.
+  db_.SetSchema(GraphSchema({1, 2}));
+  std::vector<Oid> chain;
+  for (int i = 0; i < 6; ++i) {
+    auto oid = db_.CreateObject(0);
+    ASSERT_TRUE(oid.ok());
+    chain.push_back(*oid);
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.SetReference(chain[static_cast<size_t>(i)], 0,
+                                 chain[static_cast<size_t>(i) + 1])
+                    .ok());
+    // Association edges back to the root would explode the count if
+    // followed.
+    ASSERT_TRUE(db_.SetReference(chain[static_cast<size_t>(i)], 1,
+                                 chain[0])
+                    .ok());
+  }
+  params_.hierarchy_depth = 10;
+  params_.hierarchy_ref_type = 1;
+  TransactionExecutor executor(&db_, params_);
+  auto result = executor.Execute(TransactionType::kHierarchyTraversal,
+                                 chain[0], false, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objects_accessed, 6u);  // The chain, nothing else.
+}
+
+TEST_F(TransactionTest, StochasticNeverExceedsDepth) {
+  const Oid root = BuildBinaryTree(6);
+  params_.stochastic_depth = 4;
+  TransactionExecutor executor(&db_, params_);
+  for (int i = 0; i < 50; ++i) {
+    auto result = executor.Execute(TransactionType::kStochasticTraversal,
+                                   root, false, &rng_);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->objects_accessed, 1u + 4u);
+    EXPECT_GE(result->objects_accessed, 1u);
+  }
+}
+
+TEST_F(TransactionTest, StochasticFollowsGeometricLaw) {
+  // A node with two self-loop refs: slot 0 should be chosen about twice as
+  // often as slot 1 (p = 1/2 vs 1/4), estimated by wiring slot targets to
+  // distinguishable nodes.
+  db_.SetSchema(GraphSchema({2, 2}));
+  auto hub = db_.CreateObject(0);
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(0);
+  ASSERT_TRUE(hub.ok() && a.ok() && b.ok());
+  ASSERT_TRUE(db_.SetReference(*hub, 0, *a).ok());
+  ASSERT_TRUE(db_.SetReference(*hub, 1, *b).ok());
+
+  // Count first-step choices through the observer.
+  class FirstStepCounter : public AccessObserver {
+   public:
+    void OnLinkCross(Oid, Oid to, RefTypeId, bool) override {
+      if (!first_recorded) {
+        ++counts[to];
+        first_recorded = true;
+      }
+    }
+    void OnTransactionBegin() override { first_recorded = false; }
+    std::map<Oid, int> counts;
+    bool first_recorded = false;
+  } counter;
+  db_.SetObserver(&counter);
+
+  params_.stochastic_depth = 1;
+  TransactionExecutor executor(&db_, params_);
+  constexpr int kRuns = 4000;
+  for (int i = 0; i < kRuns; ++i) {
+    db_.BeginTransaction();
+    ASSERT_TRUE(executor
+                    .Execute(TransactionType::kStochasticTraversal, *hub,
+                             false, &rng_)
+                    .ok());
+  }
+  db_.SetObserver(nullptr);
+  // P(slot0) = 1/2, P(slot1) = 1/4, P(stop) = 1/4.
+  EXPECT_NEAR(static_cast<double>(counter.counts[*a]) / kRuns, 0.5, 0.04);
+  EXPECT_NEAR(static_cast<double>(counter.counts[*b]) / kRuns, 0.25, 0.04);
+}
+
+TEST_F(TransactionTest, ReversedTraversalAscendsBackrefs) {
+  const Oid root = BuildBinaryTree(3);
+  // Find a leaf: follow slot 0 three times.
+  Oid leaf = root;
+  for (int i = 0; i < 3; ++i) {
+    auto obj = db_.PeekObject(leaf);
+    ASSERT_TRUE(obj.ok());
+    leaf = obj->orefs[0];
+  }
+  params_.simple_depth = 3;
+  TransactionExecutor executor(&db_, params_);
+  auto result = executor.Execute(TransactionType::kSimpleTraversal, leaf,
+                                 /*reversed=*/true, &rng_);
+  ASSERT_TRUE(result.ok());
+  // Tree parents are unique: leaf + 3 ancestors.
+  EXPECT_EQ(result->objects_accessed, 4u);
+  EXPECT_TRUE(result->reversed);
+}
+
+TEST_F(TransactionTest, MissingRootFails) {
+  BuildBinaryTree(1);
+  TransactionExecutor executor(&db_, params_);
+  auto result = executor.Execute(TransactionType::kSetOriented, 99999,
+                                 false, &rng_);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(TransactionTest, DrawTypeMatchesProbabilities) {
+  BuildBinaryTree(1);
+  params_.p_set = 0.5;
+  params_.p_simple = 0.5;
+  params_.p_hierarchy = 0.0;
+  params_.p_stochastic = 0.0;
+  TransactionExecutor executor(&db_, params_);
+  int set_count = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const TransactionType t = executor.DrawType(&rng_);
+    ASSERT_TRUE(t == TransactionType::kSetOriented ||
+                t == TransactionType::kSimpleTraversal);
+    if (t == TransactionType::kSetOriented) ++set_count;
+  }
+  EXPECT_NEAR(static_cast<double>(set_count) / kDraws, 0.5, 0.03);
+}
+
+TEST_F(TransactionTest, IoReadsReflectColdAccess) {
+  const Oid root = BuildBinaryTree(5);
+  ASSERT_TRUE(db_.ColdRestart().ok());
+  params_.set_depth = 5;
+  TransactionExecutor executor(&db_, params_);
+  ScopedIoScope scope(db_.disk(), IoScope::kTransaction);
+  auto result = executor.Execute(TransactionType::kSetOriented, root,
+                                 false, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->io_reads, 0u);
+  EXPECT_GT(result->sim_nanos, 0u);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,154 @@
+// Concurrency smoke tests: the Database facade is shared by CLIENTN
+// clients (paper §3.1); these tests hammer it from several threads and
+// check structural invariants afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "clustering/dstc.h"
+#include "ocb/generator.h"
+#include "oodb/database.h"
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.buffer_pool_pages = 32;
+  return opts;
+}
+
+DatabaseParameters SmallDb() {
+  DatabaseParameters p;
+  p.num_classes = 4;
+  p.num_objects = 300;
+  p.max_nref = 3;
+  p.seed = 91;
+  return p;
+}
+
+TEST(ConcurrencyTest, ParallelReadsAreSafe) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+  const std::vector<Oid> oids = db.object_store()->LiveOids();
+
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      LewisPayneRng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 2000; ++i) {
+        const Oid oid = oids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+        auto obj = db.GetObject(oid);
+        if (!obj.ok()) {
+          failed = true;
+          return;
+        }
+        ++reads;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(reads.load(), 8000u);
+}
+
+TEST(ConcurrencyTest, ParallelWritesKeepBackrefSymmetry) {
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+  const std::vector<Oid> oids = db.object_store()->LiveOids();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      LewisPayneRng rng(static_cast<uint64_t>(t) + 100);
+      for (int i = 0; i < 500; ++i) {
+        const Oid from = oids[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+        auto obj = db.PeekObject(from);
+        if (!obj.ok()) continue;
+        // Retarget a random slot to a same-class-compatible object: use
+        // the schema's declared target class extent.
+        const ClassDescriptor& cls = db.schema().GetClass(obj->class_id);
+        const uint32_t slot = static_cast<uint32_t>(
+            rng.UniformInt(0, cls.maxnref - 1));
+        if (cls.cref[slot] == kNullClass) continue;
+        const auto extent = db.schema().GetClass(cls.cref[slot]).iterator;
+        if (extent.empty()) continue;
+        const Oid to = extent[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(extent.size()) - 1))];
+        Status st = db.SetReference(from, slot, to);
+        if (!st.ok() && !st.IsNoSpace()) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed);
+
+  // Backref symmetry must hold after the storm.
+  for (Oid oid : db.object_store()->LiveOids()) {
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    for (Oid target : obj->orefs) {
+      if (target == kInvalidOid) continue;
+      auto target_obj = db.PeekObject(target);
+      ASSERT_TRUE(target_obj.ok());
+      ASSERT_NE(std::find(target_obj->backrefs.begin(),
+                          target_obj->backrefs.end(), oid),
+                target_obj->backrefs.end())
+          << oid << " -> " << target;
+    }
+  }
+}
+
+TEST(ConcurrencyTest, ReorganizeWhileReading) {
+  // One thread reads continuously while another triggers a DSTC
+  // reorganization; no read may observe corruption.
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+  const std::vector<Oid> oids = db.object_store()->LiveOids();
+
+  Dstc dstc;
+  db.SetObserver(&dstc);
+  // Feed the observer some crossings so Reorganize has work.
+  for (int i = 0; i + 1 < 100; ++i) {
+    dstc.OnLinkCross(oids[static_cast<size_t>(i)],
+                     oids[static_cast<size_t>(i) + 1], 2, false);
+  }
+  dstc.OnTransactionEnd();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&]() {
+    LewisPayneRng rng(55);
+    while (!stop) {
+      const Oid oid = oids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(oids.size()) - 1))];
+      auto obj = db.GetObject(oid);
+      if (!obj.ok() && !obj.status().IsNotFound()) {
+        failed = true;
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dstc.Reorganize(&db).ok());
+  }
+  stop = true;
+  reader.join();
+  db.SetObserver(nullptr);
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(db.object_count(), oids.size());
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,226 @@
+// Tests for the Database facade: object lifecycle, reference symmetry,
+// observer hooks, cold restart.
+
+#include "oodb/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 1024;
+  opts.buffer_pool_pages = 16;
+  return opts;
+}
+
+Schema TwoClassSchema() {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  ClassDescriptor a;
+  a.id = 0;
+  a.maxnref = 3;
+  a.basesize = 40;
+  a.instance_size = 40;
+  a.tref = {2, 2, 2};
+  a.cref = {1, 1, 0};
+  ClassDescriptor b;
+  b.id = 1;
+  b.maxnref = 2;
+  b.basesize = 20;
+  b.instance_size = 20;
+  b.tref = {2, 2};
+  b.cref = {0, 0};
+  Schema out = std::move(schema);
+  EXPECT_TRUE(out.AddClass(std::move(a)).ok());
+  EXPECT_TRUE(out.AddClass(std::move(b)).ok());
+  return out;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : db_(TestOptions()) { db_.SetSchema(TwoClassSchema()); }
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CreateObjectPopulatesExtentAndSlots) {
+  auto oid = db_.CreateObject(0);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(db_.object_count(), 1u);
+  EXPECT_EQ(db_.schema().GetClass(0).iterator.size(), 1u);
+  auto obj = db_.PeekObject(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->class_id, 0u);
+  EXPECT_EQ(obj->orefs.size(), 3u);
+  EXPECT_TRUE(std::all_of(obj->orefs.begin(), obj->orefs.end(),
+                          [](Oid o) { return o == kInvalidOid; }));
+  EXPECT_EQ(obj->filler_size, 40u);
+  EXPECT_EQ(obj->oid, *oid);
+}
+
+TEST_F(DatabaseTest, CreateObjectUnknownClassFails) {
+  EXPECT_TRUE(db_.CreateObject(9).status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, SetReferenceMaintainsBackrefSymmetry) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, *b).ok());
+
+  auto source = db_.PeekObject(*a);
+  auto target = db_.PeekObject(*b);
+  ASSERT_TRUE(source.ok() && target.ok());
+  EXPECT_EQ(source->orefs[0], *b);
+  ASSERT_EQ(target->backrefs.size(), 1u);
+  EXPECT_EQ(target->backrefs[0], *a);
+}
+
+TEST_F(DatabaseTest, RetargetingAReferenceUnlinksOldBackref) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  auto c = db_.CreateObject(1);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, *b).ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, *c).ok());
+
+  auto old_target = db_.PeekObject(*b);
+  auto new_target = db_.PeekObject(*c);
+  ASSERT_TRUE(old_target.ok() && new_target.ok());
+  EXPECT_TRUE(old_target->backrefs.empty());
+  ASSERT_EQ(new_target->backrefs.size(), 1u);
+  EXPECT_EQ(new_target->backrefs[0], *a);
+}
+
+TEST_F(DatabaseTest, SetReferenceToNullClearsLink) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, *b).ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, kInvalidOid).ok());
+  EXPECT_EQ(db_.PeekObject(*a)->orefs[0], kInvalidOid);
+  EXPECT_TRUE(db_.PeekObject(*b)->backrefs.empty());
+}
+
+TEST_F(DatabaseTest, SetReferenceBadSlotFails) {
+  auto a = db_.CreateObject(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(db_.SetReference(*a, 7, kInvalidOid).IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, DeleteObjectUnlinksBothDirections) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  auto c = db_.CreateObject(0);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(db_.SetReference(*a, 0, *b).ok());  // a -> b.
+  ASSERT_TRUE(db_.SetReference(*b, 0, *c).ok());  // b -> c.
+
+  ASSERT_TRUE(db_.DeleteObject(*b).ok());
+  EXPECT_TRUE(db_.PeekObject(*b).status().IsNotFound());
+  // a's slot nulled; c's backref removed; extent shrunk.
+  EXPECT_EQ(db_.PeekObject(*a)->orefs[0], kInvalidOid);
+  EXPECT_TRUE(db_.PeekObject(*c)->backrefs.empty());
+  EXPECT_TRUE(db_.schema().GetClass(1).iterator.empty());
+  EXPECT_EQ(db_.object_count(), 2u);
+}
+
+TEST_F(DatabaseTest, ColdRestartForcesMisses) {
+  auto a = db_.CreateObject(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(db_.ColdRestart().ok());
+  db_.buffer_pool()->ResetStats();
+  ASSERT_TRUE(db_.GetObject(*a).ok());
+  EXPECT_GE(db_.buffer_pool()->stats().misses, 1u);
+  EXPECT_EQ(db_.buffer_pool()->stats().hits, 0u);
+}
+
+// Observer spy recording the hook sequence.
+class SpyObserver : public AccessObserver {
+ public:
+  void OnTransactionBegin() override { ++begins; }
+  void OnTransactionEnd() override { ++ends; }
+  void OnObjectAccess(Oid oid) override { accesses.push_back(oid); }
+  void OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) override {
+    crossings.push_back({from, to, type, reverse});
+  }
+
+  struct Crossing {
+    Oid from, to;
+    RefTypeId type;
+    bool reverse;
+  };
+  int begins = 0, ends = 0;
+  std::vector<Oid> accesses;
+  std::vector<Crossing> crossings;
+};
+
+TEST_F(DatabaseTest, ObserverSeesAccessesAndCrossings) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(db_.SetReference(*a, 1, *b).ok());
+
+  SpyObserver spy;
+  db_.SetObserver(&spy);
+  db_.BeginTransaction();
+  ASSERT_TRUE(db_.GetObject(*a).ok());
+  ASSERT_TRUE(db_.CrossLink(*a, *b, 2, false).ok());
+  db_.EndTransaction();
+  db_.SetObserver(nullptr);
+
+  EXPECT_EQ(spy.begins, 1);
+  EXPECT_EQ(spy.ends, 1);
+  ASSERT_EQ(spy.accesses.size(), 2u);  // Root + crossed target.
+  EXPECT_EQ(spy.accesses[0], *a);
+  EXPECT_EQ(spy.accesses[1], *b);
+  ASSERT_EQ(spy.crossings.size(), 1u);
+  EXPECT_EQ(spy.crossings[0].from, *a);
+  EXPECT_EQ(spy.crossings[0].to, *b);
+  EXPECT_FALSE(spy.crossings[0].reverse);
+}
+
+TEST_F(DatabaseTest, PeekDoesNotNotifyObserver) {
+  auto a = db_.CreateObject(0);
+  ASSERT_TRUE(a.ok());
+  SpyObserver spy;
+  db_.SetObserver(&spy);
+  ASSERT_TRUE(db_.PeekObject(*a).ok());
+  db_.SetObserver(nullptr);
+  EXPECT_TRUE(spy.accesses.empty());
+}
+
+TEST_F(DatabaseTest, PutObjectRoundTrips) {
+  auto a = db_.CreateObject(0);
+  auto b = db_.CreateObject(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto obj = db_.PeekObject(*a);
+  ASSERT_TRUE(obj.ok());
+  Object modified = std::move(obj).value();
+  modified.orefs[2] = *b;  // Manual edit (bypasses backref upkeep).
+  ASSERT_TRUE(db_.PutObject(modified).ok());
+  EXPECT_EQ(db_.PeekObject(*a)->orefs[2], *b);
+}
+
+TEST_F(DatabaseTest, ManyObjectsSpillAcrossPagesAndSurvive) {
+  std::vector<Oid> oids;
+  for (int i = 0; i < 500; ++i) {
+    auto oid = db_.CreateObject(i % 2 == 0 ? 0 : 1);
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  EXPECT_GT(db_.disk()->num_pages(), 10u);  // Spilled past the pool.
+  ASSERT_TRUE(db_.ColdRestart().ok());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    auto obj = db_.PeekObject(oids[i]);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->class_id, i % 2 == 0 ? 0u : 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,175 @@
+// Tests for schema construction, cycle removal, and InstanceSize
+// computation through the inheritance graph.
+
+#include "oodb/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ocb {
+namespace {
+
+ClassDescriptor MakeClass(ClassId id, std::vector<RefTypeId> tref,
+                          std::vector<ClassId> cref, uint32_t basesize = 50) {
+  ClassDescriptor cls;
+  cls.id = id;
+  cls.maxnref = static_cast<uint32_t>(tref.size());
+  cls.basesize = basesize;
+  cls.instance_size = basesize;
+  cls.tref = std::move(tref);
+  cls.cref = std::move(cref);
+  return cls;
+}
+
+TEST(SchemaTest, DefaultTraits) {
+  auto traits = Schema::DefaultTraits(4);
+  ASSERT_EQ(traits.size(), 4u);
+  EXPECT_TRUE(traits[0].is_inheritance);
+  EXPECT_TRUE(traits[0].acyclic);
+  EXPECT_TRUE(traits[1].acyclic);
+  EXPECT_FALSE(traits[1].is_inheritance);
+  EXPECT_FALSE(traits[2].acyclic);
+  EXPECT_FALSE(traits[3].acyclic);
+}
+
+TEST(SchemaTest, AddClassValidatesIdAndArrays) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  EXPECT_TRUE(schema.AddClass(MakeClass(0, {0}, {0})).ok());
+  EXPECT_TRUE(
+      schema.AddClass(MakeClass(5, {0}, {0})).IsInvalidArgument());
+  ClassDescriptor bad = MakeClass(1, {0, 0}, {0});  // Mismatched arrays.
+  bad.maxnref = 2;
+  EXPECT_TRUE(schema.AddClass(std::move(bad)).IsInvalidArgument());
+}
+
+TEST(SchemaTest, RemoveCyclesBreaksSelfLoop) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0}, {0})).ok());  // 0 -> 0.
+  EXPECT_EQ(schema.RemoveCycles(), 1u);
+  EXPECT_EQ(schema.GetClass(0).cref[0], kNullClass);
+  EXPECT_FALSE(schema.HasForbiddenCycle());
+}
+
+TEST(SchemaTest, RemoveCyclesBreaksTwoCycle) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0}, {1})).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(1, {0}, {0})).ok());
+  EXPECT_EQ(schema.RemoveCycles(), 1u);  // Exactly one edge removed.
+  EXPECT_FALSE(schema.HasForbiddenCycle());
+  // Fig. 2 semantics: edge (0 -> 1) is checked first, and at that moment
+  // class 0 is reachable from class 1 (the 1 -> 0 edge still exists), so
+  // the first-checked edge is the one suppressed.
+  EXPECT_EQ(schema.GetClass(0).cref[0], kNullClass);
+  EXPECT_EQ(schema.GetClass(1).cref[0], 0u);
+}
+
+TEST(SchemaTest, CyclicTypesAreLeftAlone) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  // Type 2 is a plain association: cycles allowed.
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {2}, {1})).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(1, {2}, {0})).ok());
+  EXPECT_EQ(schema.RemoveCycles(), 0u);
+  EXPECT_EQ(schema.GetClass(0).cref[0], 1u);
+  EXPECT_EQ(schema.GetClass(1).cref[0], 0u);
+}
+
+TEST(SchemaTest, CycleDetectionIsPerType) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  // 0 -(inh)-> 1 and 1 -(comp)-> 0: different acyclic types, no cycle in
+  // either graph, so both edges survive.
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0}, {1})).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(1, {1}, {0})).ok());
+  EXPECT_EQ(schema.RemoveCycles(), 0u);
+  EXPECT_FALSE(schema.HasForbiddenCycle());
+}
+
+TEST(SchemaTest, InstanceSizeAccumulatesDownInheritance) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  // 0 -(inh)-> 1 -(inh via 1's slot)-> 2 : class 2 inherits from 1 which
+  // inherits from 0.
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0}, {1}, 100)).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(1, {0}, {2}, 30)).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(2, {1}, {kNullClass}, 7)).ok());
+  schema.RemoveCycles();
+  schema.ComputeInstanceSizes();
+  EXPECT_EQ(schema.GetClass(0).instance_size, 100u);
+  EXPECT_EQ(schema.GetClass(1).instance_size, 130u);   // 30 + 100.
+  EXPECT_EQ(schema.GetClass(2).instance_size, 137u);   // 7 + 30 + 100.
+}
+
+TEST(SchemaTest, DiamondInheritanceCountsAncestorsOnce) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  //      0 (100)
+  //     / \
+  //    1   2     (each inherits from 0)
+  //     \ /
+  //      3       (inherits from both 1 and 2)
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0, 0}, {1, 2}, 100)).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(1, {0}, {3}, 10)).ok());
+  ASSERT_TRUE(schema.AddClass(MakeClass(2, {0}, {3}, 20)).ok());
+  ASSERT_TRUE(
+      schema.AddClass(MakeClass(3, {1}, {kNullClass}, 1)).ok());
+  schema.RemoveCycles();
+  schema.ComputeInstanceSizes();
+  // 3 inherits 0 only once despite the diamond: 1 + 10 + 20 + 100 = 131.
+  EXPECT_EQ(schema.GetClass(3).instance_size, 131u);
+}
+
+TEST(SchemaTest, ValidateCatchesCorruptTargets) {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(2));
+  ASSERT_TRUE(schema.AddClass(MakeClass(0, {0}, {0})).ok());
+  schema.GetMutableClass(0).cref[0] = 57;  // Unknown class.
+  EXPECT_TRUE(schema.Validate().IsCorruption());
+  schema.GetMutableClass(0).cref[0] = kNullClass;
+  schema.GetMutableClass(0).tref[0] = 9;  // Unknown type.
+  EXPECT_TRUE(schema.Validate().IsCorruption());
+}
+
+// Property: on random dense schemas, RemoveCycles always leaves all
+// acyclic-typed graphs cycle-free, and ComputeInstanceSizes never shrinks
+// a class below its own basesize.
+class SchemaFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchemaFuzz, RemoveCyclesAlwaysLeavesDag) {
+  LewisPayneRng rng(GetParam());
+  Schema schema;
+  const uint16_t nreft = 4;
+  schema.SetRefTypes(Schema::DefaultTraits(nreft));
+  const ClassId nc = 25;
+  for (ClassId i = 0; i < nc; ++i) {
+    std::vector<RefTypeId> tref;
+    std::vector<ClassId> cref;
+    const uint32_t maxnref = static_cast<uint32_t>(rng.UniformInt(1, 8));
+    for (uint32_t j = 0; j < maxnref; ++j) {
+      tref.push_back(static_cast<RefTypeId>(rng.UniformInt(0, nreft - 1)));
+      cref.push_back(static_cast<ClassId>(rng.UniformInt(0, nc - 1)));
+    }
+    ASSERT_TRUE(schema
+                    .AddClass(MakeClass(i, std::move(tref), std::move(cref),
+                                        static_cast<uint32_t>(
+                                            rng.UniformInt(10, 200))))
+                    .ok());
+  }
+  schema.RemoveCycles();
+  EXPECT_FALSE(schema.HasForbiddenCycle());
+  EXPECT_TRUE(schema.Validate().ok());
+  schema.ComputeInstanceSizes();
+  for (ClassId i = 0; i < nc; ++i) {
+    EXPECT_GE(schema.GetClass(i).instance_size, schema.GetClass(i).basesize);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaFuzz,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+}  // namespace
+}  // namespace ocb

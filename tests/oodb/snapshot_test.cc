@@ -1,0 +1,162 @@
+// Tests for whole-database snapshot save/load.
+
+#include "oodb/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ocb/generator.h"
+#include "ocb/protocol.h"
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions(size_t page_size = 4096) {
+  StorageOptions opts;
+  opts.page_size = page_size;
+  opts.buffer_pool_pages = 32;
+  return opts;
+}
+
+DatabaseParameters SmallDb() {
+  DatabaseParameters p;
+  p.num_classes = 5;
+  p.num_objects = 300;
+  p.max_nref = 4;
+  p.seed = 7;
+  return p;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = TempPath("ocb_snapshot_test.snap");
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEveryObject) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+
+  ASSERT_EQ(loaded.object_count(), original.object_count());
+  ASSERT_EQ(loaded.schema().class_count(), original.schema().class_count());
+  for (Oid oid : original.object_store()->LiveOids()) {
+    auto a = original.PeekObject(oid);
+    auto b = loaded.PeekObject(oid);
+    ASSERT_TRUE(a.ok() && b.ok()) << "oid " << oid;
+    ASSERT_EQ(a->class_id, b->class_id);
+    ASSERT_EQ(a->orefs, b->orefs);
+    ASSERT_EQ(a->backrefs, b->backrefs);
+  }
+  // Physical placement is preserved too (a snapshot must not undo
+  // clustering).
+  for (Oid oid : original.object_store()->LiveOids()) {
+    EXPECT_EQ(original.object_store()->Locate(oid)->page_id,
+              loaded.object_store()->Locate(oid)->page_id);
+  }
+}
+
+TEST_F(SnapshotTest, SchemaAndExtentsSurvive) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+  for (ClassId c = 0; c < original.schema().class_count(); ++c) {
+    const ClassDescriptor& x = original.schema().GetClass(c);
+    const ClassDescriptor& y = loaded.schema().GetClass(c);
+    EXPECT_EQ(x.maxnref, y.maxnref);
+    EXPECT_EQ(x.basesize, y.basesize);
+    EXPECT_EQ(x.instance_size, y.instance_size);
+    EXPECT_EQ(x.tref, y.tref);
+    EXPECT_EQ(x.cref, y.cref);
+    EXPECT_EQ(x.iterator, y.iterator);
+  }
+}
+
+TEST_F(SnapshotTest, LoadedDatabaseRunsWorkloads) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+  WorkloadParameters w;
+  w.cold_transactions = 20;
+  w.hot_transactions = 50;
+  w.set_depth = 2;
+  w.simple_depth = 2;
+  ProtocolRunner runner(&loaded, w);
+  auto metrics = runner.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->warm.global.transactions, 50u);
+}
+
+TEST_F(SnapshotTest, LoadedDatabaseAcceptsNewObjects) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  const Oid max_before = original.object_store()->max_oid();
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+  auto fresh = loaded.CreateObject(0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, max_before);  // Oid allocation continues, no reuse.
+}
+
+TEST_F(SnapshotTest, RejectsNonEmptyTarget) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+  EXPECT_TRUE(LoadSnapshot(&original, path_).IsInvalidArgument());
+}
+
+TEST_F(SnapshotTest, RejectsPageSizeMismatch) {
+  Database original(TestOptions(4096));
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+  Database other(TestOptions(8192));
+  EXPECT_TRUE(LoadSnapshot(&other, path_).IsInvalidArgument());
+}
+
+TEST_F(SnapshotTest, RejectsGarbageFile) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a snapshot", f);
+  std::fclose(f);
+  Database db(TestOptions());
+  EXPECT_TRUE(LoadSnapshot(&db, path_).IsCorruption());
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  Database original(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
+  ASSERT_TRUE(SaveSnapshot(&original, path_).ok());
+  // Truncate the file to half.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  Database db(TestOptions());
+  EXPECT_TRUE(LoadSnapshot(&db, path_).IsCorruption());
+}
+
+TEST_F(SnapshotTest, MissingFileIsIOError) {
+  Database db(TestOptions());
+  EXPECT_TRUE(LoadSnapshot(&db, TempPath("missing.snap")).IsIOError());
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,134 @@
+// Tests for the simulated disk and its I/O accounting scopes.
+
+#include "storage/disk_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ocb {
+namespace {
+
+StorageOptions SmallOptions() {
+  StorageOptions opts;
+  opts.page_size = 512;
+  opts.read_latency_nanos = 100;
+  opts.write_latency_nanos = 200;
+  return opts;
+}
+
+TEST(DiskSimTest, AllocateReadWriteRoundtrip) {
+  SimClock clock;
+  DiskSim disk(SmallOptions(), &clock);
+  const PageId p = disk.AllocatePage();
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(disk.num_pages(), 1u);
+
+  std::vector<uint8_t> out(512, 0xFF), in(512, 0xAB);
+  ASSERT_TRUE(disk.WritePage(p, in.data()).ok());
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(DiskSimTest, FreshPageIsZeroed) {
+  SimClock clock;
+  DiskSim disk(SmallOptions(), &clock);
+  const PageId p = disk.AllocatePage();
+  std::vector<uint8_t> out(512, 0xFF);
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));
+}
+
+TEST(DiskSimTest, OutOfRangeAccessFails) {
+  DiskSim disk(SmallOptions());
+  std::vector<uint8_t> buf(512);
+  EXPECT_TRUE(disk.ReadPage(3, buf.data()).IsIOError());
+  EXPECT_TRUE(disk.WritePage(3, buf.data()).IsIOError());
+}
+
+TEST(DiskSimTest, CountersFollowScope) {
+  DiskSim disk(SmallOptions());
+  const PageId p = disk.AllocatePage();
+  std::vector<uint8_t> buf(512, 0);
+
+  disk.set_scope(IoScope::kGeneration);
+  ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
+  disk.set_scope(IoScope::kTransaction);
+  ASSERT_TRUE(disk.ReadPage(p, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadPage(p, buf.data()).ok());
+  disk.set_scope(IoScope::kClustering);
+  ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());
+
+  EXPECT_EQ(disk.counters(IoScope::kGeneration).writes, 1u);
+  EXPECT_EQ(disk.counters(IoScope::kGeneration).reads, 0u);
+  EXPECT_EQ(disk.counters(IoScope::kTransaction).reads, 2u);
+  EXPECT_EQ(disk.counters(IoScope::kClustering).writes, 1u);
+  EXPECT_EQ(disk.TotalCounters().total(), 4u);
+}
+
+TEST(DiskSimTest, ScopedIoScopeRestores) {
+  DiskSim disk(SmallOptions());
+  disk.set_scope(IoScope::kTransaction);
+  {
+    ScopedIoScope guard(&disk, IoScope::kClustering);
+    EXPECT_EQ(disk.scope(), IoScope::kClustering);
+    {
+      ScopedIoScope nested(&disk, IoScope::kGeneration);
+      EXPECT_EQ(disk.scope(), IoScope::kGeneration);
+    }
+    EXPECT_EQ(disk.scope(), IoScope::kClustering);
+  }
+  EXPECT_EQ(disk.scope(), IoScope::kTransaction);
+}
+
+TEST(DiskSimTest, LatencyChargedToClock) {
+  SimClock clock;
+  DiskSim disk(SmallOptions(), &clock);
+  const PageId p = disk.AllocatePage();
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_TRUE(disk.ReadPage(p, buf.data()).ok());   // +100.
+  ASSERT_TRUE(disk.WritePage(p, buf.data()).ok());  // +200.
+  EXPECT_EQ(clock.now_nanos(), 300u);
+}
+
+TEST(DiskSimTest, ResetCountersKeepsPages) {
+  DiskSim disk(SmallOptions());
+  const PageId p = disk.AllocatePage();
+  std::vector<uint8_t> in(512, 0x5A), out(512, 0);
+  ASSERT_TRUE(disk.WritePage(p, in.data()).ok());
+  disk.ResetCounters();
+  EXPECT_EQ(disk.TotalCounters().total(), 0u);
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(DiskSimTest, BackingFilePersistsPages) {
+  StorageOptions opts = SmallOptions();
+  opts.backing_file = testing::TempDir() + "/ocb_disk_sim_test.bin";
+  {
+    DiskSim disk(opts);
+    const PageId p0 = disk.AllocatePage();
+    const PageId p1 = disk.AllocatePage();
+    std::vector<uint8_t> a(512, 0x11), b(512, 0x22);
+    ASSERT_TRUE(disk.WritePage(p0, a.data()).ok());
+    ASSERT_TRUE(disk.WritePage(p1, b.data()).ok());
+  }
+  // Verify the on-disk image directly.
+  std::FILE* f = std::fopen(opts.backing_file.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> img(1024);
+  ASSERT_EQ(std::fread(img.data(), 1, img.size(), f), img.size());
+  std::fclose(f);
+  EXPECT_EQ(img[0], 0x11);
+  EXPECT_EQ(img[512], 0x22);
+  std::remove(opts.backing_file.c_str());
+}
+
+TEST(IoScopeTest, Names) {
+  EXPECT_STREQ(IoScopeToString(IoScope::kGeneration), "generation");
+  EXPECT_STREQ(IoScopeToString(IoScope::kTransaction), "transaction");
+  EXPECT_STREQ(IoScopeToString(IoScope::kClustering), "clustering");
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,267 @@
+// Tests for the OID-addressed object store, including relocation and the
+// PlaceSequence primitive used by clustering.
+
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ocb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t frames = 64, size_t page_size = 512)
+      : options(MakeOptions(frames, page_size)),
+        disk(options),
+        pool(&disk, options),
+        store(&pool) {}
+
+  static StorageOptions MakeOptions(size_t frames, size_t page_size) {
+    StorageOptions o;
+    o.page_size = page_size;
+    o.buffer_pool_pages = frames;
+    return o;
+  }
+
+  StorageOptions options;
+  DiskSim disk;
+  BufferPool pool;
+  ObjectStore store;
+};
+
+std::vector<uint8_t> Payload(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST(ObjectStoreTest, InsertAssignsSequentialOids) {
+  Fixture f;
+  auto a = f.store.Insert(Payload(10, 1));
+  auto b = f.store.Insert(Payload(10, 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+  EXPECT_EQ(f.store.max_oid(), 2u);
+  EXPECT_EQ(f.store.stats().objects, 2u);
+}
+
+TEST(ObjectStoreTest, ReadReturnsStoredBytes) {
+  Fixture f;
+  auto oid = f.store.Insert(Payload(33, 0x7E));
+  ASSERT_TRUE(oid.ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(f.store.Read(*oid, &out).ok());
+  EXPECT_EQ(out, Payload(33, 0x7E));
+}
+
+TEST(ObjectStoreTest, ReadMissingFails) {
+  Fixture f;
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(f.store.Read(99, &out).IsNotFound());
+  EXPECT_FALSE(f.store.Contains(99));
+}
+
+TEST(ObjectStoreTest, UpdateSameAndGrownSize) {
+  Fixture f;
+  auto oid = f.store.Insert(Payload(50, 1));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(f.store.Update(*oid, Payload(50, 2)).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(f.store.Read(*oid, &out).ok());
+  EXPECT_EQ(out, Payload(50, 2));
+  // Grow beyond the original slot.
+  ASSERT_TRUE(f.store.Update(*oid, Payload(400, 3)).ok());
+  ASSERT_TRUE(f.store.Read(*oid, &out).ok());
+  EXPECT_EQ(out, Payload(400, 3));
+}
+
+TEST(ObjectStoreTest, DeleteRemovesAndOidIsNotReused) {
+  Fixture f;
+  auto a = f.store.Insert(Payload(10, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(f.store.Delete(*a).ok());
+  EXPECT_FALSE(f.store.Contains(*a));
+  EXPECT_TRUE(f.store.Delete(*a).IsNotFound());
+  auto b = f.store.Insert(Payload(10, 2));
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*b, *a);
+}
+
+TEST(ObjectStoreTest, OversizedObjectRejected) {
+  Fixture f;
+  auto r = f.store.Insert(Payload(4096, 1));
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ObjectStoreTest, PlacementHintCoLocates) {
+  // 1 KB pages: after the anchor and five 150-byte fillers, the anchor's
+  // page retains > 54 free bytes, so the hinted insert must land there.
+  Fixture f(/*frames=*/64, /*page_size=*/1024);
+  auto anchor = f.store.Insert(Payload(50, 1));
+  ASSERT_TRUE(anchor.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.store.Insert(Payload(200, 9)).ok());
+  }
+  auto friend_oid = f.store.Insert(Payload(50, 2), /*placement_hint=*/*anchor);
+  ASSERT_TRUE(friend_oid.ok());
+  auto loc_a = f.store.Locate(*anchor);
+  auto loc_b = f.store.Locate(*friend_oid);
+  ASSERT_TRUE(loc_a.ok() && loc_b.ok());
+  EXPECT_EQ(loc_a->page_id, loc_b->page_id);
+}
+
+TEST(ObjectStoreTest, RelocateMovesNextToNeighbor) {
+  Fixture f(/*frames=*/64, /*page_size=*/1024);
+  auto a = f.store.Insert(Payload(100, 1));
+  ASSERT_TRUE(a.ok());
+  // Push b far away (180-byte fillers leave 172 free bytes on a's page,
+  // enough for b's 104-byte footprint).
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(f.store.Insert(Payload(180, 9)).ok());
+  }
+  auto b = f.store.Insert(Payload(100, 2));
+  ASSERT_TRUE(b.ok());
+  ASSERT_NE(f.store.Locate(*a)->page_id, f.store.Locate(*b)->page_id);
+
+  ASSERT_TRUE(f.store.Relocate(*b, *a).ok());
+  EXPECT_EQ(f.store.Locate(*a)->page_id, f.store.Locate(*b)->page_id);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(f.store.Read(*b, &out).ok());
+  EXPECT_EQ(out, Payload(100, 2));  // Bytes survive the move.
+  EXPECT_GE(f.store.stats().relocations, 1u);
+}
+
+TEST(ObjectStoreTest, RelocateToMissingNeighborFails) {
+  Fixture f;
+  auto a = f.store.Insert(Payload(10, 1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(f.store.Relocate(*a, 12345).IsNotFound());
+  EXPECT_TRUE(f.store.Relocate(12345, *a).IsNotFound());
+}
+
+TEST(ObjectStoreTest, PlaceSequenceMakesPhysicalOrderMatch) {
+  Fixture f;
+  // Insert 40 objects, then rewrite a scattered subset contiguously.
+  std::vector<Oid> oids;
+  for (int i = 0; i < 40; ++i) {
+    auto oid = f.store.Insert(Payload(100, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  const std::vector<Oid> sequence = {oids[35], oids[2], oids[17], oids[8],
+                                     oids[29]};
+  ASSERT_TRUE(f.store.PlaceSequence(sequence).ok());
+  // The five objects now sit on a small fresh page range, in order:
+  // page ids non-decreasing along the sequence and tightly packed.
+  std::vector<PageId> pages;
+  for (Oid oid : sequence) {
+    auto loc = f.store.Locate(oid);
+    ASSERT_TRUE(loc.ok());
+    pages.push_back(loc->page_id);
+  }
+  for (size_t i = 1; i < pages.size(); ++i) {
+    EXPECT_GE(pages[i], pages[i - 1]);
+  }
+  // 5 * ~104 bytes fits comfortably in two 512-byte pages.
+  EXPECT_LE(pages.back() - pages.front(), 2u);
+  // Bytes intact.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(f.store.Read(oids[17], &out).ok());
+  EXPECT_EQ(out, Payload(100, 17));
+  // Unlisted objects untouched and readable.
+  ASSERT_TRUE(f.store.Read(oids[0], &out).ok());
+  EXPECT_EQ(out, Payload(100, 0));
+}
+
+TEST(ObjectStoreTest, PlaceSequenceUnknownOidFails) {
+  Fixture f;
+  auto a = f.store.Insert(Payload(10, 1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(f.store.PlaceSequence({*a, 999}).IsNotFound());
+}
+
+TEST(ObjectStoreTest, LiveOidsSortedAndComplete) {
+  Fixture f;
+  std::vector<Oid> inserted;
+  for (int i = 0; i < 10; ++i) {
+    auto oid = f.store.Insert(Payload(10, 0));
+    ASSERT_TRUE(oid.ok());
+    inserted.push_back(*oid);
+  }
+  ASSERT_TRUE(f.store.Delete(inserted[3]).ok());
+  ASSERT_TRUE(f.store.Delete(inserted[7]).ok());
+  const std::vector<Oid> live = f.store.LiveOids();
+  EXPECT_EQ(live.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(live.begin(), live.end()));
+  EXPECT_EQ(std::count(live.begin(), live.end(), inserted[3]), 0);
+}
+
+// Property test: random insert/update/delete/relocate/place-sequence ops
+// preserve all live object contents.
+class ObjectStoreFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectStoreFuzz, RandomOperationsPreserveContents) {
+  Fixture f(/*frames=*/32, /*page_size=*/512);
+  LewisPayneRng rng(GetParam());
+  std::map<Oid, std::vector<uint8_t>> expected;
+
+  for (int op = 0; op < 1500; ++op) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 9));
+    if (kind <= 4) {  // Insert (weighted high to grow the store).
+      const size_t len = static_cast<size_t>(rng.UniformInt(1, 200));
+      std::vector<uint8_t> data(len);
+      for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      auto oid = f.store.Insert(data);
+      ASSERT_TRUE(oid.ok());
+      expected[*oid] = std::move(data);
+    } else if (kind <= 6 && !expected.empty()) {  // Update.
+      auto it = expected.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(expected.size()) - 1));
+      const size_t len = static_cast<size_t>(rng.UniformInt(1, 200));
+      std::vector<uint8_t> data(len);
+      for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      ASSERT_TRUE(f.store.Update(it->first, data).ok());
+      it->second = std::move(data);
+    } else if (kind == 7 && !expected.empty()) {  // Delete.
+      auto it = expected.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(expected.size()) - 1));
+      ASSERT_TRUE(f.store.Delete(it->first).ok());
+      expected.erase(it);
+    } else if (kind == 8 && expected.size() >= 2) {  // Relocate.
+      auto it1 = expected.begin();
+      std::advance(it1, rng.UniformInt(
+                            0, static_cast<int64_t>(expected.size()) - 1));
+      auto it2 = expected.begin();
+      std::advance(it2, rng.UniformInt(
+                            0, static_cast<int64_t>(expected.size()) - 1));
+      if (it1->first != it2->first) {
+        ASSERT_TRUE(f.store.Relocate(it1->first, it2->first).ok());
+      }
+    } else if (expected.size() >= 3) {  // PlaceSequence over a subset.
+      std::vector<Oid> sequence;
+      for (const auto& [oid, data] : expected) {
+        if (rng.Bernoulli(0.3)) sequence.push_back(oid);
+      }
+      if (!sequence.empty()) {
+        ASSERT_TRUE(f.store.PlaceSequence(sequence).ok());
+      }
+    }
+  }
+  ASSERT_EQ(f.store.stats().objects, expected.size());
+  for (const auto& [oid, data] : expected) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.store.Read(oid, &out).ok());
+    ASSERT_EQ(out, data) << "oid " << oid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectStoreFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,232 @@
+// Unit + property tests for the slotted page.
+
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ocb {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+std::vector<uint8_t> Bytes(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buffer_(kPageSize, 0), page_(buffer_.data(), kPageSize) {
+    page_.Init(7);
+  }
+  std::vector<uint8_t> buffer_;
+  Page page_;
+};
+
+TEST_F(PageTest, InitSetsHeader) {
+  EXPECT_EQ(page_.page_id(), 7u);
+  EXPECT_EQ(page_.slot_count(), 0u);
+  EXPECT_EQ(page_.LiveRecords(), 0u);
+  EXPECT_EQ(page_.FreeSpace(),
+            kPageSize - sizeof(Page::Header) - sizeof(Page::Slot));
+}
+
+TEST_F(PageTest, InsertAndRead) {
+  const auto record = Bytes(100, 0xAB);
+  auto slot = page_.Insert(record);
+  ASSERT_TRUE(slot.ok());
+  auto read = page_.Read(*slot);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 100u);
+  EXPECT_EQ((*read)[0], 0xAB);
+  EXPECT_EQ(page_.LiveRecords(), 1u);
+  EXPECT_EQ(page_.LiveBytes(), 100u);
+}
+
+TEST_F(PageTest, ReadInvalidSlotFails) {
+  EXPECT_TRUE(page_.Read(0).status().IsNotFound());
+  auto slot = page_.Insert(Bytes(10, 1));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_TRUE(page_.Read(99).status().IsNotFound());
+}
+
+TEST_F(PageTest, EraseFreesSlotForReuse) {
+  auto s0 = page_.Insert(Bytes(10, 1));
+  auto s1 = page_.Insert(Bytes(10, 2));
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  ASSERT_TRUE(page_.Erase(*s0).ok());
+  EXPECT_TRUE(page_.Read(*s0).status().IsNotFound());
+  EXPECT_TRUE(page_.Erase(*s0).IsNotFound());  // Double erase.
+  auto s2 = page_.Insert(Bytes(10, 3));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s0);  // Freed slot id reused.
+  EXPECT_EQ(page_.slot_count(), 2u);
+}
+
+TEST_F(PageTest, ZeroLengthRecord) {
+  auto slot = page_.Insert(std::span<const uint8_t>());
+  ASSERT_TRUE(slot.ok());
+  auto read = page_.Read(*slot);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 0u);
+}
+
+TEST_F(PageTest, OversizedRecordRejected) {
+  auto result = page_.Insert(Bytes(kPageSize, 1));
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(PageTest, FillsUntilNoSpace) {
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(Bytes(100, 0x55));
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsNoSpace());
+      break;
+    }
+    ++inserted;
+  }
+  // 100-byte records + 4-byte slots into a 4084-byte payload area: 39 fit.
+  EXPECT_EQ(inserted, 39);
+  EXPECT_FALSE(page_.CanInsert(100));
+  EXPECT_TRUE(page_.CanInsert(page_.FreeSpace()));
+}
+
+TEST_F(PageTest, CompactionReclaimsHoles) {
+  std::vector<SlotId> slots;
+  for (int i = 0; i < 30; ++i) {
+    auto s = page_.Insert(Bytes(100, static_cast<uint8_t>(i)));
+    ASSERT_TRUE(s.ok());
+    slots.push_back(*s);
+  }
+  // Punch holes in every other record.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Erase(slots[i]).ok());
+  }
+  // A large record only fits after compaction merges the holes.
+  auto big = page_.Insert(Bytes(1200, 0xEE));
+  ASSERT_TRUE(big.ok());
+  // Survivors keep their contents.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    auto read = page_.Read(slots[i]);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ((*read)[0], static_cast<uint8_t>(i));
+    EXPECT_EQ(read->size(), 100u);
+  }
+}
+
+TEST_F(PageTest, UpdateShrinkInPlace) {
+  auto slot = page_.Insert(Bytes(100, 1));
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Update(*slot, Bytes(40, 2)).ok());
+  auto read = page_.Read(*slot);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 40u);
+  EXPECT_EQ((*read)[0], 2);
+}
+
+TEST_F(PageTest, UpdateGrow) {
+  auto slot = page_.Insert(Bytes(100, 1));
+  auto other = page_.Insert(Bytes(100, 9));
+  ASSERT_TRUE(slot.ok() && other.ok());
+  ASSERT_TRUE(page_.Update(*slot, Bytes(500, 3)).ok());
+  auto read = page_.Read(*slot);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 500u);
+  EXPECT_EQ((*read)[0], 3);
+  // Unrelated record untouched.
+  auto other_read = page_.Read(*other);
+  ASSERT_TRUE(other_read.ok());
+  EXPECT_EQ((*other_read)[0], 9);
+}
+
+TEST_F(PageTest, UpdateGrowBeyondCapacityRollsBack) {
+  auto slot = page_.Insert(Bytes(100, 1));
+  ASSERT_TRUE(slot.ok());
+  Status st = page_.Update(*slot, Bytes(kPageSize, 2));
+  EXPECT_TRUE(st.IsNoSpace());
+  auto read = page_.Read(*slot);  // Old record still intact.
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 100u);
+  EXPECT_EQ((*read)[0], 1);
+}
+
+// Property test: a long random sequence of insert/erase/update keeps every
+// live record's bytes intact, across several page sizes and seeds.
+struct FuzzCase {
+  size_t page_size;
+  uint64_t seed;
+};
+
+class PageFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PageFuzz, RandomOperationsPreserveRecords) {
+  const auto [page_size, seed] = GetParam();
+  std::vector<uint8_t> buffer(page_size, 0);
+  Page page(buffer.data(), page_size);
+  page.Init(1);
+  LewisPayneRng rng(seed);
+  std::map<SlotId, std::vector<uint8_t>> expected;
+
+  for (int op = 0; op < 2000; ++op) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 2));
+    if (kind == 0) {  // Insert.
+      const size_t len = static_cast<size_t>(rng.UniformInt(0, 300));
+      std::vector<uint8_t> record(len);
+      for (auto& b : record) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+      auto slot = page.Insert(record);
+      if (slot.ok()) {
+        expected[*slot] = std::move(record);
+      } else {
+        ASSERT_TRUE(slot.status().IsNoSpace());
+      }
+    } else if (kind == 1 && !expected.empty()) {  // Erase.
+      auto it = expected.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(expected.size()) - 1));
+      ASSERT_TRUE(page.Erase(it->first).ok());
+      expected.erase(it);
+    } else if (!expected.empty()) {  // Update.
+      auto it = expected.begin();
+      std::advance(it, rng.UniformInt(
+                           0, static_cast<int64_t>(expected.size()) - 1));
+      const size_t len = static_cast<size_t>(rng.UniformInt(0, 300));
+      std::vector<uint8_t> record(len);
+      for (auto& b : record) {
+        b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      }
+      Status st = page.Update(it->first, record);
+      if (st.ok()) {
+        it->second = std::move(record);
+      } else {
+        ASSERT_TRUE(st.IsNoSpace());
+      }
+    }
+    // Invariants after every operation.
+    ASSERT_EQ(page.LiveRecords(), expected.size());
+    size_t live_bytes = 0;
+    for (const auto& [slot, record] : expected) live_bytes += record.size();
+    ASSERT_EQ(page.LiveBytes(), live_bytes);
+  }
+  // Full verification of every surviving record.
+  for (const auto& [slot, record] : expected) {
+    auto read = page.Read(slot);
+    ASSERT_TRUE(read.ok());
+    ASSERT_EQ(std::vector<uint8_t>(read->begin(), read->end()), record);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, PageFuzz,
+    ::testing::Values(FuzzCase{512, 1}, FuzzCase{512, 2},
+                      FuzzCase{4096, 3}, FuzzCase{4096, 4},
+                      FuzzCase{4096, 5}, FuzzCase{16384, 6}));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,171 @@
+// Tests for unit-aligned placement and physical-order iteration — the
+// primitives behind DSTC's phase-5 physical reorganization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/object_store.h"
+#include "util/rng.h"
+
+namespace ocb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t page_size = 1024)
+      : options(MakeOptions(page_size)),
+        disk(options),
+        pool(&disk, options),
+        store(&pool) {}
+
+  static StorageOptions MakeOptions(size_t page_size) {
+    StorageOptions o;
+    o.page_size = page_size;
+    o.buffer_pool_pages = 64;
+    return o;
+  }
+
+  std::vector<Oid> Fill(int count, size_t bytes) {
+    std::vector<Oid> oids;
+    for (int i = 0; i < count; ++i) {
+      auto oid = store.Insert(
+          std::vector<uint8_t>(bytes, static_cast<uint8_t>(i)));
+      EXPECT_TRUE(oid.ok());
+      oids.push_back(*oid);
+    }
+    return oids;
+  }
+
+  PageId PageOf(Oid oid) { return store.Locate(oid)->page_id; }
+
+  StorageOptions options;
+  DiskSim disk;
+  BufferPool pool;
+  ObjectStore store;
+};
+
+TEST(PlaceUnitsTest, UnitsNeverStraddlePages) {
+  Fixture f;
+  // 300-byte objects: three fit per 1 KB page; units of two (608 bytes)
+  // would straddle if packed naively after a unit of three.
+  std::vector<Oid> oids = f.Fill(12, 300);
+  const std::vector<std::vector<Oid>> units = {
+      {oids[0], oids[1], oids[2]},   // Fills page A.
+      {oids[3], oids[4]},            // Page B.
+      {oids[5], oids[6]},            // Fits with previous? 4*304 > 1012: C.
+      {oids[7]},
+  };
+  ASSERT_TRUE(f.store.PlaceUnits(units).ok());
+  for (const auto& unit : units) {
+    const PageId first = f.PageOf(unit.front());
+    for (Oid member : unit) {
+      EXPECT_EQ(f.PageOf(member), first) << "unit member " << member;
+    }
+  }
+}
+
+TEST(PlaceUnitsTest, SmallUnitsShareAPage) {
+  Fixture f;
+  std::vector<Oid> oids = f.Fill(6, 100);
+  const std::vector<std::vector<Oid>> units = {
+      {oids[0], oids[1]}, {oids[2], oids[3]}, {oids[4], oids[5]}};
+  ASSERT_TRUE(f.store.PlaceUnits(units).ok());
+  // 6 * 104 = 624 bytes: all three units fit on one page.
+  const PageId page = f.PageOf(oids[0]);
+  for (Oid oid : oids) EXPECT_EQ(f.PageOf(oid), page);
+}
+
+TEST(PlaceUnitsTest, OversizedUnitSpills) {
+  Fixture f;
+  // A single unit larger than one page must still place completely.
+  std::vector<Oid> oids = f.Fill(8, 300);
+  const std::vector<std::vector<Oid>> units = {
+      {oids.begin(), oids.end()}};
+  ASSERT_TRUE(f.store.PlaceUnits(units).ok());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.store.Read(oids[i], &out).ok());
+    EXPECT_EQ(out[0], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(PlaceUnitsTest, EmptyAndSingletonUnits) {
+  Fixture f;
+  std::vector<Oid> oids = f.Fill(2, 50);
+  ASSERT_TRUE(f.store.PlaceUnits({{}, {oids[0]}, {}, {oids[1]}}).ok());
+  EXPECT_TRUE(f.store.Contains(oids[0]));
+  EXPECT_TRUE(f.store.Contains(oids[1]));
+}
+
+TEST(PhysicalOrderTest, MatchesPlacementOrder) {
+  Fixture f;
+  std::vector<Oid> oids = f.Fill(20, 200);
+  // Rewrite in reverse oid order; physical order must then be reversed.
+  std::vector<Oid> reversed(oids.rbegin(), oids.rend());
+  ASSERT_TRUE(f.store.PlaceSequence(reversed).ok());
+  EXPECT_EQ(f.store.LiveOidsInPhysicalOrder(), reversed);
+  // LiveOids stays oid-sorted regardless.
+  EXPECT_EQ(f.store.LiveOids(), oids);
+}
+
+TEST(PhysicalOrderTest, StableUnderDeletes) {
+  Fixture f;
+  std::vector<Oid> oids = f.Fill(10, 200);
+  ASSERT_TRUE(f.store.Delete(oids[4]).ok());
+  const std::vector<Oid> physical = f.store.LiveOidsInPhysicalOrder();
+  EXPECT_EQ(physical.size(), 9u);
+  EXPECT_EQ(std::count(physical.begin(), physical.end(), oids[4]), 0);
+}
+
+// Property: PlaceUnits over random unit partitions preserves every byte
+// and the units-on-one-page invariant (for units that fit a page).
+class PlaceUnitsFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlaceUnitsFuzz, RandomPartitionsKeepInvariants) {
+  Fixture f;
+  LewisPayneRng rng(GetParam());
+  std::vector<Oid> oids;
+  std::vector<uint8_t> fills;
+  for (int i = 0; i < 60; ++i) {
+    const uint8_t fill = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    // Max unit = 4 × (230 + 4-byte slot) = 936 bytes < the 1012-byte page
+    // payload, so every random unit fits one page.
+    const size_t size = static_cast<size_t>(rng.UniformInt(20, 230));
+    auto oid = f.store.Insert(std::vector<uint8_t>(size, fill));
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+    fills.push_back(fill);
+  }
+  for (int round = 0; round < 5; ++round) {
+    // Random partition into units of 1..4 objects.
+    std::vector<Oid> shuffled = oids;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    std::vector<std::vector<Oid>> units;
+    size_t i = 0;
+    while (i < shuffled.size()) {
+      const size_t n = static_cast<size_t>(rng.UniformInt(1, 4));
+      std::vector<Oid> unit;
+      for (size_t j = 0; j < n && i < shuffled.size(); ++j, ++i) {
+        unit.push_back(shuffled[i]);
+      }
+      units.push_back(std::move(unit));
+    }
+    ASSERT_TRUE(f.store.PlaceUnits(units).ok());
+    // Each unit (all < page size here) lives on one page.
+    for (const auto& unit : units) {
+      const PageId page = f.PageOf(unit.front());
+      for (Oid member : unit) ASSERT_EQ(f.PageOf(member), page);
+    }
+  }
+  for (size_t i = 0; i < oids.size(); ++i) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.store.Read(oids[i], &out).ok());
+    ASSERT_EQ(out[0], fills[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaceUnitsFuzz,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,152 @@
+// Tests for the DIST1..DIST5 distribution machinery.
+
+#include "util/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace ocb {
+namespace {
+
+TEST(DistributionSpecTest, Names) {
+  EXPECT_EQ(DistributionSpec::Uniform().ToString(), "Uniform");
+  EXPECT_EQ(DistributionSpec::Constant(3).ToString(), "Constant(3)");
+  EXPECT_EQ(DistributionSpec::Zipf(0.5).ToString(), "Zipf(theta=0.50)");
+  EXPECT_EQ(DistributionSpec::SpecialRefZone(100, 0.9).ToString(),
+            "Special(zone=100, p=0.90)");
+}
+
+TEST(DistributionSpecTest, ValidateRejectsBadParameters) {
+  EXPECT_TRUE(DistributionSpec::Zipf(-1.0).Validate().IsInvalidArgument());
+  EXPECT_TRUE(DistributionSpec::Zipf(11.0).Validate().IsInvalidArgument());
+  EXPECT_TRUE(
+      DistributionSpec::Gaussian(-0.1).Validate().IsInvalidArgument());
+  EXPECT_TRUE(DistributionSpec::SpecialRefZone(-5)
+                  .Validate()
+                  .IsInvalidArgument());
+  DistributionSpec bad_prob = DistributionSpec::SpecialRefZone(10, 1.5);
+  EXPECT_TRUE(bad_prob.Validate().IsInvalidArgument());
+  EXPECT_TRUE(DistributionSpec::Uniform().Validate().ok());
+  EXPECT_TRUE(DistributionSpec::Constant(0).Validate().ok());
+}
+
+TEST(DistributionTest, ConstantReturnsValue) {
+  LewisPayneRng rng(1);
+  const DistributionSpec spec = DistributionSpec::Constant(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DrawFromDistribution(spec, &rng, 0, 10), 5);
+  }
+}
+
+TEST(DistributionTest, ConstantClampsIntoRange) {
+  LewisPayneRng rng(2);
+  EXPECT_EQ(DrawFromDistribution(DistributionSpec::Constant(100), &rng, 0, 9),
+            9);
+  EXPECT_EQ(DrawFromDistribution(DistributionSpec::Constant(-3), &rng, 0, 9),
+            0);
+}
+
+TEST(DistributionTest, SwappedBoundsAreNormalized) {
+  LewisPayneRng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v =
+        DrawFromDistribution(DistributionSpec::Uniform(), &rng, 9, 0);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+  }
+}
+
+TEST(DistributionTest, ZipfFavoursLowValues) {
+  LewisPayneRng rng(4);
+  const DistributionSpec spec = DistributionSpec::Zipf(0.99);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[DrawFromDistribution(spec, &rng, 1, 1000)];
+  }
+  // Rank 1 should dominate rank 10 which should dominate rank 100.
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  EXPECT_GT(counts[1], 1000);
+}
+
+TEST(DistributionTest, GaussianCentersOnMidpoint) {
+  LewisPayneRng rng(5);
+  const DistributionSpec spec = DistributionSpec::Gaussian(0.1);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(DrawFromDistribution(spec, &rng, 0, 100));
+  }
+  EXPECT_NEAR(sum / kDraws, 50.0, 1.0);
+}
+
+TEST(DistributionTest, SpecialRefZoneLocality) {
+  LewisPayneRng rng(6);
+  const DistributionSpec spec = DistributionSpec::SpecialRefZone(10, 0.9);
+  constexpr int64_t kCenter = 500;
+  int inside = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t v =
+        DrawFromDistribution(spec, &rng, 0, 999, kCenter);
+    if (v >= kCenter - 10 && v <= kCenter + 10) ++inside;
+  }
+  // 90% in-zone plus ~2% of the uniform tail landing in the 21-wide zone.
+  EXPECT_NEAR(static_cast<double>(inside) / kDraws, 0.902, 0.02);
+}
+
+TEST(DistributionTest, SpecialRefZoneClampsWindowAtEdges) {
+  LewisPayneRng rng(7);
+  const DistributionSpec spec = DistributionSpec::SpecialRefZone(10, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = DrawFromDistribution(spec, &rng, 0, 999, 0);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 10);
+  }
+}
+
+TEST(DistributionTest, SpecialZeroZoneDegeneratesToCenter) {
+  LewisPayneRng rng(8);
+  const DistributionSpec spec = DistributionSpec::SpecialRefZone(0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(DrawFromDistribution(spec, &rng, 0, 999, 123), 123);
+  }
+}
+
+// Property sweep: every kind respects [lo, hi] bounds on varied ranges.
+struct BoundsCase {
+  DistributionSpec spec;
+  int64_t lo, hi;
+};
+
+class DistributionBounds : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(DistributionBounds, DrawsStayInRange) {
+  LewisPayneRng rng(9);
+  const BoundsCase& c = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v =
+        DrawFromDistribution(c.spec, &rng, c.lo, c.hi, (c.lo + c.hi) / 2);
+    ASSERT_GE(v, c.lo);
+    ASSERT_LE(v, c.hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistributionBounds,
+    ::testing::Values(
+        BoundsCase{DistributionSpec::Uniform(), 0, 0},
+        BoundsCase{DistributionSpec::Uniform(), -50, 50},
+        BoundsCase{DistributionSpec::Constant(7), 0, 3},
+        BoundsCase{DistributionSpec::Zipf(0.99), 1, 1},
+        BoundsCase{DistributionSpec::Zipf(0.5), 10, 500},
+        BoundsCase{DistributionSpec::Zipf(2.0), 0, 99},
+        BoundsCase{DistributionSpec::Gaussian(0.3), -10, 10},
+        BoundsCase{DistributionSpec::Gaussian(0.01), 5, 6},
+        BoundsCase{DistributionSpec::SpecialRefZone(5, 0.9), 0, 20},
+        BoundsCase{DistributionSpec::SpecialRefZone(1000, 0.5), 0, 10}));
+
+}  // namespace
+}  // namespace ocb

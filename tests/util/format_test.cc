@@ -1,0 +1,74 @@
+// Tests for string formatting and the TextTable renderer.
+
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace ocb {
+namespace {
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(Format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(Format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Format("%s", "plain"), "plain");
+  EXPECT_EQ(Format("empty"), "empty");
+}
+
+TEST(FormatTest, LongStringsAreNotTruncated) {
+  const std::string big(5000, 'x');
+  EXPECT_EQ(Format("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(4096), "4.0 KB");
+  EXPECT_EQ(HumanBytes(15 * 1024 * 1024 + 300 * 1024), "15.3 MB");
+}
+
+TEST(HumanDurationTest, Units) {
+  EXPECT_EQ(HumanDuration(873), "873 ns");
+  EXPECT_EQ(HumanDuration(1'240'000), "1.24 ms");
+  EXPECT_EQ(HumanDuration(3'500'000'000ull), "3.500 s");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"A", "Bench"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToString();
+  // Every line has the same width.
+  size_t line_len = out.find('\n');
+  for (size_t pos = 0; pos < out.size();) {
+    const size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("Bench"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRendersRule) {
+  TextTable t({"A"});
+  t.AddRow({"before"});
+  t.AddSeparator();
+  t.AddRow({"after"});
+  const std::string out = t.ToString();
+  const size_t before = out.find("before");
+  const size_t after = out.find("after");
+  const size_t rule = out.find("+--", before);
+  ASSERT_NE(rule, std::string::npos);
+  EXPECT_LT(before, rule);
+  EXPECT_LT(rule, after);
+}
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,178 @@
+// Unit + property tests for the Lewis–Payne GFSR generator.
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ocb {
+namespace {
+
+TEST(LewisPayneRngTest, DeterministicForSameSeed) {
+  LewisPayneRng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(LewisPayneRngTest, DifferentSeedsDiverge) {
+  LewisPayneRng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);  // Chance collisions only.
+}
+
+TEST(LewisPayneRngTest, ReseedReproducesStream) {
+  LewisPayneRng rng(99);
+  std::vector<uint32_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(rng.NextUint32());
+  rng.Seed(99);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(rng.NextUint32(), first[i]);
+  EXPECT_EQ(rng.seed(), 99u);
+}
+
+TEST(LewisPayneRngTest, ZeroSeedIsUsable) {
+  LewisPayneRng rng(0);
+  std::set<uint32_t> distinct;
+  for (int i = 0; i < 100; ++i) distinct.insert(rng.NextUint32());
+  EXPECT_GT(distinct.size(), 90u);  // Not stuck at a fixed point.
+}
+
+TEST(LewisPayneRngTest, GfsrRecurrenceHolds) {
+  // x[n] = x[n-98] ^ x[n-71]: verify directly on the output stream.
+  LewisPayneRng rng(7);
+  std::vector<uint32_t> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.NextUint32());
+  for (size_t n = LewisPayneRng::kP; n < xs.size(); ++n) {
+    ASSERT_EQ(xs[n],
+              xs[n - LewisPayneRng::kP] ^
+                  xs[n - LewisPayneRng::kP + LewisPayneRng::kQ])
+        << "at index " << n;
+  }
+}
+
+TEST(LewisPayneRngTest, NextDoubleInUnitInterval) {
+  LewisPayneRng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(LewisPayneRngTest, UniformIntRespectsBoundsInclusive) {
+  LewisPayneRng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(LewisPayneRngTest, UniformIntDegenerateRange) {
+  LewisPayneRng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(LewisPayneRngTest, UniformIntNegativeRange) {
+  LewisPayneRng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(LewisPayneRngTest, UniformIntIsRoughlyUniform) {
+  LewisPayneRng rng(23);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(0, kBuckets - 1))];
+  }
+  // Chi-square with 9 dof: 99.9th percentile ≈ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(LewisPayneRngTest, BernoulliEdgeCases) {
+  LewisPayneRng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(LewisPayneRngTest, BernoulliFrequency) {
+  LewisPayneRng rng(31);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(LewisPayneRngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<LewisPayneRng>);
+  LewisPayneRng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(LewisPayneRngTest, BitBalance) {
+  // Each of the 32 bit positions should be set about half the time.
+  LewisPayneRng rng(41);
+  constexpr int kDraws = 20000;
+  std::vector<int> ones(32, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const uint32_t v = rng.NextUint32();
+    for (int b = 0; b < 32; ++b) {
+      if (v & (1u << b)) ++ones[static_cast<size_t>(b)];
+    }
+  }
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<size_t>(b)]) / kDraws,
+                0.5, 0.02)
+        << "bit " << b;
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, StreamHasNoShortCycle) {
+  LewisPayneRng rng(GetParam());
+  std::vector<uint32_t> first(256);
+  for (auto& v : first) v = rng.NextUint32();
+  // Scan the next 64k draws for a repeat of the opening 256-word window.
+  std::vector<uint32_t> window = first;
+  for (int i = 0; i < 65536; ++i) {
+    window.erase(window.begin());
+    window.push_back(rng.NextUint32());
+    ASSERT_NE(window, first) << "cycle at offset " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0u, 1u, 42u, 1998u,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace ocb

@@ -1,0 +1,150 @@
+// Tests for the Accumulator and Histogram statistics types.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ocb {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, BasicStatistics) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(AccumulatorTest, SingleSampleVarianceIsZero) {
+  Accumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsBulk) {
+  LewisPayneRng rng(1);
+  Accumulator bulk, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    bulk.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-6);
+  EXPECT_EQ(left.min(), bulk.min());
+  EXPECT_EQ(left.max(), bulk.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // Empty right.
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a);  // Empty left.
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(AccumulatorTest, Reset) {
+  Accumulator acc;
+  acc.Add(10.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.Percentile(100), 15u);
+  EXPECT_EQ(h.Percentile(50), 7u);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  LewisPayneRng rng(2);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(rng.UniformInt(0, 1000000));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const uint64_t exact =
+        values[static_cast<size_t>(p / 100.0 * (values.size() - 1))];
+    const uint64_t approx = h.Percentile(p);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                0.10 * static_cast<double>(exact) + 16.0)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MeanMatches) {
+  Histogram h;
+  for (uint64_t v : {10u, 20u, 30u}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Record(5);
+  a.Record(100);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GE(h.Percentile(100), UINT64_MAX / 2);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+}  // namespace
+}  // namespace ocb
