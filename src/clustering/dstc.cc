@@ -7,13 +7,36 @@ namespace ocb {
 
 Dstc::Dstc(DstcOptions options) : options_(options) {}
 
-void Dstc::OnTransactionBegin() {}
+void Dstc::OnTransactionBegin() {
+  txn_journals_[std::this_thread::get_id()].clear();
+}
 
 void Dstc::OnTransactionEnd() {
+  txn_journals_.erase(std::this_thread::get_id());
   ++transactions_in_period_;
   if (transactions_in_period_ >= options_.observation_period_transactions) {
     CloseObservationPeriod();
   }
+}
+
+void Dstc::OnTransactionAbort() {
+  // Compensate the aborted transaction's crossings out of the observation
+  // matrix (clamped: a Reorganize may have closed the period mid-txn, in
+  // which case the entries are already gone). Only the aborting thread's
+  // own journal is touched — concurrent clients' in-flight observations
+  // stay intact. Aborted transactions do not advance the observation
+  // period either.
+  auto journal = txn_journals_.find(std::this_thread::get_id());
+  if (journal == txn_journals_.end()) return;
+  for (const auto& pair : journal->second) {
+    auto it = observation_.find(pair);
+    if (it != observation_.end()) {
+      it->second -= 1.0;
+      if (it->second <= 0.0) observation_.erase(it);
+    }
+    if (stats_.observed_crossings > 0) --stats_.observed_crossings;
+  }
+  txn_journals_.erase(journal);
 }
 
 void Dstc::OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) {
@@ -21,6 +44,7 @@ void Dstc::OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) {
   if (reverse && !options_.observe_reverse_crossings) return;
   if (from == kInvalidOid || to == kInvalidOid || from == to) return;
   observation_[{from, to}] += 1.0;
+  txn_journals_[std::this_thread::get_id()].push_back({from, to});
   ++stats_.observed_crossings;
 }
 
@@ -201,6 +225,7 @@ void Dstc::ResetStatistics() {
   consolidated_.clear();
   transactions_in_period_ = 0;
   last_units_.clear();
+  txn_journals_.clear();
   stats_ = ClusteringStats{};
 }
 

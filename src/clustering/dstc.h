@@ -26,7 +26,9 @@
 #define OCB_CLUSTERING_DSTC_H_
 
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "clustering/policy.h"
@@ -76,6 +78,10 @@ class Dstc : public ClusteringPolicy {
   // -- AccessObserver (phase 1) --
   void OnTransactionBegin() override;
   void OnTransactionEnd() override;
+  /// Rolled-back transactions never logically happened: their crossings
+  /// are compensated out of the observation matrix so DSTC does not learn
+  /// placement from accesses the undo log erased.
+  void OnTransactionAbort() override;
   void OnLinkCross(Oid from, Oid to, RefTypeId type, bool reverse) override;
 
   /// Phases 4 + 5 (phases 2 + 3 run automatically at each period end).
@@ -117,6 +123,16 @@ class Dstc : public ClusteringPolicy {
   Matrix consolidated_;
   uint64_t transactions_in_period_ = 0;
   std::vector<std::vector<Oid>> last_units_;
+
+  /// Crossings recorded since each in-flight transaction began, keyed by
+  /// the client thread driving it (one thread drives at most one open
+  /// transaction, and every observer callback for a transaction arrives
+  /// on its own thread, under the Database latch). On abort the owning
+  /// thread's entries are subtracted back out of observation_; on commit
+  /// they are simply dropped.
+  std::unordered_map<std::thread::id,
+                     std::vector<std::pair<Oid, Oid>>>
+      txn_journals_;
 };
 
 }  // namespace ocb

@@ -1,0 +1,212 @@
+#include "concurrency/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+#include "util/format.h"
+
+namespace ocb {
+
+namespace {
+
+bool ModesCompatible(LockMode a, LockMode b) {
+  return a == LockMode::kShared && b == LockMode::kShared;
+}
+
+uint64_t ElapsedNanos(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+LockManager::LockManager(LockManagerOptions options) : options_(options) {}
+
+LockManager::~LockManager() = default;
+
+bool LockManager::Conflicts(const Request& request, const Request& other) {
+  if (request.txn == other.txn) return false;
+  return !ModesCompatible(request.mode, other.mode);
+}
+
+void LockManager::TryGrantQueue(LockQueue* queue) {
+  bool granted_any = false;
+  for (auto it = queue->requests.begin(); it != queue->requests.end(); ++it) {
+    if (it->granted) continue;
+    bool grantable = true;
+    if (it->upgrade) {
+      // An upgrade is grantable only when its own S is the sole granted
+      // request left on the object.
+      for (const Request& r : queue->requests) {
+        if (r.granted && r.txn != it->txn) {
+          grantable = false;
+          break;
+        }
+      }
+    } else {
+      for (const Request& r : queue->requests) {
+        if (r.granted && Conflicts(*it, r)) {
+          grantable = false;
+          break;
+        }
+      }
+    }
+    if (!grantable) break;  // FIFO: later waiters queue behind.
+    if (it->upgrade) {
+      // Fold the txn's granted S into this request: it becomes the only
+      // granted entry for the txn.
+      for (auto g = queue->requests.begin(); g != queue->requests.end();) {
+        if (g->granted && g->txn == it->txn) {
+          g = queue->requests.erase(g);
+        } else {
+          ++g;
+        }
+      }
+    }
+    it->granted = true;
+    granted_any = true;
+  }
+  if (granted_any) queue->cv.notify_all();
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const {
+  (void)mode;  // The waiter's own queued request carries the mode.
+  // Direct blockers of a txn's first non-granted request on an object:
+  // every conflicting request of another txn positioned ahead of it.
+  auto blockers_of = [this](TxnId txn, Oid object,
+                            std::vector<TxnId>* out) {
+    auto qit = table_.find(object);
+    if (qit == table_.end()) return;
+    const LockQueue& queue = *qit->second;
+    // Find the txn's waiting request to know its mode and position.
+    const Request* own = nullptr;
+    for (const Request& r : queue.requests) {
+      if (r.txn == txn && !r.granted) {
+        own = &r;
+        break;
+      }
+    }
+    if (own == nullptr) return;
+    for (const Request& r : queue.requests) {
+      if (&r == own) break;
+      if (Conflicts(*own, r)) out->push_back(r.txn);
+    }
+  };
+
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack;
+  blockers_of(waiter, oid, &stack);
+  while (!stack.empty()) {
+    const TxnId current = stack.back();
+    stack.pop_back();
+    if (current == waiter) return true;
+    if (!visited.insert(current).second) continue;
+    auto wit = waiting_on_.find(current);
+    if (wit == waiting_on_.end()) continue;  // Running, not blocked.
+    blockers_of(current, wit->second, &stack);
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TransactionContext* txn, Oid oid,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (txn->HoldsLock(oid, mode)) {
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+  auto& queue_ptr = table_[oid];
+  if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
+  LockQueue* queue = queue_ptr.get();
+
+  Request request;
+  request.txn = txn->id();
+  request.mode = mode;
+  request.upgrade = mode == LockMode::kExclusive &&
+                    txn->HoldsLock(oid, LockMode::kShared);
+
+  std::list<Request>::iterator mine;
+  if (request.upgrade) {
+    // Jump the queue: upgrades sit at the head of the wait section so the
+    // upgrader only drains already-granted readers.
+    auto pos = std::find_if(queue->requests.begin(), queue->requests.end(),
+                            [](const Request& r) { return !r.granted; });
+    mine = queue->requests.insert(pos, request);
+  } else {
+    mine = queue->requests.insert(queue->requests.end(), request);
+  }
+  TryGrantQueue(queue);
+
+  if (!mine->granted) {
+    ++stats_.waits;
+    if (WouldDeadlock(txn->id(), oid, mode)) {
+      queue->requests.erase(mine);
+      TryGrantQueue(queue);
+      ++stats_.deadlocks;
+      return Status::Aborted(
+          Format("deadlock: txn %llu would wait cyclically for oid %llu",
+                 (unsigned long long)txn->id(), (unsigned long long)oid));
+    }
+    waiting_on_[txn->id()] = oid;
+    const auto wait_start = std::chrono::steady_clock::now();
+    const auto deadline =
+        wait_start + std::chrono::nanoseconds(options_.wait_timeout_nanos);
+    bool granted = queue->cv.wait_until(
+        lock, deadline, [&mine]() { return mine->granted; });
+    const uint64_t waited = ElapsedNanos(wait_start);
+    txn->lock_wait_nanos_ += waited;
+    stats_.total_wait_nanos += waited;
+    waiting_on_.erase(txn->id());
+    if (!granted) {
+      queue->requests.erase(mine);
+      TryGrantQueue(queue);
+      ++stats_.timeouts;
+      return Status::Aborted(
+          Format("lock wait timeout: txn %llu on oid %llu",
+                 (unsigned long long)txn->id(), (unsigned long long)oid));
+    }
+  }
+  txn->held_locks_[oid] = mode;
+  ++stats_.acquisitions;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TransactionContext* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waiting_on_.erase(txn->id());
+  for (const auto& [oid, mode] : txn->held_locks_) {
+    (void)mode;
+    auto qit = table_.find(oid);
+    if (qit == table_.end()) continue;
+    LockQueue* queue = qit->second.get();
+    for (auto it = queue->requests.begin(); it != queue->requests.end();) {
+      if (it->txn == txn->id()) {
+        it = queue->requests.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (queue->requests.empty()) {
+      table_.erase(qit);
+    } else {
+      TryGrantQueue(queue);
+    }
+  }
+  txn->held_locks_.clear();
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t LockManager::locked_object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace ocb

@@ -1,0 +1,121 @@
+/// \file lock_manager.h
+/// \brief Object-granularity two-phase lock manager.
+///
+/// The lock manager implements strict 2PL for the Database's transactional
+/// path: transactions acquire shared (S) or exclusive (X) locks per object
+/// as they touch it and hold everything until commit or abort, when
+/// ReleaseAll drains the lot at once.
+///
+/// Grant policy is FIFO per object: a request is granted when it is
+/// compatible with every granted request of other transactions *and* no
+/// earlier waiter is still queued ahead of it (no writer starvation). The
+/// one queue-jump is the S→X upgrade, which is placed at the head of the
+/// wait section so the upgrader drains concurrent readers as fast as
+/// possible.
+///
+/// Deadlock handling: when a request must wait, the manager builds the
+/// wait-for graph implied by the queues and runs a DFS from the requester;
+/// if the requester can reach itself the wait would close a cycle and the
+/// request is refused with Status::Aborted — the *newcomer* is the victim,
+/// so each cycle aborts exactly one transaction (everyone already asleep
+/// stays asleep). A wait-die-style timeout (LockManagerOptions::
+/// wait_timeout_nanos) backstops anything the graph cannot see.
+///
+/// All blocking happens inside Acquire on a per-object condition variable;
+/// the table itself is protected by one mutex (critical sections are a few
+/// map operations — contention on it is far cheaper than the storage work
+/// done while holding the locks it hands out).
+
+#ifndef OCB_CONCURRENCY_LOCK_MANAGER_H_
+#define OCB_CONCURRENCY_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "concurrency/transaction_context.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// Tunables of the lock manager.
+struct LockManagerOptions {
+  /// Upper bound on one blocking Acquire; expiring returns Aborted. The
+  /// fallback for conflicts the wait-for graph cannot express.
+  uint64_t wait_timeout_nanos = 2'000'000'000;  // 2 s
+};
+
+/// Aggregate counters (monotonic; read via stats()).
+struct LockManagerStats {
+  uint64_t acquisitions = 0;     ///< Granted requests (incl. re-grants).
+  uint64_t waits = 0;            ///< Requests that had to block.
+  uint64_t deadlocks = 0;        ///< Requests refused by cycle detection.
+  uint64_t timeouts = 0;         ///< Requests refused by the timeout.
+  uint64_t total_wait_nanos = 0; ///< Wall time spent blocked, all txns.
+};
+
+/// \brief Shared/exclusive object lock table with deadlock detection.
+class LockManager {
+ public:
+  explicit LockManager(LockManagerOptions options = LockManagerOptions());
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires \p mode on \p oid for \p txn, blocking while conflicting
+  /// transactions hold the object. Idempotent: re-requesting a held (or
+  /// weaker) mode returns immediately. S→X upgrades are supported.
+  ///
+  /// \return OK when granted; Aborted when the wait would deadlock or
+  ///         timed out — the caller must abort the transaction (its
+  ///         already-granted locks stay held until ReleaseAll).
+  Status Acquire(TransactionContext* txn, Oid oid, LockMode mode);
+
+  /// Releases every lock \p txn holds and wakes eligible waiters.
+  /// Called exactly once, at commit or abort (strict 2PL).
+  void ReleaseAll(TransactionContext* txn);
+
+  LockManagerStats stats() const;
+
+  /// Number of objects with at least one granted or waiting request.
+  size_t locked_object_count() const;
+
+ private:
+  struct Request {
+    TxnId txn = kInvalidTxnId;
+    LockMode mode = LockMode::kShared;
+    bool granted = false;
+    bool upgrade = false;  ///< X request of a txn that holds S.
+  };
+  struct LockQueue {
+    std::list<Request> requests;      ///< Granted block, then FIFO waiters.
+    std::condition_variable cv;
+  };
+
+  /// Grants every waiter the FIFO policy allows; notifies when any grant
+  /// happened. Requires mu_.
+  void TryGrantQueue(LockQueue* queue);
+
+  /// True when \p request conflicts with \p other (other txn, incompatible
+  /// modes; an upgrader never conflicts with its own S).
+  static bool Conflicts(const Request& request, const Request& other);
+
+  /// DFS over the wait-for graph: does blocking \p waiter on \p oid close
+  /// a cycle? Requires mu_.
+  bool WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_;
+  std::unordered_map<TxnId, Oid> waiting_on_;  ///< Blocked txn → object.
+  LockManagerOptions options_;
+  LockManagerStats stats_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_LOCK_MANAGER_H_

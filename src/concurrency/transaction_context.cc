@@ -1,0 +1,27 @@
+#include "concurrency/transaction_context.h"
+
+namespace ocb {
+
+const char* LockModeToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+const char* TxnStateToString(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace ocb

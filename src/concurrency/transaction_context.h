@@ -1,0 +1,108 @@
+/// \file transaction_context.h
+/// \brief Per-transaction concurrency-control state.
+///
+/// A TransactionContext is handed out by Database::BeginTxn and threaded
+/// through every object operation executed on the transaction's behalf. It
+/// carries:
+///
+///   * the transaction id (monotonic; doubles as age for victim policies),
+///   * the set of object locks currently held (maintained by LockManager),
+///   * an undo log of pre-images (maintained by Database) replayed in
+///     reverse on abort,
+///   * accounting: cumulative lock-wait time and objects touched.
+///
+/// Lifecycle: kActive → (CommitTxn → kCommitted | AbortTxn → kAborted).
+/// A context is single-threaded — exactly one client thread drives it — so
+/// its members need no internal synchronization beyond what LockManager and
+/// Database provide for their own structures.
+
+#ifndef OCB_CONCURRENCY_TRANSACTION_CONTEXT_H_
+#define OCB_CONCURRENCY_TRANSACTION_CONTEXT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "oodb/schema.h"  // ClassId (for extent maintenance on rollback).
+#include "storage/types.h"
+
+namespace ocb {
+
+/// Monotonic transaction identifier (1-based; 0 is reserved/invalid).
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Lock strength requested on one object.
+enum class LockMode : uint8_t {
+  kShared = 0,    ///< Concurrent readers allowed.
+  kExclusive = 1  ///< Single writer, no readers.
+};
+
+const char* LockModeToString(LockMode mode);
+
+/// Transaction lifecycle state.
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+const char* TxnStateToString(TxnState state);
+
+/// One entry of the undo log: enough to restore the object's earliest
+/// within-transaction state.
+struct UndoRecord {
+  enum class Kind : uint8_t {
+    kCreate,  ///< Object was created by this txn: undo deletes it.
+    kRestore  ///< Object pre-existed: undo restores \c pre_image (re-
+              ///< inserting the record if the txn later deleted it).
+  };
+  Kind kind = Kind::kRestore;
+  Oid oid = kInvalidOid;
+  ClassId class_id = kNullClass;        ///< For extent maintenance.
+  std::vector<uint8_t> pre_image;       ///< Encoded bytes (kRestore only).
+};
+
+/// \brief State of one in-flight transaction.
+class TransactionContext {
+ public:
+  explicit TransactionContext(TxnId id) : id_(id) {}
+
+  TransactionContext(const TransactionContext&) = delete;
+  TransactionContext& operator=(const TransactionContext&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  /// True when this txn holds a lock on \p oid at least as strong as
+  /// \p mode.
+  bool HoldsLock(Oid oid, LockMode mode) const {
+    auto it = held_locks_.find(oid);
+    if (it == held_locks_.end()) return false;
+    return mode == LockMode::kShared || it->second == LockMode::kExclusive;
+  }
+
+  /// Locks currently held (oid → strongest granted mode).
+  const std::unordered_map<Oid, LockMode>& held_locks() const {
+    return held_locks_;
+  }
+
+  /// Undo log in append order; Database replays it in reverse on abort.
+  const std::vector<UndoRecord>& undo_log() const { return undo_log_; }
+
+  /// Cumulative wall time this txn spent blocked on locks.
+  uint64_t lock_wait_nanos() const { return lock_wait_nanos_; }
+
+ private:
+  friend class LockManager;  ///< Maintains held_locks_, lock_wait_nanos_.
+  friend class Database;     ///< Maintains undo_log_, state_.
+
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  std::unordered_map<Oid, LockMode> held_locks_;
+  std::vector<UndoRecord> undo_log_;
+  std::unordered_set<Oid> undo_logged_;  ///< Oids with a pre-image already.
+  uint64_t lock_wait_nanos_ = 0;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_TRANSACTION_CONTEXT_H_

@@ -9,6 +9,29 @@
 
 namespace ocb {
 
+namespace {
+
+ClientOutcome OutcomeFrom(uint32_t client_id, const WorkloadMetrics& m,
+                          uint64_t wall_micros) {
+  ClientOutcome outcome;
+  outcome.client_id = client_id;
+  outcome.committed =
+      m.cold.global.transactions + m.warm.global.transactions;
+  outcome.aborts = m.cold.aborts + m.warm.aborts;
+  outcome.lock_wait_nanos = m.cold.lock_wait_nanos + m.warm.lock_wait_nanos;
+  outcome.wall_micros = wall_micros;
+  return outcome;
+}
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
 Result<MultiClientReport> RunMultiClient(Database* db,
                                          const WorkloadParameters& params) {
   OCB_RETURN_NOT_OK(params.Validate());
@@ -19,13 +42,20 @@ Result<MultiClientReport> RunMultiClient(Database* db,
   if (params.client_count == 1) {
     ProtocolRunner runner(db, params, /*client_id=*/0);
     OCB_ASSIGN_OR_RETURN(WorkloadMetrics metrics, runner.Run());
+    report.per_client.push_back(
+        OutcomeFrom(0, metrics, MicrosSince(wall_start)));
     report.merged = std::move(metrics);
   } else {
+    // CLIENTN real threads over one shared Database: the transactional
+    // path isolates their interleavings (ProtocolRunner auto-enables it
+    // for client_count > 1).
     std::vector<std::thread> threads;
     std::vector<WorkloadMetrics> results(params.client_count);
+    std::vector<uint64_t> client_wall(params.client_count, 0);
     std::vector<Status> statuses(params.client_count, Status::OK());
     for (uint32_t c = 0; c < params.client_count; ++c) {
       threads.emplace_back([&, c]() {
+        const auto client_start = std::chrono::steady_clock::now();
         ProtocolRunner runner(db, params, /*client_id=*/c);
         auto metrics = runner.Run();
         if (metrics.ok()) {
@@ -33,19 +63,21 @@ Result<MultiClientReport> RunMultiClient(Database* db,
         } else {
           statuses[c] = metrics.status();
         }
+        client_wall[c] = MicrosSince(client_start);
       });
     }
     for (std::thread& t : threads) t.join();
     for (const Status& st : statuses) {
       OCB_RETURN_NOT_OK(st);
     }
-    for (WorkloadMetrics& m : results) report.merged.Merge(m);
+    for (uint32_t c = 0; c < params.client_count; ++c) {
+      report.per_client.push_back(
+          OutcomeFrom(c, results[c], client_wall[c]));
+      report.merged.Merge(results[c]);
+    }
   }
 
-  report.wall_micros = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count());
+  report.wall_micros = MicrosSince(wall_start);
   return report;
 }
 

@@ -5,7 +5,11 @@
 /// CLIENTN clients run the cold/warm protocol concurrently against one
 /// shared Database (threads stand in for the paper's processes; the
 /// contention surface — one shared store, one buffer pool — is the same).
-/// Per-phase metrics from all clients are merged.
+/// With more than one client the run is automatically *transactional*:
+/// every client transaction executes under the 2PL concurrency-control
+/// subsystem, so conflicting clients block on object locks, deadlock
+/// victims roll back, and the report carries per-client abort counts and
+/// lock-wait time. Per-phase metrics from all clients are merged.
 ///
 /// Caveat: with more than one client, per-transaction I/O attribution is
 /// approximate (the disk counters are shared), while phase totals remain
@@ -15,6 +19,7 @@
 #define OCB_OCB_CLIENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "ocb/metrics.h"
 #include "ocb/parameters.h"
@@ -23,10 +28,26 @@
 
 namespace ocb {
 
+/// Per-client outcome of a multi-client run.
+struct ClientOutcome {
+  uint32_t client_id = 0;
+  uint64_t committed = 0;        ///< Transactions that committed.
+  uint64_t aborts = 0;           ///< Deadlock victims / lock timeouts.
+  uint64_t lock_wait_nanos = 0;  ///< Cumulative blocked wall time.
+  uint64_t wall_micros = 0;      ///< This client's end-to-end wall time.
+
+  double throughput_tps() const {
+    if (wall_micros == 0) return 0.0;
+    return static_cast<double>(committed) * 1e6 /
+           static_cast<double>(wall_micros);
+  }
+};
+
 /// Result of a multi-client run.
 struct MultiClientReport {
-  WorkloadMetrics merged;       ///< All clients' metrics combined.
-  uint64_t wall_micros = 0;     ///< End-to-end wall time of the run.
+  WorkloadMetrics merged;              ///< All clients' metrics combined.
+  std::vector<ClientOutcome> per_client;
+  uint64_t wall_micros = 0;            ///< End-to-end wall time of the run.
   uint32_t clients = 0;
 
   /// Transactions per wall-second across all clients.
@@ -36,6 +57,21 @@ struct MultiClientReport {
         merged.cold.global.transactions + merged.warm.global.transactions;
     return static_cast<double>(txns) * 1e6 /
            static_cast<double>(wall_micros);
+  }
+
+  uint64_t total_aborts() const {
+    return merged.cold.aborts + merged.warm.aborts;
+  }
+  uint64_t total_lock_wait_nanos() const {
+    return merged.cold.lock_wait_nanos + merged.warm.lock_wait_nanos;
+  }
+  double abort_rate() const {
+    const uint64_t committed =
+        merged.cold.global.transactions + merged.warm.global.transactions;
+    const uint64_t attempted = committed + total_aborts();
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(total_aborts()) / attempted;
   }
 };
 

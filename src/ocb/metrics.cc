@@ -15,6 +15,8 @@ void PhaseMetrics::Merge(const PhaseMetrics& other) {
   buffer_hits += other.buffer_hits;
   buffer_misses += other.buffer_misses;
   wall_micros += other.wall_micros;
+  aborts += other.aborts;
+  lock_wait_nanos += other.lock_wait_nanos;
 }
 
 std::string PhaseMetrics::ToTableString(const std::string& title) const {
@@ -35,12 +37,18 @@ std::string PhaseMetrics::ToTableString(const std::string& title) const {
   }
   t.AddSeparator();
   row("GLOBAL", global);
-  return title + "\n" + t.ToString() +
-         Format("transaction I/O: %llu reads, %llu writes; buffer hit "
-                "ratio %.3f\n",
-                (unsigned long long)transaction_io_reads,
-                (unsigned long long)transaction_io_writes,
-                buffer_hit_ratio());
+  std::string footer =
+      Format("transaction I/O: %llu reads, %llu writes; buffer hit "
+             "ratio %.3f\n",
+             (unsigned long long)transaction_io_reads,
+             (unsigned long long)transaction_io_writes,
+             buffer_hit_ratio());
+  if (aborts > 0 || lock_wait_nanos > 0) {
+    footer += Format("concurrency: %llu aborts (rate %.3f), lock wait %s\n",
+                     (unsigned long long)aborts, abort_rate(),
+                     HumanDuration(lock_wait_nanos).c_str());
+  }
+  return title + "\n" + t.ToString() + footer;
 }
 
 }  // namespace ocb

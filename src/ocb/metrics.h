@@ -56,6 +56,13 @@ struct PhaseMetrics {
 
   uint64_t wall_micros = 0;  ///< Real time spent executing the phase.
 
+  /// Concurrency-control behaviour (2PL path; zero on the legacy path).
+  /// Aborted transactions are rolled back and excluded from the response /
+  /// object / I/O aggregates above; lock-wait time accumulates over both
+  /// committed and aborted transactions.
+  uint64_t aborts = 0;
+  uint64_t lock_wait_nanos = 0;
+
   void Merge(const PhaseMetrics& other);
 
   double mean_ios_per_transaction() const {
@@ -64,6 +71,13 @@ struct PhaseMetrics {
   double buffer_hit_ratio() const {
     const uint64_t total = buffer_hits + buffer_misses;
     return total == 0 ? 0.0 : static_cast<double>(buffer_hits) / total;
+  }
+
+  /// Aborted / attempted transactions (0 when nothing ran).
+  double abort_rate() const {
+    const uint64_t attempted = global.transactions + aborts;
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(aborts) / attempted;
   }
 
   /// Per-type + global summary table.

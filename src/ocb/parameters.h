@@ -151,6 +151,12 @@ struct WorkloadParameters {
   /// CLIENTN: number of concurrent clients.
   uint32_t client_count = 1;
 
+  /// Runs every transaction under the 2PL concurrency-control subsystem
+  /// (object locks, undo-log rollback, deadlock victims). Auto-enabled
+  /// whenever client_count > 1; with a single client the default (false)
+  /// keeps the seed's serialized path and its exact metrics.
+  bool transactional = false;
+
   /// Reference type followed by hierarchy traversals (paper Fig. 3
   /// "Reference type" attribute). Default 1 = composition under
   /// Schema::DefaultTraits.

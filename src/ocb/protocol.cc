@@ -9,7 +9,7 @@ ProtocolRunner::ProtocolRunner(Database* db, const WorkloadParameters& params,
                                uint32_t client_id)
     : db_(db), params_(params), executor_(db, params_),
       rng_(params.seed + 0x9E3779B9ULL * (client_id + 1)) {
-  root_pool_ = db_->object_store()->LiveOids();
+  root_pool_ = db_->LiveOidsSnapshot();
   if (params_.root_pool_size > 0 &&
       params_.root_pool_size < root_pool_.size()) {
     // Deterministic sample shared by all clients: derived from the
@@ -18,6 +18,8 @@ ProtocolRunner::ProtocolRunner(Database* db, const WorkloadParameters& params,
     std::shuffle(root_pool_.begin(), root_pool_.end(), pool_rng);
     root_pool_.resize(params_.root_pool_size);
   }
+  executor_.set_transactional(params_.transactional ||
+                              params_.client_count > 1);
 }
 
 Oid ProtocolRunner::DrawRoot() {
@@ -25,16 +27,25 @@ Oid ProtocolRunner::DrawRoot() {
   last_root_index_ = static_cast<size_t>(DrawFromDistribution(
       params_.dist5_roots, &rng_, 0,
       static_cast<int64_t>(root_pool_.size()) - 1));
+  // A Delete transaction may have killed *any* pool entry, not only the
+  // last one drawn (its root's neighborhood is untouched, but other
+  // entries can alias the deleted object); validate on draw and repair
+  // stale entries in place. The replacement is drawn from the live set, so
+  // one swap suffices — under concurrent clients a freshly drawn object
+  // can still die before use, which Execute tolerates as NotFound.
+  if (!db_->ContainsObject(root_pool_[last_root_index_])) {
+    ReplaceRootAt(last_root_index_);
+  }
   return root_pool_[last_root_index_];
 }
 
-void ProtocolRunner::ReplaceLastRoot() {
-  // The drawn root was deleted by a Delete transaction (or a concurrent
-  // client); adopt a random live object in its place so the workload
-  // follows the evolving database instead of starving.
-  const std::vector<Oid> live = db_->object_store()->LiveOids();
+void ProtocolRunner::ReplaceRootAt(size_t index) {
+  // The entry's object was deleted by a Delete transaction (ours or a
+  // concurrent client's); adopt a random live object in its place so the
+  // workload follows the evolving database instead of starving.
+  const std::vector<Oid> live = db_->LiveOidsSnapshot();
   if (live.empty()) return;
-  root_pool_[last_root_index_] = live[static_cast<size_t>(
+  root_pool_[index] = live[static_cast<size_t>(
       rng_.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
 }
 
@@ -61,6 +72,13 @@ Status ProtocolRunner::RunPhase(uint64_t count, PhaseMetrics* out) {
         continue;
       }
       return result.status();
+    }
+    out->lock_wait_nanos += result->lock_wait_nanos;
+    if (result->aborted) {
+      // Deadlock victim (or lock timeout): the txn rolled back — its root
+      // is still live and nothing it did counts toward the aggregates.
+      ++out->aborts;
+      continue;
     }
     if (type == TransactionType::kDelete) {
       // The transaction consumed its root; keep the pool live.

@@ -38,11 +38,19 @@ class ProtocolRunner {
   Status RunPhase(uint64_t count, PhaseMetrics* out);
 
  private:
+  /// Draws a pool index per DIST5 and validates liveness: a stale entry
+  /// (its object died under a Delete transaction — ours or a concurrent
+  /// client's) is swapped for a random live object before being returned,
+  /// so the pool never hands out dead roots no matter *which* entry went
+  /// stale.
   Oid DrawRoot();
 
-  /// Swaps the most recently drawn pool entry for a random live object
-  /// (called when a Delete transaction consumed the root).
-  void ReplaceLastRoot();
+  /// Swaps pool entry \p index for a random live object.
+  void ReplaceRootAt(size_t index);
+
+  /// Swaps the most recently drawn pool entry (called when a Delete
+  /// transaction consumed the root).
+  void ReplaceLastRoot() { ReplaceRootAt(last_root_index_); }
 
   Database* db_;
   WorkloadParameters params_;

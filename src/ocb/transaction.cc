@@ -24,15 +24,22 @@ TransactionType TransactionExecutor::DrawType(LewisPayneRng* rng) const {
 
 Result<Object> TransactionExecutor::Follow(const Object& from, size_t index,
                                            bool reversed) {
-  if (!reversed) {
-    const Oid target = from.orefs[index];
-    const ClassDescriptor& cls = db_->schema().GetClass(from.class_id);
-    const RefTypeId type =
-        index < cls.tref.size() ? cls.tref[index] : RefTypeId{0};
-    return db_->CrossLink(from.oid, target, type, /*reverse=*/false);
+  Result<Object> result = [&]() -> Result<Object> {
+    if (!reversed) {
+      const Oid target = from.orefs[index];
+      const ClassDescriptor& cls = db_->schema().GetClass(from.class_id);
+      const RefTypeId type =
+          index < cls.tref.size() ? cls.tref[index] : RefTypeId{0};
+      return db_->CrossLink(txn_, from.oid, target, type, /*reverse=*/false);
+    }
+    const Oid target = from.backrefs[index];
+    return db_->CrossLink(txn_, from.oid, target, /*type=*/0,
+                          /*reverse=*/true);
+  }();
+  if (!result.ok() && result.status().IsAborted() && txn_failure_.ok()) {
+    txn_failure_ = result.status();
   }
-  const Oid target = from.backrefs[index];
-  return db_->CrossLink(from.oid, target, /*type=*/0, /*reverse=*/true);
+  return result;
 }
 
 uint64_t TransactionExecutor::SetOriented(const Object& root, uint32_t depth,
@@ -48,6 +55,7 @@ uint64_t TransactionExecutor::SetOriented(const Object& root, uint32_t depth,
       for (size_t i = 0; i < fanout; ++i) {
         if (!reversed && node.orefs[i] == kInvalidOid) continue;
         auto child = Follow(node, i, reversed);
+        if (failed()) return accessed;
         if (!child.ok()) continue;  // Vanished under a concurrent client.
         ++accessed;
         next.push_back(std::move(child).value());
@@ -66,9 +74,11 @@ uint64_t TransactionExecutor::DepthFirst(const Object& node, uint32_t depth,
   for (size_t i = 0; i < fanout; ++i) {
     if (!reversed && node.orefs[i] == kInvalidOid) continue;
     auto child = Follow(node, i, reversed);
+    if (failed()) return accessed;
     if (!child.ok()) continue;
     ++accessed;
     accessed += DepthFirst(child.value(), depth - 1, reversed);
+    if (failed()) return accessed;
   }
   return accessed;
 }
@@ -83,9 +93,11 @@ uint64_t TransactionExecutor::Hierarchy(const Object& node, uint32_t depth,
       if (node.orefs[i] == kInvalidOid) continue;
       if (i >= cls.tref.size() || cls.tref[i] != type) continue;
       auto child = Follow(node, i, /*reversed=*/false);
+      if (failed()) return accessed;
       if (!child.ok()) continue;
       ++accessed;
       accessed += Hierarchy(child.value(), depth - 1, type, reversed);
+      if (failed()) return accessed;
     }
     return accessed;
   }
@@ -94,9 +106,11 @@ uint64_t TransactionExecutor::Hierarchy(const Object& node, uint32_t depth,
   // documented approximation (see DESIGN.md §5).
   for (size_t i = 0; i < node.backrefs.size(); ++i) {
     auto child = Follow(node, i, /*reversed=*/true);
+    if (failed()) return accessed;
     if (!child.ok()) continue;
     ++accessed;
     accessed += Hierarchy(child.value(), depth - 1, type, reversed);
+    if (failed()) return accessed;
   }
   return accessed;
 }
@@ -141,10 +155,44 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
   const uint64_t reads_start =
       db_->disk()->counters(IoScope::kTransaction).reads;
 
-  db_->BeginTransaction();
-  auto root_obj = db_->GetObject(root);
+  // Transaction bracket: the 2PL path begins a real transaction (locks +
+  // undo log); the legacy path only notifies the observer.
+  std::unique_ptr<TransactionContext> txn;
+  txn_failure_ = Status::OK();
+  if (transactional_) {
+    txn = db_->BeginTxn();
+    txn_ = txn.get();
+  } else {
+    txn_ = nullptr;
+    db_->BeginTransaction();
+  }
+  // Ends the transaction bracket; returns true when the txn committed
+  // (legacy brackets always "commit").
+  auto finish = [&](bool rolled_back) {
+    if (transactional_) {
+      result.lock_wait_nanos = txn->lock_wait_nanos();
+      if (rolled_back) {
+        db_->AbortTxn(txn.get());
+      } else {
+        db_->CommitTxn(txn.get());
+      }
+      txn_ = nullptr;
+    } else {
+      db_->EndTransaction();
+    }
+  };
+
+  auto root_obj = db_->GetObject(txn_, root);
   if (!root_obj.ok()) {
-    db_->EndTransaction();
+    if (root_obj.status().IsAborted()) {
+      finish(/*rolled_back=*/true);
+      result.aborted = true;
+      result.sim_nanos = db_->sim_clock()->now_nanos() - sim_start;
+      result.io_reads =
+          db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+      return result;
+    }
+    finish(/*rolled_back=*/transactional_);
     return root_obj.status();
   }
   uint64_t accessed = 1;  // The root itself.
@@ -166,9 +214,13 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
       break;
     case TransactionType::kUpdate: {
       // Rewrite the root in place (attribute edit; size unchanged).
-      Status st = db_->PutObject(root_obj.value());
+      Status st = db_->PutObject(txn_, root_obj.value());
       if (!st.ok()) {
-        db_->EndTransaction();
+        if (st.IsAborted()) {
+          txn_failure_ = st;
+          break;
+        }
+        finish(/*rolled_back=*/transactional_);
         return st;
       }
       break;
@@ -177,50 +229,68 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
       // Create a sibling of the root's class and wire its references to
       // uniform members of the schema-declared target extents.
       const ClassId class_id = root_obj->class_id;
-      auto created = db_->CreateObject(class_id);
+      auto created = db_->CreateObject(txn_, class_id);
       if (!created.ok()) {
-        db_->EndTransaction();
+        if (created.status().IsAborted()) {
+          txn_failure_ = created.status();
+          break;
+        }
+        finish(/*rolled_back=*/transactional_);
         return created.status();
       }
       ++accessed;
       const ClassDescriptor& cls = db_->schema().GetClass(class_id);
-      for (uint32_t k = 0; k < cls.maxnref; ++k) {
+      for (uint32_t k = 0; k < cls.maxnref && !failed(); ++k) {
         if (cls.cref[k] == kNullClass) continue;
-        const auto& extent = db_->schema().GetClass(cls.cref[k]).iterator;
+        // Latched copy: a concurrent client may be growing this extent.
+        const std::vector<Oid> extent = db_->ExtentSnapshot(cls.cref[k]);
         if (extent.empty()) continue;
         const Oid target = extent[static_cast<size_t>(rng->UniformInt(
             0, static_cast<int64_t>(extent.size()) - 1))];
-        Status st = db_->SetReference(*created, k, target);
+        Status st = db_->SetReference(txn_, *created, k, target);
         if (st.ok()) {
           ++accessed;
+        } else if (st.IsAborted()) {
+          txn_failure_ = st;
         } else if (!st.IsNoSpace() && !st.IsNotFound()) {
-          db_->EndTransaction();
+          finish(/*rolled_back=*/transactional_);
           return st;
         }
       }
       break;
     }
     case TransactionType::kDelete: {
-      Status st = db_->DeleteObject(root);
+      Status st = db_->DeleteObject(txn_, root);
       if (!st.ok() && !st.IsNotFound()) {
-        db_->EndTransaction();
+        if (st.IsAborted()) {
+          txn_failure_ = st;
+          break;
+        }
+        finish(/*rolled_back=*/transactional_);
         return st;
       }
       break;
     }
     case TransactionType::kScan: {
       // Sequential scan of the root's class extent (HyperModel-style);
-      // copy the extent first — a concurrent client may mutate it.
+      // latched copy first — a concurrent client may mutate it.
       const std::vector<Oid> extent =
-          db_->schema().GetClass(root_obj->class_id).iterator;
+          db_->ExtentSnapshot(root_obj->class_id);
       for (Oid member : extent) {
-        auto obj = db_->GetObject(member);
-        if (obj.ok()) ++accessed;
+        auto obj = db_->GetObject(txn_, member);
+        if (obj.ok()) {
+          ++accessed;
+        } else if (obj.status().IsAborted()) {
+          txn_failure_ = obj.status();
+          break;
+        }
       }
       break;
     }
   }
-  db_->EndTransaction();
+  const bool rolled_back = transactional_ && failed();
+  finish(rolled_back);
+  result.aborted = rolled_back;
 
   result.objects_accessed = accessed;
   result.sim_nanos = db_->sim_clock()->now_nanos() - sim_start;

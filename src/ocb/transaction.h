@@ -35,19 +35,30 @@ struct TransactionResult {
   TransactionType type = TransactionType::kSetOriented;
   Oid root = kInvalidOid;
   bool reversed = false;
+  bool aborted = false;     ///< Deadlock victim / lock timeout, rolled back.
   uint64_t objects_accessed = 0;
   uint64_t sim_nanos = 0;   ///< Simulated response time.
   uint64_t io_reads = 0;    ///< Transaction-scope page reads incurred.
+  uint64_t lock_wait_nanos = 0;  ///< Wall time blocked on object locks.
 };
 
 /// \brief Executes OCB transactions against a Database.
 ///
-/// Stateless apart from configuration; one executor can be shared per
-/// client thread (each with its own RNG).
+/// Stateless apart from configuration; one executor per client thread
+/// (each with its own RNG). In *transactional* mode every Execute runs
+/// inside a Database transaction: object locks via strict 2PL, undo-log
+/// rollback when the transaction is chosen as a deadlock victim (reported
+/// through TransactionResult::aborted, not an error status). In the
+/// default legacy mode Execute behaves exactly as the seed did — facade-
+/// serialized, never aborted.
 class TransactionExecutor {
  public:
   TransactionExecutor(Database* db, const WorkloadParameters& params)
       : db_(db), params_(params) {}
+
+  /// Enables/disables the 2PL transactional path (default off).
+  void set_transactional(bool on) { transactional_ = on; }
+  bool transactional() const { return transactional_; }
 
   /// Runs one transaction of \p type from \p root. \p rng drives the
   /// stochastic traversal's link choices only.
@@ -66,12 +77,20 @@ class TransactionExecutor {
                       LewisPayneRng* rng);
 
   /// Follows one link with observer notification; returns the target or
-  /// nullopt when the target vanished (concurrent delete).
+  /// an error when the target vanished (concurrent delete). A
+  /// Status::Aborted from the lock manager additionally latches
+  /// txn_failure_ so traversals unwind promptly.
   Result<Object> Follow(const Object& from, size_t slot_or_backref_index,
                         bool reversed);
 
+  /// True while the in-flight transaction must be rolled back.
+  bool failed() const { return !txn_failure_.ok(); }
+
   Database* db_;
   const WorkloadParameters& params_;
+  bool transactional_ = false;
+  TransactionContext* txn_ = nullptr;  ///< In-flight txn (Execute scope).
+  Status txn_failure_;                 ///< First Aborted seen this txn.
 };
 
 }  // namespace ocb

@@ -17,7 +17,102 @@ void Database::SetSchema(Schema schema) {
   schema_ = std::move(schema);
 }
 
-Result<Oid> Database::CreateObject(ClassId class_id) {
+// --- Transaction lifecycle ---
+
+std::unique_ptr<TransactionContext> Database::BeginTxn() {
+  auto txn = std::make_unique<TransactionContext>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (observer_ != nullptr) observer_->OnTransactionBegin();
+  return txn;
+}
+
+Status Database::CommitTxn(TransactionContext* txn) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active()) {
+    return Status::InvalidArgument(
+        Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  txn->state_ = TxnState::kCommitted;
+  txn->undo_log_.clear();
+  txn->undo_logged_.clear();
+  lock_manager_.ReleaseAll(txn);
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (observer_ != nullptr) observer_->OnTransactionEnd();
+  return Status::OK();
+}
+
+Status Database::AbortTxn(TransactionContext* txn) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active()) {
+    return Status::InvalidArgument(
+        Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  Status first_failure = Status::OK();
+  {
+    // Roll back under the latch, while the txn's X locks still shield the
+    // restored objects from every other transaction.
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto& log = txn->undo_log_;
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+      Status st = Status::OK();
+      switch (it->kind) {
+        case UndoRecord::Kind::kCreate: {
+          if (store_->Contains(it->oid)) st = store_->Delete(it->oid);
+          if (it->class_id < schema_.class_count()) {
+            auto& extent = schema_.GetMutableClass(it->class_id).iterator;
+            extent.erase(
+                std::remove(extent.begin(), extent.end(), it->oid),
+                extent.end());
+          }
+          break;
+        }
+        case UndoRecord::Kind::kRestore: {
+          if (store_->Contains(it->oid)) {
+            st = store_->Update(it->oid, it->pre_image);
+          } else {
+            st = store_->InsertWithOid(it->oid, it->pre_image);
+            if (st.ok() && it->class_id < schema_.class_count()) {
+              schema_.GetMutableClass(it->class_id)
+                  .iterator.push_back(it->oid);
+            }
+          }
+          break;
+        }
+      }
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+    log.clear();
+    txn->undo_logged_.clear();
+    if (observer_ != nullptr) observer_->OnTransactionAbort();
+  }
+  txn->state_ = TxnState::kAborted;
+  lock_manager_.ReleaseAll(txn);
+  return first_failure;
+}
+
+Status Database::LockFor(TransactionContext* txn, Oid oid, LockMode mode) {
+  if (txn == nullptr) return Status::OK();
+  return lock_manager_.Acquire(txn, oid, mode);
+}
+
+void Database::RecordPreImage(TransactionContext* txn, const Object& obj) {
+  if (txn == nullptr) return;
+  if (!txn->undo_logged_.insert(obj.oid).second) return;
+  UndoRecord record;
+  record.kind = UndoRecord::Kind::kRestore;
+  record.oid = obj.oid;
+  record.class_id = obj.class_id;
+  obj.EncodeTo(&record.pre_image);
+  txn->undo_log_.push_back(std::move(record));
+}
+
+// --- Object operations ---
+
+Result<Oid> Database::CreateObject(TransactionContext* txn,
+                                   ClassId class_id) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (class_id >= schema_.class_count()) {
     return Status::InvalidArgument(
@@ -38,6 +133,18 @@ Result<Oid> Database::CreateObject(ClassId class_id) {
   obj.EncodeTo(&bytes);
   OCB_ASSIGN_OR_RETURN(Oid oid, store_->Insert(bytes));
   cls.iterator.push_back(oid);
+  if (txn != nullptr) {
+    UndoRecord record;
+    record.kind = UndoRecord::Kind::kCreate;
+    record.oid = oid;
+    record.class_id = class_id;
+    txn->undo_log_.push_back(std::move(record));
+    txn->undo_logged_.insert(oid);
+    // A fresh oid is unknown to every other transaction, so this grant
+    // never blocks (the lock-manager mutex nests safely under the latch).
+    OCB_RETURN_NOT_OK(
+        lock_manager_.Acquire(txn, oid, LockMode::kExclusive));
+  }
   return oid;
 }
 
@@ -55,7 +162,8 @@ Status Database::WriteEncoded(Oid oid, const Object& object) {
   return store_->Update(oid, bytes);
 }
 
-Result<Object> Database::GetObject(Oid oid) {
+Result<Object> Database::GetObject(TransactionContext* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
   if (observer_ != nullptr) observer_->OnObjectAccess(oid);
@@ -67,45 +175,96 @@ Result<Object> Database::PeekObject(Oid oid) {
   return ReadDecode(oid);
 }
 
-Status Database::SetReference(Oid from, uint32_t slot, Oid to) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  OCB_ASSIGN_OR_RETURN(Object source, ReadDecode(from));
+Status Database::SetReference(TransactionContext* txn, Oid from,
+                              uint32_t slot, Oid to) {
+  // The txn path's atomicity comes from the X locks acquired below, which
+  // let the latch be dropped between the source read and the mutation. The
+  // legacy path has no object locks, so it must hold the (recursive) latch
+  // across the whole multi-object operation, exactly like the seed did.
+  std::unique_lock<std::recursive_mutex> legacy_hold;
+  if (txn == nullptr) {
+    legacy_hold = std::unique_lock<std::recursive_mutex>(mutex_);
+  }
+  OCB_RETURN_NOT_OK(LockFor(txn, from, LockMode::kExclusive));
+  Object source;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OCB_ASSIGN_OR_RETURN(source, ReadDecode(from));
+  }
   if (slot >= source.orefs.size()) {
     return Status::InvalidArgument(
         Format("slot %u out of range for class %u", slot, source.class_id));
   }
+  // The X lock on `from` freezes its slots, so `previous` is stable across
+  // the latch gap while the remaining locks are acquired.
   const Oid previous = source.orefs[slot];
   if (previous == to) return Status::OK();
-  // Unlink the previous target's backref, if any.
   if (previous != kInvalidOid) {
-    OCB_ASSIGN_OR_RETURN(Object old_target, ReadDecode(previous));
-    auto it = std::find(old_target.backrefs.begin(),
-                        old_target.backrefs.end(), from);
-    if (it != old_target.backrefs.end()) {
-      old_target.backrefs.erase(it);
-      OCB_RETURN_NOT_OK(WriteEncoded(previous, old_target));
-    }
+    OCB_RETURN_NOT_OK(LockFor(txn, previous, LockMode::kExclusive));
   }
-  source.orefs[slot] = to;
-  OCB_RETURN_NOT_OK(WriteEncoded(from, source));
   if (to != kInvalidOid) {
-    OCB_ASSIGN_OR_RETURN(Object target, ReadDecode(to));
-    target.backrefs.push_back(from);
-    if (target.EncodedSize() > store_->max_object_size()) {
-      // Roll back: the target cannot absorb another backref on one page.
-      source.orefs[slot] = previous;
-      OCB_RETURN_NOT_OK(WriteEncoded(from, source));
+    OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kExclusive));
+  }
+
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  // Read-and-validate everything *before* the first write, so a vanished
+  // target (deleted by a concurrently committed transaction) or a full
+  // backref page surfaces while the database is still untouched — no
+  // dangling oref, no half-applied unlink.
+  Object target;
+  const bool self_target = to == from;
+  if (to != kInvalidOid && !self_target) {
+    OCB_ASSIGN_OR_RETURN(target, ReadDecode(to));
+  }
+  {
+    Object* absorbing = self_target ? &source : &target;
+    if (to != kInvalidOid &&
+        absorbing->EncodedSize() + sizeof(Oid) >
+            store_->max_object_size()) {
       return Status::NoSpace(
           Format("backref array of oid %llu would exceed page capacity",
                  (unsigned long long)to));
     }
+  }
+  RecordPreImage(txn, source);
+  // Unlink the previous target's backref, if any.
+  if (previous == from) {
+    // Self-reference: unlink in the same in-memory copy — a separately
+    // read-modify-written alias would be clobbered by the source write
+    // below, stranding the old backref.
+    auto it = std::find(source.backrefs.begin(), source.backrefs.end(),
+                        from);
+    if (it != source.backrefs.end()) source.backrefs.erase(it);
+  } else if (previous != kInvalidOid) {
+    auto old_read = ReadDecode(previous);
+    if (old_read.ok()) {
+      Object old_target = std::move(old_read).value();
+      auto it = std::find(old_target.backrefs.begin(),
+                          old_target.backrefs.end(), from);
+      if (it != old_target.backrefs.end()) {
+        RecordPreImage(txn, old_target);
+        old_target.backrefs.erase(it);
+        OCB_RETURN_NOT_OK(WriteEncoded(previous, old_target));
+      }
+    }
+  }
+  source.orefs[slot] = to;
+  if (self_target) {
+    source.backrefs.push_back(from);
+    return WriteEncoded(from, source);
+  }
+  OCB_RETURN_NOT_OK(WriteEncoded(from, source));
+  if (to != kInvalidOid) {
+    RecordPreImage(txn, target);
+    target.backrefs.push_back(from);
     OCB_RETURN_NOT_OK(WriteEncoded(to, target));
   }
   return Status::OK();
 }
 
-Result<Object> Database::CrossLink(Oid from, Oid to, RefTypeId type,
-                                   bool reverse) {
+Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
+                                   RefTypeId type, bool reverse) {
+  OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kShared));
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(to));
@@ -113,17 +272,49 @@ Result<Object> Database::CrossLink(Oid from, Oid to, RefTypeId type,
   return obj;
 }
 
-Status Database::PutObject(const Object& object) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+Status Database::PutObject(TransactionContext* txn, const Object& object) {
   if (object.oid == kInvalidOid) {
     return Status::InvalidArgument("PutObject requires a valid oid");
+  }
+  OCB_RETURN_NOT_OK(LockFor(txn, object.oid, LockMode::kExclusive));
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (txn != nullptr && txn->undo_logged_.count(object.oid) == 0) {
+    // Pre-image is the *stored* state, not the caller's copy.
+    OCB_ASSIGN_OR_RETURN(Object current, ReadDecode(object.oid));
+    RecordPreImage(txn, current);
   }
   return WriteEncoded(object.oid, object);
 }
 
-Status Database::DeleteObject(Oid oid) {
+Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
+  if (txn != nullptr) {
+    // Lock the whole neighborhood up front (the X on `oid` freezes its
+    // ORef/BackRef arrays, so the neighbor list cannot change while the
+    // remaining locks are collected one by one).
+    Object obj;
+    {
+      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      OCB_ASSIGN_OR_RETURN(obj, ReadDecode(oid));
+    }
+    std::vector<Oid> neighbors;
+    for (Oid target : obj.orefs) {
+      if (target != kInvalidOid && target != oid) neighbors.push_back(target);
+    }
+    for (Oid referer : obj.backrefs) {
+      if (referer != oid) neighbors.push_back(referer);
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    for (Oid n : neighbors) {
+      OCB_RETURN_NOT_OK(LockFor(txn, n, LockMode::kExclusive));
+    }
+  }
+
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
+  RecordPreImage(txn, obj);
   // Unlink from targets' backrefs.
   for (Oid target : obj.orefs) {
     if (target == kInvalidOid) continue;
@@ -132,6 +323,7 @@ Status Database::DeleteObject(Oid oid) {
     Object t = std::move(tr).value();
     auto it = std::find(t.backrefs.begin(), t.backrefs.end(), oid);
     if (it != t.backrefs.end()) {
+      RecordPreImage(txn, t);
       t.backrefs.erase(it);
       OCB_RETURN_NOT_OK(WriteEncoded(target, t));
     }
@@ -141,14 +333,14 @@ Status Database::DeleteObject(Oid oid) {
     auto rr = ReadDecode(referer);
     if (!rr.ok()) continue;
     Object r = std::move(rr).value();
-    bool changed = false;
-    for (Oid& slot : r.orefs) {
-      if (slot == oid) {
-        slot = kInvalidOid;
-        changed = true;
-      }
+    if (std::find(r.orefs.begin(), r.orefs.end(), oid) == r.orefs.end()) {
+      continue;
     }
-    if (changed) OCB_RETURN_NOT_OK(WriteEncoded(referer, r));
+    RecordPreImage(txn, r);
+    for (Oid& slot : r.orefs) {
+      if (slot == oid) slot = kInvalidOid;
+    }
+    OCB_RETURN_NOT_OK(WriteEncoded(referer, r));
   }
   // Remove from class extent.
   if (obj.class_id < schema_.class_count()) {
@@ -182,6 +374,22 @@ Status Database::ColdRestart() {
 
 uint64_t Database::object_count() const {
   return store_->stats().objects;
+}
+
+std::vector<Oid> Database::ExtentSnapshot(ClassId class_id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (class_id >= schema_.class_count()) return {};
+  return schema_.GetClass(class_id).iterator;
+}
+
+std::vector<Oid> Database::LiveOidsSnapshot() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return store_->LiveOids();
+}
+
+bool Database::ContainsObject(Oid oid) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return store_->Contains(oid);
 }
 
 }  // namespace ocb

@@ -8,16 +8,37 @@
 /// inter-object link crossing — the raw signal DSTC's observation phase
 /// consumes.
 ///
-/// Thread safety: all public operations take an internal mutex, so CLIENTN
-/// workload clients may share one Database (the paper's multi-user mode).
+/// Concurrency model (multi-user mode, paper §3.1/§3.3):
+///
+///   * *Transactional path* — BeginTxn hands out a TransactionContext;
+///     the txn overloads of the object operations acquire object-
+///     granularity S/X locks through a strict-2PL LockManager, log
+///     pre-images into an undo log, and hold everything until CommitTxn
+///     (release) or AbortTxn (rollback + release). Conflicting CLIENTN
+///     clients therefore interleave with real isolation; deadlocks abort
+///     exactly one victim (Status::Aborted).
+///   * *Legacy path* — the historical non-txn signatures remain and behave
+///     exactly as before: each call serializes on the facade mutex with no
+///     object locks and no undo logging. Generators, reorganizers and the
+///     single-client benches use this path, byte-for-byte identical to the
+///     pre-lock-manager behaviour.
+///
+/// The facade mutex survives as a short-duration *latch*: the storage
+/// substrate (DiskSim/BufferPool/ObjectStore) is single-threaded, so every
+/// physical operation — not whole transactions — runs under it. Logical
+/// isolation across a transaction's lifetime comes from the lock manager,
+/// never from the latch.
 
 #ifndef OCB_OODB_DATABASE_H_
 #define OCB_OODB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "concurrency/lock_manager.h"
+#include "concurrency/transaction_context.h"
 #include "oodb/object.h"
 #include "oodb/schema.h"
 #include "storage/buffer_pool.h"
@@ -38,6 +59,11 @@ class AccessObserver {
   /// A workload transaction is starting / has ended.
   virtual void OnTransactionBegin() {}
   virtual void OnTransactionEnd() {}
+
+  /// A workload transaction rolled back: observations gathered since the
+  /// matching OnTransactionBegin describe accesses that logically never
+  /// happened, so learning policies should discard them. Default no-op.
+  virtual void OnTransactionAbort() {}
 
   /// Object \p oid was read.
   virtual void OnObjectAccess(Oid oid) { (void)oid; }
@@ -66,15 +92,45 @@ class Database {
   Schema& schema() { return schema_; }
   const Schema& schema() const { return schema_; }
 
+  // --- Transaction lifecycle (concurrency-control subsystem) ---
+
+  /// Starts a transaction: allocates a TransactionContext and fires
+  /// OnTransactionBegin. Pass the context to the txn overloads below;
+  /// finish with CommitTxn or AbortTxn (mandatory — locks are held until
+  /// then).
+  std::unique_ptr<TransactionContext> BeginTxn();
+
+  /// Commits: releases all locks, fires OnTransactionEnd. The undo log is
+  /// discarded.
+  Status CommitTxn(TransactionContext* txn);
+
+  /// Aborts: replays the undo log in reverse (restoring pre-images and
+  /// deleting created objects), releases all locks, fires
+  /// OnTransactionAbort.
+  Status AbortTxn(TransactionContext* txn);
+
+  // --- Object operations ---
+  //
+  // Each operation has two forms. The txn form takes a TransactionContext
+  // and participates in 2PL (S lock for reads, X lock for writes, undo
+  // logging); a Status::Aborted return means the transaction was chosen as
+  // a deadlock victim (or timed out) and the caller must AbortTxn. The
+  // legacy form is the txn form with a null context: facade-serialized,
+  // no locks, no undo — the seed's exact behaviour.
+
   /// Creates an instance of \p class_id with all ORef slots null and the
   /// class's InstanceSize of filler. Appends it to the class extent.
-  Result<Oid> CreateObject(ClassId class_id);
+  Result<Oid> CreateObject(TransactionContext* txn, ClassId class_id);
+  Result<Oid> CreateObject(ClassId class_id) {
+    return CreateObject(nullptr, class_id);
+  }
 
   /// Reads and decodes an object. Fires OnObjectAccess.
-  Result<Object> GetObject(Oid oid);
+  Result<Object> GetObject(TransactionContext* txn, Oid oid);
+  Result<Object> GetObject(Oid oid) { return GetObject(nullptr, oid); }
 
-  /// Reads an object *silently* (no observer callback, no statistics) —
-  /// used by generators and reorganizers that must not pollute the
+  /// Reads an object *silently* (no observer callback, no statistics, no
+  /// lock) — used by generators and reorganizers that must not pollute the
   /// clustering signal.
   Result<Object> PeekObject(Oid oid);
 
@@ -82,23 +138,34 @@ class Database {
   /// \p from to the BackRef array of \p to (paper: "Reverse references are
   /// instanciated at the same time the direct links are"). A previous
   /// target's backref is unlinked first.
-  Status SetReference(Oid from, uint32_t slot, Oid to);
+  Status SetReference(TransactionContext* txn, Oid from, uint32_t slot,
+                      Oid to);
+  Status SetReference(Oid from, uint32_t slot, Oid to) {
+    return SetReference(nullptr, from, slot, to);
+  }
 
   /// Follows a reference during a traversal: fires OnLinkCross(from, to)
   /// then reads and returns the target object.
-  Result<Object> CrossLink(Oid from, Oid to, RefTypeId type, bool reverse);
+  Result<Object> CrossLink(TransactionContext* txn, Oid from, Oid to,
+                           RefTypeId type, bool reverse);
+  Result<Object> CrossLink(Oid from, Oid to, RefTypeId type, bool reverse) {
+    return CrossLink(nullptr, from, to, type, reverse);
+  }
 
   /// Rewrites an object's mutable parts (used by update-style workloads).
-  Status PutObject(const Object& object);
+  Status PutObject(TransactionContext* txn, const Object& object);
+  Status PutObject(const Object& object) { return PutObject(nullptr, object); }
 
   /// Deletes an object and unlinks it from neighbors' ORef/BackRef arrays
   /// and from its class extent.
-  Status DeleteObject(Oid oid);
+  Status DeleteObject(TransactionContext* txn, Oid oid);
+  Status DeleteObject(Oid oid) { return DeleteObject(nullptr, oid); }
 
   /// Observer management (pass nullptr to detach).
   void SetObserver(AccessObserver* observer);
 
-  /// Notifies transaction boundaries to the observer.
+  /// Notifies transaction boundaries to the observer (legacy, non-2PL
+  /// path; the txn lifecycle above fires these itself).
   void BeginTransaction();
   void EndTransaction();
 
@@ -111,19 +178,50 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskSim* disk() { return disk_.get(); }
   SimClock* sim_clock() { return &clock_; }
+  LockManager* lock_manager() { return &lock_manager_; }
   const StorageOptions& options() const { return options_; }
 
   /// Number of live objects.
   uint64_t object_count() const;
 
-  /// Serializes external multi-step operations (used by the multi-client
-  /// runner and by reorganizers to make multi-object sequences atomic).
-  /// Recursive, so holding it while calling Database operations is safe.
+  // --- Latched snapshots (safe under concurrent clients) ---
+  //
+  // Class extents and the object table mutate under the facade latch;
+  // these accessors copy them under it so multi-threaded callers (the
+  // transaction executor, protocol runners, stress tests) never iterate a
+  // vector another client is growing. The returned snapshot may be stale
+  // the moment it is returned — callers already tolerate vanished objects
+  // (NotFound) by construction.
+
+  /// Copy of class \p class_id's extent.
+  std::vector<Oid> ExtentSnapshot(ClassId class_id);
+
+  /// Copy of all live oids (ObjectStore::LiveOids under the latch).
+  std::vector<Oid> LiveOidsSnapshot();
+
+  /// True when \p oid is currently live (latched ObjectStore::Contains).
+  bool ContainsObject(Oid oid);
+
+  /// Serializes external multi-step operations (used by reorganizers to
+  /// make multi-object sequences atomic, and internally as the storage
+  /// latch). Recursive, so holding it while calling Database operations is
+  /// safe. Note: holding it does NOT confer 2PL isolation against the
+  /// transactional path's logical state — it excludes physical access only
+  /// (which reorganizers, moving objects wholesale, rely on).
   std::recursive_mutex& big_lock() { return mutex_; }
 
  private:
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
+
+  /// Appends a kRestore undo record holding \p obj's current encoding —
+  /// once per oid per txn (undo restores the earliest state). No-op when
+  /// \p txn is null.
+  void RecordPreImage(TransactionContext* txn, const Object& obj);
+
+  /// Acquires \p mode on \p oid for \p txn via the lock manager; no-op
+  /// when \p txn is null. Must be called *outside* the latch (it blocks).
+  Status LockFor(TransactionContext* txn, Oid oid, LockMode mode);
 
   StorageOptions options_;
   SimClock clock_;
@@ -132,6 +230,8 @@ class Database {
   std::unique_ptr<ObjectStore> store_;
   Schema schema_;
   AccessObserver* observer_ = nullptr;
+  LockManager lock_manager_;
+  std::atomic<TxnId> next_txn_id_{1};
   std::recursive_mutex mutex_;
 };
 

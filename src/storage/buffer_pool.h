@@ -13,6 +13,7 @@
 #ifndef OCB_STORAGE_BUFFER_POOL_H_
 #define OCB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -67,14 +68,40 @@ class PageHandle {
 
 /// Hit/miss statistics of a buffer pool.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
+  // Atomic (relaxed) so phase-boundary readers may snapshot while other
+  // client threads hit the pool under the Database latch.
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
+
+  BufferPoolStats() = default;
+  BufferPoolStats(const BufferPoolStats& other)
+      : hits(other.hits.load(std::memory_order_relaxed)),
+        misses(other.misses.load(std::memory_order_relaxed)),
+        evictions(other.evictions.load(std::memory_order_relaxed)),
+        dirty_writebacks(
+            other.dirty_writebacks.load(std::memory_order_relaxed)) {}
+  BufferPoolStats& operator=(const BufferPoolStats& other) {
+    hits.store(other.hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    misses.store(other.misses.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    evictions.store(other.evictions.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    dirty_writebacks.store(
+        other.dirty_writebacks.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   double hit_ratio() const {
-    const uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    const uint64_t total = hits.load(std::memory_order_relaxed) +
+                           misses.load(std::memory_order_relaxed);
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits.load(std::memory_order_relaxed)) /
+                     total;
   }
 };
 

@@ -43,7 +43,7 @@ Status DiskSim::ReadPage(PageId page_id, uint8_t* out) {
     return Status::IOError(Format("read of unallocated page %u", page_id));
   }
   std::memcpy(out, pages_[page_id].get(), options_.page_size);
-  ++counters_[static_cast<size_t>(scope_)].reads;
+  ++counters_[static_cast<size_t>(scope())].reads;
   if (clock_ != nullptr) clock_->Advance(options_.read_latency_nanos);
   return Status::OK();
 }
@@ -64,7 +64,7 @@ Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
                  page_id));
     }
   }
-  ++counters_[static_cast<size_t>(scope_)].writes;
+  ++counters_[static_cast<size_t>(scope())].writes;
   if (clock_ != nullptr) clock_->Advance(options_.write_latency_nanos);
   return Status::OK();
 }

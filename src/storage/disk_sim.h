@@ -11,6 +11,7 @@
 #define OCB_STORAGE_DISK_SIM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -35,10 +36,30 @@ enum class IoScope {
 const char* IoScopeToString(IoScope scope);
 
 /// Per-scope read/write counters.
+///
+/// Fields are atomic (relaxed) so concurrent clients may increment under
+/// the Database latch while phase-boundary readers snapshot without it;
+/// copying yields a plain consistent-enough snapshot for metric deltas.
 struct IoCounters {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t total() const { return reads + writes; }
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+
+  IoCounters() = default;
+  IoCounters(const IoCounters& other)
+      : reads(other.reads.load(std::memory_order_relaxed)),
+        writes(other.writes.load(std::memory_order_relaxed)) {}
+  IoCounters& operator=(const IoCounters& other) {
+    reads.store(other.reads.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    writes.store(other.writes.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t total() const {
+    return reads.load(std::memory_order_relaxed) +
+           writes.load(std::memory_order_relaxed);
+  }
 };
 
 /// \brief In-memory page array with I/O accounting and simulated latency.
@@ -80,8 +101,10 @@ class DiskSim {
   size_t page_size() const { return options_.page_size; }
 
   /// Sets the accounting scope for subsequent I/Os.
-  void set_scope(IoScope scope) { scope_ = scope; }
-  IoScope scope() const { return scope_; }
+  void set_scope(IoScope scope) {
+    scope_.store(scope, std::memory_order_relaxed);
+  }
+  IoScope scope() const { return scope_.load(std::memory_order_relaxed); }
 
   /// Counters for one scope.
   const IoCounters& counters(IoScope scope) const {
@@ -97,7 +120,7 @@ class DiskSim {
  private:
   StorageOptions options_;
   SimClock* clock_;
-  IoScope scope_ = IoScope::kGeneration;
+  std::atomic<IoScope> scope_{IoScope::kGeneration};
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
   std::array<IoCounters, static_cast<size_t>(IoScope::kNumScopes)> counters_;
   std::FILE* backing_ = nullptr;

@@ -72,6 +72,25 @@ Result<Oid> ObjectStore::Insert(std::span<const uint8_t> bytes,
   return oid;
 }
 
+Status ObjectStore::InsertWithOid(Oid oid, std::span<const uint8_t> bytes) {
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("InsertWithOid requires a valid oid");
+  }
+  if (table_.count(oid) != 0) {
+    return Status::AlreadyExists(
+        Format("oid %llu is live", (unsigned long long)oid));
+  }
+  if (bytes.size() > max_object_size()) {
+    return Status::InvalidArgument("object exceeds max object size");
+  }
+  OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, kInvalidPageId));
+  table_[oid] = loc;
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  ++stats_.objects;
+  stats_.bytes_stored += bytes.size();
+  return Status::OK();
+}
+
 Status ObjectStore::Read(Oid oid, std::vector<uint8_t>* out) {
   auto it = table_.find(oid);
   if (it == table_.end()) {

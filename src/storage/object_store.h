@@ -49,6 +49,12 @@ class ObjectStore {
   Result<Oid> Insert(std::span<const uint8_t> bytes,
                      Oid placement_hint = kInvalidOid);
 
+  /// Re-registers a previously allocated (since deleted) \p oid with the
+  /// given bytes. Used by transaction rollback to restore the pre-image of
+  /// an object the aborting transaction deleted. AlreadyExists if \p oid
+  /// is live.
+  Status InsertWithOid(Oid oid, std::span<const uint8_t> bytes);
+
   /// Copies the object's bytes into \p out.
   Status Read(Oid oid, std::vector<uint8_t>* out);
 

@@ -10,24 +10,33 @@
 #ifndef OCB_UTIL_SIM_CLOCK_H_
 #define OCB_UTIL_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ocb {
 
 /// \brief Monotonic nanosecond counter advanced explicitly by the simulation.
+///
+/// Atomic so CLIENTN client threads can charge THINK time and read
+/// timestamps concurrently; relaxed ordering suffices — the counter is a
+/// statistic, not a synchronization point.
 class SimClock {
  public:
   /// Current simulated time in nanoseconds since construction.
-  uint64_t now_nanos() const { return nanos_; }
+  uint64_t now_nanos() const {
+    return nanos_.load(std::memory_order_relaxed);
+  }
 
   /// Advances the clock by \p nanos nanoseconds.
-  void Advance(uint64_t nanos) { nanos_ += nanos; }
+  void Advance(uint64_t nanos) {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
 
   /// Resets the clock to zero.
-  void Reset() { nanos_ = 0; }
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t nanos_ = 0;
+  std::atomic<uint64_t> nanos_{0};
 };
 
 }  // namespace ocb

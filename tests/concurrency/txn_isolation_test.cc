@@ -1,0 +1,215 @@
+// Transaction-level isolation tests: write-write conflicts under 2PL
+// (exactly one victim, no lost update), undo-log rollback of every
+// mutation kind, and lock release at commit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "oodb/database.h"
+
+namespace ocb {
+namespace {
+
+StorageOptions TestOptions() {
+  StorageOptions opts;
+  opts.page_size = 1024;
+  opts.buffer_pool_pages = 16;
+  return opts;
+}
+
+Schema TwoClassSchema() {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  ClassDescriptor a;
+  a.id = 0;
+  a.maxnref = 3;
+  a.basesize = 40;
+  a.instance_size = 40;
+  a.tref = {2, 2, 2};
+  a.cref = {1, 1, 0};
+  ClassDescriptor b;
+  b.id = 1;
+  b.maxnref = 2;
+  b.basesize = 20;
+  b.instance_size = 20;
+  b.tref = {2, 2};
+  b.cref = {0, 0};
+  Schema out = std::move(schema);
+  EXPECT_TRUE(out.AddClass(std::move(a)).ok());
+  EXPECT_TRUE(out.AddClass(std::move(b)).ok());
+  return out;
+}
+
+class TxnIsolationTest : public ::testing::Test {
+ protected:
+  TxnIsolationTest() : db_(TestOptions()) {
+    db_.SetSchema(TwoClassSchema());
+    source_ = *db_.CreateObject(0);
+    target1_ = *db_.CreateObject(1);
+    target2_ = *db_.CreateObject(1);
+  }
+
+  Database db_;
+  Oid source_ = kInvalidOid;
+  Oid target1_ = kInvalidOid;
+  Oid target2_ = kInvalidOid;
+};
+
+TEST_F(TxnIsolationTest, WriteWriteConflictOneAbortsNoLostUpdate) {
+  // Both clients read the same object, then write it back with their own
+  // mark — the classic lost-update race. Under 2PL both hold S, both
+  // request the X upgrade, the wait-for cycle fires, and exactly one
+  // client rolls back; the surviving write is the final state.
+  std::atomic<int> ready{0};
+  std::atomic<int> aborted{0};
+  std::vector<Oid> committed_mark(2, kInvalidOid);
+
+  auto client = [&](int idx, Oid mark) {
+    auto txn = db_.BeginTxn();
+    auto obj = db_.GetObject(txn.get(), source_);  // S lock.
+    ASSERT_TRUE(obj.ok());
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();  // Both hold S.
+    obj->orefs[0] = mark;
+    Status st = db_.PutObject(txn.get(), obj.value());  // S→X upgrade.
+    if (st.IsAborted()) {
+      aborted.fetch_add(1);
+      EXPECT_TRUE(db_.AbortTxn(txn.get()).ok());
+      return;
+    }
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    committed_mark[static_cast<size_t>(idx)] = mark;
+    EXPECT_TRUE(db_.CommitTxn(txn.get()).ok());
+  };
+
+  std::thread c1(client, 0, target1_);
+  std::thread c2(client, 1, target2_);
+  c1.join();
+  c2.join();
+
+  EXPECT_EQ(aborted.load(), 1) << "exactly one victim per cycle";
+  auto final_obj = db_.PeekObject(source_);
+  ASSERT_TRUE(final_obj.ok());
+  // No lost update: the stored mark is the one committed client's, and
+  // that client observed its own commit succeed.
+  const Oid winner_mark =
+      committed_mark[0] != kInvalidOid ? committed_mark[0] : committed_mark[1];
+  ASSERT_NE(winner_mark, kInvalidOid);
+  EXPECT_EQ(final_obj->orefs[0], winner_mark);
+}
+
+TEST_F(TxnIsolationTest, AbortRollsBackReferenceAndCreate) {
+  ASSERT_TRUE(db_.SetReference(source_, 0, target1_).ok());
+  const uint64_t objects_before = db_.object_count();
+  const size_t extent0_before = db_.schema().GetClass(0).iterator.size();
+
+  auto txn = db_.BeginTxn();
+  auto created = db_.CreateObject(txn.get(), 0);
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(db_.SetReference(txn.get(), source_, 0, target2_).ok());
+  ASSERT_TRUE(db_.SetReference(txn.get(), *created, 0, target1_).ok());
+  ASSERT_TRUE(db_.AbortTxn(txn.get()).ok());
+
+  // The created object is gone, extent included.
+  EXPECT_EQ(db_.object_count(), objects_before);
+  EXPECT_EQ(db_.schema().GetClass(0).iterator.size(), extent0_before);
+  EXPECT_FALSE(db_.object_store()->Contains(*created));
+
+  // The retargeted reference and both backref arrays are restored.
+  auto src = db_.PeekObject(source_);
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->orefs[0], target1_);
+  auto t1 = db_.PeekObject(target1_);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(std::count(t1->backrefs.begin(), t1->backrefs.end(), source_),
+            1);
+  EXPECT_EQ(std::count(t1->backrefs.begin(), t1->backrefs.end(), *created),
+            0);
+  auto t2 = db_.PeekObject(target2_);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->backrefs.empty());
+
+  // All locks drained at abort.
+  EXPECT_EQ(db_.lock_manager()->locked_object_count(), 0u);
+}
+
+TEST_F(TxnIsolationTest, AbortRestoresDeletedObject) {
+  ASSERT_TRUE(db_.SetReference(source_, 0, target1_).ok());
+  auto before = db_.PeekObject(target1_);
+  ASSERT_TRUE(before.ok());
+
+  auto txn = db_.BeginTxn();
+  ASSERT_TRUE(db_.DeleteObject(txn.get(), target1_).ok());
+  EXPECT_FALSE(db_.object_store()->Contains(target1_));
+  ASSERT_TRUE(db_.AbortTxn(txn.get()).ok());
+
+  // The object is back — same oid, same content — and the neighborhood
+  // unlink was rolled back with it.
+  ASSERT_TRUE(db_.object_store()->Contains(target1_));
+  auto after = db_.PeekObject(target1_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->class_id, before->class_id);
+  EXPECT_EQ(after->orefs, before->orefs);
+  EXPECT_EQ(after->backrefs, before->backrefs);
+  auto src = db_.PeekObject(source_);
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->orefs[0], target1_);
+  const auto& extent1 = db_.schema().GetClass(1).iterator;
+  EXPECT_EQ(std::count(extent1.begin(), extent1.end(), target1_), 1);
+}
+
+TEST_F(TxnIsolationTest, CommitReleasesLocksAndPersists) {
+  auto txn1 = db_.BeginTxn();
+  ASSERT_TRUE(db_.SetReference(txn1.get(), source_, 0, target1_).ok());
+  ASSERT_TRUE(db_.CommitTxn(txn1.get()).ok());
+  EXPECT_EQ(db_.lock_manager()->locked_object_count(), 0u);
+  EXPECT_EQ(txn1->state(), TxnState::kCommitted);
+
+  // A second txn takes the same locks without blocking and sees the
+  // committed state.
+  auto txn2 = db_.BeginTxn();
+  auto obj = db_.GetObject(txn2.get(), source_);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->orefs[0], target1_);
+  ASSERT_TRUE(db_.CommitTxn(txn2.get()).ok());
+}
+
+TEST_F(TxnIsolationTest, ReaderBlocksOnUncommittedWriteAndSeesCommit) {
+  auto writer = db_.BeginTxn();
+  auto obj = db_.PeekObject(source_);
+  ASSERT_TRUE(obj.ok());
+  obj->orefs[1] = target2_;
+  ASSERT_TRUE(db_.PutObject(writer.get(), obj.value()).ok());  // X held.
+
+  std::atomic<bool> read_done{false};
+  Oid seen = kInvalidOid;
+  std::thread reader([&]() {
+    auto txn = db_.BeginTxn();
+    auto r = db_.GetObject(txn.get(), source_);  // Blocks on writer's X.
+    ASSERT_TRUE(r.ok());
+    seen = r->orefs[1];
+    read_done = true;
+    EXPECT_TRUE(db_.CommitTxn(txn.get()).ok());
+  });
+
+  // The reader must not observe the uncommitted write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(read_done);
+  ASSERT_TRUE(db_.CommitTxn(writer.get()).ok());
+  reader.join();
+  EXPECT_EQ(seen, target2_);  // Strict 2PL: only the committed state leaks.
+}
+
+TEST_F(TxnIsolationTest, DoubleFinishIsRejected) {
+  auto txn = db_.BeginTxn();
+  ASSERT_TRUE(db_.CommitTxn(txn.get()).ok());
+  EXPECT_TRUE(db_.CommitTxn(txn.get()).IsInvalidArgument());
+  EXPECT_TRUE(db_.AbortTxn(txn.get()).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ocb

@@ -110,6 +110,118 @@ TEST(ConcurrencyTest, ParallelWritesKeepBackrefSymmetry) {
   }
 }
 
+TEST(ConcurrencyTest, TransactionalStressKeepsInvariants) {
+  // N client threads run full 2PL transactions (reads, reference
+  // rewires, updates, deletes — with a share of deliberate aborts) over
+  // one shared Database. Afterwards the structural invariants must hold:
+  // backref symmetry in both directions and extent/store agreement.
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 250;
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      LewisPayneRng rng(static_cast<uint64_t>(t) + 777);
+      for (int i = 0; i < kTxnsPerThread && !failed; ++i) {
+        auto txn = db.BeginTxn();
+        bool txn_ok = true;
+        const int ops = static_cast<int>(rng.UniformInt(1, 4));
+        for (int op = 0; op < ops && txn_ok; ++op) {
+          const std::vector<Oid> live = db.LiveOidsSnapshot();
+          if (live.empty()) break;
+          const Oid oid = live[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+          const int kind = static_cast<int>(rng.UniformInt(0, 9));
+          Status st = Status::OK();
+          if (kind < 5) {  // Read.
+            auto obj = db.GetObject(txn.get(), oid);
+            st = obj.ok() ? Status::OK() : obj.status();
+          } else if (kind < 8) {  // Rewire a reference.
+            auto obj = db.GetObject(txn.get(), oid);
+            if (!obj.ok()) {
+              st = obj.status();
+            } else {
+              const ClassDescriptor& cls =
+                  db.schema().GetClass(obj->class_id);
+              const uint32_t slot = static_cast<uint32_t>(
+                  rng.UniformInt(0, cls.maxnref - 1));
+              if (cls.cref[slot] != kNullClass) {
+                const auto extent = db.ExtentSnapshot(cls.cref[slot]);
+                if (!extent.empty()) {
+                  const Oid to = extent[static_cast<size_t>(rng.UniformInt(
+                      0, static_cast<int64_t>(extent.size()) - 1))];
+                  st = db.SetReference(txn.get(), oid, slot, to);
+                }
+              }
+            }
+          } else if (kind == 8) {  // Delete.
+            st = db.DeleteObject(txn.get(), oid);
+          } else {  // Update in place.
+            auto obj = db.GetObject(txn.get(), oid);
+            st = obj.ok() ? db.PutObject(txn.get(), obj.value())
+                          : obj.status();
+          }
+          if (st.IsAborted()) {
+            txn_ok = false;  // Deadlock victim: roll back.
+          } else if (!st.ok() && !st.IsNotFound() && !st.IsNoSpace()) {
+            failed = true;
+            txn_ok = false;
+          }
+        }
+        // A slice of voluntary aborts exercises rollback under load.
+        if (txn_ok && rng.Bernoulli(0.1)) txn_ok = false;
+        if (txn_ok) {
+          if (!db.CommitTxn(txn.get()).ok()) failed = true;
+          ++committed;
+        } else {
+          if (!db.AbortTxn(txn.get()).ok()) failed = true;
+          ++aborted;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed);
+  EXPECT_EQ(committed.load() + aborted.load(),
+            static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  EXPECT_GT(committed.load(), 0u);
+  EXPECT_EQ(db.lock_manager()->locked_object_count(), 0u);
+
+  // Backref symmetry, both directions, plus extent/store agreement.
+  uint64_t live_count = 0;
+  for (Oid oid : db.object_store()->LiveOids()) {
+    ++live_count;
+    auto obj = db.PeekObject(oid);
+    ASSERT_TRUE(obj.ok());
+    for (Oid target : obj->orefs) {
+      if (target == kInvalidOid) continue;
+      auto target_obj = db.PeekObject(target);
+      ASSERT_TRUE(target_obj.ok()) << oid << " -> dead " << target;
+      ASSERT_NE(std::find(target_obj->backrefs.begin(),
+                          target_obj->backrefs.end(), oid),
+                target_obj->backrefs.end())
+          << oid << " -> " << target;
+    }
+    for (Oid referer : obj->backrefs) {
+      auto referer_obj = db.PeekObject(referer);
+      ASSERT_TRUE(referer_obj.ok()) << oid << " <- dead " << referer;
+      ASSERT_NE(std::find(referer_obj->orefs.begin(),
+                          referer_obj->orefs.end(), oid),
+                referer_obj->orefs.end())
+          << oid << " <- " << referer;
+    }
+    const auto& extent = db.schema().GetClass(obj->class_id).iterator;
+    ASSERT_EQ(std::count(extent.begin(), extent.end(), oid), 1)
+        << "extent membership of " << oid;
+  }
+  EXPECT_EQ(db.object_count(), live_count);
+}
+
 TEST(ConcurrencyTest, ReorganizeWhileReading) {
   // One thread reads continuously while another triggers a DSTC
   // reorganization; no read may observe corruption.
