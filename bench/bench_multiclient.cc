@@ -1,13 +1,17 @@
 /// \file bench_multiclient.cc
 /// \brief Ext-5: the multi-user mode (paper §3.1 calls OCB's multi-user
 ///        support "almost unique"). Sweeps CLIENTN over a shared database
-///        and reports merged throughput, I/O behaviour, and — on the 2PL
-///        transactional path used whenever CLIENTN > 1 — abort rate and
-///        cumulative lock-wait time, plus a per-client breakdown.
+///        and, for every CLIENTN > 1, runs the same read-heavy mix twice:
+///        once pure-2PL (readers take S locks and queue behind writers)
+///        and once with MVCC snapshot reads (read-only transactions pin a
+///        ReadView and bypass the lock manager). The interesting columns
+///        are cumulative lock-wait time and abort count: snapshot readers
+///        wait for nothing and can never be deadlock victims, so both
+///        should collapse relative to the 2PL-only rows.
 ///
-/// The workload mixes traversals with updates/inserts/deletes so clients
-/// genuinely conflict: without write-write conflicts the lock manager has
-/// nothing to arbitrate and abort counts stay 0.
+/// The mix mirrors the paper's workload matrix: traversals dominate, a
+/// modest write share (update/insert/delete) supplies the X locks that
+/// make 2PL readers queue in the first place.
 
 #include <cstdio>
 #include <vector>
@@ -20,89 +24,124 @@
 int main() {
   using namespace ocb;
 
-  bench::PrintHeader("Ext-5", "multi-client scaling (CLIENTN sweep)");
+  bench::PrintHeader("Ext-5",
+                     "multi-client scaling (CLIENTN sweep, 2PL vs MVCC)");
 
-  TextTable table({"Clients", "Committed", "Aborted", "Abort rate",
-                   "Lock wait", "Mean I/Os/attempt", "Hit ratio",
-                   "Wall time", "Throughput (txn/s)"});
+  TextTable table({"Clients", "Mode", "Committed", "Aborted", "Abort rate",
+                   "Lock wait", "Snapshot reads", "Mean I/Os/attempt",
+                   "Hit ratio", "Wall time", "Throughput (txn/s)"});
   std::vector<std::string> per_client_lines;
+  std::vector<std::string> gc_lines;
   for (uint32_t clients : std::vector<uint32_t>{1, 2, 4, 8}) {
-    StorageOptions storage;
-    storage.buffer_pool_pages = 256;
-    Database db(storage);
-    OcbPreset preset = presets::Default();
-    preset.database.num_objects = 6000;
-    preset.database.seed = 29;
-    if (!GenerateDatabase(preset.database, &db).ok()) {
-      std::fprintf(stderr, "generation failed\n");
-      return 1;
-    }
-    if (!db.ColdRestart().ok()) return 1;
+    // CLIENTN=1 keeps the seed's serialized legacy path (one row); every
+    // multi-client CLIENTN runs both concurrency modes over fresh,
+    // identically generated databases.
+    const int modes = clients == 1 ? 1 : 2;
+    for (int mode = 0; mode < modes; ++mode) {
+      const bool mvcc = mode == 1;
+      StorageOptions storage;
+      storage.buffer_pool_pages = 256;
+      Database db(storage);
+      OcbPreset preset = presets::Default();
+      preset.database.num_objects = 6000;
+      preset.database.seed = 29;
+      if (!GenerateDatabase(preset.database, &db).ok()) {
+        std::fprintf(stderr, "generation failed\n");
+        return 1;
+      }
+      if (!db.ColdRestart().ok()) return 1;
 
-    preset.workload.client_count = clients;
-    preset.workload.cold_transactions = 100;
-    preset.workload.hot_transactions = 400;
-    preset.workload.seed = 31;
-    // A write-heavy mix so concurrent clients actually contend on objects.
-    preset.workload.p_set = 0.20;
-    preset.workload.p_simple = 0.20;
-    preset.workload.p_hierarchy = 0.15;
-    preset.workload.p_stochastic = 0.15;
-    preset.workload.p_update = 0.15;
-    preset.workload.p_insert = 0.10;
-    preset.workload.p_delete = 0.05;
-    // Per-transaction I/O is computed from the disk's own counters over
-    // the whole run: per-client deltas overlap under concurrency (see
-    // client.h), the device-level count does not.
-    const uint64_t reads_before =
-        db.disk()->counters(IoScope::kTransaction).reads;
-    auto report = RunMultiClient(&db, preset.workload);
-    if (!report.ok()) {
-      std::fprintf(stderr, "run failed: %s\n",
-                   report.status().ToString().c_str());
-      return 1;
-    }
-    const uint64_t reads =
-        db.disk()->counters(IoScope::kTransaction).reads - reads_before;
-    const uint64_t txns = report->merged.cold.global.transactions +
-                          report->merged.warm.global.transactions;
-    // Device-level reads include aborted transactions' work and their
-    // undo-log rollback, so normalize by *attempted* transactions — the
-    // committed-only divisor would inflate with the abort rate.
-    const uint64_t attempted = txns + report->total_aborts();
-    table.AddRow(
-        {Format("%u", clients), Format("%llu", (unsigned long long)txns),
-         Format("%llu", (unsigned long long)report->total_aborts()),
-         Format("%.3f", report->abort_rate()),
-         HumanDuration(report->total_lock_wait_nanos()),
-         Format("%.2f", attempted == 0 ? 0.0
-                                       : static_cast<double>(reads) /
-                                             static_cast<double>(attempted)),
-         Format("%.3f", report->merged.warm.buffer_hit_ratio()),
-         HumanDuration(report->wall_micros * 1000),
-         Format("%.0f", report->throughput_tps())});
-    if (clients > 1) {
-      for (const ClientOutcome& c : report->per_client) {
-        per_client_lines.push_back(Format(
-            "  CLIENTN=%u client %u: %llu committed, %llu aborted, "
-            "lock wait %s, %.0f txn/s",
-            clients, c.client_id, (unsigned long long)c.committed,
-            (unsigned long long)c.aborts,
-            HumanDuration(c.lock_wait_nanos).c_str(), c.throughput_tps()));
+      preset.workload.client_count = clients;
+      preset.workload.cold_transactions = 100;
+      preset.workload.hot_transactions = 400;
+      preset.workload.seed = 31;
+      // Read-heavy mix (the paper's traversal-dominated matrix) with
+      // enough writes that 2PL readers genuinely queue behind X locks.
+      preset.workload.p_set = 0.22;
+      preset.workload.p_simple = 0.22;
+      preset.workload.p_hierarchy = 0.18;
+      preset.workload.p_stochastic = 0.18;
+      preset.workload.p_update = 0.12;
+      preset.workload.p_insert = 0.05;
+      preset.workload.p_delete = 0.03;
+      preset.workload.mvcc_snapshot_reads = mvcc;
+      // Per-transaction I/O is computed from the disk's own counters over
+      // the whole run: per-client deltas overlap under concurrency (see
+      // client.h), the device-level count does not.
+      const uint64_t reads_before =
+          db.disk()->counters(IoScope::kTransaction).reads;
+      auto report = RunMultiClient(&db, preset.workload);
+      if (!report.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      const uint64_t reads =
+          db.disk()->counters(IoScope::kTransaction).reads - reads_before;
+      const uint64_t txns = report->merged.cold.global.transactions +
+                            report->merged.warm.global.transactions;
+      // Device-level reads include aborted transactions' work and their
+      // undo-log rollback, so normalize by *attempted* transactions — the
+      // committed-only divisor would inflate with the abort rate.
+      const uint64_t attempted = txns + report->total_aborts();
+      const char* mode_name =
+          clients == 1 ? "legacy" : (mvcc ? "MVCC" : "2PL-only");
+      table.AddRow(
+          {Format("%u", clients), mode_name,
+           Format("%llu", (unsigned long long)txns),
+           Format("%llu", (unsigned long long)report->total_aborts()),
+           Format("%.3f", report->abort_rate()),
+           HumanDuration(report->total_lock_wait_nanos()),
+           Format("%llu",
+                  (unsigned long long)report->total_snapshot_reads()),
+           Format("%.2f", attempted == 0
+                              ? 0.0
+                              : static_cast<double>(reads) /
+                                    static_cast<double>(attempted)),
+           Format("%.3f", report->merged.warm.buffer_hit_ratio()),
+           HumanDuration(report->wall_micros * 1000),
+           Format("%.0f", report->throughput_tps())});
+      if (clients > 1) {
+        const VersionStoreStats vs = db.version_store()->stats();
+        gc_lines.push_back(Format(
+            "  CLIENTN=%u %s: %llu versions published, %llu GC'd over "
+            "%llu passes, %llu live at end; %llu snapshot txns",
+            clients, mode_name,
+            (unsigned long long)vs.versions_published,
+            (unsigned long long)vs.versions_gced,
+            (unsigned long long)vs.gc_passes,
+            (unsigned long long)vs.live_versions,
+            (unsigned long long)report->total_read_only_commits()));
+        for (const ClientOutcome& c : report->per_client) {
+          per_client_lines.push_back(Format(
+              "  CLIENTN=%u %s client %u: %llu committed, %llu aborted, "
+              "lock wait %s, %.0f txn/s",
+              clients, mode_name, c.client_id,
+              (unsigned long long)c.committed, (unsigned long long)c.aborts,
+              HumanDuration(c.lock_wait_nanos).c_str(),
+              c.throughput_tps()));
+        }
       }
     }
   }
   bench::PrintTable(table);
+  std::printf("version-store behaviour:\n");
+  for (const std::string& line : gc_lines) {
+    std::printf("%s\n", line.c_str());
+  }
   std::printf("per-client breakdown:\n");
   for (const std::string& line : per_client_lines) {
     std::printf("%s\n", line.c_str());
   }
   bench::PrintNote(
-      "CLIENTN > 1 runs real std::thread clients over one shared store "
-      "under the 2PL lock manager: conflicting transactions block on "
-      "object locks, deadlock victims roll back via the undo log (counted "
-      "as aborts), and lock-wait time is the cumulative blocked wall time. "
-      "CLIENTN=1 keeps the seed's serialized legacy path (zero aborts by "
-      "construction).");
+      "CLIENTN > 1 runs real std::thread clients over one shared store. "
+      "2PL-only: every read takes an S lock and queues behind writers' X "
+      "locks; deadlock victims roll back via the undo log. MVCC: read-only "
+      "transactions (the four traversals and Scan) pin a ReadView and read "
+      "version chains instead of locking — they never wait and never "
+      "abort, so lock-wait time and abort count both drop while writers "
+      "keep strict 2PL semantics. Version chains older than the oldest "
+      "live ReadView are reclaimed by the background GC. CLIENTN=1 keeps "
+      "the seed's serialized legacy path (zero aborts by construction).");
   return 0;
 }

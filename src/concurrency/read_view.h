@@ -1,0 +1,62 @@
+/// \file read_view.h
+/// \brief Snapshot handles for MVCC readers.
+///
+/// A ReadView pins the commit timestamp a read-only transaction was born
+/// at: every object read through it resolves against the database as of
+/// that instant (committed writes with ts <= snapshot are visible, later
+/// or in-flight ones are not). The registry tracks all open views so the
+/// version-store garbage collector knows the oldest snapshot any reader
+/// can still demand — everything older is reclaimable.
+///
+/// ReadViews are deliberately dumb data: the interesting state (the open
+/// multiset) lives in the registry, which is internally synchronized and
+/// shared by all client threads and the GC thread.
+
+#ifndef OCB_CONCURRENCY_READ_VIEW_H_
+#define OCB_CONCURRENCY_READ_VIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "concurrency/version_store.h"
+
+namespace ocb {
+
+/// \brief A pinned snapshot timestamp. Valid from VersionStore::
+/// OpenSnapshot until the matching ReadViewRegistry::Close.
+struct ReadView {
+  CommitTs snapshot_ts = 0;
+};
+
+/// \brief Registry of open ReadViews; the GC's source of truth.
+class ReadViewRegistry {
+ public:
+  ReadViewRegistry() = default;
+
+  ReadViewRegistry(const ReadViewRegistry&) = delete;
+  ReadViewRegistry& operator=(const ReadViewRegistry&) = delete;
+
+  /// Registers a view pinned at \p ts. Called by VersionStore::
+  /// OpenSnapshot under the store's mutex so pinning is atomic against
+  /// commit stamping and garbage collection; prefer that entry point.
+  void OpenAt(CommitTs ts);
+
+  /// Closes \p view; its snapshot no longer holds back garbage collection.
+  void Close(const ReadView& view);
+
+  /// The oldest snapshot any open view still needs, or \p fallback (the
+  /// current commit timestamp) when no view is open.
+  CommitTs OldestActive(CommitTs fallback) const;
+
+  /// Number of views currently open.
+  size_t open_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<CommitTs, uint64_t> open_;  ///< snapshot_ts → open view count.
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_READ_VIEW_H_

@@ -9,7 +9,9 @@
 ///   * the set of object locks currently held (maintained by LockManager),
 ///   * an undo log of pre-images (maintained by Database) replayed in
 ///     reverse on abort,
-///   * accounting: cumulative lock-wait time and objects touched.
+///   * for *read-only* transactions, the MVCC ReadView pinning the commit
+///     timestamp their snapshot reads resolve against (no locks, no undo),
+///   * accounting: cumulative lock-wait time and snapshot reads served.
 ///
 /// Lifecycle: kActive → (CommitTxn → kCommitted | AbortTxn → kAborted).
 /// A context is single-threaded — exactly one client thread drives it — so
@@ -63,7 +65,8 @@ struct UndoRecord {
 /// \brief State of one in-flight transaction.
 class TransactionContext {
  public:
-  explicit TransactionContext(TxnId id) : id_(id) {}
+  explicit TransactionContext(TxnId id, bool read_only = false)
+      : id_(id), read_only_(read_only) {}
 
   TransactionContext(const TransactionContext&) = delete;
   TransactionContext& operator=(const TransactionContext&) = delete;
@@ -71,6 +74,18 @@ class TransactionContext {
   TxnId id() const { return id_; }
   TxnState state() const { return state_; }
   bool active() const { return state_ == TxnState::kActive; }
+
+  /// True for MVCC readers: object reads resolve against the snapshot
+  /// pinned at BeginTxn (no S locks taken, so this txn never deadlocks),
+  /// and every write operation is refused with InvalidArgument.
+  bool read_only() const { return read_only_; }
+
+  /// Commit timestamp the snapshot is pinned at (read-only txns only).
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+
+  /// Object reads this txn served through its ReadView (version chain or
+  /// store fall-through).
+  uint64_t snapshot_reads() const { return snapshot_reads_; }
 
   /// True when this txn holds a lock on \p oid at least as strong as
   /// \p mode.
@@ -96,11 +111,14 @@ class TransactionContext {
   friend class Database;     ///< Maintains undo_log_, state_.
 
   TxnId id_;
+  bool read_only_ = false;
   TxnState state_ = TxnState::kActive;
   std::unordered_map<Oid, LockMode> held_locks_;
   std::vector<UndoRecord> undo_log_;
   std::unordered_set<Oid> undo_logged_;  ///< Oids with a pre-image already.
   uint64_t lock_wait_nanos_ = 0;
+  uint64_t snapshot_ts_ = 0;     ///< Pinned ReadView ts (read-only txns).
+  uint64_t snapshot_reads_ = 0;  ///< Reads served through the ReadView.
 };
 
 }  // namespace ocb

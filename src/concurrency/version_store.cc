@@ -1,0 +1,152 @@
+#include "concurrency/version_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "concurrency/read_view.h"
+
+namespace ocb {
+
+void VersionStore::PublishPreImage(TxnId txn, Oid oid,
+                                   std::vector<uint8_t> pre_image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& chain = chains_[oid];
+  if (chain.empty()) ++stats_.live_chains;
+  Version v;
+  v.owner = txn;
+  v.pre_image = std::move(pre_image);
+  chain.push_back(std::move(v));
+  pending_by_txn_[txn].push_back(oid);
+  ++stats_.versions_published;
+  ++stats_.live_versions;
+}
+
+void VersionStore::PublishCreation(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& chain = chains_[oid];
+  if (chain.empty()) ++stats_.live_chains;
+  Version v;
+  v.owner = txn;
+  v.creation = true;
+  chain.push_back(std::move(v));
+  pending_by_txn_[txn].push_back(oid);
+  ++stats_.versions_published;
+  ++stats_.live_versions;
+}
+
+CommitTs VersionStore::StampCommitted(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const CommitTs ts = ++last_commit_ts_;
+  auto it = pending_by_txn_.find(txn);
+  if (it == pending_by_txn_.end()) return ts;
+  for (Oid oid : it->second) {
+    auto cit = chains_.find(oid);
+    if (cit == chains_.end()) continue;
+    // The pending version is the chain tail (X lock ⇒ at most one, and
+    // nothing can append behind it until the lock is released).
+    Version& tail = cit->second.back();
+    assert(tail.commit_ts == kPendingTs && tail.owner == txn);
+    tail.commit_ts = ts;
+    tail.owner = kInvalidTxnId;
+    ++stats_.versions_stamped;
+  }
+  pending_by_txn_.erase(it);
+  return ts;
+}
+
+void VersionStore::DiscardPending(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_by_txn_.find(txn);
+  if (it == pending_by_txn_.end()) return;
+  for (Oid oid : it->second) {
+    auto cit = chains_.find(oid);
+    if (cit == chains_.end()) continue;
+    std::vector<Version>& chain = cit->second;
+    if (!chain.empty() && chain.back().commit_ts == kPendingTs &&
+        chain.back().owner == txn) {
+      chain.pop_back();
+      ++stats_.versions_discarded;
+      --stats_.live_versions;
+    }
+    if (chain.empty()) {
+      chains_.erase(cit);
+      --stats_.live_chains;
+    }
+  }
+  pending_by_txn_.erase(it);
+}
+
+CommitTs VersionStore::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_commit_ts_;
+}
+
+CommitTs VersionStore::OpenSnapshot(ReadViewRegistry* views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  views->OpenAt(last_commit_ts_);
+  return last_commit_ts_;
+}
+
+VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
+                                       std::vector<uint8_t>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chains_.find(oid);
+  if (it != chains_.end()) {
+    // Chains are ascending in commit_ts with any pending version (treated
+    // as +infinity) at the tail, so the first entry newer than the
+    // snapshot is the earliest one — exactly the state at snapshot_ts.
+    for (const Version& v : it->second) {
+      if (v.commit_ts <= snapshot_ts) continue;
+      if (v.creation) return VersionLookup::kInvisible;
+      ++stats_.snapshot_hits;
+      *out = v.pre_image;
+      return VersionLookup::kVersion;
+    }
+  }
+  ++stats_.snapshot_current;
+  return VersionLookup::kUseCurrent;
+}
+
+uint64_t VersionStore::GarbageCollect(const ReadViewRegistry& views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CollectLocked(views.OldestActive(last_commit_ts_));
+}
+
+uint64_t VersionStore::GarbageCollect(CommitTs oldest_snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CollectLocked(oldest_snapshot);
+}
+
+uint64_t VersionStore::CollectLocked(CommitTs oldest_snapshot) {
+  ++stats_.gc_passes;
+  uint64_t removed = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    std::vector<Version>& chain = it->second;
+    // A committed version at ts C is selected only by snapshots S < C;
+    // with S >= oldest_snapshot for every live ReadView, C <= oldest is
+    // unreachable. Committed versions are a chain prefix (pending at the
+    // tail), so this removes a prefix and order is preserved.
+    auto keep = std::find_if(chain.begin(), chain.end(),
+                             [oldest_snapshot](const Version& v) {
+                               return v.commit_ts > oldest_snapshot;
+                             });
+    removed += static_cast<uint64_t>(keep - chain.begin());
+    chain.erase(chain.begin(), keep);
+    if (chain.empty()) {
+      it = chains_.erase(it);
+      --stats_.live_chains;
+    } else {
+      ++it;
+    }
+  }
+  stats_.versions_gced += removed;
+  stats_.live_versions -= removed;
+  return removed;
+}
+
+VersionStoreStats VersionStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ocb

@@ -1,0 +1,159 @@
+/// \file version_store.h
+/// \brief Multi-version store of committed object pre-images.
+///
+/// The version store gives snapshot readers a consistent past to read
+/// while writers mutate the object store in place under strict 2PL. It
+/// reuses the undo-log discipline the Database already follows: the first
+/// time a transaction writes an object it records the object's committed
+/// pre-image. The version store receives the same pre-image as a *pending*
+/// version owned by the writing transaction:
+///
+///   * While the writer is in flight, the pending version shields readers
+///     from the writer's dirty in-place writes (a pending version behaves
+///     as if committed at time +infinity — visible to every snapshot).
+///   * At commit the writer stamps all its pending versions with one fresh
+///     commit timestamp drawn from the store's global counter; from then on
+///     only snapshots older than that timestamp read the pre-image.
+///   * At abort the pending versions are discarded (the object store is
+///     rolled back to the very same pre-image, so the chain needs nothing).
+///
+/// Visibility rule for a snapshot pinned at S reading object o: the state
+/// of o at S is the pre-image of the *earliest* version of o committed
+/// after S (chains are kept in commit order, so this is the first chain
+/// entry with commit_ts > S, pending counting as +infinity); if no such
+/// version exists the current object-store state is already correct. A
+/// version whose pre-image is "the object did not exist yet" (a creation)
+/// makes the object invisible to older snapshots.
+///
+/// Garbage collection removes committed versions no live snapshot can
+/// select: a version with commit_ts <= S_oldest (the oldest live ReadView,
+/// or the current commit timestamp when none is open) is unreachable.
+///
+/// Thread safety: the store is internally synchronized (one mutex); the
+/// Database additionally serializes writer publish against reader lookup
+/// under its facade latch so a chain lookup and the object-store read it
+/// may fall through to observe one consistent world.
+
+#ifndef OCB_CONCURRENCY_VERSION_STORE_H_
+#define OCB_CONCURRENCY_VERSION_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrency/transaction_context.h"
+#include "storage/types.h"
+
+namespace ocb {
+
+class ReadViewRegistry;
+
+/// Commit timestamp; 0 means "initial load" (visible to every snapshot).
+using CommitTs = uint64_t;
+
+/// Aggregate counters (monotonic except live_*; read via stats()).
+struct VersionStoreStats {
+  uint64_t versions_published = 0;  ///< Pending versions installed.
+  uint64_t versions_stamped = 0;    ///< Pending versions committed.
+  uint64_t versions_discarded = 0;  ///< Pending versions dropped on abort.
+  uint64_t versions_gced = 0;       ///< Committed versions reclaimed.
+  uint64_t gc_passes = 0;           ///< GarbageCollect invocations.
+  uint64_t snapshot_hits = 0;       ///< Reads served from a version chain.
+  uint64_t snapshot_current = 0;    ///< Reads that fell through to current.
+  uint64_t live_versions = 0;       ///< Versions currently held.
+  uint64_t live_chains = 0;         ///< Objects with at least one version.
+};
+
+/// Outcome of a snapshot lookup.
+enum class VersionLookup {
+  kUseCurrent,  ///< No version newer than the snapshot: read the store.
+  kVersion,     ///< The out-param bytes are the state at the snapshot.
+  kInvisible    ///< The object did not exist at the snapshot.
+};
+
+/// \brief Per-object chains of committed pre-images keyed by commit time.
+class VersionStore {
+ public:
+  VersionStore() = default;
+
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Installs a pending version of \p oid owned by \p txn holding the
+  /// committed pre-image \p pre_image. Call exactly once per object per
+  /// transaction, before the first in-place write (the caller's undo-log
+  /// dedup provides the once-ness). The owner must hold the object's X
+  /// lock, so at most one pending version per object exists at a time.
+  void PublishPreImage(TxnId txn, Oid oid, std::vector<uint8_t> pre_image);
+
+  /// Installs a pending *creation* version: \p oid did not exist before
+  /// the owning transaction. Same contract as PublishPreImage.
+  void PublishCreation(TxnId txn, Oid oid);
+
+  /// Commits every pending version of \p txn under one freshly drawn
+  /// commit timestamp, which is returned (and becomes the new latest()).
+  /// Must be called before the transaction's X locks are released so the
+  /// next writer of any of these objects appends behind the stamped
+  /// versions.
+  CommitTs StampCommitted(TxnId txn);
+
+  /// Drops every pending version of \p txn (abort path). The caller rolls
+  /// the object store back to the same pre-images, so readers keep seeing
+  /// the identical state throughout.
+  void DiscardPending(TxnId txn);
+
+  /// Latest commit timestamp handed out; a ReadView pinned at this value
+  /// sees every committed write and no in-flight one.
+  CommitTs latest() const;
+
+  /// Pins a snapshot at the current commit timestamp and registers it in
+  /// \p views, atomically with respect to StampCommitted and GarbageCollect
+  /// (both serialize on this store's mutex) — a concurrent GC pass can
+  /// never reclaim a version the newborn snapshot still needs. Returns the
+  /// pinned timestamp; wrap it in a ReadView and Close it when done.
+  CommitTs OpenSnapshot(ReadViewRegistry* views);
+
+  /// Resolves the state of \p oid for a snapshot pinned at \p snapshot_ts.
+  /// On kVersion, \p out receives the encoded pre-image bytes.
+  VersionLookup GetVisible(Oid oid, CommitTs snapshot_ts,
+                           std::vector<uint8_t>* out) const;
+
+  /// Reclaims every committed version no snapshot in \p views (nor any
+  /// future one) can select; returns the number removed. The oldest-open
+  /// computation happens under this store's mutex, pairing with
+  /// OpenSnapshot.
+  uint64_t GarbageCollect(const ReadViewRegistry& views);
+
+  /// Lower-level form: reclaims committed versions with
+  /// commit_ts <= \p oldest_snapshot. Deterministic-test hook.
+  uint64_t GarbageCollect(CommitTs oldest_snapshot);
+
+  VersionStoreStats stats() const;
+
+ private:
+  /// Sentinel commit_ts of a pending (uncommitted) version.
+  static constexpr CommitTs kPendingTs = ~CommitTs{0};
+
+  struct Version {
+    CommitTs commit_ts = kPendingTs;
+    TxnId owner = kInvalidTxnId;     ///< Valid while pending.
+    bool creation = false;           ///< Object absent before commit_ts.
+    std::vector<uint8_t> pre_image;  ///< Meaningful when !creation.
+  };
+
+  /// Shared implementation of both GarbageCollect forms; requires mu_.
+  uint64_t CollectLocked(CommitTs oldest_snapshot);
+
+  mutable std::mutex mu_;
+  /// Chain per object, ascending commit_ts, pending (if any) at the tail.
+  std::unordered_map<Oid, std::vector<Version>> chains_;
+  /// Objects with a pending version per transaction (stamp/discard sets).
+  std::unordered_map<TxnId, std::vector<Oid>> pending_by_txn_;
+  CommitTs last_commit_ts_ = 0;
+  mutable VersionStoreStats stats_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_VERSION_STORE_H_

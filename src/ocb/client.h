@@ -65,6 +65,12 @@ struct MultiClientReport {
   uint64_t total_lock_wait_nanos() const {
     return merged.cold.lock_wait_nanos + merged.warm.lock_wait_nanos;
   }
+  uint64_t total_read_only_commits() const {
+    return merged.cold.read_only_commits + merged.warm.read_only_commits;
+  }
+  uint64_t total_snapshot_reads() const {
+    return merged.cold.snapshot_reads + merged.warm.snapshot_reads;
+  }
   double abort_rate() const {
     const uint64_t committed =
         merged.cold.global.transactions + merged.warm.global.transactions;

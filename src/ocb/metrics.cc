@@ -17,6 +17,8 @@ void PhaseMetrics::Merge(const PhaseMetrics& other) {
   wall_micros += other.wall_micros;
   aborts += other.aborts;
   lock_wait_nanos += other.lock_wait_nanos;
+  read_only_commits += other.read_only_commits;
+  snapshot_reads += other.snapshot_reads;
 }
 
 std::string PhaseMetrics::ToTableString(const std::string& title) const {
@@ -47,6 +49,12 @@ std::string PhaseMetrics::ToTableString(const std::string& title) const {
     footer += Format("concurrency: %llu aborts (rate %.3f), lock wait %s\n",
                      (unsigned long long)aborts, abort_rate(),
                      HumanDuration(lock_wait_nanos).c_str());
+  }
+  if (read_only_commits > 0) {
+    footer += Format(
+        "mvcc: %llu snapshot transactions, %llu snapshot reads\n",
+        (unsigned long long)read_only_commits,
+        (unsigned long long)snapshot_reads);
   }
   return title + "\n" + t.ToString() + footer;
 }

@@ -63,6 +63,12 @@ struct PhaseMetrics {
   uint64_t aborts = 0;
   uint64_t lock_wait_nanos = 0;
 
+  /// MVCC behaviour (zero when snapshot reads are disabled): transactions
+  /// that ran as snapshot readers (pinned ReadView, no locks) and the
+  /// object reads they served through it.
+  uint64_t read_only_commits = 0;
+  uint64_t snapshot_reads = 0;
+
   void Merge(const PhaseMetrics& other);
 
   double mean_ios_per_transaction() const {

@@ -146,6 +146,8 @@ std::string WorkloadParameters::ToTableString() const {
   t.AddRow({"RAND5", "Transaction root object random distribution",
             dist5_roots.ToString()});
   t.AddRow({"CLIENTN", "Number of clients", Format("%u", client_count)});
+  t.AddRow({"MVCC", "Snapshot reads for read-only transactions",
+            mvcc_snapshot_reads ? "on" : "off"});
   return t.ToString();
 }
 

@@ -157,6 +157,14 @@ struct WorkloadParameters {
   /// keeps the seed's serialized path and its exact metrics.
   bool transactional = false;
 
+  /// On the transactional path, runs read-only transaction types (the
+  /// four traversals and Scan) as MVCC snapshot readers: a ReadView is
+  /// pinned at begin, reads resolve through the version store without
+  /// taking S locks, so readers never wait on writers and never abort.
+  /// Disable to measure the pure-2PL baseline (readers block behind
+  /// writers' X locks). Ignored on the legacy path.
+  bool mvcc_snapshot_reads = true;
+
   /// Reference type followed by hierarchy traversals (paper Fig. 3
   /// "Reference type" attribute). Default 1 = composition under
   /// Schema::DefaultTraits.

@@ -18,8 +18,15 @@ ProtocolRunner::ProtocolRunner(Database* db, const WorkloadParameters& params,
     std::shuffle(root_pool_.begin(), root_pool_.end(), pool_rng);
     root_pool_.resize(params_.root_pool_size);
   }
-  executor_.set_transactional(params_.transactional ||
-                              params_.client_count > 1);
+  const bool txn_mode = params_.transactional || params_.client_count > 1;
+  executor_.set_transactional(txn_mode);
+  if (txn_mode) {
+    // Propagate the MVCC choice to the database so a disabled run (the
+    // pure-2PL baseline) skips version publication entirely. All clients
+    // of one run share the same parameters, so concurrent construction
+    // writes the same value.
+    db_->SetMvccEnabled(params_.mvcc_snapshot_reads);
+  }
 }
 
 Oid ProtocolRunner::DrawRoot() {
@@ -74,6 +81,8 @@ Status ProtocolRunner::RunPhase(uint64_t count, PhaseMetrics* out) {
       return result.status();
     }
     out->lock_wait_nanos += result->lock_wait_nanos;
+    out->snapshot_reads += result->snapshot_reads;
+    if (result->read_only && !result->aborted) ++out->read_only_commits;
     if (result->aborted) {
       // Deadlock victim (or lock timeout): the txn rolled back — its root
       // is still live and nothing it did counts toward the aggregates.

@@ -2,6 +2,22 @@
 
 namespace ocb {
 
+bool IsReadOnlyTransactionType(TransactionType type) {
+  switch (type) {
+    case TransactionType::kSetOriented:
+    case TransactionType::kSimpleTraversal:
+    case TransactionType::kHierarchyTraversal:
+    case TransactionType::kStochasticTraversal:
+    case TransactionType::kScan:
+      return true;
+    case TransactionType::kUpdate:
+    case TransactionType::kInsert:
+    case TransactionType::kDelete:
+      return false;
+  }
+  return false;
+}
+
 TransactionType TransactionExecutor::DrawType(LewisPayneRng* rng) const {
   const double u = rng->NextDouble();
   double cumulative = params_.p_set;
@@ -156,12 +172,18 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
       db_->disk()->counters(IoScope::kTransaction).reads;
 
   // Transaction bracket: the 2PL path begins a real transaction (locks +
-  // undo log); the legacy path only notifies the observer.
+  // undo log); read-only types become MVCC snapshot readers when enabled;
+  // the legacy path only notifies the observer.
   std::unique_ptr<TransactionContext> txn;
   txn_failure_ = Status::OK();
   if (transactional_) {
-    txn = db_->BeginTxn();
+    const bool read_only =
+        params_.mvcc_snapshot_reads && IsReadOnlyTransactionType(type);
+    txn = db_->BeginTxn(read_only);
     txn_ = txn.get();
+    // BeginTxn downgrades to a locking txn when MVCC is disabled
+    // database-wide; report what actually ran.
+    result.read_only = txn->read_only();
   } else {
     txn_ = nullptr;
     db_->BeginTransaction();
@@ -171,6 +193,7 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
   auto finish = [&](bool rolled_back) {
     if (transactional_) {
       result.lock_wait_nanos = txn->lock_wait_nanos();
+      result.snapshot_reads = txn->snapshot_reads();
       if (rolled_back) {
         db_->AbortTxn(txn.get());
       } else {
@@ -273,7 +296,13 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
     }
     case TransactionType::kScan: {
       // Sequential scan of the root's class extent (HyperModel-style);
-      // latched copy first — a concurrent client may mutate it.
+      // latched copy first — a concurrent client may mutate it. Under
+      // MVCC the *member objects* read snapshot-consistently, but the
+      // membership list itself is the current extent (extents are not
+      // versioned): an object deleted or created by a concurrent txn may
+      // be missing from / extra in the walk. Snapshot-invisible members
+      // come back NotFound and are skipped. See ROADMAP "versioned
+      // extents".
       const std::vector<Oid> extent =
           db_->ExtentSnapshot(root_obj->class_id);
       for (Oid member : extent) {

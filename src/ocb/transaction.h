@@ -36,11 +36,17 @@ struct TransactionResult {
   Oid root = kInvalidOid;
   bool reversed = false;
   bool aborted = false;     ///< Deadlock victim / lock timeout, rolled back.
+  bool read_only = false;   ///< Ran as an MVCC snapshot reader (ReadView).
   uint64_t objects_accessed = 0;
   uint64_t sim_nanos = 0;   ///< Simulated response time.
   uint64_t io_reads = 0;    ///< Transaction-scope page reads incurred.
   uint64_t lock_wait_nanos = 0;  ///< Wall time blocked on object locks.
+  uint64_t snapshot_reads = 0;   ///< Reads served through the ReadView.
 };
+
+/// True for transaction types that only read (the four traversals and
+/// Scan): candidates for MVCC snapshot execution.
+bool IsReadOnlyTransactionType(TransactionType type);
 
 /// \brief Executes OCB transactions against a Database.
 ///
@@ -48,9 +54,11 @@ struct TransactionResult {
 /// (each with its own RNG). In *transactional* mode every Execute runs
 /// inside a Database transaction: object locks via strict 2PL, undo-log
 /// rollback when the transaction is chosen as a deadlock victim (reported
-/// through TransactionResult::aborted, not an error status). In the
-/// default legacy mode Execute behaves exactly as the seed did — facade-
-/// serialized, never aborted.
+/// through TransactionResult::aborted, not an error status). Read-only
+/// transaction types additionally run as MVCC snapshot readers when
+/// WorkloadParameters::mvcc_snapshot_reads is set — no S locks, no lock
+/// waits, no aborts. In the default legacy mode Execute behaves exactly
+/// as the seed did — facade-serialized, never aborted.
 class TransactionExecutor {
  public:
   TransactionExecutor(Database* db, const WorkloadParameters& params)

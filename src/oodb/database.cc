@@ -1,6 +1,7 @@
 #include "oodb/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/format.h"
 
@@ -12,6 +13,27 @@ Database::Database(const StorageOptions& options) : options_(options) {
   store_ = std::make_unique<ObjectStore>(pool_.get());
 }
 
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_stop_ = true;
+  }
+  gc_cv_.notify_all();
+  if (gc_thread_.joinable()) gc_thread_.join();
+}
+
+void Database::GcLoop() {
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  while (!gc_stop_) {
+    gc_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (gc_stop_) break;
+    // The pass is cheap when nothing committed since the last one; the
+    // version store serializes against OpenSnapshot, so a newborn
+    // ReadView can never lose a version it still needs.
+    version_store_.GarbageCollect(read_views_);
+  }
+}
+
 void Database::SetSchema(Schema schema) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   schema_ = std::move(schema);
@@ -19,9 +41,21 @@ void Database::SetSchema(Schema schema) {
 
 // --- Transaction lifecycle ---
 
-std::unique_ptr<TransactionContext> Database::BeginTxn() {
+std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
+  // The GC thread exists only once someone transacts: legacy
+  // single-client users (generators, the seed benches) never pay for it.
+  std::call_once(gc_once_, [this]() {
+    gc_thread_ = std::thread([this]() { GcLoop(); });
+  });
+  // Without MVCC, a "read-only" txn is just a locking txn that happens
+  // not to write — the pure-2PL baseline.
+  if (!mvcc_enabled()) read_only = false;
   auto txn = std::make_unique<TransactionContext>(
-      next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed), read_only);
+  if (read_only) {
+    // Pin the ReadView atomically against commit stamping and GC.
+    txn->snapshot_ts_ = version_store_.OpenSnapshot(&read_views_);
+  }
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (observer_ != nullptr) observer_->OnTransactionBegin();
   return txn;
@@ -35,6 +69,15 @@ Status Database::CommitTxn(TransactionContext* txn) {
                TxnStateToString(txn->state())));
   }
   txn->state_ = TxnState::kCommitted;
+  if (txn->read_only()) {
+    read_views_.Close(ReadView{txn->snapshot_ts_});
+    gc_cv_.notify_all();  // The oldest snapshot may have advanced.
+  } else if (!txn->undo_log_.empty() && mvcc_enabled()) {
+    // Stamp before releasing any lock: the next writer of these objects
+    // must append its pending version *behind* this commit in the chains.
+    // Pure readers on the locking path allocate no timestamp.
+    version_store_.StampCommitted(txn->id());
+  }
   txn->undo_log_.clear();
   txn->undo_logged_.clear();
   lock_manager_.ReleaseAll(txn);
@@ -49,6 +92,14 @@ Status Database::AbortTxn(TransactionContext* txn) {
     return Status::InvalidArgument(
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
                TxnStateToString(txn->state())));
+  }
+  if (txn->read_only()) {
+    read_views_.Close(ReadView{txn->snapshot_ts_});
+    gc_cv_.notify_all();
+    txn->state_ = TxnState::kAborted;
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (observer_ != nullptr) observer_->OnTransactionAbort();
+    return Status::OK();
   }
   Status first_failure = Status::OK();
   {
@@ -86,6 +137,9 @@ Status Database::AbortTxn(TransactionContext* txn) {
     }
     log.clear();
     txn->undo_logged_.clear();
+    // The store now holds the pre-images again; drop the pending versions
+    // in the same latch section so readers see one consistent world.
+    version_store_.DiscardPending(txn->id());
     if (observer_ != nullptr) observer_->OnTransactionAbort();
   }
   txn->state_ = TxnState::kAborted;
@@ -106,13 +160,53 @@ void Database::RecordPreImage(TransactionContext* txn, const Object& obj) {
   record.oid = obj.oid;
   record.class_id = obj.class_id;
   obj.EncodeTo(&record.pre_image);
+  // The same committed pre-image becomes a pending version: from here to
+  // commit/abort it shields snapshot readers from this txn's in-place
+  // writes (we are inside the latch, before the first write — the publish
+  // and the write are one atomic step for readers).
+  if (mvcc_enabled()) {
+    version_store_.PublishPreImage(txn->id(), obj.oid, record.pre_image);
+  }
   txn->undo_log_.push_back(std::move(record));
+}
+
+Result<Object> Database::SnapshotRead(TransactionContext* txn, Oid oid) {
+  std::vector<uint8_t> bytes;
+  switch (version_store_.GetVisible(oid, txn->snapshot_ts_, &bytes)) {
+    case VersionLookup::kInvisible:
+      return Status::NotFound(
+          Format("oid %llu not visible at snapshot %llu",
+                 (unsigned long long)oid,
+                 (unsigned long long)txn->snapshot_ts_));
+    case VersionLookup::kVersion: {
+      ++txn->snapshot_reads_;
+      OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+      obj.oid = oid;
+      return obj;
+    }
+    case VersionLookup::kUseCurrent:
+      break;
+  }
+  ++txn->snapshot_reads_;
+  return ReadDecode(oid);
+}
+
+Status Database::RefuseReadOnly(const TransactionContext* txn,
+                                const char* op) {
+  if (txn != nullptr && txn->read_only()) {
+    return Status::InvalidArgument(
+        Format("%s refused: txn %llu is read-only (snapshot %llu)", op,
+               (unsigned long long)txn->id(),
+               (unsigned long long)txn->snapshot_ts()));
+  }
+  return Status::OK();
 }
 
 // --- Object operations ---
 
 Result<Oid> Database::CreateObject(TransactionContext* txn,
                                    ClassId class_id) {
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "CreateObject"));
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (class_id >= schema_.class_count()) {
     return Status::InvalidArgument(
@@ -140,6 +234,8 @@ Result<Oid> Database::CreateObject(TransactionContext* txn,
     record.class_id = class_id;
     txn->undo_log_.push_back(std::move(record));
     txn->undo_logged_.insert(oid);
+    // Snapshot readers born before this commit must not see the object.
+    if (mvcc_enabled()) version_store_.PublishCreation(txn->id(), oid);
     // A fresh oid is unknown to every other transaction, so this grant
     // never blocks (the lock-manager mutex nests safely under the latch).
     OCB_RETURN_NOT_OK(
@@ -163,6 +259,13 @@ Status Database::WriteEncoded(Oid oid, const Object& object) {
 }
 
 Result<Object> Database::GetObject(TransactionContext* txn, Oid oid) {
+  if (txn != nullptr && txn->read_only()) {
+    // MVCC path: no lock — resolve against the ReadView under the latch.
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OCB_ASSIGN_OR_RETURN(Object obj, SnapshotRead(txn, oid));
+    if (observer_ != nullptr) observer_->OnObjectAccess(oid);
+    return obj;
+  }
   OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
@@ -177,6 +280,7 @@ Result<Object> Database::PeekObject(Oid oid) {
 
 Status Database::SetReference(TransactionContext* txn, Oid from,
                               uint32_t slot, Oid to) {
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
   // The txn path's atomicity comes from the X locks acquired below, which
   // let the latch be dropped between the source read and the mutation. The
   // legacy path has no object locks, so it must hold the (recursive) latch
@@ -264,6 +368,13 @@ Status Database::SetReference(TransactionContext* txn, Oid from,
 
 Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
                                    RefTypeId type, bool reverse) {
+  if (txn != nullptr && txn->read_only()) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
+    OCB_ASSIGN_OR_RETURN(Object obj, SnapshotRead(txn, to));
+    if (observer_ != nullptr) observer_->OnObjectAccess(to);
+    return obj;
+  }
   OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kShared));
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
@@ -273,6 +384,7 @@ Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
 }
 
 Status Database::PutObject(TransactionContext* txn, const Object& object) {
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "PutObject"));
   if (object.oid == kInvalidOid) {
     return Status::InvalidArgument("PutObject requires a valid oid");
   }
@@ -287,6 +399,7 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
 }
 
 Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
   OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
   if (txn != nullptr) {
     // Lock the whole neighborhood up front (the X on `oid` freezes its

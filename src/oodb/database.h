@@ -17,11 +17,23 @@
 ///     (release) or AbortTxn (rollback + release). Conflicting CLIENTN
 ///     clients therefore interleave with real isolation; deadlocks abort
 ///     exactly one victim (Status::Aborted).
+///   * *MVCC snapshot readers* — BeginTxn(read_only=true) additionally
+///     pins a ReadView at the current commit timestamp. Reads of such a
+///     transaction bypass the lock manager entirely and resolve through
+///     the VersionStore: each committed write publishes its pre-image
+///     (reusing the undo-log machinery) keyed by a global commit
+///     timestamp, so a snapshot reader always sees the database exactly as
+///     of its ReadView — no lock waits, no deadlock aborts, repeatable
+///     reads. Writers keep strict 2PL, so write-write conflict and
+///     rollback semantics are unchanged. Versions older than the oldest
+///     live ReadView are reclaimed by a background GC thread.
 ///   * *Legacy path* — the historical non-txn signatures remain and behave
 ///     exactly as before: each call serializes on the facade mutex with no
 ///     object locks and no undo logging. Generators, reorganizers and the
 ///     single-client benches use this path, byte-for-byte identical to the
-///     pre-lock-manager behaviour.
+///     pre-lock-manager behaviour. Legacy writes bypass the version store
+///     (they allocate no commit timestamp), so snapshot readers must not
+///     run concurrently with them — the benches never mix the two.
 ///
 /// The facade mutex survives as a short-duration *latch*: the storage
 /// substrate (DiskSim/BufferPool/ObjectStore) is single-threaded, so every
@@ -33,12 +45,16 @@
 #define OCB_OODB_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "concurrency/lock_manager.h"
+#include "concurrency/read_view.h"
 #include "concurrency/transaction_context.h"
+#include "concurrency/version_store.h"
 #include "oodb/object.h"
 #include "oodb/schema.h"
 #include "storage/buffer_pool.h"
@@ -82,6 +98,7 @@ class AccessObserver {
 class Database {
  public:
   explicit Database(const StorageOptions& options);
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -98,15 +115,24 @@ class Database {
   /// OnTransactionBegin. Pass the context to the txn overloads below;
   /// finish with CommitTxn or AbortTxn (mandatory — locks are held until
   /// then).
-  std::unique_ptr<TransactionContext> BeginTxn();
+  ///
+  /// With \p read_only set, the transaction is an MVCC snapshot reader: a
+  /// ReadView is pinned at the current commit timestamp, reads bypass the
+  /// lock manager (never blocking, never deadlocking) and resolve through
+  /// the version store, and every write operation is refused with
+  /// InvalidArgument. Finish with CommitTxn/AbortTxn as usual (either
+  /// closes the ReadView).
+  std::unique_ptr<TransactionContext> BeginTxn(bool read_only = false);
 
-  /// Commits: releases all locks, fires OnTransactionEnd. The undo log is
+  /// Commits: stamps the transaction's published versions with a fresh
+  /// commit timestamp (making them visible history for snapshot readers),
+  /// releases all locks, fires OnTransactionEnd. The undo log is
   /// discarded.
   Status CommitTxn(TransactionContext* txn);
 
   /// Aborts: replays the undo log in reverse (restoring pre-images and
-  /// deleting created objects), releases all locks, fires
-  /// OnTransactionAbort.
+  /// deleting created objects), discards the transaction's pending
+  /// versions, releases all locks, fires OnTransactionAbort.
   Status AbortTxn(TransactionContext* txn);
 
   // --- Object operations ---
@@ -179,7 +205,29 @@ class Database {
   DiskSim* disk() { return disk_.get(); }
   SimClock* sim_clock() { return &clock_; }
   LockManager* lock_manager() { return &lock_manager_; }
+  VersionStore* version_store() { return &version_store_; }
+  ReadViewRegistry* read_views() { return &read_views_; }
   const StorageOptions& options() const { return options_; }
+
+  /// Runs one version-store GC pass right now (the background thread does
+  /// this periodically; tests call it for deterministic reclamation).
+  /// Returns the number of versions reclaimed.
+  uint64_t CollectVersionGarbage() {
+    return version_store_.GarbageCollect(read_views_);
+  }
+
+  /// Globally enables/disables MVCC (default on). When disabled, writers
+  /// stop publishing versions (no version-store copies, stamps, or GC
+  /// work) and BeginTxn(read_only=true) silently falls back to a plain
+  /// locking transaction — the pure-2PL baseline bench_multiclient
+  /// measures. Flip only while no transaction is in flight: versions
+  /// published before the flip would never be stamped after it.
+  void SetMvccEnabled(bool on) {
+    mvcc_enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool mvcc_enabled() const {
+    return mvcc_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Number of live objects.
   uint64_t object_count() const;
@@ -214,7 +262,8 @@ class Database {
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
 
-  /// Appends a kRestore undo record holding \p obj's current encoding —
+  /// Appends a kRestore undo record holding \p obj's current encoding and
+  /// publishes the same bytes as a pending version in the version store —
   /// once per oid per txn (undo restores the earliest state). No-op when
   /// \p txn is null.
   void RecordPreImage(TransactionContext* txn, const Object& obj);
@@ -222,6 +271,18 @@ class Database {
   /// Acquires \p mode on \p oid for \p txn via the lock manager; no-op
   /// when \p txn is null. Must be called *outside* the latch (it blocks).
   Status LockFor(TransactionContext* txn, Oid oid, LockMode mode);
+
+  /// Snapshot read for a read-only txn: resolves \p oid through the
+  /// version store at the txn's ReadView (under the latch, so the chain
+  /// lookup and any store fall-through see one consistent world).
+  Result<Object> SnapshotRead(TransactionContext* txn, Oid oid);
+
+  /// Rejects write operations issued through a read-only txn.
+  Status RefuseReadOnly(const TransactionContext* txn, const char* op);
+
+  /// Background version-GC loop: wakes every few milliseconds (or when
+  /// prodded) and reclaims versions older than the oldest live ReadView.
+  void GcLoop();
 
   StorageOptions options_;
   SimClock clock_;
@@ -231,8 +292,21 @@ class Database {
   Schema schema_;
   AccessObserver* observer_ = nullptr;
   LockManager lock_manager_;
+  VersionStore version_store_;
+  ReadViewRegistry read_views_;
+  std::atomic<bool> mvcc_enabled_{true};
   std::atomic<TxnId> next_txn_id_{1};
   std::recursive_mutex mutex_;
+
+  // Background version GC. Started lazily by the first BeginTxn (legacy
+  // single-client users never pay for the thread), joined in the
+  // destructor — declared last so the thread never outlives the state it
+  // touches.
+  std::once_flag gc_once_;
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;
+  std::thread gc_thread_;
 };
 
 }  // namespace ocb

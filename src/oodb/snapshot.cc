@@ -79,6 +79,15 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 Status SaveSnapshot(Database* db, const std::string& path) {
   std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  // An in-flight transaction holding locks means the pages (and the undo
+  // state that would repair them) are mid-flight too: a snapshot taken now
+  // would capture uncommitted writes with no way to roll them back on
+  // load. Refuse instead of persisting a torn database.
+  if (db->lock_manager()->locked_object_count() > 0) {
+    return Status::InvalidArgument(
+        "SaveSnapshot refused: in-flight transactions hold object locks; "
+        "commit or abort them first");
+  }
   OCB_RETURN_NOT_OK(db->buffer_pool()->FlushAll());
 
   FilePtr file(std::fopen(path.c_str(), "wb"));

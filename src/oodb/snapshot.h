@@ -29,6 +29,11 @@
 namespace ocb {
 
 /// \brief Flushes \p db and writes a complete snapshot to \p path.
+///
+/// Refuses (InvalidArgument) while any transaction holds object locks:
+/// their uncommitted in-place writes would be persisted with no undo log
+/// to repair them on load. Quiesce the workload (commit or abort every
+/// in-flight transaction) first.
 Status SaveSnapshot(Database* db, const std::string& path);
 
 /// \brief Loads a snapshot into \p db, which must be freshly constructed

@@ -164,6 +164,84 @@ TEST(LockManagerTest, TimeoutBackstopAborts) {
   lm.ReleaseAll(&waiter);
 }
 
+// --- Deadlock-policy regression locks (groundwork for wound-wait) -------
+//
+// The current policy: the transaction whose wait would *close* a cycle is
+// refused on the spot — sleepers are never woken to die, so each cycle
+// costs exactly one victim. These tests pin that contract (and FIFO
+// fairness across an abort) so a future wound-wait / youngest-victim
+// option has a behavioural baseline to diff against.
+
+TEST(LockManagerTest, ThreeTxnCycleAbortsOnlyTheCycleCloser) {
+  constexpr Oid kC = 3;
+  LockManager lm;
+  TransactionContext t1(1), t2(2), t3(3);
+  ASSERT_TRUE(lm.Acquire(&t1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(&t2, kB, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(&t3, kC, LockMode::kExclusive).ok());
+
+  // t1 → B (t2) and t2 → C (t3) wait without forming a cycle.
+  Status s1, s2;
+  std::thread w1([&]() { s1 = lm.Acquire(&t1, kB, LockMode::kExclusive); });
+  WaitForWaits(lm, 1);
+  std::thread w2([&]() { s2 = lm.Acquire(&t2, kC, LockMode::kExclusive); });
+  WaitForWaits(lm, 2);
+
+  // t3 → A closes the 3-cycle: t3 — and only t3 — is the victim.
+  Status s3 = lm.Acquire(&t3, kA, LockMode::kExclusive);
+  EXPECT_TRUE(s3.IsAborted()) << s3.ToString();
+  EXPECT_EQ(lm.stats().deadlocks, 1u);
+
+  // The victim's release unwinds the chain; both sleepers survive.
+  lm.ReleaseAll(&t3);
+  w2.join();
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  lm.ReleaseAll(&t2);
+  w1.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  lm.ReleaseAll(&t1);
+  EXPECT_EQ(lm.stats().deadlocks, 1u);  // Still exactly one.
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, FifoOrderSurvivesVictimAbort) {
+  // Two writers queue FIFO behind a holder; the holder then aborts (as a
+  // deadlock victim elsewhere would). The *first* waiter must be granted
+  // next — an abort must not let later waiters overtake.
+  LockManager lm;
+  TransactionContext holder(1), first(2), second(3);
+  ASSERT_TRUE(lm.Acquire(&holder, kA, LockMode::kExclusive).ok());
+
+  std::atomic<bool> first_granted{false};
+  std::atomic<bool> second_granted{false};
+  Status s_first, s_second;
+  std::thread w1([&]() {
+    s_first = lm.Acquire(&first, kA, LockMode::kExclusive);
+    first_granted = true;
+  });
+  WaitForWaits(lm, 1);
+  std::thread w2([&]() {
+    s_second = lm.Acquire(&second, kA, LockMode::kExclusive);
+    second_granted = true;
+  });
+  WaitForWaits(lm, 2);
+
+  lm.ReleaseAll(&holder);  // The "victim" aborts.
+  w1.join();
+  EXPECT_TRUE(s_first.ok()) << s_first.ToString();
+  EXPECT_TRUE(first.HoldsLock(kA, LockMode::kExclusive));
+  // The later waiter is still queued behind the new holder.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_granted);
+
+  lm.ReleaseAll(&first);
+  w2.join();
+  EXPECT_TRUE(s_second.ok()) << s_second.ToString();
+  lm.ReleaseAll(&second);
+  EXPECT_EQ(lm.stats().deadlocks, 0u);  // Pure FIFO run, no cycles.
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
 TEST(LockManagerTest, FifoPreventsWriterStarvation) {
   LockManager lm;
   TransactionContext r1(1), writer(2), r2(3);

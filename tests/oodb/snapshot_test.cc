@@ -114,6 +114,41 @@ TEST_F(SnapshotTest, LoadedDatabaseAcceptsNewObjects) {
   EXPECT_GT(*fresh, max_before);  // Oid allocation continues, no reuse.
 }
 
+TEST_F(SnapshotTest, SaveRefusesWhileTransactionsHoldLocks) {
+  // A transaction with an uncommitted write (X lock held) makes the page
+  // images torn; SaveSnapshot must refuse rather than persist them.
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+  const Oid victim = db.object_store()->LiveOids().front();
+
+  auto txn = db.BeginTxn();
+  auto obj = db.PeekObject(victim);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(db.PutObject(txn.get(), obj.value()).ok());  // X lock held.
+  EXPECT_TRUE(SaveSnapshot(&db, path_).IsInvalidArgument());
+
+  // Quiesced (committed), the same save succeeds and loads back clean.
+  ASSERT_TRUE(db.CommitTxn(txn.get()).ok());
+  ASSERT_TRUE(SaveSnapshot(&db, path_).ok());
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+  EXPECT_EQ(loaded.object_count(), db.object_count());
+}
+
+TEST_F(SnapshotTest, SaveRefusesWhileReaderTransactionHoldsSLocks) {
+  // Even a pure reader on the locking path pins the lock table; the
+  // snapshot gate keys on held locks, not on writes.
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+  const Oid any = db.object_store()->LiveOids().front();
+
+  auto txn = db.BeginTxn();
+  ASSERT_TRUE(db.GetObject(txn.get(), any).ok());  // S lock held.
+  EXPECT_TRUE(SaveSnapshot(&db, path_).IsInvalidArgument());
+  ASSERT_TRUE(db.AbortTxn(txn.get()).ok());
+  EXPECT_TRUE(SaveSnapshot(&db, path_).ok());
+}
+
 TEST_F(SnapshotTest, RejectsNonEmptyTarget) {
   Database original(TestOptions());
   ASSERT_TRUE(GenerateDatabase(SmallDb(), &original).ok());
