@@ -1,147 +1,229 @@
 /// \file bench_multiclient.cc
 /// \brief Ext-5: the multi-user mode (paper §3.1 calls OCB's multi-user
 ///        support "almost unique"). Sweeps CLIENTN over a shared database
-///        and, for every CLIENTN > 1, runs the same read-heavy mix twice:
-///        once pure-2PL (readers take S locks and queue behind writers)
-///        and once with MVCC snapshot reads (read-only transactions pin a
-///        ReadView and bypass the lock manager). The interesting columns
-///        are cumulative lock-wait time and abort count: snapshot readers
-///        wait for nothing and can never be deadlock victims, so both
-///        should collapse relative to the 2PL-only rows.
+///        and runs every point in a grid of two axes:
+///
+///   * concurrency mode — pure-2PL (readers take S locks and queue behind
+///     writers) vs MVCC snapshot reads (read-only transactions pin a
+///     ReadView and bypass the lock manager);
+///   * latching mode — *facade* (SetSerializedPhysical: every operation
+///     serializes on one big latch, physical I/O included — the
+///     pre-refactor substrate) vs *page* (striped buffer pool + per-frame
+///     latches; the catalog latch covers metadata only).
+///
+/// The latch axis is the before/after comparison of the per-page-latching
+/// refactor: the "Facade wait" and "Page wait" columns report how long
+/// client threads spent blocked on each latch class (thread-local
+/// accounting, see storage/latch.h). Under the facade substrate the wait
+/// is one big convoy; with page latches it should collapse by well over
+/// 5x while throughput rises, because non-conflicting transactions overlap
+/// their buffer-pool and miss-I/O work.
 ///
 /// The mix mirrors the paper's workload matrix: traversals dominate, a
 /// modest write share (update/insert/delete) supplies the X locks that
 /// make 2PL readers queue in the first place.
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_util.h"
 #include "ocb/client.h"
 #include "ocb/generator.h"
 #include "ocb/presets.h"
+#include "oodb/snapshot.h"
 
 int main() {
   using namespace ocb;
 
   bench::PrintHeader("Ext-5",
-                     "multi-client scaling (CLIENTN sweep, 2PL vs MVCC)");
+                     "multi-client scaling (CLIENTN sweep, 2PL vs MVCC, "
+                     "facade-latch vs page-latch)");
 
-  TextTable table({"Clients", "Mode", "Committed", "Aborted", "Abort rate",
-                   "Lock wait", "Snapshot reads", "Mean I/Os/attempt",
-                   "Hit ratio", "Wall time", "Throughput (txn/s)"});
+  // Every grid point runs over an identically generated database.
+  // Generation is by far the most expensive step, so generate once and
+  // re-load the snapshot per point (exactly the campaign workflow the
+  // snapshot subsystem exists for).
+  StorageOptions storage;
+  storage.buffer_pool_pages = 256;
+  const std::string snapshot_path = "bench_multiclient.ocbsnap";
+  {
+    Database generated(storage);
+    OcbPreset preset = presets::Default();
+    preset.database.num_objects = 6000;
+    preset.database.seed = 29;
+    if (!GenerateDatabase(preset.database, &generated).ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return 1;
+    }
+    if (!SaveSnapshot(&generated, snapshot_path).ok()) {
+      std::fprintf(stderr, "snapshot save failed\n");
+      return 1;
+    }
+  }
+
+  TextTable table({"Clients", "Mode", "Latching", "Committed", "Aborted",
+                   "Lock wait", "Facade wait", "Page wait",
+                   "Mean I/Os/attempt", "Hit ratio", "Wall time",
+                   "Throughput (txn/s)"});
   std::vector<std::string> per_client_lines;
   std::vector<std::string> gc_lines;
+  struct RunPoint {
+    double throughput = 0.0;
+    uint64_t facade_wait = 0;
+    uint64_t page_wait = 0;
+  };
+  // (clients, mode, page_latches) → outcome, for the summary comparison.
+  std::map<std::tuple<uint32_t, std::string, bool>, RunPoint> points;
+
   for (uint32_t clients : std::vector<uint32_t>{1, 2, 4, 8}) {
-    // CLIENTN=1 keeps the seed's serialized legacy path (one row); every
-    // multi-client CLIENTN runs both concurrency modes over fresh,
-    // identically generated databases.
+    // CLIENTN=1 keeps the seed's serialized legacy path; every
+    // multi-client CLIENTN runs both concurrency modes. Every point runs
+    // under both latching substrates over fresh, identically generated
+    // databases.
     const int modes = clients == 1 ? 1 : 2;
     for (int mode = 0; mode < modes; ++mode) {
       const bool mvcc = mode == 1;
-      StorageOptions storage;
-      storage.buffer_pool_pages = 256;
-      Database db(storage);
-      OcbPreset preset = presets::Default();
-      preset.database.num_objects = 6000;
-      preset.database.seed = 29;
-      if (!GenerateDatabase(preset.database, &db).ok()) {
-        std::fprintf(stderr, "generation failed\n");
-        return 1;
-      }
-      if (!db.ColdRestart().ok()) return 1;
+      for (const bool page_latches : {false, true}) {
+        Database db(storage);
+        if (!LoadSnapshot(&db, snapshot_path).ok()) {
+          std::fprintf(stderr, "snapshot load failed\n");
+          return 1;
+        }
+        // The latch substrate under test.
+        db.SetSerializedPhysical(!page_latches);
+        if (!db.ColdRestart().ok()) return 1;
 
-      preset.workload.client_count = clients;
-      preset.workload.cold_transactions = 100;
-      preset.workload.hot_transactions = 400;
-      preset.workload.seed = 31;
-      // Read-heavy mix (the paper's traversal-dominated matrix) with
-      // enough writes that 2PL readers genuinely queue behind X locks.
-      preset.workload.p_set = 0.22;
-      preset.workload.p_simple = 0.22;
-      preset.workload.p_hierarchy = 0.18;
-      preset.workload.p_stochastic = 0.18;
-      preset.workload.p_update = 0.12;
-      preset.workload.p_insert = 0.05;
-      preset.workload.p_delete = 0.03;
-      preset.workload.mvcc_snapshot_reads = mvcc;
-      // Per-transaction I/O is computed from the disk's own counters over
-      // the whole run: per-client deltas overlap under concurrency (see
-      // client.h), the device-level count does not.
-      const uint64_t reads_before =
-          db.disk()->counters(IoScope::kTransaction).reads;
-      auto report = RunMultiClient(&db, preset.workload);
-      if (!report.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     report.status().ToString().c_str());
-        return 1;
-      }
-      const uint64_t reads =
-          db.disk()->counters(IoScope::kTransaction).reads - reads_before;
-      const uint64_t txns = report->merged.cold.global.transactions +
-                            report->merged.warm.global.transactions;
-      // Device-level reads include aborted transactions' work and their
-      // undo-log rollback, so normalize by *attempted* transactions — the
-      // committed-only divisor would inflate with the abort rate.
-      const uint64_t attempted = txns + report->total_aborts();
-      const char* mode_name =
-          clients == 1 ? "legacy" : (mvcc ? "MVCC" : "2PL-only");
-      table.AddRow(
-          {Format("%u", clients), mode_name,
-           Format("%llu", (unsigned long long)txns),
-           Format("%llu", (unsigned long long)report->total_aborts()),
-           Format("%.3f", report->abort_rate()),
-           HumanDuration(report->total_lock_wait_nanos()),
-           Format("%llu",
-                  (unsigned long long)report->total_snapshot_reads()),
-           Format("%.2f", attempted == 0
-                              ? 0.0
-                              : static_cast<double>(reads) /
-                                    static_cast<double>(attempted)),
-           Format("%.3f", report->merged.warm.buffer_hit_ratio()),
-           HumanDuration(report->wall_micros * 1000),
-           Format("%.0f", report->throughput_tps())});
-      if (clients > 1) {
-        const VersionStoreStats vs = db.version_store()->stats();
-        gc_lines.push_back(Format(
-            "  CLIENTN=%u %s: %llu versions published, %llu GC'd over "
-            "%llu passes, %llu live at end; %llu snapshot txns",
-            clients, mode_name,
-            (unsigned long long)vs.versions_published,
-            (unsigned long long)vs.versions_gced,
-            (unsigned long long)vs.gc_passes,
-            (unsigned long long)vs.live_versions,
-            (unsigned long long)report->total_read_only_commits()));
-        for (const ClientOutcome& c : report->per_client) {
-          per_client_lines.push_back(Format(
-              "  CLIENTN=%u %s client %u: %llu committed, %llu aborted, "
-              "lock wait %s, %.0f txn/s",
-              clients, mode_name, c.client_id,
-              (unsigned long long)c.committed, (unsigned long long)c.aborts,
-              HumanDuration(c.lock_wait_nanos).c_str(),
-              c.throughput_tps()));
+        OcbPreset preset = presets::Default();
+        preset.workload.client_count = clients;
+        preset.workload.cold_transactions = 100;
+        preset.workload.hot_transactions = 400;
+        preset.workload.seed = 31;
+        // Read-heavy mix (the paper's traversal-dominated matrix) with
+        // enough writes that 2PL readers genuinely queue behind X locks.
+        preset.workload.p_set = 0.22;
+        preset.workload.p_simple = 0.22;
+        preset.workload.p_hierarchy = 0.18;
+        preset.workload.p_stochastic = 0.18;
+        preset.workload.p_update = 0.12;
+        preset.workload.p_insert = 0.05;
+        preset.workload.p_delete = 0.03;
+        preset.workload.mvcc_snapshot_reads = mvcc;
+        // Per-transaction I/O is computed from the disk's own counters
+        // over the whole run: per-client deltas overlap under concurrency
+        // (see client.h), the device-level count does not.
+        const uint64_t reads_before =
+            db.disk()->counters(IoScope::kTransaction).reads;
+        auto report = RunMultiClient(&db, preset.workload);
+        if (!report.ok()) {
+          std::fprintf(stderr, "run failed: %s\n",
+                       report.status().ToString().c_str());
+          return 1;
+        }
+        const uint64_t reads =
+            db.disk()->counters(IoScope::kTransaction).reads - reads_before;
+        const uint64_t txns = report->merged.cold.global.transactions +
+                              report->merged.warm.global.transactions;
+        // Device-level reads include aborted transactions' work and their
+        // undo-log rollback, so normalize by *attempted* transactions —
+        // the committed-only divisor would inflate with the abort rate.
+        const uint64_t attempted = txns + report->total_aborts();
+        const char* mode_name =
+            clients == 1 ? "legacy" : (mvcc ? "MVCC" : "2PL-only");
+        const char* latch_name = page_latches ? "page" : "facade";
+        points[{clients, mode_name, page_latches}] =
+            RunPoint{report->throughput_tps(),
+                     report->total_facade_wait_nanos(),
+                     report->total_page_latch_wait_nanos()};
+        table.AddRow(
+            {Format("%u", clients), mode_name, latch_name,
+             Format("%llu", (unsigned long long)txns),
+             Format("%llu", (unsigned long long)report->total_aborts()),
+             HumanDuration(report->total_lock_wait_nanos()),
+             HumanDuration(report->total_facade_wait_nanos()),
+             HumanDuration(report->total_page_latch_wait_nanos()),
+             Format("%.2f", attempted == 0
+                                ? 0.0
+                                : static_cast<double>(reads) /
+                                      static_cast<double>(attempted)),
+             Format("%.3f", report->merged.warm.buffer_hit_ratio()),
+             HumanDuration(report->wall_micros * 1000),
+             Format("%.0f", report->throughput_tps())});
+        if (clients > 1 && page_latches) {
+          const VersionStoreStats vs = db.version_store()->stats();
+          gc_lines.push_back(Format(
+              "  CLIENTN=%u %s: %llu versions published, %llu GC'd over "
+              "%llu passes, %llu live at end; %llu snapshot txns",
+              clients, mode_name,
+              (unsigned long long)vs.versions_published,
+              (unsigned long long)vs.versions_gced,
+              (unsigned long long)vs.gc_passes,
+              (unsigned long long)vs.live_versions,
+              (unsigned long long)report->total_read_only_commits()));
+          for (const ClientOutcome& c : report->per_client) {
+            per_client_lines.push_back(Format(
+                "  CLIENTN=%u %s client %u: %llu committed, %llu aborted, "
+                "lock wait %s, facade wait %s, page wait %s, %.0f txn/s",
+                clients, mode_name, c.client_id,
+                (unsigned long long)c.committed,
+                (unsigned long long)c.aborts,
+                HumanDuration(c.lock_wait_nanos).c_str(),
+                HumanDuration(c.facade_wait_nanos).c_str(),
+                HumanDuration(c.page_latch_wait_nanos).c_str(),
+                c.throughput_tps()));
+          }
         }
       }
     }
   }
+  std::remove(snapshot_path.c_str());
   bench::PrintTable(table);
-  std::printf("version-store behaviour:\n");
+
+  std::printf("facade-latch vs page-latch (same mix, same data):\n");
+  for (uint32_t clients : std::vector<uint32_t>{2, 4, 8}) {
+    for (const char* mode_name : {"2PL-only", "MVCC"}) {
+      const RunPoint before = points[{clients, mode_name, false}];
+      const RunPoint after = points[{clients, mode_name, true}];
+      const double speedup =
+          before.throughput > 0 ? after.throughput / before.throughput : 0.0;
+      const double wait_reduction =
+          after.facade_wait > 0
+              ? static_cast<double>(before.facade_wait) /
+                    static_cast<double>(after.facade_wait)
+              : 0.0;
+      const std::string reduction =
+          after.facade_wait == 0 ? std::string("eliminated")
+                                 : Format("%.1fx less", wait_reduction);
+      std::printf(
+          "  CLIENTN=%u %s: throughput %.0f -> %.0f txn/s (%.2fx), "
+          "facade wait %s -> %s (%s), page wait %s\n",
+          clients, mode_name, before.throughput, after.throughput, speedup,
+          HumanDuration(before.facade_wait).c_str(),
+          HumanDuration(after.facade_wait).c_str(), reduction.c_str(),
+          HumanDuration(after.page_wait).c_str());
+    }
+  }
+  std::printf("version-store behaviour (page-latch rows):\n");
   for (const std::string& line : gc_lines) {
     std::printf("%s\n", line.c_str());
   }
-  std::printf("per-client breakdown:\n");
+  std::printf("per-client breakdown (page-latch rows):\n");
   for (const std::string& line : per_client_lines) {
     std::printf("%s\n", line.c_str());
   }
   bench::PrintNote(
       "CLIENTN > 1 runs real std::thread clients over one shared store. "
-      "2PL-only: every read takes an S lock and queues behind writers' X "
-      "locks; deadlock victims roll back via the undo log. MVCC: read-only "
-      "transactions (the four traversals and Scan) pin a ReadView and read "
-      "version chains instead of locking — they never wait and never "
-      "abort, so lock-wait time and abort count both drop while writers "
-      "keep strict 2PL semantics. Version chains older than the oldest "
-      "live ReadView are reclaimed by the background GC. CLIENTN=1 keeps "
-      "the seed's serialized legacy path (zero aborts by construction).");
+      "Latching axis: 'facade' re-creates the pre-refactor substrate "
+      "(every operation holds one big latch across its physical I/O); "
+      "'page' is the striped buffer pool with per-frame reader/writer "
+      "latches — only schema metadata stays behind the (shared) catalog "
+      "latch, so non-conflicting clients overlap their buffer-pool work "
+      "and miss I/O. Concurrency axis: 2PL-only queues readers behind "
+      "writers' X locks; MVCC read-only transactions read version chains "
+      "instead of locking — they never wait and never abort. CLIENTN=1 "
+      "keeps the seed's serialized legacy path (zero aborts by "
+      "construction).");
   return 0;
 }

@@ -11,7 +11,7 @@ Status DfsPlacement::Reorganize(Database* db) {
   const std::vector<Oid> all = db->object_store()->LiveOids();
   sequence.reserve(all.size());
 
-  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  Database::QuiesceGuard quiesce(db);
   // The DFS itself reads every object: clustering overhead I/O.
   ScopedIoScope scope(db->disk(), IoScope::kClustering);
   for (Oid root : all) {

@@ -175,7 +175,7 @@ Status Dstc::Reorganize(Database* db) {
 
   // Everything below — including the object-size probes of unit
   // construction — is clustering overhead I/O.
-  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  Database::QuiesceGuard quiesce(db);
   ScopedIoScope scope(db->disk(), IoScope::kClustering);
 
   std::vector<std::vector<Oid>> units = BuildClusteringUnits(db);

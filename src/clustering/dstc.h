@@ -127,7 +127,8 @@ class Dstc : public ClusteringPolicy {
   /// Crossings recorded since each in-flight transaction began, keyed by
   /// the client thread driving it (one thread drives at most one open
   /// transaction, and every observer callback for a transaction arrives
-  /// on its own thread, under the Database latch). On abort the owning
+  /// on its own thread, serialized by the Database's observer mutex). On
+  /// abort the owning
   /// thread's entries are subtracted back out of observation_; on commit
   /// they are simply dropped.
   std::unordered_map<std::thread::id,

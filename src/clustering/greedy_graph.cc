@@ -51,7 +51,7 @@ void GreedyGraphPartitioning::OnLinkCross(Oid from, Oid to, RefTypeId type,
 Status GreedyGraphPartitioning::Reorganize(Database* db) {
   if (weights_.empty()) return Status::OK();
   // Partitioning probes object sizes through the store: clustering I/O.
-  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  Database::QuiesceGuard quiesce(db);
   ScopedIoScope scope(db->disk(), IoScope::kClustering);
   struct Edge {
     Oid a, b;

@@ -7,146 +7,196 @@
 
 namespace ocb {
 
+namespace {
+// Shard count of the chain table. Follows the storage layer's striping
+// convention: OCB_LATCH_STRIPES, when defined, caps it so the degenerate
+// single-stripe CI build also proves the version store correct with one
+// shard.
+#ifdef OCB_LATCH_STRIPES
+constexpr size_t kConfiguredShards =
+    OCB_LATCH_STRIPES < 16 ? OCB_LATCH_STRIPES : 16;
+constexpr size_t kChainShards = kConfiguredShards < 1 ? 1 : kConfiguredShards;
+#else
+constexpr size_t kChainShards = 16;
+#endif
+}  // namespace
+
+VersionStore::VersionStore() {
+  shards_.reserve(kChainShards);
+  for (size_t i = 0; i < kChainShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void VersionStore::PublishVersion(TxnId txn, Oid oid, Version version) {
+  {
+    Shard& shard = shard_of(oid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& chain = shard.chains[oid];
+    if (chain.empty()) {
+      live_chains_.fetch_add(1, std::memory_order_relaxed);
+    }
+    chain.push_back(std::move(version));
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_by_txn_[txn].push_back(oid);
+  }
+  versions_published_.fetch_add(1, std::memory_order_relaxed);
+  live_versions_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void VersionStore::PublishPreImage(TxnId txn, Oid oid,
                                    std::vector<uint8_t> pre_image) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& chain = chains_[oid];
-  if (chain.empty()) ++stats_.live_chains;
   Version v;
   v.owner = txn;
   v.pre_image = std::move(pre_image);
-  chain.push_back(std::move(v));
-  pending_by_txn_[txn].push_back(oid);
-  ++stats_.versions_published;
-  ++stats_.live_versions;
+  PublishVersion(txn, oid, std::move(v));
 }
 
 void VersionStore::PublishCreation(TxnId txn, Oid oid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& chain = chains_[oid];
-  if (chain.empty()) ++stats_.live_chains;
   Version v;
   v.owner = txn;
   v.creation = true;
-  chain.push_back(std::move(v));
-  pending_by_txn_[txn].push_back(oid);
-  ++stats_.versions_published;
-  ++stats_.live_versions;
+  PublishVersion(txn, oid, std::move(v));
 }
 
-CommitTs VersionStore::StampCommitted(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+CommitTs VersionStore::StampAll(TxnId txn, bool aborted) {
+  std::vector<Oid> oids;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_by_txn_.find(txn);
+    if (it != pending_by_txn_.end()) {
+      oids = std::move(it->second);
+      pending_by_txn_.erase(it);
+    }
+  }
+  // commit_mu_ is held across the whole stamping loop: OpenSnapshot also
+  // takes it, so a newborn view can never pin a timestamp whose commit is
+  // only half stamped.
+  std::lock_guard<std::mutex> lock(commit_mu_);
   const CommitTs ts = ++last_commit_ts_;
-  auto it = pending_by_txn_.find(txn);
-  if (it == pending_by_txn_.end()) return ts;
-  for (Oid oid : it->second) {
-    auto cit = chains_.find(oid);
-    if (cit == chains_.end()) continue;
+  for (Oid oid : oids) {
+    Shard& shard = shard_of(oid);
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    auto cit = shard.chains.find(oid);
+    if (cit == shard.chains.end()) continue;
     // The pending version is the chain tail (X lock ⇒ at most one, and
     // nothing can append behind it until the lock is released).
     Version& tail = cit->second.back();
     assert(tail.commit_ts == kPendingTs && tail.owner == txn);
     tail.commit_ts = ts;
     tail.owner = kInvalidTxnId;
-    ++stats_.versions_stamped;
+    auto& counter = aborted ? versions_discarded_ : versions_stamped_;
+    counter.fetch_add(1, std::memory_order_relaxed);
   }
-  pending_by_txn_.erase(it);
   return ts;
 }
 
-void VersionStore::DiscardPending(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pending_by_txn_.find(txn);
-  if (it == pending_by_txn_.end()) return;
-  for (Oid oid : it->second) {
-    auto cit = chains_.find(oid);
-    if (cit == chains_.end()) continue;
-    std::vector<Version>& chain = cit->second;
-    if (!chain.empty() && chain.back().commit_ts == kPendingTs &&
-        chain.back().owner == txn) {
-      chain.pop_back();
-      ++stats_.versions_discarded;
-      --stats_.live_versions;
-    }
-    if (chain.empty()) {
-      chains_.erase(cit);
-      --stats_.live_chains;
-    }
-  }
-  pending_by_txn_.erase(it);
+CommitTs VersionStore::StampCommitted(TxnId txn) {
+  return StampAll(txn, /*aborted=*/false);
+}
+
+void VersionStore::StampAborted(TxnId txn) {
+  StampAll(txn, /*aborted=*/true);
 }
 
 CommitTs VersionStore::latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(commit_mu_);
   return last_commit_ts_;
 }
 
 CommitTs VersionStore::OpenSnapshot(ReadViewRegistry* views) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(commit_mu_);
   views->OpenAt(last_commit_ts_);
   return last_commit_ts_;
 }
 
 VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
-                                       std::vector<uint8_t>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = chains_.find(oid);
-  if (it != chains_.end()) {
+                                       std::vector<uint8_t>* out,
+                                       bool revalidate) const {
+  Shard& shard = shard_of(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chains.find(oid);
+  if (it != shard.chains.end()) {
     // Chains are ascending in commit_ts with any pending version (treated
     // as +infinity) at the tail, so the first entry newer than the
     // snapshot is the earliest one — exactly the state at snapshot_ts.
     for (const Version& v : it->second) {
       if (v.commit_ts <= snapshot_ts) continue;
+      if (revalidate) {
+        // The caller's first lookup counted this read as a fall-through;
+        // the re-check caught a racing writer, so it was a chain hit.
+        snapshot_current_.fetch_sub(1, std::memory_order_relaxed);
+      }
       if (v.creation) return VersionLookup::kInvisible;
-      ++stats_.snapshot_hits;
+      snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
       *out = v.pre_image;
       return VersionLookup::kVersion;
     }
   }
-  ++stats_.snapshot_current;
+  if (!revalidate) {
+    snapshot_current_.fetch_add(1, std::memory_order_relaxed);
+  }
   return VersionLookup::kUseCurrent;
 }
 
 uint64_t VersionStore::GarbageCollect(const ReadViewRegistry& views) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(commit_mu_);
   return CollectLocked(views.OldestActive(last_commit_ts_));
 }
 
 uint64_t VersionStore::GarbageCollect(CommitTs oldest_snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(commit_mu_);
   return CollectLocked(oldest_snapshot);
 }
 
 uint64_t VersionStore::CollectLocked(CommitTs oldest_snapshot) {
-  ++stats_.gc_passes;
+  gc_passes_.fetch_add(1, std::memory_order_relaxed);
   uint64_t removed = 0;
-  for (auto it = chains_.begin(); it != chains_.end();) {
-    std::vector<Version>& chain = it->second;
-    // A committed version at ts C is selected only by snapshots S < C;
-    // with S >= oldest_snapshot for every live ReadView, C <= oldest is
-    // unreachable. Committed versions are a chain prefix (pending at the
-    // tail), so this removes a prefix and order is preserved.
-    auto keep = std::find_if(chain.begin(), chain.end(),
-                             [oldest_snapshot](const Version& v) {
-                               return v.commit_ts > oldest_snapshot;
-                             });
-    removed += static_cast<uint64_t>(keep - chain.begin());
-    chain.erase(chain.begin(), keep);
-    if (chain.empty()) {
-      it = chains_.erase(it);
-      --stats_.live_chains;
-    } else {
-      ++it;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    for (auto it = shard.chains.begin(); it != shard.chains.end();) {
+      std::vector<Version>& chain = it->second;
+      // A committed version at ts C is selected only by snapshots S < C;
+      // with S >= oldest_snapshot for every live ReadView, C <= oldest is
+      // unreachable. Committed versions are a chain prefix (pending at the
+      // tail), so this removes a prefix and order is preserved.
+      auto keep = std::find_if(chain.begin(), chain.end(),
+                               [oldest_snapshot](const Version& v) {
+                                 return v.commit_ts > oldest_snapshot;
+                               });
+      removed += static_cast<uint64_t>(keep - chain.begin());
+      chain.erase(chain.begin(), keep);
+      if (chain.empty()) {
+        it = shard.chains.erase(it);
+        live_chains_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
-  stats_.versions_gced += removed;
-  stats_.live_versions -= removed;
+  versions_gced_.fetch_add(removed, std::memory_order_relaxed);
+  live_versions_.fetch_sub(removed, std::memory_order_relaxed);
   return removed;
 }
 
 VersionStoreStats VersionStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  VersionStoreStats out;
+  out.versions_published =
+      versions_published_.load(std::memory_order_relaxed);
+  out.versions_stamped = versions_stamped_.load(std::memory_order_relaxed);
+  out.versions_discarded =
+      versions_discarded_.load(std::memory_order_relaxed);
+  out.versions_gced = versions_gced_.load(std::memory_order_relaxed);
+  out.gc_passes = gc_passes_.load(std::memory_order_relaxed);
+  out.snapshot_hits = snapshot_hits_.load(std::memory_order_relaxed);
+  out.snapshot_current =
+      snapshot_current_.load(std::memory_order_relaxed);
+  out.live_versions = live_versions_.load(std::memory_order_relaxed);
+  out.live_chains = live_chains_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace ocb

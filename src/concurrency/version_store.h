@@ -14,8 +14,13 @@
 ///   * At commit the writer stamps all its pending versions with one fresh
 ///     commit timestamp drawn from the store's global counter; from then on
 ///     only snapshots older than that timestamp read the pre-image.
-///   * At abort the pending versions are discarded (the object store is
-///     rolled back to the very same pre-image, so the chain needs nothing).
+///   * At abort the pending versions are *sealed* (StampAborted): they get
+///     a fresh timestamp exactly as on commit. The object store is rolled
+///     back to the very same pre-image, so the sealed version states a
+///     truth — "before T the state was P" — that also matches the current
+///     state; it exists so a reader that raced the dirty in-place writes
+///     can still recover the pre-image (see the validate step below). GC
+///     reclaims it like any committed version.
 ///
 /// Visibility rule for a snapshot pinned at S reading object o: the state
 /// of o at S is the pre-image of the *earliest* version of o committed
@@ -29,15 +34,39 @@
 /// select: a version with commit_ts <= S_oldest (the oldest live ReadView,
 /// or the current commit timestamp when none is open) is unreachable.
 ///
-/// Thread safety: the store is internally synchronized (one mutex); the
-/// Database additionally serializes writer publish against reader lookup
-/// under its facade latch so a chain lookup and the object-store read it
-/// may fall through to observe one consistent world.
+/// Thread safety and scaling: the chain table is *sharded* by oid, each
+/// shard behind its own mutex, so GetVisible — the per-object-read hot
+/// path of every MVCC transaction — never funnels CLIENTN readers through
+/// one lock. One `commit_mu_` covers the transaction-grained operations:
+/// it serializes timestamp allocation, the whole stamping loop of a
+/// commit/abort, snapshot opening and the GC threshold computation
+/// against each other. Holding it across the full stamping loop is what
+/// keeps multi-object commits atomic for newborn snapshots: OpenSnapshot
+/// cannot pin timestamp T until every version of the commit that produced
+/// T is stamped, so no view ever sees half a transaction stamped and the
+/// other half pending.
+///
+/// Since the per-page-latching refactor there is *no* facade latch making
+/// a chain lookup and the object-store read it may fall through to
+/// atomic. Soundness instead comes from a read-validate protocol in
+/// Database::SnapshotRead built on two writer-side guarantees:
+///
+///   1. a writer publishes its pre-image version *before* its first
+///      in-place write of the object, and
+///   2. published versions are never silently dropped — commit stamps
+///      them, abort seals them (StampAborted) — until GC proves no live
+///      snapshot can need them.
+///
+/// A reader that got kUseCurrent, read the store, and re-checks the chain
+/// therefore either confirms no conflicting write existed or finds the
+/// version carrying the state it should have seen.
 
 #ifndef OCB_CONCURRENCY_VERSION_STORE_H_
 #define OCB_CONCURRENCY_VERSION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -56,7 +85,7 @@ using CommitTs = uint64_t;
 struct VersionStoreStats {
   uint64_t versions_published = 0;  ///< Pending versions installed.
   uint64_t versions_stamped = 0;    ///< Pending versions committed.
-  uint64_t versions_discarded = 0;  ///< Pending versions dropped on abort.
+  uint64_t versions_discarded = 0;  ///< Pending versions sealed on abort.
   uint64_t versions_gced = 0;       ///< Committed versions reclaimed.
   uint64_t gc_passes = 0;           ///< GarbageCollect invocations.
   uint64_t snapshot_hits = 0;       ///< Reads served from a version chain.
@@ -75,7 +104,7 @@ enum class VersionLookup {
 /// \brief Per-object chains of committed pre-images keyed by commit time.
 class VersionStore {
  public:
-  VersionStore() = default;
+  VersionStore();
 
   VersionStore(const VersionStore&) = delete;
   VersionStore& operator=(const VersionStore&) = delete;
@@ -98,31 +127,44 @@ class VersionStore {
   /// versions.
   CommitTs StampCommitted(TxnId txn);
 
-  /// Drops every pending version of \p txn (abort path). The caller rolls
-  /// the object store back to the same pre-images, so readers keep seeing
-  /// the identical state throughout.
-  void DiscardPending(TxnId txn);
+  /// Seals every pending version of \p txn under a fresh timestamp (abort
+  /// path). The caller has rolled the object store back to the same
+  /// pre-images, so current state and sealed history agree; keeping the
+  /// version (instead of dropping it) is what lets a latch-free snapshot
+  /// reader that raced the aborted writer's dirty writes re-check the
+  /// chain and recover the correct state. Call *after* the rollback
+  /// writes complete.
+  void StampAborted(TxnId txn);
 
   /// Latest commit timestamp handed out; a ReadView pinned at this value
   /// sees every committed write and no in-flight one.
   CommitTs latest() const;
 
   /// Pins a snapshot at the current commit timestamp and registers it in
-  /// \p views, atomically with respect to StampCommitted and GarbageCollect
-  /// (both serialize on this store's mutex) — a concurrent GC pass can
-  /// never reclaim a version the newborn snapshot still needs. Returns the
-  /// pinned timestamp; wrap it in a ReadView and Close it when done.
+  /// \p views, atomically with respect to StampCommitted/StampAborted and
+  /// GarbageCollect (all serialize on commit_mu_) — a concurrent GC pass
+  /// can never reclaim a version the newborn snapshot still needs, and a
+  /// half-stamped commit is never pinned past. Returns the pinned
+  /// timestamp; wrap it in a ReadView and Close it when done.
   CommitTs OpenSnapshot(ReadViewRegistry* views);
 
   /// Resolves the state of \p oid for a snapshot pinned at \p snapshot_ts.
-  /// On kVersion, \p out receives the encoded pre-image bytes.
+  /// On kVersion, \p out receives the encoded pre-image bytes. Takes only
+  /// the oid's shard mutex — the reader hot path never crosses the
+  /// commit-grained lock.
+  ///
+  /// \p revalidate marks the second lookup of the read-validate protocol
+  /// (the caller already counted the read as a store fall-through): it
+  /// keeps the hit/current statistics at one count per logical read,
+  /// reclassifying the earlier fall-through as a chain hit when the
+  /// re-check catches a racing writer.
   VersionLookup GetVisible(Oid oid, CommitTs snapshot_ts,
-                           std::vector<uint8_t>* out) const;
+                           std::vector<uint8_t>* out,
+                           bool revalidate = false) const;
 
   /// Reclaims every committed version no snapshot in \p views (nor any
   /// future one) can select; returns the number removed. The oldest-open
-  /// computation happens under this store's mutex, pairing with
-  /// OpenSnapshot.
+  /// computation happens under commit_mu_, pairing with OpenSnapshot.
   uint64_t GarbageCollect(const ReadViewRegistry& views);
 
   /// Lower-level form: reclaims committed versions with
@@ -142,16 +184,47 @@ class VersionStore {
     std::vector<uint8_t> pre_image;  ///< Meaningful when !creation.
   };
 
-  /// Shared implementation of both GarbageCollect forms; requires mu_.
+  /// One chain-table shard; oid o lives in shard o % shards_.size().
+  struct Shard {
+    mutable std::mutex mu;
+    /// Chain per object, ascending commit_ts, pending (if any) at the
+    /// tail.
+    std::unordered_map<Oid, std::vector<Version>> chains;
+  };
+
+  Shard& shard_of(Oid oid) const { return *shards_[oid % shards_.size()]; }
+
+  /// Installs one pending version (shared by both Publish forms).
+  void PublishVersion(TxnId txn, Oid oid, Version version);
+
+  /// Stamps every pending version of \p txn at one fresh timestamp;
+  /// \p aborted only picks the stats bucket. Shared commit/abort path.
+  CommitTs StampAll(TxnId txn, bool aborted);
+
+  /// GC worker; requires commit_mu_ (walks the shards one by one).
   uint64_t CollectLocked(CommitTs oldest_snapshot);
 
-  mutable std::mutex mu_;
-  /// Chain per object, ascending commit_ts, pending (if any) at the tail.
-  std::unordered_map<Oid, std::vector<Version>> chains_;
-  /// Objects with a pending version per transaction (stamp/discard sets).
+  /// Serializes transaction-grained operations: timestamp allocation +
+  /// full stamping loops, snapshot opening, GC threshold computation.
+  /// Never taken by GetVisible.
+  mutable std::mutex commit_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Objects with a pending version per transaction (stamp/discard sets);
+  /// guarded by pending_mu_ (writer-only traffic).
+  std::mutex pending_mu_;
   std::unordered_map<TxnId, std::vector<Oid>> pending_by_txn_;
-  CommitTs last_commit_ts_ = 0;
-  mutable VersionStoreStats stats_;
+  CommitTs last_commit_ts_ = 0;  ///< Guarded by commit_mu_.
+
+  // Stats: atomics so the reader hot path can count without a lock.
+  mutable std::atomic<uint64_t> versions_published_{0};
+  mutable std::atomic<uint64_t> versions_stamped_{0};
+  mutable std::atomic<uint64_t> versions_discarded_{0};
+  mutable std::atomic<uint64_t> versions_gced_{0};
+  mutable std::atomic<uint64_t> gc_passes_{0};
+  mutable std::atomic<uint64_t> snapshot_hits_{0};
+  mutable std::atomic<uint64_t> snapshot_current_{0};
+  mutable std::atomic<uint64_t> live_versions_{0};
+  mutable std::atomic<uint64_t> live_chains_{0};
 };
 
 }  // namespace ocb

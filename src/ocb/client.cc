@@ -19,6 +19,10 @@ ClientOutcome OutcomeFrom(uint32_t client_id, const WorkloadMetrics& m,
       m.cold.global.transactions + m.warm.global.transactions;
   outcome.aborts = m.cold.aborts + m.warm.aborts;
   outcome.lock_wait_nanos = m.cold.lock_wait_nanos + m.warm.lock_wait_nanos;
+  outcome.facade_wait_nanos =
+      m.cold.facade_wait_nanos + m.warm.facade_wait_nanos;
+  outcome.page_latch_wait_nanos =
+      m.cold.page_latch_wait_nanos + m.warm.page_latch_wait_nanos;
   outcome.wall_micros = wall_micros;
   return outcome;
 }

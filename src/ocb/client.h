@@ -33,7 +33,9 @@ struct ClientOutcome {
   uint32_t client_id = 0;
   uint64_t committed = 0;        ///< Transactions that committed.
   uint64_t aborts = 0;           ///< Deadlock victims / lock timeouts.
-  uint64_t lock_wait_nanos = 0;  ///< Cumulative blocked wall time.
+  uint64_t lock_wait_nanos = 0;  ///< Cumulative blocked wall time (locks).
+  uint64_t facade_wait_nanos = 0;      ///< Blocked on the facade latch.
+  uint64_t page_latch_wait_nanos = 0;  ///< Blocked on page latches.
   uint64_t wall_micros = 0;      ///< This client's end-to-end wall time.
 
   double throughput_tps() const {
@@ -64,6 +66,13 @@ struct MultiClientReport {
   }
   uint64_t total_lock_wait_nanos() const {
     return merged.cold.lock_wait_nanos + merged.warm.lock_wait_nanos;
+  }
+  uint64_t total_facade_wait_nanos() const {
+    return merged.cold.facade_wait_nanos + merged.warm.facade_wait_nanos;
+  }
+  uint64_t total_page_latch_wait_nanos() const {
+    return merged.cold.page_latch_wait_nanos +
+           merged.warm.page_latch_wait_nanos;
   }
   uint64_t total_read_only_commits() const {
     return merged.cold.read_only_commits + merged.warm.read_only_commits;

@@ -17,6 +17,8 @@ void PhaseMetrics::Merge(const PhaseMetrics& other) {
   wall_micros += other.wall_micros;
   aborts += other.aborts;
   lock_wait_nanos += other.lock_wait_nanos;
+  facade_wait_nanos += other.facade_wait_nanos;
+  page_latch_wait_nanos += other.page_latch_wait_nanos;
   read_only_commits += other.read_only_commits;
   snapshot_reads += other.snapshot_reads;
 }
@@ -49,6 +51,11 @@ std::string PhaseMetrics::ToTableString(const std::string& title) const {
     footer += Format("concurrency: %llu aborts (rate %.3f), lock wait %s\n",
                      (unsigned long long)aborts, abort_rate(),
                      HumanDuration(lock_wait_nanos).c_str());
+  }
+  if (facade_wait_nanos > 0 || page_latch_wait_nanos > 0) {
+    footer += Format("latching: facade wait %s, page-latch wait %s\n",
+                     HumanDuration(facade_wait_nanos).c_str(),
+                     HumanDuration(page_latch_wait_nanos).c_str());
   }
   if (read_only_commits > 0) {
     footer += Format(

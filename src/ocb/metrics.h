@@ -63,6 +63,14 @@ struct PhaseMetrics {
   uint64_t aborts = 0;
   uint64_t lock_wait_nanos = 0;
 
+  /// Latch behaviour (physical wait, all transactions of the phase): time
+  /// client threads spent blocked on the Database facade latch vs on page
+  /// latches. With per-page latching the facade component collapses to the
+  /// catalog latch's short critical sections; the serialize-physical
+  /// baseline re-creates the old big-latch convoy and shows up here.
+  uint64_t facade_wait_nanos = 0;
+  uint64_t page_latch_wait_nanos = 0;
+
   /// MVCC behaviour (zero when snapshot reads are disabled): transactions
   /// that ran as snapshot readers (pinned ReadView, no locks) and the
   /// object reads they served through it.

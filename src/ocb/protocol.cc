@@ -81,6 +81,8 @@ Status ProtocolRunner::RunPhase(uint64_t count, PhaseMetrics* out) {
       return result.status();
     }
     out->lock_wait_nanos += result->lock_wait_nanos;
+    out->facade_wait_nanos += result->facade_wait_nanos;
+    out->page_latch_wait_nanos += result->page_latch_wait_nanos;
     out->snapshot_reads += result->snapshot_reads;
     if (result->read_only && !result->aborted) ++out->read_only_commits;
     if (result->aborted) {

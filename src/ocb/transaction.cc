@@ -170,6 +170,14 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
   const uint64_t sim_start = db_->sim_clock()->now_nanos();
   const uint64_t reads_start =
       db_->disk()->counters(IoScope::kTransaction).reads;
+  // Latch-wait accounting is thread-local (see storage/latch.h); snapshot
+  // the counters so the deltas attribute to this transaction.
+  const ThreadLatchWaits latch_start = CurrentThreadLatchWaits();
+  auto fill_latch_waits = [&result, &latch_start]() {
+    const ThreadLatchWaits& now = CurrentThreadLatchWaits();
+    result.facade_wait_nanos = now.facade_nanos - latch_start.facade_nanos;
+    result.page_latch_wait_nanos = now.page_nanos - latch_start.page_nanos;
+  };
 
   // Transaction bracket: the 2PL path begins a real transaction (locks +
   // undo log); read-only types become MVCC snapshot readers when enabled;
@@ -213,6 +221,7 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
       result.sim_nanos = db_->sim_clock()->now_nanos() - sim_start;
       result.io_reads =
           db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+      fill_latch_waits();
       return result;
     }
     finish(/*rolled_back=*/transactional_);
@@ -325,6 +334,7 @@ Result<TransactionResult> TransactionExecutor::Execute(TransactionType type,
   result.sim_nanos = db_->sim_clock()->now_nanos() - sim_start;
   result.io_reads =
       db_->disk()->counters(IoScope::kTransaction).reads - reads_start;
+  fill_latch_waits();
   return result;
 }
 

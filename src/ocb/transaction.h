@@ -42,6 +42,15 @@ struct TransactionResult {
   uint64_t io_reads = 0;    ///< Transaction-scope page reads incurred.
   uint64_t lock_wait_nanos = 0;  ///< Wall time blocked on object locks.
   uint64_t snapshot_reads = 0;   ///< Reads served through the ReadView.
+
+  /// Wall time this transaction's thread spent blocked on *latches*
+  /// (physical, operation-lifetime — distinct from lock_wait_nanos above):
+  /// the Database facade/catalog latch vs page-level latches. The split is
+  /// the headline measurement of the per-page-latching refactor — in
+  /// serialize-physical mode facade wait dominates, with page latches it
+  /// collapses to the catalog latch's short critical sections.
+  uint64_t facade_wait_nanos = 0;
+  uint64_t page_latch_wait_nanos = 0;
 };
 
 /// True for transaction types that only read (the four traversals and

@@ -35,8 +35,28 @@ void Database::GcLoop() {
 }
 
 void Database::SetSchema(Schema schema) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  TimedUniqueLock lock(catalog_mu_);
   schema_ = std::move(schema);
+}
+
+std::unique_lock<std::recursive_mutex> Database::FacadeGate(bool force) {
+  if (!force && !serialize_physical_.load(std::memory_order_relaxed)) {
+    return {};
+  }
+  LatchFacadeExclusive(serial_mu_);
+  return std::unique_lock<std::recursive_mutex>(serial_mu_,
+                                                std::adopt_lock);
+}
+
+void Database::NotifyObjectAccess(Oid oid) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  if (observer_ != nullptr) observer_->OnObjectAccess(oid);
+}
+
+void Database::NotifyLinkCross(Oid from, Oid to, RefTypeId type,
+                               bool reverse) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
 }
 
 // --- Transaction lifecycle ---
@@ -56,8 +76,10 @@ std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
     // Pin the ReadView atomically against commit stamping and GC.
     txn->snapshot_ts_ = version_store_.OpenSnapshot(&read_views_);
   }
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (observer_ != nullptr) observer_->OnTransactionBegin();
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (observer_ != nullptr) observer_->OnTransactionBegin();
+  }
   return txn;
 }
 
@@ -81,8 +103,10 @@ Status Database::CommitTxn(TransactionContext* txn) {
   txn->undo_log_.clear();
   txn->undo_logged_.clear();
   lock_manager_.ReleaseAll(txn);
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (observer_ != nullptr) observer_->OnTransactionEnd();
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (observer_ != nullptr) observer_->OnTransactionEnd();
+  }
   return Status::OK();
 }
 
@@ -97,21 +121,24 @@ Status Database::AbortTxn(TransactionContext* txn) {
     read_views_.Close(ReadView{txn->snapshot_ts_});
     gc_cv_.notify_all();
     txn->state_ = TxnState::kAborted;
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionAbort();
     return Status::OK();
   }
   Status first_failure = Status::OK();
   {
-    // Roll back under the latch, while the txn's X locks still shield the
-    // restored objects from every other transaction.
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    // Roll back while the txn's X locks still shield the restored objects
+    // from every other transaction; each physical step takes its own page
+    // latches. (In serialize-physical mode the whole rollback re-enters
+    // the facade latch, as the seed did.)
+    auto facade = FacadeGate();
     auto& log = txn->undo_log_;
     for (auto it = log.rbegin(); it != log.rend(); ++it) {
       Status st = Status::OK();
       switch (it->kind) {
         case UndoRecord::Kind::kCreate: {
           if (store_->Contains(it->oid)) st = store_->Delete(it->oid);
+          TimedUniqueLock cat(catalog_mu_);
           if (it->class_id < schema_.class_count()) {
             auto& extent = schema_.GetMutableClass(it->class_id).iterator;
             extent.erase(
@@ -125,9 +152,12 @@ Status Database::AbortTxn(TransactionContext* txn) {
             st = store_->Update(it->oid, it->pre_image);
           } else {
             st = store_->InsertWithOid(it->oid, it->pre_image);
-            if (st.ok() && it->class_id < schema_.class_count()) {
-              schema_.GetMutableClass(it->class_id)
-                  .iterator.push_back(it->oid);
+            if (st.ok()) {
+              TimedUniqueLock cat(catalog_mu_);
+              if (it->class_id < schema_.class_count()) {
+                schema_.GetMutableClass(it->class_id)
+                    .iterator.push_back(it->oid);
+              }
             }
           }
           break;
@@ -137,9 +167,13 @@ Status Database::AbortTxn(TransactionContext* txn) {
     }
     log.clear();
     txn->undo_logged_.clear();
-    // The store now holds the pre-images again; drop the pending versions
-    // in the same latch section so readers see one consistent world.
-    version_store_.DiscardPending(txn->id());
+    // The store holds the pre-images again. Seal (do not drop) the
+    // pending versions: a snapshot reader that raced the dirty writes
+    // re-checks the version store after its store read, and the sealed
+    // version — whose pre-image equals the rolled-back state — is what
+    // keeps that re-check sound. See VersionStore::StampAborted.
+    if (mvcc_enabled()) version_store_.StampAborted(txn->id());
+    std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionAbort();
   }
   txn->state_ = TxnState::kAborted;
@@ -160,10 +194,10 @@ void Database::RecordPreImage(TransactionContext* txn, const Object& obj) {
   record.oid = obj.oid;
   record.class_id = obj.class_id;
   obj.EncodeTo(&record.pre_image);
-  // The same committed pre-image becomes a pending version: from here to
-  // commit/abort it shields snapshot readers from this txn's in-place
-  // writes (we are inside the latch, before the first write — the publish
-  // and the write are one atomic step for readers).
+  // The same committed pre-image becomes a pending version. The publish
+  // happens before the first in-place write of this object (we hold its X
+  // lock and have not written yet), which is the ordering SnapshotRead's
+  // read-validate protocol depends on.
   if (mvcc_enabled()) {
     version_store_.PublishPreImage(txn->id(), obj.oid, record.pre_image);
   }
@@ -187,8 +221,34 @@ Result<Object> Database::SnapshotRead(TransactionContext* txn, Oid oid) {
     case VersionLookup::kUseCurrent:
       break;
   }
+  // Fall through to the current store state, then re-check the version
+  // store: any conflicting write that raced the (page-latched) store read
+  // published its pre-image before writing — and abort seals rather than
+  // drops it — so the second lookup either validates the bytes we read or
+  // hands us the correct pre-image.
+  std::vector<uint8_t> current;
+  Status read = store_->Read(oid, &current);
+  switch (version_store_.GetVisible(oid, txn->snapshot_ts_, &bytes,
+                                    /*revalidate=*/true)) {
+    case VersionLookup::kInvisible:
+      return Status::NotFound(
+          Format("oid %llu not visible at snapshot %llu",
+                 (unsigned long long)oid,
+                 (unsigned long long)txn->snapshot_ts_));
+    case VersionLookup::kVersion: {
+      ++txn->snapshot_reads_;
+      OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
+      obj.oid = oid;
+      return obj;
+    }
+    case VersionLookup::kUseCurrent:
+      break;
+  }
+  OCB_RETURN_NOT_OK(read);  // Absent now ⇒ absent at the snapshot too.
   ++txn->snapshot_reads_;
-  return ReadDecode(oid);
+  OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(current));
+  obj.oid = oid;
+  return obj;
 }
 
 Status Database::RefuseReadOnly(const TransactionContext* txn,
@@ -207,16 +267,19 @@ Status Database::RefuseReadOnly(const TransactionContext* txn,
 Result<Oid> Database::CreateObject(TransactionContext* txn,
                                    ClassId class_id) {
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "CreateObject"));
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (class_id >= schema_.class_count()) {
-    return Status::InvalidArgument(
-        Format("unknown class %u", class_id));
-  }
-  ClassDescriptor& cls = schema_.GetMutableClass(class_id);
+  auto facade = FacadeGate(/*force=*/txn == nullptr);
   Object obj;
-  obj.class_id = class_id;
-  obj.orefs.assign(cls.maxnref, kInvalidOid);
-  obj.filler_size = cls.instance_size;
+  {
+    TimedSharedLock cat(catalog_mu_);
+    if (class_id >= schema_.class_count()) {
+      return Status::InvalidArgument(
+          Format("unknown class %u", class_id));
+    }
+    const ClassDescriptor& cls = schema_.GetClass(class_id);
+    obj.class_id = class_id;
+    obj.orefs.assign(cls.maxnref, kInvalidOid);
+    obj.filler_size = cls.instance_size;
+  }
   if (obj.EncodedSize() > store_->max_object_size()) {
     return Status::InvalidArgument(
         Format("instance of class %u (%zu bytes) exceeds max object size "
@@ -226,7 +289,10 @@ Result<Oid> Database::CreateObject(TransactionContext* txn,
   std::vector<uint8_t> bytes;
   obj.EncodeTo(&bytes);
   OCB_ASSIGN_OR_RETURN(Oid oid, store_->Insert(bytes));
-  cls.iterator.push_back(oid);
+  {
+    TimedUniqueLock cat(catalog_mu_);
+    schema_.GetMutableClass(class_id).iterator.push_back(oid);
+  }
   if (txn != nullptr) {
     UndoRecord record;
     record.kind = UndoRecord::Kind::kCreate;
@@ -237,7 +303,7 @@ Result<Oid> Database::CreateObject(TransactionContext* txn,
     // Snapshot readers born before this commit must not see the object.
     if (mvcc_enabled()) version_store_.PublishCreation(txn->id(), oid);
     // A fresh oid is unknown to every other transaction, so this grant
-    // never blocks (the lock-manager mutex nests safely under the latch).
+    // never blocks.
     OCB_RETURN_NOT_OK(
         lock_manager_.Acquire(txn, oid, LockMode::kExclusive));
   }
@@ -260,47 +326,49 @@ Status Database::WriteEncoded(Oid oid, const Object& object) {
 
 Result<Object> Database::GetObject(TransactionContext* txn, Oid oid) {
   if (txn != nullptr && txn->read_only()) {
-    // MVCC path: no lock — resolve against the ReadView under the latch.
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    // MVCC path: no lock, no facade latch — resolve against the ReadView
+    // with the read-validate protocol (see SnapshotRead).
+    auto facade = FacadeGate();
     OCB_ASSIGN_OR_RETURN(Object obj, SnapshotRead(txn, oid));
-    if (observer_ != nullptr) observer_->OnObjectAccess(oid);
+    NotifyObjectAccess(oid);
     return obj;
   }
   OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto facade = FacadeGate();
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
-  if (observer_ != nullptr) observer_->OnObjectAccess(oid);
+  NotifyObjectAccess(oid);
   return obj;
 }
 
 Result<Object> Database::PeekObject(Oid oid) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto facade = FacadeGate();
   return ReadDecode(oid);
 }
 
 Status Database::SetReference(TransactionContext* txn, Oid from,
                               uint32_t slot, Oid to) {
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
-  // The txn path's atomicity comes from the X locks acquired below, which
-  // let the latch be dropped between the source read and the mutation. The
-  // legacy path has no object locks, so it must hold the (recursive) latch
-  // across the whole multi-object operation, exactly like the seed did.
-  std::unique_lock<std::recursive_mutex> legacy_hold;
-  if (txn == nullptr) {
-    legacy_hold = std::unique_lock<std::recursive_mutex>(mutex_);
-  }
+  // The txn path's multi-object atomicity comes from the X locks acquired
+  // below. The legacy path (txn == nullptr) has no object locks, so it
+  // holds the facade latch across the whole multi-object operation,
+  // exactly like the seed did (the gate is recursive, so the per-section
+  // gates below nest). The txn path must NOT hold any latch while lock
+  // acquisitions block — it gates each physical section separately.
+  auto legacy_hold = txn == nullptr
+                         ? FacadeGate(/*force=*/true)
+                         : std::unique_lock<std::recursive_mutex>();
   OCB_RETURN_NOT_OK(LockFor(txn, from, LockMode::kExclusive));
   Object source;
   {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto facade = FacadeGate();
     OCB_ASSIGN_OR_RETURN(source, ReadDecode(from));
   }
   if (slot >= source.orefs.size()) {
     return Status::InvalidArgument(
         Format("slot %u out of range for class %u", slot, source.class_id));
   }
-  // The X lock on `from` freezes its slots, so `previous` is stable across
-  // the latch gap while the remaining locks are acquired.
+  // The X lock on `from` freezes its slots, so `previous` is stable while
+  // the remaining locks are acquired.
   const Oid previous = source.orefs[slot];
   if (previous == to) return Status::OK();
   if (previous != kInvalidOid) {
@@ -310,7 +378,7 @@ Status Database::SetReference(TransactionContext* txn, Oid from,
     OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kExclusive));
   }
 
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto facade = FacadeGate();
   // Read-and-validate everything *before* the first write, so a vanished
   // target (deleted by a concurrently committed transaction) or a full
   // backref page surfaces while the database is still untouched — no
@@ -369,17 +437,17 @@ Status Database::SetReference(TransactionContext* txn, Oid from,
 Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
                                    RefTypeId type, bool reverse) {
   if (txn != nullptr && txn->read_only()) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
+    auto facade = FacadeGate();
+    NotifyLinkCross(from, to, type, reverse);
     OCB_ASSIGN_OR_RETURN(Object obj, SnapshotRead(txn, to));
-    if (observer_ != nullptr) observer_->OnObjectAccess(to);
+    NotifyObjectAccess(to);
     return obj;
   }
   OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kShared));
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (observer_ != nullptr) observer_->OnLinkCross(from, to, type, reverse);
+  auto facade = FacadeGate();
+  NotifyLinkCross(from, to, type, reverse);
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(to));
-  if (observer_ != nullptr) observer_->OnObjectAccess(to);
+  NotifyObjectAccess(to);
   return obj;
 }
 
@@ -389,7 +457,7 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
     return Status::InvalidArgument("PutObject requires a valid oid");
   }
   OCB_RETURN_NOT_OK(LockFor(txn, object.oid, LockMode::kExclusive));
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto facade = FacadeGate(/*force=*/txn == nullptr);
   if (txn != nullptr && txn->undo_logged_.count(object.oid) == 0) {
     // Pre-image is the *stored* state, not the caller's copy.
     OCB_ASSIGN_OR_RETURN(Object current, ReadDecode(object.oid));
@@ -400,6 +468,10 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
 
 Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
+  // See SetReference for the legacy-hold vs per-section gate split.
+  auto legacy_hold = txn == nullptr
+                         ? FacadeGate(/*force=*/true)
+                         : std::unique_lock<std::recursive_mutex>();
   OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
   if (txn != nullptr) {
     // Lock the whole neighborhood up front (the X on `oid` freezes its
@@ -407,7 +479,7 @@ Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
     // remaining locks are collected one by one).
     Object obj;
     {
-      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      auto facade = FacadeGate();
       OCB_ASSIGN_OR_RETURN(obj, ReadDecode(oid));
     }
     std::vector<Oid> neighbors;
@@ -425,7 +497,7 @@ Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
     }
   }
 
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto facade = FacadeGate();
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
   RecordPreImage(txn, obj);
   // Unlink from targets' backrefs.
@@ -455,53 +527,55 @@ Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
     }
     OCB_RETURN_NOT_OK(WriteEncoded(referer, r));
   }
-  // Remove from class extent.
-  if (obj.class_id < schema_.class_count()) {
-    auto& extent = schema_.GetMutableClass(obj.class_id).iterator;
-    extent.erase(std::remove(extent.begin(), extent.end(), oid),
-                 extent.end());
+  // Remove from class extent (catalog latch; the store delete below is
+  // page-latched on its own).
+  {
+    TimedUniqueLock cat(catalog_mu_);
+    if (obj.class_id < schema_.class_count()) {
+      auto& extent = schema_.GetMutableClass(obj.class_id).iterator;
+      extent.erase(std::remove(extent.begin(), extent.end(), oid),
+                   extent.end());
+    }
   }
   return store_->Delete(oid);
 }
 
 void Database::SetObserver(AccessObserver* observer) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(observer_mu_);
   observer_ = observer;
 }
 
 void Database::BeginTransaction() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(observer_mu_);
   if (observer_ != nullptr) observer_->OnTransactionBegin();
 }
 
 void Database::EndTransaction() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(observer_mu_);
   if (observer_ != nullptr) observer_->OnTransactionEnd();
 }
 
 Status Database::ColdRestart() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  QuiesceGuard quiesce(this);
   OCB_RETURN_NOT_OK(pool_->FlushAll());
   return pool_->InvalidateAll();
 }
 
 uint64_t Database::object_count() const {
-  return store_->stats().objects;
+  return store_->stats().objects.load(std::memory_order_relaxed);
 }
 
 std::vector<Oid> Database::ExtentSnapshot(ClassId class_id) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  TimedSharedLock lock(catalog_mu_);
   if (class_id >= schema_.class_count()) return {};
   return schema_.GetClass(class_id).iterator;
 }
 
 std::vector<Oid> Database::LiveOidsSnapshot() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return store_->LiveOids();
 }
 
 bool Database::ContainsObject(Oid oid) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return store_->Contains(oid);
 }
 

@@ -20,26 +20,44 @@
 ///   * *MVCC snapshot readers* — BeginTxn(read_only=true) additionally
 ///     pins a ReadView at the current commit timestamp. Reads of such a
 ///     transaction bypass the lock manager entirely and resolve through
-///     the VersionStore: each committed write publishes its pre-image
-///     (reusing the undo-log machinery) keyed by a global commit
-///     timestamp, so a snapshot reader always sees the database exactly as
-///     of its ReadView — no lock waits, no deadlock aborts, repeatable
-///     reads. Writers keep strict 2PL, so write-write conflict and
-///     rollback semantics are unchanged. Versions older than the oldest
-///     live ReadView are reclaimed by a background GC thread.
-///   * *Legacy path* — the historical non-txn signatures remain and behave
-///     exactly as before: each call serializes on the facade mutex with no
-///     object locks and no undo logging. Generators, reorganizers and the
-///     single-client benches use this path, byte-for-byte identical to the
-///     pre-lock-manager behaviour. Legacy writes bypass the version store
-///     (they allocate no commit timestamp), so snapshot readers must not
-///     run concurrently with them — the benches never mix the two.
+///     the VersionStore — no lock waits, no deadlock aborts, repeatable
+///     reads (see SnapshotRead for the read-validate protocol that keeps
+///     this sound without a global latch).
+///   * *Legacy path* — the historical non-txn signatures remain: no object
+///     locks, no undo logging. Generators, reorganizers and the
+///     single-client benches use this path single-threaded. Legacy writes
+///     bypass the version store, so snapshot readers must not run
+///     concurrently with them — the benches never mix the two.
 ///
-/// The facade mutex survives as a short-duration *latch*: the storage
-/// substrate (DiskSim/BufferPool/ObjectStore) is single-threaded, so every
-/// physical operation — not whole transactions — runs under it. Logical
-/// isolation across a transaction's lifetime comes from the lock manager,
-/// never from the latch.
+/// Lock/latch hierarchy (acquire strictly top-down; release any time):
+///
+///   1. LockManager object locks — logical, transaction-lifetime. Always
+///      acquired *before* any latch below (lock waits block; nothing
+///      physical may be held across them).
+///   2. Catalog latch (one std::shared_mutex) — guards schema metadata:
+///      class descriptors and extents. Shared for reads (ExtentSnapshot,
+///      Scan's membership walk), exclusive for extent mutation
+///      (CreateObject/DeleteObject/rollback). Held only for the few map
+///      and vector operations involved — never across physical I/O.
+///   3. Page latches (BufferPool frame latches + stripe mutexes, object-
+///      table shards, free-space map) — physical, operation-lifetime.
+///      Buffer-pool fetches and miss I/O run entirely *outside* the
+///      catalog latch, so non-conflicting transactions overlap their disk
+///      latency. Multi-page operations latch pages in ascending page-id
+///      order (see object_store.h).
+///
+/// The pre-refactor facade big-latch survives in two places only:
+///
+///   * QuiesceGuard — reorganizers and snapshot save/load need the whole
+///     store still at once; the guard serializes them against each other
+///     and drains every in-flight page pin (BufferPool::BeginQuiesce)
+///     before handing the owner exclusive physical access.
+///   * SetSerializedPhysical(true) — an opt-in compatibility mode in which
+///     every object operation re-acquires one recursive facade latch for
+///     its whole duration, reproducing the old serialized substrate.
+///     bench_multiclient runs each CLIENTN point in both modes to report
+///     the facade-latch vs page-latch win (wait times come from the
+///     thread-local accounting in storage/latch.h).
 
 #ifndef OCB_OODB_DATABASE_H_
 #define OCB_OODB_DATABASE_H_
@@ -48,6 +66,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -59,6 +78,7 @@
 #include "oodb/schema.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_sim.h"
+#include "storage/latch.h"
 #include "storage/object_store.h"
 #include "storage/storage_options.h"
 #include "util/sim_clock.h"
@@ -68,6 +88,10 @@ namespace ocb {
 
 /// \brief Hook interface fed by the Database on every access; implemented
 /// by clustering policies (and by test spies).
+///
+/// Callbacks are serialized by the Database (one observer mutex), so
+/// implementations need no internal locking against each other — but they
+/// must not call back into the Database from inside a callback.
 class AccessObserver {
  public:
   virtual ~AccessObserver() = default;
@@ -103,6 +127,33 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// \brief Exclusive physical access for reorganizers and snapshot
+  /// save/load (the only surviving form of the old facade big-latch).
+  ///
+  /// Construction serializes against other QuiesceGuards (recursive: one
+  /// thread may nest them) and then drains every in-flight page pin —
+  /// other threads' FetchPage calls park *before* pinning anything until
+  /// destruction, while threads mid multi-page operation finish first.
+  /// The owner may use every Database and substrate API freely; logical
+  /// lock state (2PL) is NOT affected — callers that need "no uncommitted
+  /// writes" (SaveSnapshot) must additionally check the lock manager.
+  class QuiesceGuard {
+   public:
+    explicit QuiesceGuard(Database* db) : db_(db) {
+      db_->reorg_mu_.lock();
+      db_->pool_->BeginQuiesce();
+    }
+    ~QuiesceGuard() {
+      db_->pool_->EndQuiesce();
+      db_->reorg_mu_.unlock();
+    }
+    QuiesceGuard(const QuiesceGuard&) = delete;
+    QuiesceGuard& operator=(const QuiesceGuard&) = delete;
+
+   private:
+    Database* db_;
+  };
+
   /// Installs the schema (generator output). Must precede object creation.
   void SetSchema(Schema schema);
 
@@ -131,8 +182,9 @@ class Database {
   Status CommitTxn(TransactionContext* txn);
 
   /// Aborts: replays the undo log in reverse (restoring pre-images and
-  /// deleting created objects), discards the transaction's pending
-  /// versions, releases all locks, fires OnTransactionAbort.
+  /// deleting created objects), seals the transaction's published versions
+  /// (see VersionStore::StampAborted), releases all locks, fires
+  /// OnTransactionAbort.
   Status AbortTxn(TransactionContext* txn);
 
   // --- Object operations ---
@@ -141,8 +193,8 @@ class Database {
   // and participates in 2PL (S lock for reads, X lock for writes, undo
   // logging); a Status::Aborted return means the transaction was chosen as
   // a deadlock victim (or timed out) and the caller must AbortTxn. The
-  // legacy form is the txn form with a null context: facade-serialized,
-  // no locks, no undo — the seed's exact behaviour.
+  // legacy form is the txn form with a null context: no locks, no undo —
+  // single-threaded callers only (generators, reorganizers, CLIENTN=1).
 
   /// Creates an instance of \p class_id with all ORef slots null and the
   /// class's InstanceSize of filler. Appends it to the class extent.
@@ -196,7 +248,7 @@ class Database {
   void EndTransaction();
 
   /// Flushes dirty pages and empties the buffer pool — a cold cache, as
-  /// between the paper's generation and cold-run phases.
+  /// between the paper's generation and cold-run phases. Quiesces first.
   Status ColdRestart();
 
   // --- Substrate access (benchmark harness & clustering reorganizers) ---
@@ -229,52 +281,82 @@ class Database {
     return mvcc_enabled_.load(std::memory_order_relaxed);
   }
 
+  /// Opt-in compatibility mode: every object operation serializes on one
+  /// recursive facade latch for its whole duration, physical I/O included
+  /// — the pre-refactor big-latch substrate. bench_multiclient uses it as
+  /// the baseline of the facade-latch vs page-latch comparison. Flip only
+  /// while no operation is in flight.
+  void SetSerializedPhysical(bool on) {
+    serialize_physical_.store(on, std::memory_order_relaxed);
+  }
+  bool serialized_physical() const {
+    return serialize_physical_.load(std::memory_order_relaxed);
+  }
+
   /// Number of live objects.
   uint64_t object_count() const;
 
-  // --- Latched snapshots (safe under concurrent clients) ---
+  // --- Catalog snapshots (safe under concurrent clients) ---
   //
-  // Class extents and the object table mutate under the facade latch;
-  // these accessors copy them under it so multi-threaded callers (the
-  // transaction executor, protocol runners, stress tests) never iterate a
-  // vector another client is growing. The returned snapshot may be stale
-  // the moment it is returned — callers already tolerate vanished objects
-  // (NotFound) by construction.
+  // Class extents mutate under the catalog latch; these accessors copy
+  // them under it so multi-threaded callers (the transaction executor,
+  // protocol runners, stress tests) never iterate a vector another client
+  // is growing. The returned snapshot may be stale the moment it is
+  // returned — callers already tolerate vanished objects (NotFound) by
+  // construction.
 
   /// Copy of class \p class_id's extent.
   std::vector<Oid> ExtentSnapshot(ClassId class_id);
 
-  /// Copy of all live oids (ObjectStore::LiveOids under the latch).
+  /// Copy of all live oids (the object table is internally striped; the
+  /// copy is consistent-enough for root-pool maintenance).
   std::vector<Oid> LiveOidsSnapshot();
 
-  /// True when \p oid is currently live (latched ObjectStore::Contains).
+  /// True when \p oid is currently live.
   bool ContainsObject(Oid oid);
-
-  /// Serializes external multi-step operations (used by reorganizers to
-  /// make multi-object sequences atomic, and internally as the storage
-  /// latch). Recursive, so holding it while calling Database operations is
-  /// safe. Note: holding it does NOT confer 2PL isolation against the
-  /// transactional path's logical state — it excludes physical access only
-  /// (which reorganizers, moving objects wholesale, rely on).
-  std::recursive_mutex& big_lock() { return mutex_; }
 
  private:
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
 
+  /// Returns a held lock on the serialize-physical facade latch when the
+  /// compatibility mode is on — or when \p force is set, which the legacy
+  /// (txn == nullptr) *write* paths use: they have no object locks, so
+  /// their multi-object read-modify-write sequences keep the seed's
+  /// facade-serialized semantics in every mode. An empty (unheld) lock
+  /// otherwise. Blocked time is charged to the thread's facade-wait
+  /// counter.
+  std::unique_lock<std::recursive_mutex> FacadeGate(bool force = false);
+
+  /// Observer notification helpers (serialize on observer_mu_).
+  void NotifyObjectAccess(Oid oid);
+  void NotifyLinkCross(Oid from, Oid to, RefTypeId type, bool reverse);
+
   /// Appends a kRestore undo record holding \p obj's current encoding and
   /// publishes the same bytes as a pending version in the version store —
-  /// once per oid per txn (undo restores the earliest state). No-op when
+  /// once per oid per txn (undo restores the earliest state). The publish
+  /// strictly precedes the first in-place write, which is what the
+  /// snapshot readers' read-validate protocol relies on. No-op when
   /// \p txn is null.
   void RecordPreImage(TransactionContext* txn, const Object& obj);
 
   /// Acquires \p mode on \p oid for \p txn via the lock manager; no-op
-  /// when \p txn is null. Must be called *outside* the latch (it blocks).
+  /// when \p txn is null. Must be called before any latch is taken (it
+  /// blocks).
   Status LockFor(TransactionContext* txn, Oid oid, LockMode mode);
 
-  /// Snapshot read for a read-only txn: resolves \p oid through the
-  /// version store at the txn's ReadView (under the latch, so the chain
-  /// lookup and any store fall-through see one consistent world).
+  /// Snapshot read for a read-only txn, without any facade latch:
+  ///
+  ///   1. Resolve through the version store; a version newer than the
+  ///      ReadView (pending ones count as +infinity) carries the state at
+  ///      the snapshot.
+  ///   2. Otherwise read the current store state (under the page's S
+  ///      latch) and re-check the version store: writers publish their
+  ///      pre-image *before* the first in-place write and aborts seal
+  ///      (never drop) published versions, so any write racing the store
+  ///      read is visible to the second check, which then supplies the
+  ///      correct pre-image. An unchanged second check proves the store
+  ///      bytes were the state at the snapshot.
   Result<Object> SnapshotRead(TransactionContext* txn, Oid oid);
 
   /// Rejects write operations issued through a read-only txn.
@@ -290,13 +372,27 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<ObjectStore> store_;
   Schema schema_;
-  AccessObserver* observer_ = nullptr;
+  AccessObserver* observer_ = nullptr;  ///< Guarded by observer_mu_.
   LockManager lock_manager_;
   VersionStore version_store_;
   ReadViewRegistry read_views_;
   std::atomic<bool> mvcc_enabled_{true};
+  std::atomic<bool> serialize_physical_{false};
   std::atomic<TxnId> next_txn_id_{1};
-  std::recursive_mutex mutex_;
+
+  /// Catalog latch: schema/class-extent metadata only (level 2 of the
+  /// hierarchy above). Never held across physical I/O.
+  std::shared_mutex catalog_mu_;
+
+  /// Serializes observer callbacks (clustering policies are not internally
+  /// synchronized).
+  std::mutex observer_mu_;
+
+  /// Serializes QuiesceGuard owners (reorganizers, snapshot save/load).
+  std::recursive_mutex reorg_mu_;
+
+  /// The opt-in serialize-physical big-latch (compatibility mode only).
+  std::recursive_mutex serial_mu_;
 
   // Background version GC. Started lazily by the first BeginTxn (legacy
   // single-client users never pay for the thread), joined in the

@@ -78,7 +78,10 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 }  // namespace
 
 Status SaveSnapshot(Database* db, const std::string& path) {
-  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  // Quiesce: drains every in-flight page pin (so a reader mid-fetch
+  // cannot race the flush below) and blocks new physical activity from
+  // other threads for the duration of the save.
+  Database::QuiesceGuard quiesce(db);
   // An in-flight transaction holding locks means the pages (and the undo
   // state that would repair them) are mid-flight too: a snapshot taken now
   // would capture uncommitted writes with no way to roll them back on
@@ -121,7 +124,7 @@ Status SaveSnapshot(Database* db, const std::string& path) {
   }
 
   // Object table.
-  const auto& table = db->object_store()->table();
+  const auto table = db->object_store()->TableSnapshot();
   w.U64(db->object_store()->max_oid() + 1);  // next_oid.
   w.U64(table.size());
   for (const auto& [oid, loc] : table) {
@@ -141,7 +144,7 @@ Status SaveSnapshot(Database* db, const std::string& path) {
 }
 
 Status LoadSnapshot(Database* db, const std::string& path) {
-  std::lock_guard<std::recursive_mutex> lock(db->big_lock());
+  Database::QuiesceGuard quiesce(db);
   if (db->object_count() != 0) {
     return Status::InvalidArgument("LoadSnapshot requires an empty database");
   }

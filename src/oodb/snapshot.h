@@ -30,10 +30,13 @@ namespace ocb {
 
 /// \brief Flushes \p db and writes a complete snapshot to \p path.
 ///
-/// Refuses (InvalidArgument) while any transaction holds object locks:
-/// their uncommitted in-place writes would be persisted with no undo log
-/// to repair them on load. Quiesce the workload (commit or abort every
-/// in-flight transaction) first.
+/// Runs under Database::QuiesceGuard: it first waits out every in-flight
+/// page pin (a reader mid-fetch can no longer race the flush) and holds
+/// exclusive physical access for the whole save. It still refuses
+/// (InvalidArgument) while any transaction holds object locks: their
+/// uncommitted in-place writes would be persisted with no undo log to
+/// repair them on load. Commit or abort every in-flight transaction
+/// first — pins drain on their own.
 Status SaveSnapshot(Database* db, const std::string& path);
 
 /// \brief Loads a snapshot into \p db, which must be freshly constructed

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -7,16 +8,55 @@
 
 namespace ocb {
 
+namespace {
+
+// Stripe count: explicit option wins; otherwise pools of >= 64 frames get
+// the build-time default (OCB_LATCH_STRIPES, 8 unless overridden) and
+// smaller pools stay single-striped so the seed's exact global LRU order is
+// preserved for the replacement-policy ablations and their tests. When the
+// build pins OCB_LATCH_STRIPES it also caps explicit requests — that is
+// what the -DOCB_LATCH_STRIPES=1 CI configuration uses to prove correctness
+// does not depend on striping.
+#ifdef OCB_LATCH_STRIPES
+constexpr size_t kDefaultStripes = OCB_LATCH_STRIPES;
+#else
+constexpr size_t kDefaultStripes = 8;
+#endif
+constexpr size_t kAutoStripeMinFrames = 64;
+
+size_t EffectiveStripes(const StorageOptions& options) {
+  size_t stripes =
+      options.latch_stripes != 0
+          ? options.latch_stripes
+          : (options.buffer_pool_pages >= kAutoStripeMinFrames
+                 ? kDefaultStripes
+                 : 1);
+#ifdef OCB_LATCH_STRIPES
+  stripes = std::min(stripes, kDefaultStripes);
+#endif
+  stripes = std::max<size_t>(stripes, 1);
+  return std::min(stripes, options.buffer_pool_pages);
+}
+
+// Outstanding pins held by the calling thread. Lets the quiesce gate admit
+// threads that are mid multi-page operation (they must be able to finish so
+// pins drain) while parking threads that have not started one. The counter
+// is per thread, not per pool: in practice a thread operates on one
+// Database's pool at a time.
+thread_local int64_t tls_pin_depth = 0;
+
+}  // namespace
+
 PageHandle::PageHandle(BufferPool* pool, size_t frame_index, uint8_t* data,
-                       size_t page_size)
+                       size_t page_size, LatchMode mode)
     : pool_(pool), frame_index_(frame_index), data_(data),
-      page_size_(page_size) {}
+      page_size_(page_size), mode_(mode) {}
 
 PageHandle::~PageHandle() { Release(); }
 
 PageHandle::PageHandle(PageHandle&& other) noexcept
     : pool_(other.pool_), frame_index_(other.frame_index_),
-      data_(other.data_), page_size_(other.page_size_) {
+      data_(other.data_), page_size_(other.page_size_), mode_(other.mode_) {
   other.pool_ = nullptr;
 }
 
@@ -27,6 +67,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
     frame_index_ = other.frame_index_;
     data_ = other.data_;
     page_size_ = other.page_size_;
+    mode_ = other.mode_;
     other.pool_ = nullptr;
   }
   return *this;
@@ -34,57 +75,177 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 void PageHandle::MarkDirty() {
   assert(valid());
+  assert(mode_ == LatchMode::kExclusive);
   pool_->frames_[frame_index_].dirty = true;
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_index_);
+    pool_->Unpin(frame_index_, mode_);
     pool_ = nullptr;
   }
 }
 
 BufferPool::BufferPool(DiskSim* disk, const StorageOptions& options)
     : disk_(disk), options_(options) {
-  frames_.resize(options.buffer_pool_pages);
-  free_frames_.reserve(frames_.size());
-  for (size_t i = frames_.size(); i > 0; --i) {
-    free_frames_.push_back(i - 1);
+  frame_count_ = options.buffer_pool_pages;
+  frames_ = std::make_unique<Frame[]>(frame_count_);
+  const size_t stripe_count = EffectiveStripes(options);
+  stripes_.reserve(stripe_count);
+  for (size_t s = 0; s < stripe_count; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  // Frame i belongs to stripe i % N; free lists hand out the lowest frame
+  // first, matching the seed's allocation order in the 1-stripe layout.
+  for (size_t i = frame_count_; i > 0; --i) {
+    Stripe& stripe = *stripes_[(i - 1) % stripe_count];
+    stripe.free_frames.push_back(i - 1);
+  }
+  for (size_t i = 0; i < frame_count_; ++i) {
+    stripes_[i % stripe_count]->owned_frames.push_back(i);
   }
 }
 
-Result<PageHandle> BufferPool::FetchPage(PageId page_id) {
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    Frame& frame = frames_[it->second];
-    ++frame.pin_count;
-    frame.referenced = true;
-    TouchLru(it->second);
-    return PageHandle(this, it->second, frame.data.get(),
-                      options_.page_size);
+void BufferPool::MaybeWaitForQuiesce() {
+  if (!quiescing_.load(std::memory_order_acquire)) return;
+  if (tls_pin_depth > 0) return;  // Mid-operation: allowed to finish.
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  if (quiesce_owner_ == std::this_thread::get_id()) return;
+  quiesce_cv_.wait(lock, [&] { return quiesce_depth_ == 0; });
+}
+
+void BufferPool::BeginQuiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  if (quiesce_depth_ > 0 && quiesce_owner_ == me) {
+    ++quiesce_depth_;
+    return;
   }
-  ++stats_.misses;
-  OCB_ASSIGN_OR_RETURN(size_t frame_index, PickVictim());
-  Frame& frame = frames_[frame_index];
-  if (frame.data == nullptr) {
-    frame.data = std::make_unique<uint8_t[]>(options_.page_size);
+  assert(tls_pin_depth == 0 &&
+         "quiesce owner must not hold page handles when entering");
+  quiesce_cv_.wait(lock, [&] { return quiesce_depth_ == 0; });
+  quiesce_owner_ = me;
+  quiesce_depth_ = 1;
+  quiescing_.store(true, std::memory_order_release);
+  // Drain: in-flight operations keep their gate exemption via tls_pin_depth
+  // and finish; nobody else can start pinning.
+  quiesce_cv_.wait(lock, [&] {
+    return total_pins_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void BufferPool::EndQuiesce() {
+  std::lock_guard<std::mutex> lock(quiesce_mu_);
+  assert(quiesce_depth_ > 0 &&
+         quiesce_owner_ == std::this_thread::get_id());
+  if (--quiesce_depth_ == 0) {
+    quiesce_owner_ = std::thread::id{};
+    quiescing_.store(false, std::memory_order_release);
+    quiesce_cv_.notify_all();
   }
-  OCB_RETURN_NOT_OK(disk_->ReadPage(page_id, frame.data.get()));
-  frame.page_id = page_id;
-  frame.dirty = false;
-  frame.referenced = true;
-  frame.pin_count = 1;
-  page_table_[page_id] = frame_index;
-  lru_.push_front(frame_index);
-  frame.lru_pos = lru_.begin();
-  return PageHandle(this, frame_index, frame.data.get(), options_.page_size);
+}
+
+Result<PageHandle> BufferPool::FetchPage(PageId page_id, LatchMode mode) {
+  MaybeWaitForQuiesce();
+  Stripe& stripe = stripe_of(page_id);
+  for (;;) {
+    size_t frame_index = 0;
+    bool miss = false;
+    {
+      LatchPageExclusive(stripe.mu);
+      std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
+      auto it = stripe.page_table.find(page_id);
+      if (it != stripe.page_table.end()) {
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        frame_index = it->second;
+        Frame& frame = frames_[frame_index];
+        frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+        total_pins_.fetch_add(1, std::memory_order_acq_rel);
+        ++tls_pin_depth;
+        frame.referenced = true;
+        TouchLru(stripe, frame_index);
+      } else {
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        auto claimed = ClaimFrame(stripe);
+        if (!claimed.ok()) return claimed.status();
+        frame_index = claimed.value();
+        Frame& frame = frames_[frame_index];
+        if (frame.data == nullptr) {
+          frame.data = std::make_unique<uint8_t[]>(options_.page_size);
+        }
+        frame.page_id = page_id;
+        frame.dirty = false;
+        frame.referenced = true;
+        frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+        total_pins_.fetch_add(1, std::memory_order_acq_rel);
+        ++tls_pin_depth;
+        stripe.page_table[page_id] = frame_index;
+        stripe.lru.push_front(frame_index);
+        frame.lru_pos = stripe.lru.begin();
+        miss = true;
+      }
+    }
+    Frame& frame = frames_[frame_index];
+    if (miss) {
+      // Miss I/O runs outside the stripe mutex, under the frame's X latch
+      // (held since ClaimFrame): concurrent fetchers of this page pin the
+      // frame and block on the latch until the read completes, while the
+      // rest of the stripe stays available.
+      Status read = disk_->ReadPage(page_id, frame.data.get());
+      if (!read.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(stripe.mu);
+          stripe.page_table.erase(page_id);
+          stripe.lru.erase(frame.lru_pos);
+          frame.page_id = kInvalidPageId;
+          frame.referenced = false;
+          stripe.free_frames.push_back(frame_index);
+        }
+        frame.latch.unlock();
+        Unpin(frame_index, LatchMode::kExclusive,
+              /*latch_already_released=*/true);
+        return read;
+      }
+      if (mode == LatchMode::kShared) {
+        // std::shared_mutex has no downgrade; the gap is benign — the
+        // handle's read view only begins once the S latch is held.
+        frame.latch.unlock();
+        LatchPageShared(frame.latch);
+      }
+    } else {
+      if (mode == LatchMode::kShared) {
+        LatchPageShared(frame.latch);
+      } else {
+        LatchPageExclusive(frame.latch);
+      }
+      // A failed install (disk error on the frame we were waiting for) can
+      // retire the frame under us; page_id is stable while we hold the
+      // latch, so re-check and retry the lookup.
+      if (frame.page_id != page_id) {
+        if (mode == LatchMode::kShared) {
+          frame.latch.unlock_shared();
+        } else {
+          frame.latch.unlock();
+        }
+        Unpin(frame_index, mode, /*latch_already_released=*/true);
+        continue;
+      }
+    }
+    return PageHandle(this, frame_index, frame.data.get(),
+                      options_.page_size, mode);
+  }
 }
 
 Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
+  MaybeWaitForQuiesce();
   const PageId page_id = disk_->AllocatePage();
   if (out_page_id != nullptr) *out_page_id = page_id;
-  OCB_ASSIGN_OR_RETURN(size_t frame_index, PickVictim());
+  Stripe& stripe = stripe_of(page_id);
+  LatchPageExclusive(stripe.mu);
+  std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
+  auto claimed = ClaimFrame(stripe);
+  if (!claimed.ok()) return claimed.status();
+  const size_t frame_index = claimed.value();
   Frame& frame = frames_[frame_index];
   if (frame.data == nullptr) {
     frame.data = std::make_unique<uint8_t[]>(options_.page_size);
@@ -94,112 +255,197 @@ Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
   frame.page_id = page_id;
   frame.dirty = true;
   frame.referenced = true;
-  frame.pin_count = 1;
-  page_table_[page_id] = frame_index;
-  lru_.push_front(frame_index);
-  frame.lru_pos = lru_.begin();
-  return PageHandle(this, frame_index, frame.data.get(), options_.page_size);
+  frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+  total_pins_.fetch_add(1, std::memory_order_acq_rel);
+  ++tls_pin_depth;
+  stripe.page_table[page_id] = frame_index;
+  stripe.lru.push_front(frame_index);
+  frame.lru_pos = stripe.lru.begin();
+  return PageHandle(this, frame_index, frame.data.get(), options_.page_size,
+                    LatchMode::kExclusive);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.dirty) {
-      OCB_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
-      ++stats_.dirty_writebacks;
-      frame.dirty = false;
+  for (auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    std::vector<std::pair<size_t, PageId>> resident;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      resident.reserve(stripe.page_table.size());
+      for (const auto& [pid, idx] : stripe.page_table) {
+        resident.push_back({idx, pid});
+      }
+    }
+    for (const auto& [frame_index, pid] : resident) {
+      Frame& frame = frames_[frame_index];
+      LatchPageExclusive(frame.latch);
+      // Holding the latch pins down page_id and dirty; re-check that the
+      // frame still caches the page we collected (it may have been evicted
+      // and reused between the two loops).
+      if (frame.page_id == pid && frame.dirty) {
+        Status written = disk_->WritePage(pid, frame.data.get());
+        if (!written.ok()) {
+          frame.latch.unlock();
+          return written;
+        }
+        stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+        frame.dirty = false;
+      }
+      frame.latch.unlock();
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::InvalidateAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (frame.page_id == kInvalidPageId) continue;
-    if (frame.pin_count > 0) {
-      return Status::Aborted("cannot invalidate pinned frame");
+  for (auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    std::vector<size_t> resident;
+    resident.reserve(stripe.page_table.size());
+    for (const auto& [pid, idx] : stripe.page_table) {
+      resident.push_back(idx);
     }
-    OCB_RETURN_NOT_OK(EvictFrame(i));
-    free_frames_.push_back(i);
+    // Deterministic order (the seed walked frames in index order).
+    std::sort(resident.begin(), resident.end());
+    for (size_t frame_index : resident) {
+      Frame& frame = frames_[frame_index];
+      if (frame.pin_count.load(std::memory_order_relaxed) > 0 ||
+          !frame.latch.try_lock()) {
+        return Status::Aborted("cannot invalidate pinned frame");
+      }
+      Status evicted = EvictFrame(stripe, frame_index);
+      frame.latch.unlock();
+      if (!evicted.ok()) return evicted;
+      stripe.free_frames.push_back(frame_index);
+    }
   }
   return Status::OK();
 }
 
 size_t BufferPool::pinned_frames() const {
   size_t pinned = 0;
-  for (const Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.pin_count > 0) ++pinned;
+  for (const auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [pid, idx] : stripe.page_table) {
+      if (frames_[idx].pin_count.load(std::memory_order_relaxed) > 0) {
+        ++pinned;
+      }
+    }
   }
   return pinned;
 }
 
-Result<size_t> BufferPool::PickVictim() {
-  if (!free_frames_.empty()) {
-    const size_t frame_index = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::ClaimFrame(Stripe& stripe) {
+  // Free frames usually have neither pins nor latch holders — but a
+  // failed install (FetchPage's disk-error cleanup) free-lists a frame
+  // while late waiters of the failed page still pin it for their page_id
+  // re-check. Skip such frames (their pins drain on their own) instead of
+  // handing out a frame someone else is latched on.
+  for (size_t i = stripe.free_frames.size(); i > 0; --i) {
+    const size_t frame_index = stripe.free_frames[i - 1];
+    Frame& frame = frames_[frame_index];
+    if (frame.pin_count.load(std::memory_order_relaxed) != 0 ||
+        !frame.latch.try_lock()) {
+      continue;
+    }
+    stripe.free_frames.erase(stripe.free_frames.begin() +
+                             static_cast<ptrdiff_t>(i - 1));
     return frame_index;
   }
   switch (options_.replacement_policy) {
     case ReplacementPolicy::kLru:
     case ReplacementPolicy::kFifo: {
       // LRU: the back of the list is least recently used. FIFO: TouchLru is
-      // a no-op on hits, so the back is the oldest resident page.
-      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        if (frames_[*it].pin_count == 0) {
-          const size_t victim = *it;
-          OCB_RETURN_NOT_OK(EvictFrame(victim));
-          return victim;
+      // a no-op on hits, so the back is the oldest resident page. Pinned or
+      // latched frames are skipped (try_lock never blocks while we hold the
+      // stripe mutex — a latch holder may be waiting for it).
+      for (auto it = stripe.lru.rbegin(); it != stripe.lru.rend(); ++it) {
+        Frame& frame = frames_[*it];
+        if (frame.pin_count.load(std::memory_order_relaxed) != 0) continue;
+        if (!frame.latch.try_lock()) continue;
+        const size_t victim = *it;
+        Status evicted = EvictFrame(stripe, victim);
+        if (!evicted.ok()) {
+          frame.latch.unlock();
+          return evicted;
         }
+        return victim;
       }
       break;
     }
     case ReplacementPolicy::kClock: {
-      for (size_t sweep = 0; sweep < 2 * frames_.size(); ++sweep) {
-        Frame& frame = frames_[clock_hand_];
-        const size_t index = clock_hand_;
-        clock_hand_ = (clock_hand_ + 1) % frames_.size();
-        if (frame.pin_count > 0) continue;
+      const size_t owned = stripe.owned_frames.size();
+      for (size_t sweep = 0; sweep < 2 * owned; ++sweep) {
+        const size_t frame_index = stripe.owned_frames[stripe.clock_pos];
+        stripe.clock_pos = (stripe.clock_pos + 1) % owned;
+        Frame& frame = frames_[frame_index];
+        if (frame.page_id == kInvalidPageId) continue;
+        if (frame.pin_count.load(std::memory_order_relaxed) != 0) continue;
         if (frame.referenced) {
           frame.referenced = false;
           continue;
         }
-        OCB_RETURN_NOT_OK(EvictFrame(index));
-        return index;
+        if (!frame.latch.try_lock()) continue;
+        Status evicted = EvictFrame(stripe, frame_index);
+        if (!evicted.ok()) {
+          frame.latch.unlock();
+          return evicted;
+        }
+        return frame_index;
       }
       break;
     }
   }
-  return Status::NoSpace("all buffer-pool frames are pinned");
+  return Status::NoSpace("all buffer-pool frames of the stripe are pinned");
 }
 
-Status BufferPool::EvictFrame(size_t frame_index) {
+Status BufferPool::EvictFrame(Stripe& stripe, size_t frame_index) {
+  // Requires stripe.mu and the frame latch: the victim's writeback
+  // completes under the stripe mutex, so a concurrent re-fetch of the page
+  // (same stripe by construction) serializes behind the finished write.
   Frame& frame = frames_[frame_index];
   if (frame.dirty) {
-    OCB_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
-    ++stats_.dirty_writebacks;
+    Status written = disk_->WritePage(frame.page_id, frame.data.get());
+    if (!written.ok()) return written;
+    stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
   }
-  ++stats_.evictions;
-  page_table_.erase(frame.page_id);
-  lru_.erase(frame.lru_pos);
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  stripe.page_table.erase(frame.page_id);
+  stripe.lru.erase(frame.lru_pos);
   frame.page_id = kInvalidPageId;
   frame.dirty = false;
   frame.referenced = false;
-  frame.pin_count = 0;
   return Status::OK();
 }
 
-void BufferPool::Unpin(size_t frame_index) {
+void BufferPool::Unpin(size_t frame_index, LatchMode mode,
+                       bool latch_already_released) {
   Frame& frame = frames_[frame_index];
-  assert(frame.pin_count > 0);
-  --frame.pin_count;
+  if (!latch_already_released) {
+    if (mode == LatchMode::kShared) {
+      frame.latch.unlock_shared();
+    } else {
+      frame.latch.unlock();
+    }
+  }
+  assert(frame.pin_count.load(std::memory_order_relaxed) > 0);
+  frame.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  --tls_pin_depth;
+  if (total_pins_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      quiescing_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
 }
 
-void BufferPool::TouchLru(size_t frame_index) {
+void BufferPool::TouchLru(Stripe& stripe, size_t frame_index) {
   if (options_.replacement_policy == ReplacementPolicy::kFifo) return;
   Frame& frame = frames_[frame_index];
-  lru_.erase(frame.lru_pos);
-  lru_.push_front(frame_index);
-  frame.lru_pos = lru_.begin();
+  stripe.lru.erase(frame.lru_pos);
+  stripe.lru.push_front(frame_index);
+  frame.lru_pos = stripe.lru.begin();
 }
 
 }  // namespace ocb

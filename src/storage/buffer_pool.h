@@ -1,26 +1,59 @@
 /// \file buffer_pool.h
-/// \brief Fixed-capacity page cache between the object store and DiskSim.
+/// \brief Striped, page-latched cache between the object store and DiskSim.
 ///
 /// A buffer-pool *miss* is exactly one disk read; evicting a dirty frame is
 /// one disk write. This is the mechanism by which object clustering shows
 /// up in OCB's metrics: co-locating frequently co-accessed objects on the
 /// same page turns would-be misses into hits.
 ///
-/// Replacement is LRU by default (Clock and FIFO are available for
-/// ablations). Frames can be pinned during access; pinned frames are never
-/// evicted.
+/// Concurrency (latching contract):
+///
+///   * The page table is *striped*: page p belongs to stripe p % N, each
+///     stripe with its own mutex, its own share of the frames, and its own
+///     LRU/Clock/FIFO replacement state. A miss (victim writeback + disk
+///     read) in one stripe never blocks hits or misses in another, so
+///     CLIENTN clients overlap their physical I/O instead of convoying on
+///     one pool-wide latch. N defaults to 1 for small pools (< 64 frames,
+///     preserving exact single-list LRU order for ablations) and to
+///     OCB_LATCH_STRIPES (8 unless overridden at build time) otherwise;
+///     StorageOptions::latch_stripes pins it explicitly.
+///   * Every frame carries a reader/writer *page latch* and an atomic pin
+///     count. FetchPage/NewPage return a PageHandle that holds the frame
+///     pinned (pin blocks eviction) and latched in the requested LatchMode:
+///     kShared readers of one page proceed in parallel, a kExclusive
+///     mutator excludes them for the duration of the handle. Latches are
+///     operation-lifetime only — transaction-lifetime isolation is the
+///     LockManager's job (see database.h for the full lock → catalog latch
+///     → page latch hierarchy).
+///   * Callers must not fetch a page they already hold a handle to (frame
+///     latches are not recursive), and a thread holding one handle may
+///     fetch a second page only in ascending page-id order (the object
+///     store's relocation paths follow this rule; single-handle callers
+///     are unconstrained).
+///
+/// Quiesce: reorganizers and snapshot save/load need the pre-latch world —
+/// exclusive access to every page at once. BeginQuiesce() blocks new
+/// fetches from other threads (threads mid-operation, i.e. already holding
+/// a pin, are allowed to finish) and waits until every outstanding pin has
+/// drained; the owning thread then operates alone. Database::QuiesceGuard
+/// is the intended entry point.
 
 #ifndef OCB_STORAGE_BUFFER_POOL_H_
 #define OCB_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk_sim.h"
+#include "storage/latch.h"
 #include "storage/page.h"
 #include "storage/storage_options.h"
 #include "storage/types.h"
@@ -30,16 +63,18 @@ namespace ocb {
 
 class BufferPool;
 
-/// \brief Pinned reference to a cached page; unpins on destruction.
+/// \brief Pinned, latched reference to a cached page; unlatches and unpins
+/// on destruction.
 ///
-/// Handles are movable but not copyable. Mutating the page through the
-/// handle requires calling MarkDirty() so the frame is written back on
-/// eviction.
+/// Handles are movable but not copyable, and must not outlive their pool.
+/// Mutating the page through the handle requires a kExclusive handle and a
+/// MarkDirty() call so the frame is written back on eviction. A handle must
+/// be released by the thread that fetched it (the latch is thread-owned).
 class PageHandle {
  public:
   PageHandle() = default;
   PageHandle(BufferPool* pool, size_t frame_index, uint8_t* data,
-             size_t page_size);
+             size_t page_size, LatchMode mode);
   ~PageHandle();
 
   PageHandle(PageHandle&& other) noexcept;
@@ -49,14 +84,18 @@ class PageHandle {
 
   bool valid() const { return pool_ != nullptr; }
 
+  /// Latch mode the frame is held in.
+  LatchMode mode() const { return mode_; }
+
   /// Typed slotted-page view over the cached frame.
   Page page() { return Page(data_, page_size_); }
   const Page page() const { return Page(data_, page_size_); }
 
-  /// Marks the frame dirty (must be called after any mutation).
+  /// Marks the frame dirty (must be called after any mutation; requires a
+  /// kExclusive handle).
   void MarkDirty();
 
-  /// Explicitly unpins; the handle becomes invalid.
+  /// Explicitly unlatches and unpins; the handle becomes invalid.
   void Release();
 
  private:
@@ -64,12 +103,13 @@ class PageHandle {
   size_t frame_index_ = 0;
   uint8_t* data_ = nullptr;
   size_t page_size_ = 0;
+  LatchMode mode_ = LatchMode::kExclusive;
 };
 
 /// Hit/miss statistics of a buffer pool.
 struct BufferPoolStats {
   // Atomic (relaxed) so phase-boundary readers may snapshot while other
-  // client threads hit the pool under the Database latch.
+  // client threads hit the pool concurrently.
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> evictions{0};
@@ -105,9 +145,11 @@ struct BufferPoolStats {
   }
 };
 
-/// \brief LRU/Clock/FIFO page cache over a DiskSim.
+/// \brief Striped LRU/Clock/FIFO page cache over a DiskSim.
 ///
-/// Not thread-safe; callers serialize (see DiskSim note).
+/// Thread-safe: concurrent FetchPage/NewPage/handle-release from any number
+/// of threads. FlushAll/InvalidateAll/ResetStats are safe but intended for
+/// idle or quiesced moments (they visit every stripe).
 class BufferPool {
  public:
   BufferPool(DiskSim* disk, const StorageOptions& options);
@@ -115,10 +157,14 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a pinned handle to \p page_id, reading it from disk on a miss.
-  Result<PageHandle> FetchPage(PageId page_id);
+  /// Returns a pinned handle to \p page_id latched in \p mode, reading the
+  /// page from disk on a miss. kShared handles of one page coexist; a
+  /// kExclusive handle waits out every other handle of that page.
+  Result<PageHandle> FetchPage(PageId page_id,
+                               LatchMode mode = LatchMode::kExclusive);
 
-  /// Allocates a brand-new page on disk and returns it pinned and dirty.
+  /// Allocates a brand-new page on disk and returns it pinned, dirty and
+  /// kExclusive-latched.
   Result<PageHandle> NewPage(PageId* out_page_id = nullptr);
 
   /// Writes back every dirty frame (e.g. after the generation phase).
@@ -131,40 +177,95 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return frame_count_; }
   size_t pinned_frames() const;
   DiskSim* disk() { return disk_; }
+
+  /// Number of page-table stripes in effect (1 = the degenerate,
+  /// seed-equivalent single-latch layout).
+  size_t latch_stripes() const { return stripes_.size(); }
+
+  /// Sum of all outstanding pins (0 when no handle is live).
+  uint64_t total_pins() const {
+    return static_cast<uint64_t>(
+        total_pins_.load(std::memory_order_acquire));
+  }
+
+  // --- Quiesce gate (Database::QuiesceGuard) ---
+
+  /// Blocks until every outstanding pin has drained and, until the matching
+  /// EndQuiesce, makes other threads' FetchPage/NewPage wait *before*
+  /// pinning anything (threads already holding a pin — i.e. mid multi-page
+  /// operation — pass through so pins always drain). Re-entrant on the
+  /// owning thread.
+  void BeginQuiesce();
+  void EndQuiesce();
 
  private:
   friend class PageHandle;
 
   struct Frame {
+    std::shared_mutex latch;             ///< The page latch.
+    std::atomic<uint32_t> pin_count{0};  ///< Pinned frames are not evicted.
+    // The fields below are guarded by the owning stripe's mutex, except
+    // `dirty` (guarded by the frame latch) and `data` (the pointer is set
+    // once under the stripe mutex and stable afterwards; the bytes are
+    // guarded by the frame latch).
     PageId page_id = kInvalidPageId;
     std::unique_ptr<uint8_t[]> data;
     bool dirty = false;
     bool referenced = false;  // Clock bit.
-    uint32_t pin_count = 0;
     std::list<size_t>::iterator lru_pos;  // Valid iff resident.
   };
 
-  /// Picks a victim frame (resident and unpinned) according to the policy,
-  /// or an unused frame if one exists. Fails when everything is pinned.
-  Result<size_t> PickVictim();
+  /// One page-table shard: pages with page_id % stripes == index live here,
+  /// cached in the frames this stripe owns (frame % stripes == index).
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> page_table;
+    std::list<size_t> lru;  ///< Front = most recent, back = victim.
+    std::vector<size_t> free_frames;
+    std::vector<size_t> owned_frames;  ///< All frame indices of the stripe.
+    size_t clock_pos = 0;              ///< Index into owned_frames.
+  };
 
-  /// Evicts the frame (writes back if dirty) and removes map entry.
-  Status EvictFrame(size_t frame_index);
+  Stripe& stripe_of(PageId page_id) {
+    return *stripes_[page_id % stripes_.size()];
+  }
 
-  void Unpin(size_t frame_index);
-  void TouchLru(size_t frame_index);
+  /// Waits while another thread holds the quiesce gate (no-op for the gate
+  /// owner and for threads that already hold pins).
+  void MaybeWaitForQuiesce();
+
+  /// Claims a frame of \p stripe for a new resident page and returns it
+  /// with its latch held exclusively, evicting a victim if needed (victim
+  /// writeback happens under the stripe mutex, so a concurrent re-fetch of
+  /// the victim page — same stripe by construction — serializes behind the
+  /// completed writeback). Requires \p stripe.mu.
+  Result<size_t> ClaimFrame(Stripe& stripe);
+
+  /// Evicts resident \p frame_index (writes back if dirty) and removes the
+  /// page-table entry. Requires \p stripe.mu and the frame latch.
+  Status EvictFrame(Stripe& stripe, size_t frame_index);
+
+  void Unpin(size_t frame_index, LatchMode mode,
+             bool latch_already_released = false);
+  void TouchLru(Stripe& stripe, size_t frame_index);
 
   DiskSim* disk_;
   StorageOptions options_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  ///< Front = most recent, back = victim candidate.
-  size_t clock_hand_ = 0;
-  std::unordered_map<PageId, size_t> page_table_;
+  size_t frame_count_ = 0;
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   BufferPoolStats stats_;
+
+  // Quiesce gate state.
+  std::atomic<bool> quiescing_{false};
+  std::atomic<int64_t> total_pins_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  std::thread::id quiesce_owner_{};
+  int quiesce_depth_ = 0;
 };
 
 }  // namespace ocb

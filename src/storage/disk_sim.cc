@@ -34,26 +34,35 @@ DiskSim::~DiskSim() {
 PageId DiskSim::AllocatePage() {
   auto page = std::make_unique<uint8_t[]>(options_.page_size);
   std::memset(page.get(), 0, options_.page_size);
+  std::unique_lock<std::shared_mutex> lock(pages_mu_);
   pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status DiskSim::ReadPage(PageId page_id, uint8_t* out) {
-  if (page_id >= pages_.size()) {
-    return Status::IOError(Format("read of unallocated page %u", page_id));
+  {
+    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    if (page_id >= pages_.size()) {
+      return Status::IOError(Format("read of unallocated page %u", page_id));
+    }
+    std::memcpy(out, pages_[page_id].get(), options_.page_size);
   }
-  std::memcpy(out, pages_[page_id].get(), options_.page_size);
   ++counters_[static_cast<size_t>(scope())].reads;
   if (clock_ != nullptr) clock_->Advance(options_.read_latency_nanos);
   return Status::OK();
 }
 
 Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
-  if (page_id >= pages_.size()) {
-    return Status::IOError(Format("write of unallocated page %u", page_id));
+  {
+    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    if (page_id >= pages_.size()) {
+      return Status::IOError(
+          Format("write of unallocated page %u", page_id));
+    }
+    std::memcpy(pages_[page_id].get(), data, options_.page_size);
   }
-  std::memcpy(pages_[page_id].get(), data, options_.page_size);
   if (backing_ != nullptr) {
+    std::lock_guard<std::mutex> file_lock(backing_mu_);
     const long offset =
         static_cast<long>(page_id) * static_cast<long>(options_.page_size);
     if (std::fseek(backing_, offset, SEEK_SET) != 0 ||
@@ -70,6 +79,7 @@ Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
 }
 
 void DiskSim::LoadPageImage(PageId page_id, const uint8_t* data) {
+  std::shared_lock<std::shared_mutex> lock(pages_mu_);
   std::memcpy(pages_[page_id].get(), data, options_.page_size);
 }
 

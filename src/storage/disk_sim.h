@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -37,8 +39,8 @@ const char* IoScopeToString(IoScope scope);
 
 /// Per-scope read/write counters.
 ///
-/// Fields are atomic (relaxed) so concurrent clients may increment under
-/// the Database latch while phase-boundary readers snapshot without it;
+/// Fields are atomic (relaxed) so concurrent clients may increment from
+/// any thread while phase-boundary readers snapshot concurrently;
 /// copying yields a plain consistent-enough snapshot for metric deltas.
 struct IoCounters {
   std::atomic<uint64_t> reads{0};
@@ -64,8 +66,12 @@ struct IoCounters {
 
 /// \brief In-memory page array with I/O accounting and simulated latency.
 ///
-/// Not thread-safe; the Database facade serializes access (the paper's
-/// multi-user mode shares one store among CLIENTN clients).
+/// Thread-safe for concurrent I/O on *distinct* pages: the page directory
+/// is guarded by a reader/writer mutex (AllocatePage writes it, page I/O
+/// reads it) and the counters are atomic. Concurrent ReadPage/WritePage of
+/// the *same* page are excluded by the buffer pool's per-frame latches and
+/// per-stripe eviction protocol, never by this class — raw multi-threaded
+/// users must provide the same exclusion themselves.
 class DiskSim {
  public:
   /// \param clock Simulated clock charged for every I/O; may be nullptr to
@@ -87,12 +93,16 @@ class DiskSim {
   Status WritePage(PageId page_id, const uint8_t* data);
 
   /// Number of allocated pages.
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const {
+    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    return pages_.size();
+  }
 
   /// Direct (uncounted, zero-latency) access to a page image — snapshot
   /// save/load utilities only; all benchmark reads go through ReadPage.
   const uint8_t* raw_page(PageId page_id) const {
-    return pages_[page_id].get();
+    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    return pages_[page_id].get();  // Buffer address is stable once allocated.
   }
 
   /// Overwrites a page image without I/O accounting (snapshot load only).
@@ -121,8 +131,14 @@ class DiskSim {
   StorageOptions options_;
   SimClock* clock_;
   std::atomic<IoScope> scope_{IoScope::kGeneration};
+  /// Guards the page *directory* (the vector, not the page bytes):
+  /// AllocatePage appends under a writer lock; page I/O resolves the
+  /// buffer under a reader lock. Same-page byte races are the buffer
+  /// pool's contract (see class comment).
+  mutable std::shared_mutex pages_mu_;
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
   std::array<IoCounters, static_cast<size_t>(IoScope::kNumScopes)> counters_;
+  std::mutex backing_mu_;  ///< Serializes write-through fseek+fwrite pairs.
   std::FILE* backing_ = nullptr;
 };
 

@@ -10,6 +10,7 @@
 #define OCB_STORAGE_FREE_SPACE_MAP_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/types.h"
@@ -18,19 +19,30 @@ namespace ocb {
 
 /// \brief Page-id → approximate free bytes. Purely advisory: the object
 /// store re-checks actual page capacity before inserting.
+///
+/// Internally synchronized (one leaf mutex, never held while acquiring any
+/// other lock), so placement threads may update estimates concurrently.
+/// Because the map is advisory, a torn read costs at most one wasted page
+/// probe: FindPageWithSpace may return a page that just filled up, and the
+/// store's insert re-check handles it.
 class FreeSpaceMap {
  public:
   /// Records the free-space estimate for a page.
   void Update(PageId page_id, size_t free_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
     spaces_[page_id] = free_bytes;
   }
 
   /// Removes a page from consideration (e.g. retired by reclustering).
-  void Remove(PageId page_id) { spaces_.erase(page_id); }
+  void Remove(PageId page_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spaces_.erase(page_id);
+  }
 
   /// Returns a page believed to have at least \p needed free bytes, or
   /// kInvalidPageId. Prefers the hinted page when it qualifies.
   PageId FindPageWithSpace(size_t needed, PageId hint = kInvalidPageId) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (hint != kInvalidPageId) {
       auto it = spaces_.find(hint);
       if (it != spaces_.end() && it->second >= needed) return hint;
@@ -41,11 +53,18 @@ class FreeSpaceMap {
     return kInvalidPageId;
   }
 
-  size_t num_pages() const { return spaces_.size(); }
+  size_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spaces_.size();
+  }
 
-  void Clear() { spaces_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spaces_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<PageId, size_t> spaces_;
 };
 

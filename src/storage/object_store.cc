@@ -1,13 +1,24 @@
 #include "storage/object_store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 
 #include "util/format.h"
 
 namespace ocb {
 
-ObjectStore::ObjectStore(BufferPool* pool) : pool_(pool) {}
+namespace {
+// An optimistic resolution (table lookup → page latch → re-validate)
+// retries when a concurrent relocation moved the object between the lookup
+// and the latch. Every retry requires a *completed* relocation of the same
+// object in the window, so the bound is generous: hitting it indicates a
+// livelock bug, not load.
+constexpr int kMaxResolveAttempts = 64;
+}  // namespace
+
+ObjectStore::ObjectStore(BufferPool* pool)
+    : pool_(pool), table_(pool->latch_stripes()) {}
 
 Result<ObjectLocation> ObjectStore::Place(std::span<const uint8_t> bytes,
                                           PageId hint_page) {
@@ -21,24 +32,29 @@ Result<ObjectLocation> ObjectStore::Place(std::span<const uint8_t> bytes,
     target = free_space_.FindPageWithSpace(needed, hint_page);
     if (target != hint_page) target = kInvalidPageId;  // Hint only.
   }
-  if (target == kInvalidPageId && current_fill_page_ != kInvalidPageId) {
-    target = free_space_.FindPageWithSpace(needed, current_fill_page_);
-    if (target != current_fill_page_) target = kInvalidPageId;
+  const PageId fill = current_fill_page_.load(std::memory_order_relaxed);
+  if (target == kInvalidPageId && fill != kInvalidPageId) {
+    target = free_space_.FindPageWithSpace(needed, fill);
+    if (target != fill) target = kInvalidPageId;
   }
   if (target == kInvalidPageId) {
     target = free_space_.FindPageWithSpace(needed);
   }
   if (target != kInvalidPageId) {
-    OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(target));
+    OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->FetchPage(target, LatchMode::kExclusive));
     Page page = handle.page();
     auto slot = page.Insert(bytes);
     if (slot.ok()) {
       handle.MarkDirty();
       free_space_.Update(target, page.FreeSpace());
-      if (hint_page == kInvalidPageId) current_fill_page_ = target;
+      if (hint_page == kInvalidPageId) {
+        current_fill_page_.store(target, std::memory_order_relaxed);
+      }
       return ObjectLocation{target, slot.value()};
     }
-    // Advisory estimate was stale; fall through to a fresh page.
+    // Advisory estimate was stale (possibly a concurrent placement won the
+    // space); refresh it and fall through to a fresh page.
     free_space_.Update(target, page.FreeSpace());
   }
   PageId new_page_id = kInvalidPageId;
@@ -47,8 +63,8 @@ Result<ObjectLocation> ObjectStore::Place(std::span<const uint8_t> bytes,
   OCB_ASSIGN_OR_RETURN(SlotId slot, page.Insert(bytes));
   handle.MarkDirty();
   free_space_.Update(new_page_id, page.FreeSpace());
-  current_fill_page_ = new_page_id;
-  ++stats_.data_pages;
+  current_fill_page_.store(new_page_id, std::memory_order_relaxed);
+  stats_.data_pages.fetch_add(1, std::memory_order_relaxed);
   return ObjectLocation{new_page_id, slot};
 }
 
@@ -61,14 +77,16 @@ Result<Oid> ObjectStore::Insert(std::span<const uint8_t> bytes,
   }
   PageId hint_page = kInvalidPageId;
   if (placement_hint != kInvalidOid) {
-    auto it = table_.find(placement_hint);
-    if (it != table_.end()) hint_page = it->second.page_id;
+    ObjectLocation hint_loc;
+    if (table_.Lookup(placement_hint, &hint_loc)) {
+      hint_page = hint_loc.page_id;
+    }
   }
   OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, hint_page));
-  const Oid oid = next_oid_++;
-  table_[oid] = loc;
-  ++stats_.objects;
-  stats_.bytes_stored += bytes.size();
+  const Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  table_.Put(oid, loc);
+  stats_.objects.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_add(bytes.size(), std::memory_order_relaxed);
   return oid;
 }
 
@@ -76,7 +94,7 @@ Status ObjectStore::InsertWithOid(Oid oid, std::span<const uint8_t> bytes) {
   if (oid == kInvalidOid) {
     return Status::InvalidArgument("InsertWithOid requires a valid oid");
   }
-  if (table_.count(oid) != 0) {
+  if (table_.Contains(oid)) {
     return Status::AlreadyExists(
         Format("oid %llu is live", (unsigned long long)oid));
   }
@@ -84,118 +102,261 @@ Status ObjectStore::InsertWithOid(Oid oid, std::span<const uint8_t> bytes) {
     return Status::InvalidArgument("object exceeds max object size");
   }
   OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, kInvalidPageId));
-  table_[oid] = loc;
-  if (oid >= next_oid_) next_oid_ = oid + 1;
-  ++stats_.objects;
-  stats_.bytes_stored += bytes.size();
+  if (!table_.PutIfAbsent(oid, loc)) {
+    // Lost a (caller-contract-violating) race to register the same oid;
+    // undo the placement so no orphan record leaks.
+    auto handle = pool_->FetchPage(loc.page_id, LatchMode::kExclusive);
+    if (handle.ok()) {
+      Page page = handle->page();
+      (void)page.Erase(loc.slot_id);
+      handle->MarkDirty();
+      free_space_.Update(loc.page_id, page.FreeSpace());
+    }
+    return Status::AlreadyExists(
+        Format("oid %llu is live", (unsigned long long)oid));
+  }
+  Oid expected = next_oid_.load(std::memory_order_relaxed);
+  while (oid + 1 > expected &&
+         !next_oid_.compare_exchange_weak(expected, oid + 1,
+                                          std::memory_order_relaxed)) {
+  }
+  stats_.objects.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_add(bytes.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status ObjectStore::Read(Oid oid, std::vector<uint8_t>* out) {
-  auto it = table_.find(oid);
-  if (it == table_.end()) {
-    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+  for (int attempt = 0; attempt < kMaxResolveAttempts; ++attempt) {
+    ObjectLocation loc;
+    if (!table_.Lookup(oid, &loc)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->FetchPage(loc.page_id, LatchMode::kShared));
+    // Re-validate under the latch: a relocation publishes the new location
+    // while holding both page latches, so an unchanged entry proves the
+    // record is still at `loc`.
+    ObjectLocation now;
+    if (!table_.Lookup(oid, &now)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    if (!(now == loc)) continue;  // Moved between lookup and latch.
+    const Page page = handle.page();
+    OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
+                         page.Read(loc.slot_id));
+    out->assign(record.begin(), record.end());
+    return Status::OK();
   }
-  OCB_ASSIGN_OR_RETURN(PageHandle handle,
-                       pool_->FetchPage(it->second.page_id));
-  const Page page = handle.page();
-  OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
-                       page.Read(it->second.slot_id));
-  out->assign(record.begin(), record.end());
-  return Status::OK();
+  return Status::Aborted(
+      Format("oid %llu kept relocating during read",
+             (unsigned long long)oid));
 }
 
 Status ObjectStore::Update(Oid oid, std::span<const uint8_t> bytes) {
-  auto it = table_.find(oid);
-  if (it == table_.end()) {
-    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
-  }
   if (bytes.size() > max_object_size()) {
     return Status::InvalidArgument("object exceeds max object size");
   }
-  {
-    OCB_ASSIGN_OR_RETURN(PageHandle handle,
-                         pool_->FetchPage(it->second.page_id));
-    Page page = handle.page();
-    OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> old_record,
-                         page.Read(it->second.slot_id));
-    const size_t old_size = old_record.size();
-    Status st = page.Update(it->second.slot_id, bytes);
-    if (st.ok()) {
-      handle.MarkDirty();
-      free_space_.Update(it->second.page_id, page.FreeSpace());
-      stats_.bytes_stored += bytes.size();
-      stats_.bytes_stored -= old_size;
-      return Status::OK();
+  for (int attempt = 0; attempt < kMaxResolveAttempts; ++attempt) {
+    ObjectLocation loc;
+    if (!table_.Lookup(oid, &loc)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
     }
-    if (!st.IsNoSpace()) return st;
-    // Does not fit on its page any more: erase here, relocate below.
-    OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
-    handle.MarkDirty();
-    free_space_.Update(it->second.page_id, page.FreeSpace());
-    stats_.bytes_stored -= old_size;
+    {
+      OCB_ASSIGN_OR_RETURN(
+          PageHandle handle,
+          pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
+      ObjectLocation now;
+      if (!table_.Lookup(oid, &now)) {
+        return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+      }
+      if (!(now == loc)) continue;
+      Page page = handle.page();
+      OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> old_record,
+                           page.Read(loc.slot_id));
+      const size_t old_size = old_record.size();
+      Status st = page.Update(loc.slot_id, bytes);
+      if (st.ok()) {
+        handle.MarkDirty();
+        free_space_.Update(loc.page_id, page.FreeSpace());
+        stats_.bytes_stored.fetch_add(bytes.size(),
+                                      std::memory_order_relaxed);
+        stats_.bytes_stored.fetch_sub(old_size, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      if (!st.IsNoSpace()) return st;
+      // Does not fit on its page any more: relocate (the move re-validates
+      // and erases the old copy under both latches).
+    }
+    OCB_ASSIGN_OR_RETURN(ObjectLocation moved,
+                         MoveRecord(oid, bytes, kInvalidPageId));
+    (void)moved;
+    return Status::OK();
   }
-  OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, kInvalidPageId));
-  it->second = loc;
-  ++stats_.relocations;
-  stats_.bytes_stored += bytes.size();
-  return Status::OK();
+  return Status::Aborted(
+      Format("oid %llu kept relocating during update",
+             (unsigned long long)oid));
+}
+
+Result<ObjectLocation> ObjectStore::MoveRecord(Oid oid,
+                                               std::span<const uint8_t> bytes,
+                                               PageId hint_page) {
+  const size_t needed = bytes.size() + sizeof(Page::Slot);
+  for (int attempt = 0; attempt < kMaxResolveAttempts; ++attempt) {
+    ObjectLocation loc;
+    if (!table_.Lookup(oid, &loc)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    // Destination candidate: hint page, then fill page, then any page with
+    // room; never the source page (the caller either proved the record no
+    // longer fits there or wants it moved off).
+    PageId dest = kInvalidPageId;
+    if (hint_page != kInvalidPageId && hint_page != loc.page_id) {
+      dest = free_space_.FindPageWithSpace(needed, hint_page);
+      if (dest != hint_page) dest = kInvalidPageId;  // Hint only.
+    }
+    if (dest == kInvalidPageId) {
+      const PageId fill = current_fill_page_.load(std::memory_order_relaxed);
+      if (fill != kInvalidPageId && fill != loc.page_id) {
+        dest = free_space_.FindPageWithSpace(needed, fill);
+        if (dest != fill) dest = kInvalidPageId;
+      }
+    }
+    if (dest == kInvalidPageId) {
+      dest = free_space_.FindPageWithSpace(needed);
+      if (dest == loc.page_id) dest = kInvalidPageId;
+    }
+    PageHandle src, dst;
+    PageId dest_page = dest;
+    const bool fresh = dest == kInvalidPageId;
+    if (!fresh) {
+      // Latch source and destination in ascending page-id order so
+      // concurrent movers can never deadlock each other.
+      if (dest < loc.page_id) {
+        OCB_ASSIGN_OR_RETURN(dst,
+                             pool_->FetchPage(dest, LatchMode::kExclusive));
+        OCB_ASSIGN_OR_RETURN(
+            src, pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
+      } else {
+        OCB_ASSIGN_OR_RETURN(
+            src, pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
+        OCB_ASSIGN_OR_RETURN(dst,
+                             pool_->FetchPage(dest, LatchMode::kExclusive));
+      }
+    } else {
+      // A fresh page always has the highest page id yet, so this order is
+      // ascending too.
+      OCB_ASSIGN_OR_RETURN(
+          src, pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
+      OCB_ASSIGN_OR_RETURN(dst, pool_->NewPage(&dest_page));
+    }
+    ObjectLocation now;
+    if (!table_.Lookup(oid, &now)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    if (!(now == loc)) continue;  // Moved before we latched; retry.
+    Page dest_view = dst.page();
+    auto slot = dest_view.Insert(bytes);
+    if (!slot.ok()) {
+      if (fresh) return slot.status();  // Cannot happen for legal sizes.
+      // Stale estimate (or a concurrent placement filled it): refresh the
+      // map and retry with another destination.
+      free_space_.Update(dest_page, dest_view.FreeSpace());
+      continue;
+    }
+    dst.MarkDirty();
+    Page src_view = src.page();
+    OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> old_record,
+                         src_view.Read(loc.slot_id));
+    const size_t old_size = old_record.size();
+    OCB_RETURN_NOT_OK(src_view.Erase(loc.slot_id));
+    src.MarkDirty();
+    // Publish the new location while both latches are held: a reader
+    // validating against either location sees a record that is really
+    // there.
+    const ObjectLocation moved{dest_page, slot.value()};
+    table_.Put(oid, moved);
+    free_space_.Update(loc.page_id, src_view.FreeSpace());
+    free_space_.Update(dest_page, dest_view.FreeSpace());
+    if (fresh) {
+      stats_.data_pages.fetch_add(1, std::memory_order_relaxed);
+      current_fill_page_.store(dest_page, std::memory_order_relaxed);
+    }
+    stats_.relocations.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_stored.fetch_add(bytes.size(), std::memory_order_relaxed);
+    stats_.bytes_stored.fetch_sub(old_size, std::memory_order_relaxed);
+    return moved;
+  }
+  return Status::Aborted(
+      Format("oid %llu kept moving during relocation",
+             (unsigned long long)oid));
+}
+
+Status ObjectStore::EraseRecord(Oid oid, size_t* erased_bytes) {
+  for (int attempt = 0; attempt < kMaxResolveAttempts; ++attempt) {
+    ObjectLocation loc;
+    if (!table_.Lookup(oid, &loc)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    OCB_ASSIGN_OR_RETURN(
+        PageHandle handle,
+        pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
+    ObjectLocation now;
+    if (!table_.Lookup(oid, &now)) {
+      return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
+    }
+    if (!(now == loc)) continue;
+    Page page = handle.page();
+    OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
+                         page.Read(loc.slot_id));
+    if (erased_bytes != nullptr) *erased_bytes = record.size();
+    OCB_RETURN_NOT_OK(page.Erase(loc.slot_id));
+    handle.MarkDirty();
+    free_space_.Update(loc.page_id, page.FreeSpace());
+    table_.Erase(oid);
+    return Status::OK();
+  }
+  return Status::Aborted(
+      Format("oid %llu kept relocating during delete",
+             (unsigned long long)oid));
 }
 
 Status ObjectStore::Delete(Oid oid) {
-  auto it = table_.find(oid);
-  if (it == table_.end()) {
-    return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
-  }
-  OCB_ASSIGN_OR_RETURN(PageHandle handle,
-                       pool_->FetchPage(it->second.page_id));
-  Page page = handle.page();
-  OCB_ASSIGN_OR_RETURN(std::span<const uint8_t> record,
-                       page.Read(it->second.slot_id));
-  stats_.bytes_stored -= record.size();
-  OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
-  handle.MarkDirty();
-  free_space_.Update(it->second.page_id, page.FreeSpace());
-  table_.erase(it);
-  --stats_.objects;
+  size_t erased = 0;
+  OCB_RETURN_NOT_OK(EraseRecord(oid, &erased));
+  stats_.bytes_stored.fetch_sub(erased, std::memory_order_relaxed);
+  stats_.objects.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-bool ObjectStore::Contains(Oid oid) const { return table_.count(oid) > 0; }
+bool ObjectStore::Contains(Oid oid) const { return table_.Contains(oid); }
 
 Result<ObjectLocation> ObjectStore::Locate(Oid oid) const {
-  auto it = table_.find(oid);
-  if (it == table_.end()) {
+  ObjectLocation loc;
+  if (!table_.Lookup(oid, &loc)) {
     return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
   }
-  return it->second;
+  return loc;
 }
 
 Status ObjectStore::Relocate(Oid oid, Oid neighbor) {
-  auto it = table_.find(oid);
-  if (it == table_.end()) {
+  ObjectLocation loc;
+  if (!table_.Lookup(oid, &loc)) {
     return Status::NotFound(Format("oid %llu", (unsigned long long)oid));
   }
-  auto nit = table_.find(neighbor);
-  if (nit == table_.end()) {
+  ObjectLocation neighbor_loc;
+  if (!table_.Lookup(neighbor, &neighbor_loc)) {
     return Status::NotFound(
         Format("neighbor oid %llu", (unsigned long long)neighbor));
   }
-  if (it->second.page_id == nit->second.page_id) return Status::OK();
+  if (loc.page_id == neighbor_loc.page_id) return Status::OK();
+  // Reorganizer primitive (callers quiesce): read-then-move is not atomic
+  // against concurrent Updates of the same object, which quiescence rules
+  // out.
   std::vector<uint8_t> bytes;
   OCB_RETURN_NOT_OK(Read(oid, &bytes));
-  {
-    OCB_ASSIGN_OR_RETURN(PageHandle handle,
-                         pool_->FetchPage(it->second.page_id));
-    Page page = handle.page();
-    OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
-    handle.MarkDirty();
-    free_space_.Update(it->second.page_id, page.FreeSpace());
-  }
-  OCB_ASSIGN_OR_RETURN(ObjectLocation loc,
-                       Place(bytes, nit->second.page_id));
-  it->second = loc;
-  ++stats_.relocations;
+  OCB_ASSIGN_OR_RETURN(ObjectLocation moved,
+                       MoveRecord(oid, bytes, neighbor_loc.page_id));
+  (void)moved;
   return Status::OK();
 }
 
@@ -207,6 +368,8 @@ Status ObjectStore::PlaceUnits(const std::vector<std::vector<Oid>>& units) {
   // Erase every listed object from its current page first, then re-place
   // them unit by unit on fresh pages. Erase-then-place keeps peak space at
   // one extra page sequence and guarantees the new layout is contiguous.
+  // Quiesced by the caller: table entries dangle (point at erased slots)
+  // between the two passes.
   struct Payload {
     Oid oid;
     std::vector<uint8_t> bytes;
@@ -217,20 +380,21 @@ Status ObjectStore::PlaceUnits(const std::vector<std::vector<Oid>>& units) {
     std::vector<Payload>& payloads = payload_units.emplace_back();
     payloads.reserve(unit.size());
     for (Oid oid : unit) {
-      auto it = table_.find(oid);
-      if (it == table_.end()) {
+      ObjectLocation loc;
+      if (!table_.Lookup(oid, &loc)) {
         return Status::NotFound(Format("oid %llu in placement sequence",
                                        (unsigned long long)oid));
       }
       std::vector<uint8_t> bytes;
       OCB_RETURN_NOT_OK(Read(oid, &bytes));
       payloads.push_back(Payload{oid, std::move(bytes)});
-      OCB_ASSIGN_OR_RETURN(PageHandle handle,
-                           pool_->FetchPage(it->second.page_id));
+      OCB_ASSIGN_OR_RETURN(
+          PageHandle handle,
+          pool_->FetchPage(loc.page_id, LatchMode::kExclusive));
       Page page = handle.page();
-      OCB_RETURN_NOT_OK(page.Erase(it->second.slot_id));
+      OCB_RETURN_NOT_OK(page.Erase(loc.slot_id));
       handle.MarkDirty();
-      free_space_.Update(it->second.page_id, page.FreeSpace());
+      free_space_.Update(loc.page_id, page.FreeSpace());
     }
   }
   // Re-place: within a unit objects are packed back to back; a unit that
@@ -250,7 +414,9 @@ Status ObjectStore::PlaceUnits(const std::vector<std::vector<Oid>>& units) {
       ObjectLocation loc;
       bool placed = false;
       if (fill_page != kInvalidPageId) {
-        OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(fill_page));
+        OCB_ASSIGN_OR_RETURN(
+            PageHandle handle,
+            pool_->FetchPage(fill_page, LatchMode::kExclusive));
         Page page = handle.page();
         auto slot = page.Insert(p.bytes);
         if (slot.ok()) {
@@ -269,52 +435,58 @@ Status ObjectStore::PlaceUnits(const std::vector<std::vector<Oid>>& units) {
         handle.MarkDirty();
         fill_free = page.FreeSpace();
         free_space_.Update(new_page_id, fill_free);
-        ++stats_.data_pages;
+        stats_.data_pages.fetch_add(1, std::memory_order_relaxed);
         fill_page = new_page_id;
         loc = ObjectLocation{new_page_id, slot};
       }
-      table_[p.oid] = loc;
-      ++stats_.relocations;
+      table_.Put(p.oid, loc);
+      stats_.relocations.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  current_fill_page_ = kInvalidPageId;
+  current_fill_page_.store(kInvalidPageId, std::memory_order_relaxed);
   return Status::OK();
 }
 
 std::vector<Oid> ObjectStore::LiveOids() const {
   std::vector<Oid> oids;
-  oids.reserve(table_.size());
-  for (const auto& [oid, loc] : table_) oids.push_back(oid);
+  oids.reserve(static_cast<size_t>(table_.size()));
+  table_.ForEach(
+      [&](Oid oid, const ObjectLocation&) { oids.push_back(oid); });
   std::sort(oids.begin(), oids.end());
   return oids;
 }
 
 Status ObjectStore::RestoreTable(
     std::unordered_map<Oid, ObjectLocation> table, Oid next_oid) {
-  table_ = std::move(table);
-  next_oid_ = next_oid;
-  current_fill_page_ = kInvalidPageId;
-  free_space_.Clear();
-  stats_ = ObjectStoreStats{};
-  stats_.objects = table_.size();
   // Scan every referenced page once to rebuild the free-space map and
   // byte statistics (generation-scope I/O: it is part of loading).
   std::unordered_set<PageId> pages;
-  for (const auto& [oid, loc] : table_) pages.insert(loc.page_id);
+  for (const auto& [oid, loc] : table) pages.insert(loc.page_id);
+  const uint64_t object_count = table.size();
+  table_.Reset(std::move(table));
+  next_oid_.store(next_oid, std::memory_order_relaxed);
+  current_fill_page_.store(kInvalidPageId, std::memory_order_relaxed);
+  free_space_.Clear();
+  stats_ = ObjectStoreStats{};
+  stats_.objects.store(object_count, std::memory_order_relaxed);
   for (PageId page_id : pages) {
-    OCB_ASSIGN_OR_RETURN(PageHandle handle, pool_->FetchPage(page_id));
+    OCB_ASSIGN_OR_RETURN(PageHandle handle,
+                         pool_->FetchPage(page_id, LatchMode::kShared));
     const Page page = handle.page();
     free_space_.Update(page_id, page.FreeSpace());
-    stats_.bytes_stored += page.LiveBytes();
-    ++stats_.data_pages;
+    stats_.bytes_stored.fetch_add(page.LiveBytes(),
+                                  std::memory_order_relaxed);
+    stats_.data_pages.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 std::vector<Oid> ObjectStore::LiveOidsInPhysicalOrder() const {
   std::vector<std::pair<ObjectLocation, Oid>> located;
-  located.reserve(table_.size());
-  for (const auto& [oid, loc] : table_) located.push_back({loc, oid});
+  located.reserve(static_cast<size_t>(table_.size()));
+  table_.ForEach([&](Oid oid, const ObjectLocation& loc) {
+    located.push_back({loc, oid});
+  });
   std::sort(located.begin(), located.end(),
             [](const auto& a, const auto& b) {
               if (a.first.page_id != b.first.page_id) {

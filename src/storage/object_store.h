@@ -7,10 +7,34 @@
 /// from identity, which is what allows a clustering policy to *relocate*
 /// objects (or rewrite the whole database in a chosen order) without
 /// touching any inter-object reference.
+///
+/// Latching contract (who may call what under which latch):
+///
+///   * The store is thread-safe. Every page access goes through latched
+///     PageHandles: reads latch the object's page kShared, mutations latch
+///     it kExclusive, so readers of one page proceed in parallel and never
+///     observe a torn record. No caller-side serialization is required —
+///     the Database facade latch no longer covers physical access.
+///   * The object table is a striped hash map (see striped_oid_map.h).
+///     Resolution is optimistic: look up the location, latch the page,
+///     re-validate the entry under the latch — a concurrent relocation
+///     publishes the new location while holding *both* page latches, so a
+///     validated entry proves the record is where the table says.
+///   * Insert/Update-relocation/Relocate latch source and destination
+///     pages in ascending page-id order (a fresh destination page always
+///     has the highest id yet, so the fresh-page path is ascending by
+///     construction) — the store never deadlocks against itself.
+///   * Logical isolation (who may read/write *which object* when) is the
+///     caller's business: the Database's LockManager on the transactional
+///     path, quiescence (BufferPool::BeginQuiesce via Database::
+///     QuiesceGuard) for reorganizers. PlaceSequence/PlaceUnits/
+///     RestoreTable and the table/extent snapshots taken by SaveSnapshot
+///     assume a quiesced store.
 
 #ifndef OCB_STORAGE_OBJECT_STORE_H_
 #define OCB_STORAGE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -18,22 +42,40 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/free_space_map.h"
+#include "storage/striped_oid_map.h"
 #include "storage/types.h"
 #include "util/status.h"
 
 namespace ocb {
 
-/// Aggregate placement statistics.
+/// Aggregate placement statistics (atomic: placement threads update them
+/// concurrently; copying yields a consistent-enough snapshot for deltas).
 struct ObjectStoreStats {
-  uint64_t objects = 0;
-  uint64_t data_pages = 0;
-  uint64_t relocations = 0;
-  uint64_t bytes_stored = 0;
+  std::atomic<uint64_t> objects{0};
+  std::atomic<uint64_t> data_pages{0};
+  std::atomic<uint64_t> relocations{0};
+  std::atomic<uint64_t> bytes_stored{0};
+
+  ObjectStoreStats() = default;
+  ObjectStoreStats(const ObjectStoreStats& other)
+      : objects(other.objects.load(std::memory_order_relaxed)),
+        data_pages(other.data_pages.load(std::memory_order_relaxed)),
+        relocations(other.relocations.load(std::memory_order_relaxed)),
+        bytes_stored(other.bytes_stored.load(std::memory_order_relaxed)) {}
+  ObjectStoreStats& operator=(const ObjectStoreStats& other) {
+    objects.store(other.objects.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    data_pages.store(other.data_pages.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    relocations.store(other.relocations.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    bytes_stored.store(other.bytes_stored.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// \brief Variable-length object heap with stable logical ids.
-///
-/// Not thread-safe (see DiskSim note); the Database facade serializes.
 class ObjectStore {
  public:
   explicit ObjectStore(BufferPool* pool);
@@ -55,7 +97,8 @@ class ObjectStore {
   /// is live.
   Status InsertWithOid(Oid oid, std::span<const uint8_t> bytes);
 
-  /// Copies the object's bytes into \p out.
+  /// Copies the object's bytes into \p out (under the page's shared
+  /// latch, so the copy is never torn by a concurrent writer).
   Status Read(Oid oid, std::vector<uint8_t>* out);
 
   /// Replaces the object's bytes (may relocate it if it no longer fits).
@@ -80,7 +123,8 @@ class ObjectStore {
   /// sequence produces are exactly the clustering units laid end to end.
   ///
   /// Old page space is reclaimed (erased); I/O for the rewrite is charged
-  /// to whatever scope the caller set on the DiskSim.
+  /// to whatever scope the caller set on the DiskSim. Callers quiesce the
+  /// store first (Database::QuiesceGuard).
   Status PlaceSequence(const std::vector<Oid>& sequence);
 
   /// Like PlaceSequence, but starts a fresh page whenever the next *unit*
@@ -104,7 +148,9 @@ class ObjectStore {
   std::vector<Oid> LiveOidsInPhysicalOrder() const;
 
   /// Highest Oid allocated so far (0 if none).
-  Oid max_oid() const { return next_oid_ - 1; }
+  Oid max_oid() const {
+    return next_oid_.load(std::memory_order_relaxed) - 1;
+  }
 
   const ObjectStoreStats& stats() const { return stats_; }
 
@@ -112,9 +158,10 @@ class ObjectStore {
 
   // --- Snapshot support (see oodb/snapshot.h) ---
 
-  /// Read access to the object table for serialization.
-  const std::unordered_map<Oid, ObjectLocation>& table() const {
-    return table_;
+  /// Copy of the object table for serialization (callers quiesce first for
+  /// a point-in-time image).
+  std::unordered_map<Oid, ObjectLocation> TableSnapshot() const {
+    return table_.Snapshot();
   }
 
   /// Restores the table and oid counter from a snapshot, then rebuilds
@@ -125,15 +172,31 @@ class ObjectStore {
 
  private:
   /// Inserts bytes into a page with room (hinted page, any page with space,
-  /// or a fresh page) and returns the location.
+  /// or a fresh page) and returns the location. Self-contained: returns
+  /// with no latches held.
   Result<ObjectLocation> Place(std::span<const uint8_t> bytes,
                                PageId hint_page);
 
+  /// Moves \p oid's record (holding \p bytes as its new contents) off its
+  /// current page: destination chosen via the free-space map with
+  /// \p hint_page preferred, fresh page as fallback. Source and
+  /// destination are latched in ascending page-id order; the table entry
+  /// is re-validated under the latches and republished before either latch
+  /// drops, so concurrent readers either see the old location (record
+  /// still there) or the new one (record already there).
+  Result<ObjectLocation> MoveRecord(Oid oid, std::span<const uint8_t> bytes,
+                                    PageId hint_page);
+
+  /// Erases \p oid's record (validated against the table under the page's
+  /// X latch) and removes the table entry. Returns the erased record's
+  /// size via \p erased_bytes when non-null.
+  Status EraseRecord(Oid oid, size_t* erased_bytes);
+
   BufferPool* pool_;
   FreeSpaceMap free_space_;
-  std::unordered_map<Oid, ObjectLocation> table_;
-  Oid next_oid_ = 1;
-  PageId current_fill_page_ = kInvalidPageId;
+  StripedOidMap table_;
+  std::atomic<Oid> next_oid_{1};
+  std::atomic<PageId> current_fill_page_{kInvalidPageId};
   ObjectStoreStats stats_;
 };
 

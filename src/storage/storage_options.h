@@ -38,6 +38,14 @@ struct StorageOptions {
   /// Replacement policy for the buffer pool.
   ReplacementPolicy replacement_policy = ReplacementPolicy::kLru;
 
+  /// Buffer-pool page-table stripes (each with its own mutex, frames and
+  /// replacement state — the unit of physical-I/O parallelism). 0 = auto:
+  /// pools of >= 64 frames use the build-time default (OCB_LATCH_STRIPES,
+  /// 8 unless overridden), smaller pools use 1 stripe, which reproduces
+  /// the seed's exact global LRU order. Clamped to [1, buffer_pool_pages];
+  /// a build that defines OCB_LATCH_STRIPES caps explicit values too.
+  size_t latch_stripes = 0;
+
   /// Simulated latency charged per page read, in nanoseconds.
   /// Default 10 ms: a 1998 commodity disk's seek + rotational delay.
   uint64_t read_latency_nanos = 10'000'000;

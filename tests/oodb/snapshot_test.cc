@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "ocb/generator.h"
 #include "ocb/protocol.h"
@@ -147,6 +150,35 @@ TEST_F(SnapshotTest, SaveRefusesWhileReaderTransactionHoldsSLocks) {
   EXPECT_TRUE(SaveSnapshot(&db, path_).IsInvalidArgument());
   ASSERT_TRUE(db.AbortTxn(txn.get()).ok());
   EXPECT_TRUE(SaveSnapshot(&db, path_).ok());
+}
+
+TEST_F(SnapshotTest, SaveWaitsOutInFlightPagePins) {
+  // Regression: snapshot during a pinned read. A raw page handle (the
+  // substrate's equivalent of a reader mid-fetch) holds a pin; SaveSnapshot
+  // quiesces, so it must park until the pin drains instead of flushing
+  // around a latched frame — and then succeed.
+  Database db(TestOptions());
+  ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
+
+  std::atomic<bool> released{false};
+  std::atomic<bool> pinned{false};
+  std::thread reader([&]() {
+    auto handle = db.buffer_pool()->FetchPage(0, LatchMode::kShared);
+    ASSERT_TRUE(handle.ok());
+    pinned = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    released = true;
+    // Handle drops here; only now may the save's quiesce proceed.
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  ASSERT_TRUE(SaveSnapshot(&db, path_).ok());
+  // The save can only have completed after the pin drained.
+  EXPECT_TRUE(released.load());
+  reader.join();
+
+  Database loaded(TestOptions());
+  ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
+  EXPECT_EQ(loaded.object_count(), db.object_count());
 }
 
 TEST_F(SnapshotTest, RejectsNonEmptyTarget) {

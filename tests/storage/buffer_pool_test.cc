@@ -108,6 +108,8 @@ TEST(BufferPoolTest, PinnedFramesAreNotEvicted) {
     ASSERT_TRUE(h.ok());
   }
   pool.ResetStats();
+  // Page latches are not recursive: release the handle before re-fetching.
+  pinned->Release();
   { auto h = pool.FetchPage(p0); ASSERT_TRUE(h.ok()); }
   EXPECT_EQ(pool.stats().hits, 1u);  // Still resident.
 }

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "util/rng.h"
@@ -262,6 +264,126 @@ TEST_P(ObjectStoreFuzz, RandomOperationsPreserveContents) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ObjectStoreFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- Concurrency (the suite carries the `concurrency` ctest label) ------
+
+// Hot-page contention: many threads read and rewrite objects co-located on
+// one page, racing growth-relocations off it. Exercises the optimistic
+// lookup→latch→validate protocol and the ordered dual-latch move path on a
+// single page-latch hotspot.
+TEST(ObjectStoreTest, HotPageContentionKeepsObjectsIntact) {
+  // 512-byte pages: the 8×48-byte hot set leaves ~80 free bytes, so one
+  // in-place growth fits but concurrent growers race — losers take the
+  // dual-latched relocation path off the hot page.
+  Fixture f(/*frames=*/64, /*page_size=*/512);
+  // Co-locate the hot set on one page via placement hints.
+  constexpr size_t kHotObjects = 8;
+  constexpr size_t kBaseSize = 48;
+  std::vector<Oid> hot;
+  for (size_t i = 0; i < kHotObjects; ++i) {
+    auto oid = f.store.Insert(Payload(kBaseSize, 0x11),
+                              hot.empty() ? kInvalidOid : hot.front());
+    ASSERT_TRUE(oid.ok());
+    hot.push_back(*oid);
+  }
+  {
+    auto loc0 = f.store.Locate(hot.front());
+    ASSERT_TRUE(loc0.ok());
+    for (Oid oid : hot) {
+      auto loc = f.store.Locate(oid);
+      ASSERT_TRUE(loc.ok());
+      EXPECT_EQ(loc->page_id, loc0->page_id) << "hot set not co-located";
+    }
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      LewisPayneRng rng(static_cast<uint64_t>(t) + 17);
+      for (int i = 0; i < 300 && !failed.load(); ++i) {
+        const Oid oid = hot[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(hot.size()) - 1))];
+        const int kind = static_cast<int>(rng.UniformInt(0, 9));
+        if (kind < 6) {  // Read: must never be torn or mis-slotted.
+          std::vector<uint8_t> out;
+          Status st = f.store.Read(oid, &out);
+          if (!st.ok()) {
+            failed = true;
+            break;
+          }
+          for (uint8_t b : out) {
+            if (b != out[0]) failed = true;  // Torn record.
+          }
+        } else if (kind < 9) {  // Same-size rewrite (stays on the page).
+          const uint8_t marker = static_cast<uint8_t>(t * 16 + kind);
+          Status st =
+              f.store.Update(oid, Payload(kBaseSize, marker));
+          if (!st.ok() && !st.IsNotFound()) failed = true;
+        } else {  // Growth: may relocate off the hot page (dual latch).
+          const uint8_t marker = static_cast<uint8_t>(t * 16 + 15);
+          Status st = f.store.Update(
+              oid, Payload(kBaseSize + 80, marker));
+          if (!st.ok() && !st.IsNoSpace()) failed = true;
+          // Shrink it back so the page keeps churning both directions.
+          st = f.store.Update(oid, Payload(kBaseSize, marker));
+          if (!st.ok()) failed = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed) << "lost, torn or mis-resolved object";
+  for (Oid oid : hot) {
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.store.Read(oid, &out).ok()) << "oid " << oid;
+    ASSERT_EQ(out.size(), kBaseSize);
+    for (uint8_t b : out) EXPECT_EQ(b, out[0]);
+  }
+  EXPECT_EQ(f.store.stats().objects, kHotObjects);
+}
+
+// Concurrent inserters and deleters over disjoint key ranges: the striped
+// object table and the shared free-space map must keep counts and contents
+// exact.
+TEST(ObjectStoreTest, ConcurrentInsertDeleteKeepsTableExact) {
+  Fixture f(/*frames=*/64, /*page_size=*/512);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 120;
+  std::vector<std::vector<Oid>> surviving(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint8_t marker = static_cast<uint8_t>(t + 1);
+        auto oid = f.store.Insert(Payload(20 + t, marker));
+        if (!oid.ok()) {
+          failed = true;
+          return;
+        }
+        if (i % 3 == 0) {
+          if (!f.store.Delete(*oid).ok()) failed = true;
+        } else {
+          surviving[static_cast<size_t>(t)].push_back(*oid);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed);
+  size_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += surviving[static_cast<size_t>(t)].size();
+    for (Oid oid : surviving[static_cast<size_t>(t)]) {
+      std::vector<uint8_t> out;
+      ASSERT_TRUE(f.store.Read(oid, &out).ok());
+      ASSERT_EQ(out, Payload(20 + t, static_cast<uint8_t>(t + 1)));
+    }
+  }
+  EXPECT_EQ(f.store.stats().objects, expected);
+  EXPECT_EQ(f.store.LiveOids().size(), expected);
+}
 
 }  // namespace
 }  // namespace ocb
