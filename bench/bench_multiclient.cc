@@ -1,7 +1,9 @@
 /// \file bench_multiclient.cc
 /// \brief Ext-5: the multi-user mode (paper §3.1 calls OCB's multi-user
-///        support "almost unique"). Sweeps CLIENTN over a shared database
-///        and runs every point in a grid of two axes:
+///        support "almost unique"). Two sections:
+///
+/// **Latch section** — sweeps CLIENTN over a shared single Database and
+/// runs every point in a grid of two axes:
 ///
 ///   * concurrency mode — pure-2PL (readers take S locks and queue behind
 ///     writers) vs MVCC snapshot reads (read-only transactions pin a
@@ -11,19 +13,24 @@
 ///     pre-refactor substrate) vs *page* (striped buffer pool + per-frame
 ///     latches; the catalog latch covers metadata only).
 ///
-/// The latch axis is the before/after comparison of the per-page-latching
-/// refactor: the "Facade wait" and "Page wait" columns report how long
-/// client threads spent blocked on each latch class (thread-local
-/// accounting, see storage/latch.h). Under the facade substrate the wait
-/// is one big convoy; with page latches it should collapse by well over
-/// 5x while throughput rises, because non-conflicting transactions overlap
-/// their buffer-pool and miss-I/O work.
+/// **Shard section** — sweeps SHARDN × CLIENTN × {2PL, MVCC} over a
+/// ShardedDatabase on a *write-heavy* mix (updates/inserts/deletes supply
+/// long X-lock holds), reporting per-shard lock wait, the cross-shard
+/// transaction fraction and 2PC overhead. The before/after number is
+/// aggregate lock-wait time at SHARDN=1 vs SHARDN=4: with per-shard lock
+/// managers, version stores and catalogs, lock *hold* times stop paying
+/// the single-store singletons, so waiters drain faster.
 ///
-/// The mix mirrors the paper's workload matrix: traversals dominate, a
-/// modest write share (update/insert/delete) supplies the X locks that
-/// make 2PL readers queue in the first place.
+/// Environment knobs (CI smoke jobs):
+///   OCB_MULTICLIENT_SECTIONS  comma list of "latch","shard" (default both)
+///   OCB_MULTICLIENT_SHARDS    SHARDN list for the shard section
+///                             (default "1,2,4")
+///   OCB_MULTICLIENT_SMOKE     if set, shrink transaction counts
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <tuple>
@@ -34,13 +41,45 @@
 #include "ocb/generator.h"
 #include "ocb/presets.h"
 #include "oodb/snapshot.h"
+#include "sharding/sharded_database.h"
+
+namespace {
+
+bool SectionEnabled(const char* name) {
+  const char* env = std::getenv("OCB_MULTICLIENT_SECTIONS");
+  if (env == nullptr || env[0] == '\0') return true;
+  return std::strstr(env, name) != nullptr;
+}
+
+std::vector<uint32_t> ShardCounts() {
+  const char* env = std::getenv("OCB_MULTICLIENT_SHARDS");
+  std::vector<uint32_t> out;
+  if (env != nullptr && env[0] != '\0') {
+    for (const char* p = env; *p != '\0';) {
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) out.push_back(static_cast<uint32_t>(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+  }
+  if (out.empty()) out = {1, 2, 4};
+  return out;
+}
+
+bool SmokeMode() {
+  const char* env = std::getenv("OCB_MULTICLIENT_SMOKE");
+  return env != nullptr && env[0] != '\0';
+}
+
+}  // namespace
 
 int main() {
   using namespace ocb;
 
   bench::PrintHeader("Ext-5",
                      "multi-client scaling (CLIENTN sweep, 2PL vs MVCC, "
-                     "facade-latch vs page-latch)");
+                     "facade vs page latching, SHARDN sharding)");
 
   // Every grid point runs over an identically generated database.
   // Generation is by far the most expensive step, so generate once and
@@ -48,182 +87,361 @@ int main() {
   // snapshot subsystem exists for).
   StorageOptions storage;
   storage.buffer_pool_pages = 256;
-  const std::string snapshot_path = "bench_multiclient.ocbsnap";
-  {
-    Database generated(storage);
-    OcbPreset preset = presets::Default();
-    preset.database.num_objects = 6000;
-    preset.database.seed = 29;
-    if (!GenerateDatabase(preset.database, &generated).ok()) {
-      std::fprintf(stderr, "generation failed\n");
-      return 1;
+  const bool smoke = SmokeMode();
+  const uint64_t cold_txns = smoke ? 30 : 100;
+  const uint64_t hot_txns = smoke ? 100 : 400;
+
+  if (SectionEnabled("latch")) {
+    const std::string snapshot_path = "bench_multiclient.ocbsnap";
+    {
+      Database generated(storage);
+      OcbPreset preset = presets::Default();
+      preset.database.num_objects = 6000;
+      preset.database.seed = 29;
+      if (!GenerateDatabase(preset.database, &generated).ok()) {
+        std::fprintf(stderr, "generation failed\n");
+        return 1;
+      }
+      if (!SaveSnapshot(&generated, snapshot_path).ok()) {
+        std::fprintf(stderr, "snapshot save failed\n");
+        return 1;
+      }
     }
-    if (!SaveSnapshot(&generated, snapshot_path).ok()) {
-      std::fprintf(stderr, "snapshot save failed\n");
-      return 1;
-    }
-  }
 
-  TextTable table({"Clients", "Mode", "Latching", "Committed", "Aborted",
-                   "Lock wait", "Facade wait", "Page wait",
-                   "Mean I/Os/attempt", "Hit ratio", "Wall time",
-                   "Throughput (txn/s)"});
-  std::vector<std::string> per_client_lines;
-  std::vector<std::string> gc_lines;
-  struct RunPoint {
-    double throughput = 0.0;
-    uint64_t facade_wait = 0;
-    uint64_t page_wait = 0;
-  };
-  // (clients, mode, page_latches) → outcome, for the summary comparison.
-  std::map<std::tuple<uint32_t, std::string, bool>, RunPoint> points;
+    TextTable table({"Clients", "Mode", "Latching", "Committed", "Aborted",
+                     "Lock wait", "Facade wait", "Page wait",
+                     "Mean I/Os/attempt", "Hit ratio", "Wall time",
+                     "Throughput (txn/s)"});
+    std::vector<std::string> per_client_lines;
+    std::vector<std::string> gc_lines;
+    struct RunPoint {
+      double throughput = 0.0;
+      uint64_t facade_wait = 0;
+      uint64_t page_wait = 0;
+    };
+    // (clients, mode, page_latches) → outcome, for the summary comparison.
+    std::map<std::tuple<uint32_t, std::string, bool>, RunPoint> points;
 
-  for (uint32_t clients : std::vector<uint32_t>{1, 2, 4, 8}) {
-    // CLIENTN=1 keeps the seed's serialized legacy path; every
-    // multi-client CLIENTN runs both concurrency modes. Every point runs
-    // under both latching substrates over fresh, identically generated
-    // databases.
-    const int modes = clients == 1 ? 1 : 2;
-    for (int mode = 0; mode < modes; ++mode) {
-      const bool mvcc = mode == 1;
-      for (const bool page_latches : {false, true}) {
-        Database db(storage);
-        if (!LoadSnapshot(&db, snapshot_path).ok()) {
-          std::fprintf(stderr, "snapshot load failed\n");
-          return 1;
-        }
-        // The latch substrate under test.
-        db.SetSerializedPhysical(!page_latches);
-        if (!db.ColdRestart().ok()) return 1;
+    for (uint32_t clients : std::vector<uint32_t>{1, 2, 4, 8}) {
+      // CLIENTN=1 keeps the seed's serialized legacy path; every
+      // multi-client CLIENTN runs both concurrency modes. Every point runs
+      // under both latching substrates over fresh, identically generated
+      // databases.
+      const int modes = clients == 1 ? 1 : 2;
+      for (int mode = 0; mode < modes; ++mode) {
+        const bool mvcc = mode == 1;
+        for (const bool page_latches : {false, true}) {
+          Database db(storage);
+          if (!LoadSnapshot(&db, snapshot_path).ok()) {
+            std::fprintf(stderr, "snapshot load failed\n");
+            return 1;
+          }
+          // The latch substrate under test.
+          db.SetSerializedPhysical(!page_latches);
+          if (!db.ColdRestart().ok()) return 1;
 
-        OcbPreset preset = presets::Default();
-        preset.workload.client_count = clients;
-        preset.workload.cold_transactions = 100;
-        preset.workload.hot_transactions = 400;
-        preset.workload.seed = 31;
-        // Read-heavy mix (the paper's traversal-dominated matrix) with
-        // enough writes that 2PL readers genuinely queue behind X locks.
-        preset.workload.p_set = 0.22;
-        preset.workload.p_simple = 0.22;
-        preset.workload.p_hierarchy = 0.18;
-        preset.workload.p_stochastic = 0.18;
-        preset.workload.p_update = 0.12;
-        preset.workload.p_insert = 0.05;
-        preset.workload.p_delete = 0.03;
-        preset.workload.mvcc_snapshot_reads = mvcc;
-        // Per-transaction I/O is computed from the disk's own counters
-        // over the whole run: per-client deltas overlap under concurrency
-        // (see client.h), the device-level count does not.
-        const uint64_t reads_before =
-            db.disk()->counters(IoScope::kTransaction).reads;
-        auto report = RunMultiClient(&db, preset.workload);
-        if (!report.ok()) {
-          std::fprintf(stderr, "run failed: %s\n",
-                       report.status().ToString().c_str());
-          return 1;
-        }
-        const uint64_t reads =
-            db.disk()->counters(IoScope::kTransaction).reads - reads_before;
-        const uint64_t txns = report->merged.cold.global.transactions +
-                              report->merged.warm.global.transactions;
-        // Device-level reads include aborted transactions' work and their
-        // undo-log rollback, so normalize by *attempted* transactions —
-        // the committed-only divisor would inflate with the abort rate.
-        const uint64_t attempted = txns + report->total_aborts();
-        const char* mode_name =
-            clients == 1 ? "legacy" : (mvcc ? "MVCC" : "2PL-only");
-        const char* latch_name = page_latches ? "page" : "facade";
-        points[{clients, mode_name, page_latches}] =
-            RunPoint{report->throughput_tps(),
-                     report->total_facade_wait_nanos(),
-                     report->total_page_latch_wait_nanos()};
-        table.AddRow(
-            {Format("%u", clients), mode_name, latch_name,
-             Format("%llu", (unsigned long long)txns),
-             Format("%llu", (unsigned long long)report->total_aborts()),
-             HumanDuration(report->total_lock_wait_nanos()),
-             HumanDuration(report->total_facade_wait_nanos()),
-             HumanDuration(report->total_page_latch_wait_nanos()),
-             Format("%.2f", attempted == 0
-                                ? 0.0
-                                : static_cast<double>(reads) /
-                                      static_cast<double>(attempted)),
-             Format("%.3f", report->merged.warm.buffer_hit_ratio()),
-             HumanDuration(report->wall_micros * 1000),
-             Format("%.0f", report->throughput_tps())});
-        if (clients > 1 && page_latches) {
-          const VersionStoreStats vs = db.version_store()->stats();
-          gc_lines.push_back(Format(
-              "  CLIENTN=%u %s: %llu versions published, %llu GC'd over "
-              "%llu passes, %llu live at end; %llu snapshot txns",
-              clients, mode_name,
-              (unsigned long long)vs.versions_published,
-              (unsigned long long)vs.versions_gced,
-              (unsigned long long)vs.gc_passes,
-              (unsigned long long)vs.live_versions,
-              (unsigned long long)report->total_read_only_commits()));
-          for (const ClientOutcome& c : report->per_client) {
-            per_client_lines.push_back(Format(
-                "  CLIENTN=%u %s client %u: %llu committed, %llu aborted, "
-                "lock wait %s, facade wait %s, page wait %s, %.0f txn/s",
-                clients, mode_name, c.client_id,
-                (unsigned long long)c.committed,
-                (unsigned long long)c.aborts,
-                HumanDuration(c.lock_wait_nanos).c_str(),
-                HumanDuration(c.facade_wait_nanos).c_str(),
-                HumanDuration(c.page_latch_wait_nanos).c_str(),
-                c.throughput_tps()));
+          OcbPreset preset = presets::Default();
+          preset.workload.client_count = clients;
+          preset.workload.cold_transactions = cold_txns;
+          preset.workload.hot_transactions = hot_txns;
+          preset.workload.seed = 31;
+          // Read-heavy mix (the paper's traversal-dominated matrix) with
+          // enough writes that 2PL readers genuinely queue behind X locks.
+          preset.workload.p_set = 0.22;
+          preset.workload.p_simple = 0.22;
+          preset.workload.p_hierarchy = 0.18;
+          preset.workload.p_stochastic = 0.18;
+          preset.workload.p_update = 0.12;
+          preset.workload.p_insert = 0.05;
+          preset.workload.p_delete = 0.03;
+          preset.workload.mvcc_snapshot_reads = mvcc;
+          // Per-transaction I/O is computed from the disk's own counters
+          // over the whole run: per-client deltas overlap under
+          // concurrency (see client.h), the device-level count does not.
+          const uint64_t reads_before =
+              db.disk()->counters(IoScope::kTransaction).reads;
+          auto report = RunMultiClient(&db, preset.workload);
+          if (!report.ok()) {
+            std::fprintf(stderr, "run failed: %s\n",
+                         report.status().ToString().c_str());
+            return 1;
+          }
+          const uint64_t reads =
+              db.disk()->counters(IoScope::kTransaction).reads -
+              reads_before;
+          const uint64_t txns = report->merged.cold.global.transactions +
+                                report->merged.warm.global.transactions;
+          // Device-level reads include aborted transactions' work and
+          // their undo-log rollback, so normalize by *attempted*
+          // transactions — the committed-only divisor would inflate with
+          // the abort rate.
+          const uint64_t attempted = txns + report->total_aborts();
+          const char* mode_name =
+              clients == 1 ? "legacy" : (mvcc ? "MVCC" : "2PL-only");
+          const char* latch_name = page_latches ? "page" : "facade";
+          points[{clients, mode_name, page_latches}] =
+              RunPoint{report->throughput_tps(),
+                       report->total_facade_wait_nanos(),
+                       report->total_page_latch_wait_nanos()};
+          table.AddRow(
+              {Format("%u", clients), mode_name, latch_name,
+               Format("%llu", (unsigned long long)txns),
+               Format("%llu", (unsigned long long)report->total_aborts()),
+               HumanDuration(report->total_lock_wait_nanos()),
+               HumanDuration(report->total_facade_wait_nanos()),
+               HumanDuration(report->total_page_latch_wait_nanos()),
+               Format("%.2f", attempted == 0
+                                  ? 0.0
+                                  : static_cast<double>(reads) /
+                                        static_cast<double>(attempted)),
+               Format("%.3f", report->merged.warm.buffer_hit_ratio()),
+               HumanDuration(report->wall_micros * 1000),
+               Format("%.0f", report->throughput_tps())});
+          if (clients > 1 && page_latches) {
+            const VersionStoreStats vs = db.version_store()->stats();
+            gc_lines.push_back(Format(
+                "  CLIENTN=%u %s: %llu versions published, %llu GC'd over "
+                "%llu passes, %llu live at end; %llu snapshot txns",
+                clients, mode_name,
+                (unsigned long long)vs.versions_published,
+                (unsigned long long)vs.versions_gced,
+                (unsigned long long)vs.gc_passes,
+                (unsigned long long)vs.live_versions,
+                (unsigned long long)report->total_read_only_commits()));
+            for (const ClientOutcome& c : report->per_client) {
+              per_client_lines.push_back(Format(
+                  "  CLIENTN=%u %s client %u: %llu committed, %llu "
+                  "aborted, lock wait %s, facade wait %s, page wait %s, "
+                  "%.0f txn/s",
+                  clients, mode_name, c.client_id,
+                  (unsigned long long)c.committed,
+                  (unsigned long long)c.aborts,
+                  HumanDuration(c.lock_wait_nanos).c_str(),
+                  HumanDuration(c.facade_wait_nanos).c_str(),
+                  HumanDuration(c.page_latch_wait_nanos).c_str(),
+                  c.throughput_tps()));
+            }
           }
         }
       }
     }
-  }
-  std::remove(snapshot_path.c_str());
-  bench::PrintTable(table);
+    std::remove(snapshot_path.c_str());
+    bench::PrintTable(table);
 
-  std::printf("facade-latch vs page-latch (same mix, same data):\n");
-  for (uint32_t clients : std::vector<uint32_t>{2, 4, 8}) {
-    for (const char* mode_name : {"2PL-only", "MVCC"}) {
-      const RunPoint before = points[{clients, mode_name, false}];
-      const RunPoint after = points[{clients, mode_name, true}];
-      const double speedup =
-          before.throughput > 0 ? after.throughput / before.throughput : 0.0;
-      const double wait_reduction =
-          after.facade_wait > 0
-              ? static_cast<double>(before.facade_wait) /
-                    static_cast<double>(after.facade_wait)
-              : 0.0;
-      const std::string reduction =
-          after.facade_wait == 0 ? std::string("eliminated")
-                                 : Format("%.1fx less", wait_reduction);
-      std::printf(
-          "  CLIENTN=%u %s: throughput %.0f -> %.0f txn/s (%.2fx), "
-          "facade wait %s -> %s (%s), page wait %s\n",
-          clients, mode_name, before.throughput, after.throughput, speedup,
-          HumanDuration(before.facade_wait).c_str(),
-          HumanDuration(after.facade_wait).c_str(), reduction.c_str(),
-          HumanDuration(after.page_wait).c_str());
+    std::printf("facade-latch vs page-latch (same mix, same data):\n");
+    for (uint32_t clients : std::vector<uint32_t>{2, 4, 8}) {
+      for (const char* mode_name : {"2PL-only", "MVCC"}) {
+        const RunPoint before = points[{clients, mode_name, false}];
+        const RunPoint after = points[{clients, mode_name, true}];
+        const double speedup =
+            before.throughput > 0 ? after.throughput / before.throughput
+                                  : 0.0;
+        const double wait_reduction =
+            after.facade_wait > 0
+                ? static_cast<double>(before.facade_wait) /
+                      static_cast<double>(after.facade_wait)
+                : 0.0;
+        const std::string reduction =
+            after.facade_wait == 0 ? std::string("eliminated")
+                                   : Format("%.1fx less", wait_reduction);
+        std::printf(
+            "  CLIENTN=%u %s: throughput %.0f -> %.0f txn/s (%.2fx), "
+            "facade wait %s -> %s (%s), page wait %s\n",
+            clients, mode_name, before.throughput, after.throughput,
+            speedup, HumanDuration(before.facade_wait).c_str(),
+            HumanDuration(after.facade_wait).c_str(), reduction.c_str(),
+            HumanDuration(after.page_wait).c_str());
+      }
+    }
+    std::printf("version-store behaviour (page-latch rows):\n");
+    for (const std::string& line : gc_lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    std::printf("per-client breakdown (page-latch rows):\n");
+    for (const std::string& line : per_client_lines) {
+      std::printf("%s\n", line.c_str());
     }
   }
-  std::printf("version-store behaviour (page-latch rows):\n");
-  for (const std::string& line : gc_lines) {
-    std::printf("%s\n", line.c_str());
+
+  if (SectionEnabled("shard")) {
+    // --- Shard section: SHARDN × CLIENTN × {2PL, MVCC} ------------------
+    const std::vector<uint32_t> shard_counts = ShardCounts();
+    const std::string shard_snapshot = "bench_multiclient_shard.ocbsnap";
+    TextTable stable({"Shards", "Clients", "Mode", "Committed", "Aborted",
+                      "Lock wait", "X-shard txns", "X-shard frac",
+                      "2PC time", "Wall time", "Throughput (txn/s)"});
+    std::vector<std::string> per_shard_lines;
+    struct ShardPoint {
+      uint64_t lock_wait = 0;
+      double throughput = 0.0;
+      bool present = false;
+    };
+    std::map<std::tuple<uint32_t, uint32_t, std::string>, ShardPoint>
+        shard_points;
+
+    for (uint32_t shards : shard_counts) {
+      // Same seed at every SHARDN: round-robin creation over strided
+      // per-shard oid progressions reproduces the identical logical
+      // graph, so points differ only in partitioning.
+      {
+        ShardedDatabase generated(storage, shards);
+        OcbPreset preset = presets::Default();
+        preset.database.num_objects = 6000;
+        preset.database.seed = 29;
+        if (!GenerateDatabase(preset.database, &generated).ok()) {
+          std::fprintf(stderr, "sharded generation failed\n");
+          return 1;
+        }
+        if (!SaveShardedSnapshot(&generated, shard_snapshot).ok()) {
+          std::fprintf(stderr, "sharded snapshot save failed\n");
+          return 1;
+        }
+      }
+      for (uint32_t clients : std::vector<uint32_t>{2, 8}) {
+        for (const bool mvcc : {false, true}) {
+          // Lock-wait at these scales is scheduler-noisy (a handful of
+          // multi-ms waits): the CLIENTN=8 points — the headline
+          // comparison — run three repetitions and report the
+          // median-by-lock-wait rep.
+          const int reps = (clients == 8 && !smoke) ? 3 : 1;
+          struct Rep {
+            MultiClientReport report;
+            std::vector<std::string> shard_lines;
+          };
+          std::vector<Rep> rep_results;
+          const char* mode_name = mvcc ? "MVCC" : "2PL-only";
+          for (int rep = 0; rep < reps; ++rep) {
+            ShardedDatabase db(storage, shards);
+            if (!LoadShardedSnapshot(&db, shard_snapshot).ok()) {
+              std::fprintf(stderr, "sharded snapshot load failed\n");
+              return 1;
+            }
+            if (!db.ColdRestart().ok()) return 1;
+
+            OcbPreset preset = presets::Default();
+            preset.workload.client_count = clients;
+            preset.workload.cold_transactions = cold_txns;
+            preset.workload.hot_transactions = hot_txns;
+            preset.workload.seed = 41;
+            // Write-heavy mix: long X-lock holds (updates, neighborhood-
+            // locking deletes, reference-wiring inserts) are what make
+            // single-store lock waits pile up in the first place.
+            preset.workload.p_set = 0.15;
+            preset.workload.p_simple = 0.15;
+            preset.workload.p_hierarchy = 0.10;
+            preset.workload.p_stochastic = 0.10;
+            preset.workload.p_update = 0.30;
+            preset.workload.p_insert = 0.12;
+            preset.workload.p_delete = 0.08;
+            preset.workload.mvcc_snapshot_reads = mvcc;
+            auto report = RunMultiClient(&db, preset.workload);
+            if (!report.ok()) {
+              std::fprintf(stderr, "sharded run failed: %s\n",
+                           report.status().ToString().c_str());
+              return 1;
+            }
+            Rep result;
+            result.report = std::move(report).value();
+            if (clients == 8) {
+              for (uint32_t k = 0; k < shards; ++k) {
+                const LockManagerStats ls =
+                    db.shard(k)->lock_manager()->stats();
+                result.shard_lines.push_back(Format(
+                    "  SHARDN=%u %s shard %u: lock wait %s over %llu "
+                    "waits, %llu deadlocks, %llu timeouts",
+                    shards, mode_name, k,
+                    HumanDuration(ls.total_wait_nanos).c_str(),
+                    (unsigned long long)ls.waits,
+                    (unsigned long long)ls.deadlocks,
+                    (unsigned long long)ls.timeouts));
+              }
+            }
+            rep_results.push_back(std::move(result));
+          }
+          std::sort(rep_results.begin(), rep_results.end(),
+                    [](const Rep& a, const Rep& b) {
+                      return a.report.total_lock_wait_nanos() <
+                             b.report.total_lock_wait_nanos();
+                    });
+          const Rep& median = rep_results[rep_results.size() / 2];
+          const MultiClientReport& report = median.report;
+          const uint64_t txns = report.merged.cold.global.transactions +
+                                report.merged.warm.global.transactions;
+          shard_points[{shards, clients, mode_name}] =
+              ShardPoint{report.total_lock_wait_nanos(),
+                         report.throughput_tps(), true};
+          stable.AddRow(
+              {Format("%u", shards), Format("%u", clients), mode_name,
+               Format("%llu", (unsigned long long)txns),
+               Format("%llu", (unsigned long long)report.total_aborts()),
+               HumanDuration(report.total_lock_wait_nanos()),
+               Format("%llu", (unsigned long long)
+                                  report.total_cross_shard_commits()),
+               Format("%.1f%%", report.cross_shard_fraction() * 100.0),
+               HumanDuration(report.total_twopc_nanos()),
+               HumanDuration(report.wall_micros * 1000),
+               Format("%.0f", report.throughput_tps())});
+          for (const std::string& line : median.shard_lines) {
+            per_shard_lines.push_back(line);
+          }
+        }
+      }
+      for (uint32_t k = 0; k < shards; ++k) {
+        std::remove((shard_snapshot + Format(".shard%u", k)).c_str());
+      }
+    }
+    bench::PrintTable(stable);
+
+    const uint32_t base = shard_counts.front();
+    const uint32_t top = shard_counts.back();
+    if (top != base) {
+      std::printf(
+          "sharding win at CLIENTN=8 (write-heavy mix, same data, "
+          "median of 3 runs):\n");
+      for (const char* mode_name : {"2PL-only", "MVCC"}) {
+        const ShardPoint& one = shard_points[{base, 8u, mode_name}];
+        const ShardPoint& many = shard_points[{top, 8u, mode_name}];
+        if (!one.present || !many.present) continue;
+        const double wait_ratio =
+            many.lock_wait > 0
+                ? static_cast<double>(one.lock_wait) /
+                      static_cast<double>(many.lock_wait)
+                : 0.0;
+        std::printf(
+            "  %s: aggregate lock wait %s (SHARDN=%u) -> %s (SHARDN=%u)"
+            " (%s), throughput %.0f -> %.0f txn/s\n",
+            mode_name, HumanDuration(one.lock_wait).c_str(), base,
+            HumanDuration(many.lock_wait).c_str(), top,
+            many.lock_wait == 0
+                ? "eliminated"
+                : Format("%.1fx less", wait_ratio).c_str(),
+            one.throughput, many.throughput);
+      }
+    }
+    std::printf(
+      "per-shard lock managers (CLIENTN=8 rows, median run):\n");
+    for (const std::string& line : per_shard_lines) {
+      std::printf("%s\n", line.c_str());
+    }
   }
-  std::printf("per-client breakdown (page-latch rows):\n");
-  for (const std::string& line : per_client_lines) {
-    std::printf("%s\n", line.c_str());
-  }
+
   bench::PrintNote(
-      "CLIENTN > 1 runs real std::thread clients over one shared store. "
-      "Latching axis: 'facade' re-creates the pre-refactor substrate "
+      "CLIENTN > 1 runs real std::thread clients over one shared engine. "
+      "Latch section: 'facade' re-creates the pre-refactor substrate "
       "(every operation holds one big latch across its physical I/O); "
       "'page' is the striped buffer pool with per-frame reader/writer "
-      "latches — only schema metadata stays behind the (shared) catalog "
-      "latch, so non-conflicting clients overlap their buffer-pool work "
-      "and miss I/O. Concurrency axis: 2PL-only queues readers behind "
-      "writers' X locks; MVCC read-only transactions read version chains "
-      "instead of locking — they never wait and never abort. CLIENTN=1 "
-      "keeps the seed's serialized legacy path (zero aborts by "
-      "construction).");
+      "latches. Shard section: SHARDN independent Database shards — "
+      "per-shard lock managers, version stores, buffer pools — behind "
+      "hash-by-oid routing; single-shard transactions skip 2PC, "
+      "cross-shard ones prepare on every writer shard and commit under "
+      "one coordinator timestamp, and MVCC readers pin one global "
+      "snapshot point across all shards; the coordinator's global "
+      "wait-for graph refuses cross-shard deadlock cycles that no "
+      "per-shard detector can see. Caveat (same as the latch section's): "
+      "on a single-core host 2PL-only lock wait is object-conflict and "
+      "scheduler bound — conflicts are identical at every SHARDN, so "
+      "expect parity there and read the sharding win off the MVCC rows; "
+      "multi-core hosts overlap the shards' lock holders and shrink "
+      "both. See ARCHITECTURE.md.");
   return 0;
 }

@@ -73,7 +73,8 @@ int main() {
   std::printf(
       "\nFour clients share the cache: pages one client faults in are hits\n"
       "for the others, so device I/Os per transaction *drop* as CLIENTN\n"
-      "grows, while the big lock bounds wall-clock throughput — exactly\n"
-      "the trade-off a multi-user OODB benchmark exists to expose.\n");
+      "grows, while object-lock conflicts bound throughput (the big lock\n"
+      "is long gone — see ARCHITECTURE.md) — exactly the trade-off a\n"
+      "multi-user OODB benchmark exists to expose.\n");
   return 0;
 }

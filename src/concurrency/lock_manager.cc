@@ -73,33 +73,33 @@ void LockManager::TryGrantQueue(LockQueue* queue) {
   if (granted_any) queue->cv.notify_all();
 }
 
-bool LockManager::WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const {
-  (void)mode;  // The waiter's own queued request carries the mode.
+std::vector<TxnId> LockManager::DirectBlockers(TxnId txn, Oid oid) const {
   // Direct blockers of a txn's first non-granted request on an object:
   // every conflicting request of another txn positioned ahead of it.
-  auto blockers_of = [this](TxnId txn, Oid object,
-                            std::vector<TxnId>* out) {
-    auto qit = table_.find(object);
-    if (qit == table_.end()) return;
-    const LockQueue& queue = *qit->second;
-    // Find the txn's waiting request to know its mode and position.
-    const Request* own = nullptr;
-    for (const Request& r : queue.requests) {
-      if (r.txn == txn && !r.granted) {
-        own = &r;
-        break;
-      }
+  std::vector<TxnId> out;
+  auto qit = table_.find(oid);
+  if (qit == table_.end()) return out;
+  const LockQueue& queue = *qit->second;
+  // Find the txn's waiting request to know its mode and position.
+  const Request* own = nullptr;
+  for (const Request& r : queue.requests) {
+    if (r.txn == txn && !r.granted) {
+      own = &r;
+      break;
     }
-    if (own == nullptr) return;
-    for (const Request& r : queue.requests) {
-      if (&r == own) break;
-      if (Conflicts(*own, r)) out->push_back(r.txn);
-    }
-  };
+  }
+  if (own == nullptr) return out;
+  for (const Request& r : queue.requests) {
+    if (&r == own) break;
+    if (Conflicts(*own, r)) out.push_back(r.txn);
+  }
+  return out;
+}
 
+bool LockManager::WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const {
+  (void)mode;  // The waiter's own queued request carries the mode.
   std::unordered_set<TxnId> visited;
-  std::vector<TxnId> stack;
-  blockers_of(waiter, oid, &stack);
+  std::vector<TxnId> stack = DirectBlockers(waiter, oid);
   while (!stack.empty()) {
     const TxnId current = stack.back();
     stack.pop_back();
@@ -107,7 +107,8 @@ bool LockManager::WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const {
     if (!visited.insert(current).second) continue;
     auto wit = waiting_on_.find(current);
     if (wit == waiting_on_.end()) continue;  // Running, not blocked.
-    blockers_of(current, wit->second, &stack);
+    const std::vector<TxnId> next = DirectBlockers(current, wit->second);
+    stack.insert(stack.end(), next.begin(), next.end());
   }
   return false;
 }
@@ -143,7 +144,18 @@ Status LockManager::Acquire(TransactionContext* txn, Oid oid,
 
   if (!mine->granted) {
     ++stats_.waits;
-    if (WouldDeadlock(txn->id(), oid, mode)) {
+    // Local cycle search first (exact within this manager), then — in a
+    // sharded deployment — register the direct-blocker edges in the
+    // global graph, which refuses waits that close a cycle *across*
+    // managers. Victim policy is the same in both: the newcomer aborts.
+    bool deadlock = WouldDeadlock(txn->id(), oid, mode);
+    bool registered = false;
+    if (!deadlock && wait_graph_ != nullptr) {
+      registered = wait_graph_->TryRegisterWaits(
+          txn->id(), DirectBlockers(txn->id(), oid));
+      deadlock = !registered;
+    }
+    if (deadlock) {
       queue->requests.erase(mine);
       TryGrantQueue(queue);
       ++stats_.deadlocks;
@@ -161,6 +173,8 @@ Status LockManager::Acquire(TransactionContext* txn, Oid oid,
     txn->lock_wait_nanos_ += waited;
     stats_.total_wait_nanos += waited;
     waiting_on_.erase(txn->id());
+    // The wait ended (either way): its snapshot of edges is obsolete.
+    if (registered) wait_graph_->Clear(txn->id());
     if (!granted) {
       queue->requests.erase(mine);
       TryGrantQueue(queue);

@@ -35,8 +35,10 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "concurrency/transaction_context.h"
+#include "concurrency/wait_graph.h"
 #include "storage/types.h"
 #include "util/status.h"
 
@@ -85,6 +87,15 @@ class LockManager {
   /// Number of objects with at least one granted or waiting request.
   size_t locked_object_count() const;
 
+  /// Attaches a deployment-wide wait-for graph (ShardedDatabase wires all
+  /// its shards' managers to one). When set, every blocking Acquire also
+  /// registers its direct-blocker edges there and refuses the wait if
+  /// they close a *cross-shard* cycle — the per-shard DFS cannot see
+  /// those, and before the graph they burned the full wait timeout. Set
+  /// while no Acquire is in flight (construction time); pass nullptr to
+  /// detach.
+  void SetWaitGraph(GlobalWaitGraph* graph) { wait_graph_ = graph; }
+
  private:
   struct Request {
     TxnId txn = kInvalidTxnId;
@@ -109,11 +120,16 @@ class LockManager {
   /// a cycle? Requires mu_.
   bool WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const;
 
+  /// Direct blockers of \p txn's waiting request on \p oid: every
+  /// conflicting request of another txn ahead of it. Requires mu_.
+  std::vector<TxnId> DirectBlockers(TxnId txn, Oid oid) const;
+
   mutable std::mutex mu_;
   std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_;
   std::unordered_map<TxnId, Oid> waiting_on_;  ///< Blocked txn → object.
   LockManagerOptions options_;
   LockManagerStats stats_;
+  GlobalWaitGraph* wait_graph_ = nullptr;  ///< Optional (sharded mode).
 };
 
 }  // namespace ocb

@@ -16,6 +16,8 @@ const char* TxnStateToString(TxnState state) {
   switch (state) {
     case TxnState::kActive:
       return "active";
+    case TxnState::kPrepared:
+      return "prepared";
     case TxnState::kCommitted:
       return "committed";
     case TxnState::kAborted:

@@ -43,8 +43,11 @@ enum class LockMode : uint8_t {
 
 const char* LockModeToString(LockMode mode);
 
-/// Transaction lifecycle state.
-enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+/// Transaction lifecycle state. kPrepared is the two-phase-commit limbo a
+/// cross-shard participant enters between Database::PrepareTxn and the
+/// coordinator's decision: all writes are applied, all locks are held, and
+/// the only legal transitions are CommitTxnAt / AbortTxn(At).
+enum class TxnState : uint8_t { kActive, kPrepared, kCommitted, kAborted };
 
 const char* TxnStateToString(TxnState state);
 
@@ -74,6 +77,7 @@ class TransactionContext {
   TxnId id() const { return id_; }
   TxnState state() const { return state_; }
   bool active() const { return state_ == TxnState::kActive; }
+  bool prepared() const { return state_ == TxnState::kPrepared; }
 
   /// True for MVCC readers: object reads resolve against the snapshot
   /// pinned at BeginTxn (no S locks taken, so this txn never deadlocks),

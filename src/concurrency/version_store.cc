@@ -61,7 +61,8 @@ void VersionStore::PublishCreation(TxnId txn, Oid oid) {
   PublishVersion(txn, oid, std::move(v));
 }
 
-CommitTs VersionStore::StampAll(TxnId txn, bool aborted) {
+CommitTs VersionStore::StampAll(TxnId txn, bool aborted,
+                                CommitTs external_ts) {
   std::vector<Oid> oids;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -75,7 +76,10 @@ CommitTs VersionStore::StampAll(TxnId txn, bool aborted) {
   // takes it, so a newborn view can never pin a timestamp whose commit is
   // only half stamped.
   std::lock_guard<std::mutex> lock(commit_mu_);
-  const CommitTs ts = ++last_commit_ts_;
+  const CommitTs ts = external_ts == 0 ? ++last_commit_ts_ : external_ts;
+  if (external_ts != 0 && external_ts > last_commit_ts_) {
+    last_commit_ts_ = external_ts;
+  }
   for (Oid oid : oids) {
     Shard& shard = shard_of(oid);
     std::lock_guard<std::mutex> shard_lock(shard.mu);
@@ -101,6 +105,14 @@ void VersionStore::StampAborted(TxnId txn) {
   StampAll(txn, /*aborted=*/true);
 }
 
+void VersionStore::StampCommittedAt(TxnId txn, CommitTs ts) {
+  StampAll(txn, /*aborted=*/false, ts);
+}
+
+void VersionStore::StampAbortedAt(TxnId txn, CommitTs ts) {
+  StampAll(txn, /*aborted=*/true, ts);
+}
+
 CommitTs VersionStore::latest() const {
   std::lock_guard<std::mutex> lock(commit_mu_);
   return last_commit_ts_;
@@ -110,6 +122,12 @@ CommitTs VersionStore::OpenSnapshot(ReadViewRegistry* views) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   views->OpenAt(last_commit_ts_);
   return last_commit_ts_;
+}
+
+CommitTs VersionStore::OpenSnapshotAt(CommitTs ts, ReadViewRegistry* views) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  views->OpenAt(ts);
+  return ts;
 }
 
 VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,

@@ -127,6 +127,27 @@ class VersionStore {
   /// versions.
   CommitTs StampCommitted(TxnId txn);
 
+  /// StampCommitted with an *externally issued* timestamp instead of a
+  /// locally drawn one — the sharded-commit entry point: the
+  /// CrossShardCoordinator draws one global timestamp and stamps every
+  /// participant shard's versions with it, which is what makes a
+  /// cross-shard commit a single point on the global snapshot axis.
+  ///
+  /// Stamping invariants the caller must uphold (they are what keep each
+  /// per-object chain ascending, the property GetVisible's earliest-
+  /// newer-than-S scan relies on):
+  ///
+  ///   * \p ts comes from one monotonic source shared by *every* stamping
+  ///     call on this store — never mix locally drawn and external
+  ///     timestamps on the same store;
+  ///   * \p ts was drawn *after* the owning transaction's writes were
+  ///     applied (successive writers of an object serialize on its X
+  ///     lock, so a later writer always stamps a later timestamp);
+  ///   * as with StampCommitted, the call precedes lock release.
+  ///
+  /// latest() advances to max(latest(), ts).
+  void StampCommittedAt(TxnId txn, CommitTs ts);
+
   /// Seals every pending version of \p txn under a fresh timestamp (abort
   /// path). The caller has rolled the object store back to the same
   /// pre-images, so current state and sealed history agree; keeping the
@@ -135,6 +156,10 @@ class VersionStore {
   /// chain and recover the correct state. Call *after* the rollback
   /// writes complete.
   void StampAborted(TxnId txn);
+
+  /// StampAborted with an externally issued timestamp — the sharded abort
+  /// path. Same invariants as StampCommittedAt.
+  void StampAbortedAt(TxnId txn, CommitTs ts);
 
   /// Latest commit timestamp handed out; a ReadView pinned at this value
   /// sees every committed write and no in-flight one.
@@ -147,6 +172,15 @@ class VersionStore {
   /// half-stamped commit is never pinned past. Returns the pinned
   /// timestamp; wrap it in a ReadView and Close it when done.
   CommitTs OpenSnapshot(ReadViewRegistry* views);
+
+  /// Registers a view pinned at the *caller-chosen* timestamp \p ts
+  /// (typically the ShardedDatabase's global snapshot point) instead of
+  /// this store's own latest(). Serializes on commit_mu_ like
+  /// OpenSnapshot, so the registration is atomic against stamping loops
+  /// and the GC threshold computation; cross-*shard* half-commit
+  /// exclusion is the coordinator's job (its commit mutex spans all
+  /// shards' stamping loops). Returns \p ts.
+  CommitTs OpenSnapshotAt(CommitTs ts, ReadViewRegistry* views);
 
   /// Resolves the state of \p oid for a snapshot pinned at \p snapshot_ts.
   /// On kVersion, \p out receives the encoded pre-image bytes. Takes only
@@ -197,9 +231,11 @@ class VersionStore {
   /// Installs one pending version (shared by both Publish forms).
   void PublishVersion(TxnId txn, Oid oid, Version version);
 
-  /// Stamps every pending version of \p txn at one fresh timestamp;
-  /// \p aborted only picks the stats bucket. Shared commit/abort path.
-  CommitTs StampAll(TxnId txn, bool aborted);
+  /// Stamps every pending version of \p txn; \p aborted only picks the
+  /// stats bucket. \p external_ts == 0 draws a fresh local timestamp,
+  /// otherwise the given one is used and latest() advances to the max.
+  /// Shared by all four commit/abort entry points.
+  CommitTs StampAll(TxnId txn, bool aborted, CommitTs external_ts = 0);
 
   /// GC worker; requires commit_mu_ (walks the shards one by one).
   uint64_t CollectLocked(CommitTs oldest_snapshot);

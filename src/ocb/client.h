@@ -3,13 +3,16 @@
 ///        supports multiple users, in a very simple way").
 ///
 /// CLIENTN clients run the cold/warm protocol concurrently against one
-/// shared Database (threads stand in for the paper's processes; the
-/// contention surface — one shared store, one buffer pool — is the same).
-/// With more than one client the run is automatically *transactional*:
-/// every client transaction executes under the 2PL concurrency-control
-/// subsystem, so conflicting clients block on object locks, deadlock
-/// victims roll back, and the report carries per-client abort counts and
-/// lock-wait time. Per-phase metrics from all clients are merged.
+/// shared engine — a single Database or a ShardedDatabase (threads stand
+/// in for the paper's processes; the contention surface — shared store(s),
+/// shared buffer pool(s) — is the same). With more than one client the run
+/// is automatically *transactional*: every client transaction executes
+/// under the 2PL concurrency-control subsystem, so conflicting clients
+/// block on object locks, deadlock victims roll back, and the report
+/// carries per-client abort counts and lock-wait time. On a sharded
+/// engine the report additionally carries the cross-shard transaction
+/// count and cumulative 2PC time. Per-phase metrics from all clients are
+/// merged.
 ///
 /// Caveat: with more than one client, per-transaction I/O attribution is
 /// approximate (the disk counters are shared), while phase totals remain
@@ -18,11 +21,14 @@
 #ifndef OCB_OCB_CLIENT_H_
 #define OCB_OCB_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "ocb/metrics.h"
 #include "ocb/parameters.h"
+#include "ocb/protocol.h"
 #include "oodb/database.h"
 #include "util/status.h"
 
@@ -36,6 +42,8 @@ struct ClientOutcome {
   uint64_t lock_wait_nanos = 0;  ///< Cumulative blocked wall time (locks).
   uint64_t facade_wait_nanos = 0;      ///< Blocked on the facade latch.
   uint64_t page_latch_wait_nanos = 0;  ///< Blocked on page latches.
+  uint64_t cross_shard_commits = 0;    ///< Commits spanning > 1 shard.
+  uint64_t twopc_nanos = 0;            ///< Time inside 2PC commit/abort.
   uint64_t wall_micros = 0;      ///< This client's end-to-end wall time.
 
   double throughput_tps() const {
@@ -80,6 +88,23 @@ struct MultiClientReport {
   uint64_t total_snapshot_reads() const {
     return merged.cold.snapshot_reads + merged.warm.snapshot_reads;
   }
+  uint64_t total_cross_shard_commits() const {
+    return merged.cold.cross_shard_commits +
+           merged.warm.cross_shard_commits;
+  }
+  uint64_t total_twopc_nanos() const {
+    return merged.cold.twopc_nanos + merged.warm.twopc_nanos;
+  }
+  /// Committed transactions whose footprint crossed shards / all
+  /// committed transactions (0 on a single Database).
+  double cross_shard_fraction() const {
+    const uint64_t committed =
+        merged.cold.global.transactions + merged.warm.global.transactions;
+    return committed == 0
+               ? 0.0
+               : static_cast<double>(total_cross_shard_commits()) /
+                     static_cast<double>(committed);
+  }
   double abort_rate() const {
     const uint64_t committed =
         merged.cold.global.transactions + merged.warm.global.transactions;
@@ -90,9 +115,90 @@ struct MultiClientReport {
   }
 };
 
-/// \brief Runs CLIENTN concurrent ProtocolRunners and merges their metrics.
-Result<MultiClientReport> RunMultiClient(Database* db,
-                                         const WorkloadParameters& params);
+namespace client_internal {
+
+inline ClientOutcome OutcomeFrom(uint32_t client_id,
+                                 const WorkloadMetrics& m,
+                                 uint64_t wall_micros) {
+  ClientOutcome outcome;
+  outcome.client_id = client_id;
+  outcome.committed =
+      m.cold.global.transactions + m.warm.global.transactions;
+  outcome.aborts = m.cold.aborts + m.warm.aborts;
+  outcome.lock_wait_nanos = m.cold.lock_wait_nanos + m.warm.lock_wait_nanos;
+  outcome.facade_wait_nanos =
+      m.cold.facade_wait_nanos + m.warm.facade_wait_nanos;
+  outcome.page_latch_wait_nanos =
+      m.cold.page_latch_wait_nanos + m.warm.page_latch_wait_nanos;
+  outcome.cross_shard_commits =
+      m.cold.cross_shard_commits + m.warm.cross_shard_commits;
+  outcome.twopc_nanos = m.cold.twopc_nanos + m.warm.twopc_nanos;
+  outcome.wall_micros = wall_micros;
+  return outcome;
+}
+
+inline uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace client_internal
+
+/// \brief Runs CLIENTN concurrent ProtocolRunners over one shared engine
+/// (Database or ShardedDatabase) and merges their metrics.
+template <typename DB>
+Result<MultiClientReport> RunMultiClient(DB* db,
+                                         const WorkloadParameters& params) {
+  using client_internal::MicrosSince;
+  using client_internal::OutcomeFrom;
+  OCB_RETURN_NOT_OK(params.Validate());
+  MultiClientReport report;
+  report.clients = params.client_count;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (params.client_count == 1) {
+    ProtocolRunnerT<DB> runner(db, params, /*client_id=*/0);
+    OCB_ASSIGN_OR_RETURN(WorkloadMetrics metrics, runner.Run());
+    report.per_client.push_back(
+        OutcomeFrom(0, metrics, MicrosSince(wall_start)));
+    report.merged = std::move(metrics);
+  } else {
+    // CLIENTN real threads over one shared engine: the transactional
+    // path isolates their interleavings (ProtocolRunner auto-enables it
+    // for client_count > 1).
+    std::vector<std::thread> threads;
+    std::vector<WorkloadMetrics> results(params.client_count);
+    std::vector<uint64_t> client_wall(params.client_count, 0);
+    std::vector<Status> statuses(params.client_count, Status::OK());
+    for (uint32_t c = 0; c < params.client_count; ++c) {
+      threads.emplace_back([&, c]() {
+        const auto client_start = std::chrono::steady_clock::now();
+        ProtocolRunnerT<DB> runner(db, params, /*client_id=*/c);
+        auto metrics = runner.Run();
+        if (metrics.ok()) {
+          results[c] = std::move(metrics).value();
+        } else {
+          statuses[c] = metrics.status();
+        }
+        client_wall[c] = MicrosSince(client_start);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& st : statuses) {
+      OCB_RETURN_NOT_OK(st);
+    }
+    for (uint32_t c = 0; c < params.client_count; ++c) {
+      report.per_client.push_back(
+          OutcomeFrom(c, results[c], client_wall[c]));
+      report.merged.Merge(results[c]);
+    }
+  }
+
+  report.wall_micros = MicrosSince(wall_start);
+  return report;
+}
 
 }  // namespace ocb
 

@@ -15,11 +15,21 @@
 ///
 /// All randomness comes from a Lewis–Payne generator seeded from
 /// DatabaseParameters::seed, making generation fully reproducible.
+///
+/// Generation is a template over the engine. On a ShardedDatabase,
+/// CreateObject round-robins across shards whose oid progressions
+/// interleave into the dense global sequence 1, 2, 3, … — so one seed
+/// produces the *identical logical object graph at every shard count*
+/// (only physical placement differs), which is what makes SHARDN sweeps
+/// comparable.
 
 #ifndef OCB_OCB_GENERATOR_H_
 #define OCB_OCB_GENERATOR_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <vector>
 
 #include "oodb/database.h"
 #include "ocb/parameters.h"
@@ -43,13 +53,151 @@ struct GenerationReport {
   uint64_t database_bytes = 0;       ///< Payload bytes stored.
 };
 
-/// \brief Generates the OCB database described by \p params into \p db.
+/// \brief Generates the OCB database described by \p params into \p db
+/// (a Database or a ShardedDatabase).
 ///
 /// The database must be empty. On success the schema is installed and every
 /// object is stored; the caller typically follows with db->ColdRestart() so
 /// the workload starts on a cold cache.
+template <typename DB>
 Result<GenerationReport> GenerateDatabase(const DatabaseParameters& params,
-                                          Database* db);
+                                          DB* db) {
+  OCB_RETURN_NOT_OK(params.Validate());
+  if (db->object_count() != 0) {
+    return Status::InvalidArgument("database is not empty");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t sim_start = db->SimNowNanos();
+  ScopedEngineIoScope<DB> scope(db, IoScope::kGeneration);
+
+  LewisPayneRng rng(params.seed);
+  GenerationReport report;
+
+  // ---- Step 1: schema instantiation (classes, then inter-class refs) ----
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(params.num_ref_types));
+  for (ClassId i = 0; i < params.num_classes; ++i) {
+    ClassDescriptor cls;
+    cls.id = i;
+    cls.maxnref = params.MaxNrefFor(i);
+    cls.basesize = params.BaseSizeFor(i);
+    cls.instance_size = cls.basesize;  // Finalized by ComputeInstanceSizes.
+    cls.tref.resize(cls.maxnref);
+    cls.cref.assign(cls.maxnref, kNullClass);
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (!params.fixed_tref.empty()) {
+        cls.tref[j] = params.fixed_tref[i][j];
+      } else {
+        cls.tref[j] = static_cast<RefTypeId>(DrawFromDistribution(
+            params.dist1_ref_types, &rng, 0, params.num_ref_types - 1));
+      }
+    }
+    OCB_RETURN_NOT_OK(schema.AddClass(std::move(cls)));
+    ++report.classes_created;
+  }
+  const int64_t sup_class = params.EffectiveSupClass();
+  for (ClassId i = 0; i < params.num_classes; ++i) {
+    ClassDescriptor& cls = schema.GetMutableClass(i);
+    for (uint32_t j = 0; j < cls.maxnref; ++j) {
+      if (!params.fixed_cref.empty()) {
+        const int64_t fixed = params.fixed_cref[i][j];
+        cls.cref[j] =
+            fixed < 0 ? kNullClass : static_cast<ClassId>(fixed);
+      } else {
+        cls.cref[j] = static_cast<ClassId>(DrawFromDistribution(
+            params.dist2_class_refs, &rng, params.inf_class, sup_class,
+            /*center=*/i));
+      }
+    }
+  }
+
+  // ---- Step 2: consistency check-up ----
+  report.cycles_removed = schema.RemoveCycles();
+  schema.ComputeInstanceSizes();
+  OCB_RETURN_NOT_OK(schema.Validate());
+  db->SetSchema(std::move(schema));
+
+  // ---- Step 3: object instantiation ----
+  // 3a. Create the objects; class membership per DIST3.
+  std::vector<Oid> all_objects;
+  all_objects.reserve(params.num_objects);
+  for (uint64_t n = 0; n < params.num_objects; ++n) {
+    const ClassId cls = static_cast<ClassId>(DrawFromDistribution(
+        params.dist3_objects_in_classes, &rng, 0, params.num_classes - 1));
+    OCB_ASSIGN_OR_RETURN(Oid oid, db->CreateObject(cls));
+    all_objects.push_back(oid);
+    ++report.objects_created;
+  }
+
+  // 3b. Bind inter-object references; reverse refs are maintained by
+  // SetReference. Iterate per class extent, as Fig. 2 does. Extents come
+  // through ExtentSnapshot — on a sharded engine the per-shard extents
+  // merge into the same ascending-oid order a single store would hold.
+  const Schema& sch = db->schema();
+  // Extent membership is frozen during binding (SetReference never
+  // changes extents), so snapshot every class extent once up front.
+  std::vector<std::vector<Oid>> extents(params.num_classes);
+  for (ClassId i = 0; i < params.num_classes; ++i) {
+    extents[i] = db->ExtentSnapshot(i);
+  }
+  for (ClassId i = 0; i < params.num_classes; ++i) {
+    const ClassDescriptor& cls = sch.GetClass(i);
+    const std::vector<Oid>& extent = extents[i];
+    for (size_t j = 0; j < extent.size(); ++j) {
+      for (uint32_t k = 0; k < cls.maxnref; ++k) {
+        const ClassId target_class = cls.cref[k];
+        if (target_class == kNullClass) {
+          ++report.nil_references;
+          continue;
+        }
+        const std::vector<Oid>& target_extent = extents[target_class];
+        if (target_extent.empty()) {
+          ++report.nil_references;
+          continue;
+        }
+        // Draw an extent index l in [INFREF, SUPREF] ∩ [0, count-1];
+        // DIST4's locality center is the source's own extent position
+        // (OO1's "Part #i links near #i" transposed to extents).
+        const int64_t hi_bound =
+            params.sup_ref < 0
+                ? static_cast<int64_t>(target_extent.size()) - 1
+                : std::min<int64_t>(
+                      params.sup_ref,
+                      static_cast<int64_t>(target_extent.size()) - 1);
+        const int64_t lo_bound = std::min<int64_t>(params.inf_ref, hi_bound);
+        const int64_t l = DrawFromDistribution(
+            params.dist4_object_refs, &rng, lo_bound, hi_bound,
+            /*center=*/static_cast<int64_t>(j));
+        const Oid target = target_extent[static_cast<size_t>(l)];
+        Status st = db->SetReference(extent[j], k, target);
+        if (st.IsNoSpace()) {
+          ++report.backref_overflows;  // Target's backref array is full.
+          ++report.nil_references;
+          continue;
+        }
+        OCB_RETURN_NOT_OK(st);
+        ++report.references_bound;
+      }
+    }
+  }
+
+  OCB_RETURN_NOT_OK(db->FlushPools());
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(wall_end -
+                                                            wall_start)
+          .count());
+  report.sim_nanos = db->SimNowNanos() - sim_start;
+  report.generation_ios =
+      db->IoCountersFor(IoScope::kGeneration).total();
+  const ObjectStoreStats store_stats = db->StoreStats();
+  report.data_pages =
+      store_stats.data_pages.load(std::memory_order_relaxed);
+  report.database_bytes =
+      store_stats.bytes_stored.load(std::memory_order_relaxed);
+  return report;
+}
 
 }  // namespace ocb
 

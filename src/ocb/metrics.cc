@@ -21,6 +21,8 @@ void PhaseMetrics::Merge(const PhaseMetrics& other) {
   page_latch_wait_nanos += other.page_latch_wait_nanos;
   read_only_commits += other.read_only_commits;
   snapshot_reads += other.snapshot_reads;
+  cross_shard_commits += other.cross_shard_commits;
+  twopc_nanos += other.twopc_nanos;
 }
 
 std::string PhaseMetrics::ToTableString(const std::string& title) const {

@@ -77,6 +77,13 @@ struct PhaseMetrics {
   uint64_t read_only_commits = 0;
   uint64_t snapshot_reads = 0;
 
+  /// Sharded-execution behaviour (zero on a single Database): committed
+  /// transactions whose footprint spanned more than one shard, and the
+  /// wall time spent inside the coordinator's two-phase commit paths
+  /// (all transactions of the phase — the 2PC overhead number).
+  uint64_t cross_shard_commits = 0;
+  uint64_t twopc_nanos = 0;
+
   void Merge(const PhaseMetrics& other);
 
   double mean_ios_per_transaction() const {

@@ -7,10 +7,13 @@
 
 namespace ocb {
 
-Database::Database(const StorageOptions& options) : options_(options) {
+Database::Database(const StorageOptions& options)
+    : options_(options),
+      lock_manager_(LockManagerOptions{options.lock_wait_timeout_nanos}) {
   disk_ = std::make_unique<DiskSim>(options_, &clock_);
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_);
-  store_ = std::make_unique<ObjectStore>(pool_.get());
+  store_ = std::make_unique<ObjectStore>(pool_.get(), options_.first_oid,
+                                         options_.oid_stride);
 }
 
 Database::~Database() {
@@ -62,6 +65,12 @@ void Database::NotifyLinkCross(Oid from, Oid to, RefTypeId type,
 // --- Transaction lifecycle ---
 
 std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
+  return BeginTxnWithId(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
+                        read_only);
+}
+
+std::unique_ptr<TransactionContext> Database::BeginTxnWithId(
+    TxnId id, bool read_only) {
   // The GC thread exists only once someone transacts: legacy
   // single-client users (generators, the seed benches) never pay for it.
   std::call_once(gc_once_, [this]() {
@@ -70,8 +79,7 @@ std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
   // Without MVCC, a "read-only" txn is just a locking txn that happens
   // not to write — the pure-2PL baseline.
   if (!mvcc_enabled()) read_only = false;
-  auto txn = std::make_unique<TransactionContext>(
-      next_txn_id_.fetch_add(1, std::memory_order_relaxed), read_only);
+  auto txn = std::make_unique<TransactionContext>(id, read_only);
   if (read_only) {
     // Pin the ReadView atomically against commit stamping and GC.
     txn->snapshot_ts_ = version_store_.OpenSnapshot(&read_views_);
@@ -83,9 +91,56 @@ std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
   return txn;
 }
 
-Status Database::CommitTxn(TransactionContext* txn) {
+std::unique_ptr<TransactionContext> Database::BeginSnapshotTxnAt(
+    CommitTs ts, TxnId id) {
+  std::call_once(gc_once_, [this]() {
+    gc_thread_ = std::thread([this]() { GcLoop(); });
+  });
+  auto txn = std::make_unique<TransactionContext>(id, /*read_only=*/true);
+  // Registration serializes on the version store's commit mutex, so this
+  // shard's GC can never reclaim a version the view still needs. The
+  // caller (the coordinator) excludes cross-shard half-commits by opening
+  // all shards' views under its own commit mutex.
+  txn->snapshot_ts_ = version_store_.OpenSnapshotAt(ts, &read_views_);
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (observer_ != nullptr) observer_->OnTransactionBegin();
+  }
+  return txn;
+}
+
+Status Database::PrepareTxn(TransactionContext* txn) {
   if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (txn->read_only()) {
+    return Status::InvalidArgument(
+        Format("txn %llu is read-only: nothing to prepare",
+               (unsigned long long)txn->id()));
+  }
   if (!txn->active()) {
+    return Status::InvalidArgument(
+        Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  // Strict 2PL with in-place writes: every write is already applied under
+  // an X lock that stays held, so the participant *can* commit whenever
+  // the coordinator decides to. Freezing the state is the whole phase.
+  txn->state_ = TxnState::kPrepared;
+  return Status::OK();
+}
+
+Status Database::CommitTxn(TransactionContext* txn) {
+  return CommitTxnInternal(txn, /*external_ts=*/0);
+}
+
+Status Database::CommitTxnAt(TransactionContext* txn, CommitTs ts) {
+  if (ts == 0) return Status::InvalidArgument("commit ts must be nonzero");
+  return CommitTxnInternal(txn, ts);
+}
+
+Status Database::CommitTxnInternal(TransactionContext* txn,
+                                   CommitTs external_ts) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active() && !txn->prepared()) {
     return Status::InvalidArgument(
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
                TxnStateToString(txn->state())));
@@ -98,7 +153,11 @@ Status Database::CommitTxn(TransactionContext* txn) {
     // Stamp before releasing any lock: the next writer of these objects
     // must append its pending version *behind* this commit in the chains.
     // Pure readers on the locking path allocate no timestamp.
-    version_store_.StampCommitted(txn->id());
+    if (external_ts != 0) {
+      version_store_.StampCommittedAt(txn->id(), external_ts);
+    } else {
+      version_store_.StampCommitted(txn->id());
+    }
   }
   txn->undo_log_.clear();
   txn->undo_logged_.clear();
@@ -111,8 +170,18 @@ Status Database::CommitTxn(TransactionContext* txn) {
 }
 
 Status Database::AbortTxn(TransactionContext* txn) {
+  return AbortTxnInternal(txn, /*external_ts=*/0);
+}
+
+Status Database::AbortTxnAt(TransactionContext* txn, CommitTs ts) {
+  if (ts == 0) return Status::InvalidArgument("seal ts must be nonzero");
+  return AbortTxnInternal(txn, ts);
+}
+
+Status Database::AbortTxnInternal(TransactionContext* txn,
+                                  CommitTs external_ts) {
   if (txn == nullptr) return Status::InvalidArgument("null txn");
-  if (!txn->active()) {
+  if (!txn->active() && !txn->prepared()) {
     return Status::InvalidArgument(
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
                TxnStateToString(txn->state())));
@@ -133,6 +202,7 @@ Status Database::AbortTxn(TransactionContext* txn) {
     // the facade latch, as the seed did.)
     auto facade = FacadeGate();
     auto& log = txn->undo_log_;
+    const bool had_undo = !log.empty();
     for (auto it = log.rbegin(); it != log.rend(); ++it) {
       Status st = Status::OK();
       switch (it->kind) {
@@ -171,8 +241,17 @@ Status Database::AbortTxn(TransactionContext* txn) {
     // pending versions: a snapshot reader that raced the dirty writes
     // re-checks the version store after its store read, and the sealed
     // version — whose pre-image equals the rolled-back state — is what
-    // keeps that re-check sound. See VersionStore::StampAborted.
-    if (mvcc_enabled()) version_store_.StampAborted(txn->id());
+    // keeps that re-check sound. See VersionStore::StampAborted. A txn
+    // with no undo published no versions: skip the seal so pure readers
+    // on the locking path (and sharded reader participants) never draw a
+    // timestamp.
+    if (had_undo && mvcc_enabled()) {
+      if (external_ts != 0) {
+        version_store_.StampAbortedAt(txn->id(), external_ts);
+      } else {
+        version_store_.StampAborted(txn->id());
+      }
+    }
     std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionAbort();
   }

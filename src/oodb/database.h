@@ -29,22 +29,11 @@
 ///     bypass the version store, so snapshot readers must not run
 ///     concurrently with them — the benches never mix the two.
 ///
-/// Lock/latch hierarchy (acquire strictly top-down; release any time):
-///
-///   1. LockManager object locks — logical, transaction-lifetime. Always
-///      acquired *before* any latch below (lock waits block; nothing
-///      physical may be held across them).
-///   2. Catalog latch (one std::shared_mutex) — guards schema metadata:
-///      class descriptors and extents. Shared for reads (ExtentSnapshot,
-///      Scan's membership walk), exclusive for extent mutation
-///      (CreateObject/DeleteObject/rollback). Held only for the few map
-///      and vector operations involved — never across physical I/O.
-///   3. Page latches (BufferPool frame latches + stripe mutexes, object-
-///      table shards, free-space map) — physical, operation-lifetime.
-///      Buffer-pool fetches and miss I/O run entirely *outside* the
-///      catalog latch, so non-conflicting transactions overlap their disk
-///      latency. Multi-page operations latch pages in ascending page-id
-///      order (see object_store.h).
+/// Lock/latch ordering: locks before latches, catalog latch before page
+/// latches, strictly top-down — the complete hierarchy (including the
+/// shard-level rules a ShardedDatabase adds on top) is documented once,
+/// in ARCHITECTURE.md §"Ordering rules"; this header intentionally no
+/// longer duplicates it.
 ///
 /// The pre-refactor facade big-latch survives in two places only:
 ///
@@ -58,6 +47,12 @@
 ///     bench_multiclient runs each CLIENTN point in both modes to report
 ///     the facade-latch vs page-latch win (wait times come from the
 ///     thread-local accounting in storage/latch.h).
+///
+/// A Database is also the unit of *sharding*: ShardedDatabase
+/// (src/sharding/) composes N of them, each a complete store with its own
+/// lock manager, version store, buffer pool and disk, and coordinates
+/// cross-shard transactions with two-phase commit through the
+/// PrepareTxn/CommitTxnAt/AbortTxnAt entry points below.
 
 #ifndef OCB_OODB_DATABASE_H_
 #define OCB_OODB_DATABASE_H_
@@ -175,6 +170,15 @@ class Database {
   /// closes the ReadView).
   std::unique_ptr<TransactionContext> BeginTxn(bool read_only = false);
 
+  /// BeginTxn with a *caller-issued* transaction id. The sharding facade
+  /// creates every participant context of one sharded transaction with
+  /// the same globally unique id, which is what lets the shards' lock
+  /// managers link their wait edges in the coordinator's GlobalWaitGraph
+  /// (see wait_graph.h) — and is also why the ids must come from one
+  /// deployment-wide counter, never this store's own.
+  std::unique_ptr<TransactionContext> BeginTxnWithId(TxnId id,
+                                                     bool read_only = false);
+
   /// Commits: stamps the transaction's published versions with a fresh
   /// commit timestamp (making them visible history for snapshot readers),
   /// releases all locks, fires OnTransactionEnd. The undo log is
@@ -186,6 +190,59 @@ class Database {
   /// (see VersionStore::StampAborted), releases all locks, fires
   /// OnTransactionAbort.
   Status AbortTxn(TransactionContext* txn);
+
+  // --- Sharded-transaction entry points (CrossShardCoordinator) ---
+  //
+  // A ShardedDatabase transaction owns one TransactionContext per shard
+  // it touched. Single-shard transactions commit through CommitTxnAt
+  // directly (the 2PC fast path: no prepare, no coordinator state);
+  // multi-shard ones run two-phase commit: PrepareTxn on every writer
+  // participant, then — under the coordinator's commit mutex — one
+  // globally drawn timestamp is stamped into every shard via CommitTxnAt,
+  // which is what keeps cross-shard MVCC snapshots consistent (a reader
+  // either sees every shard's half of the commit or none). All stamping
+  // on a sharded member store MUST use the ...At forms with
+  // coordinator-issued timestamps; mixing in locally drawn ones would
+  // interleave two timestamp axes in the same version chains.
+
+  /// Phase 1 of 2PC: verifies the transaction can commit and freezes it
+  /// in TxnState::kPrepared — writes stay applied, locks stay held, and
+  /// the only legal exits are CommitTxnAt (coordinator decided commit)
+  /// and AbortTxn/AbortTxnAt (coordinator decided abort). Under strict
+  /// 2PL with in-place writes there is nothing left to validate, so
+  /// prepare can only fail for lifecycle reasons; it exists as the
+  /// explicit promise point the coordinator's atomicity argument needs.
+  /// Refused for read-only transactions (nothing to prepare).
+  Status PrepareTxn(TransactionContext* txn);
+
+  /// CommitTxn with a coordinator-issued commit timestamp: stamps the
+  /// transaction's pending versions with \p ts (VersionStore::
+  /// StampCommittedAt) instead of drawing a local one. Accepts active
+  /// (fast path) and prepared (2PC phase 2) transactions.
+  Status CommitTxnAt(TransactionContext* txn, CommitTs ts);
+
+  /// AbortTxn with a coordinator-issued *seal* timestamp for the
+  /// transaction's published versions. Accepts active and prepared
+  /// transactions.
+  Status AbortTxnAt(TransactionContext* txn, CommitTs ts);
+
+  /// BeginTxn(read_only=true) pinned at a *caller-chosen* snapshot
+  /// timestamp instead of this store's own latest commit: the
+  /// ShardedDatabase opens one global snapshot point S and registers a
+  /// view at S on every shard so a sharded reader resolves all its reads
+  /// against one cross-shard instant. \p id follows the BeginTxnWithId
+  /// contract. Callers must ensure MVCC is enabled.
+  std::unique_ptr<TransactionContext> BeginSnapshotTxnAt(CommitTs ts,
+                                                         TxnId id);
+
+  /// Direct lock-manager access for the sharding facade, which must
+  /// acquire locks on objects *before* reading them to choreograph
+  /// multi-shard operations (same contract as the internal paths: blocks,
+  /// may return Aborted, no latch may be held across the call). No-op
+  /// when \p txn is null.
+  Status AcquireLock(TransactionContext* txn, Oid oid, LockMode mode) {
+    return LockFor(txn, oid, mode);
+  }
 
   // --- Object operations ---
   //
@@ -250,6 +307,41 @@ class Database {
   /// Flushes dirty pages and empties the buffer pool — a cold cache, as
   /// between the paper's generation and cold-run phases. Quiesces first.
   Status ColdRestart();
+
+  // --- Uniform engine surface ---
+  //
+  // Database and ShardedDatabase expose this identically (the sharded
+  // form aggregates over its shards); the templated OCB execution layer
+  // (generator, TransactionExecutorT, ProtocolRunnerT, RunMultiClient)
+  // is written against it and therefore runs unchanged on either engine.
+  // See ARCHITECTURE.md §"The engine surface".
+
+  /// The transaction-handle type BeginTxn hands out.
+  using TxnHandle = TransactionContext;
+
+  /// Current simulated time (cumulative charged I/O + think latency).
+  uint64_t SimNowNanos() const { return clock_.now_nanos(); }
+
+  /// Charges think-time latency to the simulated clock.
+  void AdvanceSimClock(uint64_t nanos) { clock_.Advance(nanos); }
+
+  /// I/O counters of one accounting scope.
+  IoCounters IoCountersFor(IoScope scope) const {
+    return disk_->counters(scope);
+  }
+
+  /// Current / new I/O accounting scope (see ScopedEngineIoScope).
+  IoScope io_scope() const { return disk_->scope(); }
+  void SetIoScope(IoScope scope) { disk_->set_scope(scope); }
+
+  /// Aggregate buffer-pool counters.
+  BufferPoolStats PoolStats() const { return pool_->stats(); }
+
+  /// Aggregate object-store placement statistics.
+  ObjectStoreStats StoreStats() const { return store_->stats(); }
+
+  /// Writes every dirty page back (generation epilogue).
+  Status FlushPools() { return pool_->FlushAll(); }
 
   // --- Substrate access (benchmark harness & clustering reorganizers) ---
   ObjectStore* object_store() { return store_.get(); }
@@ -318,6 +410,12 @@ class Database {
  private:
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
+
+  /// Shared commit/abort bodies; \p external_ts == 0 draws local
+  /// timestamps (CommitTxn/AbortTxn), nonzero uses the coordinator-issued
+  /// one (CommitTxnAt/AbortTxnAt).
+  Status CommitTxnInternal(TransactionContext* txn, CommitTs external_ts);
+  Status AbortTxnInternal(TransactionContext* txn, CommitTs external_ts);
 
   /// Returns a held lock on the serialize-physical facade latch when the
   /// compatibility mode is on — or when \p force is set, which the legacy

@@ -1,0 +1,204 @@
+#include "sharding/cross_shard_coordinator.h"
+
+#include <chrono>
+
+namespace ocb {
+
+namespace {
+
+uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+CommitTs CrossShardCoordinator::BeginFastPathCommit() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  const CommitTs ts = NextTimestamp();
+  inflight_commits_.insert(ts);
+  return ts;
+}
+
+void CrossShardCoordinator::EndFastPathCommit(CommitTs ts) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_commits_.erase(ts);
+}
+
+void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
+  // Holding commit_mu_ across every per-shard registration is what makes
+  // S a consistent cut against *2PC* commits: they stamp all their
+  // shards under this same mutex, so S either precedes all of commit T's
+  // stamps or follows all of them — never lands in between.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  // Fast-path commits stamp outside commit_mu_, so additionally pin S
+  // strictly below the oldest timestamp still being stamped: a commit
+  // with ts <= S is therefore always *fully* stamped (it retired itself
+  // from the in-flight set), and a half-stamped one is simply not yet
+  // visible — the reader sees its pre-images on every shard.
+  CommitTs s;
+  {
+    std::lock_guard<std::mutex> inflight(inflight_mu_);
+    s = next_ts_.load(std::memory_order_relaxed);
+    if (!inflight_commits_.empty()) {
+      s = std::min(s, *inflight_commits_.begin() - 1);
+    }
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    txn->contexts_[k] = shards_[k]->BeginSnapshotTxnAt(s, txn->id());
+  }
+  txn->snapshot_ts_ = s;
+  snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active()) {
+    return Status::InvalidArgument("sharded txn is not active");
+  }
+  txn->FreezeTouched();  // Commit releases the locks the count reads.
+  Status first_failure = Status::OK();
+  if (txn->read_only()) {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      TransactionContext* ctx = txn->contexts_[k].get();
+      if (ctx == nullptr) continue;
+      Status st = shards_[k]->CommitTxn(ctx);
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+    txn->state_ = TxnState::kCommitted;
+    return first_failure;
+  }
+
+  // Split participants: only shards the transaction *wrote* have pending
+  // versions to stamp and therefore take part in 2PC; pure-read
+  // participants just release their S locks.
+  std::vector<uint32_t> writers;
+  std::vector<uint32_t> readers;
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    TransactionContext* ctx = txn->contexts_[k].get();
+    if (ctx == nullptr) continue;
+    if (ctx->undo_log().empty()) {
+      readers.push_back(k);
+    } else {
+      writers.push_back(k);
+    }
+  }
+
+  if (writers.size() <= 1) {
+    // Fast path: no prepare, no commit-mutex serialization, no 2PC
+    // accounting. The timestamp is registered in-flight until stamping
+    // completes so OpenGlobalSnapshot never pins past a half-stamped
+    // commit (see BeginFastPathCommit).
+    if (!writers.empty()) {
+      const CommitTs ts = BeginFastPathCommit();
+      Status st = shards_[writers[0]]->CommitTxnAt(
+          txn->contexts_[writers[0]].get(), ts);
+      EndFastPathCommit(ts);
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+    for (uint32_t k : readers) {
+      Status st = shards_[k]->CommitTxn(txn->contexts_[k].get());
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+    txn->state_ = TxnState::kCommitted;
+    fast_path_commits_.fetch_add(1, std::memory_order_relaxed);
+    return first_failure;
+  }
+
+  // Two-phase commit.
+  const auto start = std::chrono::steady_clock::now();
+  for (uint32_t k : writers) {
+    Status st = shards_[k]->PrepareTxn(txn->contexts_[k].get());
+    prepares_.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) {
+      // A participant refused to promise (lifecycle bug upstream): the
+      // only safe decision is abort-everything.
+      AbortParticipants(txn);
+      twopc_nanos_.fetch_add(NanosSince(start), std::memory_order_relaxed);
+      return st;
+    }
+  }
+  if (commit_failpoint_ && commit_failpoint_()) {
+    // Injected coordinator crash between prepare and commit: the decision
+    // becomes abort, and every participant — all merely prepared, none
+    // stamped — must roll back. This is the atomicity window the 2PC
+    // tests exercise.
+    injected_aborts_.fetch_add(1, std::memory_order_relaxed);
+    Status st = AbortParticipants(txn);
+    txn->twopc_nanos_ = NanosSince(start);
+    twopc_nanos_.fetch_add(txn->twopc_nanos_, std::memory_order_relaxed);
+    if (!st.ok()) return st;
+    return Status::Aborted("2PC commit failpoint injected an abort");
+  }
+  {
+    // Decision: commit. One timestamp for every shard, stamped under the
+    // commit mutex so no global snapshot can interleave (see
+    // OpenGlobalSnapshot).
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    const CommitTs ts = NextTimestamp();
+    for (uint32_t k : writers) {
+      Status st = shards_[k]->CommitTxnAt(txn->contexts_[k].get(), ts);
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+  }
+  for (uint32_t k : readers) {
+    Status st = shards_[k]->CommitTxn(txn->contexts_[k].get());
+    if (!st.ok() && first_failure.ok()) first_failure = st;
+  }
+  txn->state_ = TxnState::kCommitted;
+  txn->twopc_nanos_ = NanosSince(start);
+  twopc_nanos_.fetch_add(txn->twopc_nanos_, std::memory_order_relaxed);
+  cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+  return first_failure;
+}
+
+Status CrossShardCoordinator::Abort(ShardedTransaction* txn) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active()) {
+    return Status::InvalidArgument("sharded txn is not active");
+  }
+  return AbortParticipants(txn);
+}
+
+Status CrossShardCoordinator::AbortParticipants(ShardedTransaction* txn) {
+  txn->FreezeTouched();
+  Status first_failure = Status::OK();
+  // One globally drawn seal timestamp for every writer participant keeps
+  // each shard's chains on the single global axis (drawn lazily: pure
+  // readers and read-only transactions seal nothing).
+  CommitTs seal_ts = 0;
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    TransactionContext* ctx = txn->contexts_[k].get();
+    if (ctx == nullptr) continue;
+    Status st;
+    if (!txn->read_only() && !ctx->undo_log().empty()) {
+      if (seal_ts == 0) seal_ts = NextTimestamp();
+      st = shards_[k]->AbortTxnAt(ctx, seal_ts);
+    } else {
+      st = shards_[k]->AbortTxn(ctx);
+    }
+    if (!st.ok() && first_failure.ok()) first_failure = st;
+  }
+  txn->state_ = TxnState::kAborted;
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  return first_failure;
+}
+
+CrossShardStats CrossShardCoordinator::stats() const {
+  CrossShardStats out;
+  out.fast_path_commits =
+      fast_path_commits_.load(std::memory_order_relaxed);
+  out.cross_shard_commits =
+      cross_shard_commits_.load(std::memory_order_relaxed);
+  out.prepares = prepares_.load(std::memory_order_relaxed);
+  out.aborts = aborts_.load(std::memory_order_relaxed);
+  out.injected_aborts = injected_aborts_.load(std::memory_order_relaxed);
+  out.snapshots_opened =
+      snapshots_opened_.load(std::memory_order_relaxed);
+  out.twopc_nanos = twopc_nanos_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ocb

@@ -1,0 +1,62 @@
+/// \file shard_router.h
+/// \brief Oid-space partitioning function of the ShardedDatabase.
+///
+/// A ShardedDatabase splits the object space across N independent
+/// Database shards; the router is the pure function that says which shard
+/// *owns* an oid. Ownership must be recomputable from the oid alone (no
+/// directory lookups on the hot path) and stable for the lifetime of the
+/// deployment, so routing is hash-by-oid over the identity hash:
+///
+///     ShardOf(oid) = (oid - 1) mod N
+///
+/// paired with the allocation side of the contract: shard k's ObjectStore
+/// allocates oids from the arithmetic progression k + 1, k + 1 + N, …
+/// (StorageOptions::first_oid / oid_stride), so every oid a shard creates
+/// routes back to that shard by construction. Because ShardedDatabase
+/// round-robins object creation across shards, the *global* oid sequence
+/// stays dense (1, 2, 3, …) regardless of N — the same generation seed
+/// produces the identical logical object graph at every shard count,
+/// which is what makes SHARDN sweeps an apples-to-apples comparison.
+///
+/// Directory-based routing (movable ownership, rebalancing) is a
+/// deliberate non-goal here and a recorded ROADMAP follow-on; it would
+/// slot in behind this same interface.
+
+#ifndef OCB_SHARDING_SHARD_ROUTER_H_
+#define OCB_SHARDING_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+
+namespace ocb {
+
+/// \brief Stateless oid → shard mapping (modulo the shard count).
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t shard_count)
+      : shard_count_(shard_count < 1 ? 1 : shard_count) {}
+
+  uint32_t shard_count() const { return shard_count_; }
+
+  /// Owning shard of \p oid. kInvalidOid routes to shard 0, whose store
+  /// reports NotFound — the same surface a single Database presents for
+  /// an invalid oid.
+  uint32_t ShardOf(Oid oid) const {
+    if (oid == kInvalidOid) return 0;
+    return static_cast<uint32_t>((oid - 1) % shard_count_);
+  }
+
+  /// First oid of shard \p shard's allocation progression.
+  Oid FirstOidFor(uint32_t shard) const { return shard + 1; }
+
+  /// Step of every shard's allocation progression.
+  uint64_t OidStride() const { return shard_count_; }
+
+ private:
+  uint32_t shard_count_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_SHARDING_SHARD_ROUTER_H_

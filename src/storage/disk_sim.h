@@ -160,6 +160,27 @@ class ScopedIoScope {
   IoScope previous_;
 };
 
+/// \brief ScopedIoScope generalized over the engine surface: works for
+/// any type exposing io_scope()/SetIoScope (Database switches its one
+/// DiskSim, ShardedDatabase switches every shard's). The templated OCB
+/// execution layer uses this form.
+template <typename DB>
+class ScopedEngineIoScope {
+ public:
+  ScopedEngineIoScope(DB* db, IoScope scope)
+      : db_(db), previous_(db->io_scope()) {
+    db_->SetIoScope(scope);
+  }
+  ~ScopedEngineIoScope() { db_->SetIoScope(previous_); }
+
+  ScopedEngineIoScope(const ScopedEngineIoScope&) = delete;
+  ScopedEngineIoScope& operator=(const ScopedEngineIoScope&) = delete;
+
+ private:
+  DB* db_;
+  IoScope previous_;
+};
+
 }  // namespace ocb
 
 #endif  // OCB_STORAGE_DISK_SIM_H_

@@ -42,6 +42,23 @@ inline const char* LatchModeToString(LatchMode mode) {
 /// Per-thread cumulative latch-wait accounting (nanoseconds of wall time
 /// spent blocked). Reset-by-snapshot: callers record before/after values
 /// and subtract; the counters themselves only grow.
+///
+/// Contract for delta-takers (the transaction executor is the canonical
+/// one): the counters are `thread_local`, so a delta is meaningful only
+/// when the "before" and "after" snapshots are taken on the SAME thread
+/// that performed the latched work — handing a transaction across
+/// threads mid-flight would split its wait between two counters. That
+/// is why TransactionResult's facade/page wait fields are filled inside
+/// Execute on the client thread, and why the per-client rows of
+/// bench_multiclient sum exactly to the phase totals: every nanosecond
+/// of blocked wall time is charged to exactly one thread, once.
+///
+/// The counters deliberately never reset: concurrent phases on one
+/// thread (cold run, warm run) each subtract their own start snapshot,
+/// so overlapping intervals still attribute correctly. In a sharded
+/// deployment the same two counters serve all shards — the split is by
+/// latch *class* (facade/catalog vs page), not by owner, so per-shard
+/// attribution comes from lock-manager stats instead.
 struct ThreadLatchWaits {
   uint64_t facade_nanos = 0;  ///< Database facade/catalog latch.
   uint64_t page_nanos = 0;    ///< Frame latches + buffer-pool stripes.

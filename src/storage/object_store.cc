@@ -17,8 +17,13 @@ namespace {
 constexpr int kMaxResolveAttempts = 64;
 }  // namespace
 
-ObjectStore::ObjectStore(BufferPool* pool)
-    : pool_(pool), table_(pool->latch_stripes()) {}
+ObjectStore::ObjectStore(BufferPool* pool, Oid first_oid,
+                         uint64_t oid_stride)
+    : pool_(pool),
+      table_(pool->latch_stripes()),
+      first_oid_(first_oid < 1 ? 1 : first_oid),
+      oid_stride_(oid_stride < 1 ? 1 : oid_stride),
+      next_oid_(first_oid_) {}
 
 Result<ObjectLocation> ObjectStore::Place(std::span<const uint8_t> bytes,
                                           PageId hint_page) {
@@ -83,7 +88,7 @@ Result<Oid> ObjectStore::Insert(std::span<const uint8_t> bytes,
     }
   }
   OCB_ASSIGN_OR_RETURN(ObjectLocation loc, Place(bytes, hint_page));
-  const Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  const Oid oid = next_oid_.fetch_add(oid_stride_, std::memory_order_relaxed);
   table_.Put(oid, loc);
   stats_.objects.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_stored.fetch_add(bytes.size(), std::memory_order_relaxed);
@@ -115,10 +120,18 @@ Status ObjectStore::InsertWithOid(Oid oid, std::span<const uint8_t> bytes) {
     return Status::AlreadyExists(
         Format("oid %llu is live", (unsigned long long)oid));
   }
-  Oid expected = next_oid_.load(std::memory_order_relaxed);
-  while (oid + 1 > expected &&
-         !next_oid_.compare_exchange_weak(expected, oid + 1,
-                                          std::memory_order_relaxed)) {
+  // Keep the allocator ahead of re-registered oids while staying on the
+  // store's progression (first_oid_ + k * oid_stride_): the bump target is
+  // the smallest progression member > oid. Foreign oids below first_oid_
+  // can never collide with future allocations, so they skip the bump.
+  if (oid >= first_oid_) {
+    const Oid bumped =
+        oid + oid_stride_ - (oid - first_oid_) % oid_stride_;
+    Oid expected = next_oid_.load(std::memory_order_relaxed);
+    while (bumped > expected &&
+           !next_oid_.compare_exchange_weak(expected, bumped,
+                                            std::memory_order_relaxed)) {
+    }
   }
   stats_.objects.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_stored.fetch_add(bytes.size(), std::memory_order_relaxed);

@@ -78,13 +78,19 @@ struct ObjectStoreStats {
 /// \brief Variable-length object heap with stable logical ids.
 class ObjectStore {
  public:
-  explicit ObjectStore(BufferPool* pool);
+  /// \param first_oid / \p oid_stride Arithmetic progression the store
+  ///        allocates oids from (defaults: the dense sequence 1, 2, 3…).
+  ///        A ShardedDatabase gives shard k of N the progression
+  ///        (k + 1, N) so ownership is recomputable from the oid alone —
+  ///        see sharding/shard_router.h.
+  explicit ObjectStore(BufferPool* pool, Oid first_oid = 1,
+                       uint64_t oid_stride = 1);
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
 
-  /// Stores \p bytes as a new object and returns its Oid (allocated
-  /// sequentially from 1).
+  /// Stores \p bytes as a new object and returns its Oid (the next value
+  /// of the store's allocation progression).
   ///
   /// \param placement_hint If valid, try to co-locate the new object on the
   ///        same page as the hinted object (clustering policies use this).
@@ -147,7 +153,10 @@ class ObjectStore {
   /// objects that no clustering unit claimed.
   std::vector<Oid> LiveOidsInPhysicalOrder() const;
 
-  /// Highest Oid allocated so far (0 if none).
+  /// Upper bound on the oids allocated so far: every live oid is
+  /// <= max_oid(), and snapshot save/load round-trips max_oid() + 1 as
+  /// the restored counter. (With oid_stride == 1 this is exactly the
+  /// highest Oid allocated, 0 if none.)
   Oid max_oid() const {
     return next_oid_.load(std::memory_order_relaxed) - 1;
   }
@@ -195,7 +204,9 @@ class ObjectStore {
   BufferPool* pool_;
   FreeSpaceMap free_space_;
   StripedOidMap table_;
-  std::atomic<Oid> next_oid_{1};
+  const Oid first_oid_;
+  const uint64_t oid_stride_;
+  std::atomic<Oid> next_oid_;
   std::atomic<PageId> current_fill_page_{kInvalidPageId};
   ObjectStoreStats stats_;
 };

@@ -46,6 +46,26 @@ struct StorageOptions {
   /// a build that defines OCB_LATCH_STRIPES caps explicit values too.
   size_t latch_stripes = 0;
 
+  /// First oid the object store hands out and the step between
+  /// consecutive allocations. The defaults (1, 1) give the historical
+  /// dense sequence 1, 2, 3, …; shard k of an N-shard ShardedDatabase
+  /// uses (k + 1, N) so every oid it allocates satisfies
+  /// (oid - 1) % N == k — the ShardRouter's routing function — while the
+  /// *global* oid space stays dense when creation round-robins across
+  /// shards. Oids are identity, not placement: changing these never
+  /// affects physical layout.
+  uint64_t first_oid = 1;
+  uint64_t oid_stride = 1;
+
+  /// Upper bound on one blocking lock-manager Acquire (nanoseconds);
+  /// expiring returns Status::Aborted. A backstop: intra-store cycles
+  /// are caught by the wait-for DFS and cross-shard ones by the
+  /// coordinator's GlobalWaitGraph, so the timeout only fires for
+  /// conflicts neither edge approximation can express (e.g. FIFO-gated
+  /// queue waits). ShardedDatabase lowers it for its shards so even
+  /// those resolve in a fraction of a second.
+  uint64_t lock_wait_timeout_nanos = 2'000'000'000;
+
   /// Simulated latency charged per page read, in nanoseconds.
   /// Default 10 ms: a 1998 commodity disk's seek + rotational delay.
   uint64_t read_latency_nanos = 10'000'000;
@@ -65,6 +85,10 @@ struct StorageOptions {
     }
     if (buffer_pool_pages < 1) {
       return Status::InvalidArgument("buffer_pool_pages must be >= 1");
+    }
+    if (first_oid < 1 || oid_stride < 1) {
+      return Status::InvalidArgument(
+          "first_oid and oid_stride must be >= 1");
     }
     return Status::OK();
   }

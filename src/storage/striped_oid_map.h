@@ -14,6 +14,20 @@
 /// new location while both page latches are held), but must never acquire
 /// a page latch, the catalog latch, or a lock-manager mutex while holding
 /// a shard mutex.
+///
+/// Revalidation contract (the reason optimistic resolution is sound):
+/// a Lookup NOT performed under the target page's latch returns a
+/// location that may be stale by the time the caller latches anything —
+/// a concurrent Update/Relocate can move the record. Readers therefore
+/// run lookup → latch the page → Lookup AGAIN under the latch and
+/// compare: because every relocation publishes the new table entry (Put)
+/// while holding BOTH page latches (source and destination, ascending
+/// page-id order), an entry revalidated under the page's latch proves
+/// the record is on that page right now — the mover could not have
+/// published-and-moved while the reader held the latch. A failed
+/// revalidation just retries the loop (bounded; see object_store.cc's
+/// kMaxResolveAttempts). Erase-then-miss is equally final: a vanished
+/// entry under latch means the object is deleted, not moving.
 
 #ifndef OCB_STORAGE_STRIPED_OID_MAP_H_
 #define OCB_STORAGE_STRIPED_OID_MAP_H_
