@@ -1,0 +1,198 @@
+/// \file commit_pipeline.h
+/// \brief Leader–follower group-commit pipeline.
+///
+/// Behind Transaction::Commit every committing transaction pays a fixed
+/// per-transaction toll: a commit-mutex acquisition in the version store
+/// (timestamp allocation + version stamping) — and, on a sharded engine,
+/// the coordinator's commit mutex and in-flight registry. At high CLIENTN
+/// those serialized sections dominate the commit path. The pipeline
+/// amortizes them the way write-ahead-logging engines amortize the log
+/// fsync:
+///
+///   * A committer enqueues its request. If no leader is active it
+///     becomes the leader immediately (an uncontended commit forms a
+///     batch of one — group commit adds no idle latency).
+///   * While the leader processes its batch, later committers enqueue
+///     and sleep. When the leader finishes it wakes everyone; one of the
+///     still-pending committers becomes the next leader and takes the
+///     whole accumulated queue (up to max_batch) as one batch.
+///   * The engine-supplied batch function performs the per-batch work
+///     once for the whole group: one commit-mutex acquisition stamps
+///     every member's versions with consecutive timestamps, one observer
+///     pass fires the end callbacks (see Database::CommitBatch and
+///     CrossShardCoordinator::CommitBatch).
+///
+/// The pipeline itself knows nothing about transactions: requests carry
+/// an opaque handle and receive a Status. Correctness (per-txn stamping
+/// order, stamp-before-release) is the batch function's contract.
+///
+/// max_batch = 1 degrades to per-transaction commits through the same
+/// code path — the baseline the group-commit bench section compares
+/// against.
+
+#ifndef OCB_CONCURRENCY_COMMIT_PIPELINE_H_
+#define OCB_CONCURRENCY_COMMIT_PIPELINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ocb {
+
+/// Group-commit tunables.
+struct GroupCommitOptions {
+  /// Largest batch one leader may take. 1 = per-transaction commits
+  /// (group commit effectively off); larger values let a leader absorb
+  /// every committer that arrived while its predecessor worked.
+  uint32_t max_batch = 32;
+
+  /// Optional accumulation window: a fresh leader waits up to this long
+  /// for followers before taking its batch (it leaves early the moment
+  /// max_batch committers are queued). 0 — the default — means a leader
+  /// never waits: batches only form from committers that arrived while
+  /// the *previous* leader worked, so an uncontended commit pays zero
+  /// added latency. A non-zero window trades commit latency for larger
+  /// batches — the binlog_group_commit_sync_delay idea — and is what
+  /// lets single-core hosts (where a leader finishes before the OS
+  /// schedules the next committer) form batches at all.
+  uint64_t window_nanos = 0;
+};
+
+/// Aggregate pipeline counters (monotonic; read via stats()).
+struct GroupCommitStats {
+  uint64_t commits = 0;         ///< Requests processed.
+  uint64_t batches = 0;         ///< Leader rounds (>= 1 request each).
+  uint64_t grouped_commits = 0; ///< Requests that shared a batch (> 1).
+  uint64_t max_batch_formed = 0;///< Largest batch observed.
+  uint64_t batch_nanos = 0;     ///< Wall time inside the batch function —
+                                ///< the serialized commit-path work the
+                                ///< grouping amortizes.
+
+  /// Mean commits per leader round.
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(commits) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// \brief Serializes commits into batches processed by one leader at a
+/// time.
+class CommitPipeline {
+ public:
+  /// One enqueued commit. The batch function reads \c handle and must
+  /// set \c status before returning.
+  struct Request {
+    void* handle = nullptr;
+    Status status;
+  };
+
+  /// Processes one batch. Called by exactly one thread at a time (the
+  /// current leader), outside the pipeline mutex.
+  using BatchFn = std::function<void(const std::vector<Request*>&)>;
+
+  explicit CommitPipeline(BatchFn fn) : fn_(std::move(fn)) {}
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  /// Current / new batch-size cap. Safe to change between runs (takes
+  /// the pipeline mutex); in-flight batches keep the cap they started
+  /// with.
+  uint32_t max_batch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.max_batch;
+  }
+  void set_max_batch(uint32_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.max_batch = n < 1 ? 1 : n;
+  }
+
+  /// Accumulation window (see GroupCommitOptions::window_nanos).
+  uint64_t window_nanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_.window_nanos;
+  }
+  void set_window_nanos(uint64_t nanos) {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_.window_nanos = nanos;
+  }
+
+  /// Enqueues \p handle and blocks until a leader (possibly this thread)
+  /// has processed it; returns the status the batch function assigned.
+  Status Submit(void* handle) {
+    Request req;
+    req.handle = handle;
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(&req);
+    cv_.notify_all();  // A window-waiting leader counts arrivals.
+    // A processed request has its handle nulled by the leader. A thread
+    // may have to lead more than one round before its own request is
+    // taken: with a small max_batch the queue front can be a full batch
+    // of *earlier* arrivals.
+    while (req.handle != nullptr) {
+      if (leader_active_) {
+        cv_.wait(lock);
+        continue;
+      }
+      leader_active_ = true;
+      const uint32_t cap = options_.max_batch;
+      if (options_.window_nanos > 0 && queue_.size() < cap) {
+        // Accumulation window: give followers a beat to pile in. Idle
+        // wait — deliberately NOT counted as commit-path work.
+        cv_.wait_for(lock, std::chrono::nanoseconds(options_.window_nanos),
+                     [&]() { return queue_.size() >= cap; });
+      }
+      std::vector<Request*> batch;
+      while (!queue_.empty() && batch.size() < cap) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      lock.unlock();
+
+      const auto start = std::chrono::steady_clock::now();
+      fn_(batch);
+      const uint64_t nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+
+      lock.lock();
+      stats_.commits += batch.size();
+      ++stats_.batches;
+      if (batch.size() > 1) stats_.grouped_commits += batch.size();
+      if (batch.size() > stats_.max_batch_formed) {
+        stats_.max_batch_formed = batch.size();
+      }
+      stats_.batch_nanos += nanos;
+      for (Request* r : batch) r->handle = nullptr;  // Mark processed.
+      leader_active_ = false;
+      cv_.notify_all();
+    }
+    return req.status;
+  }
+
+  GroupCommitStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  BatchFn fn_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+  GroupCommitOptions options_;
+  GroupCommitStats stats_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_COMMIT_PIPELINE_H_

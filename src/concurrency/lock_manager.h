@@ -14,12 +14,25 @@
 /// possible.
 ///
 /// Deadlock handling: when a request must wait, the manager builds the
-/// wait-for graph implied by the queues and runs a DFS from the requester;
-/// if the requester can reach itself the wait would close a cycle and the
-/// request is refused with Status::Aborted — the *newcomer* is the victim,
-/// so each cycle aborts exactly one transaction (everyone already asleep
-/// stays asleep). A wait-die-style timeout (LockManagerOptions::
-/// wait_timeout_nanos) backstops anything the graph cannot see.
+/// wait-for graph implied by the queues and runs a DFS from the requester.
+/// Which transaction dies is chosen by LockManagerOptions::victim_policy:
+///
+///   * kCycleCloser (default, the PR 2 baseline contract) — the requester
+///     whose wait would close the cycle is refused with Status::Aborted,
+///     so each cycle aborts exactly one transaction (everyone already
+///     asleep stays asleep).
+///   * kYoungest — the youngest (largest-id) transaction in the cycle is
+///     the victim. When that is a sleeping waiter it is woken with
+///     Status::Aborted and the requester waits on; when the requester is
+///     itself the youngest it is refused as under kCycleCloser.
+///   * kWoundWait — no cycle search at all: an older requester *wounds*
+///     every younger conflicting blocker (sleeping ones wake Aborted,
+///     running ones die at their next Acquire), a younger requester
+///     simply waits behind older ones. Deadlock-free by construction,
+///     at the price of aborts without a proven cycle.
+///
+/// A wait-die-style timeout (LockManagerOptions::wait_timeout_nanos)
+/// backstops anything the policy cannot see.
 ///
 /// All blocking happens inside Acquire on a per-object condition variable;
 /// the table itself is protected by one mutex (critical sections are a few
@@ -35,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "concurrency/transaction_context.h"
@@ -49,6 +63,11 @@ struct LockManagerOptions {
   /// Upper bound on one blocking Acquire; expiring returns Aborted. The
   /// fallback for conflicts the wait-for graph cannot express.
   uint64_t wait_timeout_nanos = 2'000'000'000;  // 2 s
+
+  /// Deadlock victim-selection policy (see DeadlockPolicy). The default
+  /// preserves the PR 2 baseline contract: one victim per cycle (the
+  /// cycle-closing requester), FIFO fairness across aborts.
+  DeadlockPolicy victim_policy = DeadlockPolicy::kCycleCloser;
 };
 
 /// Aggregate counters (monotonic; read via stats()).
@@ -58,6 +77,8 @@ struct LockManagerStats {
   uint64_t deadlocks = 0;        ///< Requests refused by cycle detection.
   uint64_t timeouts = 0;         ///< Requests refused by the timeout.
   uint64_t total_wait_nanos = 0; ///< Wall time spent blocked, all txns.
+  uint64_t victim_wakeups = 0;   ///< Sleeping waiters aborted as victims.
+  uint64_t wounds = 0;           ///< Wound-wait wounds dealt to younger txns.
 };
 
 /// \brief Shared/exclusive object lock table with deadlock detection.
@@ -87,6 +108,14 @@ class LockManager {
   /// Number of objects with at least one granted or waiting request.
   size_t locked_object_count() const;
 
+  /// Current / new deadlock victim policy. The setter is safe to call at
+  /// any time (it takes the table mutex) but, like SetMvccEnabled, is
+  /// meant to be flipped between runs: all clients of one run share one
+  /// policy (ProtocolRunner applies WorkloadParameters::deadlock_policy
+  /// at construction).
+  DeadlockPolicy victim_policy() const;
+  void SetVictimPolicy(DeadlockPolicy policy);
+
   /// Attaches a deployment-wide wait-for graph (ShardedDatabase wires all
   /// its shards' managers to one). When set, every blocking Acquire also
   /// registers its direct-blocker edges there and refuses the wait if
@@ -102,6 +131,9 @@ class LockManager {
     LockMode mode = LockMode::kShared;
     bool granted = false;
     bool upgrade = false;  ///< X request of a txn that holds S.
+    bool victim = false;   ///< Marked for abort (youngest / wound-wait);
+                           ///< the sleeping owner wakes and returns
+                           ///< Aborted instead of being granted.
   };
   struct LockQueue {
     std::list<Request> requests;      ///< Granted block, then FIFO waiters.
@@ -117,16 +149,40 @@ class LockManager {
   static bool Conflicts(const Request& request, const Request& other);
 
   /// DFS over the wait-for graph: does blocking \p waiter on \p oid close
-  /// a cycle? Requires mu_.
-  bool WouldDeadlock(TxnId waiter, Oid oid, LockMode mode) const;
+  /// a cycle? When it does and \p cycle is non-null, the cycle's member
+  /// transactions (including \p waiter) are appended to it. Requires mu_.
+  bool WouldDeadlock(TxnId waiter, Oid oid, LockMode mode,
+                     std::vector<TxnId>* cycle = nullptr) const;
+
+  /// DFS worker of WouldDeadlock: can \p node reach \p waiter? \p path
+  /// accumulates the nodes of the successful branch. Requires mu_.
+  bool CycleFrom(TxnId node, TxnId waiter, Oid waiter_oid,
+                 std::unordered_set<TxnId>* visited,
+                 std::vector<TxnId>* path) const;
 
   /// Direct blockers of \p txn's waiting request on \p oid: every
   /// conflicting request of another txn ahead of it. Requires mu_.
   std::vector<TxnId> DirectBlockers(TxnId txn, Oid oid) const;
 
+  /// Marks \p victim's *sleeping* waiting request as a deadlock victim
+  /// and wakes it; its Acquire returns Aborted. Returns false when
+  /// \p victim is not currently blocked in this manager. Requires mu_.
+  bool MarkWaiterVictim(TxnId victim);
+
+  /// True when \p txn's current wait has been marked victim (such a
+  /// wait no longer carries wait-for edges). Requires mu_.
+  bool HasVictimWait(TxnId txn) const;
+
+  /// Wound-wait: wounds every conflicting blocker of \p txn's request on
+  /// \p oid that is *younger* (larger id). Sleeping younger blockers are
+  /// woken as victims; running ones are flagged in wounded_ and die at
+  /// their next Acquire. Requires mu_.
+  void WoundYoungerBlockers(TxnId txn, Oid oid);
+
   mutable std::mutex mu_;
   std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_;
   std::unordered_map<TxnId, Oid> waiting_on_;  ///< Blocked txn → object.
+  std::unordered_set<TxnId> wounded_;  ///< Wound-wait: die at next Acquire.
   LockManagerOptions options_;
   LockManagerStats stats_;
   GlobalWaitGraph* wait_graph_ = nullptr;  ///< Optional (sharded mode).

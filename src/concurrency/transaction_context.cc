@@ -12,6 +12,18 @@ const char* LockModeToString(LockMode mode) {
   return "?";
 }
 
+const char* DeadlockPolicyToString(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kCycleCloser:
+      return "cycle-closer";
+    case DeadlockPolicy::kYoungest:
+      return "youngest";
+    case DeadlockPolicy::kWoundWait:
+      return "wound-wait";
+  }
+  return "?";
+}
+
 const char* TxnStateToString(TxnState state) {
   switch (state) {
     case TxnState::kActive:

@@ -43,6 +43,25 @@ enum class LockMode : uint8_t {
 
 const char* LockModeToString(LockMode mode);
 
+/// Deadlock victim-selection policy of a LockManager (see lock_manager.h
+/// for the per-policy semantics; transaction ids double as age — a larger
+/// id is a younger transaction).
+enum class DeadlockPolicy : uint8_t {
+  /// The historical PR 2 policy: the requester whose wait would close the
+  /// cycle is refused (exactly one victim per cycle, sleepers sleep on).
+  kCycleCloser = 0,
+  /// The youngest transaction in the detected cycle aborts; if that is a
+  /// sleeping waiter it is woken with Status::Aborted and the requester
+  /// waits on.
+  kYoungest,
+  /// Wound-wait (Rosenkrantz et al.): an older requester wounds younger
+  /// conflicting holders (they abort at their next lock request, or
+  /// immediately if asleep); a younger requester waits behind older ones.
+  kWoundWait,
+};
+
+const char* DeadlockPolicyToString(DeadlockPolicy policy);
+
 /// Transaction lifecycle state. kPrepared is the two-phase-commit limbo a
 /// cross-shard participant enters between Database::PrepareTxn and the
 /// coordinator's decision: all writes are applied, all locks are held, and

@@ -1,0 +1,80 @@
+/// \file txn_options.h
+/// \brief Per-transaction options of the Session API (Session::Begin).
+///
+/// TxnOptions is the public face of the concurrency-control subsystem's
+/// tunables: what a caller asks for when beginning a transaction. The
+/// session layer maps it onto the engine's internals — read_only +
+/// kSnapshot becomes an MVCC ReadView transaction, deadlock_policy flows
+/// into LockManagerOptions::victim_policy (engine-wide: all sessions of
+/// one run are expected to agree, the same discipline as
+/// Database::SetMvccEnabled).
+
+#ifndef OCB_CONCURRENCY_TXN_OPTIONS_H_
+#define OCB_CONCURRENCY_TXN_OPTIONS_H_
+
+#include <optional>
+
+#include "concurrency/lock_manager.h"
+#include "concurrency/transaction_context.h"
+
+namespace ocb {
+
+/// Isolation level requested for a transaction.
+enum class IsolationLevel : uint8_t {
+  /// Read-only transactions read a consistent MVCC snapshot (ReadView
+  /// pinned at begin, no S locks, never blocks, never deadlocks);
+  /// read-write transactions run strict 2PL. The default.
+  kSnapshot = 0,
+  /// Pure strict 2PL for everything: even read-only transactions take S
+  /// locks and queue behind writers (the pure-2PL baseline
+  /// bench_multiclient measures).
+  kStrict2PL,
+};
+
+const char* IsolationLevelToString(IsolationLevel level);
+
+/// \brief What Session::Begin was asked for.
+struct TxnOptions {
+  /// The transaction promises not to write. With kSnapshot isolation it
+  /// becomes an MVCC snapshot reader; with kStrict2PL it is a locking
+  /// transaction whose writes the session layer refuses.
+  bool read_only = false;
+
+  /// See IsolationLevel. Only consulted for read-only transactions (a
+  /// writer always runs strict 2PL).
+  IsolationLevel isolation = IsolationLevel::kSnapshot;
+
+  /// Deadlock victim policy the engine's lock managers should apply.
+  /// Unset (the default) keeps whatever the engine is configured with —
+  /// a Begin with default options never reverts a configured policy.
+  /// When set it applies engine-wide (Session::Begin forwards it to
+  /// every lock manager), so all concurrent sessions of one run must
+  /// agree on it.
+  std::optional<DeadlockPolicy> deadlock_policy;
+};
+
+/// Maps the per-transaction options onto the lock manager's option
+/// struct, preserving \p base for everything TxnOptions does not cover
+/// (the wait timeout, and the victim policy when unset).
+inline LockManagerOptions ToLockManagerOptions(
+    const TxnOptions& options, const LockManagerOptions& base) {
+  LockManagerOptions out = base;
+  if (options.deadlock_policy.has_value()) {
+    out.victim_policy = *options.deadlock_policy;
+  }
+  return out;
+}
+
+inline const char* IsolationLevelToString(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kSnapshot:
+      return "snapshot";
+    case IsolationLevel::kStrict2PL:
+      return "strict-2PL";
+  }
+  return "?";
+}
+
+}  // namespace ocb
+
+#endif  // OCB_CONCURRENCY_TXN_OPTIONS_H_

@@ -61,25 +61,19 @@ void VersionStore::PublishCreation(TxnId txn, Oid oid) {
   PublishVersion(txn, oid, std::move(v));
 }
 
-CommitTs VersionStore::StampAll(TxnId txn, bool aborted,
-                                CommitTs external_ts) {
+std::vector<Oid> VersionStore::TakePending(TxnId txn) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
   std::vector<Oid> oids;
-  {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    auto it = pending_by_txn_.find(txn);
-    if (it != pending_by_txn_.end()) {
-      oids = std::move(it->second);
-      pending_by_txn_.erase(it);
-    }
+  auto it = pending_by_txn_.find(txn);
+  if (it != pending_by_txn_.end()) {
+    oids = std::move(it->second);
+    pending_by_txn_.erase(it);
   }
-  // commit_mu_ is held across the whole stamping loop: OpenSnapshot also
-  // takes it, so a newborn view can never pin a timestamp whose commit is
-  // only half stamped.
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  const CommitTs ts = external_ts == 0 ? ++last_commit_ts_ : external_ts;
-  if (external_ts != 0 && external_ts > last_commit_ts_) {
-    last_commit_ts_ = external_ts;
-  }
+  return oids;
+}
+
+void VersionStore::StampOids(TxnId txn, const std::vector<Oid>& oids,
+                             CommitTs ts, bool aborted) {
   for (Oid oid : oids) {
     Shard& shard = shard_of(oid);
     std::lock_guard<std::mutex> shard_lock(shard.mu);
@@ -89,12 +83,45 @@ CommitTs VersionStore::StampAll(TxnId txn, bool aborted,
     // nothing can append behind it until the lock is released).
     Version& tail = cit->second.back();
     assert(tail.commit_ts == kPendingTs && tail.owner == txn);
+    (void)txn;
     tail.commit_ts = ts;
     tail.owner = kInvalidTxnId;
     auto& counter = aborted ? versions_discarded_ : versions_stamped_;
     counter.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+CommitTs VersionStore::StampAll(TxnId txn, bool aborted,
+                                CommitTs external_ts) {
+  const std::vector<Oid> oids = TakePending(txn);
+  // commit_mu_ is held across the whole stamping loop: OpenSnapshot also
+  // takes it, so a newborn view can never pin a timestamp whose commit is
+  // only half stamped.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  const CommitTs ts = external_ts == 0 ? ++last_commit_ts_ : external_ts;
+  if (external_ts != 0 && external_ts > last_commit_ts_) {
+    last_commit_ts_ = external_ts;
+  }
+  StampOids(txn, oids, ts, aborted);
   return ts;
+}
+
+CommitTs VersionStore::StampCommittedBatch(const std::vector<TxnId>& txns) {
+  if (txns.empty()) return 0;
+  std::vector<std::vector<Oid>> oid_sets;
+  oid_sets.reserve(txns.size());
+  for (TxnId txn : txns) oid_sets.push_back(TakePending(txn));
+  // One commit-mutex acquisition covers every member's timestamp draw
+  // and stamping loop — the serialized work group commit amortizes. Each
+  // member still gets its own timestamp, so per-chain history is
+  // identical to per-transaction commits.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  CommitTs last = 0;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    last = ++last_commit_ts_;
+    StampOids(txns[i], oid_sets[i], last, /*aborted=*/false);
+  }
+  return last;
 }
 
 CommitTs VersionStore::StampCommitted(TxnId txn) {

@@ -127,6 +127,16 @@ class VersionStore {
   /// versions.
   CommitTs StampCommitted(TxnId txn);
 
+  /// Group-commit form of StampCommitted: commits every transaction of
+  /// \p txns under ONE commit-mutex acquisition, each with its own fresh
+  /// consecutive timestamp (identical per-chain outcome to calling
+  /// StampCommitted once per transaction, amortizing the mutex and the
+  /// snapshot-atomicity serialization across the batch). The same
+  /// preconditions apply per member: all of a member's writes are
+  /// applied and its X locks are still held. Returns the last (largest)
+  /// timestamp drawn; 0 when \p txns is empty.
+  CommitTs StampCommittedBatch(const std::vector<TxnId>& txns);
+
   /// StampCommitted with an *externally issued* timestamp instead of a
   /// locally drawn one — the sharded-commit entry point: the
   /// CrossShardCoordinator draws one global timestamp and stamps every
@@ -230,6 +240,14 @@ class VersionStore {
 
   /// Installs one pending version (shared by both Publish forms).
   void PublishVersion(TxnId txn, Oid oid, Version version);
+
+  /// Pops and returns \p txn's pending-oid set (leaf pending_mu_).
+  std::vector<Oid> TakePending(TxnId txn);
+
+  /// Stamps the pending tail version of every oid in \p oids with \p ts.
+  /// Requires commit_mu_.
+  void StampOids(TxnId txn, const std::vector<Oid>& oids, CommitTs ts,
+                 bool aborted);
 
   /// Stamps every pending version of \p txn; \p aborted only picks the
   /// stats bucket. \p external_ts == 0 draws a fresh local timestamp,

@@ -1,0 +1,112 @@
+/// \file write_batch.h
+/// \brief Multi-object write description applied in one Transaction call.
+///
+/// A WriteBatch collects Put / SetReference / Delete operations and hands
+/// them to Transaction::Apply, which executes them engine-side in one
+/// crossing: the statically known lock footprint is sorted and X-locked
+/// in ONE ascending pass (two batches can never deadlock each other on
+/// their static footprints), then the operations run in order. Dynamic
+/// footprint — a previous reference target discovered only by reading,
+/// a delete's neighborhood — is picked up by the per-operation logic as
+/// usual.
+///
+/// Failure semantics: Status::Aborted (deadlock victim / lock timeout)
+/// aborts the whole batch immediately — the transaction is dead and the
+/// caller must Abort (RAII does it). Every other per-operation error
+/// (NotFound target, NoSpace backref page, ...) is recorded in
+/// WriteBatchResult::statuses and the batch continues, mirroring how
+/// workloads tolerate vanished neighbors under concurrency; transaction-
+/// level atomicity still holds — aborting later undoes every applied
+/// operation.
+
+#ifndef OCB_ENGINE_WRITE_BATCH_H_
+#define OCB_ENGINE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "oodb/object.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace ocb {
+
+/// \brief An ordered list of write operations.
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t { kPut, kSetReference, kDelete };
+
+  struct Op {
+    OpKind kind = OpKind::kPut;
+    Object object;        ///< kPut: the full new state (object.oid set).
+    Oid from = kInvalidOid;  ///< kSetReference source / kDelete target.
+    uint32_t slot = 0;       ///< kSetReference slot.
+    Oid to = kInvalidOid;    ///< kSetReference target.
+  };
+
+  /// Rewrites \p object (X lock on object.oid).
+  void Put(Object object) {
+    Op op;
+    op.kind = OpKind::kPut;
+    op.from = object.oid;
+    op.object = std::move(object);
+    ops_.push_back(std::move(op));
+  }
+
+  /// Sets ORef \p slot of \p from to \p to (symmetric backref upkeep).
+  void SetReference(Oid from, uint32_t slot, Oid to) {
+    Op op;
+    op.kind = OpKind::kSetReference;
+    op.from = from;
+    op.slot = slot;
+    op.to = to;
+    ops_.push_back(std::move(op));
+  }
+
+  /// Deletes \p oid (neighborhood unlink included).
+  void Delete(Oid oid) {
+    Op op;
+    op.kind = OpKind::kDelete;
+    op.from = oid;
+    ops_.push_back(std::move(op));
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+
+  /// Statically known oids the batch will X-lock up front (operation
+  /// sources and named reference targets; dynamic footprint is acquired
+  /// per operation).
+  std::vector<Oid> StaticFootprint() const {
+    std::vector<Oid> out;
+    out.reserve(ops_.size() * 2);
+    for (const Op& op : ops_) {
+      if (op.from != kInvalidOid) out.push_back(op.from);
+      if (op.kind == OpKind::kSetReference && op.to != kInvalidOid) {
+        out.push_back(op.to);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// \brief Per-operation outcome of Transaction::Apply.
+struct WriteBatchResult {
+  /// One Status per batch operation, in order.
+  std::vector<Status> statuses;
+
+  /// Operations that applied cleanly.
+  uint64_t applied = 0;
+
+  bool all_ok() const { return applied == statuses.size(); }
+};
+
+}  // namespace ocb
+
+#endif  // OCB_ENGINE_WRITE_BATCH_H_

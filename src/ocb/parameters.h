@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/transaction_context.h"
 #include "util/distribution.h"
 #include "util/status.h"
 
@@ -164,6 +165,16 @@ struct WorkloadParameters {
   /// Disable to measure the pure-2PL baseline (readers block behind
   /// writers' X locks). Ignored on the legacy path.
   bool mvcc_snapshot_reads = true;
+
+  /// Group-commit batch-size cap of the engine's commit pipeline
+  /// (ProtocolRunner forwards it at construction). 1 = per-transaction
+  /// commits through the same path — the baseline the group-commit
+  /// bench section compares against.
+  uint32_t group_commit_max_batch = 32;
+
+  /// Deadlock victim policy applied engine-wide for the run (forwarded
+  /// by ProtocolRunner and by Session::Begin via TxnOptions).
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kCycleCloser;
 
   /// Reference type followed by hierarchy traversals (paper Fig. 3
   /// "Reference type" attribute). Default 1 = composition under

@@ -90,11 +90,14 @@ ProtocolRunnerT<DB>::ProtocolRunnerT(DB* db,
   const bool txn_mode = params_.transactional || params_.client_count > 1;
   executor_.set_transactional(txn_mode);
   if (txn_mode) {
-    // Propagate the MVCC choice to the database so a disabled run (the
-    // pure-2PL baseline) skips version publication entirely. All clients
-    // of one run share the same parameters, so concurrent construction
-    // writes the same value.
+    // Propagate the run-wide engine knobs: the MVCC choice (a disabled
+    // run — the pure-2PL baseline — skips version publication entirely),
+    // the group-commit batch cap, and the deadlock victim policy. All
+    // clients of one run share the same parameters, so concurrent
+    // construction writes the same values.
     db_->SetMvccEnabled(params_.mvcc_snapshot_reads);
+    db_->SetGroupCommitMaxBatch(params_.group_commit_max_batch);
+    db_->SetDeadlockPolicy(params_.deadlock_policy);
   }
 }
 

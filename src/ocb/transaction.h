@@ -1,8 +1,8 @@
 /// \file transaction.h
-/// \brief OCB's transaction classes (paper Fig. 3 / §3.3).
+/// \brief OCB's workload transaction executor (paper Fig. 3 / §3.3).
 ///
-/// Each transaction proceeds from a randomly chosen root object up to a
-/// predefined depth:
+/// Each workload transaction proceeds from a randomly chosen root object
+/// up to a predefined depth:
 ///
 ///   * Set-oriented access — breadth-first on all the references
 ///     ([McIver & King]'s set-oriented accesses match breadth-first).
@@ -16,23 +16,30 @@
 ///
 /// Every transaction can be reversed, "ascending" the graphs by following
 /// BackRefs instead of ORefs. Duplicates are possible along a traversal
-/// (as in OO1's 3280-part traversal); the executor does not deduplicate.
+/// (as in OO1's 3280-part traversal); nothing deduplicates.
 ///
-/// The executor is a template over the *engine* (see "Uniform engine
-/// surface" in oodb/database.h): TransactionExecutorT<Database> is the
-/// single-store executor the seed shipped, TransactionExecutorT<
-/// ShardedDatabase> drives the sharded engine — same workload logic, the
-/// engine decides routing, locking and commit protocol underneath.
+/// The executor speaks the *Session API* (engine/session.h): it opens
+/// one Session per executor, begins an RAII Transaction per workload
+/// transaction, and uses the batched operations — Traverse runs a whole
+/// walk engine-side in one call, Scan is one GetMany over the extent,
+/// Update/Insert apply WriteBatches — with Commit() riding the engine's
+/// group-commit pipeline. The executor is a template over the engine:
+/// TransactionExecutorT<Database> drives a single store,
+/// TransactionExecutorT<ShardedDatabase> the sharded engine — same
+/// workload logic, the engine decides routing, locking and commit
+/// protocol underneath.
 
 #ifndef OCB_OCB_TRANSACTION_H_
 #define OCB_OCB_TRANSACTION_H_
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "oodb/database.h"
+#include "engine/session.h"
 #include "ocb/parameters.h"
+#include "oodb/database.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -73,59 +80,24 @@ struct TransactionResult {
 /// Scan): candidates for MVCC snapshot execution.
 bool IsReadOnlyTransactionType(TransactionType type);
 
-namespace txn_internal {
-
-// Sharded-attribution accessors, defaulting gracefully for transaction
-// handles that do not model sharding (TransactionContext): a single-store
-// transaction trivially touches one shard and pays no 2PC.
-template <typename Txn>
-uint32_t ShardsTouched(const Txn& txn) {
-  if constexpr (requires { txn.shards_touched(); }) {
-    return txn.shards_touched();
-  } else {
-    return 1;
-  }
-}
-
-template <typename Txn>
-bool CrossShard(const Txn& txn) {
-  if constexpr (requires { txn.cross_shard(); }) {
-    return txn.cross_shard();
-  } else {
-    return false;
-  }
-}
-
-template <typename Txn>
-uint64_t TwopcNanos(const Txn& txn) {
-  if constexpr (requires { txn.twopc_nanos(); }) {
-    return txn.twopc_nanos();
-  } else {
-    return 0;
-  }
-}
-
-}  // namespace txn_internal
-
 /// \brief Executes OCB transactions against an engine (Database or
-/// ShardedDatabase).
+/// ShardedDatabase) through its Session API.
 ///
-/// Stateless apart from configuration; one executor per client thread
-/// (each with its own RNG). In *transactional* mode every Execute runs
-/// inside an engine transaction: object locks via strict 2PL, undo-log
-/// rollback when the transaction is chosen as a deadlock victim (reported
-/// through TransactionResult::aborted, not an error status). Read-only
-/// transaction types additionally run as MVCC snapshot readers when
-/// WorkloadParameters::mvcc_snapshot_reads is set — no S locks, no lock
-/// waits, no aborts. In the default legacy mode Execute behaves exactly
-/// as the seed did — facade-serialized, never aborted.
+/// Stateless apart from configuration; one executor (and thus one
+/// Session) per client thread, each with its own RNG. In *transactional*
+/// mode every Execute runs inside an engine transaction: object locks
+/// via strict 2PL, undo-log rollback when the transaction is chosen as a
+/// deadlock victim (reported through TransactionResult::aborted, not an
+/// error status). Read-only transaction types additionally run as MVCC
+/// snapshot readers when WorkloadParameters::mvcc_snapshot_reads is set
+/// — no S locks, no lock waits, no aborts. In the default legacy mode
+/// Execute behaves exactly as the seed did — facade-serialized, never
+/// aborted.
 template <typename DB>
 class TransactionExecutorT {
  public:
-  using TxnHandle = typename DB::TxnHandle;
-
   TransactionExecutorT(DB* db, const WorkloadParameters& params)
-      : db_(db), params_(params) {}
+      : db_(db), params_(params), session_(db) {}
 
   /// Enables/disables the 2PL transactional path (default off).
   void set_transactional(bool on) { transactional_ = on; }
@@ -140,28 +112,10 @@ class TransactionExecutorT {
   TransactionType DrawType(LewisPayneRng* rng) const;
 
  private:
-  uint64_t SetOriented(const Object& root, uint32_t depth, bool reversed);
-  uint64_t DepthFirst(const Object& node, uint32_t depth, bool reversed);
-  uint64_t Hierarchy(const Object& node, uint32_t depth, RefTypeId type,
-                     bool reversed);
-  uint64_t Stochastic(const Object& node, uint32_t depth, bool reversed,
-                      LewisPayneRng* rng);
-
-  /// Follows one link with observer notification; returns the target or
-  /// an error when the target vanished (concurrent delete). A
-  /// Status::Aborted from the lock manager additionally latches
-  /// txn_failure_ so traversals unwind promptly.
-  Result<Object> Follow(const Object& from, size_t slot_or_backref_index,
-                        bool reversed);
-
-  /// True while the in-flight transaction must be rolled back.
-  bool failed() const { return !txn_failure_.ok(); }
-
   DB* db_;
   const WorkloadParameters& params_;
+  SessionT<DB> session_;
   bool transactional_ = false;
-  TxnHandle* txn_ = nullptr;  ///< In-flight txn (Execute scope).
-  Status txn_failure_;        ///< First Aborted seen this txn.
 };
 
 /// The single-store executor (the historical name).
@@ -192,136 +146,6 @@ TransactionType TransactionExecutorT<DB>::DrawType(
 }
 
 template <typename DB>
-Result<Object> TransactionExecutorT<DB>::Follow(const Object& from,
-                                                size_t index,
-                                                bool reversed) {
-  Result<Object> result = [&]() -> Result<Object> {
-    if (!reversed) {
-      const Oid target = from.orefs[index];
-      const ClassDescriptor& cls = db_->schema().GetClass(from.class_id);
-      const RefTypeId type =
-          index < cls.tref.size() ? cls.tref[index] : RefTypeId{0};
-      return db_->CrossLink(txn_, from.oid, target, type, /*reverse=*/false);
-    }
-    const Oid target = from.backrefs[index];
-    return db_->CrossLink(txn_, from.oid, target, /*type=*/0,
-                          /*reverse=*/true);
-  }();
-  if (!result.ok() && result.status().IsAborted() && txn_failure_.ok()) {
-    txn_failure_ = result.status();
-  }
-  return result;
-}
-
-template <typename DB>
-uint64_t TransactionExecutorT<DB>::SetOriented(const Object& root,
-                                               uint32_t depth,
-                                               bool reversed) {
-  // Breadth-first on all the references, level by level, duplicates kept.
-  uint64_t accessed = 0;
-  std::vector<Object> level = {root};
-  for (uint32_t d = 0; d < depth && !level.empty(); ++d) {
-    std::vector<Object> next;
-    for (const Object& node : level) {
-      const size_t fanout =
-          reversed ? node.backrefs.size() : node.orefs.size();
-      for (size_t i = 0; i < fanout; ++i) {
-        if (!reversed && node.orefs[i] == kInvalidOid) continue;
-        auto child = Follow(node, i, reversed);
-        if (failed()) return accessed;
-        if (!child.ok()) continue;  // Vanished under a concurrent client.
-        ++accessed;
-        next.push_back(std::move(child).value());
-      }
-    }
-    level = std::move(next);
-  }
-  return accessed;
-}
-
-template <typename DB>
-uint64_t TransactionExecutorT<DB>::DepthFirst(const Object& node,
-                                              uint32_t depth,
-                                              bool reversed) {
-  if (depth == 0) return 0;
-  uint64_t accessed = 0;
-  const size_t fanout = reversed ? node.backrefs.size() : node.orefs.size();
-  for (size_t i = 0; i < fanout; ++i) {
-    if (!reversed && node.orefs[i] == kInvalidOid) continue;
-    auto child = Follow(node, i, reversed);
-    if (failed()) return accessed;
-    if (!child.ok()) continue;
-    ++accessed;
-    accessed += DepthFirst(child.value(), depth - 1, reversed);
-    if (failed()) return accessed;
-  }
-  return accessed;
-}
-
-template <typename DB>
-uint64_t TransactionExecutorT<DB>::Hierarchy(const Object& node,
-                                             uint32_t depth, RefTypeId type,
-                                             bool reversed) {
-  if (depth == 0) return 0;
-  uint64_t accessed = 0;
-  if (!reversed) {
-    const ClassDescriptor& cls = db_->schema().GetClass(node.class_id);
-    for (size_t i = 0; i < node.orefs.size(); ++i) {
-      if (node.orefs[i] == kInvalidOid) continue;
-      if (i >= cls.tref.size() || cls.tref[i] != type) continue;
-      auto child = Follow(node, i, /*reversed=*/false);
-      if (failed()) return accessed;
-      if (!child.ok()) continue;
-      ++accessed;
-      accessed += Hierarchy(child.value(), depth - 1, type, reversed);
-      if (failed()) return accessed;
-    }
-    return accessed;
-  }
-  // Reversed hierarchy traversal ascends through BackRefs. BackRefs carry
-  // no slot type, so the reverse direction follows all of them — a
-  // documented approximation (see DESIGN.md §5).
-  for (size_t i = 0; i < node.backrefs.size(); ++i) {
-    auto child = Follow(node, i, /*reversed=*/true);
-    if (failed()) return accessed;
-    if (!child.ok()) continue;
-    ++accessed;
-    accessed += Hierarchy(child.value(), depth - 1, type, reversed);
-    if (failed()) return accessed;
-  }
-  return accessed;
-}
-
-template <typename DB>
-uint64_t TransactionExecutorT<DB>::Stochastic(const Object& node,
-                                              uint32_t depth, bool reversed,
-                                              LewisPayneRng* rng) {
-  // Random walk: at each step the probability of following reference
-  // number N (1-based) is 1/2^N; failing every coin flip ends the walk, as
-  // does a null or missing link.
-  uint64_t accessed = 0;
-  Object current = node;
-  for (uint32_t step = 0; step < depth; ++step) {
-    const size_t fanout =
-        reversed ? current.backrefs.size() : current.orefs.size();
-    size_t chosen = fanout;  // Sentinel: no link chosen.
-    for (size_t i = 0; i < fanout; ++i) {
-      if (rng->Bernoulli(0.5)) {
-        chosen = i;
-        break;
-      }
-    }
-    if (chosen == fanout) break;
-    if (!reversed && current.orefs[chosen] == kInvalidOid) break;
-    auto next = Follow(current, chosen, reversed);
-    if (!next.ok()) break;
-    ++accessed;
-    current = std::move(next).value();
-  }
-  return accessed;
-}
-
-template <typename DB>
 Result<TransactionResult> TransactionExecutorT<DB>::Execute(
     TransactionType type, Oid root, bool reversed, LewisPayneRng* rng) {
   TransactionResult result;
@@ -342,49 +166,51 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
     result.page_latch_wait_nanos = now.page_nanos - latch_start.page_nanos;
   };
 
-  // Transaction bracket: the 2PL path begins a real transaction (locks +
-  // undo log); read-only types become MVCC snapshot readers when enabled;
-  // the legacy path only notifies the observer.
-  std::unique_ptr<TxnHandle> txn;
-  txn_failure_ = Status::OK();
+  // Transaction bracket: the 2PL path begins a real RAII transaction
+  // (locks + undo log); read-only types become MVCC snapshot readers
+  // when enabled; the legacy path only notifies the observer. The first
+  // Aborted any operation returns is latched into txn_failure.
+  TransactionT<DB> txn;
+  Status txn_failure;
   if (transactional_) {
-    const bool read_only =
+    TxnOptions options;
+    options.read_only =
         params_.mvcc_snapshot_reads && IsReadOnlyTransactionType(type);
-    txn = db_->BeginTxn(read_only);
-    txn_ = txn.get();
+    // deadlock_policy stays unset: ProtocolRunner applied the run-wide
+    // WorkloadParameters::deadlock_policy once at construction, and an
+    // unset option never touches (or re-reads) the engine's policy.
+    txn = session_.Begin(options);
     // BeginTxn downgrades to a locking txn when MVCC is disabled
     // database-wide; report what actually ran.
-    result.read_only = txn->read_only();
+    result.read_only = txn.read_only();
   } else {
-    txn_ = nullptr;
-    db_->BeginTransaction();
+    txn = session_.BeginLegacy();
   }
-  // Ends the transaction bracket; returns true when the txn committed
-  // (legacy brackets always "commit").
+  // Ends the transaction bracket (legacy brackets always "commit").
   auto finish = [&](bool rolled_back) {
     if (transactional_) {
-      result.lock_wait_nanos = txn->lock_wait_nanos();
-      result.snapshot_reads = txn->snapshot_reads();
+      result.lock_wait_nanos = txn.lock_wait_nanos();
+      result.snapshot_reads = txn.snapshot_reads();
       if (rolled_back) {
-        db_->AbortTxn(txn.get());
+        txn.Abort();
       } else {
-        Status commit = db_->CommitTxn(txn.get());
+        Status commit = txn.Commit();
         // A sharded 2PC failpoint can turn the commit itself into an
         // abort; everything already rolled back, so report it as one.
-        if (commit.IsAborted() && txn_failure_.ok()) {
-          txn_failure_ = commit;
+        if (commit.IsAborted() && txn_failure.ok()) {
+          txn_failure = commit;
         }
       }
-      result.shards_touched = txn_internal::ShardsTouched(*txn);
-      result.cross_shard = txn_internal::CrossShard(*txn);
-      result.twopc_nanos = txn_internal::TwopcNanos(*txn);
-      txn_ = nullptr;
+      result.shards_touched = txn.shards_touched();
+      result.cross_shard = txn.cross_shard();
+      result.twopc_nanos = txn.twopc_nanos();
     } else {
-      db_->EndTransaction();
+      txn.Commit();
     }
   };
+  auto failed = [&]() { return !txn_failure.ok(); };
 
-  auto root_obj = db_->GetObject(txn_, root);
+  auto root_obj = txn.Get(root);
   if (!root_obj.ok()) {
     if (root_obj.status().IsAborted()) {
       finish(/*rolled_back=*/true);
@@ -402,41 +228,74 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
   uint64_t accessed = 1;  // The root itself.
   switch (type) {
     case TransactionType::kSetOriented:
-      accessed += SetOriented(root_obj.value(), params_.set_depth, reversed);
-      break;
     case TransactionType::kSimpleTraversal:
-      accessed += DepthFirst(root_obj.value(), params_.simple_depth,
-                             reversed);
-      break;
     case TransactionType::kHierarchyTraversal:
-      accessed += Hierarchy(root_obj.value(), params_.hierarchy_depth,
-                            params_.hierarchy_ref_type, reversed);
+    case TransactionType::kStochasticTraversal: {
+      // One engine-side call runs the whole walk (engine/session.h).
+      TraversePolicy policy;
+      policy.reversed = reversed;
+      uint32_t depth = 0;
+      switch (type) {
+        case TransactionType::kSetOriented:
+          policy.kind = TraverseKind::kBreadthFirst;
+          depth = params_.set_depth;
+          break;
+        case TransactionType::kSimpleTraversal:
+          policy.kind = TraverseKind::kDepthFirst;
+          depth = params_.simple_depth;
+          break;
+        case TransactionType::kHierarchyTraversal:
+          policy.kind = TraverseKind::kHierarchy;
+          policy.hierarchy_type = params_.hierarchy_ref_type;
+          depth = params_.hierarchy_depth;
+          break;
+        default:
+          policy.kind = TraverseKind::kStochastic;
+          policy.rng = rng;
+          depth = params_.stochastic_depth;
+          break;
+      }
+      auto walked = txn.Traverse(root_obj.value(), depth, policy);
+      if (walked.ok()) {
+        accessed += *walked;
+      } else if (walked.status().IsAborted()) {
+        txn_failure = walked.status();
+      } else {
+        finish(/*rolled_back=*/transactional_);
+        return walked.status();
+      }
       break;
-    case TransactionType::kStochasticTraversal:
-      accessed += Stochastic(root_obj.value(), params_.stochastic_depth,
-                             reversed, rng);
-      break;
+    }
     case TransactionType::kUpdate: {
-      // Rewrite the root in place (attribute edit; size unchanged).
-      Status st = db_->PutObject(txn_, root_obj.value());
-      if (!st.ok()) {
-        if (st.IsAborted()) {
-          txn_failure_ = st;
+      // Rewrite the root in place (attribute edit; size unchanged) as a
+      // one-operation WriteBatch.
+      WriteBatch batch;
+      batch.Put(root_obj.value());
+      auto applied = txn.Apply(std::move(batch));
+      if (!applied.ok()) {
+        if (applied.status().IsAborted()) {
+          txn_failure = applied.status();
           break;
         }
+        finish(/*rolled_back=*/transactional_);
+        return applied.status();
+      }
+      const Status& st = applied->statuses[0];
+      if (!st.ok()) {
         finish(/*rolled_back=*/transactional_);
         return st;
       }
       break;
     }
     case TransactionType::kInsert: {
-      // Create a sibling of the root's class and wire its references to
-      // uniform members of the schema-declared target extents.
+      // Create a sibling of the root's class, then wire its references
+      // to uniform members of the schema-declared target extents as one
+      // WriteBatch (one sorted X-lock footprint pass).
       const ClassId class_id = root_obj->class_id;
-      auto created = db_->CreateObject(txn_, class_id);
+      auto created = txn.Create(class_id);
       if (!created.ok()) {
         if (created.status().IsAborted()) {
-          txn_failure_ = created.status();
+          txn_failure = created.status();
           break;
         }
         finish(/*rolled_back=*/transactional_);
@@ -444,30 +303,42 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
       }
       ++accessed;
       const ClassDescriptor& cls = db_->schema().GetClass(class_id);
-      for (uint32_t k = 0; k < cls.maxnref && !failed(); ++k) {
+      WriteBatch links;
+      for (uint32_t k = 0; k < cls.maxnref; ++k) {
         if (cls.cref[k] == kNullClass) continue;
         // Latched copy: a concurrent client may be growing this extent.
         const std::vector<Oid> extent = db_->ExtentSnapshot(cls.cref[k]);
         if (extent.empty()) continue;
         const Oid target = extent[static_cast<size_t>(rng->UniformInt(
             0, static_cast<int64_t>(extent.size()) - 1))];
-        Status st = db_->SetReference(txn_, *created, k, target);
-        if (st.ok()) {
-          ++accessed;
-        } else if (st.IsAborted()) {
-          txn_failure_ = st;
-        } else if (!st.IsNoSpace() && !st.IsNotFound()) {
+        links.SetReference(*created, k, target);
+      }
+      if (!links.empty()) {
+        auto applied = txn.Apply(std::move(links));
+        if (!applied.ok()) {
+          if (applied.status().IsAborted()) {
+            txn_failure = applied.status();
+            break;
+          }
           finish(/*rolled_back=*/transactional_);
-          return st;
+          return applied.status();
+        }
+        for (const Status& st : applied->statuses) {
+          if (st.ok()) {
+            ++accessed;
+          } else if (!st.IsNoSpace() && !st.IsNotFound()) {
+            finish(/*rolled_back=*/transactional_);
+            return st;
+          }
         }
       }
       break;
     }
     case TransactionType::kDelete: {
-      Status st = db_->DeleteObject(txn_, root);
+      Status st = txn.Delete(root);
       if (!st.ok() && !st.IsNotFound()) {
         if (st.IsAborted()) {
-          txn_failure_ = st;
+          txn_failure = st;
           break;
         }
         finish(/*rolled_back=*/transactional_);
@@ -476,24 +347,22 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
       break;
     }
     case TransactionType::kScan: {
-      // Sequential scan of the root's class extent (HyperModel-style);
-      // latched copy first — a concurrent client may mutate it. Under
-      // MVCC the *member objects* read snapshot-consistently, but the
-      // membership list itself is the current extent (extents are not
-      // versioned): an object deleted or created by a concurrent txn may
-      // be missing from / extra in the walk. Snapshot-invisible members
-      // come back NotFound and are skipped. See ROADMAP "versioned
-      // extents".
+      // Sequential scan of the root's class extent (HyperModel-style) as
+      // ONE batched GetMany — latched extent copy first, a concurrent
+      // client may mutate it. Under MVCC the *member objects* read
+      // snapshot-consistently, but the membership list itself is the
+      // current extent (extents are not versioned); snapshot-invisible
+      // members are skipped. See ROADMAP "versioned extents".
       const std::vector<Oid> extent =
           db_->ExtentSnapshot(root_obj->class_id);
-      for (Oid member : extent) {
-        auto obj = db_->GetObject(txn_, member);
-        if (obj.ok()) {
-          ++accessed;
-        } else if (obj.status().IsAborted()) {
-          txn_failure_ = obj.status();
-          break;
-        }
+      auto scanned = txn.GetMany(extent);
+      if (scanned.ok()) {
+        accessed += scanned->size();
+      } else if (scanned.status().IsAborted()) {
+        txn_failure = scanned.status();
+      } else {
+        finish(/*rolled_back=*/transactional_);
+        return scanned.status();
       }
       break;
     }

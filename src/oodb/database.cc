@@ -9,7 +9,9 @@ namespace ocb {
 
 Database::Database(const StorageOptions& options)
     : options_(options),
-      lock_manager_(LockManagerOptions{options.lock_wait_timeout_nanos}) {
+      lock_manager_(LockManagerOptions{options.lock_wait_timeout_nanos}),
+      commit_pipeline_([this](const std::vector<CommitPipeline::Request*>&
+                                  batch) { CommitBatch(batch); }) {
   disk_ = std::make_unique<DiskSim>(options_, &clock_);
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_);
   store_ = std::make_unique<ObjectStore>(pool_.get(), options_.first_oid,
@@ -149,14 +151,22 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
   if (txn->read_only()) {
     read_views_.Close(ReadView{txn->snapshot_ts_});
     gc_cv_.notify_all();  // The oldest snapshot may have advanced.
-  } else if (!txn->undo_log_.empty() && mvcc_enabled()) {
+  } else if (!txn->undo_log_.empty()) {
     // Stamp before releasing any lock: the next writer of these objects
     // must append its pending version *behind* this commit in the chains.
     // Pure readers on the locking path allocate no timestamp.
-    if (external_ts != 0) {
-      version_store_.StampCommittedAt(txn->id(), external_ts);
-    } else {
-      version_store_.StampCommitted(txn->id());
+    if (mvcc_enabled()) {
+      if (external_ts != 0) {
+        version_store_.StampCommittedAt(txn->id(), external_ts);
+      } else {
+        version_store_.StampCommitted(txn->id());
+      }
+    }
+    // A lone writer commit forces its own commit record (external_ts
+    // means a coordinator drives this commit and charges the force once
+    // per cross-shard batch instead).
+    if (external_ts == 0 && options_.commit_log_force_nanos > 0) {
+      clock_.Advance(options_.commit_log_force_nanos);
     }
   }
   txn->undo_log_.clear();
@@ -173,6 +183,59 @@ Status Database::AbortTxn(TransactionContext* txn) {
   return AbortTxnInternal(txn, /*external_ts=*/0);
 }
 
+Status Database::CommitTxnGrouped(TransactionContext* txn) {
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (!txn->active() && !txn->prepared()) {
+    return Status::InvalidArgument(
+        Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  // Read-only commits only close a ReadView — no commit-mutex work to
+  // amortize, so they skip the pipeline (and never wait behind a batch).
+  if (txn->read_only()) return CommitTxnInternal(txn, /*external_ts=*/0);
+  return commit_pipeline_.Submit(txn);
+}
+
+void Database::CommitBatch(
+    const std::vector<CommitPipeline::Request*>& batch) {
+  // Stamp every member's pending versions first — one commit-mutex
+  // acquisition, consecutive timestamps — while every member still holds
+  // all its X locks (members are distinct transactions, so stamping one
+  // before releasing another is safe and preserves the per-transaction
+  // stamp-before-release invariant).
+  std::vector<TxnId> to_stamp;
+  bool logged_writes = false;
+  for (CommitPipeline::Request* req : batch) {
+    auto* txn = static_cast<TransactionContext*>(req->handle);
+    if (!txn->undo_log_.empty()) {
+      logged_writes = true;
+      if (mvcc_enabled()) to_stamp.push_back(txn->id());
+    }
+  }
+  if (!to_stamp.empty()) version_store_.StampCommittedBatch(to_stamp);
+  // ONE simulated commit-record force for the whole batch — the log
+  // amortization that is group commit's classic payoff. Read-only and
+  // writeless members force nothing.
+  if (logged_writes && options_.commit_log_force_nanos > 0) {
+    clock_.Advance(options_.commit_log_force_nanos);
+  }
+  for (CommitPipeline::Request* req : batch) {
+    auto* txn = static_cast<TransactionContext*>(req->handle);
+    txn->state_ = TxnState::kCommitted;
+    txn->undo_log_.clear();
+    txn->undo_logged_.clear();
+    lock_manager_.ReleaseAll(txn);
+    req->status = Status::OK();
+  }
+  // One observer pass for the whole batch (callbacks stay serialized).
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  if (observer_ != nullptr) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      observer_->OnTransactionEnd();
+    }
+  }
+}
+
 Status Database::AbortTxnAt(TransactionContext* txn, CommitTs ts) {
   if (ts == 0) return Status::InvalidArgument("seal ts must be nonzero");
   return AbortTxnInternal(txn, ts);
@@ -181,6 +244,10 @@ Status Database::AbortTxnAt(TransactionContext* txn, CommitTs ts) {
 Status Database::AbortTxnInternal(TransactionContext* txn,
                                   CommitTs external_ts) {
   if (txn == nullptr) return Status::InvalidArgument("null txn");
+  // Idempotent: a second abort of the same transaction is a no-op, not
+  // an error (RAII handles may race an explicit Abort with their
+  // destructor's auto-abort).
+  if (txn->state() == TxnState::kAborted) return Status::OK();
   if (!txn->active() && !txn->prepared()) {
     return Status::InvalidArgument(
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
@@ -341,10 +408,22 @@ Status Database::RefuseReadOnly(const TransactionContext* txn,
   return Status::OK();
 }
 
+Status Database::RefuseFinished(const TransactionContext* txn,
+                                const char* op) {
+  if (txn != nullptr && !txn->active()) {
+    return Status::InvalidArgument(
+        Format("%s refused: txn %llu is %s (use-after-finish)", op,
+               (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  return Status::OK();
+}
+
 // --- Object operations ---
 
 Result<Oid> Database::CreateObject(TransactionContext* txn,
                                    ClassId class_id) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "CreateObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "CreateObject"));
   auto facade = FacadeGate(/*force=*/txn == nullptr);
   Object obj;
@@ -404,6 +483,7 @@ Status Database::WriteEncoded(Oid oid, const Object& object) {
 }
 
 Result<Object> Database::GetObject(TransactionContext* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "GetObject"));
   if (txn != nullptr && txn->read_only()) {
     // MVCC path: no lock, no facade latch — resolve against the ReadView
     // with the read-validate protocol (see SnapshotRead).
@@ -426,6 +506,7 @@ Result<Object> Database::PeekObject(Oid oid) {
 
 Status Database::SetReference(TransactionContext* txn, Oid from,
                               uint32_t slot, Oid to) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "SetReference"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
   // The txn path's multi-object atomicity comes from the X locks acquired
   // below. The legacy path (txn == nullptr) has no object locks, so it
@@ -515,6 +596,7 @@ Status Database::SetReference(TransactionContext* txn, Oid from,
 
 Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
                                    RefTypeId type, bool reverse) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "CrossLink"));
   if (txn != nullptr && txn->read_only()) {
     auto facade = FacadeGate();
     NotifyLinkCross(from, to, type, reverse);
@@ -531,6 +613,7 @@ Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
 }
 
 Status Database::PutObject(TransactionContext* txn, const Object& object) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "PutObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "PutObject"));
   if (object.oid == kInvalidOid) {
     return Status::InvalidArgument("PutObject requires a valid oid");
@@ -546,6 +629,7 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
 }
 
 Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "DeleteObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
   // See SetReference for the legacy-hold vs per-section gate split.
   auto legacy_hold = txn == nullptr
@@ -617,6 +701,69 @@ Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
     }
   }
   return store_->Delete(oid);
+}
+
+Status Database::GetObjectsBatched(TransactionContext* txn,
+                                   std::span<const Oid> oids,
+                                   std::vector<Object>* out) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "GetMany"));
+  out->reserve(out->size() + oids.size());
+  std::vector<Oid> accessed;
+  accessed.reserve(oids.size());
+  if (txn != nullptr && txn->read_only()) {
+    // MVCC: resolve each oid through the ReadView — no locks at all.
+    auto facade = FacadeGate();
+    for (Oid oid : oids) {
+      auto obj = SnapshotRead(txn, oid);
+      if (obj.ok()) {
+        accessed.push_back(oid);
+        out->push_back(std::move(obj).value());
+      } else if (!obj.status().IsNotFound()) {
+        return obj.status();
+      }
+    }
+  } else {
+    // 2PL: ONE sorted lock-footprint pass (ascending oids — two GetMany
+    // calls can never deadlock each other), then one gated read pass.
+    if (txn != nullptr) {
+      std::vector<Oid> footprint(oids.begin(), oids.end());
+      std::sort(footprint.begin(), footprint.end());
+      footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                      footprint.end());
+      for (Oid oid : footprint) {
+        OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
+      }
+    }
+    auto facade = FacadeGate();
+    for (Oid oid : oids) {
+      auto obj = ReadDecode(oid);
+      if (obj.ok()) {
+        accessed.push_back(oid);
+        out->push_back(std::move(obj).value());
+      } else if (!obj.status().IsNotFound()) {
+        return obj.status();
+      }
+    }
+  }
+  // One observer pass for the whole batch.
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  if (observer_ != nullptr) {
+    for (Oid oid : accessed) observer_->OnObjectAccess(oid);
+  }
+  return Status::OK();
+}
+
+Status Database::AcquireWriteFootprint(TransactionContext* txn,
+                                       std::vector<Oid> oids) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "ApplyWriteBatch"));
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "ApplyWriteBatch"));
+  if (txn == nullptr) return Status::OK();
+  std::sort(oids.begin(), oids.end());
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+  for (Oid oid : oids) {
+    OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
+  }
+  return Status::OK();
 }
 
 void Database::SetObserver(AccessObserver* observer) {

@@ -62,9 +62,11 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "concurrency/commit_pipeline.h"
 #include "concurrency/lock_manager.h"
 #include "concurrency/read_view.h"
 #include "concurrency/transaction_context.h"
@@ -80,6 +82,16 @@
 #include "util/status.h"
 
 namespace ocb {
+
+// The public Session API layer (engine/session.h). Sessions and their
+// RAII transactions are the only public route to transactional object
+// operations; the raw TransactionContext overloads below are private,
+// befriended to this layer and to the sharding facade.
+template <typename DB>
+class SessionT;
+template <typename DB>
+class TransactionT;
+class ShardedDatabase;
 
 /// \brief Hook interface fed by the Database on every access; implemented
 /// by clustering policies (and by test spies).
@@ -188,8 +200,50 @@ class Database {
   /// Aborts: replays the undo log in reverse (restoring pre-images and
   /// deleting created objects), seals the transaction's published versions
   /// (see VersionStore::StampAborted), releases all locks, fires
-  /// OnTransactionAbort.
+  /// OnTransactionAbort. Idempotent: aborting an already-aborted
+  /// transaction returns OK; aborting a committed one is
+  /// InvalidArgument.
   Status AbortTxn(TransactionContext* txn);
+
+  /// CommitTxn through the group-commit pipeline (the Session API's
+  /// commit path): writers enqueue and a batch leader performs the
+  /// serialized commit work — timestamp allocation and version stamping
+  /// under ONE version-store commit-mutex acquisition, one observer pass
+  /// — for the whole batch (see commit_pipeline.h). Semantically
+  /// identical to CommitTxn per transaction; read-only transactions
+  /// bypass the pipeline (they have nothing to amortize).
+  Status CommitTxnGrouped(TransactionContext* txn);
+
+  /// Group-commit batch-size cap (1 = per-transaction commits through
+  /// the same path) and pipeline counters. The cap is applied per run,
+  /// like SetMvccEnabled (ProtocolRunner forwards
+  /// WorkloadParameters::group_commit_max_batch).
+  void SetGroupCommitMaxBatch(uint32_t n) {
+    commit_pipeline_.set_max_batch(n);
+  }
+  /// Accumulation window (GroupCommitOptions::window_nanos; default 0 —
+  /// an uncontended commit never waits).
+  void SetGroupCommitWindow(uint64_t nanos) {
+    commit_pipeline_.set_window_nanos(nanos);
+  }
+  GroupCommitStats group_commit_stats() const {
+    return commit_pipeline_.stats();
+  }
+
+  /// Deadlock victim policy of the lock manager (see DeadlockPolicy).
+  /// Engine-wide; Session::Begin forwards TxnOptions::deadlock_policy
+  /// here, all sessions of one run agreeing on the value.
+  void SetDeadlockPolicy(DeadlockPolicy policy) {
+    lock_manager_.SetVictimPolicy(policy);
+  }
+  DeadlockPolicy deadlock_policy() const {
+    return lock_manager_.victim_policy();
+  }
+
+  /// Opens a Session on this engine — the entry point of the public
+  /// transactional API (defined in engine/session.h; include it to
+  /// call this).
+  SessionT<Database> OpenSession();
 
   // --- Sharded-transaction entry points (CrossShardCoordinator) ---
   //
@@ -244,24 +298,22 @@ class Database {
     return LockFor(txn, oid, mode);
   }
 
-  // --- Object operations ---
+  // --- Object operations (legacy, non-transactional path) ---
   //
-  // Each operation has two forms. The txn form takes a TransactionContext
-  // and participates in 2PL (S lock for reads, X lock for writes, undo
-  // logging); a Status::Aborted return means the transaction was chosen as
-  // a deadlock victim (or timed out) and the caller must AbortTxn. The
-  // legacy form is the txn form with a null context: no locks, no undo —
-  // single-threaded callers only (generators, reorganizers, CLIENTN=1).
+  // Single-threaded callers only (generators, reorganizers, the CLIENTN=1
+  // benches): no object locks, no undo logging, seed-exact semantics.
+  // *Transactional* object operations are not public: clients open a
+  // Session (engine/session.h) whose RAII Transaction exposes Get/Put/
+  // SetReference/Delete/Create plus the batched GetMany/Apply/Traverse —
+  // the session layer is a friend and drives the private overloads below.
 
   /// Creates an instance of \p class_id with all ORef slots null and the
   /// class's InstanceSize of filler. Appends it to the class extent.
-  Result<Oid> CreateObject(TransactionContext* txn, ClassId class_id);
   Result<Oid> CreateObject(ClassId class_id) {
     return CreateObject(nullptr, class_id);
   }
 
   /// Reads and decodes an object. Fires OnObjectAccess.
-  Result<Object> GetObject(TransactionContext* txn, Oid oid);
   Result<Object> GetObject(Oid oid) { return GetObject(nullptr, oid); }
 
   /// Reads an object *silently* (no observer callback, no statistics, no
@@ -273,27 +325,21 @@ class Database {
   /// \p from to the BackRef array of \p to (paper: "Reverse references are
   /// instanciated at the same time the direct links are"). A previous
   /// target's backref is unlinked first.
-  Status SetReference(TransactionContext* txn, Oid from, uint32_t slot,
-                      Oid to);
   Status SetReference(Oid from, uint32_t slot, Oid to) {
     return SetReference(nullptr, from, slot, to);
   }
 
   /// Follows a reference during a traversal: fires OnLinkCross(from, to)
   /// then reads and returns the target object.
-  Result<Object> CrossLink(TransactionContext* txn, Oid from, Oid to,
-                           RefTypeId type, bool reverse);
   Result<Object> CrossLink(Oid from, Oid to, RefTypeId type, bool reverse) {
     return CrossLink(nullptr, from, to, type, reverse);
   }
 
   /// Rewrites an object's mutable parts (used by update-style workloads).
-  Status PutObject(TransactionContext* txn, const Object& object);
   Status PutObject(const Object& object) { return PutObject(nullptr, object); }
 
   /// Deletes an object and unlinks it from neighbors' ORef/BackRef arrays
   /// and from its class extent.
-  Status DeleteObject(TransactionContext* txn, Oid oid);
   Status DeleteObject(Oid oid) { return DeleteObject(nullptr, oid); }
 
   /// Observer management (pass nullptr to detach).
@@ -408,6 +454,63 @@ class Database {
   bool ContainsObject(Oid oid);
 
  private:
+  // The session layer (SessionT/TransactionT drive the transactional
+  // object operations) and the sharding facade (choreographs cross-shard
+  // footprints through its shards' private overloads) are the only
+  // callers of the raw TransactionContext object operations.
+  template <typename DB>
+  friend class SessionT;
+  template <typename DB>
+  friend class TransactionT;
+  friend class ShardedDatabase;
+
+  // --- Transactional object operations (session-internal) ---
+  //
+  // Each is the transactional twin of the public legacy form: it takes a
+  // TransactionContext and participates in 2PL (S lock for reads, X lock
+  // for writes, undo logging); a Status::Aborted return means the
+  // transaction was chosen as a deadlock victim (or timed out) and the
+  // caller must AbortTxn. A null context selects the legacy path.
+  // Operations through a finished (committed/aborted/prepared) context
+  // are refused with InvalidArgument — never UB.
+
+  Result<Oid> CreateObject(TransactionContext* txn, ClassId class_id);
+  Result<Object> GetObject(TransactionContext* txn, Oid oid);
+  Status SetReference(TransactionContext* txn, Oid from, uint32_t slot,
+                      Oid to);
+  Result<Object> CrossLink(TransactionContext* txn, Oid from, Oid to,
+                           RefTypeId type, bool reverse);
+  Status PutObject(TransactionContext* txn, const Object& object);
+  Status DeleteObject(TransactionContext* txn, Oid oid);
+
+  /// Batched read (Transaction::GetMany): ONE sorted lock-footprint pass
+  /// (S locks in ascending oid order — no two GetMany calls can deadlock
+  /// each other), one facade-gate section, one observer pass. Objects
+  /// append to \p out in input order; vanished oids are skipped
+  /// (NotFound is not an error, matching the single-get tolerance of
+  /// concurrent deletes). MVCC readers resolve each oid through their
+  /// ReadView instead (no locks).
+  Status GetObjectsBatched(TransactionContext* txn,
+                           std::span<const Oid> oids,
+                           std::vector<Object>* out);
+
+  /// Batched write-footprint acquisition (Transaction::Apply): X-locks
+  /// every oid in \p oids in ascending order before the batch's
+  /// operations run. The per-op calls then re-acquire idempotently and
+  /// pick up any dynamic footprint (previous reference targets, delete
+  /// neighborhoods).
+  Status AcquireWriteFootprint(TransactionContext* txn,
+                               std::vector<Oid> oids);
+
+  /// Group-commit batch body (runs on the pipeline leader): stamps every
+  /// member's versions via one StampCommittedBatch call, then finishes
+  /// each member (state, undo discard, lock release) and fires one
+  /// observer pass.
+  void CommitBatch(const std::vector<CommitPipeline::Request*>& batch);
+
+  /// Rejects object operations through a finished transaction handle.
+  Status RefuseFinished(const TransactionContext* txn, const char* op);
+
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
 
@@ -474,6 +577,10 @@ class Database {
   LockManager lock_manager_;
   VersionStore version_store_;
   ReadViewRegistry read_views_;
+  /// Group-commit pipeline behind CommitTxnGrouped; its batch function is
+  /// CommitBatch. Touches lock_manager_/version_store_/read_views_, so
+  /// it is declared after them.
+  CommitPipeline commit_pipeline_;
   std::atomic<bool> mvcc_enabled_{true};
   std::atomic<bool> serialize_physical_{false};
   std::atomic<TxnId> next_txn_id_{1};

@@ -49,6 +49,7 @@
 #include <set>
 #include <vector>
 
+#include "concurrency/commit_pipeline.h"
 #include "concurrency/wait_graph.h"
 #include "oodb/database.h"
 #include "sharding/sharded_transaction.h"
@@ -94,8 +95,25 @@ class CrossShardCoordinator {
   /// Status::Aborted is returned.
   Status Commit(ShardedTransaction* txn);
 
+  /// Commit through the group-commit pipeline: committing transactions
+  /// form batches (commit_pipeline.h) whose leader coalesces the
+  /// coordinator's serialized work — ONE in-flight-registry pass draws
+  /// every fast-path member's timestamp, ONE commit-mutex section stamps
+  /// every 2PC member. Per-member semantics (prepare, failpoint, abort
+  /// isolation) are identical to Commit: an injected abort kills only
+  /// the member it fires for, the rest of the batch commits.
+  Status CommitGrouped(ShardedTransaction* txn);
+
+  /// Group-commit batch cap, accumulation window / pipeline counters.
+  void SetGroupCommitMaxBatch(uint32_t n) { pipeline_.set_max_batch(n); }
+  void SetGroupCommitWindow(uint64_t nanos) {
+    pipeline_.set_window_nanos(nanos);
+  }
+  GroupCommitStats group_commit_stats() const { return pipeline_.stats(); }
+
   /// Aborts \p txn on every participant shard (one globally drawn seal
-  /// timestamp for all writer participants).
+  /// timestamp for all writer participants). Idempotent: aborting an
+  /// already-aborted transaction returns OK.
   Status Abort(ShardedTransaction* txn);
 
   /// Test hook: when set and returning true, a two-phase commit aborts
@@ -132,8 +150,23 @@ class CrossShardCoordinator {
   /// failure, OK otherwise.
   Status AbortParticipants(ShardedTransaction* txn);
 
+  /// Group-commit batch body (pipeline leader): classifies members,
+  /// batches the fast-path registry traffic and the 2PC commit-mutex
+  /// section.
+  void CommitBatch(const std::vector<CommitPipeline::Request*>& batch);
+
+  /// Charges \p batches simulated commit-record forces
+  /// (StorageOptions::commit_log_force_nanos) to the deployment log.
+  void ChargeLogForce(uint64_t batches);
+
   std::vector<Database*> shards_;
   std::atomic<CommitTs> next_ts_{0};
+
+  /// Group-commit pipeline behind CommitGrouped.
+  CommitPipeline pipeline_{
+      [this](const std::vector<CommitPipeline::Request*>& batch) {
+        CommitBatch(batch);
+      }};
 
   /// Spans every multi-shard stamping loop; OpenGlobalSnapshot takes it
   /// too. Ordering: this mutex is acquired *before* any shard's

@@ -74,6 +74,30 @@ Status ShardedDatabase::AbortTxn(ShardedTransaction* txn) {
   return coordinator_->Abort(txn);
 }
 
+Status ShardedDatabase::CommitTxnGrouped(ShardedTransaction* txn) {
+  return coordinator_->CommitGrouped(txn);
+}
+
+void ShardedDatabase::SetGroupCommitMaxBatch(uint32_t n) {
+  coordinator_->SetGroupCommitMaxBatch(n);
+}
+
+void ShardedDatabase::SetGroupCommitWindow(uint64_t nanos) {
+  coordinator_->SetGroupCommitWindow(nanos);
+}
+
+GroupCommitStats ShardedDatabase::group_commit_stats() const {
+  return coordinator_->group_commit_stats();
+}
+
+void ShardedDatabase::SetDeadlockPolicy(DeadlockPolicy policy) {
+  for (auto& shard : shards_) shard->SetDeadlockPolicy(policy);
+}
+
+DeadlockPolicy ShardedDatabase::deadlock_policy() const {
+  return shards_[0]->deadlock_policy();
+}
+
 TransactionContext* ShardedDatabase::ContextFor(ShardedTransaction* txn,
                                                 uint32_t k) {
   if (txn == nullptr) return nullptr;
@@ -96,8 +120,20 @@ Status ShardedDatabase::RefuseReadOnly(const ShardedTransaction* txn,
   return Status::OK();
 }
 
+Status ShardedDatabase::RefuseFinished(const ShardedTransaction* txn,
+                                       const char* op) {
+  if (txn != nullptr && !txn->active()) {
+    return Status::InvalidArgument(
+        Format("%s refused: sharded txn %llu is %s (use-after-finish)", op,
+               (unsigned long long)txn->id(),
+               TxnStateToString(txn->state())));
+  }
+  return Status::OK();
+}
+
 Result<Oid> ShardedDatabase::CreateObject(ShardedTransaction* txn,
                                           ClassId class_id) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "CreateObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "CreateObject"));
   const uint32_t k = static_cast<uint32_t>(
       create_cursor_.fetch_add(1, std::memory_order_relaxed) %
@@ -107,6 +143,7 @@ Result<Oid> ShardedDatabase::CreateObject(ShardedTransaction* txn,
 
 Result<Object> ShardedDatabase::GetObject(ShardedTransaction* txn,
                                           Oid oid) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "GetObject"));
   const uint32_t k = router_.ShardOf(oid);
   return shards_[k]->GetObject(ContextFor(txn, k), oid);
 }
@@ -118,12 +155,14 @@ Result<Object> ShardedDatabase::PeekObject(Oid oid) {
 Result<Object> ShardedDatabase::CrossLink(ShardedTransaction* txn, Oid from,
                                           Oid to, RefTypeId type,
                                           bool reverse) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "CrossLink"));
   const uint32_t k = router_.ShardOf(to);
   return shards_[k]->CrossLink(ContextFor(txn, k), from, to, type, reverse);
 }
 
 Status ShardedDatabase::PutObject(ShardedTransaction* txn,
                                   const Object& object) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "PutObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "PutObject"));
   const uint32_t k = router_.ShardOf(object.oid);
   return shards_[k]->PutObject(ContextFor(txn, k), object);
@@ -131,6 +170,7 @@ Status ShardedDatabase::PutObject(ShardedTransaction* txn,
 
 Status ShardedDatabase::SetReference(ShardedTransaction* txn, Oid from,
                                      uint32_t slot, Oid to) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "SetReference"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
   const uint32_t from_shard = router_.ShardOf(from);
   if (router_.shard_count() == 1) {
@@ -225,6 +265,7 @@ Status ShardedDatabase::SetReference(ShardedTransaction* txn, Oid from,
 }
 
 Status ShardedDatabase::DeleteObject(ShardedTransaction* txn, Oid oid) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "DeleteObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
   const uint32_t owner = router_.ShardOf(oid);
   if (router_.shard_count() == 1) {
@@ -285,6 +326,51 @@ Status ShardedDatabase::DeleteObject(ShardedTransaction* txn, Oid oid) {
   // Local half: same-shard neighbor unlinking, extent removal, record
   // delete. Remote neighbors read back NotFound there and are skipped.
   return shards_[owner]->DeleteObject(owner_ctx, oid);
+}
+
+Status ShardedDatabase::GetObjectsBatched(ShardedTransaction* txn,
+                                          std::span<const Oid> oids,
+                                          std::vector<Object>* out) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "GetMany"));
+  out->reserve(out->size() + oids.size());
+  if (txn != nullptr && !txn->read_only()) {
+    // One ascending-oid S-lock pass across the owning shards; the
+    // per-oid reads below then re-acquire idempotently (no blocking, no
+    // deadlock — all GetMany footprints ascend the same global order).
+    std::vector<Oid> footprint(oids.begin(), oids.end());
+    std::sort(footprint.begin(), footprint.end());
+    footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                    footprint.end());
+    for (Oid oid : footprint) {
+      const uint32_t k = router_.ShardOf(oid);
+      OCB_RETURN_NOT_OK(shards_[k]->AcquireLock(ContextFor(txn, k), oid,
+                                                LockMode::kShared));
+    }
+  }
+  for (Oid oid : oids) {
+    auto obj = GetObject(txn, oid);
+    if (obj.ok()) {
+      out->push_back(std::move(obj).value());
+    } else if (!obj.status().IsNotFound()) {
+      return obj.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedDatabase::AcquireWriteFootprint(ShardedTransaction* txn,
+                                              std::vector<Oid> oids) {
+  OCB_RETURN_NOT_OK(RefuseFinished(txn, "ApplyWriteBatch"));
+  OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "ApplyWriteBatch"));
+  if (txn == nullptr) return Status::OK();
+  std::sort(oids.begin(), oids.end());
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+  for (Oid oid : oids) {
+    const uint32_t k = router_.ShardOf(oid);
+    OCB_RETURN_NOT_OK(shards_[k]->AcquireLock(ContextFor(txn, k), oid,
+                                              LockMode::kExclusive));
+  }
+  return Status::OK();
 }
 
 void ShardedDatabase::SetObserver(AccessObserver* observer) {

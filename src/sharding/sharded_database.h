@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,11 @@
 #include "util/status.h"
 
 namespace ocb {
+
+template <typename DB>
+class SessionT;
+template <typename DB>
+class TransactionT;
 
 /// \brief The sharded OODB: Database's API surface over N shards.
 class ShardedDatabase {
@@ -102,43 +108,59 @@ class ShardedDatabase {
   /// Aborts every participant shard (per-shard undo-log rollback).
   Status AbortTxn(ShardedTransaction* txn);
 
-  // --- Object operations (Database-shaped; legacy forms = null txn) ---
+  /// CommitTxn through the coordinator's group-commit pipeline (the
+  /// Session API's commit path): fast-path members coalesce their
+  /// in-flight-registry traffic, 2PC members share ONE coordinator
+  /// commit-mutex section for the whole batch. Read-only transactions
+  /// bypass the pipeline.
+  Status CommitTxnGrouped(ShardedTransaction* txn);
+
+  /// Group-commit batch cap, accumulation window / counters
+  /// (coordinator pipeline).
+  void SetGroupCommitMaxBatch(uint32_t n);
+  void SetGroupCommitWindow(uint64_t nanos);
+  GroupCommitStats group_commit_stats() const;
+
+  /// Deadlock victim policy, applied to every shard's lock manager.
+  void SetDeadlockPolicy(DeadlockPolicy policy);
+  DeadlockPolicy deadlock_policy() const;
+
+  /// Opens a Session on this engine (see engine/session.h).
+  SessionT<ShardedDatabase> OpenSession();
+
+  // --- Object operations (legacy, non-transactional path) ---
+  //
+  // Like Database: the public forms are the single-threaded legacy path;
+  // transactional operations go through Session/Transaction
+  // (engine/session.h), which drives the private overloads below.
 
   /// Creates an object on the next shard in round-robin order; its oid
   /// routes back to that shard by the allocation contract.
-  Result<Oid> CreateObject(ShardedTransaction* txn, ClassId class_id);
   Result<Oid> CreateObject(ClassId class_id) {
     return CreateObject(nullptr, class_id);
   }
 
-  Result<Object> GetObject(ShardedTransaction* txn, Oid oid);
   Result<Object> GetObject(Oid oid) { return GetObject(nullptr, oid); }
 
   Result<Object> PeekObject(Oid oid);
 
   /// Database::SetReference semantics across shards (symmetric backref
   /// maintenance, validate-before-write, NoSpace on a full backref page).
-  Status SetReference(ShardedTransaction* txn, Oid from, uint32_t slot,
-                      Oid to);
   Status SetReference(Oid from, uint32_t slot, Oid to) {
     return SetReference(nullptr, from, slot, to);
   }
 
   /// Link crossing routed to the *target's* shard: its observer records
   /// the crossing (cross-shard crossings are charged to the destination).
-  Result<Object> CrossLink(ShardedTransaction* txn, Oid from, Oid to,
-                           RefTypeId type, bool reverse);
   Result<Object> CrossLink(Oid from, Oid to, RefTypeId type, bool reverse) {
     return CrossLink(nullptr, from, to, type, reverse);
   }
 
-  Status PutObject(ShardedTransaction* txn, const Object& object);
   Status PutObject(const Object& object) { return PutObject(nullptr, object); }
 
   /// Database::DeleteObject semantics across shards: the whole neighbor-
   /// hood is X-locked, remote neighbors are unlinked here, then the
   /// owning shard deletes the record and patches its local neighbors.
-  Status DeleteObject(ShardedTransaction* txn, Oid oid);
   Status DeleteObject(Oid oid) { return DeleteObject(nullptr, oid); }
 
   /// Attaches \p observer to every shard. Per-shard callbacks are
@@ -200,12 +222,44 @@ class ShardedDatabase {
   void SetMasterSchemaFromShards() { schema_ = shards_[0]->schema(); }
 
  private:
+  // The session layer is the only public route to the transactional
+  // object operations (same friendship as on Database).
+  template <typename DB>
+  friend class SessionT;
+  template <typename DB>
+  friend class TransactionT;
+
+  // --- Transactional object operations (session-internal) ---
+  Result<Oid> CreateObject(ShardedTransaction* txn, ClassId class_id);
+  Result<Object> GetObject(ShardedTransaction* txn, Oid oid);
+  Status SetReference(ShardedTransaction* txn, Oid from, uint32_t slot,
+                      Oid to);
+  Result<Object> CrossLink(ShardedTransaction* txn, Oid from, Oid to,
+                           RefTypeId type, bool reverse);
+  Status PutObject(ShardedTransaction* txn, const Object& object);
+  Status DeleteObject(ShardedTransaction* txn, Oid oid);
+
+  /// Batched read (Transaction::GetMany): one ascending-oid S-lock pass
+  /// across the owning shards' managers, then per-oid reads in input
+  /// order. MVCC readers resolve through their per-shard ReadViews.
+  Status GetObjectsBatched(ShardedTransaction* txn,
+                           std::span<const Oid> oids,
+                           std::vector<Object>* out);
+
+  /// Batched write-footprint acquisition (Transaction::Apply): X-locks
+  /// in ascending global oid order through each owner's manager.
+  Status AcquireWriteFootprint(ShardedTransaction* txn,
+                               std::vector<Oid> oids);
+
   /// Lazily opens shard \p k's participant context (nullptr passthrough
   /// on the legacy path).
   TransactionContext* ContextFor(ShardedTransaction* txn, uint32_t k);
 
   /// Rejects writes through read-only sharded transactions.
   Status RefuseReadOnly(const ShardedTransaction* txn, const char* op);
+
+  /// Rejects object operations through a finished sharded transaction.
+  Status RefuseFinished(const ShardedTransaction* txn, const char* op);
 
   StorageOptions base_options_;
   ShardRouter router_;

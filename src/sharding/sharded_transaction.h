@@ -46,6 +46,7 @@ class ShardedTransaction {
   bool read_only() const { return read_only_; }
   TxnState state() const { return state_; }
   bool active() const { return state_ == TxnState::kActive; }
+  bool prepared() const { return state_ == TxnState::kPrepared; }
 
   /// Global snapshot point (read-only transactions; 0 otherwise). Every
   /// participant shard's ReadView is pinned at this one timestamp.

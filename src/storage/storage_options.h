@@ -73,6 +73,15 @@ struct StorageOptions {
   /// Simulated latency charged per page write, in nanoseconds.
   uint64_t write_latency_nanos = 10'000'000;
 
+  /// Simulated latency of forcing a commit record durable (a WAL
+  /// fsync), charged once per *commit batch* on the group-commit
+  /// pipeline — the cost group commit classically amortizes: N
+  /// transactions sharing one batch pay one force instead of N.
+  /// Default 0 keeps the seed's commit path free (the paper's protocol
+  /// has no logging component); bench_multiclient's group-commit
+  /// section sets ~1 ms (a sequential log write on the 1998 disk).
+  uint64_t commit_log_force_nanos = 0;
+
   /// If non-empty, pages are also persisted (write-through) to this file,
   /// demonstrating durable storage; empty keeps the disk purely in memory.
   std::string backing_file;

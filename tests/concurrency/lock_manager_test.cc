@@ -271,5 +271,151 @@ TEST(LockManagerTest, FifoPreventsWriterStarvation) {
   lm.ReleaseAll(&r2);
 }
 
+// --- Victim-policy selection (LockManagerOptions::victim_policy) --------
+//
+// The PR 2 baseline contract above (one victim per cycle, FIFO fairness
+// across aborts) runs under the default kCycleCloser and stays untouched.
+// These tests pin the two alternative policies.
+
+TEST(LockManagerTest, YoungestPolicyWakesSleepingYoungestAsVictim) {
+  LockManagerOptions options;
+  options.victim_policy = DeadlockPolicy::kYoungest;
+  LockManager lm(options);
+  TransactionContext t1(1), t2(2);  // t2 is younger (larger id).
+  ASSERT_TRUE(lm.Acquire(&t1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(&t2, kB, LockMode::kExclusive).ok());
+
+  // The *younger* t2 blocks first (t2 → A held by t1).
+  Status s2;
+  std::thread blocked([&]() {
+    s2 = lm.Acquire(&t2, kA, LockMode::kExclusive);
+    if (s2.IsAborted()) lm.ReleaseAll(&t2);  // Victims abort.
+  });
+  WaitForWaits(lm, 1);
+
+  // t1 → B closes the cycle. Under kCycleCloser t1 (the requester) would
+  // die; under kYoungest the sleeping t2 is woken as the victim and t1
+  // waits on to be granted B once t2's abort releases it.
+  Status s1 = lm.Acquire(&t1, kB, LockMode::kExclusive);
+  blocked.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_TRUE(s2.IsAborted()) << s2.ToString();
+  EXPECT_EQ(lm.stats().victim_wakeups, 1u);
+  EXPECT_EQ(lm.stats().deadlocks, 1u);  // One victim for the cycle.
+  lm.ReleaseAll(&t1);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, YoungestPolicyRefusesRequesterWhenItIsYoungest) {
+  LockManagerOptions options;
+  options.victim_policy = DeadlockPolicy::kYoungest;
+  LockManager lm(options);
+  TransactionContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Acquire(&t1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(&t2, kB, LockMode::kExclusive).ok());
+
+  // The *older* t1 blocks first (t1 → B held by t2).
+  Status s1;
+  std::thread blocked([&]() {
+    s1 = lm.Acquire(&t1, kB, LockMode::kExclusive);
+  });
+  WaitForWaits(lm, 1);
+
+  // t2 → A closes the cycle and t2 *is* the youngest member: refused on
+  // the spot, exactly like the cycle-closer baseline.
+  Status s2 = lm.Acquire(&t2, kA, LockMode::kExclusive);
+  EXPECT_TRUE(s2.IsAborted()) << s2.ToString();
+  lm.ReleaseAll(&t2);
+  blocked.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  lm.ReleaseAll(&t1);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, WoundWaitOlderWoundsSleepingYounger) {
+  LockManagerOptions options;
+  options.victim_policy = DeadlockPolicy::kWoundWait;
+  LockManager lm(options);
+  TransactionContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Acquire(&t1, kA, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(&t2, kB, LockMode::kExclusive).ok());
+
+  Status s2;
+  std::thread blocked([&]() {
+    s2 = lm.Acquire(&t2, kA, LockMode::kExclusive);  // Younger waits.
+    if (s2.IsAborted()) lm.ReleaseAll(&t2);
+  });
+  WaitForWaits(lm, 1);
+
+  // Older t1 wants B, held by the younger (and sleeping) t2: wound-wait
+  // wakes t2 as a victim and t1 takes B after the abort releases it.
+  Status s1 = lm.Acquire(&t1, kB, LockMode::kExclusive);
+  blocked.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_TRUE(s2.IsAborted()) << s2.ToString();
+  EXPECT_GE(lm.stats().wounds, 1u);
+  lm.ReleaseAll(&t1);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, WoundWaitRunningYoungerDiesAtNextAcquire) {
+  LockManagerOptions options;
+  options.victim_policy = DeadlockPolicy::kWoundWait;
+  LockManager lm(options);
+  TransactionContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Acquire(&t2, kA, LockMode::kExclusive).ok());
+
+  // Older t1 blocks on A: the younger holder t2 is *running* (not
+  // waiting), so the wound is deferred — flagged, to be honored at t2's
+  // next lock request.
+  Status s1;
+  std::thread blocked([&]() {
+    s1 = lm.Acquire(&t1, kA, LockMode::kExclusive);
+  });
+  WaitForWaits(lm, 1);
+
+  Status s2 = lm.Acquire(&t2, kB, LockMode::kShared);
+  EXPECT_TRUE(s2.IsAborted()) << s2.ToString();  // The wound lands here.
+  lm.ReleaseAll(&t2);
+  blocked.join();
+  EXPECT_TRUE(s1.ok()) << s1.ToString();
+  EXPECT_GE(lm.stats().wounds, 1u);
+  lm.ReleaseAll(&t1);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, WoundWaitYoungerSimplyWaitsBehindOlder) {
+  LockManagerOptions options;
+  options.victim_policy = DeadlockPolicy::kWoundWait;
+  LockManager lm(options);
+  TransactionContext t1(1), t2(2);
+  ASSERT_TRUE(lm.Acquire(&t1, kA, LockMode::kExclusive).ok());
+
+  // Younger wants what the older holds: no wound, a plain FIFO wait.
+  std::atomic<bool> granted{false};
+  Status s2;
+  std::thread blocked([&]() {
+    s2 = lm.Acquire(&t2, kA, LockMode::kExclusive);
+    granted = true;
+  });
+  WaitForWaits(lm, 1);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.stats().wounds, 0u);
+  lm.ReleaseAll(&t1);
+  blocked.join();
+  EXPECT_TRUE(s2.ok()) << s2.ToString();
+  lm.ReleaseAll(&t2);
+  EXPECT_EQ(lm.locked_object_count(), 0u);
+}
+
+TEST(LockManagerTest, PolicyIsSwitchableAtRuntime) {
+  LockManager lm;
+  EXPECT_EQ(lm.victim_policy(), DeadlockPolicy::kCycleCloser);
+  lm.SetVictimPolicy(DeadlockPolicy::kWoundWait);
+  EXPECT_EQ(lm.victim_policy(), DeadlockPolicy::kWoundWait);
+  lm.SetVictimPolicy(DeadlockPolicy::kYoungest);
+  EXPECT_EQ(lm.victim_policy(), DeadlockPolicy::kYoungest);
+}
+
 }  // namespace
 }  // namespace ocb

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/session.h"
 #include "oodb/database.h"
 #include "util/rng.h"
 
@@ -68,6 +69,7 @@ TEST(SnapshotStressTest, ReadersAlwaysSeeTheConservedTotal) {
   std::atomic<bool> failed{false};
 
   auto writer = [&](int id) {
+    auto session = db.OpenSession();
     LewisPayneRng rng(static_cast<uint64_t>(id) + 17);
     for (int i = 0; i < kTransfersPerWriter && !failed; ++i) {
       const size_t a = static_cast<size_t>(
@@ -75,15 +77,15 @@ TEST(SnapshotStressTest, ReadersAlwaysSeeTheConservedTotal) {
       size_t b = static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(kAccounts) - 2));
       if (b >= a) ++b;
-      auto txn = db.BeginTxn();
+      auto txn = session.Begin();
       bool ok = true;
       // Any step may come back Aborted (deadlock victim / lock timeout);
       // that is a legitimate rollback, not a test failure.
       Status st = Status::OK();
-      auto from = db.GetObject(txn.get(), accounts[a]);
+      auto from = txn.Get(accounts[a]);
       if (!from.ok()) st = from.status();
-      Result<Object> to = st.ok() ? db.GetObject(txn.get(), accounts[b])
-                                  : Result<Object>(st);
+      Result<Object> to =
+          st.ok() ? txn.Get(accounts[b]) : Result<Object>(st);
       if (st.ok() && !to.ok()) st = to.status();
       if (st.ok()) {
         uint32_t amount = static_cast<uint32_t>(std::min<int64_t>(
@@ -92,40 +94,50 @@ TEST(SnapshotStressTest, ReadersAlwaysSeeTheConservedTotal) {
         if (to->filler_size + amount > 2000) amount = 0;
         from->filler_size -= amount;
         to->filler_size += amount;
-        st = db.PutObject(txn.get(), from.value());
-        if (st.ok()) st = db.PutObject(txn.get(), to.value());
+        // Both writes as one batch: one sorted X-footprint pass.
+        WriteBatch batch;
+        batch.Put(from.value());
+        batch.Put(to.value());
+        auto applied = txn.Apply(std::move(batch));
+        st = applied.ok() ? Status::OK() : applied.status();
+        if (st.ok() && !applied->all_ok()) {
+          for (const Status& op : applied->statuses) {
+            if (!op.ok()) st = op;
+          }
+        }
       }
       if (!st.ok()) {
         ok = false;
         if (!st.IsAborted()) failed = true;
       }
       if (ok) {
-        if (!db.CommitTxn(txn.get()).ok()) failed = true;
+        if (!txn.Commit().ok()) failed = true;
         ++committed;
       } else {
-        if (!db.AbortTxn(txn.get()).ok()) failed = true;
+        if (!txn.Abort().ok()) failed = true;
         ++aborted;
       }
     }
   };
 
   auto reader = [&](int id) {
+    auto session = db.OpenSession();
+    TxnOptions ro;
+    ro.read_only = true;
     LewisPayneRng rng(static_cast<uint64_t>(id) + 7001);
     for (int i = 0; i < kSumsPerReader && !failed && !torn; ++i) {
-      auto txn = db.BeginTxn(/*read_only=*/true);
+      auto txn = session.Begin(ro);
+      // The whole sum as ONE batched GetMany through the ReadView.
+      auto objs = txn.GetMany(accounts);
       uint64_t sum = 0;
-      bool ok = true;
-      for (Oid account : accounts) {
-        auto obj = db.GetObject(txn.get(), account);
-        if (!obj.ok()) {
-          failed = true;
-          ok = false;
-          break;
-        }
-        sum += obj->filler_size;
+      bool ok = objs.ok() && objs->size() == accounts.size();
+      if (!objs.ok()) {
+        failed = true;
+      } else {
+        for (const Object& obj : *objs) sum += obj.filler_size;
       }
       // Snapshot readers hold no locks, so they can never be victims.
-      if (!db.CommitTxn(txn.get()).ok()) failed = true;
+      if (!txn.Commit().ok()) failed = true;
       if (ok && sum != kTotal) {
         torn = true;
         ADD_FAILURE() << "torn read: snapshot sum " << sum << " != "

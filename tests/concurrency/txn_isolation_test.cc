@@ -1,6 +1,7 @@
-// Transaction-level isolation tests: write-write conflicts under 2PL
-// (exactly one victim, no lost update), undo-log rollback of every
-// mutation kind, and lock release at commit.
+// Transaction-level isolation tests through the Session API: write-write
+// conflicts under 2PL (exactly one victim, no lost update), undo-log
+// rollback of every mutation kind, lock release at commit, and the
+// typed-lifecycle contract (double-commit refusal, idempotent abort).
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/session.h"
 #include "oodb/database.h"
 
 namespace ocb {
@@ -53,6 +55,8 @@ class TxnIsolationTest : public ::testing::Test {
     target2_ = *db_.CreateObject(1);
   }
 
+  Transaction Begin() { return db_.OpenSession().Begin(); }
+
   Database db_;
   Oid source_ = kInvalidOid;
   Oid target1_ = kInvalidOid;
@@ -69,21 +73,21 @@ TEST_F(TxnIsolationTest, WriteWriteConflictOneAbortsNoLostUpdate) {
   std::vector<Oid> committed_mark(2, kInvalidOid);
 
   auto client = [&](int idx, Oid mark) {
-    auto txn = db_.BeginTxn();
-    auto obj = db_.GetObject(txn.get(), source_);  // S lock.
+    auto txn = Begin();
+    auto obj = txn.Get(source_);  // S lock.
     ASSERT_TRUE(obj.ok());
     ready.fetch_add(1);
     while (ready.load() < 2) std::this_thread::yield();  // Both hold S.
     obj->orefs[0] = mark;
-    Status st = db_.PutObject(txn.get(), obj.value());  // S→X upgrade.
+    Status st = txn.Put(obj.value());  // S→X upgrade.
     if (st.IsAborted()) {
       aborted.fetch_add(1);
-      EXPECT_TRUE(db_.AbortTxn(txn.get()).ok());
+      EXPECT_TRUE(txn.Abort().ok());
       return;
     }
     ASSERT_TRUE(st.ok()) << st.ToString();
     committed_mark[static_cast<size_t>(idx)] = mark;
-    EXPECT_TRUE(db_.CommitTxn(txn.get()).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   };
 
   std::thread c1(client, 0, target1_);
@@ -107,12 +111,12 @@ TEST_F(TxnIsolationTest, AbortRollsBackReferenceAndCreate) {
   const uint64_t objects_before = db_.object_count();
   const size_t extent0_before = db_.schema().GetClass(0).iterator.size();
 
-  auto txn = db_.BeginTxn();
-  auto created = db_.CreateObject(txn.get(), 0);
+  auto txn = Begin();
+  auto created = txn.Create(0);
   ASSERT_TRUE(created.ok());
-  ASSERT_TRUE(db_.SetReference(txn.get(), source_, 0, target2_).ok());
-  ASSERT_TRUE(db_.SetReference(txn.get(), *created, 0, target1_).ok());
-  ASSERT_TRUE(db_.AbortTxn(txn.get()).ok());
+  ASSERT_TRUE(txn.SetReference(source_, 0, target2_).ok());
+  ASSERT_TRUE(txn.SetReference(*created, 0, target1_).ok());
+  ASSERT_TRUE(txn.Abort().ok());
 
   // The created object is gone, extent included.
   EXPECT_EQ(db_.object_count(), objects_before);
@@ -142,10 +146,10 @@ TEST_F(TxnIsolationTest, AbortRestoresDeletedObject) {
   auto before = db_.PeekObject(target1_);
   ASSERT_TRUE(before.ok());
 
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.DeleteObject(txn.get(), target1_).ok());
+  auto txn = Begin();
+  ASSERT_TRUE(txn.Delete(target1_).ok());
   EXPECT_FALSE(db_.object_store()->Contains(target1_));
-  ASSERT_TRUE(db_.AbortTxn(txn.get()).ok());
+  ASSERT_TRUE(txn.Abort().ok());
 
   // The object is back — same oid, same content — and the neighborhood
   // unlink was rolled back with it.
@@ -163,52 +167,82 @@ TEST_F(TxnIsolationTest, AbortRestoresDeletedObject) {
 }
 
 TEST_F(TxnIsolationTest, CommitReleasesLocksAndPersists) {
-  auto txn1 = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(txn1.get(), source_, 0, target1_).ok());
-  ASSERT_TRUE(db_.CommitTxn(txn1.get()).ok());
+  auto txn1 = Begin();
+  ASSERT_TRUE(txn1.SetReference(source_, 0, target1_).ok());
+  ASSERT_TRUE(txn1.Commit().ok());
   EXPECT_EQ(db_.lock_manager()->locked_object_count(), 0u);
-  EXPECT_EQ(txn1->state(), TxnState::kCommitted);
+  EXPECT_EQ(txn1.state(), TxnState::kCommitted);
 
   // A second txn takes the same locks without blocking and sees the
   // committed state.
-  auto txn2 = db_.BeginTxn();
-  auto obj = db_.GetObject(txn2.get(), source_);
+  auto txn2 = Begin();
+  auto obj = txn2.Get(source_);
   ASSERT_TRUE(obj.ok());
   EXPECT_EQ(obj->orefs[0], target1_);
-  ASSERT_TRUE(db_.CommitTxn(txn2.get()).ok());
+  ASSERT_TRUE(txn2.Commit().ok());
 }
 
 TEST_F(TxnIsolationTest, ReaderBlocksOnUncommittedWriteAndSeesCommit) {
-  auto writer = db_.BeginTxn();
+  auto writer = Begin();
   auto obj = db_.PeekObject(source_);
   ASSERT_TRUE(obj.ok());
   obj->orefs[1] = target2_;
-  ASSERT_TRUE(db_.PutObject(writer.get(), obj.value()).ok());  // X held.
+  ASSERT_TRUE(writer.Put(obj.value()).ok());  // X held.
 
   std::atomic<bool> read_done{false};
   Oid seen = kInvalidOid;
   std::thread reader([&]() {
-    auto txn = db_.BeginTxn();
-    auto r = db_.GetObject(txn.get(), source_);  // Blocks on writer's X.
+    auto txn = db_.OpenSession().Begin();
+    auto r = txn.Get(source_);  // Blocks on writer's X.
     ASSERT_TRUE(r.ok());
     seen = r->orefs[1];
     read_done = true;
-    EXPECT_TRUE(db_.CommitTxn(txn.get()).ok());
+    EXPECT_TRUE(txn.Commit().ok());
   });
 
   // The reader must not observe the uncommitted write.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_FALSE(read_done);
-  ASSERT_TRUE(db_.CommitTxn(writer.get()).ok());
+  ASSERT_TRUE(writer.Commit().ok());
   reader.join();
   EXPECT_EQ(seen, target2_);  // Strict 2PL: only the committed state leaks.
 }
 
-TEST_F(TxnIsolationTest, DoubleFinishIsRejected) {
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.CommitTxn(txn.get()).ok());
-  EXPECT_TRUE(db_.CommitTxn(txn.get()).IsInvalidArgument());
-  EXPECT_TRUE(db_.AbortTxn(txn.get()).IsInvalidArgument());
+TEST_F(TxnIsolationTest, DoubleFinishIsRejectedAndAbortIsIdempotent) {
+  auto txn = Begin();
+  ASSERT_TRUE(txn.Commit().ok());
+  // Double commit and abort-after-commit are typed errors.
+  EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+  EXPECT_TRUE(txn.Abort().IsInvalidArgument());
+
+  // Abort is idempotent: a second abort of an aborted txn is OK.
+  auto txn2 = Begin();
+  ASSERT_TRUE(txn2.SetReference(source_, 0, target1_).ok());
+  ASSERT_TRUE(txn2.Abort().ok());
+  EXPECT_TRUE(txn2.Abort().ok());
+  EXPECT_TRUE(txn2.Commit().IsInvalidArgument());
+}
+
+TEST_F(TxnIsolationTest, UseAfterFinishIsATypedError) {
+  auto txn = Begin();
+  ASSERT_TRUE(txn.SetReference(source_, 0, target1_).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+
+  // Every operation through the finished handle is refused with
+  // InvalidArgument — no asserts, no silent no-ops, no UB.
+  EXPECT_TRUE(txn.Get(source_).status().IsInvalidArgument());
+  EXPECT_TRUE(txn.Put(Object()).IsInvalidArgument());
+  EXPECT_TRUE(txn.SetReference(source_, 0, target2_).IsInvalidArgument());
+  EXPECT_TRUE(txn.Delete(source_).IsInvalidArgument());
+  EXPECT_TRUE(txn.Create(0).status().IsInvalidArgument());
+  EXPECT_TRUE(txn.GetMany(std::vector<Oid>{source_})
+                  .status()
+                  .IsInvalidArgument());
+  WriteBatch batch;
+  batch.Delete(source_);
+  EXPECT_TRUE(txn.Apply(std::move(batch)).status().IsInvalidArgument());
+  // And the committed write survived untouched.
+  EXPECT_EQ(db_.PeekObject(source_)->orefs[0], target1_);
 }
 
 }  // namespace

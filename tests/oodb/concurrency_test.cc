@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "clustering/dstc.h"
+#include "engine/session.h"
 #include "ocb/generator.h"
 #include "oodb/database.h"
 
@@ -126,9 +127,10 @@ TEST(ConcurrencyTest, TransactionalStressKeepsInvariants) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t]() {
+      auto session = db.OpenSession();
       LewisPayneRng rng(static_cast<uint64_t>(t) + 777);
       for (int i = 0; i < kTxnsPerThread && !failed; ++i) {
-        auto txn = db.BeginTxn();
+        auto txn = session.Begin();
         bool txn_ok = true;
         const int ops = static_cast<int>(rng.UniformInt(1, 4));
         for (int op = 0; op < ops && txn_ok; ++op) {
@@ -139,10 +141,10 @@ TEST(ConcurrencyTest, TransactionalStressKeepsInvariants) {
           const int kind = static_cast<int>(rng.UniformInt(0, 9));
           Status st = Status::OK();
           if (kind < 5) {  // Read.
-            auto obj = db.GetObject(txn.get(), oid);
+            auto obj = txn.Get(oid);
             st = obj.ok() ? Status::OK() : obj.status();
           } else if (kind < 8) {  // Rewire a reference.
-            auto obj = db.GetObject(txn.get(), oid);
+            auto obj = txn.Get(oid);
             if (!obj.ok()) {
               st = obj.status();
             } else {
@@ -155,16 +157,15 @@ TEST(ConcurrencyTest, TransactionalStressKeepsInvariants) {
                 if (!extent.empty()) {
                   const Oid to = extent[static_cast<size_t>(rng.UniformInt(
                       0, static_cast<int64_t>(extent.size()) - 1))];
-                  st = db.SetReference(txn.get(), oid, slot, to);
+                  st = txn.SetReference(oid, slot, to);
                 }
               }
             }
           } else if (kind == 8) {  // Delete.
-            st = db.DeleteObject(txn.get(), oid);
+            st = txn.Delete(oid);
           } else {  // Update in place.
-            auto obj = db.GetObject(txn.get(), oid);
-            st = obj.ok() ? db.PutObject(txn.get(), obj.value())
-                          : obj.status();
+            auto obj = txn.Get(oid);
+            st = obj.ok() ? txn.Put(obj.value()) : obj.status();
           }
           if (st.IsAborted()) {
             txn_ok = false;  // Deadlock victim: roll back.
@@ -176,10 +177,10 @@ TEST(ConcurrencyTest, TransactionalStressKeepsInvariants) {
         // A slice of voluntary aborts exercises rollback under load.
         if (txn_ok && rng.Bernoulli(0.1)) txn_ok = false;
         if (txn_ok) {
-          if (!db.CommitTxn(txn.get()).ok()) failed = true;
+          if (!txn.Commit().ok()) failed = true;
           ++committed;
         } else {
-          if (!db.AbortTxn(txn.get()).ok()) failed = true;
+          if (!txn.Abort().ok()) failed = true;
           ++aborted;
         }
       }

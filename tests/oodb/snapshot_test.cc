@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "engine/session.h"
 #include "ocb/generator.h"
 #include "ocb/protocol.h"
 
@@ -124,14 +125,14 @@ TEST_F(SnapshotTest, SaveRefusesWhileTransactionsHoldLocks) {
   ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
   const Oid victim = db.object_store()->LiveOids().front();
 
-  auto txn = db.BeginTxn();
+  auto txn = db.OpenSession().Begin();
   auto obj = db.PeekObject(victim);
   ASSERT_TRUE(obj.ok());
-  ASSERT_TRUE(db.PutObject(txn.get(), obj.value()).ok());  // X lock held.
+  ASSERT_TRUE(txn.Put(obj.value()).ok());  // X lock held.
   EXPECT_TRUE(SaveSnapshot(&db, path_).IsInvalidArgument());
 
   // Quiesced (committed), the same save succeeds and loads back clean.
-  ASSERT_TRUE(db.CommitTxn(txn.get()).ok());
+  ASSERT_TRUE(txn.Commit().ok());
   ASSERT_TRUE(SaveSnapshot(&db, path_).ok());
   Database loaded(TestOptions());
   ASSERT_TRUE(LoadSnapshot(&loaded, path_).ok());
@@ -145,10 +146,10 @@ TEST_F(SnapshotTest, SaveRefusesWhileReaderTransactionHoldsSLocks) {
   ASSERT_TRUE(GenerateDatabase(SmallDb(), &db).ok());
   const Oid any = db.object_store()->LiveOids().front();
 
-  auto txn = db.BeginTxn();
-  ASSERT_TRUE(db.GetObject(txn.get(), any).ok());  // S lock held.
+  auto txn = db.OpenSession().Begin();
+  ASSERT_TRUE(txn.Get(any).ok());  // S lock held.
   EXPECT_TRUE(SaveSnapshot(&db, path_).IsInvalidArgument());
-  ASSERT_TRUE(db.AbortTxn(txn.get()).ok());
+  ASSERT_TRUE(txn.Abort().ok());
   EXPECT_TRUE(SaveSnapshot(&db, path_).ok());
 }
 

@@ -1,9 +1,9 @@
-// CrossShardCoordinator tests: the single-shard fast path takes no
-// coordinator 2PC state, cross-shard transactions commit atomically (an
-// abort injected between prepare and commit rolls every shard back), and
-// cross-shard MVCC snapshots are consistent — a reader never sees shard
-// A's half of a commit without shard B's, single-threaded and under a
-// multi-threaded writer/reader stress.
+// CrossShardCoordinator tests through the Session API: the single-shard
+// fast path takes no coordinator 2PC state, cross-shard transactions
+// commit atomically (an abort injected between prepare and commit rolls
+// every shard back), and cross-shard MVCC snapshots are consistent — a
+// reader never sees shard A's half of a commit without shard B's,
+// single-threaded and under a multi-threaded writer/reader stress.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/session.h"
 #include "sharding/sharded_database.h"
 
 namespace ocb {
@@ -62,6 +63,13 @@ class CrossShardTest : public ::testing::Test {
     EXPECT_EQ(db_.router().ShardOf(t2_), 1u);
   }
 
+  ShardedSessionTransaction Begin() { return db_.OpenSession().Begin(); }
+  ShardedSessionTransaction BeginReader() {
+    TxnOptions options;
+    options.read_only = true;
+    return db_.OpenSession().Begin(options);
+  }
+
   ShardedDatabase db_;
   Oid a_ = kInvalidOid;
   Oid b_ = kInvalidOid;
@@ -72,12 +80,12 @@ class CrossShardTest : public ::testing::Test {
 TEST_F(CrossShardTest, SingleShardFastPathSkips2pc) {
   const CrossShardStats before = db_.coordinator()->stats();
   // a_ → t1_ stays entirely on shard 0.
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(txn.get(), a_, 0, t1_).ok());
-  EXPECT_EQ(txn->shards_touched(), 1u);
-  EXPECT_FALSE(txn->cross_shard());
-  ASSERT_TRUE(db_.CommitTxn(txn.get()).ok());
-  EXPECT_EQ(txn->twopc_nanos(), 0u);
+  auto txn = Begin();
+  ASSERT_TRUE(txn.SetReference(a_, 0, t1_).ok());
+  EXPECT_EQ(txn.shards_touched(), 1u);
+  EXPECT_FALSE(txn.cross_shard());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.twopc_nanos(), 0u);
 
   const CrossShardStats after = db_.coordinator()->stats();
   EXPECT_EQ(after.fast_path_commits, before.fast_path_commits + 1);
@@ -88,10 +96,10 @@ TEST_F(CrossShardTest, SingleShardFastPathSkips2pc) {
 TEST_F(CrossShardTest, CrossShardCommitRunsTwoPhase) {
   const CrossShardStats before = db_.coordinator()->stats();
   // a_ (shard 0) → t2_ (shard 1): writes land on both shards.
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(txn.get(), a_, 0, t2_).ok());
-  EXPECT_TRUE(txn->cross_shard());
-  ASSERT_TRUE(db_.CommitTxn(txn.get()).ok());
+  auto txn = Begin();
+  ASSERT_TRUE(txn.SetReference(a_, 0, t2_).ok());
+  EXPECT_TRUE(txn.cross_shard());
+  ASSERT_TRUE(txn.Commit().ok());
 
   const CrossShardStats after = db_.coordinator()->stats();
   EXPECT_EQ(after.cross_shard_commits, before.cross_shard_commits + 1);
@@ -106,9 +114,9 @@ TEST_F(CrossShardTest, InjectedAbortBetweenPrepareAndCommitRollsBackBoth) {
   ASSERT_TRUE(db_.SetReference(a_, 0, t1_).ok());  // Baseline state.
 
   db_.coordinator()->SetCommitFailpoint([]() { return true; });
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(txn.get(), a_, 0, t2_).ok());
-  Status commit = db_.CommitTxn(txn.get());
+  auto txn = Begin();
+  ASSERT_TRUE(txn.SetReference(a_, 0, t2_).ok());
+  Status commit = txn.Commit();
   db_.coordinator()->SetCommitFailpoint(nullptr);
   EXPECT_TRUE(commit.IsAborted()) << commit.ToString();
   EXPECT_EQ(db_.coordinator()->stats().injected_aborts, 1u);
@@ -123,54 +131,55 @@ TEST_F(CrossShardTest, InjectedAbortBetweenPrepareAndCommitRollsBackBoth) {
   EXPECT_NE(std::find(kept.begin(), kept.end(), a_), kept.end());
 
   // The same commit succeeds once the failpoint is gone.
-  auto retry = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(retry.get(), a_, 0, t2_).ok());
-  ASSERT_TRUE(db_.CommitTxn(retry.get()).ok());
+  auto retry = Begin();
+  ASSERT_TRUE(retry.SetReference(a_, 0, t2_).ok());
+  ASSERT_TRUE(retry.Commit().ok());
   EXPECT_EQ(db_.PeekObject(a_)->orefs[0], t2_);
 }
 
 TEST_F(CrossShardTest, SnapshotNeverSeesHalfACrossShardCommit) {
   // Writer transactions keep the invariant a_.orefs[0] == b_.orefs[0]
   // (both halves set in one transaction, each half on its own shard).
-  auto setup = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(setup.get(), a_, 0, t1_).ok());
-  ASSERT_TRUE(db_.SetReference(setup.get(), b_, 0, t1_).ok());
-  ASSERT_TRUE(db_.CommitTxn(setup.get()).ok());
+  auto setup = Begin();
+  ASSERT_TRUE(setup.SetReference(a_, 0, t1_).ok());
+  ASSERT_TRUE(setup.SetReference(b_, 0, t1_).ok());
+  ASSERT_TRUE(setup.Commit().ok());
 
   // A reader pinned before the next commit must see the old pair on both
   // shards even while the writer is mid-flight.
-  auto reader = db_.BeginTxn(/*read_only=*/true);
+  auto reader = BeginReader();
 
-  auto writer = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(writer.get(), a_, 0, t2_).ok());
+  auto writer = Begin();
+  ASSERT_TRUE(writer.SetReference(a_, 0, t2_).ok());
   // Reader reads while the writer holds dirty state on both shards.
-  auto mid_a = db_.GetObject(reader.get(), a_);
+  auto mid_a = reader.Get(a_);
   ASSERT_TRUE(mid_a.ok());
   EXPECT_EQ(mid_a->orefs[0], t1_);
-  ASSERT_TRUE(db_.SetReference(writer.get(), b_, 0, t2_).ok());
-  ASSERT_TRUE(db_.CommitTxn(writer.get()).ok());
+  ASSERT_TRUE(writer.SetReference(b_, 0, t2_).ok());
+  ASSERT_TRUE(writer.Commit().ok());
 
-  // Still the old, consistent pair after the commit (repeatable read).
-  auto old_a = db_.GetObject(reader.get(), a_);
-  auto old_b = db_.GetObject(reader.get(), b_);
-  ASSERT_TRUE(old_a.ok() && old_b.ok());
-  EXPECT_EQ(old_a->orefs[0], t1_);
-  EXPECT_EQ(old_b->orefs[0], t1_);
-  ASSERT_TRUE(db_.CommitTxn(reader.get()).ok());
+  // Still the old, consistent pair after the commit (repeatable read) —
+  // read as one batched GetMany through the per-shard ReadViews.
+  auto old_pair = reader.GetMany(std::vector<Oid>{a_, b_});
+  ASSERT_TRUE(old_pair.ok());
+  ASSERT_EQ(old_pair->size(), 2u);
+  EXPECT_EQ((*old_pair)[0].orefs[0], t1_);
+  EXPECT_EQ((*old_pair)[1].orefs[0], t1_);
+  ASSERT_TRUE(reader.Commit().ok());
 
   // A fresh reader sees the new, consistent pair.
-  auto fresh = db_.BeginTxn(/*read_only=*/true);
-  EXPECT_EQ(db_.GetObject(fresh.get(), a_)->orefs[0], t2_);
-  EXPECT_EQ(db_.GetObject(fresh.get(), b_)->orefs[0], t2_);
-  ASSERT_TRUE(db_.CommitTxn(fresh.get()).ok());
+  auto fresh = BeginReader();
+  EXPECT_EQ(fresh.Get(a_)->orefs[0], t2_);
+  EXPECT_EQ(fresh.Get(b_)->orefs[0], t2_);
+  ASSERT_TRUE(fresh.Commit().ok());
 }
 
 TEST_F(CrossShardTest, SnapshotConsistencyUnderConcurrentWriters) {
   // Invariant per committed transaction: a_.orefs[0] == b_.orefs[0].
-  auto setup = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(setup.get(), a_, 0, t1_).ok());
-  ASSERT_TRUE(db_.SetReference(setup.get(), b_, 0, t1_).ok());
-  ASSERT_TRUE(db_.CommitTxn(setup.get()).ok());
+  auto setup = Begin();
+  ASSERT_TRUE(setup.SetReference(a_, 0, t1_).ok());
+  ASSERT_TRUE(setup.SetReference(b_, 0, t1_).ok());
+  ASSERT_TRUE(setup.Commit().ok());
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> torn_reads{0};
@@ -179,16 +188,17 @@ TEST_F(CrossShardTest, SnapshotConsistencyUnderConcurrentWriters) {
   // The writer churns until every reader finished its quota, so each of
   // the readers' snapshots races live cross-shard commits.
   std::thread writer([&]() {
+    auto session = db_.OpenSession();
     const Oid targets[2] = {t1_, t2_};
     for (uint64_t i = 0; !stop.load(); ++i) {
       const Oid target = targets[i % 2];
-      auto txn = db_.BeginTxn();
-      Status st = db_.SetReference(txn.get(), a_, 0, target);
-      if (st.ok()) st = db_.SetReference(txn.get(), b_, 0, target);
+      auto txn = session.Begin();
+      Status st = txn.SetReference(a_, 0, target);
+      if (st.ok()) st = txn.SetReference(b_, 0, target);
       if (st.ok()) {
-        db_.CommitTxn(txn.get());
+        txn.Commit();
       } else {
-        db_.AbortTxn(txn.get());
+        txn.Abort();
       }
     }
   });
@@ -196,17 +206,20 @@ TEST_F(CrossShardTest, SnapshotConsistencyUnderConcurrentWriters) {
   std::vector<std::thread> readers;
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&]() {
+      auto session = db_.OpenSession();
+      TxnOptions ro;
+      ro.read_only = true;
       for (int i = 0; i < 200; ++i) {
-        auto txn = db_.BeginTxn(/*read_only=*/true);
-        auto oa = db_.GetObject(txn.get(), a_);
-        auto ob = db_.GetObject(txn.get(), b_);
+        auto txn = session.Begin(ro);
+        auto oa = txn.Get(a_);
+        auto ob = txn.Get(b_);
         if (oa.ok() && ob.ok()) {
           if (oa->orefs[0] != ob->orefs[0]) {
             torn_reads.fetch_add(1);
           }
           reads_done.fetch_add(1);
         }
-        db_.CommitTxn(txn.get());
+        txn.Commit();
       }
     });
   }
@@ -232,25 +245,26 @@ TEST_F(CrossShardTest, FastPathSnapshotConsistencyUnderConcurrentWriters) {
   ASSERT_EQ(db_.router().ShardOf(e), 0u);
   ASSERT_EQ(db_.router().ShardOf(g), 0u);
 
-  auto setup = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(setup.get(), a_, 0, t1_).ok());
-  ASSERT_TRUE(db_.SetReference(setup.get(), e, 0, t1_).ok());
-  ASSERT_TRUE(db_.CommitTxn(setup.get()).ok());
+  auto setup = Begin();
+  ASSERT_TRUE(setup.SetReference(a_, 0, t1_).ok());
+  ASSERT_TRUE(setup.SetReference(e, 0, t1_).ok());
+  ASSERT_TRUE(setup.Commit().ok());
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> torn_reads{0};
 
   std::thread writer([&]() {
+    auto session = db_.OpenSession();
     const Oid targets[2] = {t1_, g};
     for (uint64_t i = 0; !stop.load(); ++i) {
       const Oid target = targets[i % 2];
-      auto txn = db_.BeginTxn();
-      Status st = db_.SetReference(txn.get(), a_, 0, target);
-      if (st.ok()) st = db_.SetReference(txn.get(), e, 0, target);
+      auto txn = session.Begin();
+      Status st = txn.SetReference(a_, 0, target);
+      if (st.ok()) st = txn.SetReference(e, 0, target);
       if (st.ok()) {
-        db_.CommitTxn(txn.get());
+        txn.Commit();
       } else {
-        db_.AbortTxn(txn.get());
+        txn.Abort();
       }
     }
   });
@@ -258,14 +272,17 @@ TEST_F(CrossShardTest, FastPathSnapshotConsistencyUnderConcurrentWriters) {
   std::vector<std::thread> readers;
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&]() {
+      auto session = db_.OpenSession();
+      TxnOptions ro;
+      ro.read_only = true;
       for (int i = 0; i < 200; ++i) {
-        auto txn = db_.BeginTxn(/*read_only=*/true);
-        auto oa = db_.GetObject(txn.get(), a_);
-        auto oe = db_.GetObject(txn.get(), e);
+        auto txn = session.Begin(ro);
+        auto oa = txn.Get(a_);
+        auto oe = txn.Get(e);
         if (oa.ok() && oe.ok() && oa->orefs[0] != oe->orefs[0]) {
           torn_reads.fetch_add(1);
         }
-        db_.CommitTxn(txn.get());
+        txn.Commit();
       }
     });
   }
@@ -284,22 +301,24 @@ TEST_F(CrossShardTest, PerShardQuiesceLeavesOtherShardsRunning) {
   // footprint avoids it proceeds. Under the old global big-latch this
   // commit would deadlock against the guard.
   Database::QuiesceGuard guard(db_.shard(0));
-  auto txn = db_.BeginTxn();
-  ASSERT_TRUE(db_.SetReference(txn.get(), b_, 0, t2_).ok());  // Shard 1.
-  ASSERT_TRUE(db_.CommitTxn(txn.get()).ok());
+  auto txn = Begin();
+  ASSERT_TRUE(txn.SetReference(b_, 0, t2_).ok());  // Shard 1.
+  ASSERT_TRUE(txn.Commit().ok());
   EXPECT_EQ(db_.shard(1)->PeekObject(b_)->orefs[0], t2_);
 }
 
 TEST_F(CrossShardTest, ReadOnlyTxnRefusesWritesAndFallsBackWithoutMvcc) {
-  auto reader = db_.BeginTxn(/*read_only=*/true);
-  EXPECT_TRUE(reader->read_only());
-  EXPECT_TRUE(db_.SetReference(reader.get(), a_, 0, t1_).IsInvalidArgument());
-  EXPECT_TRUE(db_.CommitTxn(reader.get()).ok());
+  auto reader = BeginReader();
+  EXPECT_TRUE(reader.read_only());
+  EXPECT_TRUE(reader.SetReference(a_, 0, t1_).IsInvalidArgument());
+  EXPECT_TRUE(reader.Commit().ok());
 
   db_.SetMvccEnabled(false);
-  auto locked = db_.BeginTxn(/*read_only=*/true);
-  EXPECT_FALSE(locked->read_only());  // Downgraded to a locking txn.
-  EXPECT_TRUE(db_.CommitTxn(locked.get()).ok());
+  TxnOptions ro;
+  ro.read_only = true;
+  auto locked = db_.OpenSession().Begin(ro);
+  EXPECT_FALSE(locked.read_only());  // Downgraded to a locking txn.
+  EXPECT_TRUE(locked.Commit().ok());
   db_.SetMvccEnabled(true);
 }
 
