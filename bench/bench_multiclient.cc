@@ -53,6 +53,8 @@
 
 #include "bench_util.h"
 #include "engine/session.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "ocb/client.h"
 #include "ocb/generator.h"
 #include "ocb/presets.h"
@@ -96,6 +98,13 @@ int main() {
   bench::PrintHeader("Ext-5",
                      "multi-client scaling (CLIENTN sweep, 2PL vs MVCC, "
                      "facade vs page latching, SHARDN sharding)");
+
+  // Machine-readable output: OCB_BENCH_JSON=path emits one object per
+  // sweep point (ci/check_bench_json.py validates the schema);
+  // OCB_TRACE=path records the run's txn/lock/latch/2PC spans and dumps
+  // a Chrome/Perfetto trace at exit.
+  obs::TraceRecorder::InitFromEnvironment();
+  bench::BenchJsonSink json("multiclient");
 
   // Every grid point runs over an identically generated database.
   // Generation is by far the most expensive step, so generate once and
@@ -176,12 +185,16 @@ int main() {
           // concurrency (see client.h), the device-level count does not.
           const uint64_t reads_before =
               db.disk()->counters(IoScope::kTransaction).reads;
+          const obs::MetricsSnapshot obs_before =
+              obs::MetricsRegistry::Global().Snapshot();
           auto report = RunMultiClient(&db, preset.workload);
           if (!report.ok()) {
             std::fprintf(stderr, "run failed: %s\n",
                          report.status().ToString().c_str());
             return 1;
           }
+          const obs::MetricsSnapshot obs_window =
+              obs::MetricsRegistry::Global().Snapshot().Diff(obs_before);
           const uint64_t reads =
               db.disk()->counters(IoScope::kTransaction).reads -
               reads_before;
@@ -199,6 +212,40 @@ int main() {
               RunPoint{report->throughput_tps(),
                        report->total_facade_wait_nanos(),
                        report->total_page_latch_wait_nanos()};
+          if (json.enabled()) {
+            json.BeginPoint();
+            obs::JsonWriter& w = json.writer();
+            w.Field("section", "latch")
+                .Field("clients", clients)
+                .Field("mode", mode_name)
+                .Field("latching", latch_name)
+                .Field("committed", txns)
+                .Field("aborts", report->total_aborts())
+                .Field("abort_rate", report->abort_rate())
+                .Field("throughput_tps", report->throughput_tps())
+                .Field("wall_micros", report->wall_micros)
+                .Field("lock_wait_nanos", report->total_lock_wait_nanos())
+                .Field("facade_wait_nanos",
+                       report->total_facade_wait_nanos())
+                .Field("page_latch_wait_nanos",
+                       report->total_page_latch_wait_nanos())
+                .Field("mean_ios_per_attempt",
+                       attempted == 0 ? 0.0
+                                      : static_cast<double>(reads) /
+                                            static_cast<double>(attempted))
+                .Field("buffer_hit_ratio",
+                       report->merged.warm.buffer_hit_ratio());
+            w.BeginObject("histograms");
+            bench::WriteHistogramJson(w, "lock_wait",
+                                      report->lock_wait_histogram());
+            bench::WriteHistogramJson(w, "commit_latency",
+                                      report->commit_latency_histogram());
+            bench::WriteHistogramJson(w, "twopc",
+                                      report->twopc_histogram());
+            w.EndObject();
+            w.Raw("registry", obs_window.ToJson());
+            json.EndPoint();
+          }
           table.AddRow(
               {Format("%u", clients), mode_name, latch_name,
                Format("%llu", (unsigned long long)txns),
@@ -287,6 +334,7 @@ int main() {
                       "Lock wait", "X-shard txns", "X-shard frac",
                       "2PC time", "Wall time", "Throughput (txn/s)"});
     std::vector<std::string> per_shard_lines;
+    std::vector<std::string> tail_lines;
     struct ShardPoint {
       uint64_t lock_wait = 0;
       double throughput = 0.0;
@@ -326,6 +374,8 @@ int main() {
           };
           std::vector<Rep> rep_results;
           const char* mode_name = mvcc ? "MVCC" : "2PL-only";
+          const obs::MetricsSnapshot obs_before =
+              obs::MetricsRegistry::Global().Snapshot();
           for (int rep = 0; rep < reps; ++rep) {
             ShardedDatabase db(storage, shards);
             if (!LoadShardedSnapshot(&db, shard_snapshot).ok()) {
@@ -379,10 +429,44 @@ int main() {
                       return a.report.total_lock_wait_nanos() <
                              b.report.total_lock_wait_nanos();
                     });
+          // Window over all reps (per-rep windows would interleave with
+          // nothing — each rep owns the process between the snapshots).
+          const obs::MetricsSnapshot obs_window =
+              obs::MetricsRegistry::Global().Snapshot().Diff(obs_before);
           const Rep& median = rep_results[rep_results.size() / 2];
           const MultiClientReport& report = median.report;
           const uint64_t txns = report.merged.cold.global.transactions +
                                 report.merged.warm.global.transactions;
+          if (json.enabled()) {
+            json.BeginPoint();
+            obs::JsonWriter& w = json.writer();
+            w.Field("section", "shard")
+                .Field("shards", shards)
+                .Field("clients", clients)
+                .Field("mode", mode_name)
+                .Field("reps", reps)
+                .Field("committed", txns)
+                .Field("aborts", report.total_aborts())
+                .Field("abort_rate", report.abort_rate())
+                .Field("throughput_tps", report.throughput_tps())
+                .Field("wall_micros", report.wall_micros)
+                .Field("lock_wait_nanos", report.total_lock_wait_nanos())
+                .Field("cross_shard_commits",
+                       report.total_cross_shard_commits())
+                .Field("cross_shard_fraction",
+                       report.cross_shard_fraction())
+                .Field("twopc_nanos", report.total_twopc_nanos());
+            w.BeginObject("histograms");
+            bench::WriteHistogramJson(w, "lock_wait",
+                                      report.lock_wait_histogram());
+            bench::WriteHistogramJson(w, "commit_latency",
+                                      report.commit_latency_histogram());
+            bench::WriteHistogramJson(w, "twopc",
+                                      report.twopc_histogram());
+            w.EndObject();
+            w.Raw("registry", obs_window.ToJson());
+            json.EndPoint();
+          }
           shard_points[{shards, clients, mode_name}] =
               ShardPoint{report.total_lock_wait_nanos(),
                          report.throughput_tps(), true};
@@ -399,6 +483,24 @@ int main() {
                Format("%.0f", report.throughput_tps())});
           for (const std::string& line : median.shard_lines) {
             per_shard_lines.push_back(line);
+          }
+          if (clients == 8) {
+            const Histogram lw = report.lock_wait_histogram();
+            const Histogram cl = report.commit_latency_histogram();
+            const Histogram tp = report.twopc_histogram();
+            tail_lines.push_back(Format(
+                "  SHARDN=%u %s: lock wait p50 %s p95 %s p99 %s; commit "
+                "latency p50 %s p95 %s p99 %s; 2pc p50 %s p95 %s p99 %s",
+                shards, mode_name,
+                HumanDuration(lw.Percentile(50)).c_str(),
+                HumanDuration(lw.Percentile(95)).c_str(),
+                HumanDuration(lw.Percentile(99)).c_str(),
+                HumanDuration(cl.Percentile(50)).c_str(),
+                HumanDuration(cl.Percentile(95)).c_str(),
+                HumanDuration(cl.Percentile(99)).c_str(),
+                HumanDuration(tp.Percentile(50)).c_str(),
+                HumanDuration(tp.Percentile(95)).c_str(),
+                HumanDuration(tp.Percentile(99)).c_str()));
           }
         }
       }
@@ -437,6 +539,12 @@ int main() {
     std::printf(
       "per-shard lock managers (CLIENTN=8 rows, median run):\n");
     for (const std::string& line : per_shard_lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    std::printf(
+        "per-transaction tails (CLIENTN=8 rows, median run — sums above "
+        "hide what victim policies and 2PC actually cost per txn):\n");
+    for (const std::string& line : tail_lines) {
       std::printf("%s\n", line.c_str());
     }
   }
@@ -502,7 +610,8 @@ int main() {
     };
     auto add_row = [&](const std::string& engine, uint32_t cap,
                        const GroupCommitStats& gc, uint64_t log_nanos,
-                       uint64_t wall_nanos) {
+                       uint64_t wall_nanos,
+                       const obs::MetricsSnapshot& obs_window) {
       gc_points[{engine, cap}] =
           GcPoint{gc.batch_nanos, gc.commits, log_nanos};
       const uint64_t per_commit =
@@ -516,6 +625,23 @@ int main() {
                      Format("%llu", (unsigned long long)per_commit),
                      HumanDuration(log_nanos),
                      HumanDuration(wall_nanos)});
+      if (json.enabled()) {
+        json.BeginPoint();
+        json.writer()
+            .Field("section", "groupcommit")
+            .Field("engine", engine)
+            .Field("batch_cap", cap)
+            .Field("commits", gc.commits)
+            .Field("batches", gc.batches)
+            .Field("mean_batch", gc.mean_batch())
+            .Field("max_batch", gc.max_batch_formed)
+            .Field("batch_nanos", gc.batch_nanos)
+            .Field("nanos_per_commit", per_commit)
+            .Field("log_force_nanos", log_nanos)
+            .Field("wall_nanos", wall_nanos)
+            .Raw("registry", obs_window.ToJson());
+        json.EndPoint();
+      }
     };
     auto now_nanos = []() {
       return static_cast<uint64_t>(
@@ -541,13 +667,16 @@ int main() {
         targets.push_back(live[kGcClients + c]);
       }
       const uint64_t sim_start = db.SimNowNanos();
+      const obs::MetricsSnapshot obs_before =
+          obs::MetricsRegistry::Global().Snapshot();
       const uint64_t start = now_nanos();
       run_storm(db, sources, targets);
       const uint64_t wall = now_nanos() - start;
       // The storm's footprint stays cached after round one, so the sim
       // delta is essentially the commit-record forces.
       add_row("single", cap, db.group_commit_stats(),
-              db.SimNowNanos() - sim_start, wall);
+              db.SimNowNanos() - sim_start, wall,
+              obs::MetricsRegistry::Global().Snapshot().Diff(obs_before));
     }
 
     for (uint32_t cap : std::vector<uint32_t>{1, 8, 32}) {
@@ -576,11 +705,14 @@ int main() {
                 : live[kGcClients + c]);
       }
       const uint64_t sim_start = db.SimNowNanos();
+      const obs::MetricsSnapshot obs_before =
+          obs::MetricsRegistry::Global().Snapshot();
       const uint64_t start = now_nanos();
       run_storm(db, sources, targets);
       const uint64_t wall = now_nanos() - start;
       add_row("SHARDN=2", cap, db.group_commit_stats(),
-              db.SimNowNanos() - sim_start, wall);
+              db.SimNowNanos() - sim_start, wall,
+              obs::MetricsRegistry::Global().Snapshot().Diff(obs_before));
     }
     bench::PrintTable(gtable);
 
@@ -637,5 +769,13 @@ int main() {
       "expect parity there and read the sharding win off the MVCC rows; "
       "multi-core hosts overlap the shards' lock holders and shrink "
       "both. See ARCHITECTURE.md.");
+
+  json.Write();
+  const std::string trace_path = obs::TraceRecorder::DumpToEnvPath();
+  if (!trace_path.empty()) {
+    std::printf("trace written: %s (open in ui.perfetto.dev or "
+                "chrome://tracing)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "util/format.h"
 
 namespace ocb {
@@ -24,7 +26,16 @@ uint64_t ElapsedNanos(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
-LockManager::LockManager(LockManagerOptions options) : options_(options) {}
+LockManager::LockManager(LockManagerOptions options) : options_(options) {
+#ifndef OCB_OBS_DISABLED
+  // Resolved here, where no lock is held. GetHistogram takes the registry
+  // mutex and the registry's gauge callbacks take mu_ (via stats()), so a
+  // lazy lookup from inside Acquire — which holds mu_ — would acquire the
+  // two mutexes in the opposite order and risk deadlock.
+  lock_wait_histo_ =
+      obs::MetricsRegistry::Global().GetHistogram("lock.wait");
+#endif
+}
 
 LockManager::~LockManager() = default;
 
@@ -266,6 +277,23 @@ Status LockManager::Acquire(TransactionContext* txn, Oid oid,
     const uint64_t waited = ElapsedNanos(wait_start);
     txn->lock_wait_nanos_ += waited;
     stats_.total_wait_nanos += waited;
+#ifndef OCB_OBS_DISABLED
+    // Second sink for the SAME measurement (registry histogram + trace
+    // span) — txn->lock_wait_nanos_ stays the source that feeds
+    // TransactionResult, so the two views cannot drift. The cv.wait
+    // released mu_ for the duration; recording here holds it again, but
+    // these are relaxed stores only.
+    {
+      lock_wait_histo_->Record(waited);
+      auto& rec = obs::TraceRecorder::Global();
+      if (rec.enabled()) {
+        const uint64_t end_ns = rec.NowNanos();
+        rec.RecordComplete("lock.wait",
+                           end_ns >= waited ? end_ns - waited : 0, waited,
+                           "txn", txn->id(), "oid", oid);
+      }
+    }
+#endif
     waiting_on_.erase(txn->id());
     // The wait ended (either way): its snapshot of edges is obsolete.
     if (registered) wait_graph_->Clear(txn->id());

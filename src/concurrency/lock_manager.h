@@ -58,6 +58,10 @@
 
 namespace ocb {
 
+namespace obs {
+class LatencyHistogram;
+}  // namespace obs
+
 /// Tunables of the lock manager.
 struct LockManagerOptions {
   /// Upper bound on one blocking Acquire; expiring returns Aborted. The
@@ -181,6 +185,10 @@ class LockManager {
 
   mutable std::mutex mu_;
   std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_;
+  /// "lock.wait" registry histogram, resolved in the constructor — never
+  /// under mu_: the registry's gauge callbacks take mu_ via stats(), so a
+  /// lazy lookup from Acquire would invert the two mutex orders.
+  obs::LatencyHistogram* lock_wait_histo_ = nullptr;
   std::unordered_map<TxnId, Oid> waiting_on_;  ///< Blocked txn → object.
   std::unordered_set<TxnId> wounded_;  ///< Wound-wait: die at next Acquire.
   LockManagerOptions options_;

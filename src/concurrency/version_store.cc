@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "concurrency/read_view.h"
+#include "obs/trace.h"
 
 namespace ocb {
 
@@ -198,6 +199,7 @@ uint64_t VersionStore::GarbageCollect(CommitTs oldest_snapshot) {
 
 uint64_t VersionStore::CollectLocked(CommitTs oldest_snapshot) {
   gc_passes_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceSpan gc_span("gc.pass", "oldest_snapshot", oldest_snapshot);
   uint64_t removed = 0;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -224,6 +226,7 @@ uint64_t VersionStore::CollectLocked(CommitTs oldest_snapshot) {
   }
   versions_gced_.fetch_add(removed, std::memory_order_relaxed);
   live_versions_.fetch_sub(removed, std::memory_order_relaxed);
+  gc_span.SetArg2("reclaimed", removed);
   return removed;
 }
 

@@ -48,8 +48,12 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "concurrency/txn_options.h"
 #include "engine/write_batch.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "oodb/database.h"
 #include "sharding/sharded_database.h"
 #include "util/format.h"
@@ -96,9 +100,12 @@ class TransactionT {
       : db_(other.db_),
         handle_(std::move(other.handle_)),
         legacy_(other.legacy_),
-        options_(other.options_) {
+        options_(other.options_),
+        begin_nanos_(other.begin_nanos_),
+        commit_nanos_(other.commit_nanos_) {
     other.db_ = nullptr;
     other.legacy_ = false;
+    other.begin_nanos_ = 0;
   }
 
   TransactionT& operator=(TransactionT&& other) noexcept {
@@ -108,8 +115,11 @@ class TransactionT {
       handle_ = std::move(other.handle_);
       legacy_ = other.legacy_;
       options_ = other.options_;
+      begin_nanos_ = other.begin_nanos_;
+      commit_nanos_ = other.commit_nanos_;
       other.db_ = nullptr;
       other.legacy_ = false;
+      other.begin_nanos_ = 0;
     }
     return *this;
   }
@@ -141,7 +151,25 @@ class TransactionT {
       db_ = nullptr;
       return Status::OK();
     }
-    return db_->CommitTxnGrouped(handle_.get());
+    // One commit-latency measurement, two sinks: commit_nanos() feeds
+    // TransactionResult/PhaseMetrics (OBS-independent), the registry
+    // histogram feeds Snapshot()-based reporting. Group-commit queue
+    // time is included — that is the latency a client observes.
+    const auto commit_start = std::chrono::steady_clock::now();
+    Status st = db_->CommitTxnGrouped(handle_.get());
+    commit_nanos_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - commit_start)
+            .count());
+#ifndef OCB_OBS_DISABLED
+    if (obs::Enabled() && !read_only()) {
+      static obs::LatencyHistogram* commit_histo =
+          obs::MetricsRegistry::Global().GetHistogram("txn.commit");
+      commit_histo->Record(commit_nanos_);
+    }
+#endif
+    EmitTxnSpan();
+    return st;
   }
 
   /// Aborts. Idempotent: aborting an already-aborted transaction is OK;
@@ -155,7 +183,9 @@ class TransactionT {
       db_ = nullptr;
       return Status::OK();
     }
-    return db_->AbortTxn(handle_.get());
+    Status st = db_->AbortTxn(handle_.get());
+    EmitTxnSpan();
+    return st;
   }
 
   // --- Object operations ------------------------------------------------
@@ -308,6 +338,11 @@ class TransactionT {
     return handle_ == nullptr ? 0 : handle_->snapshot_reads();
   }
 
+  /// Wall time the last Commit() call took (0 before commit / for
+  /// legacy brackets). Includes group-commit queue time — the latency
+  /// the client actually observed.
+  uint64_t commit_nanos() const { return commit_nanos_; }
+
   /// Sharded-execution attribution; single-store engines report the
   /// trivial values (1 shard, not cross-shard, no 2PC time).
   uint32_t shards_touched() const {
@@ -340,7 +375,17 @@ class TransactionT {
       : db_(db),
         handle_(std::move(handle)),
         legacy_(legacy),
-        options_(options) {}
+        options_(options) {
+#ifndef OCB_OBS_DISABLED
+    // Stamp the lifetime-span start only when tracing is live (no clock
+    // read otherwise). 0 means "no span pending".
+    if (!legacy_ && handle_ != nullptr &&
+        obs::TraceRecorder::Global().enabled()) {
+      begin_nanos_ = obs::TraceRecorder::Global().NowNanos();
+      if (begin_nanos_ == 0) begin_nanos_ = 1;
+    }
+#endif
+  }
 
   /// The raw engine handle (nullptr selects the engine's legacy path).
   Handle* raw() const { return legacy_ ? nullptr : handle_.get(); }
@@ -353,8 +398,27 @@ class TransactionT {
     } else if (handle_ != nullptr &&
                (handle_->active() || handle_->prepared())) {
       db_->AbortTxn(handle_.get());
+      EmitTxnSpan();
     }
     db_ = nullptr;
+  }
+
+  /// Records the "txn" lifetime span (begin → finish) once; subsequent
+  /// calls are no-ops. The span nests every lock.wait / io.miss /
+  /// commit.stamp span this transaction's thread produced.
+  void EmitTxnSpan() {
+#ifndef OCB_OBS_DISABLED
+    if (begin_nanos_ == 0) return;
+    auto& rec = obs::TraceRecorder::Global();
+    if (rec.enabled() && handle_ != nullptr) {
+      const uint64_t end = rec.NowNanos();
+      rec.RecordComplete(
+          "txn", begin_nanos_,
+          end >= begin_nanos_ ? end - begin_nanos_ : 0, "txn",
+          handle_->id(), "ro", read_only() ? 1 : 0);
+    }
+    begin_nanos_ = 0;
+#endif
   }
 
   Status CheckUsable(const char* op) const {
@@ -515,6 +579,11 @@ class TransactionT {
   std::unique_ptr<Handle> handle_;
   bool legacy_ = false;
   TxnOptions options_;
+  /// Trace-epoch stamp of Begin when the recorder was live (0 = no
+  /// pending lifetime span).
+  uint64_t begin_nanos_ = 0;
+  /// Wall nanos of the last Commit() (accessor commit_nanos()).
+  uint64_t commit_nanos_ = 0;
 };
 
 /// \brief A client's connection to an engine: a factory of RAII

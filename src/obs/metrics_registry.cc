@@ -1,0 +1,249 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/json_writer.h"
+
+namespace ocb {
+namespace obs {
+
+namespace {
+
+bool EnvDisabled() {
+  const char* v = std::getenv("OCB_OBS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{!EnvDisabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+// --- LatencyHistogram -----------------------------------------------------
+
+int LatencyHistogram::BucketFor(uint64_t value) {
+  // Values < kSubBuckets land in octave 0's linear range directly.
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  int octave = msb - kSubBucketBits + 1;
+  if (octave >= kOctaves) {  // Clamp overflow into the top bucket.
+    return kNumBuckets - 1;
+  }
+  const int sub =
+      static_cast<int>((value >> (octave - 1)) & (kSubBuckets - 1));
+  return octave * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int b) {
+  const int octave = b / kSubBuckets;
+  const int sub = b % kSubBuckets;
+  if (octave == 0) return static_cast<uint64_t>(sub);
+  const uint64_t base = static_cast<uint64_t>(kSubBuckets)
+                        << (octave - 1);  // First value in this octave.
+  const uint64_t width = uint64_t{1} << (octave - 1);
+  return base + static_cast<uint64_t>(sub + 1) * width - 1;
+}
+
+std::array<uint64_t, LatencyHistogram::kNumBuckets>
+LatencyHistogram::SnapshotBuckets() const {
+  std::array<uint64_t, kNumBuckets> out{};
+  for (const auto& stripe : stripes_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      out[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+HistogramStats LatencyHistogram::StatsFromBuckets(
+    const std::array<uint64_t, kNumBuckets>& buckets) {
+  HistogramStats s;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    s.count += buckets[i];
+    s.sum_approx += buckets[i] * BucketUpperBound(i);
+    s.max = BucketUpperBound(i);
+  }
+  if (s.count == 0) return s;
+  auto percentile = [&](double p) -> uint64_t {
+    const uint64_t rank = static_cast<uint64_t>(
+        p / 100.0 * static_cast<double>(s.count) + 0.5);
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank && buckets[i] > 0) return BucketUpperBound(i);
+      if (seen >= s.count) break;
+    }
+    return s.max;
+  };
+  s.p50 = percentile(50.0);
+  s.p95 = percentile(95.0);
+  s.p99 = percentile(99.0);
+  return s;
+}
+
+// --- MetricsSnapshot ------------------------------------------------------
+
+uint64_t MetricsSnapshot::Value(std::string_view name) const {
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool MetricsSnapshot::Has(std::string_view name) const {
+  return counters_.count(std::string(name)) > 0 ||
+         histograms_.count(std::string(name)) > 0;
+}
+
+HistogramStats MetricsSnapshot::Histo(std::string_view name) const {
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) return HistogramStats{};
+  return LatencyHistogram::StatsFromBuckets(it->second);
+}
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& since) const {
+  MetricsSnapshot out;
+  out.is_gauge_ = is_gauge_;
+  for (const auto& [name, value] : counters_) {
+    auto g = is_gauge_.find(name);
+    if (g != is_gauge_.end() && g->second) {
+      out.counters_[name] = value;  // Gauges are levels: newer value wins.
+      continue;
+    }
+    auto it = since.counters_.find(name);
+    const uint64_t base = it == since.counters_.end() ? 0 : it->second;
+    out.counters_[name] = value >= base ? value - base : 0;
+  }
+  for (const auto& [name, buckets] : histograms_) {
+    Buckets diff = buckets;
+    auto it = since.histograms_.find(name);
+    if (it != since.histograms_.end()) {
+      for (size_t i = 0; i < diff.size(); ++i) {
+        diff[i] = diff[i] >= it->second[i] ? diff[i] - it->second[i] : 0;
+      }
+    }
+    out.histograms_[name] = diff;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginObject("counters");
+  for (const auto& [name, value] : counters_) w.Field(name, value);
+  w.EndObject();
+  w.BeginObject("histograms");
+  for (const auto& [name, buckets] : histograms_) {
+    const HistogramStats s = LatencyHistogram::StatsFromBuckets(buckets);
+    w.BeginObject(name)
+        .Field("count", s.count)
+        .Field("mean", s.mean())
+        .Field("p50", s.p50)
+        .Field("p95", s.p95)
+        .Field("p99", s.p99)
+        .Field("max", s.max)
+        .EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    if (value == 0) continue;  // Keep the human dump readable.
+    os << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, buckets] : histograms_) {
+    const HistogramStats s = LatencyHistogram::StatsFromBuckets(buckets);
+    if (s.count == 0) continue;
+    os << "  " << name << " n=" << s.count << " p50=" << s.p50
+       << " p95=" << s.p95 << " p99=" << s.p99 << " max=" << s.max << "\n";
+  }
+  return os.str();
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instruments must outlive static-destruction-order
+  // hazards (engine objects may unregister callbacks in their dtors).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::RegisterCallback(std::string_view name,
+                                           std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_callback_id_++;
+  callbacks_.push_back(CallbackEntry{id, std::string(name), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::UnregisterCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [id](const CallbackEntry& e) { return e.id == id; }),
+      callbacks_.end());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters_[name] += counter->Value();
+  }
+  for (const auto& entry : callbacks_) {
+    snap.counters_[entry.name] += entry.fn();
+    snap.is_gauge_[entry.name] = true;
+  }
+  for (const auto& [name, histo] : histograms_) {
+    snap.histograms_[name] = histo->SnapshotBuckets();
+  }
+  return snap;
+}
+
+void MetricsRegistry::ClearCallbacksForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.clear();
+}
+
+}  // namespace obs
+}  // namespace ocb

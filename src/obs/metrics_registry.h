@@ -1,0 +1,282 @@
+/// \file metrics_registry.h
+/// \brief Process-global metrics registry: named counters, callback gauges,
+///        and log-scale latency histograms with per-thread sharding.
+///
+/// Design contract (see ARCHITECTURE.md "Observability"):
+///
+///   * **Hot path = one relaxed atomic add.** Counter::Add and
+///     LatencyHistogram::Record hash the calling thread onto one of
+///     kStripes cache-line-padded slots and do a single
+///     fetch_add(memory_order_relaxed). No locks, no timer syscalls, no
+///     allocation. Histogram count/sum/max are *derived from the buckets
+///     at snapshot time*, not maintained on the record path.
+///
+///   * **Names are the identity.** Call sites fetch instruments once
+///     (function-local static pointer) via
+///     MetricsRegistry::Global().GetCounter("lock.wait.count") etc.;
+///     instruments live forever once created (arena of stable pointers),
+///     so cached pointers never dangle.
+///
+///   * **Gauges are callbacks.** Engine components own their atomic stats
+///     structs (BufferPoolStats, LockManagerStats, ...) as the single
+///     source of truth; they *register* a callback that reads those
+///     atomics. Multiple registrations under one name sum — a sharded
+///     database registers one callback per shard and the registry
+///     aggregates for free. Callbacks run under the registry mutex, so
+///     ScopedCallbacks::Clear() synchronizes with any in-flight snapshot
+///     and it is safe to destroy the captured object afterwards.
+///
+///   * **Windows via Snapshot/Diff.** Instruments are cumulative;
+///     per-phase numbers come from snapshotting before/after and
+///     subtracting (histograms subtract bucket-wise).
+///
+///   * **Two off switches.** Runtime: Enabled() is one relaxed load,
+///     initialized from env OCB_OBS (0/off/false disables); when false,
+///     Add/Record return immediately. Compile time: building with
+///     -DOCB_OBS=OFF defines OCB_OBS_DISABLED and the hot-path bodies
+///     compile to nothing while the API surface stays intact, so no call
+///     site needs an #ifdef.
+
+#ifndef OCB_OBS_METRICS_REGISTRY_H_
+#define OCB_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocb {
+namespace obs {
+
+/// Runtime master switch. Initialized once from env OCB_OBS ("0", "off",
+/// "false" → disabled; anything else, including unset, → enabled). One
+/// relaxed load on every Record/Add.
+bool Enabled();
+
+/// Overrides the runtime switch (tests; bench overhead runs).
+void SetEnabled(bool on);
+
+namespace internal {
+
+inline constexpr int kStripes = 8;
+
+/// Small per-thread stripe index; cheap, stable for the thread's lifetime.
+inline int StripeIndex() {
+  thread_local const int idx = [] {
+    static std::atomic<uint32_t> next{0};
+    return static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                            kStripes);
+  }();
+  return idx;
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+/// \brief Monotonic counter, striped across threads.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#ifndef OCB_OBS_DISABLED
+    if (!Enabled()) return;
+    stripes_[internal::StripeIndex()].v.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  /// Sum across stripes (snapshot path; not linearizable, like any
+  /// sharded counter — fine for metrics).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<internal::PaddedU64, internal::kStripes> stripes_;
+};
+
+/// Immutable percentile view of a histogram's buckets.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum_approx = 0;  ///< Bucket-midpoint approximation of the sum.
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;  ///< Upper bound of the highest non-empty bucket.
+
+  double mean() const {
+    return count ? static_cast<double>(sum_approx) / static_cast<double>(count)
+                 : 0.0;
+  }
+};
+
+/// \brief Log-scale latency histogram (HDR-style: power-of-two octaves with
+///        16 linear sub-buckets each, ~4% relative error), striped per
+///        thread. Record() is exactly one relaxed fetch_add on a bucket.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 48;  // covers > 3 days in nanoseconds
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  void Record(uint64_t value) {
+#ifndef OCB_OBS_DISABLED
+    if (!Enabled()) return;
+    stripes_[internal::StripeIndex()]
+        .buckets[BucketFor(value)]
+        .fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  /// Merged bucket array across stripes.
+  std::array<uint64_t, kNumBuckets> SnapshotBuckets() const;
+
+  /// Percentiles etc. derived from a bucket array (shared with Diff'd
+  /// snapshots, hence static).
+  static HistogramStats StatsFromBuckets(
+      const std::array<uint64_t, kNumBuckets>& buckets);
+
+  static int BucketFor(uint64_t value);
+  /// Inclusive upper bound of bucket \p b (the value reported for
+  /// percentiles falling in it).
+  static uint64_t BucketUpperBound(int b);
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+  };
+  std::array<Stripe, internal::kStripes> stripes_;
+};
+
+/// \brief Point-in-time view of every instrument in the registry.
+///
+/// Counters and gauges flatten into one name → value map (names are
+/// unique across kinds by convention); histograms keep their buckets so
+/// Diff can subtract before computing percentiles.
+class MetricsSnapshot {
+ public:
+  using Buckets = std::array<uint64_t, LatencyHistogram::kNumBuckets>;
+
+  /// Counter/gauge value, 0 when absent.
+  uint64_t Value(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  /// Percentile stats for histogram \p name (zeros when absent).
+  HistogramStats Histo(std::string_view name) const;
+
+  /// this − since, element-wise (counters saturate at 0, histograms
+  /// subtract bucket-wise). Gauges are *not* differenced: a gauge is a
+  /// level, not a flow, so the newer value wins.
+  MetricsSnapshot Diff(const MetricsSnapshot& since) const;
+
+  /// Serializes as a JSON object: {"counters":{...},"histograms":{name:
+  /// {"count":..,"p50":..,"p95":..,"p99":..,"max":..,"mean":..}}}.
+  std::string ToJson() const;
+
+  /// Multi-line human-readable dump (example programs).
+  std::string ToString() const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Buckets>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, uint64_t> counters_;  // counters + gauges
+  std::map<std::string, bool> is_gauge_;      // names that came from callbacks
+  std::map<std::string, Buckets> histograms_;
+};
+
+/// \brief The process-global instrument directory.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under \p name, creating it on
+  /// first use. Pointers are stable for the process lifetime.
+  Counter* GetCounter(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Registers a gauge callback under \p name; multiple registrations
+  /// under the same name sum at snapshot time. Returns an id for
+  /// Unregister. Callbacks are invoked under the registry mutex —
+  /// after Unregister returns, the callback will never run again.
+  uint64_t RegisterCallback(std::string_view name,
+                            std::function<uint64_t()> fn);
+  void UnregisterCallback(uint64_t id);
+
+  /// Snapshot of every counter, gauge callback, and histogram.
+  MetricsSnapshot Snapshot() const;
+
+  /// Testing hook: drops all callbacks (instruments persist — they are
+  /// cumulative by design; tests window with Snapshot/Diff instead).
+  void ClearCallbacksForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // node-based maps → stable element addresses for cached pointers.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+  struct CallbackEntry {
+    uint64_t id;
+    std::string name;
+    std::function<uint64_t()> fn;
+  };
+  std::vector<CallbackEntry> callbacks_;
+  uint64_t next_callback_id_ = 1;
+};
+
+/// \brief RAII bundle of gauge registrations; an engine component
+///        registers its stat callbacks through one of these and clears it
+///        at the top of its destructor, before the captured members die.
+class ScopedCallbacks {
+ public:
+  ScopedCallbacks() = default;
+  ~ScopedCallbacks() { Clear(); }
+  ScopedCallbacks(const ScopedCallbacks&) = delete;
+  ScopedCallbacks& operator=(const ScopedCallbacks&) = delete;
+
+  void Register(std::string_view name, std::function<uint64_t()> fn) {
+#ifndef OCB_OBS_DISABLED
+    ids_.push_back(
+        MetricsRegistry::Global().RegisterCallback(name, std::move(fn)));
+#else
+    (void)name;
+    (void)fn;
+#endif
+  }
+
+  /// Unregisters everything; safe to call repeatedly. After return no
+  /// callback in this bundle can be running or run again.
+  void Clear() {
+    for (uint64_t id : ids_) MetricsRegistry::Global().UnregisterCallback(id);
+    ids_.clear();
+  }
+
+ private:
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace obs
+}  // namespace ocb
+
+#endif  // OCB_OBS_METRICS_REGISTRY_H_

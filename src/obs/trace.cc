@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace ocb {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // Leaked: see
+  return *recorder;  // MetricsRegistry::Global for rationale.
+}
+
+uint32_t TraceTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceRecorder::Enable() {
+  {
+    std::lock_guard<std::mutex> lock(init_mu_);
+    if (!ring_ready_.load(std::memory_order_acquire)) {
+      ring_ = std::make_unique<TraceEvent[]>(kRingSize);
+      epoch_ = std::chrono::steady_clock::now();
+      ring_ready_.store(true, std::memory_order_release);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::RecordComplete(const char* name, uint64_t ts_nanos,
+                                   uint64_t dur_nanos, const char* arg1_name,
+                                   uint64_t arg1, const char* arg2_name,
+                                   uint64_t arg2) {
+  if (!enabled() || !ring_ready_.load(std::memory_order_acquire)) return;
+  const uint64_t slot_seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TraceEvent& e = ring_[(slot_seq - 1) & (kRingSize - 1)];
+  // Mark in-progress (odd), fill, then publish (even). A dumper sampling
+  // an odd or changed seq skips the slot; a lapping writer simply wins —
+  // all fields are relaxed atomics so the race is data-race-free.
+  e.seq.store(slot_seq * 2 - 1, std::memory_order_relaxed);
+  e.name.store(name, std::memory_order_relaxed);
+  e.phase.store('X', std::memory_order_relaxed);
+  e.ts_nanos.store(ts_nanos, std::memory_order_relaxed);
+  e.dur_nanos.store(dur_nanos, std::memory_order_relaxed);
+  e.tid.store(TraceTid(), std::memory_order_relaxed);
+  e.arg1_name.store(arg1_name, std::memory_order_relaxed);
+  e.arg1.store(arg1, std::memory_order_relaxed);
+  e.arg2_name.store(arg2_name, std::memory_order_relaxed);
+  e.arg2.store(arg2, std::memory_order_relaxed);
+  e.seq.store(slot_seq * 2, std::memory_order_release);
+}
+
+void TraceRecorder::RecordInstant(const char* name, const char* arg1_name,
+                                  uint64_t arg1) {
+  if (!enabled() || !ring_ready_.load(std::memory_order_acquire)) return;
+  const uint64_t now = NowNanos();
+  const uint64_t slot_seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TraceEvent& e = ring_[(slot_seq - 1) & (kRingSize - 1)];
+  e.seq.store(slot_seq * 2 - 1, std::memory_order_relaxed);
+  e.name.store(name, std::memory_order_relaxed);
+  e.phase.store('i', std::memory_order_relaxed);
+  e.ts_nanos.store(now, std::memory_order_relaxed);
+  e.dur_nanos.store(0, std::memory_order_relaxed);
+  e.tid.store(TraceTid(), std::memory_order_relaxed);
+  e.arg1_name.store(arg1_name, std::memory_order_relaxed);
+  e.arg1.store(arg1, std::memory_order_relaxed);
+  e.arg2_name.store(nullptr, std::memory_order_relaxed);
+  e.arg2.store(0, std::memory_order_relaxed);
+  e.seq.store(slot_seq * 2, std::memory_order_release);
+}
+
+std::string TraceRecorder::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("traceEvents");
+  if (ring_ready_.load(std::memory_order_acquire)) {
+    for (size_t i = 0; i < kRingSize; ++i) {
+      const TraceEvent& e = ring_[i];
+      const uint64_t seq_before = e.seq.load(std::memory_order_acquire);
+      if (seq_before == 0 || seq_before % 2 == 1) continue;  // Empty/torn.
+      const char* name = e.name.load(std::memory_order_relaxed);
+      const char phase = e.phase.load(std::memory_order_relaxed);
+      const uint64_t ts = e.ts_nanos.load(std::memory_order_relaxed);
+      const uint64_t dur = e.dur_nanos.load(std::memory_order_relaxed);
+      const uint32_t tid = e.tid.load(std::memory_order_relaxed);
+      const char* a1n = e.arg1_name.load(std::memory_order_relaxed);
+      const uint64_t a1 = e.arg1.load(std::memory_order_relaxed);
+      const char* a2n = e.arg2_name.load(std::memory_order_relaxed);
+      const uint64_t a2 = e.arg2.load(std::memory_order_relaxed);
+      if (e.seq.load(std::memory_order_acquire) != seq_before) continue;
+      if (name == nullptr) continue;
+      w.BeginObject();
+      w.Field("name", name);
+      w.Field("ph", phase == 'i' ? "i" : "X");
+      w.Field("cat", "ocb");
+      // Trace-event ts/dur are microseconds (doubles keep sub-us detail).
+      w.Field("ts", static_cast<double>(ts) / 1000.0);
+      if (phase != 'i') w.Field("dur", static_cast<double>(dur) / 1000.0);
+      if (phase == 'i') w.Field("s", "t");  // Thread-scoped instant.
+      w.Field("pid", 1);
+      w.Field("tid", static_cast<uint64_t>(tid));
+      if (a1n != nullptr || a2n != nullptr) {
+        w.BeginObject("args");
+        if (a1n != nullptr) w.Field(a1n, a1);
+        if (a2n != nullptr) w.Field(a2n, a2);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ns");
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceRecorder::Dump(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+bool TraceRecorder::InitFromEnvironment() {
+#ifndef OCB_OBS_DISABLED
+  const char* path = std::getenv("OCB_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  Global().Enable();
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string TraceRecorder::DumpToEnvPath() {
+#ifndef OCB_OBS_DISABLED
+  const char* path = std::getenv("OCB_TRACE");
+  if (path == nullptr || path[0] == '\0') return "";
+  auto& rec = Global();
+  if (rec.recorded() == 0) return "";
+  if (!rec.Dump(path)) return "";
+  return path;
+#else
+  return "";
+#endif
+}
+
+}  // namespace obs
+}  // namespace ocb

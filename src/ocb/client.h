@@ -95,6 +95,27 @@ struct MultiClientReport {
   uint64_t total_twopc_nanos() const {
     return merged.cold.twopc_nanos + merged.warm.twopc_nanos;
   }
+
+  /// Tail distributions merged over both phases and every client —
+  /// p50/p95/p99 of per-transaction lock wait, commit latency, and 2PC
+  /// section time. Sums (above) hide the tail that deadlock-victim
+  /// policies and group-commit windows actually change; these are what
+  /// the benches and BENCH_*.json report.
+  Histogram lock_wait_histogram() const {
+    Histogram h = merged.cold.lock_wait_histogram;
+    h.Merge(merged.warm.lock_wait_histogram);
+    return h;
+  }
+  Histogram commit_latency_histogram() const {
+    Histogram h = merged.cold.commit_latency_histogram;
+    h.Merge(merged.warm.commit_latency_histogram);
+    return h;
+  }
+  Histogram twopc_histogram() const {
+    Histogram h = merged.cold.twopc_histogram;
+    h.Merge(merged.warm.twopc_histogram);
+    return h;
+  }
   /// Committed transactions whose footprint crossed shards / all
   /// committed transactions (0 on a single Database).
   double cross_shard_fraction() const {

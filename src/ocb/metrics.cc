@@ -23,6 +23,9 @@ void PhaseMetrics::Merge(const PhaseMetrics& other) {
   snapshot_reads += other.snapshot_reads;
   cross_shard_commits += other.cross_shard_commits;
   twopc_nanos += other.twopc_nanos;
+  lock_wait_histogram.Merge(other.lock_wait_histogram);
+  commit_latency_histogram.Merge(other.commit_latency_histogram);
+  twopc_histogram.Merge(other.twopc_histogram);
 }
 
 std::string PhaseMetrics::ToTableString(const std::string& title) const {
@@ -53,6 +56,28 @@ std::string PhaseMetrics::ToTableString(const std::string& title) const {
     footer += Format("concurrency: %llu aborts (rate %.3f), lock wait %s\n",
                      (unsigned long long)aborts, abort_rate(),
                      HumanDuration(lock_wait_nanos).c_str());
+  }
+  if (lock_wait_histogram.count() > 0) {
+    footer += Format("lock wait/txn: p50 %s, p95 %s, p99 %s, max %s\n",
+                     HumanDuration(lock_wait_histogram.Percentile(50)).c_str(),
+                     HumanDuration(lock_wait_histogram.Percentile(95)).c_str(),
+                     HumanDuration(lock_wait_histogram.Percentile(99)).c_str(),
+                     HumanDuration(lock_wait_histogram.max()).c_str());
+  }
+  if (commit_latency_histogram.count() > 0) {
+    footer += Format(
+        "commit latency: p50 %s, p95 %s, p99 %s, max %s\n",
+        HumanDuration(commit_latency_histogram.Percentile(50)).c_str(),
+        HumanDuration(commit_latency_histogram.Percentile(95)).c_str(),
+        HumanDuration(commit_latency_histogram.Percentile(99)).c_str(),
+        HumanDuration(commit_latency_histogram.max()).c_str());
+  }
+  if (twopc_histogram.count() > 0) {
+    footer += Format("2pc section/txn: p50 %s, p95 %s, p99 %s, max %s\n",
+                     HumanDuration(twopc_histogram.Percentile(50)).c_str(),
+                     HumanDuration(twopc_histogram.Percentile(95)).c_str(),
+                     HumanDuration(twopc_histogram.Percentile(99)).c_str(),
+                     HumanDuration(twopc_histogram.max()).c_str());
   }
   if (facade_wait_nanos > 0 || page_latch_wait_nanos > 0) {
     footer += Format("latching: facade wait %s, page-latch wait %s\n",

@@ -84,6 +84,23 @@ struct PhaseMetrics {
   uint64_t cross_shard_commits = 0;
   uint64_t twopc_nanos = 0;
 
+  /// Tail distributions of the per-transaction wall-time components
+  /// (nanoseconds; util/stats.h log-bucket histograms, so they exist in
+  /// every build — independent of the obs layer / OCB_OBS). Sums hide
+  /// the tail that deadlock-victim policies actually change; p50/p95/p99
+  /// of these are what bench_multiclient and BENCH_*.json report.
+  ///
+  ///   * lock_wait_histogram — one sample per transaction with nonzero
+  ///     lock wait (committed and aborted alike).
+  ///   * commit_latency_histogram — one sample per committed
+  ///     transactional commit (the Commit() call, incl. group-commit
+  ///     queue time).
+  ///   * twopc_histogram — one sample per transaction that paid a 2PC
+  ///     section (cross-shard writers).
+  Histogram lock_wait_histogram;
+  Histogram commit_latency_histogram;
+  Histogram twopc_histogram;
+
   void Merge(const PhaseMetrics& other);
 
   double mean_ios_per_transaction() const {

@@ -160,12 +160,23 @@ Status ProtocolRunnerT<DB>::RunPhase(uint64_t count, PhaseMetrics* out) {
     out->page_latch_wait_nanos += result->page_latch_wait_nanos;
     out->snapshot_reads += result->snapshot_reads;
     out->twopc_nanos += result->twopc_nanos;
+    // Tail distributions (sums above hide what victim policies change):
+    // lock wait over committed AND aborted txns, like the sum.
+    if (result->lock_wait_nanos > 0) {
+      out->lock_wait_histogram.Record(result->lock_wait_nanos);
+    }
     if (result->read_only && !result->aborted) ++out->read_only_commits;
     if (result->aborted) {
       // Deadlock victim (or lock timeout): the txn rolled back — its root
       // is still live and nothing it did counts toward the aggregates.
       ++out->aborts;
       continue;
+    }
+    if (result->commit_nanos > 0) {
+      out->commit_latency_histogram.Record(result->commit_nanos);
+    }
+    if (result->twopc_nanos > 0) {
+      out->twopc_histogram.Record(result->twopc_nanos);
     }
     if (result->cross_shard) ++out->cross_shard_commits;
     if (type == TransactionType::kDelete) {

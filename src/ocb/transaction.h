@@ -57,6 +57,9 @@ struct TransactionResult {
   uint64_t io_reads = 0;    ///< Transaction-scope page reads incurred.
   uint64_t lock_wait_nanos = 0;  ///< Wall time blocked on object locks.
   uint64_t snapshot_reads = 0;   ///< Reads served through the ReadView.
+  uint64_t commit_nanos = 0;     ///< Wall time of the Commit() call
+                                 ///< (incl. group-commit queue time); 0
+                                 ///< for rolled-back / legacy brackets.
 
   /// Wall time this transaction's thread spent blocked on *latches*
   /// (physical, operation-lifetime — distinct from lock_wait_nanos above):
@@ -204,6 +207,7 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
       result.shards_touched = txn.shards_touched();
       result.cross_shard = txn.cross_shard();
       result.twopc_nanos = txn.twopc_nanos();
+      result.commit_nanos = txn.commit_nanos();
     } else {
       txn.Commit();
     }

@@ -16,15 +16,85 @@ Database::Database(const StorageOptions& options)
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_);
   store_ = std::make_unique<ObjectStore>(pool_.get(), options_.first_oid,
                                          options_.oid_stride);
+  RegisterObsCallbacks();
 }
 
 Database::~Database() {
+  // First: stop exporting gauges that read members about to be torn down.
+  // Clear() synchronizes with any in-flight registry Snapshot().
+  obs_callbacks_.Clear();
   {
     std::lock_guard<std::mutex> lock(gc_mu_);
     gc_stop_ = true;
   }
   gc_cv_.notify_all();
   if (gc_thread_.joinable()) gc_thread_.join();
+}
+
+void Database::RegisterObsCallbacks() {
+#ifndef OCB_OBS_DISABLED
+  // Gauge callbacks read the engine's own atomic stats — the single
+  // increment sites stay where they are (ISSUE 6, dedupe satellite); the
+  // registry only *reads* them at snapshot time. Multiple Databases
+  // (shards) registering the same names sum in the snapshot, which is
+  // exactly the deployment-wide aggregate the benches want.
+  auto& reg = obs_callbacks_;
+  reg.Register("db.pool.hits", [this] {
+    return pool_->stats().hits.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.pool.misses", [this] {
+    return pool_->stats().misses.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.pool.evictions", [this] {
+    return pool_->stats().evictions.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.pool.dirty_writebacks", [this] {
+    return pool_->stats().dirty_writebacks.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.disk.reads", [this] {
+    return disk_->TotalCounters().reads.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.disk.writes", [this] {
+    return disk_->TotalCounters().writes.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.store.objects", [this] {
+    return store_->stats().objects.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.store.data_pages", [this] {
+    return store_->stats().data_pages.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.store.relocations", [this] {
+    return store_->stats().relocations.load(std::memory_order_relaxed);
+  });
+  reg.Register("db.lock.acquisitions",
+               [this] { return lock_manager_.stats().acquisitions; });
+  reg.Register("db.lock.waits",
+               [this] { return lock_manager_.stats().waits; });
+  reg.Register("db.lock.deadlocks",
+               [this] { return lock_manager_.stats().deadlocks; });
+  reg.Register("db.lock.timeouts",
+               [this] { return lock_manager_.stats().timeouts; });
+  reg.Register("db.lock.wait_nanos",
+               [this] { return lock_manager_.stats().total_wait_nanos; });
+  reg.Register("db.mvcc.versions_published",
+               [this] { return version_store_.stats().versions_published; });
+  reg.Register("db.mvcc.versions_gced",
+               [this] { return version_store_.stats().versions_gced; });
+  reg.Register("db.mvcc.gc_passes",
+               [this] { return version_store_.stats().gc_passes; });
+  reg.Register("db.mvcc.snapshot_hits",
+               [this] { return version_store_.stats().snapshot_hits; });
+  reg.Register("db.mvcc.live_versions",
+               [this] { return version_store_.stats().live_versions; });
+  reg.Register("db.groupcommit.commits",
+               [this] { return commit_pipeline_.stats().commits; });
+  reg.Register("db.groupcommit.batches",
+               [this] { return commit_pipeline_.stats().batches; });
+  reg.Register("db.groupcommit.grouped_commits",
+               [this] { return commit_pipeline_.stats().grouped_commits; });
+  reg.Register("db.groupcommit.batch_nanos",
+               [this] { return commit_pipeline_.stats().batch_nanos; });
+#endif
 }
 
 void Database::GcLoop() {
@@ -155,6 +225,7 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     // Stamp before releasing any lock: the next writer of these objects
     // must append its pending version *behind* this commit in the chains.
     // Pure readers on the locking path allocate no timestamp.
+    obs::TraceSpan stamp_span("commit.stamp", "txn", txn->id(), "batch", 1);
     if (mvcc_enabled()) {
       if (external_ts != 0) {
         version_store_.StampCommittedAt(txn->id(), external_ts);
@@ -166,6 +237,7 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     // means a coordinator drives this commit and charges the force once
     // per cross-shard batch instead).
     if (external_ts == 0 && options_.commit_log_force_nanos > 0) {
+      obs::TraceInstant("commit.log_force", "txn", txn->id());
       clock_.Advance(options_.commit_log_force_nanos);
     }
   }
@@ -212,12 +284,21 @@ void Database::CommitBatch(
       if (mvcc_enabled()) to_stamp.push_back(txn->id());
     }
   }
-  if (!to_stamp.empty()) version_store_.StampCommittedBatch(to_stamp);
-  // ONE simulated commit-record force for the whole batch — the log
-  // amortization that is group commit's classic payoff. Read-only and
-  // writeless members force nothing.
-  if (logged_writes && options_.commit_log_force_nanos > 0) {
-    clock_.Advance(options_.commit_log_force_nanos);
+  {
+    // The batch leader runs this on its own thread, so the span nests
+    // inside the leader's "txn" span in the trace; followers' txn spans
+    // show the same interval as queue time.
+    obs::TraceSpan stamp_span(
+        "commit.stamp", "batch", batch.size(), "leader",
+        static_cast<TransactionContext*>(batch.front()->handle)->id());
+    if (!to_stamp.empty()) version_store_.StampCommittedBatch(to_stamp);
+    // ONE simulated commit-record force for the whole batch — the log
+    // amortization that is group commit's classic payoff. Read-only and
+    // writeless members force nothing.
+    if (logged_writes && options_.commit_log_force_nanos > 0) {
+      obs::TraceInstant("commit.log_force", "batch", batch.size());
+      clock_.Advance(options_.commit_log_force_nanos);
+    }
   }
   for (CommitPipeline::Request* req : batch) {
     auto* txn = static_cast<TransactionContext*>(req->handle);

@@ -71,6 +71,8 @@
 #include "concurrency/read_view.h"
 #include "concurrency/transaction_context.h"
 #include "concurrency/version_store.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "oodb/object.h"
 #include "oodb/schema.h"
 #include "storage/buffer_pool.h"
@@ -158,6 +160,11 @@ class Database {
     QuiesceGuard& operator=(const QuiesceGuard&) = delete;
 
    private:
+    // Declared before db_ is used in the body sequence: the span's start
+    // stamp is taken at member init (before BeginQuiesce drains pins) and
+    // its event is recorded at member destruction (after EndQuiesce), so
+    // the trace span covers the whole exclusive window including drain.
+    obs::TraceSpan span_{"quiesce"};
     Database* db_;
   };
 
@@ -566,6 +573,16 @@ class Database {
   /// Background version-GC loop: wakes every few milliseconds (or when
   /// prodded) and reclaims versions older than the oldest live ReadView.
   void GcLoop();
+
+  /// Registers this engine's gauge callbacks (db.pool.*, db.lock.*, ...)
+  /// with the global metrics registry; no-op when compiled out.
+  void RegisterObsCallbacks();
+
+  /// Gauge-callback registrations with the global metrics registry
+  /// (db.pool.*, db.lock.*, db.mvcc.*, ... reading the engine's own
+  /// atomic stats — the registry never double-counts them). Cleared at
+  /// the TOP of ~Database, before any member the callbacks read dies.
+  obs::ScopedCallbacks obs_callbacks_;
 
   StorageOptions options_;
   SimClock clock_;

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace ocb {
 
 namespace {
@@ -11,6 +14,18 @@ uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+/// Registry histogram of the per-txn 2PC section time (prepare through
+/// stamp). Same measurement as twopc_nanos_ — two sinks, one clock read.
+void RecordTwopcSection(uint64_t nanos) {
+#ifndef OCB_OBS_DISABLED
+  static obs::LatencyHistogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("twopc.section");
+  h->Record(nanos);
+#else
+  (void)nanos;
+#endif
 }
 
 }  // namespace
@@ -121,15 +136,20 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
 
   // Two-phase commit.
   const auto start = std::chrono::steady_clock::now();
-  for (uint32_t k : writers) {
-    Status st = shards_[k]->PrepareTxn(txn->contexts_[k].get());
-    prepares_.fetch_add(1, std::memory_order_relaxed);
-    if (!st.ok()) {
-      // A participant refused to promise (lifecycle bug upstream): the
-      // only safe decision is abort-everything.
-      AbortParticipants(txn);
-      twopc_nanos_.fetch_add(NanosSince(start), std::memory_order_relaxed);
-      return st;
+  {
+    obs::TraceSpan prepare_span("2pc.prepare", "txn", txn->id(), "writers",
+                                writers.size());
+    for (uint32_t k : writers) {
+      Status st = shards_[k]->PrepareTxn(txn->contexts_[k].get());
+      prepares_.fetch_add(1, std::memory_order_relaxed);
+      if (!st.ok()) {
+        // A participant refused to promise (lifecycle bug upstream): the
+        // only safe decision is abort-everything.
+        AbortParticipants(txn);
+        twopc_nanos_.fetch_add(NanosSince(start),
+                               std::memory_order_relaxed);
+        return st;
+      }
     }
   }
   if (commit_failpoint_ && commit_failpoint_()) {
@@ -148,6 +168,8 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     // Decision: commit. One timestamp for every shard, stamped under the
     // commit mutex so no global snapshot can interleave (see
     // OpenGlobalSnapshot).
+    obs::TraceSpan commit_span("2pc.commit", "txn", txn->id(), "writers",
+                               writers.size());
     std::lock_guard<std::mutex> lock(commit_mu_);
     const CommitTs ts = NextTimestamp();
     for (uint32_t k : writers) {
@@ -163,6 +185,7 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
   txn->state_ = TxnState::kCommitted;
   txn->twopc_nanos_ = NanosSince(start);
   twopc_nanos_.fetch_add(txn->twopc_nanos_, std::memory_order_relaxed);
+  RecordTwopcSection(txn->twopc_nanos_);
   cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
   return first_failure;
 }
@@ -250,28 +273,33 @@ void CrossShardCoordinator::CommitBatch(
   // commit-mutex section draws and stamps every survivor.
   if (!twopc.empty()) {
     const auto start = std::chrono::steady_clock::now();
-    for (Member* m : twopc) {
-      for (uint32_t k : m->writers) {
-        Status st = shards_[k]->PrepareTxn(m->txn->contexts_[k].get());
-        prepares_.fetch_add(1, std::memory_order_relaxed);
-        if (!st.ok()) {
-          AbortParticipants(m->txn);
-          m->req->status = st;
-          m->finished = true;
-          break;
+    {
+      obs::TraceSpan prepare_span("2pc.prepare", "members", twopc.size());
+      for (Member* m : twopc) {
+        for (uint32_t k : m->writers) {
+          Status st = shards_[k]->PrepareTxn(m->txn->contexts_[k].get());
+          prepares_.fetch_add(1, std::memory_order_relaxed);
+          if (!st.ok()) {
+            AbortParticipants(m->txn);
+            m->req->status = st;
+            m->finished = true;
+            break;
+          }
         }
-      }
-      if (m->finished) continue;
-      if (commit_failpoint_ && commit_failpoint_()) {
-        injected_aborts_.fetch_add(1, std::memory_order_relaxed);
-        Status st = AbortParticipants(m->txn);
-        m->req->status =
-            st.ok() ? Status::Aborted("2PC commit failpoint injected an abort")
-                    : st;
-        m->finished = true;
+        if (m->finished) continue;
+        if (commit_failpoint_ && commit_failpoint_()) {
+          injected_aborts_.fetch_add(1, std::memory_order_relaxed);
+          Status st = AbortParticipants(m->txn);
+          m->req->status =
+              st.ok()
+                  ? Status::Aborted("2PC commit failpoint injected an abort")
+                  : st;
+          m->finished = true;
+        }
       }
     }
     {
+      obs::TraceSpan commit_span("2pc.commit", "members", twopc.size());
       std::lock_guard<std::mutex> lock(commit_mu_);
       for (Member* m : twopc) {
         if (m->finished) continue;
@@ -308,6 +336,7 @@ void CrossShardCoordinator::CommitBatch(
       }
     }
     twopc_nanos_.fetch_add(section, std::memory_order_relaxed);
+    RecordTwopcSection(section);
   }
   if (committed_writes) ChargeLogForce(1);
 }

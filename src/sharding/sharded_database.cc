@@ -46,6 +46,25 @@ ShardedDatabase::ShardedDatabase(const StorageOptions& base,
   for (auto& shard : shards_) {
     shard->lock_manager()->SetWaitGraph(coordinator_->wait_graph());
   }
+#ifndef OCB_OBS_DISABLED
+  // Coordinator-level gauges; per-shard engine gauges are registered by
+  // each Database and sum under their shared names.
+  obs_callbacks_.Register("db.coord.fast_path_commits", [this] {
+    return coordinator_->stats().fast_path_commits;
+  });
+  obs_callbacks_.Register("db.coord.cross_shard_commits", [this] {
+    return coordinator_->stats().cross_shard_commits;
+  });
+  obs_callbacks_.Register("db.coord.prepares", [this] {
+    return coordinator_->stats().prepares;
+  });
+  obs_callbacks_.Register("db.coord.aborts", [this] {
+    return coordinator_->stats().aborts;
+  });
+  obs_callbacks_.Register("db.coord.twopc_nanos", [this] {
+    return coordinator_->stats().twopc_nanos;
+  });
+#endif
 }
 
 void ShardedDatabase::SetSchema(Schema schema) {

@@ -265,6 +265,10 @@ class ShardedDatabase {
   ShardRouter router_;
   std::vector<std::unique_ptr<Database>> shards_;
   std::unique_ptr<CrossShardCoordinator> coordinator_;
+  /// Coordinator gauge-callback registrations (db.coord.*). Declared
+  /// after coordinator_ so it is destroyed (unregistered) first; the
+  /// shards' own gauges are owned by each Database.
+  obs::ScopedCallbacks obs_callbacks_;
   Schema schema_;
   SimClock think_clock_;
   std::atomic<uint64_t> create_cursor_{0};  ///< Round-robin creation.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/format.h"
 
 namespace ocb {
@@ -191,6 +192,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId page_id, LatchMode mode) {
       // (held since ClaimFrame): concurrent fetchers of this page pin the
       // frame and block on the latch until the read completes, while the
       // rest of the stripe stays available.
+      obs::TraceSpan io_span("io.miss", "page", page_id);
       Status read = disk_->ReadPage(page_id, frame.data.get());
       if (!read.ok()) {
         {

@@ -27,6 +27,9 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace ocb {
 
 /// Access mode a page latch is held in.
@@ -72,15 +75,60 @@ inline ThreadLatchWaits& CurrentThreadLatchWaits() {
 
 namespace latch_internal {
 
+/// Registry histogram for blocked page-latch acquisitions ("latch.page.
+/// wait", nanoseconds). Cached function-local static: one registry lookup
+/// per process, null when the layer is compiled out. The thread-local
+/// ThreadLatchWaits counters above stay the *primary* sink (they feed
+/// TransactionResult); the registry histogram is a second sink fed from
+/// the SAME measurement, so the two can never drift (ISSUE 6, dedupe
+/// satellite).
+inline obs::LatencyHistogram* PageWaitHistogram() {
+#ifndef OCB_OBS_DISABLED
+  static obs::LatencyHistogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("latch.page.wait");
+  return h;
+#else
+  return nullptr;
+#endif
+}
+
+/// Same for the facade/catalog latch ("latch.facade.wait").
+inline obs::LatencyHistogram* FacadeWaitHistogram() {
+#ifndef OCB_OBS_DISABLED
+  static obs::LatencyHistogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("latch.facade.wait");
+  return h;
+#else
+  return nullptr;
+#endif
+}
+
 template <typename LockFn, typename TryFn>
-inline void AcquireTimed(uint64_t* counter, TryFn&& try_fn, LockFn&& lock_fn) {
+inline void AcquireTimed(uint64_t* counter, obs::LatencyHistogram* histo,
+                         const char* span_name, TryFn&& try_fn,
+                         LockFn&& lock_fn) {
   if (try_fn()) return;  // Uncontended: no timing overhead.
   const auto start = std::chrono::steady_clock::now();
   lock_fn();
-  *counter += static_cast<uint64_t>(
+  const uint64_t waited = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  *counter += waited;
+#ifndef OCB_OBS_DISABLED
+  if (histo != nullptr) histo->Record(waited);
+  auto& rec = obs::TraceRecorder::Global();
+  if (rec.enabled()) {
+    // Reconstruct the span start in recorder time from the measured wait
+    // (both clocks are steady_clock, so the subtraction is exact).
+    const uint64_t end_ns = rec.NowNanos();
+    rec.RecordComplete(span_name, end_ns >= waited ? end_ns - waited : 0,
+                       waited);
+  }
+#else
+  (void)histo;
+  (void)span_name;
+#endif
 }
 
 }  // namespace latch_internal
@@ -90,14 +138,16 @@ inline void AcquireTimed(uint64_t* counter, TryFn&& try_fn, LockFn&& lock_fn) {
 template <typename Mutex>
 inline void LatchPageExclusive(Mutex& mu) {
   latch_internal::AcquireTimed(
-      &CurrentThreadLatchWaits().page_nanos, [&] { return mu.try_lock(); },
-      [&] { mu.lock(); });
+      &CurrentThreadLatchWaits().page_nanos,
+      latch_internal::PageWaitHistogram(), "latch.page.wait",
+      [&] { return mu.try_lock(); }, [&] { mu.lock(); });
 }
 
 /// Locks \p mu shared, charging blocked time to the page-latch counter.
 inline void LatchPageShared(std::shared_mutex& mu) {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().page_nanos,
+      latch_internal::PageWaitHistogram(), "latch.page.wait",
       [&] { return mu.try_lock_shared(); }, [&] { mu.lock_shared(); });
 }
 
@@ -105,14 +155,16 @@ inline void LatchPageShared(std::shared_mutex& mu) {
 template <typename Mutex>
 inline void LatchFacadeExclusive(Mutex& mu) {
   latch_internal::AcquireTimed(
-      &CurrentThreadLatchWaits().facade_nanos, [&] { return mu.try_lock(); },
-      [&] { mu.lock(); });
+      &CurrentThreadLatchWaits().facade_nanos,
+      latch_internal::FacadeWaitHistogram(), "latch.facade.wait",
+      [&] { return mu.try_lock(); }, [&] { mu.lock(); });
 }
 
 /// Locks \p mu shared, charging blocked time to the facade counter.
 inline void LatchFacadeShared(std::shared_mutex& mu) {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().facade_nanos,
+      latch_internal::FacadeWaitHistogram(), "latch.facade.wait",
       [&] { return mu.try_lock_shared(); }, [&] { mu.lock_shared(); });
 }
 

@@ -1,0 +1,290 @@
+/// \file metrics_registry_test.cc
+/// \brief Registry unit tests: histogram bucketing / percentile math,
+///        counter striping, snapshot/diff windows, callback gauges, and
+///        the JSON writer (including the snapshot's own ToJson output).
+///
+/// The registry is process-global and instruments are cumulative by
+/// design, so every test uses uniquely named instruments and windows with
+/// Snapshot/Diff instead of expecting pristine state.
+
+#include "obs/metrics_registry.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.h"
+#include "obs/json_writer.h"
+
+namespace ocb {
+namespace obs {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+};
+
+// --- Histogram bucket math --------------------------------------------------
+
+TEST_F(MetricsRegistryTest, BucketForIsIdentityForSmallValues) {
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(v), static_cast<int>(v)) << v;
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST_F(MetricsRegistryTest, BucketUpperBoundsAreMonotonic) {
+  for (int b = 1; b < LatencyHistogram::kNumBuckets; ++b) {
+    EXPECT_GT(LatencyHistogram::BucketUpperBound(b),
+              LatencyHistogram::BucketUpperBound(b - 1))
+        << "bucket " << b;
+  }
+}
+
+TEST_F(MetricsRegistryTest, UpperBoundRoundTripsToItsOwnBucket) {
+  // The upper bound is *inclusive*: a value equal to it must land in the
+  // same bucket, and upper+1 in a later one.
+  for (int b = 0; b < LatencyHistogram::kNumBuckets - 1; ++b) {
+    const uint64_t ub = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_EQ(LatencyHistogram::BucketFor(ub), b) << "ub(" << b << ")=" << ub;
+    EXPECT_GT(LatencyHistogram::BucketFor(ub + 1), b);
+  }
+}
+
+TEST_F(MetricsRegistryTest, RelativeErrorStaysUnderEightPercent) {
+  // 16 linear sub-buckets per octave bound the bucket width at 1/16 of
+  // the octave base, so the reported upper bound overshoots the true
+  // value by < 1/16 ≈ 6.25% (plus integer truncation slack).
+  for (uint64_t v : {17ULL, 100ULL, 999ULL, 12345ULL, 1000000ULL,
+                     987654321ULL, 123456789012ULL}) {
+    const int b = LatencyHistogram::BucketFor(v);
+    const uint64_t ub = LatencyHistogram::BucketUpperBound(b);
+    ASSERT_GE(ub, v);
+    EXPECT_LT(static_cast<double>(ub - v), 0.08 * static_cast<double>(v))
+        << "value " << v << " reported as " << ub;
+  }
+}
+
+TEST_F(MetricsRegistryTest, ExactPercentilesForSmallValues) {
+  LatencyHistogram h;
+  // Values < 16 are bucketed exactly, so percentiles are exact.
+  for (int i = 0; i < 10; ++i) h.Record(5);
+  for (int i = 0; i < 10; ++i) h.Record(10);
+  const HistogramStats s = LatencyHistogram::StatsFromBuckets(
+      h.SnapshotBuckets());
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_EQ(s.p50, 5u);
+  EXPECT_EQ(s.p95, 10u);
+  EXPECT_EQ(s.p99, 10u);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_EQ(s.sum_approx, 10u * 5 + 10u * 10);
+}
+
+TEST_F(MetricsRegistryTest, PercentilesOfUniformDistribution) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramStats s = LatencyHistogram::StatsFromBuckets(
+      h.SnapshotBuckets());
+  EXPECT_EQ(s.count, 1000u);
+  // Log-bucket approximation: reported percentile is the bucket's upper
+  // bound, within ~8% above the true rank value.
+  EXPECT_GE(s.p50, 500u);
+  EXPECT_LE(s.p50, 540u);
+  EXPECT_GE(s.p95, 950u);
+  EXPECT_LE(s.p95, 1030u);
+  EXPECT_GE(s.p99, 990u);
+  EXPECT_LE(s.p99, 1070u);
+  EXPECT_GE(s.max, 1000u);
+  EXPECT_LE(s.max, 1070u);
+  const double mean = s.mean();
+  EXPECT_GT(mean, 450.0);
+  EXPECT_LT(mean, 560.0);
+}
+
+TEST_F(MetricsRegistryTest, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  const HistogramStats s = LatencyHistogram::StatsFromBuckets(
+      h.SnapshotBuckets());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// --- Counters ---------------------------------------------------------------
+
+TEST_F(MetricsRegistryTest, CounterSumsAcrossThreadStripes) {
+  Counter c;
+  c.Add(3);
+  c.Add();
+  EXPECT_EQ(c.Value(), 4u);
+  // Other threads land on other stripes; Value() sums them all.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c]() {
+      for (int i = 0; i < 1000; ++i) c.Add(2);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), 4u + 4 * 1000 * 2);
+}
+
+TEST_F(MetricsRegistryTest, RuntimeDisableDropsRecords) {
+  Counter c;
+  LatencyHistogram h;
+  SetEnabled(false);
+  c.Add(100);
+  h.Record(100);
+  SetEnabled(true);
+  c.Add(1);
+  h.Record(1);
+  EXPECT_EQ(c.Value(), 1u);
+  EXPECT_EQ(LatencyHistogram::StatsFromBuckets(h.SnapshotBuckets()).count,
+            1u);
+}
+
+TEST_F(MetricsRegistryTest, GetCounterReturnsStablePointerPerName) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.stable.counter");
+  Counter* b = reg.GetCounter("test.stable.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetCounter("test.stable.counter2"));
+  LatencyHistogram* ha = reg.GetHistogram("test.stable.histo");
+  EXPECT_EQ(ha, reg.GetHistogram("test.stable.histo"));
+}
+
+// --- Snapshot / Diff --------------------------------------------------------
+
+TEST_F(MetricsRegistryTest, SnapshotDiffWindowsCounters) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.window.counter");
+  c->Add(10);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(7);
+  const MetricsSnapshot window = reg.Snapshot().Diff(before);
+  EXPECT_EQ(window.Value("test.window.counter"), 7u);
+}
+
+TEST_F(MetricsRegistryTest, SnapshotDiffWindowsHistogramsBucketwise) {
+  auto& reg = MetricsRegistry::Global();
+  LatencyHistogram* h = reg.GetHistogram("test.window.histo");
+  h->Record(1000);
+  const MetricsSnapshot before = reg.Snapshot();
+  h->Record(5);
+  h->Record(5);
+  h->Record(2000000);
+  const HistogramStats s =
+      reg.Snapshot().Diff(before).Histo("test.window.histo");
+  EXPECT_EQ(s.count, 3u);  // The pre-window record is subtracted out.
+  EXPECT_EQ(s.p50, 5u);
+  EXPECT_GE(s.max, 2000000u);
+}
+
+TEST_F(MetricsRegistryTest, CallbackGaugesSumAcrossRegistrations) {
+  auto& reg = MetricsRegistry::Global();
+  uint64_t shard_a = 11;
+  uint64_t shard_b = 31;
+  ScopedCallbacks cbs;
+  cbs.Register("test.gauge.sum", [&shard_a]() { return shard_a; });
+  cbs.Register("test.gauge.sum", [&shard_b]() { return shard_b; });
+  EXPECT_EQ(reg.Snapshot().Value("test.gauge.sum"), 42u);
+  shard_a = 100;
+  EXPECT_EQ(reg.Snapshot().Value("test.gauge.sum"), 131u);
+}
+
+TEST_F(MetricsRegistryTest, GaugesAreLevelsNotFlowsInDiff) {
+  auto& reg = MetricsRegistry::Global();
+  uint64_t level = 50;
+  ScopedCallbacks cbs;
+  cbs.Register("test.gauge.level", [&level]() { return level; });
+  const MetricsSnapshot before = reg.Snapshot();
+  level = 80;
+  // A gauge is a level: Diff reports the newer reading, not 80 - 50.
+  EXPECT_EQ(reg.Snapshot().Diff(before).Value("test.gauge.level"), 80u);
+}
+
+TEST_F(MetricsRegistryTest, ClearedCallbacksVanishFromSnapshots) {
+  auto& reg = MetricsRegistry::Global();
+  {
+    ScopedCallbacks cbs;
+    cbs.Register("test.gauge.scoped", []() { return 7u; });
+    EXPECT_TRUE(reg.Snapshot().Has("test.gauge.scoped"));
+  }  // ~ScopedCallbacks unregisters.
+  EXPECT_FALSE(reg.Snapshot().Has("test.gauge.scoped"));
+}
+
+TEST_F(MetricsRegistryTest, SnapshotToJsonParses) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.counter")->Add(5);
+  reg.GetHistogram("test.json.histo")->Record(123);
+  std::string error;
+  const auto doc = test_json::ParseJson(reg.Snapshot().ToJson(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  ASSERT_TRUE(doc->is_object());
+  const auto* counters = doc->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* c = counters->Get("test.json.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->number, 5.0);
+  const auto* histos = doc->Get("histograms");
+  ASSERT_NE(histos, nullptr);
+  const auto* h = histos->Get("test.json.histo");
+  ASSERT_NE(h, nullptr);
+  for (const char* key : {"count", "mean", "p50", "p95", "p99", "max"}) {
+    EXPECT_NE(h->Get(key), nullptr) << key;
+  }
+}
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriterTest, NestedContainersEmitNoStrayCommas) {
+  // Regression: a keyed BeginObject/BeginArray used to leak the comma
+  // state set by writing its own key into its first child.
+  JsonWriter w;
+  w.BeginObject()
+      .BeginObject("a")
+      .Field("b", uint64_t{1})
+      .EndObject()
+      .BeginArray("c");
+  w.Value(uint64_t{1}).Value(uint64_t{2});
+  w.EndArray().BeginArray("d").BeginObject().Field("e", "x").EndObject();
+  w.EndArray().EndObject();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), R"({"a":{"b":1},"c":[1,2],"d":[{"e":"x"}]})");
+}
+
+TEST(JsonWriterTest, EscapesStringsPerRfc8259) {
+  JsonWriter w;
+  w.BeginObject().Field("k", "a\"b\\c\nd\te\x01").EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  std::string error;
+  const auto doc = test_json::ParseJson(w.str(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->Get("k")->str, "a\"b\\c\nd\te\x01");
+}
+
+TEST(JsonWriterTest, MixedScalarsRoundTrip) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("u", uint64_t{18446744073709551615ULL})
+      .Field("i", int64_t{-42})
+      .Field("d", 0.125)
+      .Field("b", true)
+      .Raw("raw", "{\"x\":1}")
+      .EndObject();
+  EXPECT_TRUE(w.complete());
+  std::string error;
+  const auto doc = test_json::ParseJson(w.str(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->Get("i")->number, -42.0);
+  EXPECT_EQ(doc->Get("d")->number, 0.125);
+  EXPECT_TRUE(doc->Get("b")->boolean);
+  EXPECT_EQ(doc->Get("raw")->Get("x")->number, 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ocb

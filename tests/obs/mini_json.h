@@ -1,0 +1,235 @@
+/// \file mini_json.h
+/// \brief Minimal recursive-descent JSON parser for the obs tests: enough
+///        to assert that the trace dumps and metric snapshots the layer
+///        emits are *well-formed* JSON (RFC 8259 subset: no surrogate
+///        handling in \u escapes — the emitter never produces them) and
+///        to walk their structure. Test-only; the production code never
+///        parses JSON.
+
+#ifndef OCB_TESTS_OBS_MINI_JSON_H_
+#define OCB_TESTS_OBS_MINI_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ocb {
+namespace test_json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> members;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member or nullptr.
+  const Value* Get(const std::string& key) const {
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  /// Returns the document root, or nullptr on any syntax error (position
+  /// of the failure in *error for the test log).
+  ValuePtr Parse(std::string* error) {
+    ValuePtr v = ParseValue();
+    SkipWs();
+    if (v == nullptr || pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "parse error at byte " + std::to_string(pos_);
+      }
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return nullptr;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  ValuePtr ParseObject() {
+    if (!Consume('{')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      ValuePtr key = ParseString();
+      if (key == nullptr || !Consume(':')) return nullptr;
+      ValuePtr member = ParseValue();
+      if (member == nullptr) return nullptr;
+      v->members[key->str] = member;
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseArray() {
+    if (!Consume('[')) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      ValuePtr item = ParseValue();
+      if (item == nullptr) return nullptr;
+      v->items.push_back(item);
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseString() {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return nullptr;
+    ++pos_;
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kString;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return nullptr;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': v->str.push_back('"'); break;
+          case '\\': v->str.push_back('\\'); break;
+          case '/': v->str.push_back('/'); break;
+          case 'b': v->str.push_back('\b'); break;
+          case 'f': v->str.push_back('\f'); break;
+          case 'n': v->str.push_back('\n'); break;
+          case 'r': v->str.push_back('\r'); break;
+          case 't': v->str.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return nullptr;
+            const std::string hex = s_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            const long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return nullptr;
+            // The emitter only writes \u00xx control escapes.
+            v->str.push_back(static_cast<char>(cp & 0xff));
+            break;
+          }
+          default:
+            return nullptr;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return nullptr;  // Raw control character: malformed.
+      } else {
+        v->str.push_back(c);
+      }
+    }
+    return nullptr;  // Unterminated.
+  }
+
+  ValuePtr ParseNumber() {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return nullptr;
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    v->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  ValuePtr ParseBool() {
+    SkipWs();
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v->boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      v->boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    return nullptr;
+  }
+
+  ValuePtr ParseNull() {
+    SkipWs();
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      auto v = std::make_shared<Value>();
+      return v;
+    }
+    return nullptr;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline ValuePtr ParseJson(const std::string& text, std::string* error) {
+  return Parser(text).Parse(error);
+}
+
+}  // namespace test_json
+}  // namespace ocb
+
+#endif  // OCB_TESTS_OBS_MINI_JSON_H_

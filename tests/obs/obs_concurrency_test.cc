@@ -1,0 +1,207 @@
+/// \file obs_concurrency_test.cc
+/// \brief Multi-threaded hammering of the observability layer — runs under
+///        TSan via the `concurrency` ctest label. Covers: counter striping
+///        under contention, histogram recording against concurrent
+///        snapshots, registry instrument creation races, gauge
+///        registration/unregistration against snapshotting, and the trace
+///        ring under heavy wraparound with a concurrent dumper.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace ocb {
+namespace obs {
+namespace {
+
+class ObsConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+};
+
+TEST_F(ObsConcurrencyTest, CountersUnderContention) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 50000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  // A reader thread sums concurrently — torn totals are fine (sharded
+  // counter), data races are not (TSan's job here).
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)c.Value();
+    }
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (int i = 0; i < kAdds; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsConcurrencyTest, HistogramRecordAgainstConcurrentSnapshots) {
+  auto& reg = MetricsRegistry::Global();
+  LatencyHistogram* h = reg.GetHistogram("test.conc.histo");
+  const MetricsSnapshot before = reg.Snapshot();
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 20000;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)reg.Snapshot();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t]() {
+      for (int i = 0; i < kRecords; ++i) {
+        h->Record(static_cast<uint64_t>(t) * 1000 + i % 997);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  const HistogramStats s =
+      reg.Snapshot().Diff(before).Histo("test.conc.histo");
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kRecords);
+}
+
+TEST_F(ObsConcurrencyTest, InstrumentCreationRaces) {
+  auto& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t]() {
+      // All threads race to create the same instruments; everyone must
+      // get the same stable pointer.
+      seen[static_cast<size_t>(t)] = reg.GetCounter("test.conc.create");
+      reg.GetHistogram("test.conc.create.histo")->Record(1);
+      seen[static_cast<size_t>(t)]->Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+  EXPECT_GE(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(ObsConcurrencyTest, GaugeChurnAgainstSnapshots) {
+  auto& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 500;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)reg.Snapshot();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < kCycles; ++i) {
+        // Each cycle registers a gauge over a stack variable and clears
+        // it before the variable dies — the ScopedCallbacks contract the
+        // engine relies on in ~Database.
+        uint64_t level = static_cast<uint64_t>(t * 1000 + i);
+        ScopedCallbacks cbs;
+        cbs.Register("test.conc.gauge", [&level]() { return level; });
+        cbs.Clear();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_FALSE(reg.Snapshot().Has("test.conc.gauge"));
+}
+
+TEST_F(ObsConcurrencyTest, TraceRingWrapsUnderConcurrentWritersAndDumper) {
+  auto& rec = TraceRecorder::Global();
+  rec.Enable();
+  const uint64_t recorded_before = rec.recorded();
+  constexpr int kThreads = 8;
+  // 8 × 20k = 160k events: the 64Ki ring wraps ~2.5 times, so writers
+  // lap each other on live slots while the dumper reads them — the
+  // benign-race design TSan must bless.
+  constexpr int kEvents = 20000;
+  std::atomic<bool> stop{false};
+  std::thread dumper([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)rec.ToJson();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t]() {
+      for (int i = 0; i < kEvents; ++i) {
+        const uint64_t now = rec.NowNanos();
+        rec.RecordComplete("test.span", now > 100 ? now - 100 : 0, 100,
+                           "thread", static_cast<uint64_t>(t), "i",
+                           static_cast<uint64_t>(i));
+        if (i % 64 == 0) rec.RecordInstant("test.instant");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  dumper.join();
+  rec.Disable();
+  EXPECT_GE(rec.recorded() - recorded_before,
+            static_cast<uint64_t>(kThreads) * kEvents);
+
+  // After the storm the ring must still serialize to well-formed JSON.
+  std::string error;
+  const auto doc = test_json::ParseJson(rec.ToJson(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const auto* events = doc->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The ring holds the latest kRingSize events; every published slot
+  // must carry the mandatory trace-event fields.
+  EXPECT_GT(events->items.size(), TraceRecorder::kRingSize / 2);
+  for (const auto& ev : events->items) {
+    ASSERT_TRUE(ev->is_object());
+    ASSERT_NE(ev->Get("name"), nullptr);
+    ASSERT_NE(ev->Get("ph"), nullptr);
+    ASSERT_NE(ev->Get("ts"), nullptr);
+    ASSERT_NE(ev->Get("tid"), nullptr);
+  }
+}
+
+TEST_F(ObsConcurrencyTest, SpansFromManyThreads) {
+  auto& rec = TraceRecorder::Global();
+  rec.Enable();
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([]() {
+      for (int i = 0; i < 1000; ++i) {
+        TraceSpan outer("test.outer", "i", static_cast<uint64_t>(i));
+        TraceSpan inner("test.inner");
+        TraceInstant("test.tick");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  rec.Disable();
+  std::string error;
+  ASSERT_NE(test_json::ParseJson(rec.ToJson(), &error), nullptr) << error;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ocb
