@@ -38,6 +38,10 @@ SECTION_KEYS = {
         "max_batch", "batch_nanos", "nanos_per_commit", "log_force_nanos",
         "wall_nanos",
     },
+    "wal": {
+        "engine", "wal", "commits", "batches", "wal_appends", "wal_forces",
+        "nanos_per_commit", "wall_nanos",
+    },
 }
 
 # Sections that carry per-point tail distributions.

@@ -146,6 +146,18 @@ CommitTs VersionStore::latest() const {
   return last_commit_ts_;
 }
 
+CommitTs VersionStore::AllocateTimestamps(uint64_t n) {
+  if (n == 0) return 0;
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  last_commit_ts_ += n;
+  return last_commit_ts_;
+}
+
+void VersionStore::AdvanceLatest(CommitTs ts) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (ts > last_commit_ts_) last_commit_ts_ = ts;
+}
+
 CommitTs VersionStore::OpenSnapshot(ReadViewRegistry* views) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   views->OpenAt(last_commit_ts_);
@@ -185,6 +197,18 @@ VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
     snapshot_current_.fetch_add(1, std::memory_order_relaxed);
   }
   return VersionLookup::kUseCurrent;
+}
+
+bool VersionStore::CreatedAfter(Oid oid, CommitTs snapshot_ts) const {
+  Shard& shard = shard_of(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chains.find(oid);
+  if (it == shard.chains.end()) return false;
+  for (const Version& v : it->second) {
+    if (v.commit_ts <= snapshot_ts) continue;
+    return v.creation;
+  }
+  return false;
 }
 
 uint64_t VersionStore::GarbageCollect(const ReadViewRegistry& views) {

@@ -175,6 +175,19 @@ class VersionStore {
   /// sees every committed write and no in-flight one.
   CommitTs latest() const;
 
+  /// Draws \p n fresh consecutive commit timestamps without stamping
+  /// anything, returning the *last* (largest) one; 0 when \p n is 0. The
+  /// WAL path uses this when MVCC stamping is off: committed transactions
+  /// still need distinct log timestamps on the same monotonic axis that
+  /// stamping would have used. Serializes on commit_mu_ like every other
+  /// timestamp draw.
+  CommitTs AllocateTimestamps(uint64_t n);
+
+  /// Advances latest() to max(latest(), ts). Recovery calls this after
+  /// replay so the timestamp axis resumes past every replayed commit;
+  /// never call it while transactions are in flight.
+  void AdvanceLatest(CommitTs ts);
+
   /// Pins a snapshot at the current commit timestamp and registers it in
   /// \p views, atomically with respect to StampCommitted/StampAborted and
   /// GarbageCollect (all serialize on commit_mu_) — a concurrent GC pass
@@ -205,6 +218,13 @@ class VersionStore {
   VersionLookup GetVisible(Oid oid, CommitTs snapshot_ts,
                            std::vector<uint8_t>* out,
                            bool revalidate = false) const;
+
+  /// True when \p oid did not exist yet at \p snapshot_ts — its earliest
+  /// version newer than the snapshot is a creation (pending counts as
+  /// +infinity). Membership probe for extent filtering: unlike
+  /// GetVisible it copies no bytes and touches no read statistics
+  /// (membership checks are not logical reads).
+  bool CreatedAfter(Oid oid, CommitTs snapshot_ts) const;
 
   /// Reclaims every committed version no snapshot in \p views (nor any
   /// future one) can select; returns the number removed. The oldest-open

@@ -209,6 +209,17 @@ class TransactionT {
     return out;
   }
 
+  /// Class-extent membership as seen by THIS transaction: an MVCC
+  /// snapshot reader gets the extent with members created after its
+  /// snapshot filtered out (extents themselves are unversioned — see
+  /// Database::ExtentSnapshot(ClassId, const TxnHandle*)); locking and
+  /// legacy transactions get the current extent. An empty/finished
+  /// handle returns the current extent too (legacy path semantics).
+  std::vector<Oid> ExtentSnapshot(ClassId class_id) {
+    if (db_ == nullptr) return {};
+    return db_->ExtentSnapshot(class_id, raw());
+  }
+
   /// Creates an instance of \p class_id (X lock on the fresh oid).
   Result<Oid> Create(ClassId class_id) {
     OCB_RETURN_NOT_OK(CheckUsable("Create"));

@@ -353,12 +353,12 @@ Result<TransactionResult> TransactionExecutorT<DB>::Execute(
     case TransactionType::kScan: {
       // Sequential scan of the root's class extent (HyperModel-style) as
       // ONE batched GetMany — latched extent copy first, a concurrent
-      // client may mutate it. Under MVCC the *member objects* read
-      // snapshot-consistently, but the membership list itself is the
-      // current extent (extents are not versioned); snapshot-invisible
-      // members are skipped. See ROADMAP "versioned extents".
+      // client may mutate it. Extents are not versioned, so the raw copy
+      // is *current* membership; for an MVCC snapshot reader the filtered
+      // overload drops members created after the view's instant (the
+      // member objects themselves already read snapshot-consistently).
       const std::vector<Oid> extent =
-          db_->ExtentSnapshot(root_obj->class_id);
+          txn.ExtentSnapshot(root_obj->class_id);
       auto scanned = txn.GetMany(extent);
       if (scanned.ok()) {
         accessed += scanned->size();

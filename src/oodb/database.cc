@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "util/format.h"
+#include "wal/killpoint.h"
+#include "wal/wal_writer.h"
 
 namespace ocb {
 
@@ -16,6 +18,18 @@ Database::Database(const StorageOptions& options)
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_);
   store_ = std::make_unique<ObjectStore>(pool_.get(), options_.first_oid,
                                          options_.oid_stride);
+  if (!options_.wal_path.empty()) {
+    // Open (or create) the redo log, truncating any torn tail. The
+    // constructor cannot fail; a failed open parks the error in
+    // wal_open_status_ and every writer commit returns it instead of
+    // acknowledging without durability.
+    auto wal = wal::WalWriter::Open(options_.wal_path);
+    if (wal.ok()) {
+      wal_ = std::move(wal).value();
+    } else {
+      wal_open_status_ = wal.status();
+    }
+  }
   RegisterObsCallbacks();
 }
 
@@ -218,6 +232,7 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
                TxnStateToString(txn->state())));
   }
   txn->state_ = TxnState::kCommitted;
+  Status wal_status = Status::OK();
   if (txn->read_only()) {
     read_views_.Close(ReadView{txn->snapshot_ts_});
     gc_cv_.notify_all();  // The oldest snapshot may have advanced.
@@ -226,12 +241,17 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     // must append its pending version *behind* this commit in the chains.
     // Pure readers on the locking path allocate no timestamp.
     obs::TraceSpan stamp_span("commit.stamp", "txn", txn->id(), "batch", 1);
+    CommitTs wal_ts = external_ts;
     if (mvcc_enabled()) {
       if (external_ts != 0) {
         version_store_.StampCommittedAt(txn->id(), external_ts);
       } else {
-        version_store_.StampCommitted(txn->id());
+        wal_ts = version_store_.StampCommitted(txn->id());
       }
+    } else if (wal_ != nullptr && external_ts == 0) {
+      // MVCC off: stamping draws no timestamp, but the log still needs a
+      // distinct commit ts on the same monotonic axis.
+      wal_ts = version_store_.AllocateTimestamps(1);
     }
     // A lone writer commit forces its own commit record (external_ts
     // means a coordinator drives this commit and charges the force once
@@ -239,6 +259,18 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     if (external_ts == 0 && options_.commit_log_force_nanos > 0) {
       obs::TraceInstant("commit.log_force", "txn", txn->id());
       clock_.Advance(options_.commit_log_force_nanos);
+    }
+    // Real WAL: a lone writer appends and forces its own record before
+    // the commit is acknowledged. Coordinated commits (external_ts != 0)
+    // were already appended by the coordinator via WalAppendTxn, which
+    // also owns their force.
+    if (external_ts == 0) {
+      if (wal_ != nullptr) {
+        wal_status = wal_->Append(BuildRedoRecord(txn, wal_ts, false));
+        if (wal_status.ok()) wal_status = wal_->Force();
+      } else {
+        wal_status = wal_open_status_;
+      }
     }
   }
   txn->undo_log_.clear();
@@ -248,7 +280,7 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionEnd();
   }
-  return Status::OK();
+  return wal_status;
 }
 
 Status Database::AbortTxn(TransactionContext* txn) {
@@ -276,14 +308,16 @@ void Database::CommitBatch(
   // before releasing another is safe and preserves the per-transaction
   // stamp-before-release invariant).
   std::vector<TxnId> to_stamp;
-  bool logged_writes = false;
+  std::vector<TransactionContext*> writers;
   for (CommitPipeline::Request* req : batch) {
     auto* txn = static_cast<TransactionContext*>(req->handle);
     if (!txn->undo_log_.empty()) {
-      logged_writes = true;
+      writers.push_back(txn);
       if (mvcc_enabled()) to_stamp.push_back(txn->id());
     }
   }
+  Status wal_status =
+      (wal_ == nullptr) ? wal_open_status_ : Status::OK();
   {
     // The batch leader runs this on its own thread, so the span nests
     // inside the leader's "txn" span in the trace; followers' txn spans
@@ -291,22 +325,47 @@ void Database::CommitBatch(
     obs::TraceSpan stamp_span(
         "commit.stamp", "batch", batch.size(), "leader",
         static_cast<TransactionContext*>(batch.front()->handle)->id());
-    if (!to_stamp.empty()) version_store_.StampCommittedBatch(to_stamp);
+    CommitTs last_ts = 0;
+    if (!to_stamp.empty()) {
+      last_ts = version_store_.StampCommittedBatch(to_stamp);
+    } else if (wal_ != nullptr && !writers.empty()) {
+      // MVCC off: draw the members' log timestamps on the same axis
+      // stamping would have used.
+      last_ts = version_store_.AllocateTimestamps(writers.size());
+    }
     // ONE simulated commit-record force for the whole batch — the log
     // amortization that is group commit's classic payoff. Read-only and
     // writeless members force nothing.
-    if (logged_writes && options_.commit_log_force_nanos > 0) {
+    if (!writers.empty() && options_.commit_log_force_nanos > 0) {
       obs::TraceInstant("commit.log_force", "batch", batch.size());
       clock_.Advance(options_.commit_log_force_nanos);
+    }
+    // Real WAL: one append per writer, ONE force for the whole batch —
+    // the actual form of the amortization simulated above. The members'
+    // locks are all still held, so the post-images read here are exactly
+    // the committed states.
+    if (wal_ != nullptr && !writers.empty()) {
+      CommitTs ts = last_ts - writers.size() + 1;
+      for (TransactionContext* txn : writers) {
+        if (wal_status.ok()) {
+          wal_status = wal_->Append(BuildRedoRecord(txn, ts, false));
+        }
+        ++ts;
+        wal_killpoint::MaybeKill("mid-batch");
+      }
+      if (wal_status.ok()) wal_status = wal_->Force();
     }
   }
   for (CommitPipeline::Request* req : batch) {
     auto* txn = static_cast<TransactionContext*>(req->handle);
+    const bool writer = !txn->undo_log_.empty();
     txn->state_ = TxnState::kCommitted;
     txn->undo_log_.clear();
     txn->undo_logged_.clear();
     lock_manager_.ReleaseAll(txn);
-    req->status = Status::OK();
+    // A writer whose record may not be durable must not see OK; members
+    // without writes never depended on the log.
+    req->status = writer ? wal_status : Status::OK();
   }
   // One observer pass for the whole batch (callbacks stay serialized).
   std::lock_guard<std::mutex> lock(observer_mu_);
@@ -863,9 +922,95 @@ void Database::EndTransaction() {
 }
 
 Status Database::ColdRestart() {
+  // Mirror the SaveSnapshot contract: flushing would persist uncommitted
+  // in-place writes (their undo lives only in memory), and invalidating
+  // frames yanks state an open snapshot reader may still fall through
+  // to. Typed refusal, never UB.
+  if (lock_manager_.locked_object_count() > 0) {
+    return Status::InvalidArgument(
+        "ColdRestart refused: in-flight transactions hold object locks; "
+        "commit or abort them first");
+  }
+  if (read_views_.open_count() > 0) {
+    return Status::InvalidArgument(
+        "ColdRestart refused: open snapshot ReadViews are still pinned; "
+        "finish the readers first");
+  }
   QuiesceGuard quiesce(this);
   OCB_RETURN_NOT_OK(pool_->FlushAll());
   return pool_->InvalidateAll();
+}
+
+Status Database::WalAppendTxn(TransactionContext* txn, CommitTs ts,
+                              bool coordinated) {
+  if (wal_ == nullptr) return wal_open_status_;
+  if (txn == nullptr) return Status::InvalidArgument("null txn");
+  if (txn->undo_log_.empty()) return Status::OK();  // Reader: nothing to log.
+  return wal_->Append(BuildRedoRecord(txn, ts, coordinated));
+}
+
+Status Database::WalForce() {
+  if (wal_ == nullptr) return wal_open_status_;
+  return wal_->Force();
+}
+
+wal::WalRecord Database::BuildRedoRecord(TransactionContext* txn,
+                                         CommitTs ts, bool coordinated) {
+  wal::WalRecord rec;
+  rec.type = wal::WalRecordType::kCommit;
+  rec.flags = coordinated ? wal::kCoordinated : 0;
+  rec.txn_id = txn->id();
+  rec.commit_ts = ts;
+  rec.ops.reserve(txn->undo_log_.size());
+  // One undo record exists per touched oid (undo_logged_ dedup). The
+  // current store state *is* the post-image: writes are in-place and the
+  // X locks are still held, so nothing can change it under us.
+  for (const UndoRecord& undo : txn->undo_log_) {
+    wal::WalOp op;
+    op.class_id = undo.class_id;
+    op.oid = undo.oid;
+    std::vector<uint8_t> bytes;
+    if (store_->Read(undo.oid, &bytes).ok()) {
+      op.kind = wal::WalOpKind::kUpsert;
+      op.payload = std::move(bytes);
+    } else {
+      op.kind = wal::WalOpKind::kDelete;
+    }
+    rec.ops.push_back(std::move(op));
+  }
+  return rec;
+}
+
+Status Database::ApplyRedoOp(const wal::WalOp& op) {
+  switch (op.kind) {
+    case wal::WalOpKind::kUpsert: {
+      if (store_->Contains(op.oid)) {
+        return store_->Update(op.oid, op.payload);
+      }
+      OCB_RETURN_NOT_OK(store_->InsertWithOid(op.oid, op.payload));
+      TimedUniqueLock cat(catalog_mu_);
+      // Replayed class ids are bounds-checked like the abort path: a
+      // snapshot older than the log's schema must not crash replay.
+      if (op.class_id < schema_.class_count()) {
+        schema_.GetMutableClass(op.class_id).iterator.push_back(op.oid);
+      }
+      return Status::OK();
+    }
+    case wal::WalOpKind::kDelete: {
+      if (!store_->Contains(op.oid)) return Status::OK();  // Idempotent.
+      OCB_RETURN_NOT_OK(store_->Delete(op.oid));
+      TimedUniqueLock cat(catalog_mu_);
+      if (op.class_id < schema_.class_count()) {
+        auto& extent = schema_.GetMutableClass(op.class_id).iterator;
+        extent.erase(std::remove(extent.begin(), extent.end(), op.oid),
+                     extent.end());
+      }
+      return Status::OK();
+    }
+    case wal::WalOpKind::kCheckpointInfo:
+      break;
+  }
+  return Status::InvalidArgument("redo op kind does not apply to a store");
 }
 
 uint64_t Database::object_count() const {
@@ -876,6 +1021,24 @@ std::vector<Oid> Database::ExtentSnapshot(ClassId class_id) {
   TimedSharedLock lock(catalog_mu_);
   if (class_id >= schema_.class_count()) return {};
   return schema_.GetClass(class_id).iterator;
+}
+
+std::vector<Oid> Database::ExtentSnapshot(ClassId class_id,
+                                          const TransactionContext* txn) {
+  std::vector<Oid> extent = ExtentSnapshot(class_id);
+  if (txn == nullptr || !txn->read_only()) return extent;
+  // Extents are not versioned: the copy above is *current* membership, so
+  // a snapshot reader could observe members created after its instant (a
+  // torn extent). Filter through the version store: a creation version
+  // newer than the view proves the member was born after the snapshot.
+  std::vector<Oid> visible;
+  visible.reserve(extent.size());
+  for (Oid oid : extent) {
+    if (!version_store_.CreatedAfter(oid, txn->snapshot_ts())) {
+      visible.push_back(oid);
+    }
+  }
+  return visible;
 }
 
 std::vector<Oid> Database::LiveOidsSnapshot() {

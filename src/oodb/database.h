@@ -82,8 +82,13 @@
 #include "storage/storage_options.h"
 #include "util/sim_clock.h"
 #include "util/status.h"
+#include "wal/wal_format.h"
 
 namespace ocb {
+
+namespace wal {
+class WalWriter;
+}  // namespace wal
 
 // The public Session API layer (engine/session.h). Sessions and their
 // RAII transactions are the only public route to transactional object
@@ -359,7 +364,51 @@ class Database {
 
   /// Flushes dirty pages and empties the buffer pool — a cold cache, as
   /// between the paper's generation and cold-run phases. Quiesces first.
+  /// Refuses (InvalidArgument) while any transaction holds object locks
+  /// or any ReadView is open — mirroring the SaveSnapshot contract: the
+  /// flush would persist uncommitted in-place writes, and invalidation
+  /// yanks pages snapshot readers may still fall through to.
   Status ColdRestart();
+
+  // --- Write-ahead log (real durability; see src/wal/) ---
+  //
+  // Enabled by StorageOptions::wal_path. Commit paths append one redo
+  // record per committed writer and the batch leader forces once per
+  // group-commit batch, before any member is acknowledged. Recovery
+  // (wal::RecoverDatabase) replays the log over the newest loadable
+  // checkpoint snapshot.
+
+  /// True when this store writes a real WAL.
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  /// The WAL writer (nullptr when disabled). SaveSnapshot appends its
+  /// checkpoint record through this; tests read append/force counters.
+  wal::WalWriter* wal() { return wal_.get(); }
+
+  /// OK, or why the WAL configured in StorageOptions::wal_path could not
+  /// be opened (the constructor cannot fail; commits on a store whose WAL
+  /// failed to open return this error instead of acknowledging).
+  Status wal_open_status() const { return wal_open_status_; }
+
+  /// Appends (without forcing) the redo record of \p txn's writes at
+  /// commit timestamp \p ts. The transaction must still hold its locks
+  /// and its undo log must be intact (call before CommitTxnAt, which
+  /// clears it). \p coordinated marks the record as owned by a 2PC
+  /// commit: replay then requires a matching coordinator marker. The
+  /// CrossShardCoordinator is the only external caller.
+  Status WalAppendTxn(TransactionContext* txn, CommitTs ts, bool coordinated);
+
+  /// Forces this store's WAL (no-op when disabled). The coordinator calls
+  /// this once per cross-shard batch on every participating writer shard,
+  /// before forcing its own marker log.
+  Status WalForce();
+
+  /// Applies one replayed redo operation directly to the store: upsert
+  /// installs the post-image (insert-or-update, maintaining the class
+  /// extent), delete removes the object if present. Idempotent — a
+  /// restart during recovery replays the same records harmlessly.
+  /// Recovery-only: no locks, no undo, no versioning.
+  Status ApplyRedoOp(const wal::WalOp& op);
 
   // --- Uniform engine surface ---
   //
@@ -453,6 +502,15 @@ class Database {
   /// Copy of class \p class_id's extent.
   std::vector<Oid> ExtentSnapshot(ClassId class_id);
 
+  /// Extent copy filtered through \p txn's visibility: for an MVCC
+  /// snapshot reader, members the version store proves did not exist at
+  /// the view's timestamp (created after it) are dropped, so a snapshot
+  /// Scan never observes an object born after its instant. Locking and
+  /// legacy transactions (and txn == nullptr) see the plain copy — their
+  /// reads target current state by construction.
+  std::vector<Oid> ExtentSnapshot(ClassId class_id,
+                                  const TransactionContext* txn);
+
   /// Copy of all live oids (the object table is internally striped; the
   /// copy is consistent-enough for root-pool maintenance).
   std::vector<Oid> LiveOidsSnapshot();
@@ -520,6 +578,13 @@ class Database {
 
   Result<Object> ReadDecode(Oid oid);
   Status WriteEncoded(Oid oid, const Object& object);
+
+  /// Builds \p txn's redo record at \p ts from its undo log: every oid
+  /// the transaction touched maps to an upsert carrying the *current*
+  /// store bytes (the post-image — writes are in-place and the X locks
+  /// are still held) or to a delete when the object no longer exists.
+  wal::WalRecord BuildRedoRecord(TransactionContext* txn, CommitTs ts,
+                                 bool coordinated);
 
   /// Shared commit/abort bodies; \p external_ts == 0 draws local
   /// timestamps (CommitTxn/AbortTxn), nonzero uses the coordinator-issued
@@ -598,6 +663,10 @@ class Database {
   /// CommitBatch. Touches lock_manager_/version_store_/read_views_, so
   /// it is declared after them.
   CommitPipeline commit_pipeline_;
+  /// Real redo log (StorageOptions::wal_path); nullptr when disabled or
+  /// when opening failed (see wal_open_status_).
+  std::unique_ptr<wal::WalWriter> wal_;
+  Status wal_open_status_;
   std::atomic<bool> mvcc_enabled_{true};
   std::atomic<bool> serialize_physical_{false};
   std::atomic<TxnId> next_txn_id_{1};

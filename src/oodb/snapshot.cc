@@ -1,11 +1,16 @@
 #include "oodb/snapshot.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
 #include "util/format.h"
+#include "wal/killpoint.h"
+#include "wal/wal_format.h"
+#include "wal/wal_writer.h"
 
 namespace ocb {
 namespace {
@@ -139,6 +144,29 @@ Status SaveSnapshot(Database* db, const std::string& path) {
   }
   if (!w.ok()) {
     return Status::IOError(Format("short write to '%s'", path.c_str()));
+  }
+  // The checkpoint record below must never point at a snapshot the
+  // kernel could still lose: flush and fsync before logging it.
+  if (std::fflush(file.get()) != 0 || ::fsync(fileno(file.get())) != 0) {
+    return Status::IOError(Format("fsync failed for '%s'", path.c_str()));
+  }
+  if (db->wal_enabled()) {
+    // Crash window the kill-point harness probes: snapshot durable but
+    // its checkpoint record not yet logged — recovery must fall back to
+    // an older checkpoint or a from-scratch replay.
+    wal_killpoint::MaybeKill("mid-checkpoint");
+    // Watermark: with no transaction in flight (checked above), every
+    // commit <= latest is in the snapshot and every later one is not.
+    // Replay is idempotent, so a conservative (low) watermark is safe.
+    wal::WalRecord rec;
+    rec.type = wal::WalRecordType::kCheckpoint;
+    rec.commit_ts = db->version_store()->latest();
+    wal::WalOp op;
+    op.kind = wal::WalOpKind::kCheckpointInfo;
+    op.payload.assign(path.begin(), path.end());
+    rec.ops.push_back(std::move(op));
+    OCB_RETURN_NOT_OK(db->wal()->Append(rec));
+    OCB_RETURN_NOT_OK(db->wal()->Force());
   }
   return Status::OK();
 }

@@ -4,6 +4,8 @@
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "wal/killpoint.h"
+#include "wal/wal_writer.h"
 
 namespace ocb {
 
@@ -51,6 +53,31 @@ CommitTs CrossShardCoordinator::BeginFastPathCommit() {
 void CrossShardCoordinator::EndFastPathCommit(CommitTs ts) {
   std::lock_guard<std::mutex> lock(inflight_mu_);
   inflight_commits_.erase(ts);
+}
+
+void CrossShardCoordinator::AdvanceTimestampTo(CommitTs ts) {
+  CommitTs cur = next_ts_.load(std::memory_order_relaxed);
+  while (cur < ts && !next_ts_.compare_exchange_weak(
+                         cur, ts, std::memory_order_relaxed)) {
+  }
+}
+
+Status CrossShardCoordinator::LogCoordinatedCommit(
+    ShardedTransaction* txn, const std::vector<uint32_t>& writers,
+    CommitTs ts) {
+  for (uint32_t k : writers) {
+    OCB_RETURN_NOT_OK(
+        shards_[k]->WalAppendTxn(txn->contexts_[k].get(), ts,
+                                 /*coordinated=*/true));
+  }
+  for (uint32_t k : writers) {
+    OCB_RETURN_NOT_OK(shards_[k]->WalForce());
+  }
+  wal::WalRecord marker;
+  marker.type = wal::WalRecordType::kCoordMarker;
+  marker.txn_id = txn->id();
+  marker.commit_ts = ts;
+  return coord_wal_->Append(marker);
 }
 
 void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
@@ -118,11 +145,27 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     // completes so OpenGlobalSnapshot never pins past a half-stamped
     // commit (see BeginFastPathCommit).
     if (!writers.empty()) {
+      const uint32_t k = writers[0];
       const CommitTs ts = BeginFastPathCommit();
-      Status st = shards_[writers[0]]->CommitTxnAt(
-          txn->contexts_[writers[0]].get(), ts);
+      // Redo precedes CommitTxnAt, which clears the undo log the record
+      // is built from and releases the locks that order dependents.
+      Status wal_st =
+          shards_[k]->WalAppendTxn(txn->contexts_[k].get(), ts,
+                                   /*coordinated=*/false);
+      Status st = shards_[k]->CommitTxnAt(txn->contexts_[k].get(), ts);
       EndFastPathCommit(ts);
+      if (shards_[k]->wal_enabled()) {
+        // Force before the ack: this shard's log, then any coordinator
+        // marker a predecessor 2PC commit appended but has not yet
+        // forced — this commit may depend on it, and an ack here must
+        // not outlive the predecessor's recovery.
+        if (wal_st.ok()) wal_st = shards_[k]->WalForce();
+        if (wal_st.ok() && coord_wal_ != nullptr) {
+          wal_st = coord_wal_->ForceIfDirty();
+        }
+      }
       if (!st.ok() && first_failure.ok()) first_failure = st;
+      if (!wal_st.ok() && first_failure.ok()) first_failure = wal_st;
       ChargeLogForce(1);
     }
     for (uint32_t k : readers) {
@@ -164,14 +207,22 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     if (!st.ok()) return st;
     return Status::Aborted("2PC commit failpoint injected an abort");
   }
+  Status wal_st = Status::OK();
   {
     // Decision: commit. One timestamp for every shard, stamped under the
     // commit mutex so no global snapshot can interleave (see
-    // OpenGlobalSnapshot).
+    // OpenGlobalSnapshot). Durability before visibility: participant
+    // redo records are appended and forced and the coordinator marker
+    // appended inside the same mutex section, before any CommitTxnAt
+    // releases a lock — so no dependent can commit (let alone force its
+    // ack) ahead of this commit's durability choreography.
     obs::TraceSpan commit_span("2pc.commit", "txn", txn->id(), "writers",
                                writers.size());
     std::lock_guard<std::mutex> lock(commit_mu_);
     const CommitTs ts = NextTimestamp();
+    if (coord_wal_ != nullptr) {
+      wal_st = LogCoordinatedCommit(txn, writers, ts);
+    }
     for (uint32_t k : writers) {
       Status st = shards_[k]->CommitTxnAt(txn->contexts_[k].get(), ts);
       if (!st.ok() && first_failure.ok()) first_failure = st;
@@ -181,6 +232,10 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     Status st = shards_[k]->CommitTxn(txn->contexts_[k].get());
     if (!st.ok() && first_failure.ok()) first_failure = st;
   }
+  // Marker force is the commit point on disk: after it, recovery replays
+  // this commit on every participant; before it, on none.
+  if (coord_wal_ != nullptr && wal_st.ok()) wal_st = coord_wal_->Force();
+  if (!wal_st.ok() && first_failure.ok()) first_failure = wal_st;
   ChargeLogForce(1);
   txn->state_ = TxnState::kCommitted;
   txn->twopc_nanos_ = NanosSince(start);
@@ -244,9 +299,20 @@ void CrossShardCoordinator::CommitBatch(
         inflight_commits_.insert(m->ts);
       }
     }
+    std::set<uint32_t> fast_wal_shards;
     for (Member* m : fast) {
       if (!m->writers.empty()) {
         const uint32_t k = m->writers[0];
+        // Redo precedes CommitTxnAt (which clears the undo log the
+        // record is built from); the force is batched below.
+        Status wst = shards_[k]->WalAppendTxn(m->txn->contexts_[k].get(),
+                                              m->ts,
+                                              /*coordinated=*/false);
+        if (!wst.ok() && m->failure.ok()) m->failure = wst;
+        if (shards_[k]->wal_enabled()) {
+          fast_wal_shards.insert(k);
+          wal_killpoint::MaybeKill("mid-batch");
+        }
         Status st = shards_[k]->CommitTxnAt(m->txn->contexts_[k].get(),
                                             m->ts);
         if (!st.ok() && m->failure.ok()) m->failure = st;
@@ -264,6 +330,26 @@ void CrossShardCoordinator::CommitBatch(
       std::lock_guard<std::mutex> inflight(inflight_mu_);
       for (Member* m : fast) {
         if (m->ts != 0) inflight_commits_.erase(m->ts);
+      }
+    }
+    // ONE force per participating shard for the whole batch, plus any
+    // coordinator marker a predecessor 2PC commit still owes a force
+    // for. The pipeline unblocks members only after this body returns,
+    // so every force lands before any ack.
+    Status fast_wal_st = Status::OK();
+    for (uint32_t k : fast_wal_shards) {
+      Status st = shards_[k]->WalForce();
+      if (!st.ok() && fast_wal_st.ok()) fast_wal_st = st;
+    }
+    if (!fast_wal_shards.empty() && coord_wal_ != nullptr &&
+        fast_wal_st.ok()) {
+      fast_wal_st = coord_wal_->ForceIfDirty();
+    }
+    if (!fast_wal_st.ok()) {
+      for (Member* m : fast) {
+        if (!m->writers.empty() && m->req->status.ok()) {
+          m->req->status = fast_wal_st;
+        }
       }
     }
   }
@@ -298,18 +384,56 @@ void CrossShardCoordinator::CommitBatch(
         }
       }
     }
+    Status wal_st = Status::OK();
     {
       obs::TraceSpan commit_span("2pc.commit", "members", twopc.size());
       std::lock_guard<std::mutex> lock(commit_mu_);
+      if (coord_wal_ != nullptr) {
+        // Batched durability choreography, same invariant as the
+        // per-txn path but amortized: every survivor's participant
+        // records first, ONE force per participating shard, then every
+        // marker — so any marker that reaches disk has all its records
+        // durable — and all of it before the stamping loop below
+        // releases a single lock.
+        std::set<uint32_t> wal_shards;
+        for (Member* m : twopc) {
+          if (m->finished) continue;
+          m->ts = NextTimestamp();
+          for (uint32_t k : m->writers) {
+            Status st = shards_[k]->WalAppendTxn(
+                m->txn->contexts_[k].get(), m->ts, /*coordinated=*/true);
+            if (!st.ok() && wal_st.ok()) wal_st = st;
+            wal_shards.insert(k);
+          }
+          wal_killpoint::MaybeKill("mid-batch");
+        }
+        for (uint32_t k : wal_shards) {
+          Status st = shards_[k]->WalForce();
+          if (!st.ok() && wal_st.ok()) wal_st = st;
+        }
+        for (Member* m : twopc) {
+          if (m->finished) continue;
+          wal::WalRecord marker;
+          marker.type = wal::WalRecordType::kCoordMarker;
+          marker.txn_id = m->txn->id();
+          marker.commit_ts = m->ts;
+          Status st = coord_wal_->Append(marker);
+          if (!st.ok() && wal_st.ok()) wal_st = st;
+        }
+      }
       for (Member* m : twopc) {
         if (m->finished) continue;
-        m->ts = NextTimestamp();
+        if (m->ts == 0) m->ts = NextTimestamp();
         for (uint32_t k : m->writers) {
           Status st = shards_[k]->CommitTxnAt(m->txn->contexts_[k].get(),
                                               m->ts);
           if (!st.ok() && m->failure.ok()) m->failure = st;
         }
       }
+    }
+    // Marker force = the batch's on-disk commit point for every member.
+    if (coord_wal_ != nullptr && wal_st.ok()) {
+      wal_st = coord_wal_->ForceIfDirty();
     }
     uint64_t survivors = 0;
     for (Member* m : twopc) {
@@ -320,6 +444,7 @@ void CrossShardCoordinator::CommitBatch(
       }
       m->txn->state_ = TxnState::kCommitted;
       cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+      if (m->failure.ok()) m->failure = wal_st;
       m->req->status = m->failure;
       ++survivors;
     }

@@ -129,6 +129,21 @@ class CrossShardCoordinator {
   /// cross-shard deadlock detector.
   GlobalWaitGraph* wait_graph() { return &wait_graph_; }
 
+  /// Attaches the coordinator's marker log ("<wal_path>.coord", owned by
+  /// the ShardedDatabase). A 2PC commit appends its participants' redo
+  /// records, forces the participating shards' logs, appends one commit
+  /// marker here — all before any participant lock is released — and
+  /// forces the marker before the ack. Recovery replays a kCoordinated
+  /// participant record only if its marker is present, which is what
+  /// makes a cross-shard commit recover on all shards or none.
+  void AttachWal(wal::WalWriter* coord_wal) { coord_wal_ = coord_wal; }
+  wal::WalWriter* coord_wal() { return coord_wal_; }
+
+  /// Advances the global timestamp axis to at least \p ts. Recovery calls
+  /// this after replay so new commits stamp past every replayed one; call
+  /// only while no transaction is in flight.
+  void AdvanceTimestampTo(CommitTs ts);
+
   CrossShardStats stats() const;
 
  private:
@@ -149,6 +164,16 @@ class CrossShardCoordinator {
   /// timestamp) and marks \p txn aborted. Returns the first rollback
   /// failure, OK otherwise.
   Status AbortParticipants(ShardedTransaction* txn);
+
+  /// 2PC durability choreography for one transaction (caller holds
+  /// commit_mu_, coord_wal_ attached): append every writer participant's
+  /// redo record, force the participating shards' logs, then append —
+  /// not force — the commit marker. Marker-present therefore implies
+  /// every participant record is durable; the caller forces the marker
+  /// (after the mutex, before the ack).
+  Status LogCoordinatedCommit(ShardedTransaction* txn,
+                              const std::vector<uint32_t>& writers,
+                              CommitTs ts);
 
   /// Group-commit batch body (pipeline leader): classifies members,
   /// batches the fast-path registry traffic and the 2PC commit-mutex
@@ -181,6 +206,10 @@ class CrossShardCoordinator {
 
   std::function<bool()> commit_failpoint_;
   GlobalWaitGraph wait_graph_;
+
+  /// 2PC commit-marker log, owned by the ShardedDatabase (see AttachWal);
+  /// nullptr when real durability is off.
+  wal::WalWriter* coord_wal_ = nullptr;
 
   mutable std::atomic<uint64_t> fast_path_commits_{0};
   mutable std::atomic<uint64_t> cross_shard_commits_{0};

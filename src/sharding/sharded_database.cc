@@ -4,6 +4,7 @@
 
 #include "oodb/snapshot.h"
 #include "util/format.h"
+#include "wal/wal_writer.h"
 
 namespace ocb {
 
@@ -36,10 +37,24 @@ ShardedDatabase::ShardedDatabase(const StorageOptions& base,
     per.backing_file = base.backing_file.empty()
                            ? std::string()
                            : base.backing_file + Format(".shard%u", k);
+    per.wal_path = base.wal_path.empty()
+                       ? std::string()
+                       : base.wal_path + Format(".shard%u", k);
     shards_.push_back(std::make_unique<Database>(per));
     raw.push_back(shards_.back().get());
   }
   coordinator_ = std::make_unique<CrossShardCoordinator>(std::move(raw));
+  if (!base.wal_path.empty()) {
+    // The coordinator's marker log pairs with the shard logs: a 2PC
+    // participant record replays only when its marker is here.
+    auto coord_wal = wal::WalWriter::Open(base.wal_path + ".coord");
+    if (coord_wal.ok()) {
+      coord_wal_ = std::move(coord_wal).value();
+      coordinator_->AttachWal(coord_wal_.get());
+    } else {
+      coord_wal_status_ = coord_wal.status();
+    }
+  }
   // One wait-for graph across every shard's lock manager: per-shard DFS
   // handles intra-shard cycles, the graph refuses cross-shard ones (see
   // wait_graph.h) — without it every such cycle burned the wait timeout.
@@ -65,6 +80,18 @@ ShardedDatabase::ShardedDatabase(const StorageOptions& base,
     return coordinator_->stats().twopc_nanos;
   });
 #endif
+}
+
+// Out of line: the header only forward-declares wal::WalWriter.
+ShardedDatabase::~ShardedDatabase() = default;
+
+Status ShardedDatabase::wal_open_status() const {
+  if (!coord_wal_status_.ok()) return coord_wal_status_;
+  for (const auto& shard : shards_) {
+    Status st = shard->wal_open_status();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 void ShardedDatabase::SetSchema(Schema schema) {
@@ -405,6 +432,24 @@ void ShardedDatabase::EndTransaction() {
 }
 
 Status ShardedDatabase::ColdRestart() {
+  // Refuse up front, before restarting ANY shard: per-shard refusal
+  // alone would leave the deployment half cold-restarted when shard k
+  // is busy but shards 0..k-1 already dropped their caches.
+  for (uint32_t k = 0; k < shard_count(); ++k) {
+    if (shards_[k]->lock_manager()->locked_object_count() > 0) {
+      return Status::InvalidArgument(
+          Format("ColdRestart refused: shard %u has in-flight "
+                 "transactions holding object locks; commit or abort "
+                 "them first",
+                 k));
+    }
+    if (shards_[k]->read_views()->open_count() > 0) {
+      return Status::InvalidArgument(
+          Format("ColdRestart refused: shard %u has open snapshot "
+                 "ReadViews still pinned; finish the readers first",
+                 k));
+    }
+  }
   for (auto& shard : shards_) {
     OCB_RETURN_NOT_OK(shard->ColdRestart());
   }
@@ -434,6 +479,21 @@ std::vector<Oid> ShardedDatabase::ExtentSnapshot(ClassId class_id) {
   }
   // Ascending oids: the walk order (and thus every root pool and Scan)
   // is identical for every shard count over the same logical database.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Oid> ShardedDatabase::ExtentSnapshot(
+    ClassId class_id, const ShardedTransaction* txn) {
+  if (txn == nullptr || !txn->read_only()) return ExtentSnapshot(class_id);
+  std::vector<Oid> out;
+  for (uint32_t k = 0; k < shard_count(); ++k) {
+    // Each shard filters its own membership at the transaction's global
+    // snapshot point through its per-shard context.
+    std::vector<Oid> part =
+        shards_[k]->ExtentSnapshot(class_id, txn->contexts_[k].get());
+    out.insert(out.end(), part.begin(), part.end());
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -75,6 +75,8 @@ class ShardedDatabase {
   ///        backing_file gets a per-shard suffix.
   ShardedDatabase(const StorageOptions& base, uint32_t shard_count);
 
+  ~ShardedDatabase();
+
   ShardedDatabase(const ShardedDatabase&) = delete;
   ShardedDatabase& operator=(const ShardedDatabase&) = delete;
 
@@ -191,6 +193,25 @@ class ShardedDatabase {
   /// and Scan walks are identical for every shard count).
   std::vector<Oid> ExtentSnapshot(ClassId class_id);
 
+  /// Snapshot-consistent extent: per-shard membership filtered through
+  /// each shard's version store at \p txn's global snapshot point (see
+  /// Database::ExtentSnapshot(ClassId, const TransactionContext*)).
+  std::vector<Oid> ExtentSnapshot(ClassId class_id,
+                                  const ShardedTransaction* txn);
+
+  // --- Write-ahead log (real durability; see src/wal/) ---
+
+  /// True when StorageOptions::wal_path was set and every log opened:
+  /// shard k logs to "<wal_path>.shard<k>", the coordinator's 2PC commit
+  /// markers go to "<wal_path>.coord".
+  bool wal_enabled() const { return coord_wal_ != nullptr; }
+
+  /// OK, or why some log configured via StorageOptions::wal_path could
+  /// not be opened (first failure across the coordinator log and the
+  /// shards). Writer commits fail with this status instead of
+  /// acknowledging without durability.
+  Status wal_open_status() const;
+
   /// All live oids across all shards, ascending.
   std::vector<Oid> LiveOidsSnapshot();
 
@@ -264,6 +285,11 @@ class ShardedDatabase {
   StorageOptions base_options_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Database>> shards_;
+  /// Coordinator commit-marker log ("<wal_path>.coord"). Declared before
+  /// coordinator_ (which holds a raw pointer to it) so the coordinator
+  /// is destroyed first.
+  std::unique_ptr<wal::WalWriter> coord_wal_;
+  Status coord_wal_status_;
   std::unique_ptr<CrossShardCoordinator> coordinator_;
   /// Coordinator gauge-callback registrations (db.coord.*). Declared
   /// after coordinator_ so it is destroyed (unregistered) first; the

@@ -86,6 +86,17 @@ struct StorageOptions {
   /// demonstrating durable storage; empty keeps the disk purely in memory.
   std::string backing_file;
 
+  /// If non-empty, a *real* redo write-ahead log is kept at this path:
+  /// the commit pipeline's leader appends every committed transaction's
+  /// post-images and issues one fsync per group-commit batch before any
+  /// member is acknowledged. Recovery (wal::RecoverDatabase /
+  /// wal::RecoverShardedDatabase) replays the log over the newest
+  /// loadable checkpoint snapshot. Under ShardedDatabase this is a base
+  /// path: shard k logs to "<wal_path>.shard<k>" and the coordinator's
+  /// commit markers go to "<wal_path>.coord". Empty (the default) keeps
+  /// durability purely simulated via commit_log_force_nanos.
+  std::string wal_path;
+
   /// Returns InvalidArgument for nonsensical combinations.
   Status Validate() const {
     if (page_size < 128 || (page_size & (page_size - 1)) != 0) {

@@ -1,0 +1,21 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for WAL
+/// record framing. Table-driven, no hardware dependency.
+
+#ifndef OCB_WAL_CRC32_H_
+#define OCB_WAL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ocb {
+namespace wal {
+
+/// Computes the CRC-32 of \p data, continuing from \p seed (pass 0 for a
+/// fresh checksum; chain calls by passing the previous return value).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace wal
+}  // namespace ocb
+
+#endif  // OCB_WAL_CRC32_H_

@@ -1,0 +1,52 @@
+#include "wal/killpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace ocb {
+namespace wal_killpoint {
+namespace {
+
+struct KillConfig {
+  const char* point;  // nullptr when disarmed.
+  long countdown;     // hits to skip before dying.
+};
+
+// Read once: the harness sets the environment before the child constructs
+// its first engine, and never changes it mid-run.
+const KillConfig& Config() {
+  static const KillConfig cfg = [] {
+    KillConfig c{nullptr, 0};
+    const char* p = std::getenv("OCB_WAL_KILLPOINT");
+    if (p != nullptr && p[0] != '\0') {
+      c.point = p;
+      if (const char* after = std::getenv("OCB_WAL_KILL_AFTER")) {
+        c.countdown = std::atol(after);
+        if (c.countdown < 0) c.countdown = 0;
+      }
+    }
+    return c;
+  }();
+  return cfg;
+}
+
+std::atomic<long> g_hits{0};
+
+}  // namespace
+
+bool Armed() { return Config().point != nullptr; }
+
+void MaybeKill(const char* point) {
+  const KillConfig& cfg = Config();
+  if (cfg.point == nullptr) return;
+  if (std::strcmp(cfg.point, point) != 0) return;
+  if (g_hits.fetch_add(1, std::memory_order_relaxed) < cfg.countdown) return;
+  // Die like a crash: no atexit handlers, no stream flushes, no destructors.
+  _exit(137);
+}
+
+}  // namespace wal_killpoint
+}  // namespace ocb

@@ -1,0 +1,37 @@
+/// \file killpoint.h
+/// \brief Crash-injection points for the durability kill-point harness.
+///
+/// A kill point is a named location in the commit/checkpoint path where a
+/// test can make the process die abruptly — `_exit(137)`, no destructors,
+/// no flushes — to simulate a crash at exactly that point. Selection is by
+/// environment so the harness can fork a child, set the variables, and let
+/// the child kill itself mid-commit:
+///
+///   OCB_WAL_KILLPOINT   name of the point to trigger (e.g. "pre-force",
+///                       "post-force", "mid-batch", "mid-checkpoint")
+///   OCB_WAL_KILL_AFTER  optional countdown N (default 0): skip the first
+///                       N hits of the named point, die on hit N+1. Lets a
+///                       test crash deep inside a storm instead of on the
+///                       first commit.
+///
+/// In a normal process (variables unset) MaybeKill is two branch-free
+/// loads of cached state — safe on the commit hot path.
+
+#ifndef OCB_WAL_KILLPOINT_H_
+#define OCB_WAL_KILLPOINT_H_
+
+namespace ocb {
+namespace wal_killpoint {
+
+/// Dies with _exit(137) when \p point matches OCB_WAL_KILLPOINT and the
+/// OCB_WAL_KILL_AFTER countdown has been exhausted. No-op otherwise.
+void MaybeKill(const char* point);
+
+/// True when any kill point is armed (OCB_WAL_KILLPOINT set). Lets code
+/// avoid work that only matters under the harness.
+bool Armed();
+
+}  // namespace wal_killpoint
+}  // namespace ocb
+
+#endif  // OCB_WAL_KILLPOINT_H_

@@ -1,0 +1,116 @@
+/// \file wal_format.h
+/// \brief On-disk format of the redo write-ahead log.
+///
+/// A WAL file is the 8-byte magic "OCBWAL01" followed by a sequence of
+/// records. Each record is framed as
+///
+///     u32 crc      CRC-32 over everything after this field (length
+///                  included), little-endian
+///     u32 length   byte length of the body that follows the length field
+///     body:
+///       u8  type       WalRecordType
+///       u8  flags      WalRecordFlags bitmask
+///       u64 txn_id     committing transaction (0 for checkpoint/marker)
+///       u64 commit_ts  global commit timestamp (watermark for checkpoints)
+///       u32 op_count   number of ops that follow
+///       ops, each:
+///         u8  kind         WalOpKind
+///         u32 class_id
+///         u64 oid
+///         u32 payload_len  encoded object size (0 for deletes)
+///         u8  payload[payload_len]
+///
+/// All integers are little-endian (the engine only targets little-endian
+/// hosts; the snapshot format makes the same assumption).
+///
+/// Torn-tail rule: a reader accepts the longest prefix of records whose
+/// frames are complete and whose CRCs match, and reports the byte offset
+/// of that prefix so the writer can truncate the torn tail before
+/// appending. A record is atomic — either its CRC validates and all of it
+/// replays, or it and everything after it is discarded.
+///
+/// Checkpoint records carry {snapshot path, watermark ts} in the payload
+/// of a single op (kind = kCheckpointInfo): replay may start from the
+/// snapshot and skip records with commit_ts <= watermark.
+///
+/// Coordinator commit markers (kCoordMarker) live in the coordinator's own
+/// log (<wal_path>.coord under ShardedDatabase). A participant record with
+/// the kCoordinated flag replays only if a marker with the same commit_ts
+/// exists in the coordinator log — this is what makes a 2PC commit recover
+/// on all participating shards or none.
+
+#ifndef OCB_WAL_WAL_FORMAT_H_
+#define OCB_WAL_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocb {
+namespace wal {
+
+/// File magic: 8 bytes at offset 0 of every WAL file.
+inline constexpr char kWalMagic[8] = {'O', 'C', 'B', 'W', 'A', 'L', '0', '1'};
+inline constexpr size_t kWalMagicSize = sizeof(kWalMagic);
+
+/// Fixed frame overhead preceding each record body: crc + length.
+inline constexpr size_t kWalFrameHeaderSize = 2 * sizeof(uint32_t);
+
+/// Record types.
+enum class WalRecordType : uint8_t {
+  /// A committed transaction's redo: post-image upserts and deletes.
+  kCommit = 1,
+  /// Coordinator-side commit marker for a cross-shard (2PC) commit at
+  /// commit_ts. Lives in the coordinator log only; carries no ops.
+  kCoordMarker = 2,
+  /// Checkpoint: snapshot written at watermark commit_ts. One op of kind
+  /// kCheckpointInfo holds the snapshot path as payload.
+  kCheckpoint = 3,
+};
+
+/// Record flag bits.
+enum WalRecordFlags : uint8_t {
+  /// This commit was stamped by the cross-shard coordinator; replay it only
+  /// if the coordinator log holds a kCoordMarker with the same commit_ts.
+  kCoordinated = 1u << 0,
+};
+
+/// Per-op kinds inside a record.
+enum class WalOpKind : uint8_t {
+  /// Insert-or-update the object to the carried post-image bytes.
+  kUpsert = 1,
+  /// Remove the object (payload empty).
+  kDelete = 2,
+  /// Checkpoint metadata: payload is the snapshot path (UTF-8, no NUL).
+  kCheckpointInfo = 3,
+};
+
+/// One redo operation.
+struct WalOp {
+  WalOpKind kind = WalOpKind::kUpsert;
+  uint32_t class_id = 0;
+  uint64_t oid = 0;
+  std::vector<uint8_t> payload;  ///< Encoded object; empty for deletes.
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  uint8_t flags = 0;
+  uint64_t txn_id = 0;
+  uint64_t commit_ts = 0;
+  std::vector<WalOp> ops;
+
+  bool coordinated() const { return (flags & kCoordinated) != 0; }
+};
+
+/// Checkpoint payload decoded from a kCheckpoint record.
+struct WalCheckpoint {
+  std::string snapshot_path;
+  uint64_t watermark_ts = 0;
+};
+
+}  // namespace wal
+}  // namespace ocb
+
+#endif  // OCB_WAL_WAL_FORMAT_H_

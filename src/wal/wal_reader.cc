@@ -1,0 +1,190 @@
+#include "wal/wal_reader.h"
+
+#include <cstring>
+
+#include "util/format.h"
+#include "wal/crc32.h"
+
+namespace ocb {
+namespace wal {
+namespace {
+
+/// Bounds-checked cursor over one record body.
+class BodyReader {
+ public:
+  BodyReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* out) { return Raw(out, sizeof(*out)); }
+  bool U32(uint32_t* out) { return Raw(out, sizeof(*out)); }
+  bool U64(uint64_t* out) { return Raw(out, sizeof(*out)); }
+
+  bool Bytes(std::vector<uint8_t>* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  bool Raw(void* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Decodes one record body into \p rec. False means the body is
+/// malformed — under the torn-tail rule the caller stops the scan there.
+bool DecodeBody(const std::vector<uint8_t>& body, WalRecord* rec) {
+  BodyReader r(body.data(), body.size());
+  uint8_t type = 0;
+  uint32_t op_count = 0;
+  if (!r.U8(&type) || !r.U8(&rec->flags) || !r.U64(&rec->txn_id) ||
+      !r.U64(&rec->commit_ts) || !r.U32(&op_count)) {
+    return false;
+  }
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kCommit):
+    case static_cast<uint8_t>(WalRecordType::kCoordMarker):
+    case static_cast<uint8_t>(WalRecordType::kCheckpoint):
+      rec->type = static_cast<WalRecordType>(type);
+      break;
+    default:
+      return false;
+  }
+  rec->ops.clear();
+  rec->ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    WalOp op;
+    uint8_t kind = 0;
+    uint32_t payload_len = 0;
+    if (!r.U8(&kind) || !r.U32(&op.class_id) || !r.U64(&op.oid) ||
+        !r.U32(&payload_len)) {
+      return false;
+    }
+    switch (kind) {
+      case static_cast<uint8_t>(WalOpKind::kUpsert):
+      case static_cast<uint8_t>(WalOpKind::kDelete):
+      case static_cast<uint8_t>(WalOpKind::kCheckpointInfo):
+        op.kind = static_cast<WalOpKind>(kind);
+        break;
+      default:
+        return false;
+    }
+    if (!r.Bytes(&op.payload, payload_len)) return false;
+    rec->ops.push_back(std::move(op));
+  }
+  return r.exhausted();
+}
+
+}  // namespace
+
+Status ScanWalFile(std::FILE* file, std::vector<WalRecord>* records,
+                   uint64_t* valid_end, bool* torn_tail) {
+  if (records != nullptr) records->clear();
+  *valid_end = 0;
+  if (torn_tail != nullptr) *torn_tail = false;
+
+  if (std::fseek(file, 0, SEEK_SET) != 0) {
+    return Status::IOError("WAL scan: seek to start failed");
+  }
+  char magic[kWalMagicSize];
+  const size_t got = std::fread(magic, 1, kWalMagicSize, file);
+  if (got == 0) {
+    // Zero-length file: a crash between creat() and the magic write. The
+    // valid prefix is empty; Open re-stamps the magic on truncation.
+    return Status::OK();
+  }
+  if (got < kWalMagicSize) {
+    // Torn inside the magic itself — same treatment as an empty file.
+    if (torn_tail != nullptr) *torn_tail = true;
+    return Status::OK();
+  }
+  if (std::memcmp(magic, kWalMagic, kWalMagicSize) != 0) {
+    return Status::Corruption("WAL scan: bad magic (not a WAL file)");
+  }
+
+  uint64_t offset = kWalMagicSize;
+  // Records are capped well below this in practice; the bound stops a
+  // corrupt length field from driving a multi-gigabyte allocation.
+  constexpr uint32_t kMaxRecordBody = 1u << 30;
+
+  for (;;) {
+    uint8_t frame[kWalFrameHeaderSize];
+    const size_t n = std::fread(frame, 1, sizeof(frame), file);
+    if (n == 0) break;  // Clean end.
+    if (n < sizeof(frame)) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    uint32_t crc = 0;
+    uint32_t length = 0;
+    std::memcpy(&crc, frame, sizeof(crc));
+    std::memcpy(&length, frame + sizeof(crc), sizeof(length));
+    if (length > kMaxRecordBody) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    std::vector<uint8_t> body(length);
+    if (length > 0 &&
+        std::fread(body.data(), 1, body.size(), file) != body.size()) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    // CRC covers the length field plus the body (chained).
+    uint32_t actual = Crc32(&length, sizeof(length));
+    actual = Crc32(body.data(), body.size(), actual);
+    if (actual != crc) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    WalRecord rec;
+    if (!DecodeBody(body, &rec)) {
+      if (torn_tail != nullptr) *torn_tail = true;
+      break;
+    }
+    offset += kWalFrameHeaderSize + length;
+    *valid_end = offset;
+    if (records != nullptr) records->push_back(std::move(rec));
+  }
+  if (*valid_end == 0 && got == kWalMagicSize) {
+    // Magic alone is a valid (empty) log.
+    *valid_end = kWalMagicSize;
+  }
+  return Status::OK();
+}
+
+Result<WalScanResult> ReadWal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound(Format("WAL '%s' does not exist", path.c_str()));
+  }
+  WalScanResult out;
+  Status st =
+      ScanWalFile(file, &out.records, &out.valid_end, &out.torn_tail);
+  std::fclose(file);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<WalCheckpoint> DecodeCheckpoint(const WalRecord& rec) {
+  if (rec.type != WalRecordType::kCheckpoint || rec.ops.size() != 1 ||
+      rec.ops[0].kind != WalOpKind::kCheckpointInfo) {
+    return Status::Corruption("WAL checkpoint record has unexpected shape");
+  }
+  WalCheckpoint cp;
+  cp.watermark_ts = rec.commit_ts;
+  cp.snapshot_path.assign(rec.ops[0].payload.begin(),
+                          rec.ops[0].payload.end());
+  return cp;
+}
+
+}  // namespace wal
+}  // namespace ocb

@@ -1,0 +1,44 @@
+/// \file wal_reader.h
+/// \brief Read side of the redo write-ahead log: valid-prefix scan with
+/// the torn-tail rule, plus checkpoint payload decoding.
+
+#ifndef OCB_WAL_WAL_READER_H_
+#define OCB_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/wal_format.h"
+
+namespace ocb {
+namespace wal {
+
+/// Everything a valid-prefix scan of one WAL file yields.
+struct WalScanResult {
+  std::vector<WalRecord> records;  ///< Records of the valid prefix, in order.
+  uint64_t valid_end = 0;          ///< Byte offset past the last valid record.
+  bool torn_tail = false;          ///< Bytes existed past the valid prefix.
+};
+
+/// Scans \p file (positioned anywhere; the scan seeks itself) and returns
+/// the longest prefix of CRC-valid records. \p records may be nullptr when
+/// the caller only needs the truncation point. Bad magic is Corruption; a
+/// torn or truncated tail is NOT an error — that is the crash the log
+/// exists to survive.
+Status ScanWalFile(std::FILE* file, std::vector<WalRecord>* records,
+                   uint64_t* valid_end, bool* torn_tail = nullptr);
+
+/// Opens and scans the WAL at \p path. A missing file is NotFound (the
+/// caller decides whether an absent log is fresh or fatal).
+Result<WalScanResult> ReadWal(const std::string& path);
+
+/// Decodes the checkpoint payload of a kCheckpoint record.
+Result<WalCheckpoint> DecodeCheckpoint(const WalRecord& rec);
+
+}  // namespace wal
+}  // namespace ocb
+
+#endif  // OCB_WAL_WAL_READER_H_

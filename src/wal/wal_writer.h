@@ -1,0 +1,78 @@
+/// \file wal_writer.h
+/// \brief Append/force side of the redo write-ahead log.
+///
+/// One WalWriter owns one WAL file. The commit pipeline's leader appends
+/// every record of a group-commit batch, then calls Force() once — a
+/// single fflush + fsync per batch — before any member of the batch is
+/// acknowledged. Appends and forces are serialized by an internal mutex so
+/// the checkpoint path (SaveSnapshot) can append concurrently with a
+/// commit leader without interleaving frames.
+///
+/// Open() scans an existing file and truncates a torn tail (an incomplete
+/// or CRC-failing final record left by a crash) before positioning at the
+/// end, so the append point is always the end of the valid prefix.
+
+#ifndef OCB_WAL_WAL_WRITER_H_
+#define OCB_WAL_WAL_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+#include "wal/wal_format.h"
+
+namespace ocb {
+namespace wal {
+
+class WalWriter {
+ public:
+  /// Opens (creating if absent) the WAL at \p path. An existing file has
+  /// its torn tail truncated; a file that exists but does not start with
+  /// the WAL magic is a Corruption error (never silently clobbered).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Serializes \p rec and appends its frame to the file (buffered; not
+  /// durable until Force()).
+  Status Append(const WalRecord& rec);
+
+  /// Makes everything appended so far durable: fflush + fsync. Charged
+  /// once per group-commit batch by the commit leader.
+  Status Force();
+
+  /// Force() only when records were appended since the last force; a
+  /// clean log is a no-op. The cross-shard fast path uses this on the
+  /// coordinator log so a dependent commit's ack can never become
+  /// durable while a predecessor's 2PC marker is still unforced.
+  Status ForceIfDirty();
+
+  const std::string& path() const { return path_; }
+
+  /// Records appended through this writer since Open (tests/obs).
+  uint64_t appended_records() const;
+  /// Forces issued since Open (tests/obs).
+  uint64_t forces() const;
+
+ private:
+  WalWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+
+  mutable std::mutex mu_;
+  uint64_t appended_records_ = 0;
+  uint64_t forces_ = 0;
+  uint64_t dirty_records_ = 0;  ///< Appended since the last Force.
+};
+
+}  // namespace wal
+}  // namespace ocb
+
+#endif  // OCB_WAL_WAL_WRITER_H_

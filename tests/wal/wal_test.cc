@@ -1,0 +1,287 @@
+// Tests for the redo WAL's on-disk format: append/scan round trips, the
+// torn-tail rule, CRC validation, and checkpoint payload decoding.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace ocb {
+namespace wal {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+WalRecord CommitRecord(uint64_t txn, uint64_t ts) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  rec.txn_id = txn;
+  rec.commit_ts = ts;
+  WalOp up;
+  up.kind = WalOpKind::kUpsert;
+  up.class_id = 3;
+  up.oid = 40 + ts;
+  up.payload = {1, 2, 3, static_cast<uint8_t>(ts)};
+  rec.ops.push_back(up);
+  WalOp del;
+  del.kind = WalOpKind::kDelete;
+  del.class_id = 1;
+  del.oid = 7;
+  rec.ops.push_back(del);
+  return rec;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = TempPath("ocb_wal_test.wal");
+};
+
+TEST_F(WalTest, AppendReadRoundTrip) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok()) << w.status().message();
+    ASSERT_TRUE((*w)->Append(CommitRecord(11, 1)).ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(12, 2)).ok());
+    WalRecord marker;
+    marker.type = WalRecordType::kCoordMarker;
+    marker.txn_id = 12;
+    marker.commit_ts = 2;
+    ASSERT_TRUE((*w)->Append(marker).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+    EXPECT_EQ((*w)->appended_records(), 3u);
+    EXPECT_EQ((*w)->forces(), 1u);
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok()) << scan.status().message();
+  EXPECT_FALSE(scan->torn_tail);
+  ASSERT_EQ(scan->records.size(), 3u);
+  const WalRecord& a = scan->records[0];
+  EXPECT_EQ(a.type, WalRecordType::kCommit);
+  EXPECT_EQ(a.txn_id, 11u);
+  EXPECT_EQ(a.commit_ts, 1u);
+  ASSERT_EQ(a.ops.size(), 2u);
+  EXPECT_EQ(a.ops[0].kind, WalOpKind::kUpsert);
+  EXPECT_EQ(a.ops[0].class_id, 3u);
+  EXPECT_EQ(a.ops[0].oid, 41u);
+  EXPECT_EQ(a.ops[0].payload, (std::vector<uint8_t>{1, 2, 3, 1}));
+  EXPECT_EQ(a.ops[1].kind, WalOpKind::kDelete);
+  EXPECT_TRUE(a.ops[1].payload.empty());
+  const WalRecord& m = scan->records[2];
+  EXPECT_EQ(m.type, WalRecordType::kCoordMarker);
+  EXPECT_EQ(m.commit_ts, 2u);
+  EXPECT_TRUE(m.ops.empty());
+}
+
+TEST_F(WalTest, EmptyLogScansToZeroRecords) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST_F(WalTest, MissingFileIsNotFound) {
+  auto scan = ReadWal(TempPath("ocb_wal_missing.wal"));
+  EXPECT_TRUE(scan.status().IsNotFound());
+}
+
+TEST_F(WalTest, ReopenAppendsAfterExistingRecords) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].txn_id, 1u);
+  EXPECT_EQ(scan->records[1].txn_id, 2u);
+}
+
+TEST_F(WalTest, TornTailIsDroppedByScanAndTruncatedByOpen) {
+  uint64_t valid_end = 0;
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  {
+    auto scan = ReadWal(path_);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan->records.size(), 2u);
+    valid_end = scan->valid_end;
+  }
+  // Crash mid-append: only part of a third record's frame reaches disk.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[7] = {0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+  {
+    auto scan = ReadWal(path_);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->records.size(), 2u);  // Valid prefix only.
+    EXPECT_TRUE(scan->torn_tail);
+    EXPECT_EQ(scan->valid_end, valid_end);
+  }
+  // Open truncates the tail and appends cleanly after the prefix.
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(3, 3)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->records[2].txn_id, 3u);
+}
+
+TEST_F(WalTest, TruncatedFinalRecordIsDropped) {
+  // Torn tail variant: the file ends mid-record (short frame), not with
+  // garbage — truncate() to a byte inside the last record's body.
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  uint64_t full_end = 0;
+  {
+    auto scan = ReadWal(path_);
+    ASSERT_TRUE(scan.ok());
+    full_end = scan->valid_end;
+  }
+  ASSERT_EQ(truncate(path_.c_str(), static_cast<off_t>(full_end - 3)), 0);
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->records[0].txn_id, 1u);
+}
+
+TEST_F(WalTest, CrcCorruptionStopsTheScanAtTheDamage) {
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  // Flip one byte in the SECOND record's body (well past the first
+  // record's frame): the scan keeps record 1, drops record 2.
+  uint64_t first_end = 0;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::vector<WalRecord> one;
+    // Scan manually to find the end of the first record: scan the whole
+    // file, then recompute the prefix end by rescanning a copy is more
+    // work than arithmetic — both records serialize identically-sized
+    // bodies, so the first ends halfway through the record area.
+    uint64_t end = 0;
+    ASSERT_TRUE(ScanWalFile(f, &one, &end).ok());
+    std::fclose(f);
+    first_end = kWalMagicSize + (end - kWalMagicSize) / 2;
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(first_end) + 12, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_EQ(scan->records[0].txn_id, 1u);
+}
+
+TEST_F(WalTest, NonWalFileIsCorruptionNeverClobbered) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a WAL", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(WalWriter::Open(path_).status().IsCorruption());
+  EXPECT_TRUE(ReadWal(path_).status().IsCorruption());
+  // The file content survived the refused open.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf), f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf), "definitely not a WAL");
+}
+
+TEST_F(WalTest, CheckpointRecordRoundTrips) {
+  const std::string snap = TempPath("ocb_wal_test.snap");
+  {
+    auto w = WalWriter::Open(path_);
+    ASSERT_TRUE(w.ok());
+    WalRecord rec;
+    rec.type = WalRecordType::kCheckpoint;
+    rec.commit_ts = 42;  // Watermark.
+    WalOp op;
+    op.kind = WalOpKind::kCheckpointInfo;
+    op.payload.assign(snap.begin(), snap.end());
+    rec.ops.push_back(op);
+    ASSERT_TRUE((*w)->Append(rec).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  auto scan = ReadWal(path_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  auto cp = DecodeCheckpoint(scan->records[0]);
+  ASSERT_TRUE(cp.ok()) << cp.status().message();
+  EXPECT_EQ(cp->snapshot_path, snap);
+  EXPECT_EQ(cp->watermark_ts, 42u);
+  // A commit record is not a checkpoint.
+  EXPECT_FALSE(DecodeCheckpoint(CommitRecord(1, 1)).ok());
+}
+
+TEST_F(WalTest, ForceIfDirtySkipsCleanLogs) {
+  auto w = WalWriter::Open(path_);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->ForceIfDirty().ok());
+  EXPECT_EQ((*w)->forces(), 0u);  // Clean: no fsync charged.
+  ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+  ASSERT_TRUE((*w)->ForceIfDirty().ok());
+  EXPECT_EQ((*w)->forces(), 1u);
+  ASSERT_TRUE((*w)->ForceIfDirty().ok());
+  EXPECT_EQ((*w)->forces(), 1u);  // Nothing new since the last force.
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace ocb
