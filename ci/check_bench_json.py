@@ -42,11 +42,21 @@ SECTION_KEYS = {
         "engine", "wal", "commits", "batches", "wal_appends", "wal_forces",
         "nanos_per_commit", "wall_nanos",
     },
+    "io": {
+        "mode", "io_workers", "clients", "committed", "throughput_tps",
+        "wall_micros", "misses_issued", "overlap_ratio",
+        "flusher_peak_depth",
+    },
 }
 
-# Sections that carry per-point tail distributions.
-HISTOGRAM_SECTIONS = {"latch", "shard"}
-EXPECTED_HISTOGRAMS = {"lock_wait", "commit_latency", "twopc"}
+# Sections that carry per-point tail distributions, and which
+# histograms each must include.
+EXPECTED_HISTOGRAMS = {
+    "latch": {"lock_wait", "commit_latency", "twopc"},
+    "shard": {"lock_wait", "commit_latency", "twopc"},
+    "io": {"io_wait"},
+}
+HISTOGRAM_SECTIONS = set(EXPECTED_HISTOGRAMS)
 
 
 def check_histogram(errors, where, histo):
@@ -95,7 +105,7 @@ def check_point(errors, index, point):
         if not isinstance(histograms, dict):
             errors.append(f"{where} ({section}): missing histograms object")
         else:
-            for name in EXPECTED_HISTOGRAMS - histograms.keys():
+            for name in EXPECTED_HISTOGRAMS[section] - histograms.keys():
                 errors.append(
                     f"{where} ({section}): missing histogram '{name}'")
             for name, histo in histograms.items():

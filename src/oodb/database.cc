@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "oodb/snapshot.h"
 #include "util/format.h"
 #include "wal/killpoint.h"
 #include "wal/wal_writer.h"
@@ -23,12 +24,16 @@ Database::Database(const StorageOptions& options)
     // constructor cannot fail; a failed open parks the error in
     // wal_open_status_ and every writer commit returns it instead of
     // acknowledging without durability.
-    auto wal = wal::WalWriter::Open(options_.wal_path);
+    auto wal =
+        wal::WalWriter::Open(options_.wal_path, options_.wal_segment_bytes);
     if (wal.ok()) {
       wal_ = std::move(wal).value();
     } else {
       wal_open_status_ = wal.status();
     }
+  }
+  if (wal_ != nullptr && options_.checkpoint_interval_commits > 0) {
+    ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
   }
   RegisterObsCallbacks();
 }
@@ -37,6 +42,14 @@ Database::~Database() {
   // First: stop exporting gauges that read members about to be torn down.
   // Clear() synchronizes with any in-flight registry Snapshot().
   obs_callbacks_.Clear();
+  // The checkpoint thread drives SaveSnapshot, which touches the whole
+  // store — it must be gone before any teardown begins.
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
   {
     std::lock_guard<std::mutex> lock(gc_mu_);
     gc_stop_ = true;
@@ -71,6 +84,18 @@ void Database::RegisterObsCallbacks() {
   reg.Register("db.disk.writes", [this] {
     return disk_->TotalCounters().writes.load(std::memory_order_relaxed);
   });
+  // Async-I/O overlap accounting: serial is what a fully serialized
+  // execution would have charged the sim clock, charged is what actually
+  // was charged (serial/charged = overlap ratio); pending/peak expose the
+  // background write-back queue.
+  reg.Register("db.io.serial_nanos",
+               [this] { return disk_->serial_io_nanos(); });
+  reg.Register("db.io.charged_nanos",
+               [this] { return disk_->charged_io_nanos(); });
+  reg.Register("db.io.pending_writebacks",
+               [this] { return pool_->pending_writebacks(); });
+  reg.Register("db.io.writeback_peak_depth",
+               [this] { return pool_->writeback_peak_depth(); });
   reg.Register("db.store.objects", [this] {
     return store_->stats().objects.load(std::memory_order_relaxed);
   });
@@ -120,6 +145,54 @@ void Database::GcLoop() {
     // version store serializes against OpenSnapshot, so a newborn
     // ReadView can never lose a version it still needs.
     version_store_.GarbageCollect(read_views_);
+  }
+}
+
+void Database::NoteCommitsForCheckpoint(uint64_t commits) {
+  // wal_ and the interval are immutable after construction, so this gate
+  // needs no lock; when it passes, the scheduler thread exists.
+  if (wal_ == nullptr || options_.checkpoint_interval_commits == 0) return;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_pending_commits_ += commits;
+    wake = ckpt_pending_commits_ >= options_.checkpoint_interval_commits;
+  }
+  if (wake) ckpt_cv_.notify_one();
+}
+
+void Database::CheckpointLoop() {
+  // Alternate between two snapshot files: a crash mid-save tears at most
+  // the file being written, never the previous good checkpoint (recovery
+  // skips unloadable snapshots and falls back).
+  uint64_t parity = 0;
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait(lock, [&] {
+      return ckpt_stop_ ||
+             ckpt_pending_commits_ >= options_.checkpoint_interval_commits;
+    });
+    if (ckpt_stop_) return;
+    ckpt_pending_commits_ = 0;
+    lock.unlock();
+    const std::string path =
+        Format("%s.autockpt%llu", options_.wal_path.c_str(),
+               static_cast<unsigned long long>(parity & 1));
+    // SaveSnapshot enforces its own safety rules (quiesce; refusal while
+    // transactions hold object locks). A refusal is not an error here —
+    // count it and rearm one commit short of the threshold, so the next
+    // durable commit retries instead of waiting out a whole interval.
+    const Status st = SaveSnapshot(this, path);
+    lock.lock();
+    if (st.ok()) {
+      ++parity;
+      checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      checkpoints_refused_.fetch_add(1, std::memory_order_relaxed);
+      if (ckpt_pending_commits_ + 1 < options_.checkpoint_interval_commits) {
+        ckpt_pending_commits_ = options_.checkpoint_interval_commits - 1;
+      }
+    }
   }
 }
 
@@ -273,6 +346,8 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
       }
     }
   }
+  const bool durable_writer =
+      !txn->read_only() && !txn->undo_log_.empty() && wal_status.ok();
   txn->undo_log_.clear();
   txn->undo_logged_.clear();
   lock_manager_.ReleaseAll(txn);
@@ -280,6 +355,7 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
     std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionEnd();
   }
+  if (durable_writer) NoteCommitsForCheckpoint(1);
   return wal_status;
 }
 
@@ -368,11 +444,16 @@ void Database::CommitBatch(
     req->status = writer ? wal_status : Status::OK();
   }
   // One observer pass for the whole batch (callbacks stay serialized).
-  std::lock_guard<std::mutex> lock(observer_mu_);
-  if (observer_ != nullptr) {
-    for (size_t i = 0; i < batch.size(); ++i) {
-      observer_->OnTransactionEnd();
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (observer_ != nullptr) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        observer_->OnTransactionEnd();
+      }
     }
+  }
+  if (!writers.empty() && wal_status.ok()) {
+    NoteCommitsForCheckpoint(writers.size());
   }
 }
 
@@ -874,6 +955,10 @@ Status Database::GetObjectsBatched(TransactionContext* txn,
         OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
       }
     }
+    // Locks held, latches not yet: issue every miss of the batch as one
+    // overlapped prefetch so the read pass below runs against a warm
+    // cache instead of paying the misses serially.
+    if (oids.size() > 1) (void)PrefetchObjects(oids);
     auto facade = FacadeGate();
     for (Oid oid : oids) {
       auto obj = ReadDecode(oid);
@@ -903,6 +988,9 @@ Status Database::AcquireWriteFootprint(TransactionContext* txn,
   for (Oid oid : oids) {
     OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
   }
+  // The batch's operations will read-modify-write these objects next;
+  // warm their pages in one overlapped batch while only locks are held.
+  if (oids.size() > 1) (void)PrefetchObjects(oids);
   return Status::OK();
 }
 

@@ -410,6 +410,24 @@ class Database {
   /// Recovery-only: no locks, no undo, no versioning.
   Status ApplyRedoOp(const wal::WalOp& op);
 
+  // --- Automatic checkpointing ---
+  //
+  // With a WAL and a nonzero StorageOptions::checkpoint_interval_commits,
+  // a background thread runs SaveSnapshot every N writer commits,
+  // alternating between "<wal_path>.autockpt0/1" so a crash mid-save can
+  // never destroy the only loadable checkpoint. SaveSnapshot's own safety
+  // rules stay in force: an attempt while transactions hold object locks
+  // is refused (counted below) and retried on the next commit.
+
+  /// Automatic checkpoints completed so far.
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+  /// Automatic checkpoint attempts refused (locks were held).
+  uint64_t checkpoints_refused() const {
+    return checkpoints_refused_.load(std::memory_order_relaxed);
+  }
+
   // --- Uniform engine surface ---
   //
   // Database and ShardedDatabase expose this identically (the sharded
@@ -442,8 +460,21 @@ class Database {
   /// Aggregate object-store placement statistics.
   ObjectStoreStats StoreStats() const { return store_->stats(); }
 
-  /// Writes every dirty page back (generation epilogue).
+  /// Writes every dirty page back (generation epilogue). Drains the
+  /// background write-back queue first.
   Status FlushPools() { return pool_->FlushAll(); }
+
+  /// Advisory batch cache-warm for an upcoming multi-object read:
+  /// resolves \p oids to their pages and issues every buffer-pool miss as
+  /// ONE overlapped batch (ObjectStore::Prefetch → BufferPool::FetchMany)
+  /// instead of paying the misses one device latency at a time. Purely a
+  /// hint — unknown oids are skipped and errors resurface on the real
+  /// read. No-op in serialize-physical mode: the compatibility baseline
+  /// must keep its strictly serial I/O.
+  Status PrefetchObjects(std::span<const Oid> oids) {
+    if (serialized_physical()) return Status::OK();
+    return store_->Prefetch(oids);
+  }
 
   // --- Substrate access (benchmark harness & clustering reorganizers) ---
   ObjectStore* object_store() { return store_.get(); }
@@ -639,6 +670,14 @@ class Database {
   /// prodded) and reclaims versions older than the oldest live ReadView.
   void GcLoop();
 
+  /// Tells the auto-checkpoint scheduler \p commits more writer commits
+  /// became durable; wakes the thread when the interval fills. No-op when
+  /// automatic checkpointing is off.
+  void NoteCommitsForCheckpoint(uint64_t commits);
+
+  /// Background auto-checkpoint loop (see "Automatic checkpointing").
+  void CheckpointLoop();
+
   /// Registers this engine's gauge callbacks (db.pool.*, db.lock.*, ...)
   /// with the global metrics registry; no-op when compiled out.
   void RegisterObsCallbacks();
@@ -694,6 +733,16 @@ class Database {
   std::condition_variable gc_cv_;
   bool gc_stop_ = false;
   std::thread gc_thread_;
+
+  // Automatic checkpointing (started in the constructor when configured,
+  // joined in the destructor before any member it reads dies).
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> checkpoints_refused_{0};
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  uint64_t ckpt_pending_commits_ = 0;  ///< Guarded by ckpt_mu_.
+  std::thread ckpt_thread_;
 };
 
 }  // namespace ocb

@@ -167,6 +167,10 @@ Status SaveSnapshot(Database* db, const std::string& path) {
     rec.ops.push_back(std::move(op));
     OCB_RETURN_NOT_OK(db->wal()->Append(rec));
     OCB_RETURN_NOT_OK(db->wal()->Force());
+    // Closed segments wholly below this checkpoint replay to state the
+    // snapshot already captures — reclaim them. Best-effort: a prune that
+    // keeps a segment only costs replay time, never correctness.
+    (void)db->wal()->PruneSegments(rec.commit_ts);
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "oodb/snapshot.h"
+#include "storage/io_backend.h"
 #include "util/format.h"
 #include "wal/wal_writer.h"
 
@@ -30,6 +31,12 @@ ShardedDatabase::ShardedDatabase(const StorageOptions& base,
   per.lock_wait_timeout_nanos =
       std::min<uint64_t>(base.lock_wait_timeout_nanos,
                          kShardLockTimeoutNanos);
+  // One I/O worker group for the whole deployment: each shard's DiskSim
+  // submits to the shared backend instead of spawning io_workers threads
+  // per shard (N shards would otherwise mean N * io_workers threads).
+  if (base.io_workers > 0 && per.io_backend == nullptr) {
+    per.io_backend = std::make_shared<IoBackend>(base.io_workers);
+  }
   shards_.reserve(n);
   std::vector<Database*> raw;
   for (uint32_t k = 0; k < n; ++k) {
@@ -47,7 +54,8 @@ ShardedDatabase::ShardedDatabase(const StorageOptions& base,
   if (!base.wal_path.empty()) {
     // The coordinator's marker log pairs with the shard logs: a 2PC
     // participant record replays only when its marker is here.
-    auto coord_wal = wal::WalWriter::Open(base.wal_path + ".coord");
+    auto coord_wal = wal::WalWriter::Open(base.wal_path + ".coord",
+                                          base.wal_segment_bytes);
     if (coord_wal.ok()) {
       coord_wal_ = std::move(coord_wal).value();
       coordinator_->AttachWal(coord_wal_.get());
@@ -581,6 +589,21 @@ Status ShardedDatabase::FlushPools() {
     OCB_RETURN_NOT_OK(shard->FlushPools());
   }
   return Status::OK();
+}
+
+Status ShardedDatabase::PrefetchObjects(std::span<const Oid> oids) {
+  if (oids.size() < 2) return Status::OK();
+  std::vector<std::vector<Oid>> per_shard(router_.shard_count());
+  for (Oid oid : oids) {
+    per_shard[router_.ShardOf(oid)].push_back(oid);
+  }
+  Status first_error;
+  for (uint32_t k = 0; k < router_.shard_count(); ++k) {
+    if (per_shard[k].empty()) continue;
+    Status st = shards_[k]->PrefetchObjects(per_shard[k]);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
 }
 
 Status SaveShardedSnapshot(ShardedDatabase* db, const std::string& path) {

@@ -235,6 +235,12 @@ class ShardedDatabase {
   ObjectStoreStats StoreStats() const;
   Status FlushPools();
 
+  /// Advisory batch cache-warm (see Database::PrefetchObjects):
+  /// partitions \p oids by owning shard and issues each shard's misses as
+  /// one overlapped batch. Every shard's pool shares the deployment's one
+  /// I/O worker group, so the batches overlap across shards too.
+  Status PrefetchObjects(std::span<const Oid> oids);
+
   const StorageOptions& options() const { return base_options_; }
 
   /// Re-adopts shard 0's schema descriptors as the master copy —

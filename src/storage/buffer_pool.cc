@@ -48,6 +48,33 @@ thread_local int64_t tls_pin_depth = 0;
 
 }  // namespace
 
+PendingFetch::~PendingFetch() {
+  if (pool_ != nullptr) pool_->FinishPrefetch(*this);
+}
+
+PendingFetch::PendingFetch(PendingFetch&& other) noexcept
+    : pool_(other.pool_), frame_index_(other.frame_index_),
+      page_id_(other.page_id_), mode_(other.mode_), miss_(other.miss_),
+      ticket_(std::move(other.ticket_)),
+      issue_status_(other.issue_status_) {
+  other.pool_ = nullptr;
+}
+
+PendingFetch& PendingFetch::operator=(PendingFetch&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->FinishPrefetch(*this);
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    page_id_ = other.page_id_;
+    mode_ = other.mode_;
+    miss_ = other.miss_;
+    ticket_ = std::move(other.ticket_);
+    issue_status_ = other.issue_status_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
 PageHandle::PageHandle(BufferPool* pool, size_t frame_index, uint8_t* data,
                        size_t page_size, LatchMode mode)
     : pool_(pool), frame_index_(frame_index), data_(data),
@@ -133,6 +160,11 @@ void BufferPool::BeginQuiesce() {
   quiesce_cv_.wait(lock, [&] {
     return total_pins_.load(std::memory_order_acquire) == 0;
   });
+  // With every pin drained and the gate closed, settle the background
+  // write-back queue too: the quiesce owner (snapshot save/load, cold
+  // restart) expects all physical I/O at rest. The awaits only block on
+  // the I/O workers, which never take pool mutexes.
+  DrainWritebacks();
 }
 
 void BufferPool::EndQuiesce() {
@@ -147,65 +179,98 @@ void BufferPool::EndQuiesce() {
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId page_id, LatchMode mode) {
+  return Await(StartFetch(page_id, mode));
+}
+
+PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode) {
   MaybeWaitForQuiesce();
   Stripe& stripe = stripe_of(page_id);
-  for (;;) {
-    size_t frame_index = 0;
-    bool miss = false;
-    {
-      LatchPageExclusive(stripe.mu);
-      std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
-      auto it = stripe.page_table.find(page_id);
-      if (it != stripe.page_table.end()) {
-        stats_.hits.fetch_add(1, std::memory_order_relaxed);
-        frame_index = it->second;
-        Frame& frame = frames_[frame_index];
-        frame.pin_count.fetch_add(1, std::memory_order_relaxed);
-        total_pins_.fetch_add(1, std::memory_order_acq_rel);
-        ++tls_pin_depth;
-        frame.referenced = true;
-        TouchLru(stripe, frame_index);
-      } else {
-        stats_.misses.fetch_add(1, std::memory_order_relaxed);
-        auto claimed = ClaimFrame(stripe);
-        if (!claimed.ok()) return claimed.status();
-        frame_index = claimed.value();
-        Frame& frame = frames_[frame_index];
-        if (frame.data == nullptr) {
-          frame.data = std::make_unique<uint8_t[]>(options_.page_size);
-        }
-        frame.page_id = page_id;
-        frame.dirty = false;
-        frame.referenced = true;
-        frame.pin_count.fetch_add(1, std::memory_order_relaxed);
-        total_pins_.fetch_add(1, std::memory_order_acq_rel);
-        ++tls_pin_depth;
-        stripe.page_table[page_id] = frame_index;
-        stripe.lru.push_front(frame_index);
-        frame.lru_pos = stripe.lru.begin();
-        miss = true;
-      }
+  PendingFetch fetch;
+  fetch.page_id_ = page_id;
+  fetch.mode_ = mode;
+  {
+    LatchPageExclusive(stripe.mu);
+    std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
+    auto it = stripe.page_table.find(page_id);
+    if (it != stripe.page_table.end()) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      const size_t frame_index = it->second;
+      Frame& frame = frames_[frame_index];
+      frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+      total_pins_.fetch_add(1, std::memory_order_acq_rel);
+      ++tls_pin_depth;
+      frame.referenced = true;
+      TouchLru(stripe, frame_index);
+      fetch.pool_ = this;
+      fetch.frame_index_ = frame_index;
+      fetch.miss_ = false;
+      return fetch;
     }
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    auto claimed = ClaimFrame(stripe);
+    if (!claimed.ok()) {
+      fetch.issue_status_ = claimed.status();
+      return fetch;
+    }
+    const size_t frame_index = claimed.value();
     Frame& frame = frames_[frame_index];
-    if (miss) {
-      // Miss I/O runs outside the stripe mutex, under the frame's X latch
-      // (held since ClaimFrame): concurrent fetchers of this page pin the
-      // frame and block on the latch until the read completes, while the
-      // rest of the stripe stays available.
-      obs::TraceSpan io_span("io.miss", "page", page_id);
-      Status read = disk_->ReadPage(page_id, frame.data.get());
+    if (frame.data == nullptr) {
+      frame.data = std::make_unique<uint8_t[]>(options_.page_size);
+    }
+    frame.page_id = page_id;
+    frame.dirty = false;
+    frame.referenced = true;
+    frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+    total_pins_.fetch_add(1, std::memory_order_acq_rel);
+    ++tls_pin_depth;
+    stripe.page_table[page_id] = frame_index;
+    stripe.lru.push_front(frame_index);
+    frame.lru_pos = stripe.lru.begin();
+    fetch.pool_ = this;
+    fetch.frame_index_ = frame_index;
+    fetch.miss_ = true;
+    // If this page's previous dirty image is still on the write-back
+    // queue, retire that write before re-reading — per-page write→read
+    // order is the pool's contract with DiskSim.
+    Status settled = SettleWriteback(stripe, page_id);
+    if (!settled.ok()) {
+      lock.unlock();
+      UninstallFailedMiss(frame_index, page_id);
+      fetch.pool_ = nullptr;
+      fetch.issue_status_ = settled;
+      return fetch;
+    }
+  }
+  // Miss I/O is *issued* outside the stripe mutex, under the frame's X
+  // latch (held since ClaimFrame): concurrent fetchers of this page pin
+  // the frame and block on the latch until Await installs the bytes,
+  // while the rest of the stripe stays available. The span covers the
+  // inline execution in blocking mode and just the submission with I/O
+  // workers (the wait lands in the "io.wait" histogram).
+  {
+    obs::TraceSpan io_span("io.miss", "page", page_id);
+    fetch.ticket_ =
+        disk_->StartRead(page_id, frames_[fetch.frame_index_].data.get());
+  }
+  return fetch;
+}
+
+Result<PageHandle> BufferPool::Await(PendingFetch fetch) {
+  for (;;) {
+    if (!fetch.pending()) {
+      return fetch.issue_status_.ok()
+                 ? Status::InvalidArgument("await of an empty pending fetch")
+                 : fetch.issue_status_;
+    }
+    const PageId page_id = fetch.page_id_;
+    const LatchMode mode = fetch.mode_;
+    const size_t frame_index = fetch.frame_index_;
+    Frame& frame = frames_[frame_index];
+    fetch.pool_ = nullptr;  // Resolved below; disarm the destructor.
+    if (fetch.miss_) {
+      Status read = disk_->Await(fetch.ticket_);
       if (!read.ok()) {
-        {
-          std::lock_guard<std::mutex> lock(stripe.mu);
-          stripe.page_table.erase(page_id);
-          stripe.lru.erase(frame.lru_pos);
-          frame.page_id = kInvalidPageId;
-          frame.referenced = false;
-          stripe.free_frames.push_back(frame_index);
-        }
-        frame.latch.unlock();
-        Unpin(frame_index, LatchMode::kExclusive,
-              /*latch_already_released=*/true);
+        UninstallFailedMiss(frame_index, page_id);
         return read;
       }
       if (mode == LatchMode::kShared) {
@@ -214,28 +279,94 @@ Result<PageHandle> BufferPool::FetchPage(PageId page_id, LatchMode mode) {
         frame.latch.unlock();
         LatchPageShared(frame.latch);
       }
+      return PageHandle(this, frame_index, frame.data.get(),
+                        options_.page_size, mode);
+    }
+    if (mode == LatchMode::kShared) {
+      LatchPageShared(frame.latch);
     } else {
+      LatchPageExclusive(frame.latch);
+    }
+    // A failed install (disk error on the frame we were waiting for) can
+    // retire the frame under us; page_id is stable while we hold the
+    // latch, so re-check and retry the lookup.
+    if (frame.page_id != page_id) {
       if (mode == LatchMode::kShared) {
-        LatchPageShared(frame.latch);
+        frame.latch.unlock_shared();
       } else {
-        LatchPageExclusive(frame.latch);
+        frame.latch.unlock();
       }
-      // A failed install (disk error on the frame we were waiting for) can
-      // retire the frame under us; page_id is stable while we hold the
-      // latch, so re-check and retry the lookup.
-      if (frame.page_id != page_id) {
-        if (mode == LatchMode::kShared) {
-          frame.latch.unlock_shared();
-        } else {
-          frame.latch.unlock();
-        }
-        Unpin(frame_index, mode, /*latch_already_released=*/true);
-        continue;
-      }
+      Unpin(frame_index, mode, /*latch_already_released=*/true);
+      fetch = StartFetch(page_id, mode);
+      continue;
     }
     return PageHandle(this, frame_index, frame.data.get(),
                       options_.page_size, mode);
   }
+}
+
+Status BufferPool::FetchMany(std::span<const PageId> page_ids) {
+  if (page_ids.empty()) return Status::OK();
+  std::vector<PageId> pages(page_ids.begin(), page_ids.end());
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  obs::TraceSpan batch_span("io.batch", "pages",
+                            static_cast<uint64_t>(pages.size()));
+  // Issue every miss before awaiting any. FinishPrefetch releases each
+  // page (latch + pin) as soon as its read lands, so this loop never
+  // blocks on a page latch while holding another — no latch-order hazard
+  // regardless of what other threads hold.
+  std::vector<PendingFetch> pending;
+  pending.reserve(pages.size());
+  for (PageId page_id : pages) {
+    pending.push_back(StartFetch(page_id, LatchMode::kShared));
+  }
+  Status first_error;
+  for (PendingFetch& fetch : pending) {
+    Status finished = fetch.pending() ? FinishPrefetch(fetch)
+                                      : fetch.issue_status();
+    if (!finished.ok() && first_error.ok()) first_error = finished;
+  }
+  return first_error;
+}
+
+Status BufferPool::FinishPrefetch(PendingFetch& fetch) {
+  if (fetch.pool_ == nullptr) return fetch.issue_status_;
+  const size_t frame_index = fetch.frame_index_;
+  const PageId page_id = fetch.page_id_;
+  const bool miss = fetch.miss_;
+  const LatchMode mode = fetch.mode_;
+  fetch.pool_ = nullptr;
+  if (!miss) {
+    // Hit: never latched — just drop the pin.
+    Unpin(frame_index, mode, /*latch_already_released=*/true);
+    return Status::OK();
+  }
+  Status read = disk_->Await(fetch.ticket_);
+  if (!read.ok()) {
+    UninstallFailedMiss(frame_index, page_id);
+    return read;
+  }
+  frames_[frame_index].latch.unlock();
+  Unpin(frame_index, LatchMode::kExclusive,
+        /*latch_already_released=*/true);
+  return Status::OK();
+}
+
+void BufferPool::UninstallFailedMiss(size_t frame_index, PageId page_id) {
+  Stripe& stripe = stripe_of(page_id);
+  Frame& frame = frames_[frame_index];
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.page_table.erase(page_id);
+    stripe.lru.erase(frame.lru_pos);
+    frame.page_id = kInvalidPageId;
+    frame.referenced = false;
+    stripe.free_frames.push_back(frame_index);
+  }
+  frame.latch.unlock();
+  Unpin(frame_index, LatchMode::kExclusive,
+        /*latch_already_released=*/true);
 }
 
 Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
@@ -268,6 +399,11 @@ Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  // Settle the background write-back queue first: FlushAll is a
+  // durability-ordering point (snapshot save, checkpoint, cold restart)
+  // and must leave the DiskSim holding every image the pool has retired.
+  Status drained = DrainWritebacks();
+  if (!drained.ok()) return drained;
   for (auto& stripe_ptr : stripes_) {
     Stripe& stripe = *stripe_ptr;
     std::vector<std::pair<size_t, PageId>> resident;
@@ -322,7 +458,9 @@ Status BufferPool::InvalidateAll() {
       stripe.free_frames.push_back(frame_index);
     }
   }
-  return Status::OK();
+  // Evicting dirty frames above may have queued background write-backs;
+  // leave the disk settled (benchmarks read raw pages right after).
+  return DrainWritebacks();
 }
 
 size_t BufferPool::pinned_frames() const {
@@ -404,13 +542,44 @@ Result<size_t> BufferPool::ClaimFrame(Stripe& stripe) {
 }
 
 Status BufferPool::EvictFrame(Stripe& stripe, size_t frame_index) {
-  // Requires stripe.mu and the frame latch: the victim's writeback
-  // completes under the stripe mutex, so a concurrent re-fetch of the page
-  // (same stripe by construction) serializes behind the finished write.
+  // Requires stripe.mu and the frame latch. Inline mode: the victim's
+  // writeback completes under the stripe mutex, so a concurrent re-fetch
+  // of the page (same stripe by construction) serializes behind the
+  // finished write. Async mode: the dirty image is donated to the
+  // write-back queue and the frame is reusable immediately; the re-fetch
+  // serializes through SettleWriteback instead.
   Frame& frame = frames_[frame_index];
   if (frame.dirty) {
-    Status written = disk_->WritePage(frame.page_id, frame.data.get());
-    if (!written.ok()) return written;
+    if (disk_->async_enabled()) {
+      // Any failure must leave the frame resident (ClaimFrame's error
+      // contract), so both awaits happen before the frame is touched:
+      // the page's previous queued write (per-page order), then the
+      // throttle when the stripe's queue is at depth.
+      Status settled = SettleWriteback(stripe, frame.page_id);
+      if (!settled.ok()) return settled;
+      while (stripe.writebacks.size() >= options_.writeback_queue_depth &&
+             !stripe.writebacks.empty()) {
+        auto oldest = stripe.writebacks.begin();
+        IoTicket ticket = std::move(oldest->second);
+        stripe.writebacks.erase(oldest);
+        writeback_pending_.fetch_sub(1, std::memory_order_relaxed);
+        Status retired = disk_->Await(ticket);
+        if (!retired.ok()) return retired;
+      }
+      IoTicket ticket =
+          disk_->StartWrite(frame.page_id, std::move(frame.data));
+      stripe.writebacks.emplace(frame.page_id, std::move(ticket));
+      const uint64_t depth =
+          writeback_pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t peak = writeback_peak_.load(std::memory_order_relaxed);
+      while (peak < depth &&
+             !writeback_peak_.compare_exchange_weak(
+                 peak, depth, std::memory_order_relaxed)) {
+      }
+    } else {
+      Status written = disk_->WritePage(frame.page_id, frame.data.get());
+      if (!written.ok()) return written;
+    }
     stats_.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
   }
   stats_.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -420,6 +589,38 @@ Status BufferPool::EvictFrame(Stripe& stripe, size_t frame_index) {
   frame.dirty = false;
   frame.referenced = false;
   return Status::OK();
+}
+
+Status BufferPool::SettleWriteback(Stripe& stripe, PageId page_id) {
+  auto it = stripe.writebacks.find(page_id);
+  if (it == stripe.writebacks.end()) return Status::OK();
+  IoTicket ticket = std::move(it->second);
+  stripe.writebacks.erase(it);
+  writeback_pending_.fetch_sub(1, std::memory_order_relaxed);
+  return disk_->Await(ticket);
+}
+
+Status BufferPool::DrainWritebacks() {
+  Status first_error;
+  for (auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    std::vector<IoTicket> tickets;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      tickets.reserve(stripe.writebacks.size());
+      for (auto& [pid, ticket] : stripe.writebacks) {
+        tickets.push_back(std::move(ticket));
+      }
+      writeback_pending_.fetch_sub(stripe.writebacks.size(),
+                                   std::memory_order_relaxed);
+      stripe.writebacks.clear();
+    }
+    for (IoTicket& ticket : tickets) {
+      Status retired = disk_->Await(ticket);
+      if (!retired.ok() && first_error.ok()) first_error = retired;
+    }
+  }
+  return first_error;
 }
 
 void BufferPool::Unpin(size_t frame_index, LatchMode mode,

@@ -37,6 +37,25 @@
 /// a pin, are allowed to finish) and waits until every outstanding pin has
 /// drained; the owning thread then operates alone. Database::QuiesceGuard
 /// is the intended entry point.
+///
+/// Asynchronous I/O (issue/await): StartFetch() performs the table lookup
+/// and, on a miss, claims + installs the frame and *issues* the disk read
+/// without waiting for it; Await() blocks on the completion, downgrades to
+/// the requested latch mode, and returns the handle. FetchPage is exactly
+/// Await(StartFetch(...)) — the blocking contract is unchanged. A pending
+/// frame is X-latched by the issuing thread for the whole issue→await
+/// window, so concurrent fetchers pin and block on the latch precisely as
+/// they do for a blocking miss. FetchMany() is the multi-miss batch form:
+/// it issues every miss before awaiting any, then *releases* each page
+/// (latch and pin) as its read lands — pure cache warming, so it never
+/// blocks on a latch while holding another and is deadlock-free under any
+/// interleaving with the ascending-page-id multi-handle rule. Dirty-victim
+/// write-back is asynchronous too when the DiskSim has I/O workers:
+/// eviction moves the dirty image into a per-stripe write-back queue
+/// (DiskSim::StartWrite) and reuses the frame immediately; a later miss on
+/// a queued page awaits its write before re-reading, and FlushAll /
+/// BeginQuiesce / InvalidateAll drain the queue so snapshot/checkpoint
+/// durability ordering is untouched.
 
 #ifndef OCB_STORAGE_BUFFER_POOL_H_
 #define OCB_STORAGE_BUFFER_POOL_H_
@@ -48,6 +67,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +126,46 @@ class PageHandle {
   LatchMode mode_ = LatchMode::kExclusive;
 };
 
+/// \brief An issued-but-not-awaited page fetch (the async half-open state
+/// between StartFetch and Await).
+///
+/// Move-only. The owning thread must resolve it with BufferPool::Await on
+/// the same thread that issued it (a pending miss holds the frame's X
+/// latch, and latches are thread-owned). Destroying an unresolved
+/// PendingFetch abandons it safely: the read is awaited (the frame stays
+/// installed on success, is uninstalled on error) and the pin released.
+class PendingFetch {
+ public:
+  PendingFetch() = default;
+  ~PendingFetch();
+
+  PendingFetch(PendingFetch&& other) noexcept;
+  PendingFetch& operator=(PendingFetch&& other) noexcept;
+  PendingFetch(const PendingFetch&) = delete;
+  PendingFetch& operator=(const PendingFetch&) = delete;
+
+  /// False for default-constructed, failed-at-issue, moved-from or
+  /// already-awaited fetches.
+  bool pending() const { return pool_ != nullptr; }
+
+  /// Why issuing failed (only meaningful when !pending() right after
+  /// StartFetch — e.g. every frame of the stripe was pinned).
+  const Status& issue_status() const { return issue_status_; }
+
+  PageId page_id() const { return page_id_; }
+
+ private:
+  friend class BufferPool;
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  LatchMode mode_ = LatchMode::kExclusive;
+  bool miss_ = false;  ///< Miss: frame X-latched by us, ticket_ in flight.
+  IoTicket ticket_;
+  Status issue_status_;
+};
+
 /// Hit/miss statistics of a buffer pool.
 struct BufferPoolStats {
   // Atomic (relaxed) so phase-boundary readers may snapshot while other
@@ -160,8 +220,33 @@ class BufferPool {
   /// Returns a pinned handle to \p page_id latched in \p mode, reading the
   /// page from disk on a miss. kShared handles of one page coexist; a
   /// kExclusive handle waits out every other handle of that page.
+  /// Blocking wrapper over the issue/await pair below.
   Result<PageHandle> FetchPage(PageId page_id,
                                LatchMode mode = LatchMode::kExclusive);
+
+  /// Issues a fetch of \p page_id without waiting for the disk. On a hit
+  /// the page is pinned (not yet latched); on a miss the frame is claimed,
+  /// installed and X-latched, and the read is submitted to the DiskSim —
+  /// outside the stripe mutex. Resolve with Await on the same thread.
+  /// When issuing fails (e.g. all frames pinned), the returned object is
+  /// !pending() and carries issue_status().
+  PendingFetch StartFetch(PageId page_id,
+                          LatchMode mode = LatchMode::kExclusive);
+
+  /// Completes \p fetch: waits for the miss read (if any), acquires the
+  /// requested latch mode, and returns the pinned handle. Retries
+  /// internally if the frame was retired under us by a failed install.
+  Result<PageHandle> Await(PendingFetch fetch);
+
+  /// Multi-miss batch prefetch: issues the disk read for *every* missing
+  /// page of \p page_ids (deduplicated, ascending) before awaiting any,
+  /// then releases each page as its read lands — on return the pages are
+  /// resident but unpinned, so subsequent FetchPage calls hit. Never
+  /// blocks on a page latch, so it is safe to call regardless of what
+  /// other threads hold. Returns the first read error, if any (callers
+  /// treating this as a hint may ignore it; the authoritative error
+  /// surfaces on the later FetchPage).
+  Status FetchMany(std::span<const PageId> page_ids);
 
   /// Allocates a brand-new page on disk and returns it pinned, dirty and
   /// kExclusive-latched.
@@ -175,7 +260,22 @@ class BufferPool {
   Status InvalidateAll();
 
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats() {
+    stats_ = BufferPoolStats{};
+    writeback_peak_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Dirty-victim write-backs currently in flight on the background queue
+  /// (0 in inline-I/O mode and after any drain point).
+  uint64_t pending_writebacks() const {
+    return writeback_pending_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of the background write-back queue depth since the
+  /// last ResetStats — the bench's "flusher depth".
+  uint64_t writeback_peak_depth() const {
+    return writeback_peak_.load(std::memory_order_relaxed);
+  }
 
   size_t capacity() const { return frame_count_; }
   size_t pinned_frames() const;
@@ -203,14 +303,17 @@ class BufferPool {
 
  private:
   friend class PageHandle;
+  friend class PendingFetch;
 
   struct Frame {
     std::shared_mutex latch;             ///< The page latch.
     std::atomic<uint32_t> pin_count{0};  ///< Pinned frames are not evicted.
     // The fields below are guarded by the owning stripe's mutex, except
-    // `dirty` (guarded by the frame latch) and `data` (the pointer is set
-    // once under the stripe mutex and stable afterwards; the bytes are
-    // guarded by the frame latch).
+    // `dirty` (guarded by the frame latch) and `data` (the pointer only
+    // changes under the stripe mutex + frame latch with no pins — an
+    // async dirty eviction donates the buffer to the write-back queue —
+    // so it is stable for as long as any handle pins the frame; the bytes
+    // are guarded by the frame latch).
     PageId page_id = kInvalidPageId;
     std::unique_ptr<uint8_t[]> data;
     bool dirty = false;
@@ -227,6 +330,11 @@ class BufferPool {
     std::vector<size_t> free_frames;
     std::vector<size_t> owned_frames;  ///< All frame indices of the stripe.
     size_t clock_pos = 0;              ///< Index into owned_frames.
+    /// In-flight dirty-victim write-backs of this stripe's pages, keyed by
+    /// page id (at most one per page: a re-eviction awaits its
+    /// predecessor). A miss extracts and awaits its page's entry before
+    /// issuing the read, preserving write→read order per page.
+    std::unordered_map<PageId, IoTicket> writebacks;
   };
 
   Stripe& stripe_of(PageId page_id) {
@@ -248,6 +356,26 @@ class BufferPool {
   /// page-table entry. Requires \p stripe.mu and the frame latch.
   Status EvictFrame(Stripe& stripe, size_t frame_index);
 
+  /// Awaits and removes \p page_id's pending write-back, if any. Requires
+  /// \p stripe.mu. The await itself blocks only on the I/O worker (which
+  /// never takes stripe mutexes), not on other pool threads.
+  Status SettleWriteback(Stripe& stripe, PageId page_id);
+
+  /// Awaits every queued write-back of every stripe. Called from
+  /// FlushAll/InvalidateAll/BeginQuiesce so durability-ordering points see
+  /// a settled disk.
+  Status DrainWritebacks();
+
+  /// Finishes a prefetch-issued page: awaits the miss read (if any) and
+  /// releases the page (latch + pin) immediately. Never blocks on a
+  /// latch. Also the ~PendingFetch abandon path.
+  Status FinishPrefetch(PendingFetch& fetch);
+
+  /// Uninstalls a miss frame whose read failed (FetchPage's historical
+  /// disk-error cleanup). Requires the frame X latch, which it releases
+  /// along with the pin.
+  void UninstallFailedMiss(size_t frame_index, PageId page_id);
+
   void Unpin(size_t frame_index, LatchMode mode,
              bool latch_already_released = false);
   void TouchLru(Stripe& stripe, size_t frame_index);
@@ -258,6 +386,8 @@ class BufferPool {
   std::unique_ptr<Frame[]> frames_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
   BufferPoolStats stats_;
+  std::atomic<uint64_t> writeback_pending_{0};
+  std::atomic<uint64_t> writeback_peak_{0};
 
   // Quiesce gate state.
   std::atomic<bool> quiescing_{false};

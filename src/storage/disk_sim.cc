@@ -1,10 +1,30 @@
 #include "storage/disk_sim.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "obs/metrics_registry.h"
+#include "storage/io_backend.h"
 #include "util/format.h"
 
 namespace ocb {
+
+namespace {
+
+/// Wall time the submitting thread spends blocked in Await ("io.wait",
+/// nanoseconds). Cached function-local static, null when obs is off.
+obs::LatencyHistogram* IoWaitHistogram() {
+#ifndef OCB_OBS_DISABLED
+  static obs::LatencyHistogram* h =
+      obs::MetricsRegistry::Global().GetHistogram("io.wait");
+  return h;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace
 
 const char* IoScopeToString(IoScope scope) {
   switch (scope) {
@@ -20,14 +40,35 @@ const char* IoScopeToString(IoScope scope) {
   return "unknown";
 }
 
+IoTicket::~IoTicket() {
+  if (req_ != nullptr) DiskSim::WaitDone(req_.get());
+}
+
+IoTicket& IoTicket::operator=(IoTicket&& other) noexcept {
+  if (this != &other) {
+    if (req_ != nullptr) DiskSim::WaitDone(req_.get());
+    req_ = std::move(other.req_);
+  }
+  return *this;
+}
+
 DiskSim::DiskSim(const StorageOptions& options, SimClock* clock)
     : options_(options), clock_(clock) {
   if (!options_.backing_file.empty()) {
     backing_ = std::fopen(options_.backing_file.c_str(), "wb+");
   }
+  if (options_.io_backend != nullptr) {
+    backend_ = options_.io_backend;
+  } else if (options_.io_workers > 0) {
+    backend_ = std::make_shared<IoBackend>(options_.io_workers);
+  }
 }
 
 DiskSim::~DiskSim() {
+  // Every ticket owner (the buffer pool) awaits before tearing the pool
+  // down, so no request of ours is in flight here; a shared backend may
+  // outlive us and keep serving the other shards.
+  backend_.reset();
   if (backing_ != nullptr) std::fclose(backing_);
 }
 
@@ -39,43 +80,181 @@ PageId DiskSim::AllocatePage() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-Status DiskSim::ReadPage(PageId page_id, uint8_t* out) {
+std::unique_ptr<IoRequest> DiskSim::PrepareRequest(IoRequest::Kind kind,
+                                                   PageId page_id) {
+  auto req = std::make_unique<IoRequest>();
+  req->kind = kind;
+  req->disk = this;
+  req->page_id = page_id;
   {
     std::shared_lock<std::shared_mutex> lock(pages_mu_);
     if (page_id >= pages_.size()) {
-      return Status::IOError(Format("read of unallocated page %u", page_id));
+      req->done = true;
+      req->status = Status::IOError(
+          Format(kind == IoRequest::Kind::kRead
+                     ? "read of unallocated page %u"
+                     : "write of unallocated page %u",
+                 page_id));
+      return req;
     }
-    std::memcpy(out, pages_[page_id].get(), options_.page_size);
   }
-  ++counters_[static_cast<size_t>(scope())].reads;
-  if (clock_ != nullptr) clock_->Advance(options_.read_latency_nanos);
-  return Status::OK();
+  // Accounting happens at issue, on the caller's thread: the counter
+  // increment and the simulated completion instant depend only on the
+  // submission sequence, never on worker scheduling, so single-threaded
+  // runs stay bit-deterministic.
+  if (kind == IoRequest::Kind::kRead) {
+    ++counters_[static_cast<size_t>(scope())].reads;
+    req->latency_nanos = options_.read_latency_nanos;
+  } else {
+    ++counters_[static_cast<size_t>(scope())].writes;
+    req->latency_nanos = options_.write_latency_nanos;
+  }
+  serial_io_nanos_.fetch_add(req->latency_nanos, std::memory_order_relaxed);
+  if (clock_ != nullptr) {
+    req->complete_sim_nanos = clock_->now_nanos() + req->latency_nanos;
+  }
+  return req;
+}
+
+void DiskSim::ExecuteRequest(IoRequest* request) {
+  DiskSim* disk = request->disk;
+  Status status = Status::OK();
+  if (disk->options_.wall_clock_io && request->latency_nanos > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(request->latency_nanos));
+  }
+  if (request->kind == IoRequest::Kind::kRead) {
+    std::shared_lock<std::shared_mutex> lock(disk->pages_mu_);
+    std::memcpy(request->out, disk->pages_[request->page_id].get(),
+                disk->options_.page_size);
+  } else {
+    const uint8_t* src = request->payload.get();
+    {
+      std::shared_lock<std::shared_mutex> lock(disk->pages_mu_);
+      std::memcpy(disk->pages_[request->page_id].get(), src,
+                  disk->options_.page_size);
+    }
+    if (disk->backing_ != nullptr) {
+      std::lock_guard<std::mutex> file_lock(disk->backing_mu_);
+      const long offset = static_cast<long>(request->page_id) *
+                          static_cast<long>(disk->options_.page_size);
+      if (std::fseek(disk->backing_, offset, SEEK_SET) != 0 ||
+          std::fwrite(src, 1, disk->options_.page_size, disk->backing_) !=
+              disk->options_.page_size) {
+        status = Status::IOError(
+            Format("write-through to backing file failed for page %u",
+                   request->page_id));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(request->mu);
+    request->status = status;
+    request->done = true;
+    // Notify while still holding the mutex: the moment `done` is visible,
+    // the awaiting thread may destroy the request, so the broadcast must
+    // complete before the waiter can re-acquire the lock and return.
+    request->cv.notify_all();
+  }
+}
+
+void DiskSim::Dispatch(IoRequest* request) {
+  if (backend_ != nullptr) {
+    backend_->Submit(request);
+  } else {
+    ExecuteRequest(request);
+  }
+}
+
+void DiskSim::WaitDone(IoRequest* request) {
+  std::unique_lock<std::mutex> lock(request->mu);
+  request->cv.wait(lock, [&] { return request->done; });
+}
+
+IoTicket DiskSim::StartRead(PageId page_id, uint8_t* out) {
+  auto req = PrepareRequest(IoRequest::Kind::kRead, page_id);
+  if (!req->done) {
+    req->out = out;
+    Dispatch(req.get());
+  }
+  return IoTicket(std::move(req));
+}
+
+IoTicket DiskSim::StartWrite(PageId page_id,
+                             std::unique_ptr<uint8_t[]> data) {
+  auto req = PrepareRequest(IoRequest::Kind::kWrite, page_id);
+  if (!req->done) {
+    req->payload = std::move(data);
+    Dispatch(req.get());
+  }
+  return IoTicket(std::move(req));
+}
+
+Status DiskSim::Await(IoTicket& ticket) {
+  if (!ticket.valid()) {
+    return Status::InvalidArgument("await of an empty io ticket");
+  }
+  std::unique_ptr<IoRequest> req = std::move(ticket.req_);
+  {
+    std::unique_lock<std::mutex> lock(req->mu);
+    if (!req->done) {
+      const auto start = std::chrono::steady_clock::now();
+      req->cv.wait(lock, [&] { return req->done; });
+#ifndef OCB_OBS_DISABLED
+      obs::LatencyHistogram* histo = IoWaitHistogram();
+      if (histo != nullptr) {
+        histo->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
+#else
+      (void)start;
+#endif
+    }
+  }
+  if (req->status.ok() && clock_ != nullptr &&
+      req->complete_sim_nanos != 0) {
+    charged_io_nanos_.fetch_add(clock_->AdvanceTo(req->complete_sim_nanos),
+                                std::memory_order_relaxed);
+  }
+  return req->status;
+}
+
+Status DiskSim::ReadPage(PageId page_id, uint8_t* out) {
+  auto req = PrepareRequest(IoRequest::Kind::kRead, page_id);
+  if (!req->done) {
+    // Blocking wrapper: execute inline on the caller — semantically
+    // Await(StartRead(...)) minus the queue hop. In wall_clock_io mode
+    // the injected sleep lands on this thread, which is exactly the
+    // blocking baseline's cost model.
+    req->out = out;
+    ExecuteRequest(req.get());
+  }
+  if (req->status.ok() && clock_ != nullptr &&
+      req->complete_sim_nanos != 0) {
+    charged_io_nanos_.fetch_add(clock_->AdvanceTo(req->complete_sim_nanos),
+                                std::memory_order_relaxed);
+  }
+  return req->status;
 }
 
 Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
-  {
-    std::shared_lock<std::shared_mutex> lock(pages_mu_);
-    if (page_id >= pages_.size()) {
-      return Status::IOError(
-          Format("write of unallocated page %u", page_id));
-    }
-    std::memcpy(pages_[page_id].get(), data, options_.page_size);
+  auto req = PrepareRequest(IoRequest::Kind::kWrite, page_id);
+  if (!req->done) {
+    // Blocking write: copy once so the inline executor can share the
+    // async code path (which owns its payload).
+    auto payload = std::make_unique<uint8_t[]>(options_.page_size);
+    std::memcpy(payload.get(), data, options_.page_size);
+    req->payload = std::move(payload);
+    ExecuteRequest(req.get());
   }
-  if (backing_ != nullptr) {
-    std::lock_guard<std::mutex> file_lock(backing_mu_);
-    const long offset =
-        static_cast<long>(page_id) * static_cast<long>(options_.page_size);
-    if (std::fseek(backing_, offset, SEEK_SET) != 0 ||
-        std::fwrite(data, 1, options_.page_size, backing_) !=
-            options_.page_size) {
-      return Status::IOError(
-          Format("write-through to backing file failed for page %u",
-                 page_id));
-    }
+  if (req->status.ok() && clock_ != nullptr &&
+      req->complete_sim_nanos != 0) {
+    charged_io_nanos_.fetch_add(clock_->AdvanceTo(req->complete_sim_nanos),
+                                std::memory_order_relaxed);
   }
-  ++counters_[static_cast<size_t>(scope())].writes;
-  if (clock_ != nullptr) clock_->Advance(options_.write_latency_nanos);
-  return Status::OK();
+  return req->status;
 }
 
 void DiskSim::LoadPageImage(PageId page_id, const uint8_t* data) {
@@ -94,6 +273,8 @@ IoCounters DiskSim::TotalCounters() const {
 
 void DiskSim::ResetCounters() {
   for (IoCounters& c : counters_) c = IoCounters{};
+  serial_io_nanos_.store(0, std::memory_order_relaxed);
+  charged_io_nanos_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ocb

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -64,6 +65,61 @@ struct IoCounters {
   }
 };
 
+class DiskSim;
+class IoBackend;
+
+/// \brief One in-flight asynchronous page I/O (internal to DiskSim).
+///
+/// Accounting (counter increment, simulated completion instant, overlap
+/// bookkeeping) happens at *submission* on the caller's thread, so metric
+/// deltas and simulated time stay deterministic regardless of worker
+/// scheduling; execution (the byte movement, plus the wall-clock sleep in
+/// wall_clock_io mode) happens wherever the request runs and is published
+/// to the awaiting thread through the (mu, cv, done) completion state.
+struct IoRequest {
+  enum class Kind : uint8_t { kRead, kWrite };
+
+  Kind kind = Kind::kRead;
+  DiskSim* disk = nullptr;
+  PageId page_id = kInvalidPageId;
+  uint8_t* out = nullptr;              ///< Read destination (caller-owned).
+  std::unique_ptr<uint8_t[]> payload;  ///< Write source (request-owned).
+  uint64_t latency_nanos = 0;
+  /// Simulated instant this request completes (issue time + latency);
+  /// Await advances the SimClock to it. 0 when no clock is attached.
+  uint64_t complete_sim_nanos = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+
+/// \brief Move-only handle to a pending asynchronous I/O.
+///
+/// Obtained from DiskSim::StartRead/StartWrite, resolved by
+/// DiskSim::Await. Destroying an unawaited ticket blocks until the request
+/// has executed (the worker writes through the request's buffers, so the
+/// ticket may never outrun it) and drops the result.
+class IoTicket {
+ public:
+  IoTicket() = default;
+  ~IoTicket();
+
+  IoTicket(IoTicket&& other) noexcept = default;
+  IoTicket& operator=(IoTicket&& other) noexcept;
+  IoTicket(const IoTicket&) = delete;
+  IoTicket& operator=(const IoTicket&) = delete;
+
+  bool valid() const { return req_ != nullptr; }
+
+ private:
+  friend class DiskSim;
+  explicit IoTicket(std::unique_ptr<IoRequest> req) : req_(std::move(req)) {}
+
+  std::unique_ptr<IoRequest> req_;
+};
+
 /// \brief In-memory page array with I/O accounting and simulated latency.
 ///
 /// Thread-safe for concurrent I/O on *distinct* pages: the page directory
@@ -71,7 +127,10 @@ struct IoCounters {
 /// reads it) and the counters are atomic. Concurrent ReadPage/WritePage of
 /// the *same* page are excluded by the buffer pool's per-frame latches and
 /// per-stripe eviction protocol, never by this class — raw multi-threaded
-/// users must provide the same exclusion themselves.
+/// users must provide the same exclusion themselves. The same contract
+/// extends to the async path: two in-flight requests on one page must be
+/// ordered by the caller (the buffer pool awaits a page's pending
+/// write-back before issuing a read or another write for it).
 class DiskSim {
  public:
   /// \param clock Simulated clock charged for every I/O; may be nullptr to
@@ -87,10 +146,50 @@ class DiskSim {
   PageId AllocatePage();
 
   /// Copies page \p page_id into \p out (page_size bytes). Counts one read.
+  /// Blocking: equivalent to Await(StartRead(...)) without the queue hop.
   Status ReadPage(PageId page_id, uint8_t* out);
 
-  /// Overwrites page \p page_id from \p data. Counts one write.
+  /// Overwrites page \p page_id from \p data. Counts one write. Blocking.
   Status WritePage(PageId page_id, const uint8_t* data);
+
+  // --- Asynchronous issue/await path ---
+
+  /// Issues a read of \p page_id into \p out and returns immediately. The
+  /// destination must stay valid (and unread) until Await returns. With
+  /// io workers the byte movement happens on a backend thread; without,
+  /// it happens inline and the ticket comes back already complete.
+  IoTicket StartRead(PageId page_id, uint8_t* out);
+
+  /// Issues a write of \p data (ownership transferred; page_size bytes)
+  /// to \p page_id. The buffer is released when the request completes.
+  IoTicket StartWrite(PageId page_id, std::unique_ptr<uint8_t[]> data);
+
+  /// Blocks until \p ticket's request has executed, charges the request's
+  /// simulated completion instant to the clock, records the wall wait in
+  /// the "io.wait" histogram, and returns the request's status. The
+  /// ticket becomes invalid.
+  Status Await(IoTicket& ticket);
+
+  /// True when submissions run on background workers (io_workers > 0 or a
+  /// shared backend was injected).
+  bool async_enabled() const { return backend_ != nullptr; }
+
+  /// The worker group (null in inline mode). Shards of one
+  /// ShardedDatabase report the same backend.
+  IoBackend* backend() const { return backend_.get(); }
+
+  /// Sum of every successful request's device latency — what a fully
+  /// serialized execution would have charged the clock.
+  uint64_t serial_io_nanos() const {
+    return serial_io_nanos_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulated nanoseconds actually charged to the clock by I/O
+  /// completions. serial/charged >= 1 is the overlap ratio: 1.0 means
+  /// fully serialized, N means N-way overlapped on average.
+  uint64_t charged_io_nanos() const {
+    return charged_io_nanos_.load(std::memory_order_relaxed);
+  }
 
   /// Number of allocated pages.
   size_t num_pages() const {
@@ -127,9 +226,31 @@ class DiskSim {
   /// Zeroes all counters (pages are untouched).
   void ResetCounters();
 
+  /// Executes \p request's byte movement (worker-side half). Public only
+  /// for IoBackend's worker loop; not part of the user API.
+  static void ExecuteRequest(IoRequest* request);
+
  private:
+  friend class IoTicket;
+
+  /// Builds a charged, ready-to-execute request, or an already-failed one
+  /// when \p page_id is unallocated. Accounting happens here.
+  std::unique_ptr<IoRequest> PrepareRequest(IoRequest::Kind kind,
+                                            PageId page_id);
+
+  /// Submits to the backend or executes inline when there is none.
+  void Dispatch(IoRequest* request);
+
+  /// Await without histogram/clock bookkeeping — the abandoned-ticket
+  /// path (charging still happens because accounting is submission-side,
+  /// except the clock advance, which an abandoned result forfeits).
+  static void WaitDone(IoRequest* request);
+
   StorageOptions options_;
   SimClock* clock_;
+  std::shared_ptr<IoBackend> backend_;
+  std::atomic<uint64_t> serial_io_nanos_{0};
+  std::atomic<uint64_t> charged_io_nanos_{0};
   std::atomic<IoScope> scope_{IoScope::kGeneration};
   /// Guards the page *directory* (the vector, not the page bytes):
   /// AllocatePage appends under a writer lock; page I/O resolves the

@@ -1,0 +1,51 @@
+#include "storage/io_backend.h"
+
+#include <algorithm>
+
+#include "storage/disk_sim.h"
+
+namespace ocb {
+
+IoBackend::IoBackend(size_t workers) {
+  const size_t count = std::max<size_t>(workers, 1);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoBackend::~IoBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void IoBackend::Submit(IoRequest* request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(request);
+  }
+  cv_.notify_one();
+}
+
+void IoBackend::WorkerLoop() {
+  for (;;) {
+    IoRequest* request = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: a request still queued here
+      // has an owner blocked in Await (or an IoTicket destructor) that
+      // only we can release.
+      if (queue_.empty()) return;
+      request = queue_.front();
+      queue_.pop_front();
+    }
+    DiskSim::ExecuteRequest(request);
+  }
+}
+
+}  // namespace ocb

@@ -1,0 +1,61 @@
+/// \file io_backend.h
+/// \brief Background worker group draining DiskSim's async submission queue.
+///
+/// One IoBackend owns N threads and a FIFO of in-flight IoRequests. A
+/// request is *charged* (counters, simulated completion instant) by the
+/// submitting DiskSim at issue time; the workers only move the bytes — and,
+/// in wall-clock mode, sleep the injected device latency — then flip the
+/// request's completion state so DiskSim::Await can return. The group is
+/// shareable: ShardedDatabase hands one backend to every shard's DiskSim so
+/// per-shard pools draw from a single pool of I/O threads, mirroring how a
+/// real engine shares its io_uring/AIO contexts across partitions.
+
+#ifndef OCB_STORAGE_IO_BACKEND_H_
+#define OCB_STORAGE_IO_BACKEND_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ocb {
+
+struct IoRequest;
+
+class IoBackend {
+ public:
+  /// Spawns \p workers threads (at least 1) that drain the queue until
+  /// destruction.
+  explicit IoBackend(size_t workers);
+
+  /// Joins the workers. Every submitted request must have been awaited by
+  /// its owner before the backend dies — IoTicket's destructor guarantees
+  /// this — so the queue is empty except for requests whose owners are
+  /// blocked in Await; those are executed before the threads exit.
+  ~IoBackend();
+
+  IoBackend(const IoBackend&) = delete;
+  IoBackend& operator=(const IoBackend&) = delete;
+
+  /// Enqueues \p request for execution. The caller keeps ownership; the
+  /// request must stay alive until its completion state is signalled
+  /// (DiskSim::Await or the IoTicket destructor enforce this).
+  void Submit(IoRequest* request);
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<IoRequest*> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_STORAGE_IO_BACKEND_H_

@@ -11,11 +11,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "util/status.h"
 
 namespace ocb {
+
+class IoBackend;
 
 /// Buffer-pool replacement policy.
 enum class ReplacementPolicy {
@@ -82,6 +85,37 @@ struct StorageOptions {
   /// section sets ~1 ms (a sequential log write on the 1998 disk).
   uint64_t commit_log_force_nanos = 0;
 
+  /// Number of background I/O worker threads servicing asynchronous
+  /// StartRead/StartWrite submissions (DiskSim's issue/await path). 0 (the
+  /// default) executes every submission inline on the calling thread — the
+  /// blocking baseline, byte-identical to the historical synchronous path.
+  /// With workers, BufferPool misses are issued to the queue and awaited,
+  /// batched misses overlap, and dirty-victim write-back becomes a
+  /// background flush instead of a write under the stripe mutex.
+  size_t io_workers = 0;
+
+  /// When true, I/O latency is injected in *wall-clock* time: whichever
+  /// thread executes the request (an io_worker, or the caller when
+  /// io_workers == 0) sleeps read/write_latency_nanos of real time before
+  /// the bytes move. Simulated-clock charging is unchanged. This lets even
+  /// a single-core host demonstrate genuine overlap: N batched misses
+  /// across N workers cost ~1 latency of wall time instead of N. Meant for
+  /// benchmarks/tests with latencies dialed down to the 100 µs range.
+  bool wall_clock_io = false;
+
+  /// Per-stripe cap on pending background write-backs before eviction
+  /// throttles (awaits the oldest in-flight write). Bounds both memory
+  /// (each entry owns one page image) and the recovery distance of the
+  /// backing file. Only meaningful when io_workers > 0.
+  size_t writeback_queue_depth = 16;
+
+  /// Shared asynchronous I/O backend. When set, this DiskSim submits to
+  /// the given worker group instead of spawning its own — ShardedDatabase
+  /// sets one backend on every shard's options so per-shard pools share
+  /// one I/O worker group. When null and io_workers > 0, the DiskSim owns
+  /// a private backend.
+  std::shared_ptr<IoBackend> io_backend;
+
   /// If non-empty, pages are also persisted (write-through) to this file,
   /// demonstrating durable storage; empty keeps the disk purely in memory.
   std::string backing_file;
@@ -96,6 +130,22 @@ struct StorageOptions {
   /// commit markers go to "<wal_path>.coord". Empty (the default) keeps
   /// durability purely simulated via commit_log_force_nanos.
   std::string wal_path;
+
+  /// If non-zero, the WAL rotates to a fresh segment once the active file
+  /// exceeds this many bytes: segment 0 is `wal_path` itself, segment k>0
+  /// is "<wal_path>.seg<k>". Recovery scans segments in order; a
+  /// checkpoint deletes segments whose records all fall at or below the
+  /// checkpoint watermark. 0 (the default) keeps one unbounded file.
+  uint64_t wal_segment_bytes = 0;
+
+  /// If non-zero, a background scheduler takes an automatic checkpoint
+  /// (SaveSnapshot + WAL checkpoint record + segment pruning) every this
+  /// many writer commits. The trigger is refused cleanly — retried on a
+  /// later commit — whenever taking it now would violate the
+  /// ColdRestart/quiesce rules (transactions holding locks or open read
+  /// views). Requires wal_path to be set; 0 (default) keeps checkpoints
+  /// manual-only.
+  uint64_t checkpoint_interval_commits = 0;
 
   /// Returns InvalidArgument for nonsensical combinations.
   Status Validate() const {

@@ -32,6 +32,26 @@ class SimClock {
     nanos_.fetch_add(nanos, std::memory_order_relaxed);
   }
 
+  /// Advances the clock to at least \p target_nanos; a no-op if the clock
+  /// is already past it. Returns the nanoseconds actually added.
+  ///
+  /// This is how overlapped I/O charges overlapped simulated time: each
+  /// request computes its own completion instant (issue time + device
+  /// latency) and the clock takes the max, so K requests in flight
+  /// together advance the clock by ~one latency, not K of them, while a
+  /// dependent chain (issue → await → issue) still accumulates the full
+  /// serial sum through its issue timestamps.
+  uint64_t AdvanceTo(uint64_t target_nanos) {
+    uint64_t current = nanos_.load(std::memory_order_relaxed);
+    while (current < target_nanos) {
+      if (nanos_.compare_exchange_weak(current, target_nanos,
+                                       std::memory_order_relaxed)) {
+        return target_nanos - current;
+      }
+    }
+    return 0;
+  }
+
   /// Resets the clock to zero.
   void Reset() { nanos_.store(0, std::memory_order_relaxed); }
 

@@ -27,7 +27,7 @@ namespace {
 Status ReplayDatabaseWal(Database* db, const std::string& wal_path,
                          const std::set<CommitTs>* markers,
                          CommitTs* max_seen) {
-  auto scan = ReadWal(wal_path);
+  auto scan = ReadWalSegments(wal_path);
   if (!scan.ok()) {
     // Never logged: a fresh engine with nothing durable is recovered.
     if (scan.status().code() == StatusCode::kNotFound) return Status::OK();
@@ -109,7 +109,7 @@ Status RecoverShardedDatabase(ShardedDatabase* db) {
   // point. A missing coordinator log means no 2PC commit was ever acked.
   std::set<CommitTs> markers;
   CommitTs max_seen = 0;
-  auto coord = ReadWal(base + ".coord");
+  auto coord = ReadWalSegments(base + ".coord");
   if (coord.ok()) {
     for (const WalRecord& rec : coord.value().records) {
       if (rec.commit_ts > max_seen) max_seen = rec.commit_ts;

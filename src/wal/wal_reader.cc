@@ -1,6 +1,9 @@
 #include "wal/wal_reader.h"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <iterator>
 
 #include "util/format.h"
 #include "wal/crc32.h"
@@ -171,6 +174,64 @@ Result<WalScanResult> ReadWal(const std::string& path) {
       ScanWalFile(file, &out.records, &out.valid_end, &out.torn_tail);
   std::fclose(file);
   if (!st.ok()) return st;
+  return out;
+}
+
+std::string WalSegmentPath(const std::string& base, uint64_t index) {
+  if (index == 0) return base;
+  return Format("%s.seg%llu", base.c_str(),
+                static_cast<unsigned long long>(index));
+}
+
+std::vector<uint64_t> ListWalSegments(const std::string& base) {
+  namespace fs = std::filesystem;
+  std::vector<uint64_t> out;
+  std::error_code ec;
+  if (fs::exists(fs::path(base), ec)) out.push_back(0);
+
+  fs::path parent = fs::path(base).parent_path();
+  if (parent.empty()) parent = ".";
+  const std::string prefix = fs::path(base).filename().string() + ".seg";
+  // A missing parent directory just yields an end iterator via ec.
+  for (fs::directory_iterator it(parent, ec), end; !ec && it != end; ++it) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    uint64_t index = 0;
+    bool digits = true;
+    for (size_t i = prefix.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      index = index * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (digits && index > 0) out.push_back(index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<WalScanResult> ReadWalSegments(const std::string& path) {
+  const std::vector<uint64_t> segments = ListWalSegments(path);
+  if (segments.empty()) {
+    return Status::NotFound(Format("WAL '%s' does not exist", path.c_str()));
+  }
+  WalScanResult out;
+  for (uint64_t index : segments) {
+    auto scan = ReadWal(WalSegmentPath(path, index));
+    if (!scan.ok()) return scan.status();
+    WalScanResult seg = std::move(scan).value();
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(seg.records.begin()),
+                       std::make_move_iterator(seg.records.end()));
+    // Only the last segment can carry a crash's torn tail; rotation fsyncs
+    // and closes every earlier one.
+    out.valid_end = seg.valid_end;
+    out.torn_tail = seg.torn_tail;
+  }
   return out;
 }
 

@@ -35,6 +35,27 @@ Status ScanWalFile(std::FILE* file, std::vector<WalRecord>* records,
 /// caller decides whether an absent log is fresh or fatal).
 Result<WalScanResult> ReadWal(const std::string& path);
 
+// --- Segmented logs (WalWriter rotation at wal_segment_bytes) ---
+//
+// Segment 0 IS the base path; segment k > 0 is "<path>.seg<k>". Rotation
+// never splits a record across segments, and checkpoint pruning deletes
+// whole closed segments (truncating segment 0 to its magic instead, so
+// "the log exists" keeps meaning "durability was ever enabled").
+
+/// Path of segment \p index of the log at \p base.
+std::string WalSegmentPath(const std::string& base, uint64_t index);
+
+/// Indices of the log's existing segments, ascending. Discovery is a
+/// directory scan, so the gaps pruning leaves behind are handled. Empty
+/// when no segment exists at all.
+std::vector<uint64_t> ListWalSegments(const std::string& base);
+
+/// Scans every existing segment in index order and returns the
+/// concatenated records (rotation preserves append order across
+/// segments). NotFound when no segment exists; valid_end/torn_tail
+/// describe the LAST segment — the only one a crash can tear.
+Result<WalScanResult> ReadWalSegments(const std::string& path);
+
 /// Decodes the checkpoint payload of a kCheckpoint record.
 Result<WalCheckpoint> DecodeCheckpoint(const WalRecord& rec);
 

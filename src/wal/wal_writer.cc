@@ -59,22 +59,33 @@ void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
 
 }  // namespace
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t segment_bytes) {
+  // Only the highest segment is ever appended to (and hence ever torn);
+  // everything below it was fsync-closed by rotation and stays immutable.
+  uint64_t segment_index = 0;
+  {
+    const std::vector<uint64_t> segments = ListWalSegments(path);
+    if (!segments.empty()) segment_index = segments.back();
+  }
+  const std::string seg_path = WalSegmentPath(path, segment_index);
+
+  std::FILE* file = std::fopen(seg_path.c_str(), "r+b");
   if (file == nullptr) {
     // Fresh log: create it and stamp the magic.
-    file = std::fopen(path.c_str(), "w+b");
+    file = std::fopen(seg_path.c_str(), "w+b");
     if (file == nullptr) {
       return Status::IOError(
-          Format("WAL open failed for '%s'", path.c_str()));
+          Format("WAL open failed for '%s'", seg_path.c_str()));
     }
     if (std::fwrite(kWalMagic, 1, kWalMagicSize, file) != kWalMagicSize ||
         std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
       std::fclose(file);
       return Status::IOError(
-          Format("WAL magic write failed for '%s'", path.c_str()));
+          Format("WAL magic write failed for '%s'", seg_path.c_str()));
     }
-    return std::unique_ptr<WalWriter>(new WalWriter(path, file));
+    return std::unique_ptr<WalWriter>(new WalWriter(
+        path, file, segment_bytes, segment_index, kWalMagicSize));
   }
 
   // Existing log: find the end of the valid prefix and drop the torn tail
@@ -87,12 +98,14 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
   }
   if (std::fseek(file, 0, SEEK_END) != 0) {
     std::fclose(file);
-    return Status::IOError(Format("WAL seek failed for '%s'", path.c_str()));
+    return Status::IOError(
+        Format("WAL seek failed for '%s'", seg_path.c_str()));
   }
   const long size = std::ftell(file);
   if (size < 0) {
     std::fclose(file);
-    return Status::IOError(Format("WAL tell failed for '%s'", path.c_str()));
+    return Status::IOError(
+        Format("WAL tell failed for '%s'", seg_path.c_str()));
   }
   if (static_cast<uint64_t>(size) > valid_end) {
     // Torn tail: truncate back to the valid prefix so the next append
@@ -100,14 +113,28 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
     if (::ftruncate(fileno(file), static_cast<off_t>(valid_end)) != 0) {
       std::fclose(file);
       return Status::IOError(
-          Format("WAL torn-tail truncate failed for '%s'", path.c_str()));
+          Format("WAL torn-tail truncate failed for '%s'", seg_path.c_str()));
     }
   }
   if (std::fseek(file, static_cast<long>(valid_end), SEEK_SET) != 0) {
     std::fclose(file);
-    return Status::IOError(Format("WAL seek failed for '%s'", path.c_str()));
+    return Status::IOError(
+        Format("WAL seek failed for '%s'", seg_path.c_str()));
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(path, file));
+  // A zero-length file (crash between creat() and the magic) scans to
+  // valid_end == 0; the next append still needs the magic first, so
+  // restamp it here.
+  if (valid_end == 0) {
+    if (std::fwrite(kWalMagic, 1, kWalMagicSize, file) != kWalMagicSize ||
+        std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
+      std::fclose(file);
+      return Status::IOError(
+          Format("WAL magic write failed for '%s'", seg_path.c_str()));
+    }
+    valid_end = kWalMagicSize;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, file, segment_bytes, segment_index, valid_end));
 }
 
 WalWriter::~WalWriter() {
@@ -142,19 +169,67 @@ Status WalWriter::Append(const WalRecord& rec) {
   std::memcpy(buf.data(), &crc, sizeof(crc));
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::IOError(
+        Format("WAL '%s' lost its file in a failed rotation", path_.c_str()));
+  }
+  // Rotate BEFORE the frame, never through it: a record always lands whole
+  // in one segment. The non-empty guard keeps an oversized record from
+  // spinning up empty segments — it just overshoots the limit.
+  if (segment_bytes_ > 0 && segment_size_ > kWalMagicSize &&
+      segment_size_ + buf.size() > segment_bytes_) {
+    OCB_RETURN_NOT_OK(RotateSegmentLocked());
+  }
   if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
     return Status::IOError(
         Format("WAL append failed for '%s'", path_.c_str()));
   }
+  segment_size_ += buf.size();
   ++appended_records_;
   ++dirty_records_;
   RecordAppend(NanosSince(start));
   return Status::OK();
 }
 
+Status WalWriter::RotateSegmentLocked() {
+  // The outgoing segment becomes immutable the moment we leave it, so it
+  // must be durable BEFORE the switch — Force() only ever touches the
+  // current file.
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Status::IOError(
+        Format("WAL rotate: flush of segment %llu failed for '%s'",
+               static_cast<unsigned long long>(segment_index_),
+               path_.c_str()));
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  ++segment_index_;
+  const std::string seg = WalSegmentPath(path_, segment_index_);
+  std::FILE* file = std::fopen(seg.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError(
+        Format("WAL rotate: open failed for '%s'", seg.c_str()));
+  }
+  if (std::fwrite(kWalMagic, 1, kWalMagicSize, file) != kWalMagicSize ||
+      std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
+    std::fclose(file);
+    return Status::IOError(
+        Format("WAL rotate: magic write failed for '%s'", seg.c_str()));
+  }
+  file_ = file;
+  segment_size_ = kWalMagicSize;
+  dirty_records_ = 0;  // Everything before the switch was just fsynced.
+  ++rotations_;
+  return Status::OK();
+}
+
 Status WalWriter::Force() {
   const auto start = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::IOError(
+        Format("WAL '%s' lost its file in a failed rotation", path_.c_str()));
+  }
   // Crash before anything reached the disk: every record appended since
   // the last force must be invisible after recovery.
   wal_killpoint::MaybeKill("pre-force");
@@ -178,6 +253,44 @@ Status WalWriter::ForceIfDirty() {
   return Force();
 }
 
+Status WalWriter::PruneSegments(uint64_t watermark, uint64_t* pruned) {
+  if (pruned != nullptr) *pruned = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t index : ListWalSegments(path_)) {
+    if (index >= segment_index_) continue;  // The append target stays.
+    auto scan = ReadWal(WalSegmentPath(path_, index));
+    // An unreadable or torn closed segment is never silently discarded —
+    // leave it on disk for inspection and keep recovery conservative.
+    if (!scan.ok() || scan.value().torn_tail) continue;
+    bool prunable = true;
+    for (const WalRecord& rec : scan.value().records) {
+      if (rec.commit_ts > watermark ||
+          (rec.type == WalRecordType::kCheckpoint &&
+           rec.commit_ts >= watermark)) {
+        // Either a commit the snapshot does not cover, or the checkpoint
+        // record whose payload IS the snapshot pointer recovery loads.
+        prunable = false;
+        break;
+      }
+    }
+    if (!prunable) continue;
+    if (index == 0) {
+      // Segment 0 is the base path: truncate it back to a bare magic so
+      // the log's existence (and the NotFound contract) is preserved.
+      std::FILE* f = std::fopen(path_.c_str(), "w+b");
+      if (f == nullptr) continue;
+      const bool ok =
+          std::fwrite(kWalMagic, 1, kWalMagicSize, f) == kWalMagicSize &&
+          std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+      std::fclose(f);
+      if (ok && pruned != nullptr) ++*pruned;
+    } else if (std::remove(WalSegmentPath(path_, index).c_str()) == 0) {
+      if (pruned != nullptr) ++*pruned;
+    }
+  }
+  return Status::OK();
+}
+
 uint64_t WalWriter::appended_records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appended_records_;
@@ -186,6 +299,16 @@ uint64_t WalWriter::appended_records() const {
 uint64_t WalWriter::forces() const {
   std::lock_guard<std::mutex> lock(mu_);
   return forces_;
+}
+
+uint64_t WalWriter::segment_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_index_;
+}
+
+uint64_t WalWriter::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
 }
 
 }  // namespace wal

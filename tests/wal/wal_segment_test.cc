@@ -1,0 +1,423 @@
+// Tests for WAL segment rotation (StorageOptions::wal_segment_bytes),
+// checkpoint-driven segment pruning, and the automatic checkpoint
+// scheduler (StorageOptions::checkpoint_interval_commits).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/session.h"
+#include "oodb/database.h"
+#include "oodb/snapshot.h"
+#include "util/format.h"
+#include "wal/recovery.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace ocb {
+namespace wal {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+WalRecord CommitRecord(uint64_t txn, uint64_t ts) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  rec.txn_id = txn;
+  rec.commit_ts = ts;
+  WalOp up;
+  up.kind = WalOpKind::kUpsert;
+  up.class_id = 1;
+  up.oid = 100 + ts;
+  up.payload.assign(32, static_cast<uint8_t>(ts));
+  rec.ops.push_back(std::move(up));
+  return rec;
+}
+
+WalRecord CheckpointRecord(uint64_t ts, const std::string& snap) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.commit_ts = ts;
+  WalOp op;
+  op.kind = WalOpKind::kCheckpointInfo;
+  op.payload.assign(snap.begin(), snap.end());
+  rec.ops.push_back(std::move(op));
+  return rec;
+}
+
+class WalSegmentTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+    for (uint64_t k = 1; k <= 64; ++k) {
+      std::remove(WalSegmentPath(path_, k).c_str());
+    }
+    std::remove((path_ + ".autockpt0").c_str());
+    std::remove((path_ + ".autockpt1").c_str());
+    std::remove(snap_.c_str());
+  }
+
+  std::string path_ = TempPath("ocb_wal_segment_test.wal");
+  std::string snap_ = TempPath("ocb_wal_segment_test.snap");
+};
+
+TEST_F(WalSegmentTest, RotationSplitsLogAcrossSegments) {
+  // Each CommitRecord frame is ~90 bytes; a 256-byte limit forces a
+  // rotation every couple of records.
+  {
+    auto w = WalWriter::Open(path_, /*segment_bytes=*/256);
+    ASSERT_TRUE(w.ok()) << w.status().message();
+    for (uint64_t i = 1; i <= 10; ++i) {
+      ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+    }
+    ASSERT_TRUE((*w)->Force().ok());
+    EXPECT_GT((*w)->rotations(), 0u);
+    EXPECT_EQ((*w)->segment_index(), (*w)->rotations());
+  }
+  const std::vector<uint64_t> segments = ListWalSegments(path_);
+  ASSERT_GT(segments.size(), 1u);
+  EXPECT_EQ(segments.front(), 0u);
+
+  // The base file alone holds only a prefix; the segmented read sees the
+  // whole log in append order.
+  auto base_only = ReadWal(path_);
+  ASSERT_TRUE(base_only.ok());
+  EXPECT_LT(base_only->records.size(), 10u);
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok()) << all.status().message();
+  ASSERT_EQ(all->records.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(all->records[i].txn_id, i + 1);
+  }
+  EXPECT_FALSE(all->torn_tail);
+}
+
+TEST_F(WalSegmentTest, ReopenAppendsToHighestSegment) {
+  uint64_t index = 0;
+  {
+    auto w = WalWriter::Open(path_, 256);
+    ASSERT_TRUE(w.ok());
+    for (uint64_t i = 1; i <= 6; ++i) {
+      ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+    }
+    ASSERT_TRUE((*w)->Force().ok());
+    index = (*w)->segment_index();
+    ASSERT_GT(index, 0u);
+  }
+  {
+    auto w = WalWriter::Open(path_, 256);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ((*w)->segment_index(), index);  // Not a fresh segment 0.
+    ASSERT_TRUE((*w)->Append(CommitRecord(7, 7)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->records.size(), 7u);
+  EXPECT_EQ(all->records.back().txn_id, 7u);
+}
+
+TEST_F(WalSegmentTest, OversizedRecordLandsWholeInOneSegment) {
+  auto w = WalWriter::Open(path_, 128);
+  ASSERT_TRUE(w.ok());
+  WalRecord big = CommitRecord(1, 1);
+  big.ops[0].payload.assign(1024, 0xAB);  // Frame far past the limit.
+  ASSERT_TRUE((*w)->Append(big).ok());
+  ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+  ASSERT_TRUE((*w)->Force().ok());
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->records.size(), 2u);
+  EXPECT_EQ(all->records[0].ops[0].payload.size(), 1024u);
+}
+
+TEST_F(WalSegmentTest, TornTailInLastSegmentIsTruncatedOnReopen) {
+  {
+    auto w = WalWriter::Open(path_, 256);
+    ASSERT_TRUE(w.ok());
+    for (uint64_t i = 1; i <= 6; ++i) {
+      ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+    }
+    ASSERT_TRUE((*w)->Force().ok());
+    ASSERT_GT((*w)->segment_index(), 0u);
+  }
+  // Crash garbage lands at the end of the HIGHEST segment — the only one
+  // still open for append.
+  const std::string last =
+      WalSegmentPath(path_, ListWalSegments(path_).back());
+  {
+    std::FILE* f = std::fopen(last.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[5] = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+  {
+    auto all = ReadWalSegments(path_);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all->records.size(), 6u);
+    EXPECT_TRUE(all->torn_tail);
+  }
+  {
+    auto w = WalWriter::Open(path_, 256);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Append(CommitRecord(7, 7)).ok());
+    ASSERT_TRUE((*w)->Force().ok());
+  }
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->records.size(), 7u);
+  EXPECT_FALSE(all->torn_tail);
+}
+
+TEST_F(WalSegmentTest, PruneDeletesClosedSegmentsBelowTheWatermark) {
+  auto w = WalWriter::Open(path_, 256);
+  ASSERT_TRUE(w.ok());
+  for (uint64_t i = 1; i <= 12; ++i) {
+    ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+  }
+  ASSERT_TRUE((*w)->Force().ok());
+  const uint64_t active = (*w)->segment_index();
+  ASSERT_GT(active, 1u);
+
+  // Watermark past everything: every closed segment goes; the active one
+  // and segment 0 (truncated to its magic) stay on disk.
+  uint64_t pruned = 0;
+  ASSERT_TRUE((*w)->PruneSegments(/*watermark=*/12, &pruned).ok());
+  EXPECT_GT(pruned, 0u);
+  const std::vector<uint64_t> left = ListWalSegments(path_);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0], 0u);       // Truncated, never unlinked.
+  EXPECT_EQ(left[1], active);   // Append target untouched.
+  auto base = ReadWal(path_);
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(base->records.empty());  // Magic-only.
+
+  // The surviving records are exactly the active segment's.
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  for (const WalRecord& rec : all->records) {
+    EXPECT_GT(rec.commit_ts, 0u);
+  }
+  // And the writer still appends fine afterwards.
+  ASSERT_TRUE((*w)->Append(CommitRecord(13, 13)).ok());
+  ASSERT_TRUE((*w)->Force().ok());
+}
+
+TEST_F(WalSegmentTest, PruneKeepsSegmentsWithRecordsPastTheWatermark) {
+  auto w = WalWriter::Open(path_, 256);
+  ASSERT_TRUE(w.ok());
+  for (uint64_t i = 1; i <= 12; ++i) {
+    ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+  }
+  ASSERT_TRUE((*w)->Force().ok());
+
+  // A low watermark: only segments whose records ALL sit at or below it
+  // may go; everything later survives in full.
+  uint64_t pruned = 0;
+  ASSERT_TRUE((*w)->PruneSegments(/*watermark=*/4, &pruned).ok());
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  for (uint64_t ts = 5; ts <= 12; ++ts) {
+    bool found = false;
+    for (const WalRecord& rec : all->records) {
+      if (rec.commit_ts == ts) found = true;
+    }
+    EXPECT_TRUE(found) << "commit ts " << ts << " lost by prune";
+  }
+}
+
+TEST_F(WalSegmentTest, PruneSparesTheCheckpointRecordItself) {
+  auto w = WalWriter::Open(path_, 160);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append(CommitRecord(1, 1)).ok());
+  ASSERT_TRUE((*w)->Append(CommitRecord(2, 2)).ok());
+  // The checkpoint at watermark 2: its record must outlive a prune AT
+  // that watermark — it carries the snapshot path recovery loads.
+  ASSERT_TRUE((*w)->Append(CheckpointRecord(2, snap_)).ok());
+  // Push enough records to rotate the checkpoint's segment closed.
+  for (uint64_t i = 3; i <= 8; ++i) {
+    ASSERT_TRUE((*w)->Append(CommitRecord(i, i)).ok());
+  }
+  ASSERT_TRUE((*w)->Force().ok());
+  ASSERT_TRUE((*w)->PruneSegments(/*watermark=*/2, nullptr).ok());
+  auto all = ReadWalSegments(path_);
+  ASSERT_TRUE(all.ok());
+  bool checkpoint_survives = false;
+  for (const WalRecord& rec : all->records) {
+    if (rec.type == WalRecordType::kCheckpoint && rec.commit_ts == 2) {
+      checkpoint_survives = true;
+    }
+  }
+  EXPECT_TRUE(checkpoint_survives);
+}
+
+// --- Through the engine ----------------------------------------------------
+
+Schema TwoClassSchema() {
+  Schema schema;
+  schema.SetRefTypes(Schema::DefaultTraits(3));
+  ClassDescriptor a;
+  a.id = 0;
+  a.maxnref = 3;
+  a.basesize = 40;
+  a.instance_size = 40;
+  a.tref = {2, 2, 2};
+  a.cref = {1, 1, 0};
+  ClassDescriptor b;
+  b.id = 1;
+  b.maxnref = 2;
+  b.basesize = 20;
+  b.instance_size = 20;
+  b.tref = {2, 2};
+  b.cref = {0, 0};
+  Schema out = std::move(schema);
+  EXPECT_TRUE(out.AddClass(std::move(a)).ok());
+  EXPECT_TRUE(out.AddClass(std::move(b)).ok());
+  return out;
+}
+
+class WalSegmentEngineTest : public WalSegmentTest {
+ protected:
+  StorageOptions SegmentedOptions() {
+    StorageOptions opts;
+    opts.page_size = 1024;
+    opts.buffer_pool_pages = 32;
+    opts.wal_path = path_;
+    opts.wal_segment_bytes = 512;
+    return opts;
+  }
+
+  Oid CommitOne(Database* db) {
+    auto session = db->OpenSession();
+    auto txn = session.Begin();
+    auto oid = txn.Create(0);
+    EXPECT_TRUE(oid.ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    return *oid;
+  }
+};
+
+TEST_F(WalSegmentEngineTest, RecoveryReplaysAcrossSegments) {
+  std::vector<Oid> oids;
+  {
+    Database db(SegmentedOptions());
+    db.SetSchema(TwoClassSchema());
+    for (int i = 0; i < 24; ++i) oids.push_back(CommitOne(&db));
+    ASSERT_GT(db.wal()->rotations(), 0u);  // The log really segmented.
+  }
+  Database revived(SegmentedOptions());
+  revived.SetSchema(TwoClassSchema());
+  ASSERT_TRUE(RecoverDatabase(&revived).ok());
+  EXPECT_EQ(revived.object_count(), oids.size());
+  for (Oid oid : oids) {
+    EXPECT_TRUE(revived.PeekObject(oid).ok()) << "oid " << oid;
+  }
+}
+
+TEST_F(WalSegmentEngineTest, CheckpointPrunesSegmentsAndRecoveryStillWorks) {
+  std::vector<Oid> oids;
+  size_t segments_before = 0;
+  {
+    Database db(SegmentedOptions());
+    db.SetSchema(TwoClassSchema());
+    for (int i = 0; i < 24; ++i) oids.push_back(CommitOne(&db));
+    segments_before = ListWalSegments(path_).size();
+    ASSERT_GT(segments_before, 1u);
+    // SaveSnapshot logs the checkpoint, then prunes the closed segments
+    // the snapshot supersedes.
+    ASSERT_TRUE(SaveSnapshot(&db, snap_).ok());
+    EXPECT_LT(ListWalSegments(path_).size(), segments_before);
+    // Post-checkpoint commits land in the surviving tail.
+    oids.push_back(CommitOne(&db));
+  }
+  Database revived(SegmentedOptions());
+  revived.SetSchema(TwoClassSchema());
+  ASSERT_TRUE(RecoverDatabase(&revived).ok());
+  EXPECT_EQ(revived.object_count(), oids.size());
+  for (Oid oid : oids) {
+    EXPECT_TRUE(revived.PeekObject(oid).ok()) << "oid " << oid;
+  }
+}
+
+TEST_F(WalSegmentEngineTest, AutoCheckpointFiresEveryInterval) {
+  StorageOptions opts = SegmentedOptions();
+  opts.checkpoint_interval_commits = 4;
+  std::vector<Oid> oids;
+  {
+    Database db(opts);
+    db.SetSchema(TwoClassSchema());
+    // Commits arm the scheduler every 4; it runs on its own thread and
+    // coalesces arms that pile up while a save is in flight, so keep
+    // committing (bounded) until two checkpoints have landed.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (db.checkpoints_taken() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      oids.push_back(CommitOne(&db));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(db.checkpoints_taken(), 2u);
+    // Both alternating snapshot files exist once two checkpoints ran.
+    EXPECT_TRUE(std::filesystem::exists(path_ + ".autockpt0"));
+    EXPECT_TRUE(std::filesystem::exists(path_ + ".autockpt1"));
+  }
+  Database revived(opts);
+  revived.SetSchema(TwoClassSchema());
+  ASSERT_TRUE(RecoverDatabase(&revived).ok());
+  EXPECT_EQ(revived.object_count(), oids.size());
+  for (Oid oid : oids) {
+    EXPECT_TRUE(revived.PeekObject(oid).ok()) << "oid " << oid;
+  }
+}
+
+TEST_F(WalSegmentEngineTest, AutoCheckpointRefusedWhileLocksHeldThenRetries) {
+  StorageOptions opts = SegmentedOptions();
+  opts.checkpoint_interval_commits = 1;  // Every commit arms an attempt.
+  Database db(opts);
+  db.SetSchema(TwoClassSchema());
+  auto session = db.OpenSession();
+  {
+    // An in-flight writer holds an X lock across another session's
+    // commit: the armed checkpoint must refuse (SaveSnapshot's torn-
+    // database rule), not block or crash.
+    auto held = session.Begin();
+    ASSERT_TRUE(held.Create(0).ok());
+    auto other = db.OpenSession();
+    auto txn = other.Begin();
+    ASSERT_TRUE(txn.Create(1).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (db.checkpoints_refused() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(db.checkpoints_refused(), 1u);
+    EXPECT_EQ(db.checkpoints_taken(), 0u);
+    ASSERT_TRUE(held.Commit().ok());
+  }
+  // Locks released: the next commit retries and the checkpoint lands.
+  auto txn = session.Begin();
+  ASSERT_TRUE(txn.Create(0).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (db.checkpoints_taken() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(db.checkpoints_taken(), 1u);
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace ocb
