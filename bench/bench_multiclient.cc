@@ -45,7 +45,7 @@
 ///
 /// Environment knobs (CI smoke jobs):
 ///   OCB_MULTICLIENT_SECTIONS  comma list of "latch","shard","groupcommit",
-///                             "wal","io" (default all)
+///                             "wal","io","cc" (default all)
 ///   OCB_MULTICLIENT_SHARDS    SHARDN list for the shard section
 ///                             (default "1,2,4")
 ///   OCB_MULTICLIENT_SMOKE     if set, shrink transaction counts
@@ -60,6 +60,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -1104,6 +1105,191 @@ int main() {
           "awaiting any and retires dirty victims through the background "
           "flusher.\n",
           async_tps / blocking_tps);
+    }
+  }
+
+  if (SectionEnabled("cc")) {
+    // --- CC section: CC_ALG × CLIENTN on read-mostly vs write-hot -------
+    //
+    // The concurrency-control axis (TxnOptions::cc): one storm run three
+    // times, every transaction under strict 2PL, then snapshot-isolation
+    // writers, then Silo OCC. Read-mostly (eight scattered reads, an
+    // occasional write into the big pool) is the optimistic algorithms'
+    // home turf: their reads take no locks and never queue behind the
+    // writers' X locks, and validation almost always succeeds. Write-hot
+    // (every transaction read-modify-writes two objects of a
+    // 16-object hot set) inverts it: 2PL serializes on the locks and
+    // commits nearly everything it admits, while SI/OCC do the work
+    // first and throw it away at validation — the crossover that makes
+    // CC a per-transaction choice instead of an engine property.
+    constexpr uint32_t kCcHotSet = 16;
+    constexpr uint32_t kCcReadBatch = 8;
+    const uint32_t cc_rounds = smoke ? 30 : 200;
+    const std::string cc_snapshot = "bench_multiclient_cc.ocbsnap";
+    {
+      Database generated(storage);
+      OcbPreset preset = presets::Default();
+      preset.database.num_objects = 2000;
+      preset.database.seed = 29;
+      if (!GenerateDatabase(preset.database, &generated).ok()) {
+        std::fprintf(stderr, "generation failed\n");
+        return 1;
+      }
+      if (!SaveSnapshot(&generated, cc_snapshot).ok()) {
+        std::fprintf(stderr, "snapshot save failed\n");
+        return 1;
+      }
+    }
+    TextTable ctable({"Mix", "Clients", "CC", "Committed", "Conflicts",
+                      "Abort rate", "Wall time", "Throughput (txn/s)"});
+    struct CcPoint {
+      double tps = 0.0;
+      double abort_rate = 0.0;
+      bool present = false;
+    };
+    std::map<std::pair<std::string, std::string>, CcPoint> cc_points;
+    auto now_nanos = []() {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+    const CcAlgorithm algos[] = {CcAlgorithm::kStrict2PL,
+                                 CcAlgorithm::kSnapshotIsolation,
+                                 CcAlgorithm::kSiloOCC};
+    for (const char* mix : {"read-mostly", "write-hot"}) {
+      const bool write_hot = std::strcmp(mix, "write-hot") == 0;
+      for (uint32_t clients : std::vector<uint32_t>{2, 8}) {
+        for (const CcAlgorithm cc : algos) {
+          Database db(storage);
+          if (!LoadSnapshot(&db, cc_snapshot).ok()) {
+            std::fprintf(stderr, "snapshot load failed\n");
+            return 1;
+          }
+          const std::vector<Oid> live = db.LiveOidsSnapshot();
+          std::atomic<uint64_t> committed{0};
+          std::atomic<uint64_t> conflicts{0};
+          const obs::MetricsSnapshot obs_before =
+              obs::MetricsRegistry::Global().Snapshot();
+          std::vector<std::thread> workers;
+          // Without the start barrier a short storm runs serially —
+          // each thread finishes before the next one spawns — and the
+          // contention being measured never happens.
+          std::barrier start_sync(static_cast<std::ptrdiff_t>(clients));
+          const uint64_t start = now_nanos();
+          for (uint32_t c = 0; c < clients; ++c) {
+            workers.emplace_back([&, c]() {
+              auto session = db.OpenSession();
+              TxnOptions options;
+              options.cc = cc;
+              std::mt19937 rng(17 + c);
+              start_sync.arrive_and_wait();
+              for (uint32_t round = 0; round < cc_rounds; ++round) {
+                auto txn = session.Begin(options);
+                bool lost = false;
+                if (write_hot) {
+                  // Two hot-set read-modify-writes, ascending (a fair
+                  // deterministic lock order for the 2PL rows).
+                  uint32_t i = rng() % kCcHotSet;
+                  uint32_t j = rng() % kCcHotSet;
+                  if (i == j) j = (j + 1) % kCcHotSet;
+                  if (j < i) std::swap(i, j);
+                  for (const uint32_t idx : {i, j}) {
+                    auto obj = txn.Get(live[idx]);
+                    if (!obj.ok()) { lost = true; break; }
+                    obj->orefs[0] =
+                        round % 2 == 0 ? live[idx] : kInvalidOid;
+                    if (!txn.Put(obj.value()).ok()) { lost = true; break; }
+                  }
+                } else {
+                  for (uint32_t j = 0; j < kCcReadBatch && !lost; ++j) {
+                    const size_t idx =
+                        (size_t{c} * 1009 + size_t{round} * 9176 +
+                         size_t{j} * 613) % live.size();
+                    if (!txn.Get(live[idx]).ok()) lost = true;
+                  }
+                  if (!lost && round % kCcReadBatch == c % kCcReadBatch) {
+                    const size_t idx = rng() % live.size();
+                    auto obj = txn.Get(live[idx]);
+                    if (obj.ok()) {
+                      obj->orefs[0] = round % 2 == 0 ? live[idx]
+                                                     : kInvalidOid;
+                      if (!txn.Put(obj.value()).ok()) lost = true;
+                    } else {
+                      lost = true;
+                    }
+                  }
+                }
+                if (lost) {
+                  conflicts.fetch_add(1, std::memory_order_relaxed);
+                  (void)txn.Abort();
+                  continue;
+                }
+                if (txn.Commit().ok()) {
+                  committed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  conflicts.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            });
+          }
+          for (auto& w : workers) w.join();
+          const uint64_t wall = now_nanos() - start;
+          const obs::MetricsSnapshot obs_window =
+              obs::MetricsRegistry::Global().Snapshot().Diff(obs_before);
+          const uint64_t done = committed.load();
+          const uint64_t lost = conflicts.load();
+          const double abort_rate =
+              done + lost == 0
+                  ? 0.0
+                  : static_cast<double>(lost) /
+                        static_cast<double>(done + lost);
+          const double tps =
+              wall == 0 ? 0.0
+                        : static_cast<double>(done) * 1e9 /
+                              static_cast<double>(wall);
+          const char* algo = CcAlgorithmToString(cc);
+          if (clients == 8) {
+            cc_points[{mix, algo}] = CcPoint{tps, abort_rate, true};
+          }
+          ctable.AddRow({mix, Format("%u", clients), algo,
+                         Format("%llu", (unsigned long long)done),
+                         Format("%llu", (unsigned long long)lost),
+                         Format("%.1f%%", abort_rate * 100.0),
+                         HumanDuration(wall), Format("%.0f", tps)});
+          if (json.enabled()) {
+            json.BeginPoint();
+            json.writer()
+                .Field("section", "cc")
+                .Field("algo", algo)
+                .Field("mix", mix)
+                .Field("clients", clients)
+                .Field("committed", done)
+                .Field("conflict_aborts", lost)
+                .Field("abort_rate", abort_rate)
+                .Field("throughput_tps", tps)
+                .Field("wall_micros", wall / 1000)
+                .Raw("registry", obs_window.ToJson());
+            json.EndPoint();
+          }
+        }
+      }
+    }
+    std::remove(cc_snapshot.c_str());
+    bench::PrintTable(ctable);
+    std::printf(
+        "CC crossover at CLIENTN=8 (conflicts = deadlock victims under "
+        "2PL, validation losses under SI/OCC):\n");
+    for (const char* mix : {"read-mostly", "write-hot"}) {
+      const CcPoint& two_pl = cc_points[{mix, "2pl"}];
+      const CcPoint& si = cc_points[{mix, "si"}];
+      const CcPoint& occ = cc_points[{mix, "occ"}];
+      if (!two_pl.present || !si.present || !occ.present) continue;
+      std::printf(
+          "  %s: 2PL %.0f txn/s (%.1f%% aborted), SI %.0f (%.1f%%), "
+          "OCC %.0f (%.1f%%)\n",
+          mix, two_pl.tps, two_pl.abort_rate * 100.0, si.tps,
+          si.abort_rate * 100.0, occ.tps, occ.abort_rate * 100.0);
     }
   }
 

@@ -47,6 +47,10 @@ SECTION_KEYS = {
         "wall_micros", "misses_issued", "overlap_ratio",
         "flusher_peak_depth",
     },
+    "cc": {
+        "algo", "mix", "clients", "committed", "conflict_aborts",
+        "abort_rate", "throughput_tps", "wall_micros",
+    },
 }
 
 # Sections that carry per-point tail distributions, and which

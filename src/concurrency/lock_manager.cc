@@ -358,6 +358,18 @@ size_t LockManager::locked_object_count() const {
   return table_.size();
 }
 
+bool LockManager::IsXLockedByOther(Oid oid, TxnId self) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return false;
+  for (const Request& r : it->second->requests) {
+    if (r.granted && r.mode == LockMode::kExclusive && r.txn != self) {
+      return true;
+    }
+  }
+  return false;
+}
+
 DeadlockPolicy LockManager::victim_policy() const {
   std::lock_guard<std::mutex> lock(mu_);
   return options_.victim_policy;

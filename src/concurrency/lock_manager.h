@@ -112,6 +112,13 @@ class LockManager {
   /// Number of objects with at least one granted or waiting request.
   size_t locked_object_count() const;
 
+  /// True when a transaction other than \p self currently holds the X
+  /// lock on \p oid. Silo's locked-tuple rule: OCC validation treats an
+  /// object X-locked by a concurrently committing writer as a conflict
+  /// even though its stamp has not changed yet — without it two
+  /// validating transactions could mutually pass stamp-only checks.
+  bool IsXLockedByOther(Oid oid, TxnId self) const;
+
   /// Current / new deadlock victim policy. The setter is safe to call at
   /// any time (it takes the table mutex) but, like SetMvccEnabled, is
   /// meant to be flipped between runs: all clients of one run share one

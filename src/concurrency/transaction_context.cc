@@ -24,6 +24,18 @@ const char* DeadlockPolicyToString(DeadlockPolicy policy) {
   return "?";
 }
 
+const char* CcAlgorithmToString(CcAlgorithm cc) {
+  switch (cc) {
+    case CcAlgorithm::kStrict2PL:
+      return "2pl";
+    case CcAlgorithm::kSnapshotIsolation:
+      return "si";
+    case CcAlgorithm::kSiloOCC:
+      return "occ";
+  }
+  return "?";
+}
+
 const char* TxnStateToString(TxnState state) {
   switch (state) {
     case TxnState::kActive:

@@ -22,6 +22,7 @@
 #define OCB_CONCURRENCY_TRANSACTION_CONTEXT_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -62,6 +63,29 @@ enum class DeadlockPolicy : uint8_t {
 
 const char* DeadlockPolicyToString(DeadlockPolicy policy);
 
+/// Concurrency-control algorithm for read-write transactions (the
+/// CC_ALG axis; see ARCHITECTURE.md "Concurrency control algorithms").
+enum class CcAlgorithm : uint8_t {
+  /// Strict two-phase locking: S locks on reads, X locks on writes,
+  /// in-place writes with undo logging. The default path, unchanged.
+  kStrict2PL = 0,
+  /// Snapshot isolation: reads resolve against a ReadView pinned at
+  /// begin, writes are buffered in the transaction context, and commit
+  /// validates first-committer-wins against version-store commit
+  /// timestamps — a concurrent commit to any written object since the
+  /// snapshot aborts this transaction with Status::WriteConflict.
+  /// Admits write skew (disjoint write sets, intersecting read sets).
+  kSnapshotIsolation,
+  /// Silo-style optimistic CC: no S locks ever. Reads record per-object
+  /// version stamps; commit X-locks the write set in ascending oid
+  /// order, validates that every read stamp is unchanged (and no other
+  /// writer holds the object), then stamps through the ordinary commit
+  /// pipeline. Serializable: conflicts surface as Status::WriteConflict.
+  kSiloOCC,
+};
+
+const char* CcAlgorithmToString(CcAlgorithm cc);
+
 /// Transaction lifecycle state. kPrepared is the two-phase-commit limbo a
 /// cross-shard participant enters between Database::PrepareTxn and the
 /// coordinator's decision: all writes are applied, all locks are held, and
@@ -84,6 +108,13 @@ struct UndoRecord {
   std::vector<uint8_t> pre_image;       ///< Encoded bytes (kRestore only).
 };
 
+/// One write buffered by an SI/OCC transaction: the encoded post-image,
+/// applied under the X lock acquired at commit-time finalization.
+struct BufferedWrite {
+  ClassId class_id = kNullClass;
+  std::vector<uint8_t> encoded;
+};
+
 /// \brief State of one in-flight transaction.
 class TransactionContext {
  public:
@@ -102,6 +133,37 @@ class TransactionContext {
   /// pinned at BeginTxn (no S locks taken, so this txn never deadlocks),
   /// and every write operation is refused with InvalidArgument.
   bool read_only() const { return read_only_; }
+
+  /// Concurrency-control algorithm this transaction runs under
+  /// (read-write transactions; readers are plain snapshot readers).
+  CcAlgorithm cc() const { return cc_; }
+
+  /// True when object reads resolve through a pinned ReadView: MVCC
+  /// readers, and SI writers (whose reads come from their snapshot).
+  bool uses_snapshot_reads() const {
+    return read_only_ ||
+           (owns_view_ && cc_ == CcAlgorithm::kSnapshotIsolation);
+  }
+
+  /// True when this transaction has work to commit: in-place undo-logged
+  /// writes (2PL, or finalized SI/OCC) or still-buffered SI/OCC writes.
+  /// The writer-classification predicate everywhere `!undo_log().empty()`
+  /// used to be the test.
+  bool has_writes() const {
+    return !undo_log_.empty() || !write_buffer_.empty();
+  }
+
+  /// Buffered SI/OCC writes (oid → post-image), ascending oid order —
+  /// commit-time finalization X-locks them in this order.
+  const std::map<Oid, BufferedWrite>& write_buffer() const {
+    return write_buffer_;
+  }
+
+  /// OCC read set: oid → last-committed-write timestamp observed at read
+  /// time. Commit validation re-reads each stamp and aborts on change.
+  const std::unordered_map<Oid, uint64_t>& occ_read_set() const {
+    return occ_read_set_;
+  }
 
   /// Commit timestamp the snapshot is pinned at (read-only txns only).
   uint64_t snapshot_ts() const { return snapshot_ts_; }
@@ -131,17 +193,34 @@ class TransactionContext {
 
  private:
   friend class LockManager;  ///< Maintains held_locks_, lock_wait_nanos_.
-  friend class Database;     ///< Maintains undo_log_, state_.
+  friend class Database;     ///< Maintains undo_log_, state_, CC state.
 
   TxnId id_;
   bool read_only_ = false;
   TxnState state_ = TxnState::kActive;
+  CcAlgorithm cc_ = CcAlgorithm::kStrict2PL;
   std::unordered_map<Oid, LockMode> held_locks_;
   std::vector<UndoRecord> undo_log_;
   std::unordered_set<Oid> undo_logged_;  ///< Oids with a pre-image already.
   uint64_t lock_wait_nanos_ = 0;
-  uint64_t snapshot_ts_ = 0;     ///< Pinned ReadView ts (read-only txns).
+  uint64_t snapshot_ts_ = 0;     ///< Pinned ReadView ts (see owns_view_).
   uint64_t snapshot_reads_ = 0;  ///< Reads served through the ReadView.
+  /// True when this context owns an open ReadView that commit/abort must
+  /// close: MVCC readers AND SI writers (whose snapshot_ts_ pins their
+  /// read snapshot). Keyed on this, not read_only_.
+  bool owns_view_ = false;
+  /// SI/OCC: writes buffered until commit-time finalization (applied
+  /// in-place only after validation, under X locks).
+  std::map<Oid, BufferedWrite> write_buffer_;
+  /// SI/OCC: set once Database::FinalizeCc validated and applied the
+  /// buffered writes — the commit paths that follow (pipeline, 2PC
+  /// CommitTxnAt) must not finalize twice.
+  bool cc_finalized_ = false;
+  /// OCC: per-object version stamps observed by reads (see occ_read_set).
+  std::unordered_map<Oid, uint64_t> occ_read_set_;
+  /// OCC phantom protection: per-class extent version counters observed
+  /// by ExtentSnapshot, revalidated at commit.
+  std::unordered_map<ClassId, uint64_t> occ_extent_versions_;
 };
 
 }  // namespace ocb

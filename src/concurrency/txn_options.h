@@ -4,10 +4,17 @@
 /// TxnOptions is the public face of the concurrency-control subsystem's
 /// tunables: what a caller asks for when beginning a transaction. The
 /// session layer maps it onto the engine's internals — read_only +
-/// kSnapshot becomes an MVCC ReadView transaction, deadlock_policy flows
-/// into LockManagerOptions::victim_policy (engine-wide: all sessions of
-/// one run are expected to agree, the same discipline as
+/// snapshot isolation becomes an MVCC ReadView transaction, cc selects
+/// the writer algorithm (see CcAlgorithm), deadlock_policy flows into
+/// LockManagerOptions::victim_policy (engine-wide: all sessions of one
+/// run are expected to agree, the same discipline as
 /// Database::SetMvccEnabled).
+///
+/// The option matrix is validated explicitly (ValidateTxnOptions):
+/// nonsensical combinations — a writer asking for kSnapshot *isolation*
+/// without the kSnapshotIsolation *algorithm*, a read-only transaction
+/// asking for an optimistic writer algorithm — are refused with a typed
+/// InvalidArgument instead of being silently downgraded to 2PL.
 
 #ifndef OCB_CONCURRENCY_TXN_OPTIONS_H_
 #define OCB_CONCURRENCY_TXN_OPTIONS_H_
@@ -16,33 +23,49 @@
 
 #include "concurrency/lock_manager.h"
 #include "concurrency/transaction_context.h"
+#include "util/format.h"
+#include "util/status.h"
 
 namespace ocb {
 
 /// Isolation level requested for a transaction.
 enum class IsolationLevel : uint8_t {
-  /// Read-only transactions read a consistent MVCC snapshot (ReadView
-  /// pinned at begin, no S locks, never blocks, never deadlocks);
-  /// read-write transactions run strict 2PL. The default.
-  kSnapshot = 0,
+  /// Derive the level from the other options: read-only transactions
+  /// read a consistent MVCC snapshot, read-write transactions follow
+  /// TxnOptions::cc. The default — callers that don't care never have
+  /// to spell an isolation level.
+  kDefault = 0,
+  /// Read a consistent MVCC snapshot (ReadView pinned at begin, no S
+  /// locks, never blocks, never deadlocks). For a read-write
+  /// transaction this is only meaningful with cc = kSnapshotIsolation
+  /// (SI writers read from their pinned view); any other cc is refused.
+  kSnapshot,
   /// Pure strict 2PL for everything: even read-only transactions take S
   /// locks and queue behind writers (the pure-2PL baseline
-  /// bench_multiclient measures).
+  /// bench_multiclient measures). Requires cc = kStrict2PL.
   kStrict2PL,
 };
 
 const char* IsolationLevelToString(IsolationLevel level);
 
+// CcAlgorithm (the CC_ALG axis — kStrict2PL / kSnapshotIsolation /
+// kSiloOCC) lives in transaction_context.h with the other CC enums.
+
 /// \brief What Session::Begin was asked for.
 struct TxnOptions {
-  /// The transaction promises not to write. With kSnapshot isolation it
-  /// becomes an MVCC snapshot reader; with kStrict2PL it is a locking
+  /// The transaction promises not to write. Under MVCC it becomes a
+  /// snapshot reader; with kStrict2PL isolation it is a locking
   /// transaction whose writes the session layer refuses.
   bool read_only = false;
 
-  /// See IsolationLevel. Only consulted for read-only transactions (a
-  /// writer always runs strict 2PL).
-  IsolationLevel isolation = IsolationLevel::kSnapshot;
+  /// See IsolationLevel. kDefault derives the level from read_only + cc.
+  IsolationLevel isolation = IsolationLevel::kDefault;
+
+  /// Writer concurrency-control algorithm. Ignored for read-only
+  /// transactions under MVCC (they are pure snapshot readers); with
+  /// MVCC disabled engine-wide, SI/OCC are unavailable and Begin
+  /// refuses them (both algorithms are built on the version store).
+  CcAlgorithm cc = CcAlgorithm::kStrict2PL;
 
   /// Deadlock victim policy the engine's lock managers should apply.
   /// Unset (the default) keeps whatever the engine is configured with —
@@ -52,6 +75,47 @@ struct TxnOptions {
   /// agree on it.
   std::optional<DeadlockPolicy> deadlock_policy;
 };
+
+/// Validates the {read_only, isolation, cc} matrix. The combinations
+/// that used to be accepted silently as something else are now typed
+/// refusals:
+///   * writer + kSnapshot isolation requires cc == kSnapshotIsolation
+///     (previously this silently ran strict 2PL);
+///   * writer + kStrict2PL isolation requires cc == kStrict2PL;
+///   * read-only + a non-2PL cc is meaningless (snapshot readers never
+///     validate) and refused rather than ignored.
+/// \p mvcc_enabled gates the SI/OCC algorithms: both are built on the
+/// version store, so with MVCC off they are refused, not downgraded.
+inline Status ValidateTxnOptions(const TxnOptions& options,
+                                 bool mvcc_enabled) {
+  if (options.read_only && options.cc != CcAlgorithm::kStrict2PL) {
+    return Status::InvalidArgument(
+        Format("Begin refused: read_only with cc=%s is meaningless — "
+               "snapshot readers never validate; leave cc at its default",
+               CcAlgorithmToString(options.cc)));
+  }
+  if (!options.read_only && options.isolation == IsolationLevel::kSnapshot &&
+      options.cc != CcAlgorithm::kSnapshotIsolation) {
+    return Status::InvalidArgument(
+        Format("Begin refused: a writer with isolation=snapshot requires "
+               "cc=si (got cc=%s); this combination used to silently run "
+               "strict 2PL",
+               CcAlgorithmToString(options.cc)));
+  }
+  if (options.isolation == IsolationLevel::kStrict2PL &&
+      options.cc != CcAlgorithm::kStrict2PL) {
+    return Status::InvalidArgument(
+        Format("Begin refused: isolation=strict-2PL contradicts cc=%s",
+               CcAlgorithmToString(options.cc)));
+  }
+  if (!mvcc_enabled && options.cc != CcAlgorithm::kStrict2PL) {
+    return Status::InvalidArgument(
+        Format("Begin refused: cc=%s requires MVCC, which is disabled "
+               "engine-wide (SetMvccEnabled(false))",
+               CcAlgorithmToString(options.cc)));
+  }
+  return Status::OK();
+}
 
 /// Maps the per-transaction options onto the lock manager's option
 /// struct, preserving \p base for everything TxnOptions does not cover
@@ -67,6 +131,8 @@ inline LockManagerOptions ToLockManagerOptions(
 
 inline const char* IsolationLevelToString(IsolationLevel level) {
   switch (level) {
+    case IsolationLevel::kDefault:
+      return "default";
     case IsolationLevel::kSnapshot:
       return "snapshot";
     case IsolationLevel::kStrict2PL:

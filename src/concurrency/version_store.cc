@@ -87,6 +87,12 @@ void VersionStore::StampOids(TxnId txn, const std::vector<Oid>& oids,
     (void)txn;
     tail.commit_ts = ts;
     tail.owner = kInvalidTxnId;
+    if (!aborted) {
+      // Committed-write stamp for OCC/SI validation (see LastWriteTs).
+      // Sealed aborts don't count: the object's committed state did not
+      // change, so readers that observed the old stamp stay valid.
+      shard.last_write_ts[oid] = ts;
+    }
     auto& counter = aborted ? versions_discarded_ : versions_stamped_;
     counter.fetch_add(1, std::memory_order_relaxed);
   }
@@ -197,6 +203,13 @@ VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
     snapshot_current_.fetch_add(1, std::memory_order_relaxed);
   }
   return VersionLookup::kUseCurrent;
+}
+
+CommitTs VersionStore::LastWriteTs(Oid oid) const {
+  Shard& shard = shard_of(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.last_write_ts.find(oid);
+  return it == shard.last_write_ts.end() ? 0 : it->second;
 }
 
 bool VersionStore::CreatedAfter(Oid oid, CommitTs snapshot_ts) const {

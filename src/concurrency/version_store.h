@@ -104,6 +104,13 @@ enum class VersionLookup {
 /// \brief Per-object chains of committed pre-images keyed by commit time.
 class VersionStore {
  public:
+  /// Snapshot sentinel meaning "committed latest": GetVisible at this
+  /// timestamp sees every *committed* write and no in-flight one (only a
+  /// pending version, stamped +infinity, is newer — and its pre-image is
+  /// exactly the last committed state). The OCC read protocol reads at
+  /// this point. Strictly below kPendingTs by construction.
+  static constexpr CommitTs kReadLatestTs = ~CommitTs{0} - 1;
+
   VersionStore();
 
   VersionStore(const VersionStore&) = delete;
@@ -226,6 +233,15 @@ class VersionStore {
   /// (membership checks are not logical reads).
   bool CreatedAfter(Oid oid, CommitTs snapshot_ts) const;
 
+  /// Commit timestamp of the last committed write of \p oid, or 0 if the
+  /// store never saw one commit. Maintained in StampOids (commit path
+  /// only — aborts don't count) and **never garbage-collected**: GC
+  /// reclaims pre-image chains, but the stamps OCC/SI validation
+  /// compares against must outlive every open view. Takes only the oid's
+  /// shard mutex. Because stamping precedes lock release, a stamp read
+  /// while holding the object's X lock is final.
+  CommitTs LastWriteTs(Oid oid) const;
+
   /// Reclaims every committed version no snapshot in \p views (nor any
   /// future one) can select; returns the number removed. The oldest-open
   /// computation happens under commit_mu_, pairing with OpenSnapshot.
@@ -254,6 +270,9 @@ class VersionStore {
     /// Chain per object, ascending commit_ts, pending (if any) at the
     /// tail.
     std::unordered_map<Oid, std::vector<Version>> chains;
+    /// Last committed-write stamp per object (see LastWriteTs). Never
+    /// GC'd — chains come and go, these stamps persist.
+    std::unordered_map<Oid, CommitTs> last_write_ts;
   };
 
   Shard& shard_of(Oid oid) const { return *shards_[oid % shards_.size()]; }

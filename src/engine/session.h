@@ -101,10 +101,12 @@ class TransactionT {
         handle_(std::move(other.handle_)),
         legacy_(other.legacy_),
         options_(other.options_),
+        begin_status_(std::move(other.begin_status_)),
         begin_nanos_(other.begin_nanos_),
         commit_nanos_(other.commit_nanos_) {
     other.db_ = nullptr;
     other.legacy_ = false;
+    other.begin_status_ = Status::OK();
     other.begin_nanos_ = 0;
   }
 
@@ -115,10 +117,12 @@ class TransactionT {
       handle_ = std::move(other.handle_);
       legacy_ = other.legacy_;
       options_ = other.options_;
+      begin_status_ = std::move(other.begin_status_);
       begin_nanos_ = other.begin_nanos_;
       commit_nanos_ = other.commit_nanos_;
       other.db_ = nullptr;
       other.legacy_ = false;
+      other.begin_status_ = Status::OK();
       other.begin_nanos_ = 0;
     }
     return *this;
@@ -132,8 +136,16 @@ class TransactionT {
   /// bracket closes the observer transaction.
   ~TransactionT() { Dispose(); }
 
-  /// True while this handle is attached to an engine (not moved-from).
+  /// True while this handle is attached to an engine (not moved-from,
+  /// not refused at Begin).
   bool valid() const { return db_ != nullptr; }
+
+  /// Why Session::Begin refused this transaction (OK when it did not):
+  /// a nonsensical {read_only, isolation, cc} combination is refused
+  /// with typed InvalidArgument instead of silently running as 2PL —
+  /// the handle comes back *poisoned*, and every operation (including
+  /// Commit/Abort) returns this status.
+  const Status& begin_status() const { return begin_status_; }
 
   /// True for legacy (non-transactional) brackets.
   bool legacy() const { return legacy_; }
@@ -144,6 +156,7 @@ class TransactionT {
   /// became an abort and everything rolled back.
   Status Commit() {
     if (db_ == nullptr) {
+      if (!begin_status_.ok()) return begin_status_;
       return Status::InvalidArgument("Commit on an empty Transaction");
     }
     if (legacy_) {
@@ -176,6 +189,7 @@ class TransactionT {
   /// aborting a committed one is InvalidArgument.
   Status Abort() {
     if (db_ == nullptr) {
+      if (!begin_status_.ok()) return begin_status_;
       return Status::InvalidArgument("Abort on an empty Transaction");
     }
     if (legacy_) {
@@ -342,6 +356,17 @@ class TransactionT {
   /// The options Session::Begin was called with.
   const TxnOptions& options() const { return options_; }
 
+  /// The concurrency-control algorithm the engine actually runs this
+  /// transaction under (the engine may degrade — e.g. MVCC disabled
+  /// forces kStrict2PL before the session-level refusal existed).
+  CcAlgorithm cc() const {
+    if constexpr (requires(const Handle& h) { h.cc(); }) {
+      return handle_ == nullptr ? options_.cc : handle_->cc();
+    } else {
+      return options_.cc;
+    }
+  }
+
   uint64_t lock_wait_nanos() const {
     return handle_ == nullptr ? 0 : handle_->lock_wait_nanos();
   }
@@ -380,6 +405,11 @@ class TransactionT {
 
  private:
   friend class SessionT<DB>;
+
+  /// A *poisoned* transaction: Session::Begin refused \p options. Not
+  /// attached to any engine; every operation returns \p refusal.
+  TransactionT(Status refusal, TxnOptions options)
+      : options_(options), begin_status_(std::move(refusal)) {}
 
   TransactionT(DB* db, std::unique_ptr<Handle> handle, TxnOptions options,
                bool legacy)
@@ -434,6 +464,7 @@ class TransactionT {
 
   Status CheckUsable(const char* op) const {
     if (db_ == nullptr) {
+      if (!begin_status_.ok()) return begin_status_;
       return Status::InvalidArgument(
           Format("%s on an empty (finished or moved-from) Transaction",
                  op));
@@ -467,7 +498,15 @@ class TransactionT {
   /// prefetching would charge I/O the blocking path never performs.
   void PrefetchFrontier(const std::vector<Oid>& frontier) {
     if (frontier.size() < 2) return;
-    if (!legacy_ && handle_ != nullptr && handle_->read_only()) return;
+    // Snapshot-resolving transactions (MVCC readers, SI writers) may
+    // serve reads from the version store; prefetching would charge I/O
+    // those reads never perform. OCC reads committed-latest, which
+    // nearly always falls through to the store — keep its prefetch.
+    if (!legacy_ && handle_ != nullptr &&
+        (handle_->read_only() ||
+         options_.cc == CcAlgorithm::kSnapshotIsolation)) {
+      return;
+    }
     (void)db_->PrefetchObjects(frontier);
   }
 
@@ -636,6 +675,9 @@ class TransactionT {
   std::unique_ptr<Handle> handle_;
   bool legacy_ = false;
   TxnOptions options_;
+  /// Session::Begin's refusal when this handle was born poisoned (see
+  /// begin_status()); OK for every attached handle.
+  Status begin_status_;
   /// Trace-epoch stamp of Begin when the recorder was live (0 = no
   /// pending lifetime span).
   uint64_t begin_nanos_ = 0;
@@ -656,20 +698,33 @@ class SessionT {
   /// Begins a transaction with this session's default options.
   TransactionT<DB> Begin() { return Begin(defaults_); }
 
-  /// Begins a transaction. read_only + kSnapshot becomes an MVCC
-  /// snapshot reader (engine MVCC permitting); a *set* deadlock policy
-  /// is forwarded to the engine's lock managers when it differs
-  /// (engine-wide — all sessions of one run must agree, the
-  /// SetMvccEnabled discipline; unset keeps the engine's policy).
+  /// Begins a transaction. The option matrix is validated first
+  /// (ValidateTxnOptions): nonsensical combinations — a read-only txn
+  /// asking for SI/OCC write machinery, a writer pinning kSnapshot
+  /// isolation under 2PL, kStrict2PL isolation paired with an optimistic
+  /// algorithm, or any non-2PL algorithm on an MVCC-disabled engine —
+  /// yield a *poisoned* handle: valid() is false, begin_status() carries
+  /// the typed InvalidArgument, and Commit/Abort return it verbatim.
+  ///
+  /// For accepted options: read_only with kDefault/kSnapshot isolation
+  /// becomes an MVCC snapshot reader (engine MVCC permitting), and
+  /// options.cc selects the concurrency-control algorithm for writers.
+  /// A *set* deadlock policy is forwarded to the engine's lock managers
+  /// when it differs (engine-wide — all sessions of one run must agree,
+  /// the SetMvccEnabled discipline; unset keeps the engine's policy).
   TransactionT<DB> Begin(const TxnOptions& options) {
+    Status valid = ValidateTxnOptions(options, db_->mvcc_enabled());
+    if (!valid.ok()) {
+      return TransactionT<DB>(std::move(valid), options);
+    }
     if (options.deadlock_policy.has_value() &&
         *options.deadlock_policy != db_->deadlock_policy()) {
       db_->SetDeadlockPolicy(*options.deadlock_policy);
     }
     const bool snapshot = options.read_only &&
-                          options.isolation == IsolationLevel::kSnapshot;
-    return TransactionT<DB>(db_, db_->BeginTxn(snapshot), options,
-                            /*legacy=*/false);
+                          options.isolation != IsolationLevel::kStrict2PL;
+    return TransactionT<DB>(db_, db_->BeginTxn(snapshot, options.cc),
+                            options, /*legacy=*/false);
   }
 
   /// Begins a *legacy* bracket: no locks, no undo, seed-exact single-

@@ -133,6 +133,8 @@ void Database::RegisterObsCallbacks() {
                [this] { return commit_pipeline_.stats().grouped_commits; });
   reg.Register("db.groupcommit.batch_nanos",
                [this] { return commit_pipeline_.stats().batch_nanos; });
+  reg.Register("db.cc.si_conflicts", [this] { return si_conflicts(); });
+  reg.Register("db.cc.occ_conflicts", [this] { return occ_conflicts(); });
 #endif
 }
 
@@ -223,25 +225,34 @@ void Database::NotifyLinkCross(Oid from, Oid to, RefTypeId type,
 
 // --- Transaction lifecycle ---
 
-std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only) {
+std::unique_ptr<TransactionContext> Database::BeginTxn(bool read_only,
+                                                       CcAlgorithm cc) {
   return BeginTxnWithId(next_txn_id_.fetch_add(1, std::memory_order_relaxed),
-                        read_only);
+                        read_only, cc);
 }
 
 std::unique_ptr<TransactionContext> Database::BeginTxnWithId(
-    TxnId id, bool read_only) {
+    TxnId id, bool read_only, CcAlgorithm cc) {
   // The GC thread exists only once someone transacts: legacy
   // single-client users (generators, the seed benches) never pay for it.
   std::call_once(gc_once_, [this]() {
     gc_thread_ = std::thread([this]() { GcLoop(); });
   });
   // Without MVCC, a "read-only" txn is just a locking txn that happens
-  // not to write — the pure-2PL baseline.
-  if (!mvcc_enabled()) read_only = false;
+  // not to write — the pure-2PL baseline. SI/OCC are built on the
+  // version store, so they degrade to 2PL too (the session layer refuses
+  // them up front; this is the belt for internal callers).
+  if (!mvcc_enabled()) {
+    read_only = false;
+    cc = CcAlgorithm::kStrict2PL;
+  }
   auto txn = std::make_unique<TransactionContext>(id, read_only);
-  if (read_only) {
-    // Pin the ReadView atomically against commit stamping and GC.
+  txn->cc_ = read_only ? CcAlgorithm::kStrict2PL : cc;
+  if (read_only || txn->cc_ == CcAlgorithm::kSnapshotIsolation) {
+    // Pin the ReadView atomically against commit stamping and GC. An SI
+    // writer reads from its pinned view exactly like a reader does.
     txn->snapshot_ts_ = version_store_.OpenSnapshot(&read_views_);
+    txn->owns_view_ = true;
   }
   {
     std::lock_guard<std::mutex> lock(observer_mu_);
@@ -261,6 +272,26 @@ std::unique_ptr<TransactionContext> Database::BeginSnapshotTxnAt(
   // caller (the coordinator) excludes cross-shard half-commits by opening
   // all shards' views under its own commit mutex.
   txn->snapshot_ts_ = version_store_.OpenSnapshotAt(ts, &read_views_);
+  txn->owns_view_ = true;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (observer_ != nullptr) observer_->OnTransactionBegin();
+  }
+  return txn;
+}
+
+std::unique_ptr<TransactionContext> Database::BeginSiWriterTxnAt(CommitTs ts,
+                                                                 TxnId id) {
+  std::call_once(gc_once_, [this]() {
+    gc_thread_ = std::thread([this]() { GcLoop(); });
+  });
+  auto txn = std::make_unique<TransactionContext>(id, /*read_only=*/false);
+  txn->cc_ = CcAlgorithm::kSnapshotIsolation;
+  // Same GC-safety argument as BeginSnapshotTxnAt: the view registers
+  // under the version store's commit mutex at the coordinator-chosen
+  // global snapshot.
+  txn->snapshot_ts_ = version_store_.OpenSnapshotAt(ts, &read_views_);
+  txn->owns_view_ = true;
   {
     std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionBegin();
@@ -280,6 +311,11 @@ Status Database::PrepareTxn(TransactionContext* txn) {
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
                TxnStateToString(txn->state())));
   }
+  // SI/OCC participants validate here — prepare is exactly the promise
+  // point validation must precede. A validation loss leaves the txn
+  // active (locks held) and the coordinator aborts every participant;
+  // nothing was stamped or logged for this transaction yet.
+  OCB_RETURN_NOT_OK(FinalizeCc(txn));
   // Strict 2PL with in-place writes: every write is already applied under
   // an X lock that stays held, so the participant *can* commit whenever
   // the coordinator decides to. Freezing the state is the whole phase.
@@ -304,12 +340,27 @@ Status Database::CommitTxnInternal(TransactionContext* txn,
         Format("txn %llu is %s, not active", (unsigned long long)txn->id(),
                TxnStateToString(txn->state())));
   }
+  // SI/OCC commits entering here directly (not through the pipeline or
+  // 2PC prepare, which already finalized) validate and apply now. On a
+  // validation loss the transaction aborts — rollback, seal, release —
+  // and the caller sees the typed conflict.
+  if (txn->active()) {
+    Status fin = FinalizeCc(txn);
+    if (!fin.ok()) {
+      AbortTxnInternal(txn, external_ts);
+      return fin;
+    }
+  }
   txn->state_ = TxnState::kCommitted;
   Status wal_status = Status::OK();
-  if (txn->read_only()) {
+  if (txn->owns_view_) {
+    // MVCC readers and SI writers: unpin the ReadView (keyed on view
+    // ownership, not read_only_ — an SI writer owns one too).
     read_views_.Close(ReadView{txn->snapshot_ts_});
+    txn->owns_view_ = false;
     gc_cv_.notify_all();  // The oldest snapshot may have advanced.
-  } else if (!txn->undo_log_.empty()) {
+  }
+  if (!txn->read_only() && !txn->undo_log_.empty()) {
     // Stamp before releasing any lock: the next writer of these objects
     // must append its pending version *behind* this commit in the chains.
     // Pure readers on the locking path allocate no timestamp.
@@ -373,6 +424,16 @@ Status Database::CommitTxnGrouped(TransactionContext* txn) {
   // Read-only commits only close a ReadView — no commit-mutex work to
   // amortize, so they skip the pipeline (and never wait behind a batch).
   if (txn->read_only()) return CommitTxnInternal(txn, /*external_ts=*/0);
+  // SI/OCC: validate and apply on the *caller's* thread, before joining
+  // the batch — the leader must never block on another member's lock
+  // acquisitions, and a validation loss must not occupy a batch slot.
+  {
+    Status fin = FinalizeCc(txn);
+    if (!fin.ok()) {
+      AbortTxnInternal(txn, /*external_ts=*/0);
+      return fin;
+    }
+  }
   return commit_pipeline_.Submit(txn);
 }
 
@@ -432,10 +493,18 @@ void Database::CommitBatch(
       if (wal_status.ok()) wal_status = wal_->Force();
     }
   }
+  bool closed_views = false;
   for (CommitPipeline::Request* req : batch) {
     auto* txn = static_cast<TransactionContext*>(req->handle);
     const bool writer = !txn->undo_log_.empty();
     txn->state_ = TxnState::kCommitted;
+    if (txn->owns_view_) {
+      // SI members pinned a ReadView at begin (pure readers never enter
+      // the pipeline); unpin before releasing locks.
+      read_views_.Close(ReadView{txn->snapshot_ts_});
+      txn->owns_view_ = false;
+      closed_views = true;
+    }
     txn->undo_log_.clear();
     txn->undo_logged_.clear();
     lock_manager_.ReleaseAll(txn);
@@ -452,6 +521,7 @@ void Database::CommitBatch(
       }
     }
   }
+  if (closed_views) gc_cv_.notify_all();
   if (!writers.empty() && wal_status.ok()) {
     NoteCommitsForCheckpoint(writers.size());
   }
@@ -476,11 +546,22 @@ Status Database::AbortTxnInternal(TransactionContext* txn,
   }
   if (txn->read_only()) {
     read_views_.Close(ReadView{txn->snapshot_ts_});
+    txn->owns_view_ = false;
     gc_cv_.notify_all();
     txn->state_ = TxnState::kAborted;
     std::lock_guard<std::mutex> lock(observer_mu_);
     if (observer_ != nullptr) observer_->OnTransactionAbort();
     return Status::OK();
+  }
+  // SI/OCC state dies with the transaction: buffered writes were never
+  // applied (nothing to roll back for them), read sets never validate.
+  txn->write_buffer_.clear();
+  txn->occ_read_set_.clear();
+  txn->occ_extent_versions_.clear();
+  if (txn->owns_view_) {
+    read_views_.Close(ReadView{txn->snapshot_ts_});
+    txn->owns_view_ = false;
+    gc_cv_.notify_all();
   }
   Status first_failure = Status::OK();
   {
@@ -502,6 +583,7 @@ Status Database::AbortTxnInternal(TransactionContext* txn,
             extent.erase(
                 std::remove(extent.begin(), extent.end(), it->oid),
                 extent.end());
+            ++extent_versions_[it->class_id];
           }
           break;
         }
@@ -515,6 +597,7 @@ Status Database::AbortTxnInternal(TransactionContext* txn,
               if (it->class_id < schema_.class_count()) {
                 schema_.GetMutableClass(it->class_id)
                     .iterator.push_back(it->oid);
+                ++extent_versions_[it->class_id];
               }
             }
           }
@@ -572,13 +655,17 @@ void Database::RecordPreImage(TransactionContext* txn, const Object& obj) {
 }
 
 Result<Object> Database::SnapshotRead(TransactionContext* txn, Oid oid) {
+  return SnapshotReadAt(txn, oid, txn->snapshot_ts_);
+}
+
+Result<Object> Database::SnapshotReadAt(TransactionContext* txn, Oid oid,
+                                        CommitTs read_ts) {
   std::vector<uint8_t> bytes;
-  switch (version_store_.GetVisible(oid, txn->snapshot_ts_, &bytes)) {
+  switch (version_store_.GetVisible(oid, read_ts, &bytes)) {
     case VersionLookup::kInvisible:
       return Status::NotFound(
           Format("oid %llu not visible at snapshot %llu",
-                 (unsigned long long)oid,
-                 (unsigned long long)txn->snapshot_ts_));
+                 (unsigned long long)oid, (unsigned long long)read_ts));
     case VersionLookup::kVersion: {
       ++txn->snapshot_reads_;
       OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
@@ -595,13 +682,12 @@ Result<Object> Database::SnapshotRead(TransactionContext* txn, Oid oid) {
   // hands us the correct pre-image.
   std::vector<uint8_t> current;
   Status read = store_->Read(oid, &current);
-  switch (version_store_.GetVisible(oid, txn->snapshot_ts_, &bytes,
+  switch (version_store_.GetVisible(oid, read_ts, &bytes,
                                     /*revalidate=*/true)) {
     case VersionLookup::kInvisible:
       return Status::NotFound(
           Format("oid %llu not visible at snapshot %llu",
-                 (unsigned long long)oid,
-                 (unsigned long long)txn->snapshot_ts_));
+                 (unsigned long long)oid, (unsigned long long)read_ts));
     case VersionLookup::kVersion: {
       ++txn->snapshot_reads_;
       OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(bytes));
@@ -618,6 +704,129 @@ Result<Object> Database::SnapshotRead(TransactionContext* txn, Oid oid) {
   return obj;
 }
 
+Result<Object> Database::OptimisticRead(TransactionContext* txn, Oid oid) {
+  // Read-your-writes: the buffered post-image wins, then the txn's own
+  // in-place writes (eager creations hold their X lock — the store bytes
+  // are this transaction's).
+  auto wit = txn->write_buffer_.find(oid);
+  if (wit != txn->write_buffer_.end()) {
+    OCB_ASSIGN_OR_RETURN(Object obj, Object::Decode(wit->second.encoded));
+    obj.oid = oid;
+    return obj;
+  }
+  if (txn->undo_logged_.count(oid) != 0) return ReadDecode(oid);
+  if (txn->cc() == CcAlgorithm::kSnapshotIsolation) {
+    return SnapshotRead(txn, oid);
+  }
+  // Silo OCC: committed-latest read inside a stamp-stability loop. An
+  // unchanged last-committed-write stamp around the read proves the bytes
+  // belong to exactly that stamp (stamps are stamped before lock release
+  // and monotonic per object, so there is no ABA).
+  for (;;) {
+    const CommitTs before = version_store_.LastWriteTs(oid);
+    auto obj = SnapshotReadAt(txn, oid, VersionStore::kReadLatestTs);
+    if (!obj.ok() && !obj.status().IsNotFound()) return obj;
+    const CommitTs after = version_store_.LastWriteTs(oid);
+    if (before != after) continue;  // A commit raced the read; retry.
+    auto [it, inserted] = txn->occ_read_set_.emplace(oid, after);
+    if (!inserted && it->second != after) {
+      // A re-read whose stamp moved: the read set can never validate —
+      // fail fast instead of letting the txn run doomed to the commit.
+      occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::WriteConflict(
+          Format("occ read of oid %llu saw stamp %llu, first read saw "
+                 "%llu: concurrent commit invalidated the read set",
+                 (unsigned long long)oid, (unsigned long long)after,
+                 (unsigned long long)it->second));
+    }
+    return obj;
+  }
+}
+
+Status Database::FinalizeCc(TransactionContext* txn) {
+  if (txn == nullptr || txn->cc_ == CcAlgorithm::kStrict2PL ||
+      txn->cc_finalized_) {
+    return Status::OK();
+  }
+  // Phase 1: lock the write set, ascending oid order (std::map). Two
+  // finalizers can't deadlock each other; contention with a 2PL writer
+  // can still surface Aborted and is handled like any deadlock abort.
+  for (const auto& [oid, write] : txn->write_buffer_) {
+    OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kExclusive));
+  }
+  // Phase 2: validate.
+  if (txn->cc_ == CcAlgorithm::kSnapshotIsolation) {
+    // First committer wins: anyone committing a write to our write set
+    // after our snapshot invalidates us (covers blind writes too).
+    for (const auto& [oid, write] : txn->write_buffer_) {
+      const CommitTs last = version_store_.LastWriteTs(oid);
+      if (last > txn->snapshot_ts_) {
+        si_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::WriteConflict(
+            Format("si validation: oid %llu committed at ts %llu, after "
+                   "this txn's snapshot %llu (first committer wins)",
+                   (unsigned long long)oid, (unsigned long long)last,
+                   (unsigned long long)txn->snapshot_ts_));
+      }
+    }
+  } else {
+    // Silo: every read stamp unchanged; an object we only read must not
+    // be X-locked by a concurrently committing writer (locked-tuple
+    // rule — without it two validators could mutually pass stamp-only
+    // checks before either stamps).
+    for (const auto& [oid, stamp] : txn->occ_read_set_) {
+      if (version_store_.LastWriteTs(oid) != stamp) {
+        occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::WriteConflict(
+            Format("occ validation: read stamp of oid %llu changed",
+                   (unsigned long long)oid));
+      }
+      if (txn->write_buffer_.count(oid) == 0 &&
+          lock_manager_.IsXLockedByOther(oid, txn->id())) {
+        occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::WriteConflict(
+            Format("occ validation: oid %llu is write-locked by a "
+                   "concurrently committing transaction",
+                   (unsigned long long)oid));
+      }
+    }
+    // Phantom protection: the extent versions recorded by this txn's
+    // scans must be unchanged.
+    for (const auto& [class_id, version] : txn->occ_extent_versions_) {
+      if (ExtentVersion(class_id) != version) {
+        occ_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        return Status::WriteConflict(
+            Format("occ validation: extent of class %u changed since the "
+                   "scan (phantom)", class_id));
+      }
+    }
+  }
+  // Phase 3: apply the buffered writes in place under the held X locks —
+  // pre-image publish + undo exactly like a 2PL Put, so everything
+  // downstream (WAL, stamping, rollback) treats this as a plain writer.
+  {
+    auto facade = FacadeGate();
+    for (const auto& [oid, write] : txn->write_buffer_) {
+      if (txn->undo_logged_.count(oid) == 0) {
+        auto current = ReadDecode(oid);
+        if (!current.ok()) {
+          // A blind write to an object someone deleted: surface the
+          // NotFound (the caller aborts — nothing was applied for this
+          // oid, earlier applied writes are covered by undo).
+          return current.status();
+        }
+        RecordPreImage(txn, current.value());
+      }
+      OCB_RETURN_NOT_OK(store_->Update(oid, write.encoded));
+    }
+  }
+  txn->write_buffer_.clear();
+  txn->occ_read_set_.clear();
+  txn->occ_extent_versions_.clear();
+  txn->cc_finalized_ = true;
+  return Status::OK();
+}
+
 Status Database::RefuseReadOnly(const TransactionContext* txn,
                                 const char* op) {
   if (txn != nullptr && txn->read_only()) {
@@ -625,6 +834,18 @@ Status Database::RefuseReadOnly(const TransactionContext* txn,
         Format("%s refused: txn %llu is read-only (snapshot %llu)", op,
                (unsigned long long)txn->id(),
                (unsigned long long)txn->snapshot_ts()));
+  }
+  return Status::OK();
+}
+
+Status Database::RefuseNonLocking(const TransactionContext* txn,
+                                  const char* op) {
+  if (txn != nullptr && txn->cc() != CcAlgorithm::kStrict2PL) {
+    return Status::NotSupported(
+        Format("%s refused under cc=%s: its multi-object choreography "
+               "(symmetric backref maintenance) needs 2PL's eager write "
+               "footprint; run this transaction under the default strict "
+               "2PL", op, CcAlgorithmToString(txn->cc())));
   }
   return Status::OK();
 }
@@ -671,6 +892,7 @@ Result<Oid> Database::CreateObject(TransactionContext* txn,
   {
     TimedUniqueLock cat(catalog_mu_);
     schema_.GetMutableClass(class_id).iterator.push_back(oid);
+    ++extent_versions_[class_id];
   }
   if (txn != nullptr) {
     UndoRecord record;
@@ -713,6 +935,13 @@ Result<Object> Database::GetObject(TransactionContext* txn, Oid oid) {
     NotifyObjectAccess(oid);
     return obj;
   }
+  if (txn != nullptr && txn->cc() != CcAlgorithm::kStrict2PL) {
+    // SI/OCC: no S locks — own writes, then the algorithm's protocol.
+    auto facade = FacadeGate();
+    OCB_ASSIGN_OR_RETURN(Object obj, OptimisticRead(txn, oid));
+    NotifyObjectAccess(oid);
+    return obj;
+  }
   OCB_RETURN_NOT_OK(LockFor(txn, oid, LockMode::kShared));
   auto facade = FacadeGate();
   OCB_ASSIGN_OR_RETURN(Object obj, ReadDecode(oid));
@@ -729,6 +958,7 @@ Status Database::SetReference(TransactionContext* txn, Oid from,
                               uint32_t slot, Oid to) {
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "SetReference"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
+  OCB_RETURN_NOT_OK(RefuseNonLocking(txn, "SetReference"));
   // The txn path's multi-object atomicity comes from the X locks acquired
   // below. The legacy path (txn == nullptr) has no object locks, so it
   // holds the facade latch across the whole multi-object operation,
@@ -825,6 +1055,13 @@ Result<Object> Database::CrossLink(TransactionContext* txn, Oid from, Oid to,
     NotifyObjectAccess(to);
     return obj;
   }
+  if (txn != nullptr && txn->cc() != CcAlgorithm::kStrict2PL) {
+    auto facade = FacadeGate();
+    NotifyLinkCross(from, to, type, reverse);
+    OCB_ASSIGN_OR_RETURN(Object obj, OptimisticRead(txn, to));
+    NotifyObjectAccess(to);
+    return obj;
+  }
   OCB_RETURN_NOT_OK(LockFor(txn, to, LockMode::kShared));
   auto facade = FacadeGate();
   NotifyLinkCross(from, to, type, reverse);
@@ -839,6 +1076,21 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
   if (object.oid == kInvalidOid) {
     return Status::InvalidArgument("PutObject requires a valid oid");
   }
+  if (txn != nullptr && txn->cc() != CcAlgorithm::kStrict2PL) {
+    // SI/OCC: buffer the post-image; FinalizeCc locks, validates and
+    // applies at commit. A Put to the transaction's own eager creation
+    // writes in place — its X lock is already held. A Put to an oid that
+    // vanishes before commit surfaces NotFound at finalization.
+    if (txn->undo_logged_.count(object.oid) != 0) {
+      auto facade = FacadeGate();
+      return WriteEncoded(object.oid, object);
+    }
+    BufferedWrite write;
+    write.class_id = object.class_id;
+    object.EncodeTo(&write.encoded);
+    txn->write_buffer_[object.oid] = std::move(write);
+    return Status::OK();
+  }
   OCB_RETURN_NOT_OK(LockFor(txn, object.oid, LockMode::kExclusive));
   auto facade = FacadeGate(/*force=*/txn == nullptr);
   if (txn != nullptr && txn->undo_logged_.count(object.oid) == 0) {
@@ -852,6 +1104,7 @@ Status Database::PutObject(TransactionContext* txn, const Object& object) {
 Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "DeleteObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
+  OCB_RETURN_NOT_OK(RefuseNonLocking(txn, "DeleteObject"));
   // See SetReference for the legacy-hold vs per-section gate split.
   auto legacy_hold = txn == nullptr
                          ? FacadeGate(/*force=*/true)
@@ -919,6 +1172,7 @@ Status Database::DeleteObject(TransactionContext* txn, Oid oid) {
       auto& extent = schema_.GetMutableClass(obj.class_id).iterator;
       extent.erase(std::remove(extent.begin(), extent.end(), oid),
                    extent.end());
+      ++extent_versions_[obj.class_id];
     }
   }
   return store_->Delete(oid);
@@ -936,6 +1190,19 @@ Status Database::GetObjectsBatched(TransactionContext* txn,
     auto facade = FacadeGate();
     for (Oid oid : oids) {
       auto obj = SnapshotRead(txn, oid);
+      if (obj.ok()) {
+        accessed.push_back(oid);
+        out->push_back(std::move(obj).value());
+      } else if (!obj.status().IsNotFound()) {
+        return obj.status();
+      }
+    }
+  } else if (txn != nullptr && txn->cc() != CcAlgorithm::kStrict2PL) {
+    // SI/OCC: per-oid optimistic reads, no locks. Vanished (or not yet
+    // committed) members are skipped like the snapshot path's.
+    auto facade = FacadeGate();
+    for (Oid oid : oids) {
+      auto obj = OptimisticRead(txn, oid);
       if (obj.ok()) {
         accessed.push_back(oid);
         out->push_back(std::move(obj).value());
@@ -983,6 +1250,13 @@ Status Database::AcquireWriteFootprint(TransactionContext* txn,
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "ApplyWriteBatch"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "ApplyWriteBatch"));
   if (txn == nullptr) return Status::OK();
+  if (txn->cc() != CcAlgorithm::kStrict2PL) {
+    // Optimistic transactions take no locks before commit; the batch's
+    // writes will be buffered. Keep the prefetch — the reads that feed
+    // the batch still profit from a warm cache.
+    if (oids.size() > 1) (void)PrefetchObjects(oids);
+    return Status::OK();
+  }
   std::sort(oids.begin(), oids.end());
   oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
   for (Oid oid : oids) {
@@ -1081,6 +1355,7 @@ Status Database::ApplyRedoOp(const wal::WalOp& op) {
       // snapshot older than the log's schema must not crash replay.
       if (op.class_id < schema_.class_count()) {
         schema_.GetMutableClass(op.class_id).iterator.push_back(op.oid);
+        ++extent_versions_[op.class_id];
       }
       return Status::OK();
     }
@@ -1092,6 +1367,7 @@ Status Database::ApplyRedoOp(const wal::WalOp& op) {
         auto& extent = schema_.GetMutableClass(op.class_id).iterator;
         extent.erase(std::remove(extent.begin(), extent.end(), op.oid),
                      extent.end());
+        ++extent_versions_[op.class_id];
       }
       return Status::OK();
     }
@@ -1111,18 +1387,43 @@ std::vector<Oid> Database::ExtentSnapshot(ClassId class_id) {
   return schema_.GetClass(class_id).iterator;
 }
 
+uint64_t Database::ExtentVersion(ClassId class_id) {
+  TimedSharedLock lock(catalog_mu_);
+  auto it = extent_versions_.find(class_id);
+  return it == extent_versions_.end() ? 0 : it->second;
+}
+
 std::vector<Oid> Database::ExtentSnapshot(ClassId class_id,
-                                          const TransactionContext* txn) {
+                                          TransactionContext* txn) {
+  if (txn != nullptr && !txn->read_only() &&
+      txn->cc() == CcAlgorithm::kSiloOCC) {
+    // OCC scans current membership but records the extent version under
+    // the SAME catalog-latch hold as the copy, so the recorded counter
+    // provably describes the copied membership. Commit revalidates it
+    // (phantom protection). The first scan's version sticks: a later
+    // bump fails validation whether observed here again or not.
+    TimedSharedLock lock(catalog_mu_);
+    auto vit = extent_versions_.find(class_id);
+    txn->occ_extent_versions_.emplace(
+        class_id, vit == extent_versions_.end() ? 0 : vit->second);
+    if (class_id >= schema_.class_count()) return {};
+    return schema_.GetClass(class_id).iterator;
+  }
   std::vector<Oid> extent = ExtentSnapshot(class_id);
-  if (txn == nullptr || !txn->read_only()) return extent;
+  if (txn == nullptr || !txn->uses_snapshot_reads()) return extent;
   // Extents are not versioned: the copy above is *current* membership, so
-  // a snapshot reader could observe members created after its instant (a
-  // torn extent). Filter through the version store: a creation version
-  // newer than the view proves the member was born after the snapshot.
+  // a snapshot reader (or an SI writer, whose reads come from its pinned
+  // view) could observe members created after its instant (a torn
+  // extent). Filter through the version store: a creation version newer
+  // than the view proves the member was born after the snapshot.
   std::vector<Oid> visible;
   visible.reserve(extent.size());
   for (Oid oid : extent) {
-    if (!version_store_.CreatedAfter(oid, txn->snapshot_ts())) {
+    // An SI writer's own creations are newer than its snapshot but must
+    // stay visible to it (read-your-writes); undo_logged_ holds exactly
+    // the oids this transaction touched in place.
+    if (!version_store_.CreatedAfter(oid, txn->snapshot_ts()) ||
+        txn->undo_logged_.count(oid) != 0) {
       visible.push_back(oid);
     }
   }

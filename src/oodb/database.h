@@ -64,6 +64,7 @@
 #include <shared_mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "concurrency/commit_pipeline.h"
@@ -192,7 +193,29 @@ class Database {
   /// the version store, and every write operation is refused with
   /// InvalidArgument. Finish with CommitTxn/AbortTxn as usual (either
   /// closes the ReadView).
-  std::unique_ptr<TransactionContext> BeginTxn(bool read_only = false);
+  ///
+  /// \p cc selects the writer concurrency-control algorithm (ignored for
+  /// read-only transactions; the session layer validates the option
+  /// matrix — see ValidateTxnOptions):
+  ///
+  ///   * kStrict2PL (default) — the unchanged locking path.
+  ///   * kSnapshotIsolation — a ReadView is pinned at begin exactly like
+  ///     a reader's; reads resolve against it (plus the transaction's own
+  ///     writes), Put is buffered, and commit validates first-committer-
+  ///     wins: any object in the write set committed by someone else
+  ///     since the snapshot aborts this transaction with WriteConflict.
+  ///   * kSiloOCC — no S locks and no pinned view: reads record the
+  ///     object's last committed-write timestamp, commit X-locks the
+  ///     write set in ascending oid order, revalidates every read stamp
+  ///     (plus extent versions for scans), then commits as an ordinary
+  ///     writer. Read-set or phantom invalidation is WriteConflict.
+  ///
+  /// Under SI/OCC, SetReference and DeleteObject are refused with
+  /// NotSupported (their multi-object choreography needs 2PL's eager
+  /// footprint); CreateObject stays eager under a never-blocking X lock
+  /// on the fresh oid.
+  std::unique_ptr<TransactionContext> BeginTxn(
+      bool read_only = false, CcAlgorithm cc = CcAlgorithm::kStrict2PL);
 
   /// BeginTxn with a *caller-issued* transaction id. The sharding facade
   /// creates every participant context of one sharded transaction with
@@ -200,8 +223,9 @@ class Database {
   /// managers link their wait edges in the coordinator's GlobalWaitGraph
   /// (see wait_graph.h) — and is also why the ids must come from one
   /// deployment-wide counter, never this store's own.
-  std::unique_ptr<TransactionContext> BeginTxnWithId(TxnId id,
-                                                     bool read_only = false);
+  std::unique_ptr<TransactionContext> BeginTxnWithId(
+      TxnId id, bool read_only = false,
+      CcAlgorithm cc = CcAlgorithm::kStrict2PL);
 
   /// Commits: stamps the transaction's published versions with a fresh
   /// commit timestamp (making them visible history for snapshot readers),
@@ -278,8 +302,38 @@ class Database {
   /// 2PL with in-place writes there is nothing left to validate, so
   /// prepare can only fail for lifecycle reasons; it exists as the
   /// explicit promise point the coordinator's atomicity argument needs.
-  /// Refused for read-only transactions (nothing to prepare).
+  /// SI/OCC participants *do* validate here: prepare runs FinalizeCc —
+  /// write-set locking, read/write-set validation, buffered-write apply
+  /// — and a validation loss surfaces as WriteConflict (the coordinator
+  /// then aborts every participant; nothing of this transaction was
+  /// logged or stamped). Refused for read-only transactions.
   Status PrepareTxn(TransactionContext* txn);
+
+  /// Converts an SI/OCC transaction into an ordinary 2PL writer at the
+  /// commit point (no-op for 2PL transactions and when already run):
+  ///
+  ///   1. X-lock the buffered write set in ascending oid order (the
+  ///      write buffer is an ordered map) — deadlock-free against other
+  ///      finalizers; a conflict with a 2PL writer can still return
+  ///      Aborted.
+  ///   2. Validate. SI: first-committer-wins — every written object's
+  ///      last committed-write timestamp must not exceed the snapshot.
+  ///      OCC (Silo): every read stamp unchanged AND, for read-only
+  ///      members of the read set, not X-locked by another transaction
+  ///      (the locked-tuple rule), plus extent version counters
+  ///      unchanged (phantom protection for scans).
+  ///   3. Apply the buffered writes in place under the held X locks,
+  ///      publishing pre-images / undo exactly like a 2PL Put.
+  ///
+  /// A validation loss returns WriteConflict with the transaction still
+  /// active and its locks held — the caller aborts it (locks must stay
+  /// until the abort's rollback for the same reason as 2PL's). After
+  /// success the commit paths need no further CC awareness: the undo log
+  /// carries the writes, WAL/stamping/release proceed unchanged. Public
+  /// for the coordinator, whose fast path must finalize before
+  /// WalAppendTxn (the redo record is built from the undo log the apply
+  /// phase populates); local commit paths call it internally.
+  Status FinalizeCc(TransactionContext* txn);
 
   /// CommitTxn with a coordinator-issued commit timestamp: stamps the
   /// transaction's pending versions with \p ts (VersionStore::
@@ -299,6 +353,16 @@ class Database {
   /// against one cross-shard instant. \p id follows the BeginTxnWithId
   /// contract. Callers must ensure MVCC is enabled.
   std::unique_ptr<TransactionContext> BeginSnapshotTxnAt(CommitTs ts,
+                                                         TxnId id);
+
+  /// A snapshot-isolation *writer* participant pinned at a caller-chosen
+  /// snapshot: like BeginSnapshotTxnAt, but read-write with
+  /// cc = kSnapshotIsolation. The ShardedDatabase opens every shard's
+  /// view of one SI transaction at the same global snapshot point under
+  /// the coordinator's commit mutex (lazily opening them at first touch
+  /// would race each shard's GC: a view registered late at an old
+  /// timestamp cannot resurrect already-reclaimed versions).
+  std::unique_ptr<TransactionContext> BeginSiWriterTxnAt(CommitTs ts,
                                                          TxnId id);
 
   /// Direct lock-manager access for the sharding facade, which must
@@ -534,13 +598,32 @@ class Database {
   std::vector<Oid> ExtentSnapshot(ClassId class_id);
 
   /// Extent copy filtered through \p txn's visibility: for an MVCC
-  /// snapshot reader, members the version store proves did not exist at
+  /// snapshot reader — and an SI writer, whose reads come from its
+  /// pinned view — members the version store proves did not exist at
   /// the view's timestamp (created after it) are dropped, so a snapshot
-  /// Scan never observes an object born after its instant. Locking and
-  /// legacy transactions (and txn == nullptr) see the plain copy — their
-  /// reads target current state by construction.
-  std::vector<Oid> ExtentSnapshot(ClassId class_id,
-                                  const TransactionContext* txn);
+  /// Scan never observes an object born after its instant. An OCC
+  /// transaction sees the plain copy but records the class's extent
+  /// version (see ExtentVersion) for commit-time phantom validation.
+  /// Locking and legacy transactions (and txn == nullptr) see the plain
+  /// copy — their reads target current state by construction.
+  std::vector<Oid> ExtentSnapshot(ClassId class_id, TransactionContext* txn);
+
+  /// Monotonic per-class extent-membership version: bumped under the
+  /// exclusive catalog latch by every membership mutation (create,
+  /// delete, abort rollback of either, redo replay). OCC scans record it
+  /// and revalidate at commit — an unchanged counter proves no phantom
+  /// joined or left the extent between scan and commit.
+  uint64_t ExtentVersion(ClassId class_id);
+
+  /// Commit-time validation losses, per algorithm (monotonic; also
+  /// exported as the gauges db.cc.si_conflicts / db.cc.occ_conflicts).
+  /// OCC fail-fast read-set aborts count in occ_conflicts too.
+  uint64_t si_conflicts() const {
+    return si_conflicts_.load(std::memory_order_relaxed);
+  }
+  uint64_t occ_conflicts() const {
+    return occ_conflicts_.load(std::memory_order_relaxed);
+  }
 
   /// Copy of all live oids (the object table is internally striped; the
   /// copy is consistent-enough for root-pool maintenance).
@@ -623,6 +706,21 @@ class Database {
   Status CommitTxnInternal(TransactionContext* txn, CommitTs external_ts);
   Status AbortTxnInternal(TransactionContext* txn, CommitTs external_ts);
 
+  /// Lock-free read of one object for an SI or OCC transaction: the
+  /// transaction's own writes first (buffered post-image, then its own
+  /// in-place creations), then the algorithm's read protocol — SI reads
+  /// the pinned snapshot, OCC reads committed-latest inside a stamp-
+  /// stability loop and records the stamp in the read set. An OCC
+  /// re-read whose stamp changed since the first read fails fast with
+  /// WriteConflict (the transaction could never validate).
+  Result<Object> OptimisticRead(TransactionContext* txn, Oid oid);
+
+  /// Generalized snapshot read at an explicit read point; SnapshotRead
+  /// passes the transaction's pinned view, OCC passes
+  /// VersionStore::kReadLatestTs (committed-latest).
+  Result<Object> SnapshotReadAt(TransactionContext* txn, Oid oid,
+                                CommitTs read_ts);
+
   /// Returns a held lock on the serialize-physical facade latch when the
   /// compatibility mode is on — or when \p force is set, which the legacy
   /// (txn == nullptr) *write* paths use: they have no object locks, so
@@ -665,6 +763,11 @@ class Database {
 
   /// Rejects write operations issued through a read-only txn.
   Status RefuseReadOnly(const TransactionContext* txn, const char* op);
+
+  /// Rejects the operations SI/OCC do not support (SetReference,
+  /// DeleteObject — multi-object choreography needing 2PL's eager
+  /// footprint) with typed NotSupported.
+  Status RefuseNonLocking(const TransactionContext* txn, const char* op);
 
   /// Background version-GC loop: wakes every few milliseconds (or when
   /// prodded) and reclaims versions older than the oldest live ReadView.
@@ -709,10 +812,16 @@ class Database {
   std::atomic<bool> mvcc_enabled_{true};
   std::atomic<bool> serialize_physical_{false};
   std::atomic<TxnId> next_txn_id_{1};
+  std::atomic<uint64_t> si_conflicts_{0};   ///< See si_conflicts().
+  std::atomic<uint64_t> occ_conflicts_{0};  ///< See occ_conflicts().
 
   /// Catalog latch: schema/class-extent metadata only (level 2 of the
   /// hierarchy above). Never held across physical I/O.
   std::shared_mutex catalog_mu_;
+
+  /// Per-class extent-membership versions (see ExtentVersion). Guarded
+  /// by catalog_mu_, like the extents whose mutations bump them.
+  std::unordered_map<ClassId, uint64_t> extent_versions_;
 
   /// Serializes observer callbacks (clustering policies are not internally
   /// synchronized).

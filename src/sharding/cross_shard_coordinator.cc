@@ -106,6 +106,39 @@ void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
   snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void CrossShardCoordinator::OpenGlobalSiContexts(ShardedTransaction* txn) {
+  // Same consistent-cut choreography as OpenGlobalSnapshot — an SI
+  // writer's reads are a reader's reads until commit.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  CommitTs s;
+  {
+    std::lock_guard<std::mutex> inflight(inflight_mu_);
+    s = next_ts_.load(std::memory_order_relaxed);
+    if (!inflight_commits_.empty()) {
+      s = std::min(s, *inflight_commits_.begin() - 1);
+    }
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    txn->contexts_[k] = shards_[k]->BeginSiWriterTxnAt(s, txn->id());
+  }
+  txn->snapshot_ts_ = s;
+  snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status CrossShardCoordinator::FinalizeParticipants(ShardedTransaction* txn) {
+  if (txn->read_only()) return Status::OK();
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    TransactionContext* ctx = txn->contexts_[k].get();
+    if (ctx == nullptr) continue;
+    Status st = shards_[k]->FinalizeCc(ctx);
+    if (!st.ok()) {
+      AbortParticipants(txn);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
 Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
   if (txn == nullptr) return Status::InvalidArgument("null txn");
   if (!txn->active()) {
@@ -124,18 +157,23 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     return first_failure;
   }
 
+  // SI/OCC validation + buffered-write apply, before anything is
+  // classified or logged; a validation loss rolled everything back.
+  OCB_RETURN_NOT_OK(FinalizeParticipants(txn));
+
   // Split participants: only shards the transaction *wrote* have pending
   // versions to stamp and therefore take part in 2PC; pure-read
-  // participants just release their S locks.
+  // participants just release their S locks (finalization above drained
+  // every write buffer, so has_writes() ≡ a non-empty undo log here).
   std::vector<uint32_t> writers;
   std::vector<uint32_t> readers;
   for (uint32_t k = 0; k < shards_.size(); ++k) {
     TransactionContext* ctx = txn->contexts_[k].get();
     if (ctx == nullptr) continue;
-    if (ctx->undo_log().empty()) {
-      readers.push_back(k);
-    } else {
+    if (ctx->has_writes()) {
       writers.push_back(k);
+    } else {
+      readers.push_back(k);
     }
   }
 
@@ -253,6 +291,12 @@ Status CrossShardCoordinator::CommitGrouped(ShardedTransaction* txn) {
   // Readers only close per-shard ReadViews — nothing to amortize, and
   // they must never wait behind a writer batch.
   if (txn->read_only()) return Commit(txn);
+  // Finalize on the submitter's thread, not the batch leader's: SI/OCC
+  // write-set locking may block, and a leader blocked on one member's
+  // locks would stall the whole batch (same discipline as the single
+  // store's CommitTxnGrouped). A validation loss aborts here and never
+  // enters the pipeline.
+  OCB_RETURN_NOT_OK(FinalizeParticipants(txn));
   return pipeline_.Submit(txn);
 }
 
@@ -278,7 +322,9 @@ void CrossShardCoordinator::CommitBatch(
     for (uint32_t k = 0; k < shards_.size(); ++k) {
       TransactionContext* ctx = m.txn->contexts_[k].get();
       if (ctx == nullptr) continue;
-      (ctx->undo_log().empty() ? m.readers : m.writers).push_back(k);
+      // Members were finalized in CommitGrouped before Submit, so
+      // has_writes() ≡ a non-empty undo log.
+      (ctx->has_writes() ? m.writers : m.readers).push_back(k);
     }
     (m.writers.size() <= 1 ? fast : twopc).push_back(&m);
   }

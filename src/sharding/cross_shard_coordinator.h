@@ -88,6 +88,13 @@ class CrossShardCoordinator {
   /// cross-shard commit.
   void OpenGlobalSnapshot(ShardedTransaction* txn);
 
+  /// OpenGlobalSnapshot's analog for a snapshot-isolation *writer*: pins
+  /// one global snapshot point S and opens an SI participant context at
+  /// S on every shard (Database::BeginSiWriterTxnAt). Eager for the same
+  /// reason readers are — every shard's view must be registered before
+  /// any shard's GC can advance past S.
+  void OpenGlobalSiContexts(ShardedTransaction* txn);
+
   /// Commits \p txn: plain per-shard commit for readers, fast path for a
   /// single writer shard, two-phase commit for several. On the 2PC path
   /// a failpoint (SetCommitFailpoint) may inject an abort between
@@ -164,6 +171,18 @@ class CrossShardCoordinator {
   /// timestamp) and marks \p txn aborted. Returns the first rollback
   /// failure, OK otherwise.
   Status AbortParticipants(ShardedTransaction* txn);
+
+  /// Runs Database::FinalizeCc on every participant context of a non-
+  /// read-only transaction (no-op per context under 2PL or when already
+  /// finalized): SI/OCC validation and buffered-write apply happen here,
+  /// BEFORE classification and WAL append — the redo record is built
+  /// from the undo log the apply phase populates, and OCC read sets on
+  /// pure-read participant shards must validate too. Contexts iterate in
+  /// ascending shard order and each shard's write set locks in ascending
+  /// oid order, so concurrent finalizers cannot deadlock each other. On
+  /// a validation loss every participant is rolled back and the
+  /// WriteConflict is returned; the transaction is left aborted.
+  Status FinalizeParticipants(ShardedTransaction* txn);
 
   /// 2PC durability choreography for one transaction (caller holds
   /// commit_mu_, coord_wal_ attached): append every writer participant's

@@ -111,12 +111,25 @@ void ShardedDatabase::SetSchema(Schema schema) {
 }
 
 std::unique_ptr<ShardedTransaction> ShardedDatabase::BeginTxn(
-    bool read_only) {
-  if (!mvcc_enabled()) read_only = false;
+    bool read_only, CcAlgorithm cc) {
+  // Both MVCC readers and the optimistic algorithms are built on the
+  // version store; with MVCC off everything degrades to locking.
+  if (!mvcc_enabled()) {
+    read_only = false;
+    cc = CcAlgorithm::kStrict2PL;
+  }
+  if (read_only) cc = CcAlgorithm::kStrict2PL;
   auto txn = std::make_unique<ShardedTransaction>(
       next_txn_id_.fetch_add(1, std::memory_order_relaxed),
       router_.shard_count(), read_only);
-  if (read_only) coordinator_->OpenGlobalSnapshot(txn.get());
+  txn->cc_ = cc;
+  if (read_only) {
+    coordinator_->OpenGlobalSnapshot(txn.get());
+  } else if (cc == CcAlgorithm::kSnapshotIsolation) {
+    // Eager contexts, all views pinned at one global snapshot point (see
+    // BeginTxn's doc comment: lazy opening would race per-shard GC).
+    coordinator_->OpenGlobalSiContexts(txn.get());
+  }
   return txn;
 }
 
@@ -157,9 +170,12 @@ TransactionContext* ShardedDatabase::ContextFor(ShardedTransaction* txn,
   if (txn == nullptr) return nullptr;
   if (txn->contexts_[k] == nullptr) {
     // Same id on every shard: the GlobalWaitGraph needs one identity per
-    // sharded transaction to see cycles that cross shards.
+    // sharded transaction to see cycles that cross shards. The cc
+    // algorithm rides along (SI contexts are never created here — they
+    // were opened eagerly at begin).
     txn->contexts_[k] =
-        shards_[k]->BeginTxnWithId(txn->id(), /*read_only=*/false);
+        shards_[k]->BeginTxnWithId(txn->id(), /*read_only=*/false,
+                                   txn->cc());
   }
   return txn->contexts_[k].get();
 }
@@ -170,6 +186,19 @@ Status ShardedDatabase::RefuseReadOnly(const ShardedTransaction* txn,
     return Status::InvalidArgument(
         Format("%s refused: sharded txn is read-only (snapshot %llu)", op,
                (unsigned long long)txn->snapshot_ts()));
+  }
+  return Status::OK();
+}
+
+Status ShardedDatabase::RefuseNonLocking(const ShardedTransaction* txn,
+                                         const char* op) {
+  if (txn != nullptr && !txn->read_only() &&
+      txn->cc() != CcAlgorithm::kStrict2PL) {
+    return Status::NotSupported(
+        Format("%s refused under %s: multi-object choreography (symmetric "
+               "backref maintenance) needs 2PL's eager write footprint; "
+               "use a kStrict2PL transaction",
+               op, CcAlgorithmToString(txn->cc())));
   }
   return Status::OK();
 }
@@ -226,6 +255,7 @@ Status ShardedDatabase::SetReference(ShardedTransaction* txn, Oid from,
                                      uint32_t slot, Oid to) {
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "SetReference"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "SetReference"));
+  OCB_RETURN_NOT_OK(RefuseNonLocking(txn, "SetReference"));
   const uint32_t from_shard = router_.ShardOf(from);
   if (router_.shard_count() == 1) {
     return shards_[0]->SetReference(ContextFor(txn, 0), from, slot, to);
@@ -321,6 +351,7 @@ Status ShardedDatabase::SetReference(ShardedTransaction* txn, Oid from,
 Status ShardedDatabase::DeleteObject(ShardedTransaction* txn, Oid oid) {
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "DeleteObject"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "DeleteObject"));
+  OCB_RETURN_NOT_OK(RefuseNonLocking(txn, "DeleteObject"));
   const uint32_t owner = router_.ShardOf(oid);
   if (router_.shard_count() == 1) {
     return shards_[0]->DeleteObject(ContextFor(txn, 0), oid);
@@ -387,10 +418,12 @@ Status ShardedDatabase::GetObjectsBatched(ShardedTransaction* txn,
                                           std::vector<Object>* out) {
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "GetMany"));
   out->reserve(out->size() + oids.size());
-  if (txn != nullptr && !txn->read_only()) {
+  if (txn != nullptr && !txn->read_only() &&
+      txn->cc() == CcAlgorithm::kStrict2PL) {
     // One ascending-oid S-lock pass across the owning shards; the
     // per-oid reads below then re-acquire idempotently (no blocking, no
     // deadlock — all GetMany footprints ascend the same global order).
+    // SI/OCC transactions skip it: their reads never take S locks.
     std::vector<Oid> footprint(oids.begin(), oids.end());
     std::sort(footprint.begin(), footprint.end());
     footprint.erase(std::unique(footprint.begin(), footprint.end()),
@@ -417,6 +450,12 @@ Status ShardedDatabase::AcquireWriteFootprint(ShardedTransaction* txn,
   OCB_RETURN_NOT_OK(RefuseFinished(txn, "ApplyWriteBatch"));
   OCB_RETURN_NOT_OK(RefuseReadOnly(txn, "ApplyWriteBatch"));
   if (txn == nullptr) return Status::OK();
+  if (txn->cc() != CcAlgorithm::kStrict2PL) {
+    // SI/OCC defer their write footprint to commit-time finalization;
+    // the batch declaration is still a cache-warm hint.
+    if (oids.size() > 1) (void)PrefetchObjects(oids);
+    return Status::OK();
+  }
   std::sort(oids.begin(), oids.end());
   oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
   for (Oid oid : oids) {
@@ -491,15 +530,21 @@ std::vector<Oid> ShardedDatabase::ExtentSnapshot(ClassId class_id) {
   return out;
 }
 
-std::vector<Oid> ShardedDatabase::ExtentSnapshot(
-    ClassId class_id, const ShardedTransaction* txn) {
-  if (txn == nullptr || !txn->read_only()) return ExtentSnapshot(class_id);
+std::vector<Oid> ShardedDatabase::ExtentSnapshot(ClassId class_id,
+                                                 ShardedTransaction* txn) {
+  if (txn == nullptr ||
+      (!txn->read_only() && txn->cc() == CcAlgorithm::kStrict2PL)) {
+    return ExtentSnapshot(class_id);
+  }
   std::vector<Oid> out;
   for (uint32_t k = 0; k < shard_count(); ++k) {
     // Each shard filters its own membership at the transaction's global
-    // snapshot point through its per-shard context.
-    std::vector<Oid> part =
-        shards_[k]->ExtentSnapshot(class_id, txn->contexts_[k].get());
+    // snapshot point through its per-shard context (readers and SI
+    // writers). OCC scans materialize the context so each shard records
+    // its extent version for commit-time phantom validation.
+    TransactionContext* ctx = txn->read_only() ? txn->contexts_[k].get()
+                                               : ContextFor(txn, k);
+    std::vector<Oid> part = shards_[k]->ExtentSnapshot(class_id, ctx);
     out.insert(out.end(), part.begin(), part.end());
   }
   std::sort(out.begin(), out.end());

@@ -100,7 +100,19 @@ class ShardedDatabase {
   /// lazily on first touch; with \p read_only (and MVCC enabled) one
   /// global snapshot point is pinned and a ReadView opened on every
   /// shard, so all reads resolve against one cross-shard instant.
-  std::unique_ptr<ShardedTransaction> BeginTxn(bool read_only = false);
+  ///
+  /// \p cc selects the concurrency-control algorithm for writers (see
+  /// CcAlgorithm; ignored for readers). Snapshot-isolation writers get
+  /// *eager* contexts — one per shard, every view pinned at one global
+  /// snapshot point under the coordinator's commit mutex, exactly like a
+  /// reader (lazy opening would race per-shard version GC). Silo-OCC
+  /// writers keep lazy contexts: their reads resolve committed-latest,
+  /// pinning nothing. 2PC prepare validates SI/OCC participants
+  /// (Database::PrepareTxn → FinalizeCc) so a validation loss aborts the
+  /// whole sharded transaction with Status::WriteConflict.
+  std::unique_ptr<ShardedTransaction> BeginTxn(
+      bool read_only = false,
+      CcAlgorithm cc = CcAlgorithm::kStrict2PL);
 
   /// Commits via the coordinator: fast path for a single writer shard,
   /// two-phase commit for several. Status::Aborted means the commit
@@ -195,9 +207,11 @@ class ShardedDatabase {
 
   /// Snapshot-consistent extent: per-shard membership filtered through
   /// each shard's version store at \p txn's global snapshot point (see
-  /// Database::ExtentSnapshot(ClassId, const TransactionContext*)).
-  std::vector<Oid> ExtentSnapshot(ClassId class_id,
-                                  const ShardedTransaction* txn);
+  /// Database::ExtentSnapshot(ClassId, TransactionContext*)). SI writers
+  /// filter like readers; OCC transactions record each shard's extent
+  /// version for commit-time phantom validation (non-const for exactly
+  /// that reason).
+  std::vector<Oid> ExtentSnapshot(ClassId class_id, ShardedTransaction* txn);
 
   // --- Write-ahead log (real durability; see src/wal/) ---
 
@@ -284,6 +298,12 @@ class ShardedDatabase {
 
   /// Rejects writes through read-only sharded transactions.
   Status RefuseReadOnly(const ShardedTransaction* txn, const char* op);
+
+  /// Rejects SetReference/DeleteObject under SI/OCC (NotSupported): their
+  /// cross-shard choreography locks-then-writes eagerly, which the
+  /// buffered-write algorithms cannot express (same refusal as
+  /// Database::RefuseNonLocking on the single store).
+  Status RefuseNonLocking(const ShardedTransaction* txn, const char* op);
 
   /// Rejects object operations through a finished sharded transaction.
   Status RefuseFinished(const ShardedTransaction* txn, const char* op);

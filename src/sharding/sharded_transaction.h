@@ -44,6 +44,11 @@ class ShardedTransaction {
   TxnId id() const { return id_; }
 
   bool read_only() const { return read_only_; }
+
+  /// Concurrency-control algorithm every participant context runs under
+  /// (one algorithm per transaction; see CcAlgorithm).
+  CcAlgorithm cc() const { return cc_; }
+
   TxnState state() const { return state_; }
   bool active() const { return state_ == TxnState::kActive; }
   bool prepared() const { return state_ == TxnState::kPrepared; }
@@ -69,8 +74,10 @@ class ShardedTransaction {
     uint32_t n = 0;
     for (const auto& ctx : contexts_) {
       if (ctx == nullptr) continue;
-      if (!ctx->held_locks().empty() || !ctx->undo_log().empty() ||
-          ctx->snapshot_reads() > 0) {
+      // has_writes() covers both in-place (undo-logged) and still-
+      // buffered SI/OCC writes; OCC read sets count like S locks.
+      if (!ctx->held_locks().empty() || ctx->has_writes() ||
+          !ctx->occ_read_set().empty() || ctx->snapshot_reads() > 0) {
         ++n;
       }
     }
@@ -120,6 +127,7 @@ class ShardedTransaction {
   TxnId id_ = kInvalidTxnId;
   std::vector<std::unique_ptr<TransactionContext>> contexts_;
   bool read_only_ = false;
+  CcAlgorithm cc_ = CcAlgorithm::kStrict2PL;
   TxnState state_ = TxnState::kActive;
   CommitTs snapshot_ts_ = 0;
   uint64_t twopc_nanos_ = 0;

@@ -312,20 +312,35 @@ Status BufferPool::FetchMany(std::span<const PageId> page_ids) {
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
   obs::TraceSpan batch_span("io.batch", "pages",
                             static_cast<uint64_t>(pages.size()));
-  // Issue every miss before awaiting any. FinishPrefetch releases each
-  // page (latch + pin) as soon as its read lands, so this loop never
-  // blocks on a page latch while holding another — no latch-order hazard
-  // regardless of what other threads hold.
+  // Issue the misses of a chunk before awaiting any. FinishPrefetch
+  // releases each page (latch + pin) as soon as its read lands, so this
+  // loop never blocks on a page latch while holding another — no
+  // latch-order hazard regardless of what other threads hold. Chunking
+  // bounds the pins a batch holds at once: in the worst case every page
+  // of a chunk maps to the same stripe, so a chunk must stay well under
+  // one stripe's frame share or a frontier larger than the stripe pins
+  // it solid and allocation fails with every frame held by this batch.
+  const size_t stripe_frames =
+      std::max<size_t>(1, options_.buffer_pool_pages / stripes_.size());
+  const size_t chunk = std::max<size_t>(1, stripe_frames / 2);
   std::vector<PendingFetch> pending;
-  pending.reserve(pages.size());
-  for (PageId page_id : pages) {
-    pending.push_back(StartFetch(page_id, LatchMode::kShared));
-  }
+  pending.reserve(std::min(chunk, pages.size()));
   Status first_error;
-  for (PendingFetch& fetch : pending) {
-    Status finished = fetch.pending() ? FinishPrefetch(fetch)
-                                      : fetch.issue_status();
-    if (!finished.ok() && first_error.ok()) first_error = finished;
+  for (size_t begin = 0; begin < pages.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, pages.size());
+    pending.clear();
+    for (size_t i = begin; i < end; ++i) {
+      pending.push_back(StartFetch(pages[i], LatchMode::kShared));
+    }
+    for (PendingFetch& fetch : pending) {
+      Status finished = fetch.pending() ? FinishPrefetch(fetch)
+                                        : fetch.issue_status();
+      // Prefetch is advisory warming: when concurrent pin pressure
+      // leaves no frame for a miss, skip the page — the caller's later
+      // read fetches it through the blocking path one page at a time.
+      if (finished.IsNoSpace()) continue;
+      if (!finished.ok() && first_error.ok()) first_error = finished;
+    }
   }
   return first_error;
 }

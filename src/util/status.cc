@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kWriteConflict:
+      return "WriteConflict";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,
   kNotSupported,
   kInternal,
+  kWriteConflict,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -69,6 +70,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Optimistic/snapshot-isolation validation failure: the transaction
+  /// lost a first-committer-wins or read-set race and was rolled back.
+  /// Distinct from kAborted (deadlock victims, injected 2PC aborts) so
+  /// callers can retry validation conflicts specifically.
+  static Status WriteConflict(std::string msg) {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -82,6 +90,9 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsWriteConflict() const {
+    return code_ == StatusCode::kWriteConflict;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <random>
 #include <set>
 #include <sstream>
 #include <string>
@@ -126,6 +127,117 @@ void StormChild(DB* db, std::FILE* side, int threads, int per_thread) {
   for (std::thread& w : workers) w.join();
 }
 
+// The SI/OCC storm: contended Put-based writes (SetReference is
+// NotSupported under the optimistic algorithms). Each transaction
+// creates a fresh class-1 witness b, points it at a shared contended
+// class-0 object a (b.orefs[0] = a), and bumps a.orefs[0] = b — so the
+// witness's existence after recovery is exactly the transaction's
+// durability evidence, immune to later overwrites of the contended
+// slot. Outcomes logged: "I a b" intent, then "A a b" (Commit returned
+// OK — must be replayed) or "R a b" (validation abort, WriteConflict or
+// deadlock — must be wholly absent, witness included).
+//
+// The storm opens with one DETERMINISTIC validation abort (a 2PL
+// interferer commits between the optimistic transaction's read and its
+// commit), so the rejected side of the contract is never vacuously
+// checked.
+template <typename DB>
+void CcStormChild(DB* db, std::FILE* side, int threads, int per_thread,
+                  CcAlgorithm cc) {
+  std::vector<Oid> shared;
+  {
+    auto txn = db->OpenSession().Begin();
+    for (int i = 0; i < 4; ++i) {
+      auto oid = txn.Create(0);
+      if (!oid.ok()) _exit(3);
+      shared.push_back(*oid);
+    }
+    if (!txn.Commit().ok()) _exit(3);
+  }
+
+  TxnOptions optimistic;
+  optimistic.cc = cc;
+  std::mutex mu;
+
+  {
+    // The guaranteed validation abort: read shared[0] optimistically,
+    // let a 2PL writer commit it, then fail commit validation.
+    auto loser = db->OpenSession().Begin(optimistic);
+    auto witness = loser.Create(1);
+    auto target = loser.Get(shared[0]);
+    if (!witness.ok() || !target.ok()) _exit(3);
+    {
+      auto interferer = db->OpenSession().Begin();
+      auto obj = interferer.Get(shared[0]);
+      if (!obj.ok()) _exit(3);
+      obj->orefs[1] = shared[0];
+      if (!interferer.Put(obj.value()).ok() || !interferer.Commit().ok()) {
+        _exit(3);
+      }
+    }
+    auto mine = loser.Get(*witness);
+    if (!mine.ok()) _exit(3);
+    mine->orefs[0] = shared[0];
+    target->orefs[0] = *witness;
+    if (!loser.Put(mine.value()).ok() || !loser.Put(target.value()).ok()) {
+      _exit(3);
+    }
+    std::fprintf(side, "I %llu %llu\n",
+                 static_cast<unsigned long long>(shared[0]),
+                 static_cast<unsigned long long>(*witness));
+    std::fflush(side);
+    if (loser.Commit().ok()) _exit(3);  // MUST lose validation.
+    std::fprintf(side, "R %llu %llu\n",
+                 static_cast<unsigned long long>(shared[0]),
+                 static_cast<unsigned long long>(*witness));
+    std::fflush(side);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([db, side, per_thread, cc, &mu, &shared, t]() {
+      auto session = db->OpenSession();
+      TxnOptions options;
+      options.cc = cc;
+      std::mt19937 rng(static_cast<unsigned>(7 + t));
+      std::uniform_int_distribution<size_t> pick(0, shared.size() - 1);
+      for (int i = 0; i < per_thread; ++i) {
+        auto txn = session.Begin(options);
+        const Oid a = shared[pick(rng)];
+        auto target = txn.Get(a);
+        if (!target.ok()) _exit(3);
+        auto witness = txn.Create(1);
+        if (!witness.ok()) _exit(3);
+        auto mine = txn.Get(*witness);
+        if (!mine.ok()) _exit(3);
+        mine->orefs[0] = a;
+        target->orefs[0] = *witness;
+        if (!txn.Put(mine.value()).ok() || !txn.Put(target.value()).ok()) {
+          _exit(3);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          std::fprintf(side, "I %llu %llu\n",
+                       static_cast<unsigned long long>(a),
+                       static_cast<unsigned long long>(*witness));
+          std::fflush(side);
+        }
+        const Status st = txn.Commit();
+        if (!st.ok() && !st.IsWriteConflict() && !st.IsAborted()) _exit(3);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          std::fprintf(side, "%s %llu %llu\n", st.ok() ? "A" : "R",
+                       static_cast<unsigned long long>(a),
+                       static_cast<unsigned long long>(*witness));
+          std::fflush(side);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
 // Entry point for OCB_KILL_CHILD_MODE. Never returns on a kill; returns 0
 // if the storm outran the countdown (the parent treats that as failure).
 int RunKillChild(const std::string& mode) {
@@ -140,6 +252,23 @@ int RunKillChild(const std::string& mode) {
   const char* point = std::getenv("OCB_WAL_KILLPOINT");
   const bool checkpoint =
       point != nullptr && std::string(point) == "mid-checkpoint";
+  if (mode == "db-si" || mode == "db-occ" || mode == "sharded-si" ||
+      mode == "sharded-occ") {
+    const CcAlgorithm cc = mode.find("-si") != std::string::npos
+                               ? CcAlgorithm::kSnapshotIsolation
+                               : CcAlgorithm::kSiloOCC;
+    if (mode.rfind("db", 0) == 0) {
+      Database db(ChildOptions(wal));
+      db.SetSchema(TwoClassSchema());
+      CcStormChild(&db, side, 4, 24, cc);
+    } else {
+      ShardedDatabase db(ChildOptions(wal), kShards);
+      db.SetSchema(TwoClassSchema());
+      CcStormChild(&db, side, 4, 24, cc);
+    }
+    std::fclose(side);
+    return 0;
+  }
   if (mode == "db") {
     Database db(ChildOptions(wal));
     db.SetSchema(TwoClassSchema());
@@ -170,22 +299,31 @@ int RunKillChild(const std::string& mode) {
 
 struct SideLog {
   std::vector<std::pair<Oid, Oid>> acked;
-  std::vector<std::pair<Oid, Oid>> unacked;  // Intent seen, no ack.
+  std::vector<std::pair<Oid, Oid>> rejected;  // Validation abort logged.
+  std::vector<std::pair<Oid, Oid>> unacked;   // Intent, then the crash.
 };
 
 SideLog ParseSideLog(const std::string& path) {
   SideLog out;
   std::vector<std::pair<Oid, Oid>> intents;
   std::set<std::pair<Oid, Oid>> acks;
+  std::set<std::pair<Oid, Oid>> rejects;
   std::ifstream in(path);
   std::string tag;
   unsigned long long a = 0, b = 0;
   while (in >> tag >> a >> b) {
     if (tag == "I") intents.emplace_back(a, b);
     if (tag == "A") acks.insert({a, b});
+    if (tag == "R") rejects.insert({a, b});
   }
   for (const auto& pair : intents) {
-    (acks.count(pair) ? out.acked : out.unacked).push_back(pair);
+    if (acks.count(pair)) {
+      out.acked.push_back(pair);
+    } else if (rejects.count(pair)) {
+      out.rejected.push_back(pair);
+    } else {
+      out.unacked.push_back(pair);
+    }
   }
   return out;
 }
@@ -253,6 +391,38 @@ class KillpointTest : public ::testing::Test {
     }
   }
 
+  // The optimistic storm's contract. The witness object b is each
+  // transaction's durability evidence (the contended slot gets
+  // overwritten by later winners, so it proves nothing):
+  //   * acked      => b replayed, still pointing at its target;
+  //   * rejected   => b wholly absent (the validation abort rolled the
+  //                   eager creation back before any redo was logged);
+  //   * crash-torn => atomic: if b recovered, its link recovered too.
+  template <typename DB>
+  void VerifyCcContract(DB* revived) {
+    ASSERT_FALSE(log_.rejected.empty())
+        << "the deterministic validation abort never happened";
+    for (const auto& [a, b] : log_.acked) {
+      auto witness = revived->PeekObject(b);
+      ASSERT_TRUE(witness.ok()) << "acked witness " << b << " lost";
+      EXPECT_EQ(witness->orefs[0], a)
+          << "acked witness " << b << " lost its link to " << a;
+      EXPECT_TRUE(revived->PeekObject(a).ok());
+    }
+    for (const auto& [a, b] : log_.rejected) {
+      EXPECT_FALSE(revived->PeekObject(b).ok())
+          << "validation-aborted witness " << b << " was replayed";
+    }
+    for (const auto& [a, b] : log_.unacked) {
+      auto witness = revived->PeekObject(b);
+      if (witness.ok()) {
+        EXPECT_EQ(witness->orefs[0], a)
+            << "half-recovered optimistic txn: witness " << b
+            << " present without its link";
+      }
+    }
+  }
+
   void RunDatabaseCase(const char* point, int kill_after) {
     RunChild("db", point, kill_after);
     if (HasFatalFailure()) return;
@@ -269,6 +439,26 @@ class KillpointTest : public ::testing::Test {
     revived.SetSchema(TwoClassSchema());
     ASSERT_TRUE(wal::RecoverShardedDatabase(&revived).ok());
     VerifyContract(&revived);
+  }
+
+  void RunDatabaseCcCase(const char* mode, const char* point,
+                         int kill_after) {
+    RunChild(mode, point, kill_after);
+    if (HasFatalFailure()) return;
+    Database revived(WalOptions());
+    revived.SetSchema(TwoClassSchema());
+    ASSERT_TRUE(wal::RecoverDatabase(&revived).ok());
+    VerifyCcContract(&revived);
+  }
+
+  void RunShardedCcCase(const char* mode, const char* point,
+                        int kill_after) {
+    RunChild(mode, point, kill_after);
+    if (HasFatalFailure()) return;
+    ShardedDatabase revived(WalOptions(), kShards);
+    revived.SetSchema(TwoClassSchema());
+    ASSERT_TRUE(wal::RecoverShardedDatabase(&revived).ok());
+    VerifyCcContract(&revived);
   }
 
   std::string wal_ = TempPath("ocb_killpoint_test.wal");
@@ -302,6 +492,24 @@ TEST_F(KillpointTest, ShardedMidBatch) { RunShardedCase("mid-batch", 10); }
 
 TEST_F(KillpointTest, ShardedMidCheckpoint) {
   RunShardedCase("mid-checkpoint", 0);
+}
+
+// The optimistic storms: same kill points, Put-based contended writes.
+
+TEST_F(KillpointTest, DatabaseSnapshotIsolationStorm) {
+  RunDatabaseCcCase("db-si", "pre-force", 10);
+}
+
+TEST_F(KillpointTest, DatabaseSiloOccStorm) {
+  RunDatabaseCcCase("db-occ", "post-force", 10);
+}
+
+TEST_F(KillpointTest, ShardedSnapshotIsolationStorm) {
+  RunShardedCcCase("sharded-si", "pre-force", 10);
+}
+
+TEST_F(KillpointTest, ShardedSiloOccStorm) {
+  RunShardedCcCase("sharded-occ", "post-force", 10);
 }
 
 }  // namespace

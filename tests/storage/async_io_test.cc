@@ -289,6 +289,51 @@ TEST(BufferPoolAsyncTest, FetchManyMatchesSequentialFetches) {
   EXPECT_EQ(pool.stats().hits, static_cast<uint64_t>(kPages));
 }
 
+// A prefetch batch larger than the pool must still succeed: the batch is
+// chunked so its own pins never hold every frame of a stripe hostage
+// (a traversal frontier can easily outnumber the frames).
+TEST(BufferPoolAsyncTest, FetchManyLargerThanThePoolSucceeds) {
+  constexpr int kPages = 24;
+  StorageOptions opts = AsyncOptions(8, 2);  // 8 frames, single stripe.
+  DiskSim disk(opts);
+  BufferPool pool(&disk, opts);
+  const std::vector<PageId> ids = BuildMarkedPages(&pool, kPages);
+
+  ASSERT_TRUE(pool.FetchMany(ids).ok());
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  for (int i = 0; i < kPages; ++i) {
+    auto h = pool.FetchPage(ids[i], LatchMode::kShared);
+    ASSERT_TRUE(h.ok());
+    ExpectMarker(&h.value(), i);
+  }
+}
+
+// Prefetch is advisory: when held pins leave no frame for a miss, the
+// batch skips those pages instead of failing the caller's transaction —
+// the later blocking read fetches them one at a time.
+TEST(BufferPoolAsyncTest, FetchManyToleratesPinPressure) {
+  constexpr int kPages = 8;
+  StorageOptions opts = AsyncOptions(4, 2);
+  DiskSim disk(opts);
+  BufferPool pool(&disk, opts);
+  const std::vector<PageId> ids = BuildMarkedPages(&pool, kPages);
+
+  {
+    // Hold all but one frame pinned while the batch runs.
+    auto a = pool.FetchPage(ids[0], LatchMode::kShared);
+    auto b = pool.FetchPage(ids[1], LatchMode::kShared);
+    auto c = pool.FetchPage(ids[2], LatchMode::kShared);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_TRUE(pool.FetchMany(ids).ok());
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  for (int i = 0; i < kPages; ++i) {
+    auto h = pool.FetchPage(ids[i], LatchMode::kShared);
+    ASSERT_TRUE(h.ok());
+    ExpectMarker(&h.value(), i);
+  }
+}
+
 // A batch of misses advances the simulated clock by ONE latency: the whole
 // point of issuing every miss before awaiting any.
 TEST(BufferPoolAsyncTest, FetchManyOverlapsSimulatedTime) {
