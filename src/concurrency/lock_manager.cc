@@ -186,9 +186,12 @@ void LockManager::WoundYoungerBlockers(TxnId txn, Oid oid) {
   }
 }
 
+// TSA-exempt: the cv wait_until unlocks and relocks mu_ mid-function
+// through the unique_lock, a flow the intraprocedural analysis cannot
+// follow; lockdep still sees every transition.
 Status LockManager::Acquire(TransactionContext* txn, Oid oid,
-                            LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+                            LockMode mode) OCB_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(mu_);
   if (options_.victim_policy == DeadlockPolicy::kWoundWait &&
       wounded_.erase(txn->id()) > 0) {
     // An older transaction wounded us while we were running; honor the
@@ -324,7 +327,7 @@ Status LockManager::Acquire(TransactionContext* txn, Oid oid,
 }
 
 void LockManager::ReleaseAll(TransactionContext* txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   waiting_on_.erase(txn->id());
   wounded_.erase(txn->id());  // A finished txn outran its wound.
   for (const auto& [oid, mode] : txn->held_locks_) {
@@ -349,17 +352,17 @@ void LockManager::ReleaseAll(TransactionContext* txn) {
 }
 
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t LockManager::locked_object_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return table_.size();
 }
 
 bool LockManager::IsXLockedByOther(Oid oid, TxnId self) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(oid);
   if (it == table_.end()) return false;
   for (const Request& r : it->second->requests) {
@@ -371,12 +374,12 @@ bool LockManager::IsXLockedByOther(Oid oid, TxnId self) const {
 }
 
 DeadlockPolicy LockManager::victim_policy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return options_.victim_policy;
 }
 
 void LockManager::SetVictimPolicy(DeadlockPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   options_.victim_policy = policy;
   if (policy != DeadlockPolicy::kWoundWait) wounded_.clear();
 }

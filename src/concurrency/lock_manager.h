@@ -55,6 +55,7 @@
 #include "concurrency/wait_graph.h"
 #include "storage/types.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -148,12 +149,14 @@ class LockManager {
   };
   struct LockQueue {
     std::list<Request> requests;      ///< Granted block, then FIFO waiters.
-    std::condition_variable cv;
+    /// _any: waits relock through ocb::Mutex's Lockable interface so the
+    /// lockdep held-stack stays accurate across the sleep.
+    std::condition_variable_any cv;
   };
 
   /// Grants every waiter the FIFO policy allows; notifies when any grant
   /// happened. Requires mu_.
-  void TryGrantQueue(LockQueue* queue);
+  void TryGrantQueue(LockQueue* queue) OCB_REQUIRES(mu_);
 
   /// True when \p request conflicts with \p other (other txn, incompatible
   /// modes; an upgrader never conflicts with its own S).
@@ -163,43 +166,48 @@ class LockManager {
   /// a cycle? When it does and \p cycle is non-null, the cycle's member
   /// transactions (including \p waiter) are appended to it. Requires mu_.
   bool WouldDeadlock(TxnId waiter, Oid oid, LockMode mode,
-                     std::vector<TxnId>* cycle = nullptr) const;
+                     std::vector<TxnId>* cycle = nullptr) const
+      OCB_REQUIRES(mu_);
 
   /// DFS worker of WouldDeadlock: can \p node reach \p waiter? \p path
   /// accumulates the nodes of the successful branch. Requires mu_.
   bool CycleFrom(TxnId node, TxnId waiter, Oid waiter_oid,
                  std::unordered_set<TxnId>* visited,
-                 std::vector<TxnId>* path) const;
+                 std::vector<TxnId>* path) const OCB_REQUIRES(mu_);
 
   /// Direct blockers of \p txn's waiting request on \p oid: every
   /// conflicting request of another txn ahead of it. Requires mu_.
-  std::vector<TxnId> DirectBlockers(TxnId txn, Oid oid) const;
+  std::vector<TxnId> DirectBlockers(TxnId txn, Oid oid) const
+      OCB_REQUIRES(mu_);
 
   /// Marks \p victim's *sleeping* waiting request as a deadlock victim
   /// and wakes it; its Acquire returns Aborted. Returns false when
   /// \p victim is not currently blocked in this manager. Requires mu_.
-  bool MarkWaiterVictim(TxnId victim);
+  bool MarkWaiterVictim(TxnId victim) OCB_REQUIRES(mu_);
 
   /// True when \p txn's current wait has been marked victim (such a
   /// wait no longer carries wait-for edges). Requires mu_.
-  bool HasVictimWait(TxnId txn) const;
+  bool HasVictimWait(TxnId txn) const OCB_REQUIRES(mu_);
 
   /// Wound-wait: wounds every conflicting blocker of \p txn's request on
   /// \p oid that is *younger* (larger id). Sleeping younger blockers are
   /// woken as victims; running ones are flagged in wounded_ and die at
   /// their next Acquire. Requires mu_.
-  void WoundYoungerBlockers(TxnId txn, Oid oid);
+  void WoundYoungerBlockers(TxnId txn, Oid oid) OCB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_;
+  mutable Mutex mu_{lockdep::kLockManagerTableClass};
+  std::unordered_map<Oid, std::unique_ptr<LockQueue>> table_
+      OCB_GUARDED_BY(mu_);
   /// "lock.wait" registry histogram, resolved in the constructor — never
   /// under mu_: the registry's gauge callbacks take mu_ via stats(), so a
   /// lazy lookup from Acquire would invert the two mutex orders.
   obs::LatencyHistogram* lock_wait_histo_ = nullptr;
-  std::unordered_map<TxnId, Oid> waiting_on_;  ///< Blocked txn → object.
-  std::unordered_set<TxnId> wounded_;  ///< Wound-wait: die at next Acquire.
-  LockManagerOptions options_;
-  LockManagerStats stats_;
+  /// Blocked txn → object.
+  std::unordered_map<TxnId, Oid> waiting_on_ OCB_GUARDED_BY(mu_);
+  /// Wound-wait: die at next Acquire.
+  std::unordered_set<TxnId> wounded_ OCB_GUARDED_BY(mu_);
+  LockManagerOptions options_ OCB_GUARDED_BY(mu_);
+  LockManagerStats stats_ OCB_GUARDED_BY(mu_);
   GlobalWaitGraph* wait_graph_ = nullptr;  ///< Optional (sharded mode).
 };
 

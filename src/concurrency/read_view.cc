@@ -3,25 +3,25 @@
 namespace ocb {
 
 void ReadViewRegistry::OpenAt(CommitTs ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++open_[ts];
 }
 
 void ReadViewRegistry::Close(const ReadView& view) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(view.snapshot_ts);
   if (it == open_.end()) return;
   if (--it->second == 0) open_.erase(it);
 }
 
 CommitTs ReadViewRegistry::OldestActive(CommitTs fallback) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (open_.empty()) return fallback;
   return open_.begin()->first;
 }
 
 size_t ReadViewRegistry::open_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [ts, count] : open_) n += count;
   return n;

@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 
 #include "concurrency/version_store.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -53,8 +53,9 @@ class ReadViewRegistry {
   size_t open_count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<CommitTs, uint64_t> open_;  ///< snapshot_ts → open view count.
+  mutable Mutex mu_{lockdep::kReadViewRegistryClass};
+  /// snapshot_ts → open view count.
+  std::map<CommitTs, uint64_t> open_ OCB_GUARDED_BY(mu_);
 };
 
 }  // namespace ocb

@@ -25,14 +25,14 @@ constexpr size_t kChainShards = 16;
 VersionStore::VersionStore() {
   shards_.reserve(kChainShards);
   for (size_t i = 0; i < kChainShards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(i));
   }
 }
 
 void VersionStore::PublishVersion(TxnId txn, Oid oid, Version version) {
   {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto& chain = shard.chains[oid];
     if (chain.empty()) {
       live_chains_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +40,7 @@ void VersionStore::PublishVersion(TxnId txn, Oid oid, Version version) {
     chain.push_back(std::move(version));
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     pending_by_txn_[txn].push_back(oid);
   }
   versions_published_.fetch_add(1, std::memory_order_relaxed);
@@ -63,7 +63,7 @@ void VersionStore::PublishCreation(TxnId txn, Oid oid) {
 }
 
 std::vector<Oid> VersionStore::TakePending(TxnId txn) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  MutexLock lock(pending_mu_);
   std::vector<Oid> oids;
   auto it = pending_by_txn_.find(txn);
   if (it != pending_by_txn_.end()) {
@@ -77,7 +77,7 @@ void VersionStore::StampOids(TxnId txn, const std::vector<Oid>& oids,
                              CommitTs ts, bool aborted) {
   for (Oid oid : oids) {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     auto cit = shard.chains.find(oid);
     if (cit == shard.chains.end()) continue;
     // The pending version is the chain tail (X lock ⇒ at most one, and
@@ -104,7 +104,7 @@ CommitTs VersionStore::StampAll(TxnId txn, bool aborted,
   // commit_mu_ is held across the whole stamping loop: OpenSnapshot also
   // takes it, so a newborn view can never pin a timestamp whose commit is
   // only half stamped.
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   const CommitTs ts = external_ts == 0 ? ++last_commit_ts_ : external_ts;
   if (external_ts != 0 && external_ts > last_commit_ts_) {
     last_commit_ts_ = external_ts;
@@ -122,7 +122,7 @@ CommitTs VersionStore::StampCommittedBatch(const std::vector<TxnId>& txns) {
   // and stamping loop — the serialized work group commit amortizes. Each
   // member still gets its own timestamp, so per-chain history is
   // identical to per-transaction commits.
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   CommitTs last = 0;
   for (size_t i = 0; i < txns.size(); ++i) {
     last = ++last_commit_ts_;
@@ -148,30 +148,30 @@ void VersionStore::StampAbortedAt(TxnId txn, CommitTs ts) {
 }
 
 CommitTs VersionStore::latest() const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   return last_commit_ts_;
 }
 
 CommitTs VersionStore::AllocateTimestamps(uint64_t n) {
   if (n == 0) return 0;
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   last_commit_ts_ += n;
   return last_commit_ts_;
 }
 
 void VersionStore::AdvanceLatest(CommitTs ts) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   if (ts > last_commit_ts_) last_commit_ts_ = ts;
 }
 
 CommitTs VersionStore::OpenSnapshot(ReadViewRegistry* views) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   views->OpenAt(last_commit_ts_);
   return last_commit_ts_;
 }
 
 CommitTs VersionStore::OpenSnapshotAt(CommitTs ts, ReadViewRegistry* views) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   views->OpenAt(ts);
   return ts;
 }
@@ -180,7 +180,7 @@ VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
                                        std::vector<uint8_t>* out,
                                        bool revalidate) const {
   Shard& shard = shard_of(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.chains.find(oid);
   if (it != shard.chains.end()) {
     // Chains are ascending in commit_ts with any pending version (treated
@@ -207,14 +207,14 @@ VersionLookup VersionStore::GetVisible(Oid oid, CommitTs snapshot_ts,
 
 CommitTs VersionStore::LastWriteTs(Oid oid) const {
   Shard& shard = shard_of(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.last_write_ts.find(oid);
   return it == shard.last_write_ts.end() ? 0 : it->second;
 }
 
 bool VersionStore::CreatedAfter(Oid oid, CommitTs snapshot_ts) const {
   Shard& shard = shard_of(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.chains.find(oid);
   if (it == shard.chains.end()) return false;
   for (const Version& v : it->second) {
@@ -225,12 +225,12 @@ bool VersionStore::CreatedAfter(Oid oid, CommitTs snapshot_ts) const {
 }
 
 uint64_t VersionStore::GarbageCollect(const ReadViewRegistry& views) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   return CollectLocked(views.OldestActive(last_commit_ts_));
 }
 
 uint64_t VersionStore::GarbageCollect(CommitTs oldest_snapshot) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   return CollectLocked(oldest_snapshot);
 }
 
@@ -240,7 +240,7 @@ uint64_t VersionStore::CollectLocked(CommitTs oldest_snapshot) {
   uint64_t removed = 0;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    MutexLock shard_lock(shard.mu);
     for (auto it = shard.chains.begin(); it != shard.chains.end();) {
       std::vector<Version>& chain = it->second;
       // A committed version at ts C is selected only by snapshots S < C;

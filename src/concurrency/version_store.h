@@ -67,12 +67,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "concurrency/transaction_context.h"
 #include "storage/types.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -266,13 +266,14 @@ class VersionStore {
 
   /// One chain-table shard; oid o lives in shard o % shards_.size().
   struct Shard {
-    mutable std::mutex mu;
+    explicit Shard(size_t index) : mu(lockdep::kVersionChainClass, index) {}
+    mutable Mutex mu;
     /// Chain per object, ascending commit_ts, pending (if any) at the
     /// tail.
-    std::unordered_map<Oid, std::vector<Version>> chains;
+    std::unordered_map<Oid, std::vector<Version>> chains OCB_GUARDED_BY(mu);
     /// Last committed-write stamp per object (see LastWriteTs). Never
     /// GC'd — chains come and go, these stamps persist.
-    std::unordered_map<Oid, CommitTs> last_write_ts;
+    std::unordered_map<Oid, CommitTs> last_write_ts OCB_GUARDED_BY(mu);
   };
 
   Shard& shard_of(Oid oid) const { return *shards_[oid % shards_.size()]; }
@@ -286,7 +287,7 @@ class VersionStore {
   /// Stamps the pending tail version of every oid in \p oids with \p ts.
   /// Requires commit_mu_.
   void StampOids(TxnId txn, const std::vector<Oid>& oids, CommitTs ts,
-                 bool aborted);
+                 bool aborted) OCB_REQUIRES(commit_mu_);
 
   /// Stamps every pending version of \p txn; \p aborted only picks the
   /// stats bucket. \p external_ts == 0 draws a fresh local timestamp,
@@ -295,18 +296,19 @@ class VersionStore {
   CommitTs StampAll(TxnId txn, bool aborted, CommitTs external_ts = 0);
 
   /// GC worker; requires commit_mu_ (walks the shards one by one).
-  uint64_t CollectLocked(CommitTs oldest_snapshot);
+  uint64_t CollectLocked(CommitTs oldest_snapshot) OCB_REQUIRES(commit_mu_);
 
   /// Serializes transaction-grained operations: timestamp allocation +
   /// full stamping loops, snapshot opening, GC threshold computation.
   /// Never taken by GetVisible.
-  mutable std::mutex commit_mu_;
+  mutable Mutex commit_mu_{lockdep::kVersionStoreCommitClass};
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Objects with a pending version per transaction (stamp/discard sets);
-  /// guarded by pending_mu_ (writer-only traffic).
-  std::mutex pending_mu_;
-  std::unordered_map<TxnId, std::vector<Oid>> pending_by_txn_;
-  CommitTs last_commit_ts_ = 0;  ///< Guarded by commit_mu_.
+  /// writer-only traffic.
+  Mutex pending_mu_{lockdep::kVersionStorePendingClass};
+  std::unordered_map<TxnId, std::vector<Oid>> pending_by_txn_
+      OCB_GUARDED_BY(pending_mu_);
+  CommitTs last_commit_ts_ OCB_GUARDED_BY(commit_mu_) = 0;
 
   // Stats: atomics so the reader hot path can count without a lock.
   mutable std::atomic<uint64_t> versions_published_{0};

@@ -39,12 +39,12 @@
 #ifndef OCB_CONCURRENCY_WAIT_GRAPH_H_
 #define OCB_CONCURRENCY_WAIT_GRAPH_H_
 
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "concurrency/transaction_context.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -62,7 +62,7 @@ class GlobalWaitGraph {
   /// wait). Otherwise registers them and returns true — pair with
   /// Clear(waiter) once the wait ends, however it ends.
   bool TryRegisterWaits(TxnId waiter, const std::vector<TxnId>& blockers) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // DFS from every blocker: reaching `waiter` means the new edges close
     // a cycle.
     std::unordered_set<TxnId> visited;
@@ -83,19 +83,19 @@ class GlobalWaitGraph {
   /// Drops \p waiter's out-edges (it stopped waiting: granted, refused,
   /// or timed out).
   void Clear(TxnId waiter) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out_.erase(waiter);
   }
 
   /// Number of currently registered waiters (tests).
   size_t waiter_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return out_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, std::vector<TxnId>> out_;
+  mutable Mutex mu_{lockdep::kWaitGraphClass};
+  std::unordered_map<TxnId, std::vector<TxnId>> out_ OCB_GUARDED_BY(mu_);
 };
 
 }  // namespace ocb

@@ -188,7 +188,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -198,7 +198,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -210,14 +210,14 @@ LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 uint64_t MetricsRegistry::RegisterCallback(std::string_view name,
                                            std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_callback_id_++;
   callbacks_.push_back(CallbackEntry{id, std::string(name), std::move(fn)});
   return id;
 }
 
 void MetricsRegistry::UnregisterCallback(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.erase(
       std::remove_if(callbacks_.begin(), callbacks_.end(),
                      [id](const CallbackEntry& e) { return e.id == id; }),
@@ -226,7 +226,7 @@ void MetricsRegistry::UnregisterCallback(uint64_t id) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     snap.counters_[name] += counter->Value();
   }
@@ -241,7 +241,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ClearCallbacksForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.clear();
 }
 

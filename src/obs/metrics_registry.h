@@ -46,10 +46,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ocb {
 namespace obs {
@@ -231,18 +232,22 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
+  /// Ranked ABOVE every engine mutex (lockdep rank table): Snapshot()
+  /// runs the gauge callbacks under it, and those read component stats()
+  /// that take the component's own mutex.
+  mutable Mutex mu_{lockdep::kMetricsRegistryClass};
   // node-based maps → stable element addresses for cached pointers.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OCB_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      histograms_;
+      histograms_ OCB_GUARDED_BY(mu_);
   struct CallbackEntry {
     uint64_t id;
     std::string name;
     std::function<uint64_t()> fn;
   };
-  std::vector<CallbackEntry> callbacks_;
-  uint64_t next_callback_id_ = 1;
+  std::vector<CallbackEntry> callbacks_ OCB_GUARDED_BY(mu_);
+  uint64_t next_callback_id_ OCB_GUARDED_BY(mu_) = 1;
 };
 
 /// \brief RAII bundle of gauge registrations; an engine component

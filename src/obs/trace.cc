@@ -23,7 +23,7 @@ uint32_t TraceTid() {
 
 void TraceRecorder::Enable() {
   {
-    std::lock_guard<std::mutex> lock(init_mu_);
+    MutexLock lock(init_mu_);
     if (!ring_ready_.load(std::memory_order_acquire)) {
       ring_ = std::make_unique<TraceEvent[]>(kRingSize);
       epoch_ = std::chrono::steady_clock::now();

@@ -42,8 +42,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/sync.h"
 
 namespace ocb {
 namespace obs {
@@ -117,7 +118,10 @@ class TraceRecorder {
   std::unique_ptr<TraceEvent[]> ring_;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> ring_ready_{false};
-  std::mutex init_mu_;
+  /// Serializes ring allocation in Enable; the record path is lock-free
+  /// (ring_/epoch_ are published through ring_ready_'s release store, so
+  /// they are not OCB_GUARDED_BY this mutex).
+  Mutex init_mu_{lockdep::kTraceRingClass};
 };
 
 /// Small dense thread id for trace events (0, 1, 2... in first-use order).

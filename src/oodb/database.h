@@ -83,6 +83,7 @@
 #include "storage/storage_options.h"
 #include "util/sim_clock.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "wal/wal_format.h"
 
 namespace ocb {
@@ -797,7 +798,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<ObjectStore> store_;
   Schema schema_;
-  AccessObserver* observer_ = nullptr;  ///< Guarded by observer_mu_.
+  AccessObserver* observer_ OCB_GUARDED_BY(observer_mu_) = nullptr;
   LockManager lock_manager_;
   VersionStore version_store_;
   ReadViewRegistry read_views_;
@@ -816,16 +817,20 @@ class Database {
   std::atomic<uint64_t> occ_conflicts_{0};  ///< See occ_conflicts().
 
   /// Catalog latch: schema/class-extent metadata only (level 2 of the
-  /// hierarchy above). Never held across physical I/O.
-  std::shared_mutex catalog_mu_;
+  /// hierarchy above). Never held across physical I/O. (schema_ itself is
+  /// not OCB_GUARDED_BY it: the schema object is frozen before clients
+  /// run and the accessors hand out bare references; the latch guards the
+  /// mutable extent membership and its version counters.)
+  mutable SharedMutex catalog_mu_{lockdep::kCatalogLatchClass};
 
   /// Per-class extent-membership versions (see ExtentVersion). Guarded
   /// by catalog_mu_, like the extents whose mutations bump them.
-  std::unordered_map<ClassId, uint64_t> extent_versions_;
+  std::unordered_map<ClassId, uint64_t> extent_versions_
+      OCB_GUARDED_BY(catalog_mu_);
 
   /// Serializes observer callbacks (clustering policies are not internally
   /// synchronized).
-  std::mutex observer_mu_;
+  Mutex observer_mu_{lockdep::kObserverClass};
 
   /// Serializes QuiesceGuard owners (reorganizers, snapshot save/load).
   std::recursive_mutex reorg_mu_;
@@ -838,19 +843,19 @@ class Database {
   // destructor — declared last so the thread never outlives the state it
   // touches.
   std::once_flag gc_once_;
-  std::mutex gc_mu_;
-  std::condition_variable gc_cv_;
-  bool gc_stop_ = false;
+  Mutex gc_mu_{lockdep::kGcWakeupClass};
+  std::condition_variable_any gc_cv_;
+  bool gc_stop_ OCB_GUARDED_BY(gc_mu_) = false;
   std::thread gc_thread_;
 
   // Automatic checkpointing (started in the constructor when configured,
   // joined in the destructor before any member it reads dies).
   std::atomic<uint64_t> checkpoints_taken_{0};
   std::atomic<uint64_t> checkpoints_refused_{0};
-  std::mutex ckpt_mu_;
-  std::condition_variable ckpt_cv_;
-  bool ckpt_stop_ = false;
-  uint64_t ckpt_pending_commits_ = 0;  ///< Guarded by ckpt_mu_.
+  Mutex ckpt_mu_{lockdep::kCkptWakeupClass};
+  std::condition_variable_any ckpt_cv_;
+  bool ckpt_stop_ OCB_GUARDED_BY(ckpt_mu_) = false;
+  uint64_t ckpt_pending_commits_ OCB_GUARDED_BY(ckpt_mu_) = 0;
   std::thread ckpt_thread_;
 };
 

@@ -44,14 +44,14 @@ void CrossShardCoordinator::ChargeLogForce(uint64_t batches) {
 }
 
 CommitTs CrossShardCoordinator::BeginFastPathCommit() {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  MutexLock lock(inflight_mu_);
   const CommitTs ts = NextTimestamp();
   inflight_commits_.insert(ts);
   return ts;
 }
 
 void CrossShardCoordinator::EndFastPathCommit(CommitTs ts) {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  MutexLock lock(inflight_mu_);
   inflight_commits_.erase(ts);
 }
 
@@ -85,7 +85,7 @@ void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
   // S a consistent cut against *2PC* commits: they stamp all their
   // shards under this same mutex, so S either precedes all of commit T's
   // stamps or follows all of them — never lands in between.
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   // Fast-path commits stamp outside commit_mu_, so additionally pin S
   // strictly below the oldest timestamp still being stamped: a commit
   // with ts <= S is therefore always *fully* stamped (it retired itself
@@ -93,7 +93,7 @@ void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
   // visible — the reader sees its pre-images on every shard.
   CommitTs s;
   {
-    std::lock_guard<std::mutex> inflight(inflight_mu_);
+    MutexLock inflight(inflight_mu_);
     s = next_ts_.load(std::memory_order_relaxed);
     if (!inflight_commits_.empty()) {
       s = std::min(s, *inflight_commits_.begin() - 1);
@@ -109,10 +109,10 @@ void CrossShardCoordinator::OpenGlobalSnapshot(ShardedTransaction* txn) {
 void CrossShardCoordinator::OpenGlobalSiContexts(ShardedTransaction* txn) {
   // Same consistent-cut choreography as OpenGlobalSnapshot — an SI
   // writer's reads are a reader's reads until commit.
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  MutexLock lock(commit_mu_);
   CommitTs s;
   {
-    std::lock_guard<std::mutex> inflight(inflight_mu_);
+    MutexLock inflight(inflight_mu_);
     s = next_ts_.load(std::memory_order_relaxed);
     if (!inflight_commits_.empty()) {
       s = std::min(s, *inflight_commits_.begin() - 1);
@@ -256,7 +256,7 @@ Status CrossShardCoordinator::Commit(ShardedTransaction* txn) {
     // ack) ahead of this commit's durability choreography.
     obs::TraceSpan commit_span("2pc.commit", "txn", txn->id(), "writers",
                                writers.size());
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    MutexLock lock(commit_mu_);
     const CommitTs ts = NextTimestamp();
     if (coord_wal_ != nullptr) {
       wal_st = LogCoordinatedCommit(txn, writers, ts);
@@ -338,7 +338,7 @@ void CrossShardCoordinator::CommitBatch(
   // stamping runs outside any coordinator mutex, ONE pass retires them.
   if (!fast.empty()) {
     {
-      std::lock_guard<std::mutex> inflight(inflight_mu_);
+      MutexLock inflight(inflight_mu_);
       for (Member* m : fast) {
         if (m->writers.empty()) continue;
         m->ts = NextTimestamp();
@@ -373,7 +373,7 @@ void CrossShardCoordinator::CommitBatch(
       m->req->status = m->failure;
     }
     {
-      std::lock_guard<std::mutex> inflight(inflight_mu_);
+      MutexLock inflight(inflight_mu_);
       for (Member* m : fast) {
         if (m->ts != 0) inflight_commits_.erase(m->ts);
       }
@@ -433,7 +433,7 @@ void CrossShardCoordinator::CommitBatch(
     Status wal_st = Status::OK();
     {
       obs::TraceSpan commit_span("2pc.commit", "members", twopc.size());
-      std::lock_guard<std::mutex> lock(commit_mu_);
+      MutexLock lock(commit_mu_);
       if (coord_wal_ != nullptr) {
         // Batched durability choreography, same invariant as the
         // per-txn path but amortized: every survivor's participant

@@ -45,7 +45,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -54,6 +53,7 @@
 #include "oodb/database.h"
 #include "sharding/sharded_transaction.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -215,13 +215,13 @@ class CrossShardCoordinator {
   /// Spans every multi-shard stamping loop; OpenGlobalSnapshot takes it
   /// too. Ordering: this mutex is acquired *before* any shard's
   /// version-store commit mutex, never after.
-  std::mutex commit_mu_;
+  Mutex commit_mu_{lockdep::kCoordinatorCommitClass};
 
   /// Fast-path commits whose timestamps are drawn but not yet fully
   /// stamped (guarded by inflight_mu_, a leaf mutex). std::set: the
   /// snapshot path needs the minimum.
-  std::mutex inflight_mu_;
-  std::set<CommitTs> inflight_commits_;
+  Mutex inflight_mu_{lockdep::kCoordinatorInflightClass};
+  std::set<CommitTs> inflight_commits_ OCB_GUARDED_BY(inflight_mu_);
 
   std::function<bool()> commit_failpoint_;
   GlobalWaitGraph wait_graph_;

@@ -121,7 +121,7 @@ BufferPool::BufferPool(DiskSim* disk, const StorageOptions& options)
   const size_t stripe_count = EffectiveStripes(options);
   stripes_.reserve(stripe_count);
   for (size_t s = 0; s < stripe_count; ++s) {
-    stripes_.push_back(std::make_unique<Stripe>());
+    stripes_.push_back(std::make_unique<Stripe>(s));
   }
   // Frame i belongs to stripe i % N; free lists hand out the lowest frame
   // first, matching the seed's allocation order in the 1-stripe layout.
@@ -132,18 +132,29 @@ BufferPool::BufferPool(DiskSim* disk, const StorageOptions& options)
   for (size_t i = 0; i < frame_count_; ++i) {
     stripes_[i % stripe_count]->owned_frames.push_back(i);
   }
+  // Resolve the latch-wait instruments now, with no lock held. The first
+  // lookup takes the metrics-registry mutex, which ranks above every
+  // engine mutex (Snapshot() runs gauge callbacks under it) — so a lazy
+  // resolution from a latch callsite while this thread already holds a
+  // frame latch (the prefetch issue loop) would invert the hierarchy.
+  latch_internal::PageWaitHistogram();
+  latch_internal::FacadeWaitHistogram();
 }
 
-void BufferPool::MaybeWaitForQuiesce() {
+// TSA exemption: the cv wait unlocks and relocks quiesce_mu_ mid-function,
+// a flow the intraprocedural analysis cannot follow; lockdep still sees
+// every transition.
+void BufferPool::MaybeWaitForQuiesce() OCB_NO_THREAD_SAFETY_ANALYSIS {
   if (!quiescing_.load(std::memory_order_acquire)) return;
   if (tls_pin_depth > 0) return;  // Mid-operation: allowed to finish.
-  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  std::unique_lock<Mutex> lock(quiesce_mu_);
   if (quiesce_owner_ == std::this_thread::get_id()) return;
   quiesce_cv_.wait(lock, [&] { return quiesce_depth_ == 0; });
 }
 
-void BufferPool::BeginQuiesce() {
-  std::unique_lock<std::mutex> lock(quiesce_mu_);
+// TSA exemption: cv waits relock quiesce_mu_ mid-function.
+void BufferPool::BeginQuiesce() OCB_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(quiesce_mu_);
   const std::thread::id me = std::this_thread::get_id();
   if (quiesce_depth_ > 0 && quiesce_owner_ == me) {
     ++quiesce_depth_;
@@ -168,7 +179,7 @@ void BufferPool::BeginQuiesce() {
 }
 
 void BufferPool::EndQuiesce() {
-  std::lock_guard<std::mutex> lock(quiesce_mu_);
+  MutexLock lock(quiesce_mu_);
   assert(quiesce_depth_ > 0 &&
          quiesce_owner_ == std::this_thread::get_id());
   if (--quiesce_depth_ == 0) {
@@ -182,7 +193,11 @@ Result<PageHandle> BufferPool::FetchPage(PageId page_id, LatchMode mode) {
   return Await(StartFetch(page_id, mode));
 }
 
-PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode) {
+// TSA exemption: the miss path returns holding the frame's X latch (the
+// matching release lives in Await/FinishPrefetch), a cross-function hold
+// the intraprocedural analysis cannot follow; lockdep tracks it.
+PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   MaybeWaitForQuiesce();
   Stripe& stripe = stripe_of(page_id);
   PendingFetch fetch;
@@ -190,7 +205,7 @@ PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode) {
   fetch.mode_ = mode;
   {
     LatchPageExclusive(stripe.mu);
-    std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
+    std::unique_lock<Mutex> lock(stripe.mu, std::adopt_lock);
     auto it = stripe.page_table.find(page_id);
     if (it != stripe.page_table.end()) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -218,6 +233,7 @@ PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode) {
       frame.data = std::make_unique<uint8_t[]>(options_.page_size);
     }
     frame.page_id = page_id;
+    frame.latch.SetLockdepKey(page_id);
     frame.dirty = false;
     frame.referenced = true;
     frame.pin_count.fetch_add(1, std::memory_order_relaxed);
@@ -255,7 +271,11 @@ PendingFetch BufferPool::StartFetch(PageId page_id, LatchMode mode) {
   return fetch;
 }
 
-Result<PageHandle> BufferPool::Await(PendingFetch fetch) {
+// TSA exemption: resolves latches acquired by StartFetch and performs the
+// X→S downgrade with bare unlock/lock pairs — cross-function holds TSA
+// cannot follow; lockdep sees every transition.
+Result<PageHandle> BufferPool::Await(PendingFetch fetch)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     if (!fetch.pending()) {
       return fetch.issue_status_.ok()
@@ -345,7 +365,9 @@ Status BufferPool::FetchMany(std::span<const PageId> page_ids) {
   return first_error;
 }
 
-Status BufferPool::FinishPrefetch(PendingFetch& fetch) {
+// TSA exemption: releases the frame latch StartFetch left held.
+Status BufferPool::FinishPrefetch(PendingFetch& fetch)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   if (fetch.pool_ == nullptr) return fetch.issue_status_;
   const size_t frame_index = fetch.frame_index_;
   const PageId page_id = fetch.page_id_;
@@ -368,11 +390,14 @@ Status BufferPool::FinishPrefetch(PendingFetch& fetch) {
   return Status::OK();
 }
 
-void BufferPool::UninstallFailedMiss(size_t frame_index, PageId page_id) {
+// TSA exemption: releases the frame latch its caller's StartFetch left
+// held.
+void BufferPool::UninstallFailedMiss(size_t frame_index, PageId page_id)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   Stripe& stripe = stripe_of(page_id);
   Frame& frame = frames_[frame_index];
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.page_table.erase(page_id);
     stripe.lru.erase(frame.lru_pos);
     frame.page_id = kInvalidPageId;
@@ -384,13 +409,16 @@ void BufferPool::UninstallFailedMiss(size_t frame_index, PageId page_id) {
         /*latch_already_released=*/true);
 }
 
-Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
+// TSA exemption: returns holding the new frame's X latch (released by the
+// PageHandle), a cross-function hold TSA cannot follow.
+Result<PageHandle> BufferPool::NewPage(PageId* out_page_id)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   MaybeWaitForQuiesce();
   const PageId page_id = disk_->AllocatePage();
   if (out_page_id != nullptr) *out_page_id = page_id;
   Stripe& stripe = stripe_of(page_id);
   LatchPageExclusive(stripe.mu);
-  std::unique_lock<std::mutex> lock(stripe.mu, std::adopt_lock);
+  std::unique_lock<Mutex> lock(stripe.mu, std::adopt_lock);
   auto claimed = ClaimFrame(stripe);
   if (!claimed.ok()) return claimed.status();
   const size_t frame_index = claimed.value();
@@ -401,6 +429,7 @@ Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
   std::memset(frame.data.get(), 0, options_.page_size);
   Page(frame.data.get(), options_.page_size).Init(page_id);
   frame.page_id = page_id;
+  frame.latch.SetLockdepKey(page_id);
   frame.dirty = true;
   frame.referenced = true;
   frame.pin_count.fetch_add(1, std::memory_order_relaxed);
@@ -413,7 +442,9 @@ Result<PageHandle> BufferPool::NewPage(PageId* out_page_id) {
                     LatchMode::kExclusive);
 }
 
-Status BufferPool::FlushAll() {
+// TSA exemption: frame latches are acquired and released across loop
+// arms with early-error returns; lockdep tracks each pair.
+Status BufferPool::FlushAll() OCB_NO_THREAD_SAFETY_ANALYSIS {
   // Settle the background write-back queue first: FlushAll is a
   // durability-ordering point (snapshot save, checkpoint, cold restart)
   // and must leave the DiskSim holding every image the pool has retired.
@@ -423,7 +454,7 @@ Status BufferPool::FlushAll() {
     Stripe& stripe = *stripe_ptr;
     std::vector<std::pair<size_t, PageId>> resident;
     {
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      MutexLock lock(stripe.mu);
       resident.reserve(stripe.page_table.size());
       for (const auto& [pid, idx] : stripe.page_table) {
         resident.push_back({idx, pid});
@@ -450,10 +481,12 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
-Status BufferPool::InvalidateAll() {
+// TSA exemption: victim latches are try-locked here and released after
+// EvictFrame; the conditional hold is invisible to the analysis.
+Status BufferPool::InvalidateAll() OCB_NO_THREAD_SAFETY_ANALYSIS {
   for (auto& stripe_ptr : stripes_) {
     Stripe& stripe = *stripe_ptr;
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     std::vector<size_t> resident;
     resident.reserve(stripe.page_table.size());
     for (const auto& [pid, idx] : stripe.page_table) {
@@ -479,20 +512,21 @@ Status BufferPool::InvalidateAll() {
 }
 
 size_t BufferPool::pinned_frames() const {
+  // Lock-free on purpose: callers often hold page handles (frame
+  // latches), and a stats probe has no business blocking them on every
+  // stripe mutex. Pin counts are atomic, and a pinned frame is resident
+  // by invariant, so scanning the fixed frame table needs no mutex.
   size_t pinned = 0;
-  for (const auto& stripe_ptr : stripes_) {
-    Stripe& stripe = *stripe_ptr;
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    for (const auto& [pid, idx] : stripe.page_table) {
-      if (frames_[idx].pin_count.load(std::memory_order_relaxed) > 0) {
-        ++pinned;
-      }
-    }
+  for (size_t i = 0; i < frame_count_; ++i) {
+    if (frames_[i].pin_count.load(std::memory_order_relaxed) > 0) ++pinned;
   }
   return pinned;
 }
 
-Result<size_t> BufferPool::ClaimFrame(Stripe& stripe) {
+// TSA exemption: returns holding the claimed frame's X latch (try-locked
+// victim-by-victim); the matching release is the caller's.
+Result<size_t> BufferPool::ClaimFrame(Stripe& stripe)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   // Free frames usually have neither pins nor latch holders — but a
   // failed install (FetchPage's disk-error cleanup) free-lists a frame
   // while late waiters of the failed page still pin it for their page_id
@@ -621,7 +655,7 @@ Status BufferPool::DrainWritebacks() {
     Stripe& stripe = *stripe_ptr;
     std::vector<IoTicket> tickets;
     {
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      MutexLock lock(stripe.mu);
       tickets.reserve(stripe.writebacks.size());
       for (auto& [pid, ticket] : stripe.writebacks) {
         tickets.push_back(std::move(ticket));
@@ -638,8 +672,11 @@ Status BufferPool::DrainWritebacks() {
   return first_error;
 }
 
+// TSA exemption: conditionally releases a latch acquired by another
+// function (the fetch path), selected by a runtime mode flag.
 void BufferPool::Unpin(size_t frame_index, LatchMode mode,
-                       bool latch_already_released) {
+                       bool latch_already_released)
+    OCB_NO_THREAD_SAFETY_ANALYSIS {
   Frame& frame = frames_[frame_index];
   if (!latch_already_released) {
     if (mode == LatchMode::kShared) {
@@ -653,7 +690,7 @@ void BufferPool::Unpin(size_t frame_index, LatchMode mode,
   --tls_pin_depth;
   if (total_pins_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
       quiescing_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    MutexLock lock(quiesce_mu_);
     quiesce_cv_.notify_all();
   }
 }

@@ -65,8 +65,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -78,6 +76,7 @@
 #include "storage/storage_options.h"
 #include "storage/types.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -306,7 +305,12 @@ class BufferPool {
   friend class PendingFetch;
 
   struct Frame {
-    std::shared_mutex latch;             ///< The page latch.
+    /// The page latch. Its lockdep key is rebound (SetLockdepKey) to the
+    /// resident page id at every install, so the ascending-page-id
+    /// multi-handle rule is checked against *page* order, which is what
+    /// the contract promises — frame indices are an implementation
+    /// accident.
+    SharedMutex latch{lockdep::kFrameLatchClass};
     std::atomic<uint32_t> pin_count{0};  ///< Pinned frames are not evicted.
     // The fields below are guarded by the owning stripe's mutex, except
     // `dirty` (guarded by the frame latch) and `data` (the pointer only
@@ -323,18 +327,25 @@ class BufferPool {
 
   /// One page-table shard: pages with page_id % stripes == index live here,
   /// cached in the frames this stripe owns (frame % stripes == index).
+  /// The stripe index is the mutex's lockdep key: multi-stripe sweeps
+  /// (FlushAll, DrainWritebacks, pinned_frames) hold several stripe
+  /// mutexes only in ascending-index order.
   struct Stripe {
-    std::mutex mu;
-    std::unordered_map<PageId, size_t> page_table;
-    std::list<size_t> lru;  ///< Front = most recent, back = victim.
-    std::vector<size_t> free_frames;
-    std::vector<size_t> owned_frames;  ///< All frame indices of the stripe.
-    size_t clock_pos = 0;              ///< Index into owned_frames.
+    explicit Stripe(size_t index) : mu(lockdep::kBufferStripeClass, index) {}
+
+    mutable Mutex mu;
+    std::unordered_map<PageId, size_t> page_table OCB_GUARDED_BY(mu);
+    /// Front = most recent, back = victim.
+    std::list<size_t> lru OCB_GUARDED_BY(mu);
+    std::vector<size_t> free_frames OCB_GUARDED_BY(mu);
+    /// All frame indices of the stripe (fixed at construction).
+    std::vector<size_t> owned_frames;
+    size_t clock_pos OCB_GUARDED_BY(mu) = 0;  ///< Index into owned_frames.
     /// In-flight dirty-victim write-backs of this stripe's pages, keyed by
     /// page id (at most one per page: a re-eviction awaits its
     /// predecessor). A miss extracts and awaits its page's entry before
     /// issuing the read, preserving write→read order per page.
-    std::unordered_map<PageId, IoTicket> writebacks;
+    std::unordered_map<PageId, IoTicket> writebacks OCB_GUARDED_BY(mu);
   };
 
   Stripe& stripe_of(PageId page_id) {
@@ -350,16 +361,18 @@ class BufferPool {
   /// writeback happens under the stripe mutex, so a concurrent re-fetch of
   /// the victim page — same stripe by construction — serializes behind the
   /// completed writeback). Requires \p stripe.mu.
-  Result<size_t> ClaimFrame(Stripe& stripe);
+  Result<size_t> ClaimFrame(Stripe& stripe) OCB_REQUIRES(stripe.mu);
 
   /// Evicts resident \p frame_index (writes back if dirty) and removes the
   /// page-table entry. Requires \p stripe.mu and the frame latch.
-  Status EvictFrame(Stripe& stripe, size_t frame_index);
+  Status EvictFrame(Stripe& stripe, size_t frame_index)
+      OCB_REQUIRES(stripe.mu);
 
   /// Awaits and removes \p page_id's pending write-back, if any. Requires
   /// \p stripe.mu. The await itself blocks only on the I/O worker (which
   /// never takes stripe mutexes), not on other pool threads.
-  Status SettleWriteback(Stripe& stripe, PageId page_id);
+  Status SettleWriteback(Stripe& stripe, PageId page_id)
+      OCB_REQUIRES(stripe.mu);
 
   /// Awaits every queued write-back of every stripe. Called from
   /// FlushAll/InvalidateAll/BeginQuiesce so durability-ordering points see
@@ -378,7 +391,8 @@ class BufferPool {
 
   void Unpin(size_t frame_index, LatchMode mode,
              bool latch_already_released = false);
-  void TouchLru(Stripe& stripe, size_t frame_index);
+  void TouchLru(Stripe& stripe, size_t frame_index)
+      OCB_REQUIRES(stripe.mu);
 
   DiskSim* disk_;
   StorageOptions options_;
@@ -389,13 +403,15 @@ class BufferPool {
   std::atomic<uint64_t> writeback_pending_{0};
   std::atomic<uint64_t> writeback_peak_{0};
 
-  // Quiesce gate state.
+  // Quiesce gate state. The atomics are the fast-path reads (pin counts,
+  // "is anyone quiescing"); owner identity and depth only change under
+  // quiesce_mu_.
   std::atomic<bool> quiescing_{false};
   std::atomic<int64_t> total_pins_{0};
-  std::mutex quiesce_mu_;
-  std::condition_variable quiesce_cv_;
-  std::thread::id quiesce_owner_{};
-  int quiesce_depth_ = 0;
+  Mutex quiesce_mu_{lockdep::kQuiesceClass};
+  std::condition_variable_any quiesce_cv_;
+  std::thread::id quiesce_owner_ OCB_GUARDED_BY(quiesce_mu_){};
+  int quiesce_depth_ OCB_GUARDED_BY(quiesce_mu_) = 0;
 };
 
 }  // namespace ocb

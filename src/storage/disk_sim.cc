@@ -54,6 +54,11 @@ IoTicket& IoTicket::operator=(IoTicket&& other) noexcept {
 
 DiskSim::DiskSim(const StorageOptions& options, SimClock* clock)
     : options_(options), clock_(clock) {
+  // Resolve the io.wait instrument now, with no lock held: Await runs
+  // under buffer-pool frame latches on the miss path, and the registry
+  // mutex ranks above every engine mutex, so the one-time lookup must
+  // never happen there.
+  IoWaitHistogram();
   if (!options_.backing_file.empty()) {
     backing_ = std::fopen(options_.backing_file.c_str(), "wb+");
   }
@@ -75,19 +80,21 @@ DiskSim::~DiskSim() {
 PageId DiskSim::AllocatePage() {
   auto page = std::make_unique<uint8_t[]>(options_.page_size);
   std::memset(page.get(), 0, options_.page_size);
-  std::unique_lock<std::shared_mutex> lock(pages_mu_);
+  WriterMutexLock lock(pages_mu_);
   pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-std::unique_ptr<IoRequest> DiskSim::PrepareRequest(IoRequest::Kind kind,
-                                                   PageId page_id) {
+// TSA-exempt: the freshly built request is thread-private until Dispatch,
+// so its done/status fields are written without its mutex.
+std::unique_ptr<IoRequest> DiskSim::PrepareRequest(
+    IoRequest::Kind kind, PageId page_id) OCB_NO_THREAD_SAFETY_ANALYSIS {
   auto req = std::make_unique<IoRequest>();
   req->kind = kind;
   req->disk = this;
   req->page_id = page_id;
   {
-    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    ReaderMutexLock lock(pages_mu_);
     if (page_id >= pages_.size()) {
       req->done = true;
       req->status = Status::IOError(
@@ -124,18 +131,18 @@ void DiskSim::ExecuteRequest(IoRequest* request) {
         std::chrono::nanoseconds(request->latency_nanos));
   }
   if (request->kind == IoRequest::Kind::kRead) {
-    std::shared_lock<std::shared_mutex> lock(disk->pages_mu_);
+    ReaderMutexLock lock(disk->pages_mu_);
     std::memcpy(request->out, disk->pages_[request->page_id].get(),
                 disk->options_.page_size);
   } else {
     const uint8_t* src = request->payload.get();
     {
-      std::shared_lock<std::shared_mutex> lock(disk->pages_mu_);
+      ReaderMutexLock lock(disk->pages_mu_);
       std::memcpy(disk->pages_[request->page_id].get(), src,
                   disk->options_.page_size);
     }
     if (disk->backing_ != nullptr) {
-      std::lock_guard<std::mutex> file_lock(disk->backing_mu_);
+      MutexLock file_lock(disk->backing_mu_);
       const long offset = static_cast<long>(request->page_id) *
                           static_cast<long>(disk->options_.page_size);
       if (std::fseek(disk->backing_, offset, SEEK_SET) != 0 ||
@@ -148,7 +155,7 @@ void DiskSim::ExecuteRequest(IoRequest* request) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(request->mu);
+    MutexLock lock(request->mu);
     request->status = status;
     request->done = true;
     // Notify while still holding the mutex: the moment `done` is visible,
@@ -166,8 +173,9 @@ void DiskSim::Dispatch(IoRequest* request) {
   }
 }
 
-void DiskSim::WaitDone(IoRequest* request) {
-  std::unique_lock<std::mutex> lock(request->mu);
+// TSA-exempt: cv wait relocks through the unique_lock.
+void DiskSim::WaitDone(IoRequest* request) OCB_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(request->mu);
   request->cv.wait(lock, [&] { return request->done; });
 }
 
@@ -190,18 +198,21 @@ IoTicket DiskSim::StartWrite(PageId page_id,
   return IoTicket(std::move(req));
 }
 
-Status DiskSim::Await(IoTicket& ticket) {
+// TSA-exempt: cv wait relocks through the unique_lock.
+Status DiskSim::Await(IoTicket& ticket) OCB_NO_THREAD_SAFETY_ANALYSIS {
   if (!ticket.valid()) {
     return Status::InvalidArgument("await of an empty io ticket");
   }
   std::unique_ptr<IoRequest> req = std::move(ticket.req_);
+  // Resolve before locking: the first lookup takes the registry mutex,
+  // which ranks above io.request in the lock hierarchy.
+  obs::LatencyHistogram* histo = IoWaitHistogram();
   {
-    std::unique_lock<std::mutex> lock(req->mu);
+    std::unique_lock<Mutex> lock(req->mu);
     if (!req->done) {
       const auto start = std::chrono::steady_clock::now();
       req->cv.wait(lock, [&] { return req->done; });
 #ifndef OCB_OBS_DISABLED
-      obs::LatencyHistogram* histo = IoWaitHistogram();
       if (histo != nullptr) {
         histo->Record(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -210,6 +221,7 @@ Status DiskSim::Await(IoTicket& ticket) {
       }
 #else
       (void)start;
+      (void)histo;
 #endif
     }
   }
@@ -258,7 +270,7 @@ Status DiskSim::WritePage(PageId page_id, const uint8_t* data) {
 }
 
 void DiskSim::LoadPageImage(PageId page_id, const uint8_t* data) {
-  std::shared_lock<std::shared_mutex> lock(pages_mu_);
+  ReaderMutexLock lock(pages_mu_);
   std::memcpy(pages_[page_id].get(), data, options_.page_size);
 }
 

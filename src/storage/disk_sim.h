@@ -17,7 +17,6 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "storage/types.h"
 #include "util/sim_clock.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -89,10 +89,13 @@ struct IoRequest {
   /// Await advances the SimClock to it. 0 when no clock is attached.
   uint64_t complete_sim_nanos = 0;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  Status status;
+  /// Completion state. The issue→await window spans threads and
+  /// functions, so TSA cannot follow it; the mutex still registers with
+  /// lockdep (rank: leaf under the stripe mutexes that await under them).
+  Mutex mu{lockdep::kIoRequestClass};
+  std::condition_variable_any cv;
+  bool done OCB_GUARDED_BY(mu) = false;
+  Status status OCB_GUARDED_BY(mu);
 };
 
 /// \brief Move-only handle to a pending asynchronous I/O.
@@ -193,14 +196,14 @@ class DiskSim {
 
   /// Number of allocated pages.
   size_t num_pages() const {
-    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    ReaderMutexLock lock(pages_mu_);
     return pages_.size();
   }
 
   /// Direct (uncounted, zero-latency) access to a page image — snapshot
   /// save/load utilities only; all benchmark reads go through ReadPage.
   const uint8_t* raw_page(PageId page_id) const {
-    std::shared_lock<std::shared_mutex> lock(pages_mu_);
+    ReaderMutexLock lock(pages_mu_);
     return pages_[page_id].get();  // Buffer address is stable once allocated.
   }
 
@@ -256,10 +259,13 @@ class DiskSim {
   /// AllocatePage appends under a writer lock; page I/O resolves the
   /// buffer under a reader lock. Same-page byte races are the buffer
   /// pool's contract (see class comment).
-  mutable std::shared_mutex pages_mu_;
-  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  mutable SharedMutex pages_mu_{lockdep::kDiskDirectoryClass};
+  std::vector<std::unique_ptr<uint8_t[]>> pages_ OCB_GUARDED_BY(pages_mu_);
   std::array<IoCounters, static_cast<size_t>(IoScope::kNumScopes)> counters_;
-  std::mutex backing_mu_;  ///< Serializes write-through fseek+fwrite pairs.
+  /// Serializes write-through fseek+fwrite pairs. The pointer itself is
+  /// set at construction and read freely; the mutex guards the stream
+  /// *position* between the seek and the write.
+  Mutex backing_mu_{lockdep::kDiskBackingClass};
   std::FILE* backing_ = nullptr;
 };
 

@@ -10,10 +10,10 @@
 #define OCB_STORAGE_FREE_SPACE_MAP_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "storage/types.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -29,20 +29,20 @@ class FreeSpaceMap {
  public:
   /// Records the free-space estimate for a page.
   void Update(PageId page_id, size_t free_bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spaces_[page_id] = free_bytes;
   }
 
   /// Removes a page from consideration (e.g. retired by reclustering).
   void Remove(PageId page_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spaces_.erase(page_id);
   }
 
   /// Returns a page believed to have at least \p needed free bytes, or
   /// kInvalidPageId. Prefers the hinted page when it qualifies.
   PageId FindPageWithSpace(size_t needed, PageId hint = kInvalidPageId) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (hint != kInvalidPageId) {
       auto it = spaces_.find(hint);
       if (it != spaces_.end() && it->second >= needed) return hint;
@@ -54,18 +54,18 @@ class FreeSpaceMap {
   }
 
   size_t num_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return spaces_.size();
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spaces_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, size_t> spaces_;
+  mutable Mutex mu_{lockdep::kFreeSpaceClass};
+  std::unordered_map<PageId, size_t> spaces_ OCB_GUARDED_BY(mu_);
 };
 
 }  // namespace ocb

@@ -16,7 +16,7 @@ IoBackend::IoBackend(size_t workers) {
 
 IoBackend::~IoBackend() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,17 +25,19 @@ IoBackend::~IoBackend() {
 
 void IoBackend::Submit(IoRequest* request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(request);
   }
   cv_.notify_one();
 }
 
-void IoBackend::WorkerLoop() {
+// TSA-exempt: the cv wait unlocks/relocks mu_ through the unique_lock, a
+// flow the intraprocedural analysis cannot follow.
+void IoBackend::WorkerLoop() OCB_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     IoRequest* request = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<Mutex> lock(mu_);
       cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       // Drain the queue even when stopping: a request still queued here
       // has an owner blocked in Await (or an IoTicket destructor) that

@@ -16,9 +16,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -49,10 +50,10 @@ class IoBackend {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<IoRequest*> queue_;
-  bool stop_ = false;
+  Mutex mu_{lockdep::kIoQueueClass};
+  std::condition_variable_any cv_;
+  std::deque<IoRequest*> queue_ OCB_GUARDED_BY(mu_);
+  bool stop_ OCB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -24,11 +24,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -133,35 +132,63 @@ inline void AcquireTimed(uint64_t* counter, obs::LatencyHistogram* histo,
 
 }  // namespace latch_internal
 
+// The helpers below are acquire-shaped: the caller (or its RAII guard /
+// PageHandle) owns the release. The ocb::Mutex / ocb::SharedMutex
+// overloads carry the caller-facing OCB_ACQUIRE contract; their *bodies*
+// are exempt because the acquisition happens inside AcquireTimed's
+// lambdas, a hop the intraprocedural analysis cannot follow (lockdep
+// still sees it, via the wrappers' lock paths). The generic template
+// stays unannotated: it also serves std types (the serialize-physical
+// std::recursive_mutex), and a capability attribute on a non-capability
+// type is itself a -Wthread-safety-attributes error.
+
 /// Locks \p mu exclusively, charging blocked time to the thread's
-/// page-latch counter. Works for std::mutex and std::shared_mutex.
-template <typename Mutex>
-inline void LatchPageExclusive(Mutex& mu) {
+/// page-latch counter (generic, unannotated — see above).
+template <typename MutexT>
+inline void LatchPageExclusive(MutexT& mu) {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().page_nanos,
       latch_internal::PageWaitHistogram(), "latch.page.wait",
       [&] { return mu.try_lock(); }, [&] { mu.lock(); });
 }
 
+inline void LatchPageExclusive(Mutex& mu)
+    OCB_ACQUIRE(mu) OCB_NO_THREAD_SAFETY_ANALYSIS {
+  LatchPageExclusive<Mutex>(mu);
+}
+
+inline void LatchPageExclusive(SharedMutex& mu)
+    OCB_ACQUIRE(mu) OCB_NO_THREAD_SAFETY_ANALYSIS {
+  LatchPageExclusive<SharedMutex>(mu);
+}
+
 /// Locks \p mu shared, charging blocked time to the page-latch counter.
-inline void LatchPageShared(std::shared_mutex& mu) {
+inline void LatchPageShared(SharedMutex& mu)
+    OCB_ACQUIRE_SHARED(mu) OCB_NO_THREAD_SAFETY_ANALYSIS {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().page_nanos,
       latch_internal::PageWaitHistogram(), "latch.page.wait",
       [&] { return mu.try_lock_shared(); }, [&] { mu.lock_shared(); });
 }
 
-/// Locks \p mu exclusively, charging blocked time to the facade counter.
-template <typename Mutex>
-inline void LatchFacadeExclusive(Mutex& mu) {
+/// Locks \p mu exclusively, charging blocked time to the facade counter
+/// (generic, unannotated — see above).
+template <typename MutexT>
+inline void LatchFacadeExclusive(MutexT& mu) {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().facade_nanos,
       latch_internal::FacadeWaitHistogram(), "latch.facade.wait",
       [&] { return mu.try_lock(); }, [&] { mu.lock(); });
 }
 
+inline void LatchFacadeExclusive(SharedMutex& mu)
+    OCB_ACQUIRE(mu) OCB_NO_THREAD_SAFETY_ANALYSIS {
+  LatchFacadeExclusive<SharedMutex>(mu);
+}
+
 /// Locks \p mu shared, charging blocked time to the facade counter.
-inline void LatchFacadeShared(std::shared_mutex& mu) {
+inline void LatchFacadeShared(SharedMutex& mu)
+    OCB_ACQUIRE_SHARED(mu) OCB_NO_THREAD_SAFETY_ANALYSIS {
   latch_internal::AcquireTimed(
       &CurrentThreadLatchWaits().facade_nanos,
       latch_internal::FacadeWaitHistogram(), "latch.facade.wait",
@@ -169,30 +196,31 @@ inline void LatchFacadeShared(std::shared_mutex& mu) {
 }
 
 /// RAII shared/exclusive facade-latch guards with wait accounting.
-class TimedSharedLock {
+class OCB_SCOPED_CAPABILITY TimedSharedLock {
  public:
-  explicit TimedSharedLock(std::shared_mutex& mu) : mu_(mu) {
+  explicit TimedSharedLock(SharedMutex& mu) OCB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
     LatchFacadeShared(mu_);
   }
-  ~TimedSharedLock() { mu_.unlock_shared(); }
+  ~TimedSharedLock() OCB_RELEASE() { mu_.unlock_shared(); }
   TimedSharedLock(const TimedSharedLock&) = delete;
   TimedSharedLock& operator=(const TimedSharedLock&) = delete;
 
  private:
-  std::shared_mutex& mu_;
+  SharedMutex& mu_;
 };
 
-class TimedUniqueLock {
+class OCB_SCOPED_CAPABILITY TimedUniqueLock {
  public:
-  explicit TimedUniqueLock(std::shared_mutex& mu) : mu_(mu) {
+  explicit TimedUniqueLock(SharedMutex& mu) OCB_ACQUIRE(mu) : mu_(mu) {
     LatchFacadeExclusive(mu_);
   }
-  ~TimedUniqueLock() { mu_.unlock(); }
+  ~TimedUniqueLock() OCB_RELEASE() { mu_.unlock(); }
   TimedUniqueLock(const TimedUniqueLock&) = delete;
   TimedUniqueLock& operator=(const TimedUniqueLock&) = delete;
 
  private:
-  std::shared_mutex& mu_;
+  SharedMutex& mu_;
 };
 
 }  // namespace ocb

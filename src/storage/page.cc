@@ -66,7 +66,11 @@ Result<SlotId> Page::Insert(std::span<const uint8_t> record) {
     slot_array()[slot].length = 0;
   }
   h->free_space_end = static_cast<uint16_t>(h->free_space_end - record.size());
-  std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  // Empty spans carry a null data(); memcpy's pointers must be non-null
+  // even for size 0 (UBSan enforces the letter of the law).
+  if (!record.empty()) {
+    std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  }
   slot_array()[slot].offset = h->free_space_end;
   slot_array()[slot].length = static_cast<uint16_t>(record.size());
   return slot;
@@ -94,7 +98,9 @@ Status Page::Update(SlotId slot, std::span<const uint8_t> record) {
   if (record.size() <= s.length) {
     // Shrink (or equal) in place; trailing bytes become a hole reclaimed by
     // the next compaction.
-    std::memcpy(data_ + s.offset, record.data(), record.size());
+    if (!record.empty()) {
+      std::memcpy(data_ + s.offset, record.data(), record.size());
+    }
     s.length = static_cast<uint16_t>(record.size());
     return Status::OK();
   }
@@ -112,7 +118,11 @@ Status Page::Update(SlotId slot, std::span<const uint8_t> record) {
   const size_t gap = h->free_space_end - DirectoryEnd();
   if (gap < record.size()) Compact();
   h->free_space_end = static_cast<uint16_t>(h->free_space_end - record.size());
-  std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  // Empty spans carry a null data(); memcpy's pointers must be non-null
+  // even for size 0 (UBSan enforces the letter of the law).
+  if (!record.empty()) {
+    std::memcpy(data_ + h->free_space_end, record.data(), record.size());
+  }
   Slot& s2 = slot_array()[slot];  // Compact() may have moved others, not us.
   s2.offset = h->free_space_end;
   s2.length = static_cast<uint16_t>(record.size());

@@ -36,11 +36,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/types.h"
+#include "util/sync.h"
 
 namespace ocb {
 
@@ -51,7 +51,7 @@ class StripedOidMap {
       : stripes_(std::max<size_t>(stripes, 1)) {
     shards_.reserve(stripes_);
     for (size_t i = 0; i < stripes_; ++i) {
-      shards_.push_back(std::make_unique<Shard>());
+      shards_.push_back(std::make_unique<Shard>(i));
     }
   }
 
@@ -63,7 +63,7 @@ class StripedOidMap {
   /// Copies the location of \p oid into \p out; false if absent.
   bool Lookup(Oid oid, ObjectLocation* out) const {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(oid);
     if (it == shard.map.end()) return false;
     *out = it->second;
@@ -72,14 +72,14 @@ class StripedOidMap {
 
   bool Contains(Oid oid) const {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     return shard.map.count(oid) != 0;
   }
 
   /// Inserts or overwrites the entry.
   void Put(Oid oid, ObjectLocation loc) {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto [it, inserted] = shard.map.insert_or_assign(oid, loc);
     (void)it;
     if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
@@ -88,7 +88,7 @@ class StripedOidMap {
   /// Inserts only if absent; returns false when the oid was already live.
   bool PutIfAbsent(Oid oid, ObjectLocation loc) {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (!shard.map.emplace(oid, loc).second) return false;
     size_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -97,7 +97,7 @@ class StripedOidMap {
   /// Removes the entry; false if absent.
   bool Erase(Oid oid) {
     Shard& shard = shard_of(oid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.map.erase(oid) == 0) return false;
     size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
@@ -112,7 +112,7 @@ class StripedOidMap {
     out.reserve(static_cast<size_t>(size()));
     for (const auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       out.insert(shard.map.begin(), shard.map.end());
     }
     return out;
@@ -122,7 +122,7 @@ class StripedOidMap {
   void Reset(std::unordered_map<Oid, ObjectLocation> table) {
     for (const auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.map.clear();
     }
     size_.store(0, std::memory_order_relaxed);
@@ -135,15 +135,16 @@ class StripedOidMap {
   void ForEach(Fn&& fn) const {
     for (const auto& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       for (const auto& [oid, loc] : shard.map) fn(oid, loc);
     }
   }
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Oid, ObjectLocation> map;
+    explicit Shard(size_t index) : mu(lockdep::kOidTableClass, index) {}
+    mutable Mutex mu;
+    std::unordered_map<Oid, ObjectLocation> map OCB_GUARDED_BY(mu);
   };
 
   Shard& shard_of(Oid oid) const { return *shards_[oid % stripes_]; }

@@ -1,0 +1,244 @@
+#include "util/lockdep.h"
+
+#if defined(OCB_LOCKDEP_ENABLED)
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ocb {
+namespace lockdep {
+namespace {
+
+/// One entry on a thread's held-lock stack.
+struct HeldLock {
+  const LockClass* cls;
+  const void* instance;
+  uint64_t key;
+};
+
+/// The per-thread held-lock stack. Outermost acquisition first.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+std::string Describe(const LockClass& cls, uint64_t key) {
+  std::string s = cls.name;
+  if (key != kNoKey) {
+    s += "[key=" + std::to_string(key) + "]";
+  }
+  s += " (rank " + std::to_string(cls.rank) + ")";
+  return s;
+}
+
+std::vector<std::string> DescribeStack(const std::vector<HeldLock>& stack) {
+  std::vector<std::string> out;
+  out.reserve(stack.size());
+  for (const HeldLock& h : stack) out.push_back(Describe(*h.cls, h.key));
+  return out;
+}
+
+/// The global lock-order graph: class-level edges observed so far, with
+/// the held stack captured the first time each edge was seen, so a cycle
+/// report can show *both* orders by name. Guarded by GraphMu(); the
+/// thread-local seen-edge cache keeps hot acquisitions off this mutex.
+struct Graph {
+  // edge key: (from_id << 32) | to_id.
+  std::unordered_map<uint64_t, std::vector<std::string>> edges;
+  // adjacency for cycle detection, by class id.
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> adj;
+  std::vector<const LockClass*> classes;  // id - 1 -> class.
+};
+
+std::mutex& GraphMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+Graph& TheGraph() {
+  static Graph* g = new Graph();  // leaked: outlives exit-time dtors.
+  return *g;
+}
+
+FailureHandler& Handler() {
+  static FailureHandler* h = new FailureHandler();
+  return *h;
+}
+
+uint32_t ClassId(const LockClass& cls) {
+  uint32_t id = cls.id.load(std::memory_order_acquire);
+  if (id != 0) return id;
+  std::lock_guard<std::mutex> g(GraphMu());
+  id = cls.id.load(std::memory_order_relaxed);
+  if (id != 0) return id;
+  TheGraph().classes.push_back(&cls);
+  id = static_cast<uint32_t>(TheGraph().classes.size());
+  cls.id.store(id, std::memory_order_release);
+  return id;
+}
+
+/// DFS: is `to` already an ancestor of `from` in the order graph (i.e.
+/// would adding from->to close a cycle)? Caller holds GraphMu().
+bool Reaches(const Graph& g, uint32_t from, uint32_t to,
+             std::unordered_set<uint32_t>& visited) {
+  if (from == to) return true;
+  if (!visited.insert(from).second) return false;
+  auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (uint32_t next : it->second) {
+    if (Reaches(g, next, to, visited)) return true;
+  }
+  return false;
+}
+
+void Fail(Violation v) {
+  std::ostringstream os;
+  os << "lockdep: " << v.kind << " acquiring " << v.acquiring << "\n";
+  os << "  held by this thread (outermost first):\n";
+  if (v.held.empty()) os << "    <none>\n";
+  for (const std::string& h : v.held) os << "    " << h << "\n";
+  if (!v.prior_order.empty()) {
+    os << "  opposite order first observed while holding:\n";
+    for (const std::string& h : v.prior_order) os << "    " << h << "\n";
+  }
+  os << "  hierarchy: ARCHITECTURE.md \"Ordering rules\" / "
+        "src/util/lockdep.h rank table\n";
+  v.message = os.str();
+
+  FailureHandler handler;
+  {
+    std::lock_guard<std::mutex> g(GraphMu());
+    handler = Handler();
+  }
+  if (handler) {
+    handler(v);
+    return;
+  }
+  std::fprintf(stderr, "%s", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const LockClass& cls, const void* instance, uint64_t key,
+               bool trylock) {
+  std::vector<HeldLock>& stack = HeldStack();
+
+  // A successful try-lock never blocked, so it cannot have deadlocked:
+  // record the hold (dependencies *under* it are real) but run no checks
+  // and add no edge. Eviction relies on this — victim frame latches are
+  // try-locked in LRU order, not page order, and may still carry the
+  // evicted page's key until the new resident rebinds it.
+  if (trylock) {
+    stack.push_back({&cls, instance, key});
+    return;
+  }
+
+  // (a) same-instance re-entry and same-class sibling checks.
+  for (const HeldLock& h : stack) {
+    if (h.instance == instance) {
+      Fail({"recursion", Describe(cls, key), DescribeStack(stack), {}, ""});
+      break;
+    }
+    if (h.cls != &cls) continue;
+    if (!(cls.flags & kOrderedByKey)) {
+      Fail({"recursion", Describe(cls, key), DescribeStack(stack), {}, ""});
+      break;
+    }
+    if (h.key == kNoKey || key == kNoKey || key <= h.key) {
+      Fail({"key-order", Describe(cls, key), DescribeStack(stack), {}, ""});
+      break;
+    }
+  }
+
+  // (b) rank inversion: every held lock must rank at or above (i.e. have a
+  // numerically smaller-or-equal rank than) the one being acquired; equal
+  // rank only within the same kOrderedByKey class (checked above).
+  for (const HeldLock& h : stack) {
+    if (h.cls->rank > cls.rank ||
+        (h.cls->rank == cls.rank && h.cls != &cls)) {
+      Fail({"rank-inversion", Describe(cls, key), DescribeStack(stack), {},
+            ""});
+      break;
+    }
+  }
+
+  // (c) class-level order graph: record innermost-held -> acquired and
+  // check the reverse path does not already exist. Per-thread edge cache
+  // avoids the global mutex once an edge is known.
+  if (!stack.empty() && stack.back().cls != &cls) {
+    uint32_t from = ClassId(*stack.back().cls);
+    uint32_t to = ClassId(cls);
+    uint64_t edge = (static_cast<uint64_t>(from) << 32) | to;
+    thread_local std::unordered_set<uint64_t> seen;
+    if (seen.insert(edge).second) {
+      std::vector<std::string> prior;
+      bool cycle = false;
+      {
+        std::lock_guard<std::mutex> g(GraphMu());
+        Graph& graph = TheGraph();
+        if (graph.edges.find(edge) == graph.edges.end()) {
+          std::unordered_set<uint32_t> visited;
+          if (Reaches(graph, to, from, visited)) {
+            cycle = true;
+            uint64_t reverse = (static_cast<uint64_t>(to) << 32) | from;
+            auto it = graph.edges.find(reverse);
+            if (it != graph.edges.end()) prior = it->second;
+          } else {
+            graph.edges.emplace(edge, DescribeStack(stack));
+            graph.adj[from].insert(to);
+          }
+        }
+      }
+      if (cycle) {
+        seen.erase(edge);
+        Fail({"order-cycle", Describe(cls, key), DescribeStack(stack),
+              std::move(prior), ""});
+      }
+    }
+  }
+
+  stack.push_back({&cls, instance, key});
+}
+
+void OnRelease(const LockClass& cls, const void* instance) {
+  (void)cls;
+  std::vector<HeldLock>& stack = HeldStack();
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].instance == instance) {
+      stack.erase(stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired: tolerated (a guard adopted
+  // from a lockdep-exempt path), not a violation.
+}
+
+void OnSetKey(const void* instance, uint64_t key) {
+  for (HeldLock& h : HeldStack()) {
+    if (h.instance == instance) h.key = key;
+  }
+}
+
+size_t HeldCount() { return HeldStack().size(); }
+
+void SetFailureHandlerForTest(FailureHandler handler) {
+  std::lock_guard<std::mutex> g(GraphMu());
+  Handler() = std::move(handler);
+}
+
+void ResetGraphForTest() {
+  std::lock_guard<std::mutex> g(GraphMu());
+  TheGraph().edges.clear();
+  TheGraph().adj.clear();
+}
+
+}  // namespace lockdep
+}  // namespace ocb
+
+#endif  // OCB_LOCKDEP_ENABLED

@@ -1,0 +1,254 @@
+/// \file sync.h
+/// \brief Annotated mutex types: Clang Thread Safety capabilities +
+///        lockdep runtime hooks over std::mutex / std::shared_mutex.
+///
+/// Every mutex-owning class in the engine holds an ocb::Mutex or
+/// ocb::SharedMutex instead of the std type. One wrapper serves both
+/// checkers:
+///
+///   * It carries OCB_CAPABILITY, so `clang++ -Wthread-safety` verifies
+///     each OCB_GUARDED_BY field is only touched under its mutex.
+///   * Its lock/unlock paths call lockdep::OnAcquire/OnRelease (compiled
+///     out unless -DOCB_LOCKDEP=ON), so the runtime validator sees every
+///     acquisition with its lock class and intra-class ordering key.
+///
+/// The wrappers satisfy Lockable / SharedLockable, so std::unique_lock
+/// and std::condition_variable_any work unchanged — but prefer the
+/// annotated guards below (MutexLock, ReaderMutexLock, WriterMutexLock,
+/// UniqueMutexLock): libstdc++'s std::lock_guard is not TSA-annotated,
+/// so a std guard over an ocb::Mutex leaves the analysis blind to the
+/// critical section.
+///
+/// Construction: `Mutex mu{lockdep::kSomeClass}` ties the instance to
+/// its hierarchy rank; per-shard/per-stripe instances add a key
+/// (`Mutex mu{lockdep::kBufferStripeClass, stripe_index}`). Rebindable
+/// keys (a frame latch keyed by whichever page the frame holds) use
+/// SetLockdepKey. When OCB_LOCKDEP is off the class reference and key
+/// are still accepted — the constructor simply ignores them — so call
+/// sites are identical in both builds.
+
+#ifndef OCB_UTIL_SYNC_H_
+#define OCB_UTIL_SYNC_H_
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lockdep.h"
+#include "util/thread_annotations.h"
+
+namespace ocb {
+
+namespace sync_internal {
+
+#if defined(OCB_LOCKDEP_ENABLED)
+
+/// Lockdep bookkeeping mixed into each wrapper: the lock class and the
+/// instance's intra-class ordering key (atomic: rebindable keys are
+/// updated by whoever owns the instance's lifecycle, read at lock time).
+class LockdepBase {
+ public:
+  explicit LockdepBase(const lockdep::LockClass& cls,
+                       uint64_t key = lockdep::kNoKey)
+      : cls_(&cls), key_(key) {}
+
+  void SetLockdepKey(uint64_t key) {
+    key_.store(key, std::memory_order_relaxed);
+    // Rebinding happens under an exclusive hold of this very lock (the
+    // frame-install protocol), so fix up the holder's stack entry too.
+    lockdep::OnSetKey(this, key);
+  }
+
+ protected:
+  void NoteAcquire(bool trylock = false) const {
+    lockdep::OnAcquire(*cls_, this, key_.load(std::memory_order_relaxed),
+                       trylock);
+  }
+  void NoteRelease() const { lockdep::OnRelease(*cls_, this); }
+
+ private:
+  const lockdep::LockClass* cls_;
+  std::atomic<uint64_t> key_;
+};
+
+#else  // !OCB_LOCKDEP_ENABLED — empty base, zero size, zero work.
+
+class LockdepBase {
+ public:
+  explicit LockdepBase(const lockdep::LockClass&,
+                       uint64_t = lockdep::kNoKey) {}
+
+  void SetLockdepKey(uint64_t) {}
+
+ protected:
+  void NoteAcquire(bool = false) const {}
+  void NoteRelease() const {}
+};
+
+#endif  // OCB_LOCKDEP_ENABLED
+
+}  // namespace sync_internal
+
+/// \brief std::mutex with a TSA capability and lockdep hooks.
+class OCB_CAPABILITY("mutex") Mutex : public sync_internal::LockdepBase {
+ public:
+  explicit Mutex(const lockdep::LockClass& cls,
+                 uint64_t key = lockdep::kNoKey)
+      : LockdepBase(cls, key) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The capability attributes below are the caller-facing contract; the
+  // bodies wrap unannotated std primitives, so each carries the analysis
+  // exemption (TSA would otherwise demand a *visible* annotated
+  // acquisition before the function returns).
+  void lock() OCB_ACQUIRE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteAcquire();
+    mu_.lock();
+  }
+  bool try_lock() OCB_TRY_ACQUIRE(true) OCB_NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu_.try_lock()) return false;
+    NoteAcquire(/*trylock=*/true);
+    return true;
+  }
+  void unlock() OCB_RELEASE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteRelease();
+    mu_.unlock();
+  }
+
+  /// The wrapped mutex, for APIs that need the raw type. Bypasses both
+  /// checkers — callers own the safety argument.
+  std::mutex& native() OCB_RETURN_CAPABILITY(this) { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex with a TSA capability and lockdep hooks.
+///
+/// Lockdep does not distinguish shared from exclusive holds: the
+/// *ordering* rules are identical for both (an S/X pair taken in
+/// opposite orders by two threads deadlocks just like X/X), so one
+/// held-stack entry per hold is exactly right.
+class OCB_CAPABILITY("shared_mutex") SharedMutex
+    : public sync_internal::LockdepBase {
+ public:
+  explicit SharedMutex(const lockdep::LockClass& cls,
+                       uint64_t key = lockdep::kNoKey)
+      : LockdepBase(cls, key) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() OCB_ACQUIRE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteAcquire();
+    mu_.lock();
+  }
+  bool try_lock() OCB_TRY_ACQUIRE(true) OCB_NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu_.try_lock()) return false;
+    NoteAcquire(/*trylock=*/true);
+    return true;
+  }
+  void unlock() OCB_RELEASE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteRelease();
+    mu_.unlock();
+  }
+
+  void lock_shared() OCB_ACQUIRE_SHARED() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteAcquire();
+    mu_.lock_shared();
+  }
+  bool try_lock_shared()
+      OCB_TRY_ACQUIRE_SHARED(true) OCB_NO_THREAD_SAFETY_ANALYSIS {
+    if (!mu_.try_lock_shared()) return false;
+    NoteAcquire(/*trylock=*/true);
+    return true;
+  }
+  void unlock_shared() OCB_RELEASE_SHARED() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    NoteRelease();
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive guard over Mutex (annotated std::lock_guard).
+class OCB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OCB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() OCB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief RAII shared guard over SharedMutex (annotated shared_lock).
+class OCB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) OCB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() OCB_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive guard over SharedMutex.
+class OCB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) OCB_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() OCB_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief Annotated std::unique_lock<Mutex>: relockable, so it works
+/// with std::condition_variable_any waits (which unlock/relock through
+/// the Lockable interface and therefore keep the lockdep stack honest).
+class OCB_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  // Bodies route through std::unique_lock, invisible to TSA — exempt
+  // them; the attributes remain the caller-facing contract.
+  explicit UniqueMutexLock(Mutex& mu)
+      OCB_ACQUIRE(mu) OCB_NO_THREAD_SAFETY_ANALYSIS : lock_(mu) {}
+  ~UniqueMutexLock() OCB_RELEASE() OCB_NO_THREAD_SAFETY_ANALYSIS {}
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void unlock() OCB_RELEASE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    lock_.unlock();
+  }
+  void lock() OCB_ACQUIRE() OCB_NO_THREAD_SAFETY_ANALYSIS {
+    lock_.lock();
+  }
+
+  /// For cv.wait(handle.std_lock(), pred); the wait's internal
+  /// unlock/relock flows through Mutex::lock/unlock and stays visible
+  /// to lockdep. TSA cannot follow it — wait sites annotate the
+  /// enclosing function instead.
+  std::unique_lock<Mutex>& std_lock() { return lock_; }
+
+ private:
+  std::unique_lock<Mutex> lock_;
+};
+
+}  // namespace ocb
+
+#endif  // OCB_UTIL_SYNC_H_

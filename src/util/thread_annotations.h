@@ -1,0 +1,100 @@
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis macros (no-ops elsewhere).
+///
+/// The engine documents a strict lock hierarchy (ARCHITECTURE.md "Ordering
+/// rules") but prose cannot fail a build. These macros let every
+/// mutex-owning class state its synchronization contract in a form
+/// `clang++ -Wthread-safety` checks at compile time:
+///
+///   * OCB_GUARDED_BY(mu)   — the field may only be touched while `mu` is
+///     held (reads need at least a shared hold, writes an exclusive one).
+///   * OCB_REQUIRES(mu)     — the function must be called with `mu` held.
+///   * OCB_ACQUIRE/RELEASE  — the function takes / drops the capability.
+///   * OCB_EXCLUDES(mu)     — the function must NOT be called with `mu`
+///     held (the classic self-deadlock annotation).
+///   * OCB_CAPABILITY / OCB_SCOPED_CAPABILITY — mark a type as a lockable
+///     capability / RAII guard (see util/sync.h for the engine's
+///     annotated Mutex, SharedMutex and guard types).
+///
+/// The analysis is intraprocedural and flow-sensitive. A few engine flows
+/// legitimately defeat it — a latch acquired in one function and released
+/// by a RAII handle in another (PageHandle), a condition-variable wait
+/// that unlocks and relocks inside an opaque callee — and those carry
+/// OCB_NO_THREAD_SAFETY_ANALYSIS with a comment saying why. The runtime
+/// lockdep validator (util/lockdep.h) covers what the static analysis
+/// cannot: cross-function acquisition *order*.
+///
+/// Under GCC (and any compiler without the capability attributes) every
+/// macro expands to nothing, so the annotations are free outside the
+/// clang static-analysis CI job.
+
+#ifndef OCB_UTIL_THREAD_ANNOTATIONS_H_
+#define OCB_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OCB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define OCB_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define OCB_CAPABILITY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define OCB_SCOPED_CAPABILITY \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define OCB_GUARDED_BY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define OCB_PT_GUARDED_BY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define OCB_ACQUIRED_BEFORE(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define OCB_ACQUIRED_AFTER(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define OCB_REQUIRES(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define OCB_REQUIRES_SHARED(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define OCB_ACQUIRE(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define OCB_ACQUIRE_SHARED(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define OCB_RELEASE(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define OCB_RELEASE_SHARED(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define OCB_RELEASE_GENERIC(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define OCB_TRY_ACQUIRE(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define OCB_TRY_ACQUIRE_SHARED(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define OCB_EXCLUDES(...) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define OCB_ASSERT_CAPABILITY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define OCB_ASSERT_SHARED_CAPABILITY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+#define OCB_RETURN_CAPABILITY(x) \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define OCB_NO_THREAD_SAFETY_ANALYSIS \
+  OCB_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // OCB_UTIL_THREAD_ANNOTATIONS_H_

@@ -23,24 +23,37 @@ uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
-void RecordAppend(uint64_t nanos) {
+// Histogram lookups take the registry mutex, which ranks ABOVE every
+// engine mutex (its Snapshot runs gauge callbacks that take engine
+// mutexes) — so the lazy resolution must NOT happen under the WAL
+// writer mutex. Open() warms both accessors with nothing held; the
+// Record* helpers below then run lock-free under mu_.
+obs::LatencyHistogram* AppendHistogram() {
 #ifndef OCB_OBS_DISABLED
   static obs::LatencyHistogram* h =
       obs::MetricsRegistry::Global().GetHistogram("wal.append");
-  h->Record(nanos);
+  return h;
 #else
-  (void)nanos;
+  return nullptr;
 #endif
 }
 
-void RecordForce(uint64_t nanos) {
+obs::LatencyHistogram* ForceHistogram() {
 #ifndef OCB_OBS_DISABLED
   static obs::LatencyHistogram* h =
       obs::MetricsRegistry::Global().GetHistogram("wal.force");
-  h->Record(nanos);
+  return h;
 #else
-  (void)nanos;
+  return nullptr;
 #endif
+}
+
+void RecordAppend(uint64_t nanos) {
+  if (obs::LatencyHistogram* h = AppendHistogram()) h->Record(nanos);
+}
+
+void RecordForce(uint64_t nanos) {
+  if (obs::LatencyHistogram* h = ForceHistogram()) h->Record(nanos);
 }
 
 void PutU8(std::vector<uint8_t>& buf, uint8_t v) { buf.push_back(v); }
@@ -61,6 +74,11 @@ void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
                                                    uint64_t segment_bytes) {
+  // Resolve the instruments now, with no mutex held — the registry
+  // mutex must never be taken under mu_ (lock hierarchy: obs.registry
+  // ranks above wal.writer).
+  AppendHistogram();
+  ForceHistogram();
   // Only the highest segment is ever appended to (and hence ever torn);
   // everything below it was fsync-closed by rotation and stays immutable.
   uint64_t segment_index = 0;
@@ -168,7 +186,7 @@ Status WalWriter::Append(const WalRecord& rec) {
       Crc32(buf.data() + sizeof(uint32_t), buf.size() - sizeof(uint32_t));
   std::memcpy(buf.data(), &crc, sizeof(crc));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) {
     return Status::IOError(
         Format("WAL '%s' lost its file in a failed rotation", path_.c_str()));
@@ -225,7 +243,7 @@ Status WalWriter::RotateSegmentLocked() {
 
 Status WalWriter::Force() {
   const auto start = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) {
     return Status::IOError(
         Format("WAL '%s' lost its file in a failed rotation", path_.c_str()));
@@ -247,7 +265,7 @@ Status WalWriter::Force() {
 
 Status WalWriter::ForceIfDirty() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (dirty_records_ == 0) return Status::OK();
   }
   return Force();
@@ -255,7 +273,7 @@ Status WalWriter::ForceIfDirty() {
 
 Status WalWriter::PruneSegments(uint64_t watermark, uint64_t* pruned) {
   if (pruned != nullptr) *pruned = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (uint64_t index : ListWalSegments(path_)) {
     if (index >= segment_index_) continue;  // The append target stays.
     auto scan = ReadWal(WalSegmentPath(path_, index));
@@ -292,22 +310,22 @@ Status WalWriter::PruneSegments(uint64_t watermark, uint64_t* pruned) {
 }
 
 uint64_t WalWriter::appended_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return appended_records_;
 }
 
 uint64_t WalWriter::forces() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return forces_;
 }
 
 uint64_t WalWriter::segment_index() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return segment_index_;
 }
 
 uint64_t WalWriter::rotations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rotations_;
 }
 

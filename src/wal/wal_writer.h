@@ -27,10 +27,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "util/status.h"
+#include "util/sync.h"
 #include "wal/wal_format.h"
 
 namespace ocb {
@@ -96,19 +96,22 @@ class WalWriter {
 
   /// Fsync-closes the current segment and opens the next one with a fresh
   /// magic. Caller holds mu_.
-  Status RotateSegmentLocked();
+  Status RotateSegmentLocked() OCB_REQUIRES(mu_);
 
   std::string path_;
-  std::FILE* file_;
+  mutable Mutex mu_{lockdep::kWalWriterClass};
+  std::FILE* file_ OCB_GUARDED_BY(mu_);
   const uint64_t segment_bytes_;  ///< Rotation threshold; 0 = never rotate.
 
-  mutable std::mutex mu_;
-  uint64_t segment_index_ = 0;  ///< Index of the open append segment.
-  uint64_t segment_size_ = 0;   ///< Bytes written to it (incl. magic).
-  uint64_t rotations_ = 0;
-  uint64_t appended_records_ = 0;
-  uint64_t forces_ = 0;
-  uint64_t dirty_records_ = 0;  ///< Appended since the last Force.
+  /// Index of the open append segment.
+  uint64_t segment_index_ OCB_GUARDED_BY(mu_) = 0;
+  /// Bytes written to it (incl. magic).
+  uint64_t segment_size_ OCB_GUARDED_BY(mu_) = 0;
+  uint64_t rotations_ OCB_GUARDED_BY(mu_) = 0;
+  uint64_t appended_records_ OCB_GUARDED_BY(mu_) = 0;
+  uint64_t forces_ OCB_GUARDED_BY(mu_) = 0;
+  /// Appended since the last Force.
+  uint64_t dirty_records_ OCB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace wal

@@ -108,9 +108,9 @@ TEST(SchemaTest, DiamondInheritanceCountsAncestorsOnce) {
   Schema schema;
   schema.SetRefTypes(Schema::DefaultTraits(2));
   //      0 (100)
-  //     / \
-  //    1   2     (each inherits from 0)
-  //     \ /
+  //     /  \.
+  //    1    2    (each inherits from 0)
+  //     \  /.
   //      3       (inherits from both 1 and 2)
   ASSERT_TRUE(schema.AddClass(MakeClass(0, {0, 0}, {1, 2}, 100)).ok());
   ASSERT_TRUE(schema.AddClass(MakeClass(1, {0}, {3}, 10)).ok());

@@ -147,7 +147,9 @@ TEST(BufferPoolConcurrencyTest, PinBlocksEvictionUnderPressure) {
           auto handle = pool.FetchPage(page_id, LatchMode::kShared);
           // NoSpace is legal when every other frame is momentarily
           // pinned; anything else is not.
-          if (!handle.ok()) EXPECT_TRUE(handle.status().IsNoSpace());
+          if (!handle.ok()) {
+            EXPECT_TRUE(handle.status().IsNoSpace());
+          }
         }
       }
     });
